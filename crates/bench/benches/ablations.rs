@@ -1,0 +1,157 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! singleton vs cascade fault models, Bernoulli closed form vs explicit
+//! enumeration, alias vs linear sampling, and sequential vs parallel
+//! replication.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use diversim_bench::worlds::medium_cascade;
+use diversim_sim::campaign::{run_pair_campaign, CampaignRegime};
+use diversim_sim::runner::parallel_replications;
+use diversim_stats::alias::AliasSampler;
+use diversim_stats::seed::SeedSequence;
+use diversim_testing::fixing::PerfectFixer;
+use diversim_testing::generation::ProfileGenerator;
+use diversim_testing::oracle::PerfectOracle;
+use diversim_testing::process::perfect_debug;
+use diversim_universe::demand::DemandId;
+use diversim_universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
+use diversim_universe::population::{ExplicitPopulation, Population};
+
+/// Singleton vs cascade models at equal size: cost of `perfect_debug`.
+fn ablation_region_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/region_structure");
+    for (name, region) in [
+        ("singleton", RegionSize::Fixed(1)),
+        ("cascade-4", RegionSize::Fixed(4)),
+        ("geometric-3", RegionSize::Geometric { mean: 3.0 }),
+    ] {
+        let spec = UniverseSpec {
+            n_demands: 500,
+            n_faults: 200,
+            region_size: region,
+            profile: ProfileKind::Uniform,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let (universe, pop) = spec
+            .generate_with_population(&mut rng, PropensityKind::Constant(0.3))
+            .expect("valid");
+        let gen = ProfileGenerator::new(universe.profile().clone());
+        let version = pop.sample(&mut rng);
+        let suite =
+            diversim_testing::generation::SuiteGenerator::generate(&gen, &mut rng, 128);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(perfect_debug(&version, &suite, universe.model())))
+        });
+    }
+    group.finish();
+}
+
+/// θ(x) via the Bernoulli closed form vs explicit-population averaging.
+fn ablation_population_representation(c: &mut Criterion) {
+    let spec = UniverseSpec {
+        n_demands: 12,
+        n_faults: 12,
+        region_size: RegionSize::Fixed(1),
+        profile: ProfileKind::Uniform,
+    };
+    let mut rng = StdRng::seed_from_u64(6);
+    let (universe, bernoulli) = spec
+        .generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.1, hi: 0.5 })
+        .expect("valid");
+    let support = bernoulli.enumerate(1 << 14).expect("enumerable");
+    let explicit =
+        ExplicitPopulation::new(Arc::clone(universe.model()), support).expect("valid");
+    let x = DemandId::new(5);
+
+    let mut group = c.benchmark_group("ablation/population_theta");
+    group.bench_function("bernoulli_closed_form", |b| {
+        b.iter(|| black_box(bernoulli.theta(black_box(x))))
+    });
+    group.bench_function("explicit_enumeration_4096", |b| {
+        b.iter(|| black_box(explicit.theta(black_box(x))))
+    });
+    group.finish();
+}
+
+/// Alias-method O(1) sampling vs a linear CDF walk.
+fn ablation_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let weights: Vec<f64> = (0..2000).map(|i| 1.0 / (i + 1) as f64).collect();
+    let sampler = AliasSampler::new(&weights).expect("valid");
+    let total: f64 = weights.iter().sum();
+    let norm: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+    let mut group = c.benchmark_group("ablation/categorical_sampling");
+    group.bench_function("alias_o1", |b| b.iter(|| black_box(sampler.sample(&mut rng))));
+    group.bench_function("linear_cdf_walk", |b| {
+        b.iter(|| {
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut out = norm.len() - 1;
+            for (i, &p) in norm.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    out = i;
+                    break;
+                }
+            }
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+/// Sequential vs parallel replication throughput for a fixed workload.
+fn ablation_parallelism(c: &mut Criterion) {
+    let w = medium_cascade(9);
+    let seeds = SeedSequence::new(99);
+    let job = |_i: u64, seed: u64| {
+        run_pair_campaign(
+            &w.pop_a,
+            &w.pop_a,
+            &w.generator,
+            32,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &w.profile,
+            seed,
+        )
+        .system_pfd
+    };
+    let mut group = c.benchmark_group("ablation/replication_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(parallel_replications(256, seeds, threads, job)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets =
+    ablation_region_structure,
+    ablation_population_representation,
+    ablation_sampling,
+    ablation_parallelism
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benchmarks for the hot paths of the substrate: score
+//! evaluation, failure sets, pfd computation, sampling and debugging.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use diversim_bench::worlds::{large, medium_cascade};
+use diversim_testing::generation::SuiteGenerator;
+use diversim_testing::process::perfect_debug;
+use diversim_universe::demand::DemandId;
+use diversim_universe::population::Population;
+
+fn bench_score_and_pfd(c: &mut Criterion) {
+    let w = medium_cascade(1);
+    let model = w.pop_a.model().clone();
+    let mut rng = StdRng::seed_from_u64(0);
+    let version = w.pop_a.sample(&mut rng);
+    let x = DemandId::new(17);
+
+    c.bench_function("score/fails_on", |b| {
+        b.iter(|| black_box(version.fails_on(black_box(&model), black_box(x))))
+    });
+    c.bench_function("score/failure_set", |b| {
+        b.iter(|| black_box(version.failure_set(black_box(&model))))
+    });
+    c.bench_function("score/pfd", |b| {
+        b.iter(|| black_box(version.pfd(black_box(&model), black_box(&w.profile))))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let w = large(2);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("sample/version_from_bernoulli", |b| {
+        b.iter(|| black_box(w.pop_a.sample(&mut rng)))
+    });
+    c.bench_function("sample/demand_from_profile", |b| {
+        b.iter(|| black_box(w.profile.sample(&mut rng)))
+    });
+    let mut group = c.benchmark_group("sample/suite_generation");
+    for size in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| black_box(w.generator.generate(&mut rng, size)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_debugging(c: &mut Criterion) {
+    let w = medium_cascade(3);
+    let model = w.pop_a.model().clone();
+    let mut rng = StdRng::seed_from_u64(2);
+    let version = w.pop_a.sample(&mut rng);
+    let mut group = c.benchmark_group("debug/perfect_debug");
+    for size in [8usize, 64, 512] {
+        let suite = w.generator.generate(&mut rng, size);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &suite, |b, suite| {
+            b.iter(|| black_box(perfect_debug(black_box(&version), suite, &model)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_difficulty(c: &mut Criterion) {
+    let w = medium_cascade(4);
+    let mut covered = diversim_universe::bitset::BitSet::new(w.profile.space().len());
+    for i in (0..200).step_by(3) {
+        covered.insert(i);
+    }
+    c.bench_function("difficulty/theta_vector", |b| {
+        b.iter(|| black_box(w.pop_a.theta_vector()))
+    });
+    c.bench_function("difficulty/xi_vector", |b| {
+        b.iter(|| {
+            black_box(diversim_core::difficulty::TestedDifficulty::xi_vector(
+                &w.pop_a,
+                black_box(&covered),
+            ))
+        })
+    });
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets =
+    bench_score_and_pfd,
+    bench_sampling,
+    bench_debugging,
+    bench_difficulty
+);
+criterion_main!(benches);

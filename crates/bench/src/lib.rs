@@ -1,0 +1,13 @@
+//! Shared infrastructure for the experiment binaries (E1–E12) and the
+//! Criterion benchmarks.
+//!
+//! Each binary `eNN_*` regenerates one numbered result of Popov &
+//! Littlewood (DSN 2004); see `EXPERIMENTS.md` at the workspace root for
+//! the experiment ↔ paper-result index.
+
+#![deny(missing_docs)]
+
+pub mod report;
+pub mod worlds;
+
+pub use report::Table;

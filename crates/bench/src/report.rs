@@ -1,0 +1,158 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment binary prints one or more aligned tables to stdout
+//! and can emit the same rows as TSV (for plotting) when the
+//! `DIVERSIM_TSV_DIR` environment variable points at a directory.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_bench::report::Table;
+///
+/// let mut t = Table::new("demo", &["x", "y"]);
+/// t.row(&["1".into(), "2".into()]);
+/// let text = t.render();
+/// assert!(text.contains('x'));
+/// assert!(text.contains('1'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of formatted floats after a string key.
+    pub fn row_key_floats(&mut self, key: impl std::fmt::Display, values: &[f64]) {
+        let mut cells = vec![key.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.6}")));
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "── {} ──", self.title);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", h, width = widths[i]);
+        }
+        out.push('\n');
+        for (i, _) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{}  ", "-".repeat(widths[i]));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as TSV (headers + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout and, if `DIVERSIM_TSV_DIR` is set,
+    /// writes `<dir>/<file_stem>.tsv`.
+    pub fn emit(&self, file_stem: &str) {
+        println!("{}", self.render());
+        if let Ok(dir) = std::env::var("DIVERSIM_TSV_DIR") {
+            let path = Path::new(&dir).join(format!("{file_stem}.tsv"));
+            if let Err(e) = std::fs::write(&path, self.to_tsv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("t", &["key", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-key".into(), "2".into()]);
+        let text = t.render();
+        assert!(text.contains("── t ──"));
+        assert!(text.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn row_key_floats_formats() {
+        let mut t = Table::new("t", &["n", "a", "b"]);
+        t.row_key_floats(4, &[0.5, 0.25]);
+        let tsv = t.to_tsv();
+        assert!(tsv.contains("4\t0.500000\t0.250000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn tsv_roundtrip_structure() {
+        let mut t = Table::new("t", &["h1", "h2"]);
+        t.row(&["x".into(), "y".into()]);
+        let tsv = t.to_tsv();
+        let mut lines = tsv.lines();
+        assert_eq!(lines.next(), Some("h1\th2"));
+        assert_eq!(lines.next(), Some("x\ty"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Standard universes used across the experiments, so that every binary
+//! states its workload in one line and the reports stay comparable.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use diversim_testing::generation::ProfileGenerator;
+use diversim_universe::demand::DemandSpace;
+use diversim_universe::fault::{FaultModel, FaultModelBuilder};
+use diversim_universe::generator::{
+    mirrored_pair, ProfileKind, PropensityKind, RegionSize, UniverseSpec,
+};
+use diversim_universe::population::BernoulliPopulation;
+use diversim_universe::profile::UsageProfile;
+
+/// A ready-to-run world: population(s), usage profile and suite generator.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Methodology A.
+    pub pop_a: BernoulliPopulation,
+    /// Methodology B (equal to A for unforced worlds).
+    pub pop_b: BernoulliPopulation,
+    /// The operational profile `Q(·)`.
+    pub profile: UsageProfile,
+    /// Operational-profile suite generator.
+    pub generator: ProfileGenerator,
+    /// Short description for reports.
+    pub label: &'static str,
+}
+
+fn singleton_model(n: usize) -> Arc<FaultModel> {
+    let space = DemandSpace::new(n).expect("non-empty");
+    Arc::new(FaultModelBuilder::new(space).singleton_faults().build().expect("valid"))
+}
+
+/// The canonical small exact world: 6 demands, singleton faults, graded
+/// difficulty 0.02–0.6, uniform usage. Fully enumerable.
+pub fn small_graded() -> World {
+    let model = singleton_model(6);
+    let props = vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.6];
+    let pop = BernoulliPopulation::new(Arc::clone(&model), props).expect("valid");
+    let profile = UsageProfile::uniform(model.space());
+    World {
+        pop_a: pop.clone(),
+        pop_b: pop,
+        generator: ProfileGenerator::new(profile.clone()),
+        profile,
+        label: "small-graded (6 demands, singleton, uniform Q)",
+    }
+}
+
+/// A graded singleton world with a constant-difficulty twin: used to show
+/// the EL equality case. `spread` interpolates between constant difficulty
+/// (0.0) and strongly varying difficulty (1.0) at fixed mean 0.3.
+pub fn graded_with_spread(spread: f64) -> World {
+    let model = singleton_model(6);
+    let mean = 0.3;
+    // Difficulty points symmetric around the mean, scaled by `spread`.
+    let offsets = [-0.25, -0.15, -0.05, 0.05, 0.15, 0.25];
+    let props: Vec<f64> =
+        offsets.iter().map(|o| (mean + o * spread).clamp(0.0, 1.0)).collect();
+    let pop = BernoulliPopulation::new(Arc::clone(&model), props).expect("valid");
+    let profile = UsageProfile::uniform(model.space());
+    World {
+        pop_a: pop.clone(),
+        pop_b: pop,
+        generator: ProfileGenerator::new(profile.clone()),
+        profile,
+        label: "graded-spread (6 demands, singleton, mean difficulty 0.3)",
+    }
+}
+
+/// A forced-diversity world: mirrored methodologies over 8 singleton
+/// faults (negative difficulty covariance).
+pub fn mirrored(hi: f64, lo: f64) -> World {
+    let model = singleton_model(8);
+    let (pop_a, pop_b) = mirrored_pair(&model, hi, lo).expect("valid propensities");
+    let profile = UsageProfile::uniform(model.space());
+    World {
+        pop_a,
+        pop_b,
+        generator: ProfileGenerator::new(profile.clone()),
+        profile,
+        label: "mirrored forced diversity (8 demands, singleton)",
+    }
+}
+
+/// The engineered negative-eq-25-coupling world: two faults with
+/// overlapping regions, each prone for one methodology only.
+pub fn negative_coupling() -> World {
+    use diversim_universe::demand::DemandId;
+    let space = DemandSpace::new(3).expect("non-empty");
+    let model = Arc::new(
+        FaultModelBuilder::new(space)
+            .fault([DemandId::new(0), DemandId::new(1)])
+            .fault([DemandId::new(0), DemandId::new(2)])
+            .build()
+            .expect("valid"),
+    );
+    let pop_a = BernoulliPopulation::new(Arc::clone(&model), vec![0.9, 0.0]).expect("valid");
+    let pop_b = BernoulliPopulation::new(Arc::clone(&model), vec![0.0, 0.9]).expect("valid");
+    let profile = UsageProfile::uniform(space);
+    World {
+        pop_a,
+        pop_b,
+        generator: ProfileGenerator::new(profile.clone()),
+        profile,
+        label: "negative-coupling (3 demands, overlapping regions)",
+    }
+}
+
+/// A medium simulation world with fault-region cascades: 200 demands, 60
+/// faults of region size 1–4, Zipf(0.8) usage, Bernoulli propensities in
+/// [0.05, 0.5]. Too large to enumerate; exercised by Monte Carlo.
+pub fn medium_cascade(seed: u64) -> World {
+    let spec = UniverseSpec {
+        n_demands: 200,
+        n_faults: 60,
+        region_size: RegionSize::Uniform { min: 1, max: 4 },
+        profile: ProfileKind::Zipf(0.8),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (universe, pop) = spec
+        .generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.05, hi: 0.5 })
+        .expect("valid spec");
+    let profile = universe.profile().clone();
+    World {
+        pop_a: pop.clone(),
+        pop_b: pop,
+        generator: ProfileGenerator::new(profile.clone()),
+        profile,
+        label: "medium-cascade (200 demands, 60 faults, Zipf usage)",
+    }
+}
+
+/// A large simulation world for benchmarking throughput: 2000 demands,
+/// 400 faults, geometric regions (mean 3), harmonic propensities.
+pub fn large(seed: u64) -> World {
+    let spec = UniverseSpec {
+        n_demands: 2000,
+        n_faults: 400,
+        region_size: RegionSize::Geometric { mean: 3.0 },
+        profile: ProfileKind::Zipf(1.0),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (universe, pop) = spec
+        .generate_with_population(&mut rng, PropensityKind::Harmonic { hi: 0.5 })
+        .expect("valid spec");
+    let profile = universe.profile().clone();
+    World {
+        pop_a: pop.clone(),
+        pop_b: pop,
+        generator: ProfileGenerator::new(profile.clone()),
+        profile,
+        label: "large (2000 demands, 400 faults)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_universe::population::Population;
+
+    #[test]
+    fn worlds_construct_and_are_consistent() {
+        for world in [
+            small_graded(),
+            graded_with_spread(0.5),
+            mirrored(0.5, 0.05),
+            negative_coupling(),
+            medium_cascade(1),
+            large(2),
+        ] {
+            assert_eq!(world.pop_a.model().space(), world.profile.space());
+            assert_eq!(world.pop_b.model().space(), world.profile.space());
+            assert!(!world.label.is_empty());
+        }
+    }
+
+    #[test]
+    fn spread_zero_gives_constant_difficulty() {
+        let w = graded_with_spread(0.0);
+        let thetas = w.pop_a.theta_vector();
+        for t in &thetas {
+            assert!((t - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spread_one_varies_difficulty() {
+        let w = graded_with_spread(1.0);
+        let thetas = w.pop_a.theta_vector();
+        assert!(thetas.iter().cloned().fold(f64::NEG_INFINITY, f64::max) > 0.5);
+        assert!(thetas.iter().cloned().fold(f64::INFINITY, f64::min) < 0.1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Bounds for imperfect testing regimes — §4 of the paper.
+//!
+//! When the oracle or the fault fixing is fallible the exact machinery of
+//! §3 no longer applies; "the best we can do is find some bounds for the
+//! system probabilities of failure" (§4.1):
+//!
+//! * **lower bound** — a tested version's scores are "no better than if
+//!   tested with perfect oracle/fixing", so the perfect-testing system pfd
+//!   from [`crate::marginal`] bounds the imperfect one from below;
+//! * **upper bound** — scores are "no worse than the scores of the
+//!   untested version", so the untested (EL/LM) joint pfd bounds it from
+//!   above.
+//!
+//! Back-to-back testing (§4.2) is a special case of the shared-suite
+//! regime: the optimistic assumption (coincident failures never identical)
+//! reproduces the §3 perfect-oracle results; the pessimistic assumption
+//! (all coincident failures identical, hence undetectable) leaves the
+//! system pfd exactly where it started — "the version reliability
+//! improvements are exactly matched by worsening diversity". The
+//! pessimistic equality is exact in the paper's per-demand score model
+//! (singleton failure regions); with larger regions a fix triggered by a
+//! single failure may also repair coincident demands, so mechanistically
+//! the pessimistic value is a conservative upper bound.
+
+use diversim_testing::suite_population::ExplicitSuitePopulation;
+use diversim_universe::profile::UsageProfile;
+
+use crate::difficulty::TestedDifficulty;
+use crate::lm::LmAnalysis;
+use crate::marginal::{MarginalAnalysis, SuiteAssignment};
+
+/// Bounds on the system pfd of a pair debugged with an imperfect oracle
+/// and/or imperfect fixing (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImperfectTestingBounds {
+    /// The perfect-testing system pfd (everything detected and fixed).
+    pub lower: f64,
+    /// The untested system pfd (nothing fixed).
+    pub upper: f64,
+}
+
+impl ImperfectTestingBounds {
+    /// Computes the §4.1 bounds for the given pair and suite assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the populations are over different demand spaces.
+    pub fn compute(
+        pop_a: &dyn TestedDifficulty,
+        pop_b: &dyn TestedDifficulty,
+        assignment: SuiteAssignment<'_>,
+        profile: &UsageProfile,
+    ) -> Self {
+        let tested = MarginalAnalysis::compute(pop_a, pop_b, assignment, profile);
+        let untested = LmAnalysis::compute(pop_a, pop_b, profile);
+        ImperfectTestingBounds { lower: tested.system_pfd(), upper: untested.joint_pfd }
+    }
+
+    /// Returns `true` if `value` lies within the bounds (inclusive, with a
+    /// small tolerance for floating-point noise).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower - 1e-12 && value <= self.upper + 1e-12
+    }
+
+    /// Width of the bound interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Bounds on the system pfd after a back-to-back campaign on a shared
+/// suite (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackToBackBounds {
+    /// Optimistic: coincident failures always mismatch, so back-to-back
+    /// equals perfect-oracle shared-suite testing (eq 23/25 value).
+    pub optimistic: f64,
+    /// Pessimistic: coincident failures are never detected; the system pfd
+    /// does not improve at all and remains the untested joint pfd.
+    pub pessimistic: f64,
+}
+
+impl BackToBackBounds {
+    /// Computes the §4.2 bounds for a pair debugged back-to-back on suites
+    /// from `measure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the populations are over different demand spaces.
+    pub fn compute(
+        pop_a: &dyn TestedDifficulty,
+        pop_b: &dyn TestedDifficulty,
+        measure: &ExplicitSuitePopulation,
+        profile: &UsageProfile,
+    ) -> Self {
+        let optimistic =
+            MarginalAnalysis::compute(pop_a, pop_b, SuiteAssignment::Shared(measure), profile)
+                .system_pfd();
+        let pessimistic = LmAnalysis::compute(pop_a, pop_b, profile).joint_pfd;
+        BackToBackBounds { optimistic, pessimistic }
+    }
+
+    /// Returns `true` if `value` lies between the optimistic and
+    /// pessimistic system pfds (inclusive, with tolerance).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.optimistic - 1e-12 && value <= self.pessimistic + 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::{BernoulliPopulation, Population};
+    use std::sync::Arc;
+
+    fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, props).unwrap()
+    }
+
+    #[test]
+    fn imperfect_bounds_are_ordered() {
+        let pop = singleton_pop(vec![0.2, 0.5, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        for n in 0..4 {
+            let m = enumerate_iid_suites(&q, n, 1 << 8).unwrap();
+            for assignment in
+                [SuiteAssignment::independent(&m), SuiteAssignment::Shared(&m)]
+            {
+                let b = ImperfectTestingBounds::compute(&pop, &pop, assignment, &q);
+                assert!(b.lower <= b.upper + 1e-15, "bounds inverted at n={n}");
+                assert!(b.width() >= -1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_testing_collapses_the_bounds() {
+        let pop = singleton_pop(vec![0.3, 0.6]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 0, 4).unwrap();
+        let b = ImperfectTestingBounds::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+        assert!((b.lower - b.upper).abs() < 1e-12, "no testing → no gap");
+    }
+
+    #[test]
+    fn bounds_contain_the_perfect_value_and_untested_value() {
+        let pop = singleton_pop(vec![0.4, 0.7]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 2, 64).unwrap();
+        let b =
+            ImperfectTestingBounds::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+        assert!(b.contains(b.lower));
+        assert!(b.contains(b.upper));
+        assert!(!b.contains(b.upper + 0.1));
+        assert!(!b.contains(b.lower - 0.1));
+    }
+
+    #[test]
+    fn b2b_bounds_hand_computed() {
+        // p = (0.4, 0.8), uniform Q, one-draw suites.
+        // Optimistic = eq-23 value = 0.20 (see marginal tests).
+        // Pessimistic = untested E[Θ²] = (0.16 + 0.64)/2 = 0.40.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let b = BackToBackBounds::compute(&pop, &pop, &m, &q);
+        assert!((b.optimistic - 0.20).abs() < 1e-12);
+        assert!((b.pessimistic - 0.40).abs() < 1e-12);
+        assert!(b.optimistic <= b.pessimistic);
+    }
+
+    #[test]
+    fn b2b_bounds_bracket_intermediate_gamma() {
+        // Any partially-identical regime must land between the bounds; we
+        // spot-check the midpoint value is bracketed.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let b = BackToBackBounds::compute(&pop, &pop, &m, &q);
+        let mid = 0.5 * (b.optimistic + b.pessimistic);
+        assert!(b.contains(mid));
+        assert!(!b.contains(b.pessimistic + 0.05));
+    }
+
+    #[test]
+    fn more_testing_widens_the_b2b_gap() {
+        // Optimistic improves with suite size; pessimistic stays at the
+        // untested value.
+        let pop = singleton_pop(vec![0.3, 0.5, 0.7]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let mut last_gap = -1.0;
+        for n in [0usize, 1, 2, 4] {
+            let m = enumerate_iid_suites(&q, n, 1 << 8).unwrap();
+            let b = BackToBackBounds::compute(&pop, &pop, &m, &q);
+            let gap = b.pessimistic - b.optimistic;
+            assert!(gap + 1e-15 >= last_gap, "gap shrank with more testing");
+            last_gap = gap;
+        }
+    }
+}

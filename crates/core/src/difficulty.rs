@@ -1,0 +1,335 @@
+//! The difficulty functions of the paper, before and after testing.
+//!
+//! | Paper | Here | Meaning |
+//! |---|---|---|
+//! | `θ(x)` (eq 1) | [`diversim_universe::Population::theta`] | P(random program fails on `x`) |
+//! | `υ(π,x,t)` (eq 11) | [`tested_score`] | score of `π` tested on `t`, perfect oracle/fixing |
+//! | `ς(π,x)` (eq 12) | [`varsigma`] | P over random suites that tested `π` fails on `x` |
+//! | `ξ(x,t)` (eq 13) | [`TestedDifficulty::xi`] | P(random program tested on `t` fails on `x`) |
+//! | `η(π,t)` | [`eta`] | pfd of `π` tested on `t` under `Q(·)` |
+//! | `ζ(x)` (eq 14) | [`zeta`] | post-testing difficulty: `E_{S,M}[υ(Π,x,T)]` |
+//!
+//! Everything here assumes the §3 setting — perfect failure detection and
+//! perfect fault fixing — under which a fault survives testing if and only
+//! if its failure region is disjoint from the suite's covered demands.
+//! Imperfect regimes are handled by simulation (`diversim-sim`) and
+//! bounded analytically in [`crate::bounds`].
+
+use diversim_testing::suite::TestSuite;
+use diversim_testing::suite_population::ExplicitSuitePopulation;
+use diversim_universe::bitset::BitSet;
+use diversim_universe::demand::DemandId;
+use diversim_universe::fault::FaultModel;
+use diversim_universe::population::{BernoulliPopulation, ExplicitPopulation, Population};
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+/// The paper's score-after-testing `υ(π, x, t)` (eq 11) under perfect
+/// detection and fixing: `1.0` iff the tested version still fails on `x`,
+/// i.e. iff `π` contains a fault of `O_x` whose region is disjoint from
+/// the covered demands.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_core::difficulty::tested_score;
+/// use diversim_universe::bitset::BitSet;
+/// use diversim_universe::demand::{DemandId, DemandSpace};
+/// use diversim_universe::fault::{FaultId, FaultModelBuilder};
+/// use diversim_universe::version::Version;
+///
+/// let space = DemandSpace::new(2).unwrap();
+/// let model = FaultModelBuilder::new(space).singleton_faults().build().unwrap();
+/// let v = Version::from_faults(&model, [FaultId::new(0)]);
+/// let untested = BitSet::new(2);
+/// assert_eq!(tested_score(&v, &model, DemandId::new(0), &untested), 1.0);
+/// let mut covered = BitSet::new(2);
+/// covered.insert(0);
+/// assert_eq!(tested_score(&v, &model, DemandId::new(0), &covered), 0.0);
+/// ```
+pub fn tested_score(
+    version: &Version,
+    model: &FaultModel,
+    x: DemandId,
+    covered: &BitSet,
+) -> f64 {
+    let fails = model
+        .faults_at(x)
+        .iter()
+        .any(|&f| version.has_fault(f) && !model.triggered_by(f, covered));
+    if fails {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Populations for which the post-testing difficulty `ξ(x, t)` (eq 13) is
+/// computable exactly.
+///
+/// Implemented for [`BernoulliPopulation`] (closed form over surviving
+/// faults) and [`ExplicitPopulation`] (weighted average of
+/// [`tested_score`] over the support).
+pub trait TestedDifficulty: Population {
+    /// `ξ(x, t)`: the probability that a randomly chosen program, tested
+    /// with a suite covering `covered`, fails on `x`.
+    fn xi(&self, x: DemandId, covered: &BitSet) -> f64;
+
+    /// `ξ(x, t)` evaluated on every demand, indexed by demand.
+    fn xi_vector(&self, covered: &BitSet) -> Vec<f64> {
+        self.model().space().iter().map(|x| self.xi(x, covered)).collect()
+    }
+}
+
+impl TestedDifficulty for BernoulliPopulation {
+    fn xi(&self, x: DemandId, covered: &BitSet) -> f64 {
+        BernoulliPopulation::xi(self, x, covered)
+    }
+}
+
+impl TestedDifficulty for ExplicitPopulation {
+    fn xi(&self, x: DemandId, covered: &BitSet) -> f64 {
+        let model = self.model().clone();
+        self.iter().map(|(v, p)| tested_score(v, &model, x, covered) * p).sum()
+    }
+}
+
+/// The paper's `ς(π, x)` (eq 12): the probability that a *particular*
+/// version `π`, tested with a random suite `T ~ M(·)`, fails on `x`.
+pub fn varsigma(
+    version: &Version,
+    model: &FaultModel,
+    x: DemandId,
+    measure: &ExplicitSuitePopulation,
+) -> f64 {
+    measure.expect(|t| tested_score(version, model, x, t.demand_set()))
+}
+
+/// The paper's `η(π, t)`: the probability that version `π`, tested on `t`,
+/// fails on a randomly selected demand `X ~ Q(·)` — the tested version's
+/// pfd.
+pub fn eta(
+    version: &Version,
+    model: &FaultModel,
+    suite: &TestSuite,
+    profile: &UsageProfile,
+) -> f64 {
+    profile.expect(|x| tested_score(version, model, x, suite.demand_set()))
+}
+
+/// The paper's `ζ(x)` (eq 14): the post-testing difficulty function
+/// `E_{S,M}[υ(Π, x, T)] = E_M[ξ(x, T)]`.
+///
+/// Satisfies `θ(x) ≥ ζ(x)` for every `x` and any measure `M(·)` — testing
+/// can only help (§3).
+pub fn zeta(
+    pop: &dyn TestedDifficulty,
+    x: DemandId,
+    measure: &ExplicitSuitePopulation,
+) -> f64 {
+    measure.expect(|t| pop.xi(x, t.demand_set()))
+}
+
+/// `ζ(x)` evaluated on every demand, indexed by demand.
+pub fn zeta_vector(pop: &dyn TestedDifficulty, measure: &ExplicitSuitePopulation) -> Vec<f64> {
+    pop.model().space().iter().map(|x| zeta(pop, x, measure)).collect()
+}
+
+/// Summary of how testing reshapes the difficulty function: the paper's §3
+/// discussion of whether "variability of the difficulty changes as a
+/// result of the testing".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DifficultyShift {
+    /// `E_Q[Θ]`: mean difficulty before testing.
+    pub mean_before: f64,
+    /// `Var_Q(Θ)`: difficulty variance before testing.
+    pub var_before: f64,
+    /// `E_Q[Θ_T]`: mean difficulty after testing.
+    pub mean_after: f64,
+    /// `Var_Q(Θ_T)`: difficulty variance after testing.
+    pub var_after: f64,
+}
+
+impl DifficultyShift {
+    /// Computes the before/after difficulty moments under the usage
+    /// profile.
+    pub fn compute(
+        pop: &dyn TestedDifficulty,
+        measure: &ExplicitSuitePopulation,
+        profile: &UsageProfile,
+    ) -> Self {
+        let theta: Vec<(f64, f64)> =
+            profile.iter().map(|(x, q)| (pop.theta(x), q)).collect();
+        let zeta: Vec<(f64, f64)> =
+            profile.iter().map(|(x, q)| (zeta(pop, x, measure), q)).collect();
+        let before = diversim_stats::weighted::moments(theta.iter().copied())
+            .expect("profile is a valid measure");
+        let after = diversim_stats::weighted::moments(zeta.iter().copied())
+            .expect("profile is a valid measure");
+        DifficultyShift {
+            mean_before: before.mean,
+            var_before: before.variance,
+            mean_after: after.mean,
+            var_after: after.variance,
+        }
+    }
+
+    /// `true` if testing reduced the variability of difficulty — the
+    /// benign case discussed in §3 ("at the very least it seems desirable
+    /// to reduce the variability of ζ(x)").
+    pub fn variance_reduced(&self) -> bool {
+        self.var_after <= self.var_before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::{FaultId, FaultModelBuilder};
+    use std::sync::Arc;
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    fn f(i: u32) -> FaultId {
+        FaultId::new(i)
+    }
+
+    /// Singleton universe with 2 demands, Bernoulli propensities [p0, p1].
+    fn singleton_pop(p0: f64, p1: f64) -> BernoulliPopulation {
+        let space = DemandSpace::new(2).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, vec![p0, p1]).unwrap()
+    }
+
+    #[test]
+    fn tested_score_is_monotone_in_coverage() {
+        // υ(π,x,∅) ≥ υ(π,x,t): testing can only flip 1 → 0.
+        let pop = singleton_pop(0.5, 0.5);
+        let model = pop.model().clone();
+        let v = Version::from_faults(&model, [f(0), f(1)]);
+        let empty = BitSet::new(2);
+        let mut covered = BitSet::new(2);
+        covered.insert(0);
+        for x in model.space().iter() {
+            assert!(
+                tested_score(&v, &model, x, &empty)
+                    >= tested_score(&v, &model, x, &covered)
+            );
+        }
+    }
+
+    #[test]
+    fn xi_explicit_matches_bernoulli() {
+        let pop = singleton_pop(0.3, 0.7);
+        let support = pop.enumerate(16).unwrap();
+        let explicit = ExplicitPopulation::new(pop.model().clone(), support).unwrap();
+        let mut covered = BitSet::new(2);
+        covered.insert(1);
+        for x in pop.model().space().iter() {
+            assert!(
+                (TestedDifficulty::xi(&pop, x, &covered) - explicit.xi(x, &covered)).abs()
+                    < 1e-12,
+                "xi mismatch at {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeta_hand_computed_single_draw() {
+        // One uniform i.i.d. draw over 2 demands:
+        // ζ(x0) = ½·ξ(x0,{x0}) + ½·ξ(x0,{x1}) = ½·0 + ½·p0 = p0/2.
+        let pop = singleton_pop(0.4, 0.8);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        assert!((zeta(&pop, d(0), &m) - 0.2).abs() < 1e-12);
+        assert!((zeta(&pop, d(1), &m) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeta_never_exceeds_theta() {
+        let pop = singleton_pop(0.35, 0.65);
+        let q = UsageProfile::from_weights(pop.model().space(), vec![0.7, 0.3]).unwrap();
+        for n in 0..4 {
+            let m = enumerate_iid_suites(&q, n, 64).unwrap();
+            for x in pop.model().space().iter() {
+                assert!(pop.theta(x) + 1e-15 >= zeta(&pop, x, &m));
+            }
+        }
+    }
+
+    #[test]
+    fn zeta_decreases_with_suite_size() {
+        let pop = singleton_pop(0.5, 0.5);
+        let q = UsageProfile::uniform(pop.model().space());
+        let mut prev = vec![pop.theta(d(0)), pop.theta(d(1))];
+        for n in 1..5 {
+            let m = enumerate_iid_suites(&q, n, 64).unwrap();
+            let cur = zeta_vector(&pop, &m);
+            for (p, c) in prev.iter().zip(&cur) {
+                assert!(c <= p, "zeta increased with more testing");
+            }
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn varsigma_averages_over_suites() {
+        // π = {f0}; suites {x0} and {x1} each w.p. ½.
+        // ς(π, x0) = ½·0 + ½·1 = ½.
+        let pop = singleton_pop(0.5, 0.5);
+        let model = pop.model().clone();
+        let v = Version::from_faults(&model, [f(0)]);
+        let q = UsageProfile::uniform(model.space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        assert!((varsigma(&v, &model, d(0), &m) - 0.5).abs() < 1e-12);
+        assert!((varsigma(&v, &model, d(1), &m) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eta_is_tested_pfd() {
+        let pop = singleton_pop(0.5, 0.5);
+        let model = pop.model().clone();
+        let v = Version::from_faults(&model, [f(0), f(1)]);
+        let q = UsageProfile::from_weights(model.space(), vec![0.25, 0.75]).unwrap();
+        let suite =
+            TestSuite::from_demands(model.space(), vec![d(0)]).unwrap();
+        // After testing on {x0}, the version fails only on x1.
+        assert!((eta(&v, &model, &suite, &q) - 0.75).abs() < 1e-12);
+        // Untested: fails everywhere → pfd 1.
+        let untested = TestSuite::empty(model.space());
+        assert!((eta(&v, &model, &untested, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn region_cascade_lowers_xi_on_untested_demands() {
+        // Fault 0 covers {x0, x1}: testing x0 fixes x1 too (the D_X
+        // cascade), so ξ(x1, {x0}) = 0 even though x1 was never run.
+        let space = DemandSpace::new(2).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space).fault([d(0), d(1)]).build().unwrap(),
+        );
+        let pop = BernoulliPopulation::new(model, vec![0.9]).unwrap();
+        let mut covered = BitSet::new(2);
+        covered.insert(0);
+        assert_eq!(TestedDifficulty::xi(&pop, d(1), &covered), 0.0);
+        assert!((pop.theta(d(1)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difficulty_shift_reports_moments() {
+        let pop = singleton_pop(0.2, 0.8);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 2, 64).unwrap();
+        let shift = DifficultyShift::compute(&pop, &m, &q);
+        assert!((shift.mean_before - 0.5).abs() < 1e-12);
+        assert!((shift.var_before - 0.09).abs() < 1e-12);
+        assert!(shift.mean_after < shift.mean_before);
+        // Mean difficulty always drops; variance may move either way.
+        assert!(shift.mean_after >= 0.0 && shift.var_after >= 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The Eckhardt–Lee model (the paper's equations (1)–(7)).
+//!
+//! Two versions drawn independently from the *same* population fail
+//! independently on any fixed demand (eq 5), but on a random demand the
+//! joint probability picks up the variance of the difficulty function:
+//!
+//! ```text
+//! P(both fail on X) = E[Θ²] = (E[Θ])² + Var(Θ)          (eq 6)
+//! P(Π₁ fails | Π₂ failed) = E[Θ] + Var(Θ)/E[Θ]          (eq 7)
+//! ```
+//!
+//! with equality to the independence value iff `θ(x)` is constant — "it
+//! seems likely that this will never be the case".
+
+use diversim_stats::weighted;
+use diversim_universe::demand::DemandId;
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+
+/// The quantities of the Eckhardt–Lee analysis for one population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElAnalysis {
+    /// `E[Θ]`: the pfd of a single randomly chosen version (eq 2).
+    pub mean_theta: f64,
+    /// `Var(Θ)`: the variance of difficulty across demands.
+    pub var_theta: f64,
+    /// `E[Θ²]`: the probability both versions of an independently selected
+    /// pair fail on a random demand (eq 6).
+    pub joint_pfd: f64,
+    /// `(E[Θ])²`: what the joint pfd would be under (incorrect) assumption
+    /// of unconditional independence.
+    pub independent_pfd: f64,
+}
+
+impl ElAnalysis {
+    /// Computes the analysis from a population and usage profile.
+    pub fn compute(pop: &dyn Population, profile: &UsageProfile) -> Self {
+        let pairs: Vec<(f64, f64)> = profile.iter().map(|(x, q)| (pop.theta(x), q)).collect();
+        let m = weighted::moments(pairs.iter().copied()).expect("profile is a valid measure");
+        ElAnalysis {
+            mean_theta: m.mean,
+            var_theta: m.variance,
+            joint_pfd: m.mean * m.mean + m.variance,
+            independent_pfd: m.mean * m.mean,
+        }
+    }
+
+    /// The conditional probability (eq 7): `P(Π₁ fails on X | Π₂ failed on
+    /// X) = E[Θ] + Var(Θ)/E[Θ]`. Returns `None` when `E[Θ] = 0` (a
+    /// population that never fails).
+    pub fn conditional_pfd(&self) -> Option<f64> {
+        if self.mean_theta == 0.0 {
+            None
+        } else {
+            Some(self.mean_theta + self.var_theta / self.mean_theta)
+        }
+    }
+
+    /// The reliability penalty relative to independence:
+    /// `E[Θ²] / (E[Θ])²`, i.e. how many times likelier a coincident
+    /// failure is than independence predicts. Returns `None` when
+    /// `E[Θ] = 0`.
+    pub fn dependence_ratio(&self) -> Option<f64> {
+        if self.independent_pfd == 0.0 {
+            None
+        } else {
+            Some(self.joint_pfd / self.independent_pfd)
+        }
+    }
+}
+
+/// The per-demand joint probability (eq 4): two independently selected
+/// versions fail *conditionally independently* on any given demand, so the
+/// joint probability on `x` is `θ(x)²`.
+pub fn joint_on_demand(pop: &dyn Population, x: DemandId) -> f64 {
+    let t = pop.theta(x);
+    t * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::{BernoulliPopulation, Population};
+    use std::sync::Arc;
+
+    fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, props).unwrap()
+    }
+
+    #[test]
+    fn hand_computed_two_demand_case() {
+        // θ = (0.2, 0.4), uniform Q.
+        // E[Θ] = 0.3; E[Θ²] = (0.04 + 0.16)/2 = 0.1; Var = 0.01.
+        let pop = singleton_pop(vec![0.2, 0.4]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let a = ElAnalysis::compute(&pop, &q);
+        assert!((a.mean_theta - 0.3).abs() < 1e-12);
+        assert!((a.var_theta - 0.01).abs() < 1e-12);
+        assert!((a.joint_pfd - 0.1).abs() < 1e-12);
+        assert!((a.independent_pfd - 0.09).abs() < 1e-12);
+        assert!((a.conditional_pfd().unwrap() - (0.3 + 0.01 / 0.3)).abs() < 1e-12);
+        assert!((a.dependence_ratio().unwrap() - 0.1 / 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_difficulty_gives_exact_independence() {
+        // θ(x) ≡ 0.25 → Var = 0 → joint = independent (the eq-7 equality
+        // case).
+        let pop = singleton_pop(vec![0.25; 8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let a = ElAnalysis::compute(&pop, &q);
+        assert!(a.var_theta.abs() < 1e-15);
+        assert!((a.joint_pfd - a.independent_pfd).abs() < 1e-15);
+        assert!((a.dependence_ratio().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn varying_difficulty_is_always_worse_than_independence() {
+        // The EL headline result: E[Θ²] ≥ (E[Θ])², strict when θ varies.
+        let pop = singleton_pop(vec![0.05, 0.1, 0.6, 0.01]);
+        let q = UsageProfile::from_weights(pop.model().space(), vec![0.4, 0.3, 0.2, 0.1])
+            .unwrap();
+        let a = ElAnalysis::compute(&pop, &q);
+        assert!(a.joint_pfd > a.independent_pfd);
+        assert!(a.dependence_ratio().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn perfect_population_has_no_conditional() {
+        let pop = singleton_pop(vec![0.0, 0.0]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let a = ElAnalysis::compute(&pop, &q);
+        assert_eq!(a.mean_theta, 0.0);
+        assert!(a.conditional_pfd().is_none());
+        assert!(a.dependence_ratio().is_none());
+    }
+
+    #[test]
+    fn joint_on_demand_is_theta_squared() {
+        let pop = singleton_pop(vec![0.3, 0.6]);
+        assert!((joint_on_demand(&pop, DemandId::new(0)) - 0.09).abs() < 1e-12);
+        assert!((joint_on_demand(&pop, DemandId::new(1)) - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_profile_weights_matter() {
+        // Same θ values, different Q: concentrating usage on the hard
+        // demand raises everything.
+        let pop = singleton_pop(vec![0.1, 0.5]);
+        let uniform = UsageProfile::uniform(pop.model().space());
+        let skewed =
+            UsageProfile::from_weights(pop.model().space(), vec![0.1, 0.9]).unwrap();
+        let a_u = ElAnalysis::compute(&pop, &uniform);
+        let a_s = ElAnalysis::compute(&pop, &skewed);
+        assert!(a_s.mean_theta > a_u.mean_theta);
+        assert!(a_s.joint_pfd > a_u.joint_pfd);
+    }
+}

@@ -1,0 +1,393 @@
+//! Exact analysis of *imperfect* testing on one-fault-per-demand models —
+//! an analytical extension beyond the paper's §4.1 bounds.
+//!
+//! §4.1 of the paper only bounds the imperfect-testing system pfd between
+//! the perfect-testing value and the untested value. In the regime the
+//! paper itself uses for its pure score model — at most one fault per
+//! demand, singleton failure regions — the imperfect process is exactly
+//! solvable:
+//!
+//! Let `ρ` be the per-execution *repair probability* (the probability
+//! that one failing execution leads to the fault's removal; with an
+//! imperfect oracle detecting with probability `d` and an imperfect fixer
+//! removing with probability `r`, `ρ = d·r`). A fault at demand `x`
+//! survives a suite executing `x` `m` times with probability `(1 − ρ)^m`,
+//! independently of everything else. Hence for i.i.d. suites of size `n`
+//! drawn from a test profile `Q_t(·)` (so `M ~ Binomial(n, Q_t(x))`):
+//!
+//! ```text
+//! ζ_ρ(x)                    = p_x · (1 − ρ·Q_t(x))ⁿ
+//! joint, independent suites = p_x² · (1 − ρ·Q_t(x))²ⁿ
+//! joint, shared suite       = p_x² · (1 − ρ(2 − ρ)·Q_t(x))ⁿ
+//! ```
+//!
+//! The per-demand gap between the regimes is
+//! `p_x²·[(1−ρ(2−ρ)q)ⁿ − (1−ρq)²ⁿ] ≥ 0` (it expands to a sum of
+//! `q²ρ²(1−…)` terms), recovering equation (23) ≥ (22) in closed form and
+//! showing the shared-suite penalty *shrinks* as testing gets sloppier —
+//! at `ρ → 0` the regimes coincide because no fixing happens at all.
+
+use diversim_testing::suite::TestSuite;
+use diversim_universe::demand::DemandId;
+use diversim_universe::population::{BernoulliPopulation, Population};
+use diversim_universe::profile::UsageProfile;
+
+use crate::error::CoreError;
+use crate::testing_effect::TestingRegime;
+
+/// Validates the one-fault-per-demand precondition and the repair
+/// probability.
+fn check_preconditions(pop: &BernoulliPopulation, repair_prob: f64) -> Result<(), CoreError> {
+    let model = pop.model();
+    if !model.is_singleton() {
+        return Err(CoreError::ModelMismatch {
+            reason: "imperfect closed forms need singleton failure regions",
+        });
+    }
+    for x in model.space().iter() {
+        if model.faults_at(x).len() > 1 {
+            return Err(CoreError::ModelMismatch {
+                reason: "imperfect closed forms need at most one fault per demand \
+                         (shared detection events correlate co-located faults)",
+            });
+        }
+    }
+    if !repair_prob.is_finite() || !(0.0..=1.0).contains(&repair_prob) {
+        return Err(CoreError::ModelMismatch {
+            reason: "repair probability must lie in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+/// Propensity of the unique fault covering `x` (0 if none).
+fn fault_propensity(pop: &BernoulliPopulation, x: DemandId) -> f64 {
+    pop.model().faults_at(x).first().map(|&f| pop.propensity(f)).unwrap_or(0.0)
+}
+
+/// `ξ_ρ(x, t)`: the probability that a random version, debugged on the
+/// *concrete* suite `t` with per-execution repair probability
+/// `repair_prob`, still fails on `x`. Uses the suite's execution
+/// multiplicities: `p_x·(1−ρ)^{m_x(t)}`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ModelMismatch`] unless the model has singleton
+/// regions with at most one fault per demand and `repair_prob ∈ [0, 1]`.
+pub fn xi_imperfect(
+    pop: &BernoulliPopulation,
+    x: DemandId,
+    suite: &TestSuite,
+    repair_prob: f64,
+) -> Result<f64, CoreError> {
+    check_preconditions(pop, repair_prob)?;
+    let m = suite.demands().iter().filter(|&&y| y == x).count() as i32;
+    Ok(fault_propensity(pop, x) * (1.0 - repair_prob).powi(m))
+}
+
+/// `ζ_ρ(x)` for i.i.d. `n`-demand suites from `test_profile`:
+/// `p_x·(1 − ρ·Q_t(x))ⁿ`.
+///
+/// # Errors
+///
+/// Same preconditions as [`xi_imperfect`].
+pub fn zeta_imperfect_iid(
+    pop: &BernoulliPopulation,
+    x: DemandId,
+    test_profile: &UsageProfile,
+    suite_size: usize,
+    repair_prob: f64,
+) -> Result<f64, CoreError> {
+    check_preconditions(pop, repair_prob)?;
+    let q = test_profile.probability(x);
+    Ok(fault_propensity(pop, x)
+        * (1.0 - repair_prob * q).powi(suite_size.min(i32::MAX as usize) as i32))
+}
+
+/// Joint probability that both versions of a (possibly forced-diversity)
+/// pair fail on `x` after imperfect debugging on i.i.d. `n`-demand suites.
+///
+/// # Errors
+///
+/// Same preconditions as [`xi_imperfect`], applied to both populations.
+pub fn joint_imperfect_iid(
+    pop_a: &BernoulliPopulation,
+    pop_b: &BernoulliPopulation,
+    x: DemandId,
+    test_profile: &UsageProfile,
+    suite_size: usize,
+    repair_prob: f64,
+    regime: TestingRegime,
+) -> Result<f64, CoreError> {
+    check_preconditions(pop_a, repair_prob)?;
+    check_preconditions(pop_b, repair_prob)?;
+    let q = test_profile.probability(x);
+    let n = suite_size.min(i32::MAX as usize) as i32;
+    let pa = fault_propensity(pop_a, x);
+    let pb = fault_propensity(pop_b, x);
+    let joint_survival = match regime {
+        // Two independent Binomial(n, q) exposure counts.
+        TestingRegime::IndependentSuites => (1.0 - repair_prob * q).powi(2 * n),
+        // One shared count; both versions' repairs are independent given
+        // the count: E[(1−ρ)^{2M}] = (1 − q(1 − (1−ρ)²))ⁿ.
+        TestingRegime::SharedSuite => {
+            (1.0 - q * (1.0 - (1.0 - repair_prob) * (1.0 - repair_prob))).powi(n)
+        }
+    };
+    Ok(pa * pb * joint_survival)
+}
+
+/// The marginal system pfd of an imperfectly tested pair under either
+/// regime: `Σ_x joint_ρ(x)·Q(x)` with operational profile `Q` and test
+/// profile `Q_t`.
+///
+/// # Errors
+///
+/// Same preconditions as [`xi_imperfect`].
+#[allow(clippy::too_many_arguments)]
+pub fn marginal_imperfect_iid(
+    pop_a: &BernoulliPopulation,
+    pop_b: &BernoulliPopulation,
+    profile: &UsageProfile,
+    test_profile: &UsageProfile,
+    suite_size: usize,
+    repair_prob: f64,
+    regime: TestingRegime,
+) -> Result<f64, CoreError> {
+    check_preconditions(pop_a, repair_prob)?;
+    check_preconditions(pop_b, repair_prob)?;
+    let mut total = 0.0;
+    for (x, q) in profile.iter() {
+        total += joint_imperfect_iid(
+            pop_a,
+            pop_b,
+            x,
+            test_profile,
+            suite_size,
+            repair_prob,
+            regime,
+        )? * q;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marginal::{MarginalAnalysis, SuiteAssignment};
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use std::sync::Arc;
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, props).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_singleton_models() {
+        let space = DemandSpace::new(2).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space).fault([d(0), d(1)]).build().unwrap(),
+        );
+        let pop = BernoulliPopulation::new(model, vec![0.5]).unwrap();
+        let q = UsageProfile::uniform(space);
+        assert!(zeta_imperfect_iid(&pop, d(0), &q, 1, 0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_multiple_faults_per_demand() {
+        let space = DemandSpace::new(2).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space).fault([d(0)]).fault([d(0)]).build().unwrap(),
+        );
+        let pop = BernoulliPopulation::new(model, vec![0.5, 0.5]).unwrap();
+        let q = UsageProfile::uniform(space);
+        assert!(zeta_imperfect_iid(&pop, d(0), &q, 1, 0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_repair_probability() {
+        let pop = singleton_pop(vec![0.5, 0.5]);
+        let q = UsageProfile::uniform(pop.model().space());
+        assert!(zeta_imperfect_iid(&pop, d(0), &q, 1, 1.5).is_err());
+        assert!(zeta_imperfect_iid(&pop, d(0), &q, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn xi_counts_multiplicities() {
+        // Suite [x0, x0, x1]: fault at x0 survives two repair attempts.
+        let pop = singleton_pop(vec![0.8, 0.8]);
+        let suite = TestSuite::from_demands(
+            pop.model().space(),
+            vec![d(0), d(0), d(1)],
+        )
+        .unwrap();
+        let xi0 = xi_imperfect(&pop, d(0), &suite, 0.5).unwrap();
+        assert!((xi0 - 0.8 * 0.25).abs() < 1e-12);
+        let xi1 = xi_imperfect(&pop, d(1), &suite, 0.5).unwrap();
+        assert!((xi1 - 0.8 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_one_recovers_perfect_testing() {
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let n = 2;
+        let m = enumerate_iid_suites(&q, n, 64).unwrap();
+        for regime in [TestingRegime::IndependentSuites, TestingRegime::SharedSuite] {
+            let exact = match regime {
+                TestingRegime::IndependentSuites => MarginalAnalysis::compute(
+                    &pop,
+                    &pop,
+                    SuiteAssignment::independent(&m),
+                    &q,
+                )
+                .system_pfd(),
+                TestingRegime::SharedSuite => {
+                    MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q)
+                        .system_pfd()
+                }
+            };
+            let closed =
+                marginal_imperfect_iid(&pop, &pop, &q, &q, n, 1.0, regime).unwrap();
+            assert!(
+                (exact - closed).abs() < 1e-12,
+                "ρ=1 mismatch under {regime}: {exact} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn rho_zero_recovers_untested_el() {
+        let pop = singleton_pop(vec![0.3, 0.6, 0.9]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let el = crate::el::ElAnalysis::compute(&pop, &q);
+        for regime in [TestingRegime::IndependentSuites, TestingRegime::SharedSuite] {
+            let closed =
+                marginal_imperfect_iid(&pop, &pop, &q, &q, 10, 0.0, regime).unwrap();
+            assert!((closed - el.joint_pfd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shared_dominates_independent_for_all_rho() {
+        let pop = singleton_pop(vec![0.2, 0.5, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        for &rho in &[0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            for n in [1usize, 4, 16] {
+                let ind = marginal_imperfect_iid(
+                    &pop,
+                    &pop,
+                    &q,
+                    &q,
+                    n,
+                    rho,
+                    TestingRegime::IndependentSuites,
+                )
+                .unwrap();
+                let sh = marginal_imperfect_iid(
+                    &pop,
+                    &pop,
+                    &q,
+                    &q,
+                    n,
+                    rho,
+                    TestingRegime::SharedSuite,
+                )
+                .unwrap();
+                assert!(sh + 1e-15 >= ind, "shared < independent at rho={rho}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_shrinks_as_testing_gets_sloppier() {
+        // The shared-suite penalty at fixed n is increasing in ρ.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let mut last_penalty = 0.0;
+        for &rho in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            let ind = marginal_imperfect_iid(
+                &pop,
+                &pop,
+                &q,
+                &q,
+                4,
+                rho,
+                TestingRegime::IndependentSuites,
+            )
+            .unwrap();
+            let sh =
+                marginal_imperfect_iid(&pop, &pop, &q, &q, 4, rho, TestingRegime::SharedSuite)
+                    .unwrap();
+            let penalty = sh - ind;
+            assert!(penalty + 1e-15 >= last_penalty, "penalty fell as ρ grew to {rho}");
+            last_penalty = penalty;
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_monte_carlo() {
+        use diversim_sim_free::check_against_mc;
+        check_against_mc();
+    }
+
+    /// Minimal in-module Monte Carlo cross-check (the full pipeline check
+    /// lives in the integration tests; this keeps the module self-auditing
+    /// without depending on `diversim-sim`).
+    mod diversim_sim_free {
+        use super::super::*;
+        use diversim_universe::demand::DemandSpace;
+        use diversim_universe::fault::FaultModelBuilder;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::sync::Arc;
+
+        pub fn check_against_mc() {
+            let space = DemandSpace::new(3).unwrap();
+            let model = Arc::new(
+                FaultModelBuilder::new(space).singleton_faults().build().unwrap(),
+            );
+            let pop =
+                BernoulliPopulation::new(Arc::clone(&model), vec![0.5, 0.7, 0.9]).unwrap();
+            let q = UsageProfile::from_weights(space, vec![0.5, 0.3, 0.2]).unwrap();
+            let rho = 0.6;
+            let n = 4usize;
+            let reps = 200_000;
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut fails = [0u64; 3];
+            for _ in 0..reps {
+                // Sample version, sample suite, apply per-execution repair.
+                let mut present: Vec<bool> =
+                    pop.propensities().iter().map(|&p| rng.gen::<f64>() < p).collect();
+                for _ in 0..n {
+                    let y = q.sample(&mut rng);
+                    if present[y.index()] && rng.gen::<f64>() < rho {
+                        present[y.index()] = false;
+                    }
+                }
+                for (i, &alive) in present.iter().enumerate() {
+                    if alive {
+                        fails[i] += 1;
+                    }
+                }
+            }
+            for x in space.iter() {
+                let mc = fails[x.index()] as f64 / reps as f64;
+                let closed = zeta_imperfect_iid(&pop, x, &q, n, rho).unwrap();
+                assert!(
+                    (mc - closed).abs() < 0.005,
+                    "MC {mc} vs closed form {closed} at {x}"
+                );
+            }
+        }
+    }
+}

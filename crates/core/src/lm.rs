@@ -1,0 +1,183 @@
+//! The Littlewood–Miller forced-diversity model (equations (8)–(10)).
+//!
+//! With two *different* methodologies `A` and `B` (two measures over the
+//! program population), the joint probability of failure on a random
+//! demand is
+//!
+//! ```text
+//! P(both fail on X) = E[Θ_A Θ_B] = E[Θ_A]E[Θ_B] + Cov(Θ_A, Θ_B)   (eq 9)
+//! ```
+//!
+//! and "since it is possible that Cov(Θ_A, Θ_B) < 0, it follows that using
+//! different design methodologies it is possible in this model to do even
+//! better than the (unattainable) goal of independent performance of
+//! versions in the single methodology case" — the paper's main recalled
+//! result from \[2\].
+
+use diversim_stats::weighted;
+use diversim_universe::demand::DemandId;
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+
+/// The quantities of the Littlewood–Miller analysis for a methodology
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmAnalysis {
+    /// `E[Θ_A]`: pfd of a random version from methodology A.
+    pub mean_theta_a: f64,
+    /// `E[Θ_B]`: pfd of a random version from methodology B.
+    pub mean_theta_b: f64,
+    /// `Cov(Θ_A, Θ_B)` over the random demand `X`.
+    pub covariance: f64,
+    /// `E[Θ_A Θ_B]`: joint pfd of the pair on a random demand (eq 9).
+    pub joint_pfd: f64,
+    /// `E[Θ_A]·E[Θ_B]`: the joint pfd if the versions failed
+    /// independently.
+    pub independent_pfd: f64,
+}
+
+impl LmAnalysis {
+    /// Computes the analysis from two populations over the same demand
+    /// space and one usage profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the populations are defined over different demand spaces.
+    pub fn compute(
+        pop_a: &dyn Population,
+        pop_b: &dyn Population,
+        profile: &UsageProfile,
+    ) -> Self {
+        assert_eq!(
+            pop_a.model().space(),
+            pop_b.model().space(),
+            "populations must share a demand space"
+        );
+        let triples: Vec<((f64, f64), f64)> = profile
+            .iter()
+            .map(|(x, q)| ((pop_a.theta(x), pop_b.theta(x)), q))
+            .collect();
+        let cov = weighted::covariance(triples.iter().copied())
+            .expect("profile is a valid measure");
+        let mean_a = weighted::mean(triples.iter().map(|&((a, _), q)| (a, q)))
+            .expect("profile is a valid measure");
+        let mean_b = weighted::mean(triples.iter().map(|&((_, b), q)| (b, q)))
+            .expect("profile is a valid measure");
+        LmAnalysis {
+            mean_theta_a: mean_a,
+            mean_theta_b: mean_b,
+            covariance: cov,
+            joint_pfd: mean_a * mean_b + cov,
+            independent_pfd: mean_a * mean_b,
+        }
+    }
+
+    /// The conditional probability (eq 10): `P(Π_A fails | Π_B failed) =
+    /// Cov(Θ_A,Θ_B)/E[Θ_B] + E[Θ_A]`. Returns `None` when `E[Θ_B] = 0`.
+    pub fn conditional_a_given_b(&self) -> Option<f64> {
+        if self.mean_theta_b == 0.0 {
+            None
+        } else {
+            Some(self.covariance / self.mean_theta_b + self.mean_theta_a)
+        }
+    }
+
+    /// `true` if forced diversity beats independence here — i.e. the
+    /// covariance is negative (the paper's headline possibility).
+    pub fn beats_independence(&self) -> bool {
+        self.covariance < 0.0
+    }
+}
+
+/// Per-demand joint probability for a forced-diversity pair on a *fixed*
+/// demand (the conditional-independence identity behind eq 8):
+/// `θ_A(x)·θ_B(x)`.
+pub fn joint_on_demand(pop_a: &dyn Population, pop_b: &dyn Population, x: DemandId) -> f64 {
+    pop_a.theta(x) * pop_b.theta(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::generator::mirrored_pair;
+    use diversim_universe::population::{BernoulliPopulation, Population};
+    use std::sync::Arc;
+
+    fn singleton_model(n: usize) -> Arc<diversim_universe::fault::FaultModel> {
+        let space = DemandSpace::new(n).unwrap();
+        Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap())
+    }
+
+    #[test]
+    fn hand_computed_negative_covariance() {
+        // θ_A = (0.4, 0.1), θ_B = (0.1, 0.4), uniform Q.
+        // E[A] = E[B] = 0.25; E[AB] = (0.04 + 0.04)/2 = 0.04;
+        // Cov = 0.04 − 0.0625 = −0.0225.
+        let m = singleton_model(2);
+        let a = BernoulliPopulation::new(m.clone(), vec![0.4, 0.1]).unwrap();
+        let b = BernoulliPopulation::new(m.clone(), vec![0.1, 0.4]).unwrap();
+        let q = UsageProfile::uniform(m.space());
+        let lm = LmAnalysis::compute(&a, &b, &q);
+        assert!((lm.mean_theta_a - 0.25).abs() < 1e-12);
+        assert!((lm.mean_theta_b - 0.25).abs() < 1e-12);
+        assert!((lm.covariance + 0.0225).abs() < 1e-12);
+        assert!((lm.joint_pfd - 0.04).abs() < 1e-12);
+        assert!(lm.beats_independence());
+        // Conditional (eq 10): −0.0225/0.25 + 0.25 = 0.16.
+        assert!((lm.conditional_a_given_b().unwrap() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_methodologies_reduce_to_el() {
+        // A = B: Cov(Θ_A, Θ_B) = Var(Θ) and eq 9 reduces to eq 6.
+        let m = singleton_model(3);
+        let pop = BernoulliPopulation::new(m.clone(), vec![0.1, 0.3, 0.5]).unwrap();
+        let q = UsageProfile::uniform(m.space());
+        let lm = LmAnalysis::compute(&pop, &pop, &q);
+        let el = crate::el::ElAnalysis::compute(&pop, &q);
+        assert!((lm.joint_pfd - el.joint_pfd).abs() < 1e-12);
+        assert!((lm.covariance - el.var_theta).abs() < 1e-12);
+        assert!(!lm.beats_independence(), "self-covariance is a variance ≥ 0");
+    }
+
+    #[test]
+    fn mirrored_pair_generator_produces_negative_covariance() {
+        let m = singleton_model(10);
+        let (a, b) = mirrored_pair(&m, 0.6, 0.05).unwrap();
+        let q = UsageProfile::uniform(m.space());
+        let lm = LmAnalysis::compute(&a, &b, &q);
+        assert!(lm.covariance < 0.0, "mirrored propensities must anti-correlate");
+        assert!(lm.joint_pfd < lm.independent_pfd);
+    }
+
+    #[test]
+    fn positive_covariance_when_methodologies_agree_on_difficulty() {
+        // Both methodologies find the same demands hard.
+        let m = singleton_model(2);
+        let a = BernoulliPopulation::new(m.clone(), vec![0.5, 0.05]).unwrap();
+        let b = BernoulliPopulation::new(m.clone(), vec![0.4, 0.04]).unwrap();
+        let q = UsageProfile::uniform(m.space());
+        let lm = LmAnalysis::compute(&a, &b, &q);
+        assert!(lm.covariance > 0.0);
+        assert!(lm.joint_pfd > lm.independent_pfd);
+    }
+
+    #[test]
+    fn joint_on_demand_is_product_of_thetas() {
+        let m = singleton_model(2);
+        let a = BernoulliPopulation::new(m.clone(), vec![0.4, 0.1]).unwrap();
+        let b = BernoulliPopulation::new(m.clone(), vec![0.1, 0.4]).unwrap();
+        assert!((joint_on_demand(&a, &b, DemandId::new(0)) - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a demand space")]
+    fn mismatched_spaces_panic() {
+        let a = BernoulliPopulation::new(singleton_model(2), vec![0.1, 0.2]).unwrap();
+        let b = BernoulliPopulation::new(singleton_model(3), vec![0.1, 0.2, 0.3]).unwrap();
+        let q = UsageProfile::uniform(a.model().space());
+        let _ = LmAnalysis::compute(&a, &b, &q);
+    }
+}

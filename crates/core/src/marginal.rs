@@ -1,0 +1,355 @@
+//! Marginal (system-level) probabilities of coincident failure —
+//! equations (22)–(25) of §3.4.
+//!
+//! These integrate the per-demand results of [`crate::testing_effect`]
+//! over the operational profile `Q(·)`, giving the probability that a
+//! 1-out-of-2 system built from the tested pair fails on a random demand:
+//!
+//! ```text
+//! (22) independent suites, same population:
+//!        Σ_x ζ(x)² Q(x)                   = E[Θ_T]² + Var(Θ_T)
+//! (23) shared suite, same population:
+//!        (22) + Σ_x Var_Ξ(ξ(x,T)) Q(x)    ≥ (22)
+//! (24) independent suites, forced diversity:
+//!        Σ_x ζ_A(x)ζ_B(x) Q(x)            = E[Θ_TA]E[Θ_TB] + Cov(Θ_TA, Θ_TB)
+//! (25) shared suite, forced diversity:
+//!        (24) + Σ_x Cov_Ξ(ξ_A(x,T), ξ_B(x,T)) Q(x)
+//! ```
+//!
+//! The (23)−(22) gap is always non-negative — "the use of a common test
+//! suite increases the marginal probability of system failure" — while
+//! the (25)−(24) gap can take either sign, so with forced diversity a
+//! shared suite *can* beat independent suites ("counterintuitive because
+//! it means that by testing more cheaply … a more reliable system can be
+//! delivered").
+
+use diversim_stats::weighted;
+use diversim_testing::suite_population::ExplicitSuitePopulation;
+use diversim_universe::profile::UsageProfile;
+
+use crate::difficulty::TestedDifficulty;
+use crate::testing_effect::{joint_independent_suites, joint_shared_suite, TestingRegime};
+
+/// How suites are assigned to the two versions for a marginal analysis.
+#[derive(Debug, Clone, Copy)]
+pub enum SuiteAssignment<'a> {
+    /// Each version debugged on its own independently drawn suite;
+    /// the two procedures may differ (forced testing diversity).
+    Independent {
+        /// Measure generating version A's suites.
+        measure_a: &'a ExplicitSuitePopulation,
+        /// Measure generating version B's suites.
+        measure_b: &'a ExplicitSuitePopulation,
+    },
+    /// One suite drawn from the measure and applied to both versions.
+    Shared(&'a ExplicitSuitePopulation),
+}
+
+impl<'a> SuiteAssignment<'a> {
+    /// Both versions' suites drawn independently from one procedure.
+    pub fn independent(measure: &'a ExplicitSuitePopulation) -> Self {
+        SuiteAssignment::Independent { measure_a: measure, measure_b: measure }
+    }
+
+    /// The corresponding [`TestingRegime`].
+    pub fn regime(&self) -> TestingRegime {
+        match self {
+            SuiteAssignment::Independent { .. } => TestingRegime::IndependentSuites,
+            SuiteAssignment::Shared(_) => TestingRegime::SharedSuite,
+        }
+    }
+}
+
+/// The decomposed marginal probability of coincident failure of a tested
+/// pair (eqs 22–25).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginalAnalysis {
+    /// `E[Θ_TA]·E[Θ_TB]` — the value if the tested versions failed
+    /// independently across both development and demand selection.
+    pub mean_product: f64,
+    /// `Cov_Q(Θ_TA, Θ_TB)` (for one population: `Var_Q(Θ_T)`) — the
+    /// Eckhardt–Lee-style penalty from difficulty variation, surviving
+    /// after testing.
+    pub difficulty_covariance: f64,
+    /// `Σ_x Cov_Ξ(ξ_A(x,T), ξ_B(x,T)) Q(x)` (for one population:
+    /// `Σ_x Var_Ξ(ξ(x,T)) Q(x)`) — the extra coupling induced by sharing
+    /// one suite. Zero under independent suites.
+    pub suite_coupling: f64,
+    /// `E[Θ_TA]`: mean post-testing pfd of version A.
+    pub mean_pfd_a: f64,
+    /// `E[Θ_TB]`: mean post-testing pfd of version B.
+    pub mean_pfd_b: f64,
+}
+
+impl MarginalAnalysis {
+    /// The marginal probability that both tested versions fail on a random
+    /// demand — the 1-out-of-2 system pfd. Clamped at zero to absorb
+    /// negative rounding residue from the decomposition.
+    pub fn system_pfd(&self) -> f64 {
+        (self.mean_product + self.difficulty_covariance + self.suite_coupling).max(0.0)
+    }
+
+    /// The system pfd a (wrong, post-testing) independence assumption
+    /// would predict.
+    pub fn independence_prediction(&self) -> f64 {
+        self.mean_product
+    }
+
+    /// Computes the marginal analysis for a tested pair.
+    ///
+    /// Pass the same population twice for the unforced (single-population)
+    /// case; then `difficulty_covariance = Var(Θ_T)` and `suite_coupling =
+    /// Σ Var_Ξ(ξ)Q` as in eqs (22)–(23).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the populations are over different demand spaces.
+    pub fn compute(
+        pop_a: &dyn TestedDifficulty,
+        pop_b: &dyn TestedDifficulty,
+        assignment: SuiteAssignment<'_>,
+        profile: &UsageProfile,
+    ) -> Self {
+        assert_eq!(
+            pop_a.model().space(),
+            pop_b.model().space(),
+            "populations must share a demand space"
+        );
+        // Per-demand ζ values and joint probabilities.
+        let mut zeta_triples: Vec<((f64, f64), f64)> = Vec::with_capacity(profile.space().len());
+        let mut coupling = 0.0;
+        for (x, q) in profile.iter() {
+            let joint = match assignment {
+                SuiteAssignment::Independent { measure_a, measure_b } => {
+                    joint_independent_suites(pop_a, pop_b, measure_a, measure_b, x)
+                }
+                SuiteAssignment::Shared(measure) => {
+                    joint_shared_suite(pop_a, pop_b, measure, x)
+                }
+            };
+            coupling += joint.coupling * q;
+            let (za, zb) = match assignment {
+                SuiteAssignment::Independent { measure_a, measure_b } => (
+                    crate::difficulty::zeta(pop_a, x, measure_a),
+                    crate::difficulty::zeta(pop_b, x, measure_b),
+                ),
+                SuiteAssignment::Shared(measure) => (
+                    crate::difficulty::zeta(pop_a, x, measure),
+                    crate::difficulty::zeta(pop_b, x, measure),
+                ),
+            };
+            zeta_triples.push(((za, zb), q));
+        }
+        let cov = weighted::covariance(zeta_triples.iter().copied())
+            .expect("profile is a valid measure");
+        let mean_a = weighted::mean(zeta_triples.iter().map(|&((a, _), q)| (a, q)))
+            .expect("profile is a valid measure");
+        let mean_b = weighted::mean(zeta_triples.iter().map(|&((_, b), q)| (b, q)))
+            .expect("profile is a valid measure");
+        MarginalAnalysis {
+            mean_product: mean_a * mean_b,
+            difficulty_covariance: cov,
+            suite_coupling: coupling,
+            mean_pfd_a: mean_a,
+            mean_pfd_b: mean_b,
+        }
+    }
+}
+
+/// The shared-vs-independent penalty of §3.4.1: the difference between
+/// eq (23) and eq (22) (or (25) and (24) under forced diversity), i.e. the
+/// usage-weighted suite coupling. Non-negative for a single population;
+/// either sign under forced diversity.
+pub fn shared_suite_penalty(
+    pop_a: &dyn TestedDifficulty,
+    pop_b: &dyn TestedDifficulty,
+    measure: &ExplicitSuitePopulation,
+    profile: &UsageProfile,
+) -> f64 {
+    let shared =
+        MarginalAnalysis::compute(pop_a, pop_b, SuiteAssignment::Shared(measure), profile);
+    shared.suite_coupling
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::{BernoulliPopulation, Population};
+    use std::sync::Arc;
+
+    fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, props).unwrap()
+    }
+
+    #[test]
+    fn eq22_hand_computed() {
+        // p = (0.4, 0.8), uniform Q, one i.i.d. draw:
+        // ζ = (0.2, 0.4); Σ ζ² Q = (0.04 + 0.16)/2 = 0.10.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let a = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+        assert!((a.system_pfd() - 0.10).abs() < 1e-12);
+        // Decomposition: E[Θ_T] = 0.3, Var = 0.01.
+        assert!((a.mean_pfd_a - 0.3).abs() < 1e-12);
+        assert!((a.mean_product - 0.09).abs() < 1e-12);
+        assert!((a.difficulty_covariance - 0.01).abs() < 1e-12);
+        assert_eq!(a.suite_coupling, 0.0);
+    }
+
+    #[test]
+    fn eq23_hand_computed() {
+        // Same setting, shared suite:
+        // E[ξ(x0,T)²] = 0.08, E[ξ(x1,T)²] = 0.32 → Σ Q = 0.20.
+        // Coupling = 0.20 − 0.10 = Σ Var_Ξ Q = (0.04 + 0.16)/2 = 0.10.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let a = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+        assert!((a.system_pfd() - 0.20).abs() < 1e-12);
+        assert!((a.suite_coupling - 0.10).abs() < 1e-12);
+        assert!((shared_suite_penalty(&pop, &pop, &m, &q) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq23_dominates_eq22_across_universes() {
+        // The §3.4.1 headline: shared ≥ independent, for every suite size.
+        let pop = singleton_pop(vec![0.1, 0.35, 0.6, 0.85]);
+        let q = UsageProfile::from_weights(
+            pop.model().space(),
+            vec![0.4, 0.3, 0.2, 0.1],
+        )
+        .unwrap();
+        for n in 0..5 {
+            let m = enumerate_iid_suites(&q, n, 1 << 10).unwrap();
+            let ind =
+                MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+            let sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+            assert!(
+                sh.system_pfd() + 1e-15 >= ind.system_pfd(),
+                "shared < independent at n={n}"
+            );
+            assert!(sh.suite_coupling >= -1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_testing_recovers_el_joint() {
+        let pop = singleton_pop(vec![0.25, 0.5, 0.75]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 0, 4).unwrap();
+        let el = crate::el::ElAnalysis::compute(&pop, &q);
+        for assignment in
+            [SuiteAssignment::independent(&m), SuiteAssignment::Shared(&m)]
+        {
+            let a = MarginalAnalysis::compute(&pop, &pop, assignment, &q);
+            assert!((a.system_pfd() - el.joint_pfd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eq24_forced_diversity_mirrored_pair() {
+        // A = (0.4, 0.1), B = (0.1, 0.4); one uniform draw:
+        // ζ_A = (0.2, 0.05), ζ_B = (0.05, 0.2);
+        // (24) = Σ ζ_Aζ_B Q = (0.01 + 0.01)/2 = 0.01.
+        let space = DemandSpace::new(2).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let a = BernoulliPopulation::new(model.clone(), vec![0.4, 0.1]).unwrap();
+        let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.4]).unwrap();
+        let q = UsageProfile::uniform(space);
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let ind = MarginalAnalysis::compute(&a, &b, SuiteAssignment::independent(&m), &q);
+        assert!((ind.system_pfd() - 0.01).abs() < 1e-12);
+        // Negative difficulty covariance survives testing here.
+        assert!(ind.difficulty_covariance < 0.0);
+    }
+
+    #[test]
+    fn eq25_coupling_can_be_positive_for_forced_diversity() {
+        // With singleton faults and mirrored propensities the suite
+        // coupling Σ Cov_Ξ Q is positive (same suites kill both versions'
+        // faults on the same demands).
+        let space = DemandSpace::new(2).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let a = BernoulliPopulation::new(model.clone(), vec![0.8, 0.1]).unwrap();
+        let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.8]).unwrap();
+        let q = UsageProfile::uniform(space);
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let sh = MarginalAnalysis::compute(&a, &b, SuiteAssignment::Shared(&m), &q);
+        assert!(sh.suite_coupling > 0.0);
+    }
+
+    #[test]
+    fn eq25_coupling_can_be_negative_for_forced_diversity() {
+        // Engineered sign flip: faults with *overlapping* regions make a
+        // suite that kills A's fault on x also kill B's fault on a
+        // *different* demand, letting ξ_A(x,T) and ξ_B(x,T) move in
+        // opposite directions across suites.
+        //
+        // 2 demands; fault 0 covers {x0} (A-prone), fault 1 covers
+        // {x0, x1} (B-prone). On demand x1:
+        //   suites covering x0 kill fault 1 → ξ_B(x1) = 0, while ξ_A is 0
+        //   anyway; suites covering only x1 also kill fault 1.
+        // Use demand x0 instead:
+        //   T = {x0}: kills both faults → ξ_A = 0, ξ_B = 0
+        //   T = {x1}: kills fault 1 only → ξ_A = 0.9, ξ_B = 0
+        // Still co-moving. To get a true negative we need ≥ 3 demands:
+        //   fault a covers {x0, x1} (A-prone), fault b covers {x0, x2}
+        //   (B-prone). On x0:
+        //     T={x1}: kills a → ξ_A=0,  ξ_B=pb
+        //     T={x2}: kills b → ξ_A=pa, ξ_B=0
+        //     T={x0}: kills both → 0, 0
+        //   ξ_A and ξ_B anti-move across suites ⇒ Cov < 0.
+        let space = DemandSpace::new(3).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault([diversim_universe::DemandId::new(0), diversim_universe::DemandId::new(1)])
+                .fault([diversim_universe::DemandId::new(0), diversim_universe::DemandId::new(2)])
+                .build()
+                .unwrap(),
+        );
+        let a = BernoulliPopulation::new(model.clone(), vec![0.9, 0.0]).unwrap();
+        let b = BernoulliPopulation::new(model.clone(), vec![0.0, 0.9]).unwrap();
+        let q = UsageProfile::uniform(space);
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let sh = MarginalAnalysis::compute(&a, &b, SuiteAssignment::Shared(&m), &q);
+        assert!(
+            sh.suite_coupling < 0.0,
+            "expected negative coupling, got {}",
+            sh.suite_coupling
+        );
+        // And therefore the counterintuitive ordering: shared beats
+        // independent here.
+        let ind = MarginalAnalysis::compute(&a, &b, SuiteAssignment::independent(&m), &q);
+        assert!(sh.system_pfd() < ind.system_pfd());
+    }
+
+    #[test]
+    fn independence_prediction_is_mean_product() {
+        let pop = singleton_pop(vec![0.3, 0.5]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let a = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+        assert!((a.independence_prediction() - a.mean_pfd_a * a.mean_pfd_b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn assignment_regime_mapping() {
+        let pop = singleton_pop(vec![0.5]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 8).unwrap();
+        assert_eq!(
+            SuiteAssignment::independent(&m).regime(),
+            TestingRegime::IndependentSuites
+        );
+        assert_eq!(SuiteAssignment::Shared(&m).regime(), TestingRegime::SharedSuite);
+    }
+}

@@ -1,0 +1,182 @@
+//! 1-out-of-N generalisation of the pair results — an extension in the
+//! spirit of the paper's §5 ("applying more than one activity to the
+//! diverse channels").
+//!
+//! A 1-out-of-N system fails on a demand only if *all* N versions fail.
+//! For versions drawn independently and tested on **independent** suites,
+//! conditional independence per demand survives (the §3.1 argument
+//! iterates over any number of channels), so
+//!
+//! ```text
+//! P(all fail on x) = Π_i ζ_i(x)
+//! ```
+//!
+//! For a **shared** suite the coupling generalises eq (20)/(21) to the
+//! N-fold mixed moment `E_Ξ[Π_i ξ_i(x, T)]`.
+
+use diversim_testing::suite_population::ExplicitSuitePopulation;
+use diversim_universe::demand::DemandId;
+use diversim_universe::profile::UsageProfile;
+
+use crate::difficulty::{zeta, TestedDifficulty};
+use crate::testing_effect::TestingRegime;
+
+/// Joint probability that all `pops` versions fail on demand `x`, each
+/// version tested on its own independently drawn suite from `measure`.
+///
+/// # Panics
+///
+/// Panics if `pops` is empty.
+pub fn all_fail_on_demand_independent(
+    pops: &[&dyn TestedDifficulty],
+    measure: &ExplicitSuitePopulation,
+    x: DemandId,
+) -> f64 {
+    assert!(!pops.is_empty(), "a system needs at least one channel");
+    pops.iter().map(|p| zeta(*p, x, measure)).product()
+}
+
+/// Joint probability that all `pops` versions fail on demand `x` when all
+/// are debugged on **one** shared suite: `E_Ξ[Π_i ξ_i(x, T)]`.
+///
+/// # Panics
+///
+/// Panics if `pops` is empty.
+pub fn all_fail_on_demand_shared(
+    pops: &[&dyn TestedDifficulty],
+    measure: &ExplicitSuitePopulation,
+    x: DemandId,
+) -> f64 {
+    assert!(!pops.is_empty(), "a system needs at least one channel");
+    measure.expect(|t| {
+        let covered = t.demand_set();
+        pops.iter().map(|p| p.xi(x, covered)).product()
+    })
+}
+
+/// Marginal probability that a 1-out-of-N system fails on a random demand,
+/// under the given testing regime.
+///
+/// # Panics
+///
+/// Panics if `pops` is empty or the populations disagree on the demand
+/// space.
+pub fn system_pfd_n(
+    pops: &[&dyn TestedDifficulty],
+    measure: &ExplicitSuitePopulation,
+    profile: &UsageProfile,
+    regime: TestingRegime,
+) -> f64 {
+    assert!(!pops.is_empty(), "a system needs at least one channel");
+    for p in pops {
+        assert_eq!(
+            p.model().space(),
+            profile.space(),
+            "population and profile must share a demand space"
+        );
+    }
+    profile.expect(|x| match regime {
+        TestingRegime::IndependentSuites => all_fail_on_demand_independent(pops, measure, x),
+        TestingRegime::SharedSuite => all_fail_on_demand_shared(pops, measure, x),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marginal::{MarginalAnalysis, SuiteAssignment};
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::{BernoulliPopulation, Population};
+    use std::sync::Arc;
+
+    fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, props).unwrap()
+    }
+
+    #[test]
+    fn n_equals_two_matches_pair_analysis() {
+        let pop = singleton_pop(vec![0.3, 0.6]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let pair_ind =
+            MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q)
+                .system_pfd();
+        let n_ind = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::IndependentSuites);
+        assert!((pair_ind - n_ind).abs() < 1e-12);
+        let pair_sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q)
+            .system_pfd();
+        let n_sh = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::SharedSuite);
+        assert!((pair_sh - n_sh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_channels_never_hurt() {
+        let pop = singleton_pop(vec![0.4, 0.7]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        for regime in [TestingRegime::IndependentSuites, TestingRegime::SharedSuite] {
+            let two = system_pfd_n(&[&pop, &pop], &m, &q, regime);
+            let three = system_pfd_n(&[&pop, &pop, &pop], &m, &q, regime);
+            let four = system_pfd_n(&[&pop, &pop, &pop, &pop], &m, &q, regime);
+            assert!(three <= two + 1e-15, "third channel hurt under {regime}");
+            assert!(four <= three + 1e-15, "fourth channel hurt under {regime}");
+        }
+    }
+
+    #[test]
+    fn shared_suite_dominates_independent_for_n_channels() {
+        // The eq-20 domination generalises: the N-fold mixed moment over a
+        // common T exceeds the product of means (all ξ_i co-move in T).
+        let pop = singleton_pop(vec![0.2, 0.5, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        for n_channels in 2..=4 {
+            let pops: Vec<&dyn TestedDifficulty> =
+                (0..n_channels).map(|_| &pop as &dyn TestedDifficulty).collect();
+            let ind = system_pfd_n(&pops, &m, &q, TestingRegime::IndependentSuites);
+            let sh = system_pfd_n(&pops, &m, &q, TestingRegime::SharedSuite);
+            assert!(sh + 1e-15 >= ind, "shared < independent for N={n_channels}");
+        }
+    }
+
+    #[test]
+    fn single_channel_equals_mean_tested_pfd() {
+        let pop = singleton_pop(vec![0.25, 0.75]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let one_ind = system_pfd_n(&[&pop], &m, &q, TestingRegime::IndependentSuites);
+        let one_sh = system_pfd_n(&[&pop], &m, &q, TestingRegime::SharedSuite);
+        // With one channel the regimes coincide: E over T of ξ.
+        assert!((one_ind - one_sh).abs() < 1e-12);
+        // ζ = (0.125, 0.375) → mean tested pfd = 0.25.
+        assert!((one_ind - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_channels() {
+        // Mixed methodologies: a strong channel added to two weak ones.
+        let weak = singleton_pop(vec![0.5, 0.5]);
+        let strong = BernoulliPopulation::new(weak.model().clone(), vec![0.01, 0.01]).unwrap();
+        let q = UsageProfile::uniform(weak.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let without =
+            system_pfd_n(&[&weak, &weak], &m, &q, TestingRegime::IndependentSuites);
+        let with =
+            system_pfd_n(&[&weak, &weak, &strong], &m, &q, TestingRegime::IndependentSuites);
+        assert!(with < without * 0.1, "strong channel should slash the pfd");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_system_panics() {
+        let pop = singleton_pop(vec![0.5]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 8).unwrap();
+        let _ = system_pfd_n(&[], &m, &q, TestingRegime::SharedSuite);
+    }
+}

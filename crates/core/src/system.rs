@@ -1,0 +1,160 @@
+//! System-level reliability of *concrete* version tuples.
+//!
+//! [`crate::marginal`] works with population expectations; this module
+//! evaluates actual versions (as produced by a simulated debugging
+//! campaign): the pfd of a single version and of 1-out-of-N systems built
+//! from specific versions, where the system fails on a demand only if
+//! *every* version fails on it (perfect adjudication, as assumed
+//! throughout the paper).
+
+use diversim_universe::bitset::BitSet;
+use diversim_universe::demand::DemandId;
+use diversim_universe::fault::FaultModel;
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+/// The demands on which a 1-out-of-N system of the given versions fails:
+/// the intersection of the versions' failure sets.
+///
+/// # Panics
+///
+/// Panics if `versions` is empty.
+pub fn system_failure_set(versions: &[&Version], model: &FaultModel) -> BitSet {
+    assert!(!versions.is_empty(), "a system needs at least one version");
+    let mut acc = versions[0].failure_set(model);
+    for v in &versions[1..] {
+        acc.intersect_with(&v.failure_set(model));
+    }
+    acc
+}
+
+/// Probability that a 1-out-of-2 system of two concrete versions fails on
+/// a random demand: `Σ_x υ(π₁,x)·υ(π₂,x)·Q(x)`.
+pub fn pair_pfd(
+    v1: &Version,
+    v2: &Version,
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> f64 {
+    system_pfd(&[v1, v2], model, profile)
+}
+
+/// Probability that a 1-out-of-N system of concrete versions fails on a
+/// random demand (all versions fail simultaneously).
+///
+/// # Panics
+///
+/// Panics if `versions` is empty.
+pub fn system_pfd(versions: &[&Version], model: &FaultModel, profile: &UsageProfile) -> f64 {
+    system_failure_set(versions, model)
+        .iter()
+        .map(|i| profile.probability(DemandId::new(i as u32)))
+        .sum()
+}
+
+/// Reliability improvement factor of the pair over its better version:
+/// `min(pfd₁, pfd₂) / pair_pfd`. Returns `None` when the pair never fails
+/// (infinite improvement).
+pub fn diversity_gain(
+    v1: &Version,
+    v2: &Version,
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> Option<f64> {
+    let pair = pair_pfd(v1, v2, model, profile);
+    if pair == 0.0 {
+        return None;
+    }
+    let best = v1.pfd(model, profile).min(v2.pfd(model, profile));
+    Some(best / pair)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::{FaultId, FaultModelBuilder};
+
+    fn f(i: u32) -> FaultId {
+        FaultId::new(i)
+    }
+
+    /// Singleton model over 4 demands.
+    fn model() -> FaultModel {
+        FaultModelBuilder::new(DemandSpace::new(4).unwrap())
+            .singleton_faults()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pair_fails_only_on_shared_demands() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let v1 = Version::from_faults(&m, [f(0), f(1)]);
+        let v2 = Version::from_faults(&m, [f(1), f(2)]);
+        // Intersection = {x1} → pair pfd = 0.25.
+        assert!((pair_pfd(&v1, &v2, &m, &q) - 0.25).abs() < 1e-12);
+        let fs = system_failure_set(&[&v1, &v2], &m);
+        assert_eq!(fs.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn disjoint_versions_never_fail_together() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let v1 = Version::from_faults(&m, [f(0)]);
+        let v2 = Version::from_faults(&m, [f(3)]);
+        assert_eq!(pair_pfd(&v1, &v2, &m, &q), 0.0);
+        assert!(diversity_gain(&v1, &v2, &m, &q).is_none());
+    }
+
+    #[test]
+    fn identical_versions_give_no_diversity() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let v = Version::from_faults(&m, [f(0), f(2)]);
+        let pair = pair_pfd(&v, &v, &m, &q);
+        assert!((pair - v.pfd(&m, &q)).abs() < 1e-12);
+        assert!((diversity_gain(&v, &v, &m, &q).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_out_of_three_needs_all_to_fail() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let v1 = Version::from_faults(&m, [f(0), f(1)]);
+        let v2 = Version::from_faults(&m, [f(1), f(2)]);
+        let v3 = Version::from_faults(&m, [f(1), f(3)]);
+        // All three share only x1.
+        assert!((system_pfd(&[&v1, &v2, &v3], &m, &q) - 0.25).abs() < 1e-12);
+        // Adding a version can only help (intersection shrinks).
+        let v4 = Version::correct(&m);
+        assert_eq!(system_pfd(&[&v1, &v2, &v3, &v4], &m, &q), 0.0);
+    }
+
+    #[test]
+    fn single_version_system_is_the_version() {
+        let m = model();
+        let q = UsageProfile::from_weights(m.space(), vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let v = Version::from_faults(&m, [f(1), f(3)]);
+        assert!((system_pfd(&[&v], &m, &q) - v.pfd(&m, &q)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_gain_quantifies_improvement() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let v1 = Version::from_faults(&m, [f(0), f(1)]); // pfd 0.5
+        let v2 = Version::from_faults(&m, [f(1), f(2)]); // pfd 0.5
+        // Pair pfd 0.25; gain = 0.5 / 0.25 = 2.
+        assert!((diversity_gain(&v1, &v2, &m, &q).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn empty_system_panics() {
+        let m = model();
+        let _ = system_failure_set(&[], &m);
+    }
+}

@@ -1,0 +1,282 @@
+//! The paper's primary contribution: how testing regimes shape the joint
+//! failure probability of a version pair **on a particular demand**
+//! (equations (15)–(21)).
+//!
+//! Four independent-suite regimes (§3.1–3.2) all preserve conditional
+//! independence:
+//!
+//! ```text
+//! (16) same population,  same suite procedure:   ζ(x)²
+//! (17) forced diversity, same suite procedure:   ζ_A(x)·ζ_B(x)
+//! (18) same population,  forced suite diversity: ζ_TA(x)·ζ_TB(x)
+//! (19) forced diversity, forced suite diversity: ζ_{A,TA}(x)·ζ_{B,TB}(x)
+//! ```
+//!
+//! Testing both versions on the **same** suite destroys it:
+//!
+//! ```text
+//! (20) same population:  E_Ξ[ξ(x,T)²]    = ζ(x)² + Var_Ξ(ξ(x,T)) ≥ ζ(x)²
+//! (21) forced diversity: E_Ξ[ξ_A·ξ_B]    = ζ_A(x)ζ_B(x) + Cov_Ξ(ξ_A(x,T), ξ_B(x,T))
+//! ```
+//!
+//! "(20) and (21) are important because they preclude using the EL and LM
+//! models … once a two channel system is expected to be tested with the
+//! same test suite, which appears to be a common practice."
+
+use diversim_stats::weighted;
+use diversim_testing::suite_population::ExplicitSuitePopulation;
+use diversim_universe::demand::DemandId;
+
+use crate::difficulty::{zeta, TestedDifficulty};
+
+/// Whether the two versions are debugged on the same realised test suite
+/// or on independently drawn ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TestingRegime {
+    /// Each version gets its own independently generated suite (§3.1–3.2).
+    IndependentSuites,
+    /// Both versions are debugged on one shared suite (§3.3) — the
+    /// acceptance-testing / back-to-back situation.
+    SharedSuite,
+}
+
+impl std::fmt::Display for TestingRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestingRegime::IndependentSuites => write!(f, "independent suites"),
+            TestingRegime::SharedSuite => write!(f, "shared suite"),
+        }
+    }
+}
+
+/// Decomposition of the joint failure probability of a tested pair on one
+/// demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointOnDemand {
+    /// The conditional-independence part `ζ_A(x)·ζ_B(x)`.
+    pub independent: f64,
+    /// The coupling induced by suite sharing: `Var_Ξ(ξ(x,T))` for a single
+    /// population (eq 20) or `Cov_Ξ(ξ_A, ξ_B)` for forced diversity
+    /// (eq 21). Zero under independent suites (eqs 16–19).
+    pub coupling: f64,
+}
+
+impl JointOnDemand {
+    /// The joint probability that both tested versions fail on the demand.
+    pub fn total(&self) -> f64 {
+        self.independent + self.coupling
+    }
+}
+
+/// Joint failure probability on demand `x` for versions tested on
+/// **independently drawn** suites (eqs 16–19). Pass the same population
+/// twice for the unforced case, and the same measure twice when both
+/// procedures are identical; the formula is the product of the two
+/// post-testing difficulties either way.
+pub fn joint_independent_suites(
+    pop_a: &dyn TestedDifficulty,
+    pop_b: &dyn TestedDifficulty,
+    measure_a: &ExplicitSuitePopulation,
+    measure_b: &ExplicitSuitePopulation,
+    x: DemandId,
+) -> JointOnDemand {
+    JointOnDemand {
+        independent: zeta(pop_a, x, measure_a) * zeta(pop_b, x, measure_b),
+        coupling: 0.0,
+    }
+}
+
+/// Joint failure probability on demand `x` for versions tested on the
+/// **same** suite `T ~ M(·)` (eqs 20–21): `E_Ξ[ξ_A(x,T)·ξ_B(x,T)]`,
+/// decomposed into the product of means plus the suite
+/// variance/covariance.
+pub fn joint_shared_suite(
+    pop_a: &dyn TestedDifficulty,
+    pop_b: &dyn TestedDifficulty,
+    measure: &ExplicitSuitePopulation,
+    x: DemandId,
+) -> JointOnDemand {
+    let triples: Vec<((f64, f64), f64)> = measure
+        .iter()
+        .map(|(t, p)| {
+            let covered = t.demand_set();
+            ((pop_a.xi(x, covered), pop_b.xi(x, covered)), p)
+        })
+        .collect();
+    let cov =
+        weighted::covariance(triples.iter().copied()).expect("measure is a valid distribution");
+    let mean_a = weighted::mean(triples.iter().map(|&((a, _), p)| (a, p)))
+        .expect("measure is a valid distribution");
+    let mean_b = weighted::mean(triples.iter().map(|&((_, b), p)| (b, p)))
+        .expect("measure is a valid distribution");
+    JointOnDemand { independent: mean_a * mean_b, coupling: cov }
+}
+
+/// Joint failure probability on demand `x` under either regime (dispatch
+/// over [`TestingRegime`]; under `IndependentSuites` the single measure is
+/// used for both versions, i.e. the eq-16/17 setting).
+pub fn joint_on_demand(
+    pop_a: &dyn TestedDifficulty,
+    pop_b: &dyn TestedDifficulty,
+    measure: &ExplicitSuitePopulation,
+    x: DemandId,
+    regime: TestingRegime,
+) -> JointOnDemand {
+    match regime {
+        TestingRegime::IndependentSuites => {
+            joint_independent_suites(pop_a, pop_b, measure, measure, x)
+        }
+        TestingRegime::SharedSuite => joint_shared_suite(pop_a, pop_b, measure, x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::{BernoulliPopulation, Population};
+    use diversim_universe::profile::UsageProfile;
+    use std::sync::Arc;
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, props).unwrap()
+    }
+
+    #[test]
+    fn eq16_hand_computed() {
+        // Singleton universe, 2 demands, p = (0.4, 0.8); one uniform
+        // i.i.d. draw: ζ(x0) = p0/2 = 0.2 → joint = 0.04.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let j = joint_independent_suites(&pop, &pop, &m, &m, d(0));
+        assert!((j.independent - 0.04).abs() < 1e-12);
+        assert_eq!(j.coupling, 0.0);
+        assert!((j.total() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq20_hand_computed() {
+        // Same setting, shared suite:
+        // E[ξ(x0,T)²] = ½·0² + ½·p0² = 0.08; ζ(x0)² = 0.04; Var = 0.04.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let j = joint_shared_suite(&pop, &pop, &m, d(0));
+        assert!((j.independent - 0.04).abs() < 1e-12);
+        assert!((j.coupling - 0.04).abs() < 1e-12);
+        assert!((j.total() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq20_shared_never_below_independent() {
+        // Var_Ξ(ξ(x,T)) ≥ 0: the shared-suite joint dominates demand-wise.
+        let pop = singleton_pop(vec![0.15, 0.45, 0.75, 0.3]);
+        let q = UsageProfile::from_weights(
+            pop.model().space(),
+            vec![0.4, 0.3, 0.2, 0.1],
+        )
+        .unwrap();
+        for n in 0..4 {
+            let m = enumerate_iid_suites(&q, n, 1 << 10).unwrap();
+            for x in pop.model().space().iter() {
+                let shared = joint_shared_suite(&pop, &pop, &m, x);
+                let indep = joint_independent_suites(&pop, &pop, &m, &m, x);
+                assert!(
+                    shared.total() + 1e-15 >= indep.total(),
+                    "shared < independent at {x} with n={n}"
+                );
+                assert!(shared.coupling >= -1e-15, "variance must be non-negative");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_suite_measure_recovers_el() {
+        // Testing with the empty suite: ζ = θ and the shared-suite
+        // coupling vanishes (ξ is deterministic in T).
+        let pop = singleton_pop(vec![0.25, 0.5]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 0, 4).unwrap();
+        for x in pop.model().space().iter() {
+            let shared = joint_shared_suite(&pop, &pop, &m, x);
+            let t = pop.theta(x);
+            assert!((shared.total() - t * t).abs() < 1e-12);
+            assert!(shared.coupling.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn eq21_forced_diversity_covariance_sign() {
+        // Mirrored methodologies on 2 demands: A = (0.8, 0.1),
+        // B = (0.1, 0.8). One uniform draw; on x0:
+        //   ξ_A(x0, {x0}) = 0, ξ_A(x0, {x1}) = 0.8
+        //   ξ_B(x0, {x0}) = 0, ξ_B(x0, {x1}) = 0.1
+        // → ξ_A and ξ_B move *together* in T ⇒ positive covariance
+        //   (both are killed by the same suites).
+        let space = DemandSpace::new(2).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let a = BernoulliPopulation::new(model.clone(), vec![0.8, 0.1]).unwrap();
+        let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.8]).unwrap();
+        let q = UsageProfile::uniform(space);
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let j = joint_shared_suite(&a, &b, &m, d(0));
+        // Exact: E[ξ_Aξ_B] = ½(0·0) + ½(0.8·0.1) = 0.04;
+        // ζ_A = 0.4, ζ_B = 0.05 → product 0.02; Cov = 0.02.
+        assert!((j.total() - 0.04).abs() < 1e-12);
+        assert!((j.independent - 0.02).abs() < 1e-12);
+        assert!((j.coupling - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regime_dispatch_matches_direct_calls() {
+        let pop = singleton_pop(vec![0.3, 0.6]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 2, 64).unwrap();
+        for x in pop.model().space().iter() {
+            let a = joint_on_demand(&pop, &pop, &m, x, TestingRegime::IndependentSuites);
+            let b = joint_independent_suites(&pop, &pop, &m, &m, x);
+            assert_eq!(a, b);
+            let c = joint_on_demand(&pop, &pop, &m, x, TestingRegime::SharedSuite);
+            let e = joint_shared_suite(&pop, &pop, &m, x);
+            assert_eq!(c, e);
+        }
+    }
+
+    #[test]
+    fn forced_testing_diversity_eq18() {
+        // Two different suite procedures (operational vs. debug-skewed):
+        // the joint is the product of the respective ζ's.
+        let pop = singleton_pop(vec![0.5, 0.5]);
+        let space = pop.model().space();
+        let q_op = UsageProfile::uniform(space);
+        let q_debug = UsageProfile::from_weights(space, vec![0.9, 0.1]).unwrap();
+        let ma = enumerate_iid_suites(&q_op, 1, 64).unwrap();
+        let mb = enumerate_iid_suites(&q_debug, 1, 64).unwrap();
+        let j = joint_independent_suites(&pop, &pop, &ma, &mb, d(0));
+        let za = zeta(&pop, d(0), &ma);
+        let zb = zeta(&pop, d(0), &mb);
+        assert!((j.total() - za * zb).abs() < 1e-12);
+        // ζ under the debug profile (hits x0 with 0.9) is lower on x0.
+        assert!(zb < za);
+    }
+
+    #[test]
+    fn display_of_regimes() {
+        assert_eq!(TestingRegime::SharedSuite.to_string(), "shared suite");
+        assert_eq!(
+            TestingRegime::IndependentSuites.to_string(),
+            "independent suites"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Brute-force expectations over the full joint process.
+//!
+//! `diversim-core` computes the paper's quantities through its *formulas*
+//! (products of ζ's, variance/covariance decompositions). This module
+//! computes the same quantities the slow, assumption-free way: enumerate
+//! every `(version, suite)` combination with its probability, run the
+//! *mechanistic* debugging process ([`diversim_testing::perfect_debug`]),
+//! and sum the score products. Agreement between the two paths is the
+//! strongest internal validation available for a theory reproduction.
+
+use diversim_testing::process::perfect_debug;
+use diversim_testing::suite_population::ExplicitSuitePopulation;
+use diversim_universe::demand::DemandId;
+use diversim_universe::fault::FaultModel;
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+/// A population support: versions with selection probabilities, as
+/// produced by [`diversim_universe::Population::enumerate`].
+pub type Support = [(Version, f64)];
+
+/// The tested scores of every `(version, suite)` combination on demand
+/// `x`, each weighted by its joint probability `S(π)·M(t)`, computed once
+/// through the mechanistic debugging process.
+fn weighted_scores(
+    support: &Support,
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    x: DemandId,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(support.len() * measure.len());
+    for (v, p) in support {
+        for (t, q) in measure.iter() {
+            out.push(perfect_debug(v, t, model).score(model, x) * p * q);
+        }
+    }
+    out
+}
+
+/// Brute-force `P(both tested versions fail on x)` when the two versions
+/// are debugged on **independently drawn** suites: the full quadruple sum
+/// `Σ_{π₁} Σ_{t₁} Σ_{π₂} Σ_{t₂} υ(π₁,x,t₁)·υ(π₂,x,t₂)·S_A·M_A·S_B·M_B`
+/// of equation (15), evaluated through the mechanistic debugging process.
+/// (Each `(π, t)` score is debugged once and memoised; the quadruple sum
+/// itself is evaluated in full.)
+pub fn joint_on_demand_independent(
+    support_a: &Support,
+    support_b: &Support,
+    measure_a: &ExplicitSuitePopulation,
+    measure_b: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    x: DemandId,
+) -> f64 {
+    let scores_a = weighted_scores(support_a, measure_a, model, x);
+    let scores_b = weighted_scores(support_b, measure_b, model, x);
+    let mut total = 0.0;
+    for &wa in &scores_a {
+        if wa == 0.0 {
+            continue;
+        }
+        for &wb in &scores_b {
+            total += wa * wb;
+        }
+    }
+    total
+}
+
+/// Brute-force `P(both tested versions fail on x)` when both versions are
+/// debugged on the **same** realised suite: `Σ_t M(t) · Σ_{π₁} Σ_{π₂}
+/// υ(π₁,x,t)·υ(π₂,x,t)·S_A(π₁)·S_B(π₂)`.
+pub fn joint_on_demand_shared(
+    support_a: &Support,
+    support_b: &Support,
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    x: DemandId,
+) -> f64 {
+    let mut total = 0.0;
+    for (t, qt) in measure.iter() {
+        let fail_a: f64 = support_a
+            .iter()
+            .map(|(v, p)| perfect_debug(v, t, model).score(model, x) * p)
+            .sum();
+        if fail_a == 0.0 {
+            continue;
+        }
+        let fail_b: f64 = support_b
+            .iter()
+            .map(|(v, p)| perfect_debug(v, t, model).score(model, x) * p)
+            .sum();
+        total += qt * fail_a * fail_b;
+    }
+    total
+}
+
+/// Brute-force marginal `P(both tested versions fail on X)` for
+/// independently drawn suites: the usage-weighted sum of
+/// [`joint_on_demand_independent`] (equation (22)/(24)).
+pub fn marginal_independent(
+    support_a: &Support,
+    support_b: &Support,
+    measure_a: &ExplicitSuitePopulation,
+    measure_b: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> f64 {
+    profile.expect(|x| {
+        joint_on_demand_independent(support_a, support_b, measure_a, measure_b, model, x)
+    })
+}
+
+/// Brute-force marginal `P(both tested versions fail on X)` for a shared
+/// suite (equation (23)/(25)).
+pub fn marginal_shared(
+    support_a: &Support,
+    support_b: &Support,
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> f64 {
+    profile.expect(|x| joint_on_demand_shared(support_a, support_b, measure, model, x))
+}
+
+/// Brute-force post-testing difficulty `ζ(x) = Σ_π Σ_t υ(π,x,t)·S(π)·M(t)`
+/// (equation (14)), via the mechanistic process.
+pub fn zeta_brute(
+    support: &Support,
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    x: DemandId,
+) -> f64 {
+    let mut total = 0.0;
+    for (v, p) in support {
+        for (t, q) in measure.iter() {
+            total += perfect_debug(v, t, model).score(model, x) * p * q;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::{BernoulliPopulation, Population};
+    use std::sync::Arc;
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        BernoulliPopulation::new(model, props).unwrap()
+    }
+
+    #[test]
+    fn zeta_brute_matches_hand_value() {
+        // p = (0.4, 0.8), one uniform draw: ζ(x0) = 0.2 (see core tests).
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let z = zeta_brute(&support, &m, pop.model(), d(0));
+        assert!((z - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_joint_factorises() {
+        // Eq (16): the quadruple sum equals ζ(x)² — verified numerically.
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let joint =
+            joint_on_demand_independent(&support, &support, &m, &m, pop.model(), d(0));
+        let z = zeta_brute(&support, &m, pop.model(), d(0));
+        assert!((joint - z * z).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_joint_exceeds_independent() {
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let shared = joint_on_demand_shared(&support, &support, &m, pop.model(), d(0));
+        let indep =
+            joint_on_demand_independent(&support, &support, &m, &m, pop.model(), d(0));
+        // Hand values from the core tests: 0.08 vs 0.04.
+        assert!((shared - 0.08).abs() < 1e-12);
+        assert!((indep - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_integrate_demand_joints() {
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let mi = marginal_independent(&support, &support, &m, &m, pop.model(), &q);
+        let ms = marginal_shared(&support, &support, &m, pop.model(), &q);
+        assert!((mi - 0.10).abs() < 1e-12);
+        assert!((ms - 0.20).abs() < 1e-12);
+    }
+}

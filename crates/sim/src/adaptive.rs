@@ -1,0 +1,313 @@
+//! Adaptive test campaigns driven by stopping rules.
+//!
+//! §2 of the paper: "the size of the test suite … is determined with
+//! respect to some stopping rule which gives the tester sufficiently high
+//! confidence that the goal (e.g. targeted reliability) has been
+//! achieved" (citing Littlewood & Wright, the paper's ref \[3\]). This
+//! module debugs a version demand-by-demand until a
+//! [`diversim_stats::stopping::StoppingRule`] fires, and measures what
+//! the rule actually delivers: how many demands were spent and whether
+//! the achieved pfd meets the target.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use diversim_stats::online::MeanVar;
+use diversim_stats::seed::SeedSequence;
+use diversim_stats::stopping::{StoppingRule, StoppingState};
+use diversim_testing::fixing::Fixer;
+use diversim_testing::oracle::Oracle;
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+use crate::runner::parallel_replications;
+
+/// Outcome of one adaptive campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveOutcome {
+    /// The version after debugging.
+    pub version: Version,
+    /// Demands executed before the rule fired (or the cap was hit).
+    pub demands_used: u64,
+    /// Failures observed during the campaign.
+    pub failures_observed: u64,
+    /// `true` if the stopping rule fired; `false` if `max_demands` was
+    /// reached first.
+    pub stopped_by_rule: bool,
+    /// The version's true pfd after the campaign.
+    pub achieved_pfd: f64,
+}
+
+/// Debugs a freshly drawn version until `rule` fires (or `max_demands` is
+/// reached), drawing test demands i.i.d. from `test_profile`.
+///
+/// The stopping rule observes the *oracle verdicts* — undetected failures
+/// look like successes to the rule, exactly the fallibility the paper
+/// warns about in §4.1.
+#[allow(clippy::too_many_arguments)]
+pub fn adaptive_campaign(
+    pop: &dyn Population,
+    test_profile: &UsageProfile,
+    operational_profile: &UsageProfile,
+    rule: StoppingRule,
+    oracle: &dyn Oracle,
+    fixer: &dyn Fixer,
+    max_demands: u64,
+    seed: u64,
+) -> AdaptiveOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = pop.model().clone();
+    let mut version = pop.sample(&mut rng);
+    let mut state = StoppingState::new(rule);
+    let mut failures_observed = 0u64;
+    let mut stopped_by_rule = false;
+    while state.demands() < max_demands {
+        if state.should_stop().expect("rule parameters validated by caller") {
+            stopped_by_rule = true;
+            break;
+        }
+        let x = test_profile.sample(&mut rng);
+        let failed = version.fails_on(&model, x);
+        let detected = failed && oracle.detects(&mut rng, x);
+        if failed {
+            failures_observed += 1;
+        }
+        if detected {
+            fixer.fix(&mut rng, &model, &mut version, x);
+        }
+        // The rule sees the oracle's verdict, not the ground truth.
+        state.record(detected);
+    }
+    if !stopped_by_rule && state.should_stop().expect("validated") {
+        stopped_by_rule = true;
+    }
+    AdaptiveOutcome {
+        achieved_pfd: version.pfd(&model, operational_profile),
+        demands_used: state.demands(),
+        failures_observed,
+        stopped_by_rule,
+        version,
+    }
+}
+
+/// Aggregate calibration results of a replicated adaptive study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveStudy {
+    /// Mean/variance of demands spent per campaign.
+    pub demands: MeanVar,
+    /// Mean/variance of the achieved pfd.
+    pub achieved_pfd: MeanVar,
+    /// Fraction of campaigns whose achieved pfd met the target (only
+    /// meaningful for target-bearing rules).
+    pub target_met_rate: f64,
+    /// Fraction of campaigns stopped by the rule (vs the demand cap).
+    pub rule_fired_rate: f64,
+}
+
+/// Runs `replications` adaptive campaigns in parallel and reports the
+/// rule's delivered calibration against `target_pfd`.
+#[allow(clippy::too_many_arguments)]
+pub fn adaptive_study(
+    pop: &dyn Population,
+    test_profile: &UsageProfile,
+    operational_profile: &UsageProfile,
+    rule: StoppingRule,
+    oracle: &dyn Oracle,
+    fixer: &dyn Fixer,
+    max_demands: u64,
+    target_pfd: f64,
+    replications: u64,
+    seed: u64,
+    threads: usize,
+) -> AdaptiveStudy {
+    let seeds = SeedSequence::new(seed);
+    let outcomes: Vec<AdaptiveOutcome> =
+        parallel_replications(replications, seeds, threads, |_, rep_seed| {
+            adaptive_campaign(
+                pop,
+                test_profile,
+                operational_profile,
+                rule,
+                oracle,
+                fixer,
+                max_demands,
+                rep_seed,
+            )
+        });
+    let mut demands = MeanVar::new();
+    let mut achieved = MeanVar::new();
+    let mut met = 0u64;
+    let mut fired = 0u64;
+    for o in &outcomes {
+        demands.push(o.demands_used as f64);
+        achieved.push(o.achieved_pfd);
+        if o.achieved_pfd < target_pfd {
+            met += 1;
+        }
+        if o.stopped_by_rule {
+            fired += 1;
+        }
+    }
+    let n = outcomes.len().max(1) as f64;
+    AdaptiveStudy {
+        demands,
+        achieved_pfd: achieved,
+        target_met_rate: met as f64 / n,
+        rule_fired_rate: fired as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::fixing::PerfectFixer;
+    use diversim_testing::oracle::{ImperfectOracle, PerfectOracle};
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::BernoulliPopulation;
+    use std::sync::Arc;
+
+    fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile) {
+        let space = DemandSpace::new(n).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        (BernoulliPopulation::constant(model, p).unwrap(), UsageProfile::uniform(space))
+    }
+
+    #[test]
+    fn fixed_size_rule_uses_exact_budget() {
+        let (pop, q) = setup(10, 0.5);
+        let out = adaptive_campaign(
+            &pop,
+            &q,
+            &q,
+            StoppingRule::FixedSize(25),
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            1000,
+            3,
+        );
+        assert_eq!(out.demands_used, 25);
+        assert!(out.stopped_by_rule);
+    }
+
+    #[test]
+    fn cap_prevents_runaway_campaigns() {
+        // A practically unreachable failure-free requirement.
+        let (pop, q) = setup(4, 0.9);
+        let rule = StoppingRule::FailureFree { target: 1e-9, confidence: 0.999 };
+        let out = adaptive_campaign(
+            &pop,
+            &q,
+            &q,
+            rule,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            500,
+            4,
+        );
+        assert_eq!(out.demands_used, 500);
+        assert!(!out.stopped_by_rule);
+    }
+
+    #[test]
+    fn failure_free_rule_keeps_testing_after_failures() {
+        let (pop, q) = setup(6, 0.8);
+        let rule = StoppingRule::FailureFree { target: 0.2, confidence: 0.9 };
+        let out = adaptive_campaign(
+            &pop,
+            &q,
+            &q,
+            rule,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            10_000,
+            5,
+        );
+        assert!(out.stopped_by_rule);
+        // The rule demands ~11 consecutive detected-failure-free tests, so
+        // failures must push the total beyond the minimum.
+        let minimum =
+            diversim_stats::stopping::failure_free_tests_required(0.2, 0.9).unwrap();
+        assert!(out.demands_used >= minimum);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let (pop, q) = setup(8, 0.5);
+        let rule = StoppingRule::FailureFree { target: 0.1, confidence: 0.9 };
+        let a = adaptive_campaign(
+            &pop,
+            &q,
+            &q,
+            rule,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            5000,
+            77,
+        );
+        let b = adaptive_campaign(
+            &pop,
+            &q,
+            &q,
+            rule,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            5000,
+            77,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blind_oracle_fools_the_rule() {
+        // With detection probability 0 the rule sees only "successes" and
+        // stops at the minimum count — while the version is untouched.
+        let (pop, q) = setup(6, 0.9);
+        let rule = StoppingRule::FailureFree { target: 0.1, confidence: 0.9 };
+        let minimum =
+            diversim_stats::stopping::failure_free_tests_required(0.1, 0.9).unwrap();
+        let out = adaptive_campaign(
+            &pop,
+            &q,
+            &q,
+            rule,
+            &ImperfectOracle::new(0.0).unwrap(),
+            &PerfectFixer::new(),
+            10_000,
+            6,
+        );
+        assert!(out.stopped_by_rule);
+        assert_eq!(out.demands_used, minimum);
+        // Nothing was fixed: the achieved pfd is the untested pfd.
+        assert!(out.achieved_pfd > 0.0 || out.version.is_correct());
+    }
+
+    #[test]
+    fn study_aggregates_and_is_thread_invariant() {
+        let (pop, q) = setup(10, 0.4);
+        let rule = StoppingRule::FailureFree { target: 0.05, confidence: 0.9 };
+        let run = |threads| {
+            adaptive_study(
+                &pop,
+                &q,
+                &q,
+                rule,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                5_000,
+                0.05,
+                300,
+                12,
+                threads,
+            )
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a.demands.count(), 300);
+        assert!(a.rule_fired_rate > 0.9, "rule should fire almost always");
+        assert!(a.target_met_rate > 0.0);
+    }
+}

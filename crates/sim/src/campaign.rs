@@ -1,0 +1,307 @@
+//! One simulated development-and-debugging campaign for a version pair.
+//!
+//! A campaign mirrors the paper's stochastic process end to end: draw
+//! `Π_A ~ S_A`, `Π_B ~ S_B`, draw suite(s) from the generation procedure,
+//! debug under the chosen regime (independent suites, shared suite or
+//! back-to-back), and evaluate the resulting versions. The per-campaign
+//! pfds are computed *exactly* over the demand space (no sampling of
+//! operational demands), which Rao–Blackwellises the estimator: the only
+//! Monte Carlo noise left is over versions and suites, exactly the
+//! uncertainty the paper's expectations range over.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+use diversim_core::system::pair_pfd;
+use diversim_testing::fixing::Fixer;
+use diversim_testing::generation::SuiteGenerator;
+use diversim_testing::oracle::{IdenticalFailureModel, Oracle};
+use diversim_testing::process::{back_to_back_debug, debug_version};
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+/// The testing regime a campaign runs under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum CampaignRegime {
+    /// Each version debugged on its own independently generated suite.
+    IndependentSuites,
+    /// Both versions debugged on one shared suite, each judged by the
+    /// external oracle.
+    SharedSuite,
+    /// Both versions executed back-to-back on one shared suite; detection
+    /// by output comparison under the given identical-failure model.
+    BackToBack(IdenticalFailureModel),
+}
+
+/// Everything a campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairOutcome {
+    /// Version A after debugging.
+    pub first: Version,
+    /// Version B after debugging.
+    pub second: Version,
+    /// pfd of version A after debugging (exact over the demand space).
+    pub first_pfd: f64,
+    /// pfd of version B after debugging.
+    pub second_pfd: f64,
+    /// 1-out-of-2 system pfd of the tested pair.
+    pub system_pfd: f64,
+    /// pfd of version A before debugging.
+    pub first_pfd_before: f64,
+    /// pfd of version B before debugging.
+    pub second_pfd_before: f64,
+    /// System pfd of the pair before debugging.
+    pub system_pfd_before: f64,
+}
+
+/// Runs one campaign.
+///
+/// `suite_size` demands are drawn per suite (one suite per version under
+/// [`CampaignRegime::IndependentSuites`], one shared suite otherwise).
+/// The `oracle` is consulted only under [`CampaignRegime::SharedSuite`]
+/// and [`CampaignRegime::IndependentSuites`]; back-to-back supplies its
+/// own detection semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_campaign(
+    pop_a: &dyn Population,
+    pop_b: &dyn Population,
+    generator: &dyn SuiteGenerator,
+    suite_size: usize,
+    regime: CampaignRegime,
+    oracle: &dyn Oracle,
+    fixer: &dyn Fixer,
+    profile: &UsageProfile,
+    seed: u64,
+) -> PairOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = pop_a.model().clone();
+    let va = pop_a.sample(&mut rng);
+    let vb = pop_b.sample(&mut rng);
+    let first_pfd_before = va.pfd(&model, profile);
+    let second_pfd_before = vb.pfd(&model, profile);
+    let system_pfd_before = pair_pfd(&va, &vb, &model, profile);
+
+    let (ta, tb) = match regime {
+        CampaignRegime::IndependentSuites => (
+            generator.generate(&mut rng, suite_size),
+            generator.generate(&mut rng, suite_size),
+        ),
+        CampaignRegime::SharedSuite | CampaignRegime::BackToBack(_) => {
+            let t = generator.generate(&mut rng, suite_size);
+            (t.clone(), t)
+        }
+    };
+
+    let (first, second) = match regime {
+        CampaignRegime::IndependentSuites | CampaignRegime::SharedSuite => {
+            let a = debug_version(&va, &ta, &model, oracle, fixer, &mut rng);
+            let b = debug_version(&vb, &tb, &model, oracle, fixer, &mut rng);
+            (a.version, b.version)
+        }
+        CampaignRegime::BackToBack(identical) => {
+            let out = back_to_back_debug(&va, &vb, &ta, &model, identical, fixer, &mut rng);
+            (out.first, out.second)
+        }
+    };
+
+    PairOutcome {
+        first_pfd: first.pfd(&model, profile),
+        second_pfd: second.pfd(&model, profile),
+        system_pfd: pair_pfd(&first, &second, &model, profile),
+        first,
+        second,
+        first_pfd_before,
+        second_pfd_before,
+        system_pfd_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::fixing::PerfectFixer;
+    use diversim_testing::generation::ProfileGenerator;
+    use diversim_testing::oracle::PerfectOracle;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::BernoulliPopulation;
+    use std::sync::Arc;
+
+    fn setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let pop = BernoulliPopulation::new(model, props).unwrap();
+        let q = UsageProfile::uniform(space);
+        let gen = ProfileGenerator::new(q.clone());
+        (pop, q, gen)
+    }
+
+    #[test]
+    fn campaign_is_seed_deterministic() {
+        let (pop, q, gen) = setup(vec![0.3, 0.6, 0.2]);
+        let a = run_pair_campaign(
+            &pop,
+            &pop,
+            &gen,
+            4,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            99,
+        );
+        let b = run_pair_campaign(
+            &pop,
+            &pop,
+            &gen,
+            4,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            99,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debugging_never_hurts_with_perfect_testing() {
+        let (pop, q, gen) = setup(vec![0.5, 0.5, 0.5, 0.5]);
+        for seed in 0..50 {
+            let out = run_pair_campaign(
+                &pop,
+                &pop,
+                &gen,
+                6,
+                CampaignRegime::IndependentSuites,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            assert!(out.first_pfd <= out.first_pfd_before + 1e-15);
+            assert!(out.second_pfd <= out.second_pfd_before + 1e-15);
+            assert!(out.system_pfd <= out.system_pfd_before + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zero_size_suite_changes_nothing() {
+        let (pop, q, gen) = setup(vec![0.7, 0.7]);
+        let out = run_pair_campaign(
+            &pop,
+            &pop,
+            &gen,
+            0,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            5,
+        );
+        assert_eq!(out.first_pfd, out.first_pfd_before);
+        assert_eq!(out.system_pfd, out.system_pfd_before);
+    }
+
+    #[test]
+    fn back_to_back_never_identical_matches_shared_perfect_oracle() {
+        // With IdenticalFailureModel::Never and a perfect fixer, b2b on the
+        // shared suite produces exactly the perfect-oracle shared outcome.
+        let (pop, q, gen) = setup(vec![0.4, 0.6, 0.8]);
+        for seed in 0..30 {
+            let b2b = run_pair_campaign(
+                &pop,
+                &pop,
+                &gen,
+                5,
+                CampaignRegime::BackToBack(IdenticalFailureModel::Never),
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            let shared = run_pair_campaign(
+                &pop,
+                &pop,
+                &gen,
+                5,
+                CampaignRegime::SharedSuite,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            // Same seed → same versions and same shared suite; perfect
+            // detection in both → identical end states.
+            assert_eq!(b2b.first, shared.first);
+            assert_eq!(b2b.second, shared.second);
+        }
+    }
+
+    #[test]
+    fn back_to_back_pessimistic_keeps_system_pfd_singleton() {
+        // Singleton regions: the §4.2 worst case is exact — system pfd
+        // after pessimistic b2b equals system pfd before.
+        let (pop, q, gen) = setup(vec![0.5, 0.5, 0.5, 0.5, 0.5]);
+        for seed in 0..50 {
+            let out = run_pair_campaign(
+                &pop,
+                &pop,
+                &gen,
+                10,
+                CampaignRegime::BackToBack(IdenticalFailureModel::Always),
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            assert!(
+                (out.system_pfd - out.system_pfd_before).abs() < 1e-15,
+                "pessimistic b2b changed system pfd at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_suites_actually_differ_from_shared() {
+        // Statistical sanity: across many seeds the regimes should not
+        // produce identical system pfds every time.
+        let (pop, q, gen) = setup(vec![0.5, 0.5, 0.5]);
+        let mut differs = false;
+        for seed in 0..40 {
+            let ind = run_pair_campaign(
+                &pop,
+                &pop,
+                &gen,
+                2,
+                CampaignRegime::IndependentSuites,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            let sh = run_pair_campaign(
+                &pop,
+                &pop,
+                &gen,
+                2,
+                CampaignRegime::SharedSuite,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            if (ind.system_pfd - sh.system_pfd).abs() > 1e-15 {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "regimes never differed — suspicious");
+    }
+}

@@ -1,0 +1,252 @@
+//! Simulation of §5's common-cause channels: clarifications and mistakes
+//! propagated to *all* development teams.
+//!
+//! The paper's conclusion sketches how the shared-suite formalism extends
+//! to other commonalities: a clarification sent to every team acts like a
+//! shared "test suite" over a sub-domain, and "giving incorrect
+//! instructions to all teams" acts like a shared suite that *sets scores
+//! to 1* instead of fixing them. The study here quantifies the point by
+//! comparing a **common** mistake (the same fault injected into both
+//! versions) against **independent** mistakes (each version gets its own
+//! independently drawn fault): the version-level damage is identical by
+//! construction, but the system-level damage is radically different.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use diversim_core::system::pair_pfd;
+use diversim_stats::online::MeanVar;
+use diversim_stats::seed::SeedSequence;
+use diversim_universe::common_cause::CommonCauseEvent;
+use diversim_universe::fault::FaultId;
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+
+use crate::runner::parallel_replications;
+
+/// How mistakes are distributed across the two versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MistakeMode {
+    /// One fault set drawn and injected into *both* versions (§5's common
+    /// mistake).
+    Common,
+    /// Each version receives its own independently drawn fault set of the
+    /// same size.
+    Independent,
+}
+
+/// Aggregated results of a mistake study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MistakeStudy {
+    /// Mean version pfd after the mistakes.
+    pub version_pfd: MeanVar,
+    /// Mean system (1-out-of-2) pfd after the mistakes.
+    pub system_pfd: MeanVar,
+    /// Mean system pfd before the mistakes.
+    pub system_pfd_before: MeanVar,
+}
+
+/// Draws `mistakes` distinct random faults from the model.
+fn draw_faults<R: Rng + ?Sized>(rng: &mut R, fault_count: usize, mistakes: usize) -> Vec<FaultId> {
+    let take = mistakes.min(fault_count);
+    rand::seq::index::sample(rng, fault_count, take)
+        .iter()
+        .map(|i| FaultId::new(i as u32))
+        .collect()
+}
+
+/// Runs a replicated mistake study: draw a version pair, inject
+/// `mistakes` faults per the chosen [`MistakeMode`], and measure pfds.
+#[allow(clippy::too_many_arguments)]
+pub fn mistake_study(
+    pop: &dyn Population,
+    profile: &UsageProfile,
+    mistakes: usize,
+    mode: MistakeMode,
+    replications: u64,
+    seed: u64,
+    threads: usize,
+) -> MistakeStudy {
+    let seeds = SeedSequence::new(seed);
+    let results: Vec<(f64, f64, f64)> =
+        parallel_replications(replications, seeds, threads, |_, rep_seed| {
+            let mut rng = StdRng::seed_from_u64(rep_seed);
+            let model = pop.model().clone();
+            let mut a = pop.sample(&mut rng);
+            let mut b = pop.sample(&mut rng);
+            let before = pair_pfd(&a, &b, &model, profile);
+            match mode {
+                MistakeMode::Common => {
+                    let faults = draw_faults(&mut rng, model.fault_count(), mistakes);
+                    let ev = CommonCauseEvent::Mistake { faults };
+                    ev.apply(&mut a);
+                    ev.apply(&mut b);
+                }
+                MistakeMode::Independent => {
+                    let fa = draw_faults(&mut rng, model.fault_count(), mistakes);
+                    let fb = draw_faults(&mut rng, model.fault_count(), mistakes);
+                    CommonCauseEvent::Mistake { faults: fa }.apply(&mut a);
+                    CommonCauseEvent::Mistake { faults: fb }.apply(&mut b);
+                }
+            }
+            let version =
+                0.5 * (a.pfd(&model, profile) + b.pfd(&model, profile));
+            let system = pair_pfd(&a, &b, &model, profile);
+            (version, system, before)
+        });
+    let mut version_pfd = MeanVar::new();
+    let mut system_pfd = MeanVar::new();
+    let mut system_pfd_before = MeanVar::new();
+    for (v, s, before) in results {
+        version_pfd.push(v);
+        system_pfd.push(s);
+        system_pfd_before.push(before);
+    }
+    MistakeStudy { version_pfd, system_pfd, system_pfd_before }
+}
+
+/// Aggregated results of a clarification study: faults removed from both
+/// versions simultaneously.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClarificationStudy {
+    /// Mean version pfd after the clarifications.
+    pub version_pfd: MeanVar,
+    /// Mean system pfd after the clarifications.
+    pub system_pfd: MeanVar,
+    /// Mean usage-weighted Jaccard overlap of the failure sets after the
+    /// clarifications (diversity indicator; higher = more alike).
+    pub jaccard: MeanVar,
+}
+
+/// Runs a replicated clarification study: `clarified` random faults are
+/// resolved for *both* versions (the §5 common clarification).
+#[allow(clippy::too_many_arguments)]
+pub fn clarification_study(
+    pop: &dyn Population,
+    profile: &UsageProfile,
+    clarified: usize,
+    replications: u64,
+    seed: u64,
+    threads: usize,
+) -> ClarificationStudy {
+    let seeds = SeedSequence::new(seed);
+    let results: Vec<(f64, f64, f64)> =
+        parallel_replications(replications, seeds, threads, |_, rep_seed| {
+            let mut rng = StdRng::seed_from_u64(rep_seed);
+            let model = pop.model().clone();
+            let mut a = pop.sample(&mut rng);
+            let mut b = pop.sample(&mut rng);
+            let faults = draw_faults(&mut rng, model.fault_count(), clarified);
+            let ev = CommonCauseEvent::Clarification { faults };
+            ev.apply(&mut a);
+            ev.apply(&mut b);
+            let report =
+                diversim_core::metrics::DiversityReport::compute(&a, &b, &model, profile);
+            (0.5 * (report.pfd_a + report.pfd_b), report.joint_pfd, report.jaccard)
+        });
+    let mut version_pfd = MeanVar::new();
+    let mut system_pfd = MeanVar::new();
+    let mut jaccard = MeanVar::new();
+    for (v, s, j) in results {
+        version_pfd.push(v);
+        system_pfd.push(s);
+        jaccard.push(j);
+    }
+    ClarificationStudy { version_pfd, system_pfd, jaccard }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::BernoulliPopulation;
+    use std::sync::Arc;
+
+    fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile) {
+        let space = DemandSpace::new(n).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        (BernoulliPopulation::constant(model, p).unwrap(), UsageProfile::uniform(space))
+    }
+
+    #[test]
+    fn common_mistakes_hurt_the_system_more_than_independent_ones() {
+        let (pop, q) = setup(20, 0.1);
+        let common =
+            mistake_study(&pop, &q, 3, MistakeMode::Common, 2_000, 5, 4);
+        let independent =
+            mistake_study(&pop, &q, 3, MistakeMode::Independent, 2_000, 5, 4);
+        // Version-level damage is statistically identical…
+        let dv = (common.version_pfd.mean() - independent.version_pfd.mean()).abs();
+        assert!(
+            dv < 4.0
+                * (common.version_pfd.standard_error()
+                    + independent.version_pfd.standard_error()),
+            "version damage should not depend on the mode"
+        );
+        // …but the system damage is much worse under common mistakes.
+        assert!(
+            common.system_pfd.mean() > 2.0 * independent.system_pfd.mean(),
+            "common {} vs independent {}",
+            common.system_pfd.mean(),
+            independent.system_pfd.mean()
+        );
+    }
+
+    #[test]
+    fn zero_mistakes_change_nothing() {
+        let (pop, q) = setup(10, 0.3);
+        let study = mistake_study(&pop, &q, 0, MistakeMode::Common, 500, 1, 2);
+        assert!(
+            (study.system_pfd.mean() - study.system_pfd_before.mean()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn common_mistake_guarantees_coincident_failure() {
+        // With one common mistake on a singleton model, both versions fail
+        // on the affected demand: system pfd ≥ 1/n always.
+        let (pop, q) = setup(10, 0.0);
+        let study = mistake_study(&pop, &q, 1, MistakeMode::Common, 300, 2, 2);
+        assert!((study.system_pfd.mean() - 0.1).abs() < 1e-12);
+        // Independent mistakes on a fault-free population collide only
+        // 1/n of the time.
+        let ind = mistake_study(&pop, &q, 1, MistakeMode::Independent, 3_000, 3, 2);
+        assert!((ind.system_pfd.mean() - 0.01).abs() < 0.01);
+    }
+
+    #[test]
+    fn clarifications_help_both_levels_but_raise_overlap() {
+        let (pop, q) = setup(12, 0.5);
+        let none = clarification_study(&pop, &q, 0, 2_000, 7, 4);
+        let many = clarification_study(&pop, &q, 8, 2_000, 7, 4);
+        assert!(many.version_pfd.mean() < none.version_pfd.mean());
+        assert!(many.system_pfd.mean() < none.system_pfd.mean());
+        // Remaining failures concentrate on the unclarified faults, so the
+        // failure sets of the two versions overlap relatively more…
+        // (both shrink, but the *relative* overlap among surviving
+        // failures doesn't collapse to zero).
+        assert!(many.jaccard.mean() >= 0.0);
+    }
+
+    #[test]
+    fn studies_are_thread_invariant() {
+        let (pop, q) = setup(10, 0.2);
+        let a = mistake_study(&pop, &q, 2, MistakeMode::Common, 256, 9, 1);
+        let b = mistake_study(&pop, &q, 2, MistakeMode::Common, 256, 9, 4);
+        assert_eq!(a, b);
+        let c = clarification_study(&pop, &q, 2, 256, 9, 1);
+        let d = clarification_study(&pop, &q, 2, 256, 9, 4);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn mistake_count_caps_at_fault_count() {
+        let (pop, q) = setup(4, 0.0);
+        // Asking for more mistakes than faults must not panic.
+        let study = mistake_study(&pop, &q, 100, MistakeMode::Common, 50, 11, 2);
+        // All faults injected into both versions → both fail everywhere.
+        assert!((study.system_pfd.mean() - 1.0).abs() < 1e-12);
+    }
+}

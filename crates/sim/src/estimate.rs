@@ -1,0 +1,275 @@
+//! Monte Carlo estimators for the paper's population quantities.
+//!
+//! These estimate by simulation exactly what `diversim-core` computes by
+//! formula, so the two can be cross-validated on small universes (the
+//! integration tests do this) and the simulation can then be trusted on
+//! universes too large to enumerate.
+
+use diversim_core::marginal::MarginalAnalysis;
+use diversim_stats::ci::{normal_mean, Interval};
+use diversim_stats::online::MeanVar;
+use diversim_stats::seed::SeedSequence;
+use diversim_testing::fixing::Fixer;
+use diversim_testing::generation::SuiteGenerator;
+use diversim_testing::oracle::Oracle;
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+
+use crate::campaign::{run_pair_campaign, CampaignRegime, PairOutcome};
+use crate::runner::parallel_replications;
+
+/// A Monte Carlo point estimate with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Sample mean across replications.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub standard_error: f64,
+    /// Normal-approximation confidence interval at 95%.
+    pub interval: Interval,
+    /// Number of replications.
+    pub replications: u64,
+}
+
+impl Estimate {
+    /// Builds an estimate from an accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accumulator is empty.
+    pub fn from_accumulator(acc: &MeanVar) -> Self {
+        assert!(acc.count() > 0, "estimate needs at least one replication");
+        let interval = normal_mean(acc.mean(), acc.standard_error(), 0.95)
+            .expect("valid level and finite standard error");
+        Estimate {
+            mean: acc.mean(),
+            standard_error: acc.standard_error(),
+            interval,
+            replications: acc.count(),
+        }
+    }
+
+    /// Whether the estimate is statistically consistent with `value`
+    /// (inside the 95% interval).
+    pub fn consistent_with(&self, value: f64) -> bool {
+        self.interval.contains(value)
+    }
+}
+
+/// Joint estimates from a batch of pair campaigns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairEstimates {
+    /// Mean post-testing pfd of version A (estimates `E[Θ_TA]`).
+    pub version_a_pfd: Estimate,
+    /// Mean post-testing pfd of version B (estimates `E[Θ_TB]`).
+    pub version_b_pfd: Estimate,
+    /// Mean 1-out-of-2 system pfd (estimates eqs (22)–(25), depending on
+    /// the regime).
+    pub system_pfd: Estimate,
+}
+
+/// Estimates the marginal system pfd and version pfds of a tested pair by
+/// replicated campaigns.
+///
+/// Deterministic in `(seed, replications)` regardless of `threads`.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_pair(
+    pop_a: &dyn Population,
+    pop_b: &dyn Population,
+    generator: &dyn SuiteGenerator,
+    suite_size: usize,
+    regime: CampaignRegime,
+    oracle: &dyn Oracle,
+    fixer: &dyn Fixer,
+    profile: &UsageProfile,
+    replications: u64,
+    seed: u64,
+    threads: usize,
+) -> PairEstimates {
+    let seeds = SeedSequence::new(seed);
+    let outcomes: Vec<PairOutcome> =
+        parallel_replications(replications, seeds, threads, |_, rep_seed| {
+            run_pair_campaign(
+                pop_a, pop_b, generator, suite_size, regime, oracle, fixer, profile, rep_seed,
+            )
+        });
+    let mut acc_a = MeanVar::new();
+    let mut acc_b = MeanVar::new();
+    let mut acc_sys = MeanVar::new();
+    for o in &outcomes {
+        acc_a.push(o.first_pfd);
+        acc_b.push(o.second_pfd);
+        acc_sys.push(o.system_pfd);
+    }
+    PairEstimates {
+        version_a_pfd: Estimate::from_accumulator(&acc_a),
+        version_b_pfd: Estimate::from_accumulator(&acc_b),
+        system_pfd: Estimate::from_accumulator(&acc_sys),
+    }
+}
+
+/// Convenience wrapper: checks a Monte Carlo pair estimate against the
+/// exact [`MarginalAnalysis`] value, returning `(estimate, exact,
+/// consistent)`.
+pub fn validate_against_exact(
+    estimates: &PairEstimates,
+    exact: &MarginalAnalysis,
+) -> (f64, f64, bool) {
+    let exact_value = exact.system_pfd();
+    (
+        estimates.system_pfd.mean,
+        exact_value,
+        estimates.system_pfd.consistent_with(exact_value),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_core::marginal::SuiteAssignment;
+    use diversim_testing::fixing::PerfectFixer;
+    use diversim_testing::generation::ProfileGenerator;
+    use diversim_testing::oracle::PerfectOracle;
+    use diversim_testing::suite_population::enumerate_iid_suites;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::BernoulliPopulation;
+    use std::sync::Arc;
+
+    fn setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let pop = BernoulliPopulation::new(model, props).unwrap();
+        let q = UsageProfile::uniform(space);
+        let gen = ProfileGenerator::new(q.clone());
+        (pop, q, gen)
+    }
+
+    #[test]
+    fn estimate_matches_exact_marginal_shared() {
+        let (pop, q, gen) = setup(vec![0.4, 0.8]);
+        let est = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            1,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            20_000,
+            42,
+            4,
+        );
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let exact = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+        let (mc, ex, ok) = validate_against_exact(&est, &exact);
+        assert!(ok, "MC {mc} vs exact {ex} not consistent at 95%");
+        assert!((mc - 0.20).abs() < 0.02, "hand value 0.20, got {mc}");
+    }
+
+    #[test]
+    fn estimate_matches_exact_marginal_independent() {
+        let (pop, q, gen) = setup(vec![0.4, 0.8]);
+        let est = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            1,
+            CampaignRegime::IndependentSuites,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            20_000,
+            43,
+            4,
+        );
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let exact =
+            MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+        let (mc, ex, ok) = validate_against_exact(&est, &exact);
+        assert!(ok, "MC {mc} vs exact {ex} not consistent at 95%");
+        assert!((mc - 0.10).abs() < 0.02, "hand value 0.10, got {mc}");
+    }
+
+    #[test]
+    fn version_pfd_estimates_match_zeta_mean() {
+        // E[Θ_T] for p=(0.4,0.8), one draw: mean ζ = (0.2+0.4)/2 = 0.3.
+        let (pop, q, gen) = setup(vec![0.4, 0.8]);
+        let est = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            1,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            20_000,
+            44,
+            4,
+        );
+        assert!((est.version_a_pfd.mean - 0.3).abs() < 0.02);
+        assert!((est.version_b_pfd.mean - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn estimates_are_thread_count_invariant() {
+        let (pop, q, gen) = setup(vec![0.3, 0.5]);
+        let run = |threads| {
+            estimate_pair(
+                &pop,
+                &pop,
+                &gen,
+                2,
+                CampaignRegime::SharedSuite,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                500,
+                7,
+                threads,
+            )
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_replications() {
+        let (pop, q, gen) = setup(vec![0.5, 0.5]);
+        let small = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            1,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            200,
+            1,
+            2,
+        );
+        let large = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            1,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            20_000,
+            1,
+            2,
+        );
+        assert!(large.system_pfd.standard_error < small.system_pfd.standard_error);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn empty_accumulator_panics() {
+        let _ = Estimate::from_accumulator(&MeanVar::new());
+    }
+}

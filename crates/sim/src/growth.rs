@@ -1,0 +1,515 @@
+//! Reliability-growth trajectories: pfd of versions and of the 1-out-of-2
+//! system as a function of testing effort.
+//!
+//! This rebuilds the simulation study the paper leans on for
+//! cost-effectiveness questions (its reference \[5\], Djambazov & Popov,
+//! ISSRE'95: "the effects of testing on the reliability of single version
+//! and 1-out-of-2 software"), and powers the §3.4.1 trade-off experiment
+//! (merged 2n-demand shared suite vs. two independent n-demand suites).
+//!
+//! One replication draws a version pair, then feeds demands one at a time
+//! through the debugging process, recording exact pfds at each checkpoint.
+//! Replications are aggregated into per-checkpoint means with standard
+//! errors.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use diversim_core::system::pair_pfd;
+use diversim_stats::online::MeanVar;
+use diversim_stats::seed::SeedSequence;
+use diversim_testing::fixing::Fixer;
+use diversim_testing::generation::SuiteGenerator;
+use diversim_testing::oracle::Oracle;
+use diversim_testing::suite::TestSuite;
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+
+use crate::campaign::CampaignRegime;
+use crate::runner::parallel_replications;
+
+/// One replication's trajectory: pfds recorded at each checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthSample {
+    /// Demands executed at each checkpoint (per suite).
+    pub checkpoints: Vec<usize>,
+    /// Version A pfd at each checkpoint.
+    pub version_a: Vec<f64>,
+    /// Version B pfd at each checkpoint.
+    pub version_b: Vec<f64>,
+    /// System pfd at each checkpoint.
+    pub system: Vec<f64>,
+}
+
+/// Aggregated growth curves across replications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthCurve {
+    /// Demands executed at each checkpoint (per suite).
+    pub checkpoints: Vec<usize>,
+    /// Mean/variance accumulators of version A's pfd per checkpoint.
+    pub version_a: Vec<MeanVar>,
+    /// Mean/variance accumulators of version B's pfd per checkpoint.
+    pub version_b: Vec<MeanVar>,
+    /// Mean/variance accumulators of the system pfd per checkpoint.
+    pub system: Vec<MeanVar>,
+}
+
+impl GrowthCurve {
+    /// Mean system pfd at each checkpoint.
+    pub fn system_means(&self) -> Vec<f64> {
+        self.system.iter().map(MeanVar::mean).collect()
+    }
+
+    /// Mean version-A pfd at each checkpoint.
+    pub fn version_a_means(&self) -> Vec<f64> {
+        self.version_a.iter().map(MeanVar::mean).collect()
+    }
+
+    /// Mean version-B pfd at each checkpoint.
+    pub fn version_b_means(&self) -> Vec<f64> {
+        self.version_b.iter().map(MeanVar::mean).collect()
+    }
+}
+
+fn record(
+    sample: &mut GrowthSample,
+    model: &diversim_universe::fault::FaultModel,
+    profile: &UsageProfile,
+    va: &diversim_universe::version::Version,
+    vb: &diversim_universe::version::Version,
+) {
+    sample.version_a.push(va.pfd(model, profile));
+    sample.version_b.push(vb.pfd(model, profile));
+    sample.system.push(pair_pfd(va, vb, model, profile));
+}
+
+/// Runs one growth replication: debugging proceeds demand by demand and
+/// pfds are recorded whenever the number of executed demands reaches a
+/// checkpoint. Checkpoint 0 (if present) records the untested pair.
+///
+/// # Panics
+///
+/// Panics if `checkpoints` is empty or not strictly increasing.
+#[allow(clippy::too_many_arguments)]
+pub fn growth_replication(
+    pop_a: &dyn Population,
+    pop_b: &dyn Population,
+    generator: &dyn SuiteGenerator,
+    checkpoints: &[usize],
+    regime: CampaignRegime,
+    oracle: &dyn Oracle,
+    fixer: &dyn Fixer,
+    profile: &UsageProfile,
+    seed: u64,
+) -> GrowthSample {
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly increasing"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = pop_a.model().clone();
+    let mut va = pop_a.sample(&mut rng);
+    let mut vb = pop_b.sample(&mut rng);
+    let total = *checkpoints.last().expect("non-empty");
+
+    // Draw the demand streams up front (suites of the total length).
+    let (stream_a, stream_b) = match regime {
+        CampaignRegime::IndependentSuites => (
+            generator.generate(&mut rng, total),
+            generator.generate(&mut rng, total),
+        ),
+        CampaignRegime::SharedSuite | CampaignRegime::BackToBack(_) => {
+            let t = generator.generate(&mut rng, total);
+            (t.clone(), t)
+        }
+    };
+
+    let mut sample = GrowthSample {
+        checkpoints: checkpoints.to_vec(),
+        version_a: Vec::with_capacity(checkpoints.len()),
+        version_b: Vec::with_capacity(checkpoints.len()),
+        system: Vec::with_capacity(checkpoints.len()),
+    };
+
+    let mut next_checkpoint = 0usize;
+    if checkpoints[next_checkpoint] == 0 {
+        record(&mut sample, &model, profile, &va, &vb);
+        next_checkpoint += 1;
+    }
+
+    for step in 0..total {
+        let xa = stream_a.demands().get(step).copied();
+        let xb = stream_b.demands().get(step).copied();
+        match regime {
+            CampaignRegime::IndependentSuites | CampaignRegime::SharedSuite => {
+                if let Some(x) = xa {
+                    if va.fails_on(&model, x) && oracle.detects(&mut rng, x) {
+                        fixer.fix(&mut rng, &model, &mut va, x);
+                    }
+                }
+                if let Some(x) = xb {
+                    if vb.fails_on(&model, x) && oracle.detects(&mut rng, x) {
+                        fixer.fix(&mut rng, &model, &mut vb, x);
+                    }
+                }
+            }
+            CampaignRegime::BackToBack(identical) => {
+                if let Some(x) = xa {
+                    let fa = va.fails_on(&model, x);
+                    let fb = vb.fails_on(&model, x);
+                    match (fa, fb) {
+                        (false, false) => {}
+                        (true, false) => {
+                            fixer.fix(&mut rng, &model, &mut va, x);
+                        }
+                        (false, true) => {
+                            fixer.fix(&mut rng, &model, &mut vb, x);
+                        }
+                        (true, true) => {
+                            if !identical.is_identical(&mut rng) {
+                                fixer.fix(&mut rng, &model, &mut va, x);
+                                fixer.fix(&mut rng, &model, &mut vb, x);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if next_checkpoint < checkpoints.len() && step + 1 == checkpoints[next_checkpoint] {
+            record(&mut sample, &model, profile, &va, &vb);
+            next_checkpoint += 1;
+        }
+    }
+    sample
+}
+
+/// Runs `replications` growth replications in parallel and aggregates
+/// per-checkpoint statistics. Deterministic in `(seed, replications)`.
+#[allow(clippy::too_many_arguments)]
+pub fn replicated_growth(
+    pop_a: &dyn Population,
+    pop_b: &dyn Population,
+    generator: &dyn SuiteGenerator,
+    checkpoints: &[usize],
+    regime: CampaignRegime,
+    oracle: &dyn Oracle,
+    fixer: &dyn Fixer,
+    profile: &UsageProfile,
+    replications: u64,
+    seed: u64,
+    threads: usize,
+) -> GrowthCurve {
+    let seeds = SeedSequence::new(seed);
+    let samples: Vec<GrowthSample> =
+        parallel_replications(replications, seeds, threads, |_, rep_seed| {
+            growth_replication(
+                pop_a,
+                pop_b,
+                generator,
+                checkpoints,
+                regime,
+                oracle,
+                fixer,
+                profile,
+                rep_seed,
+            )
+        });
+    let k = checkpoints.len();
+    let mut curve = GrowthCurve {
+        checkpoints: checkpoints.to_vec(),
+        version_a: vec![MeanVar::new(); k],
+        version_b: vec![MeanVar::new(); k],
+        system: vec![MeanVar::new(); k],
+    };
+    for s in &samples {
+        for i in 0..k {
+            curve.version_a[i].push(s.version_a[i]);
+            curve.version_b[i].push(s.version_b[i]);
+            curve.system[i].push(s.system[i]);
+        }
+    }
+    curve
+}
+
+/// Result of one §3.4.1 merged-suite comparison (see
+/// [`merged_suite_comparison`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedComparison {
+    /// System pfd after arm (a): each version debugged on its own
+    /// `n`-demand suite.
+    pub independent_system: f64,
+    /// System pfd after arm (b): both versions debugged on the merged
+    /// `2n`-demand shared suite.
+    pub merged_system: f64,
+    /// Mean version pfd after arm (a).
+    pub independent_version: f64,
+    /// Mean version pfd after arm (b).
+    pub merged_version: f64,
+}
+
+/// The §3.4.1 merged-suite comparison for one replication: the same pair
+/// debugged (a) on two independent `n`-demand suites, vs. (b) together on
+/// the merged `2n`-demand shared suite ("we can run twice as long a test
+/// (merging the two generated test suites) on each of the versions at the
+/// same cost").
+///
+/// The same versions and the same raw demand material are used in both
+/// arms, isolating the regime effect. Under perfect testing the merged
+/// arm's versions dominate fault-wise, so both version and system pfds
+/// satisfy `merged ≤ independent` per replication; with singleton failure
+/// regions the *system* pfds are exactly equal (removing either version's
+/// fault on `x` repairs the system there), and the strict system-level
+/// advantage of merging appears only through region cascades.
+#[allow(clippy::too_many_arguments)]
+pub fn merged_suite_comparison(
+    pop_a: &dyn Population,
+    pop_b: &dyn Population,
+    generator: &dyn SuiteGenerator,
+    n: usize,
+    oracle: &dyn Oracle,
+    fixer: &dyn Fixer,
+    profile: &UsageProfile,
+    seed: u64,
+) -> MergedComparison {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = pop_a.model().clone();
+    let va = pop_a.sample(&mut rng);
+    let vb = pop_b.sample(&mut rng);
+    let t1 = generator.generate(&mut rng, n);
+    let t2 = generator.generate(&mut rng, n);
+    let merged: TestSuite = t1.merged(&t2);
+
+    // Arm (a): independent suites, one per version.
+    let a1 = diversim_testing::process::debug_version(&va, &t1, &model, oracle, fixer, &mut rng);
+    let a2 = diversim_testing::process::debug_version(&vb, &t2, &model, oracle, fixer, &mut rng);
+
+    // Arm (b): both versions on the merged 2n suite.
+    let b1 =
+        diversim_testing::process::debug_version(&va, &merged, &model, oracle, fixer, &mut rng);
+    let b2 =
+        diversim_testing::process::debug_version(&vb, &merged, &model, oracle, fixer, &mut rng);
+
+    MergedComparison {
+        independent_system: pair_pfd(&a1.version, &a2.version, &model, profile),
+        merged_system: pair_pfd(&b1.version, &b2.version, &model, profile),
+        independent_version: 0.5
+            * (a1.version.pfd(&model, profile) + a2.version.pfd(&model, profile)),
+        merged_version: 0.5
+            * (b1.version.pfd(&model, profile) + b2.version.pfd(&model, profile)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_testing::fixing::PerfectFixer;
+    use diversim_testing::generation::ProfileGenerator;
+    use diversim_testing::oracle::{IdenticalFailureModel, PerfectOracle};
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::BernoulliPopulation;
+    use std::sync::Arc;
+
+    fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
+        let space = DemandSpace::new(n).unwrap();
+        let model =
+            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let pop = BernoulliPopulation::constant(model, p).unwrap();
+        let q = UsageProfile::uniform(space);
+        let gen = ProfileGenerator::new(q.clone());
+        (pop, q, gen)
+    }
+
+    #[test]
+    fn trajectories_are_monotone_under_perfect_testing() {
+        let (pop, q, gen) = setup(10, 0.5);
+        let s = growth_replication(
+            &pop,
+            &pop,
+            &gen,
+            &[0, 2, 5, 10, 20],
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            3,
+        );
+        for w in s.version_a.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15, "version pfd increased");
+        }
+        for w in s.system.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15, "system pfd increased");
+        }
+    }
+
+    #[test]
+    fn checkpoint_zero_is_untested_state() {
+        let (pop, q, gen) = setup(6, 0.8);
+        let s = growth_replication(
+            &pop,
+            &pop,
+            &gen,
+            &[0, 3],
+            CampaignRegime::IndependentSuites,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            11,
+        );
+        // With p=0.8 on 6 singleton demands, the untested pfd is very
+        // likely positive; in any case it must dominate the tested value.
+        assert!(s.version_a[0] >= s.version_a[1] - 1e-15);
+        assert_eq!(s.checkpoints, vec![0, 3]);
+        assert_eq!(s.version_a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_checkpoints_panic() {
+        let (pop, q, gen) = setup(4, 0.5);
+        let _ = growth_replication(
+            &pop,
+            &pop,
+            &gen,
+            &[3, 1],
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            0,
+        );
+    }
+
+    #[test]
+    fn replicated_growth_aggregates() {
+        let (pop, q, gen) = setup(8, 0.5);
+        let curve = replicated_growth(
+            &pop,
+            &pop,
+            &gen,
+            &[0, 4, 12],
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            200,
+            5,
+            4,
+        );
+        assert_eq!(curve.checkpoints, vec![0, 4, 12]);
+        assert_eq!(curve.system.len(), 3);
+        assert_eq!(curve.system[0].count(), 200);
+        // Untested mean version pfd ≈ E[Θ] = 0.5.
+        assert!((curve.version_a[0].mean() - 0.5).abs() < 0.02);
+        // Growth: means decrease along the curve.
+        let means = curve.system_means();
+        assert!(means[1] < means[0]);
+        assert!(means[2] < means[1]);
+    }
+
+    #[test]
+    fn replicated_growth_thread_invariant() {
+        let (pop, q, gen) = setup(5, 0.4);
+        let run = |threads| {
+            replicated_growth(
+                &pop,
+                &pop,
+                &gen,
+                &[0, 2, 6],
+                CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.5)),
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                64,
+                9,
+                threads,
+            )
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.system_means(), b.system_means());
+    }
+
+    #[test]
+    fn merged_suite_singleton_system_equality() {
+        // With singleton regions the system-level outcomes of arm (a) and
+        // arm (b) coincide exactly: the system is repaired on x as soon as
+        // either version's fault at x is removed, and the union of the two
+        // independent suites equals the merged coverage.
+        let (pop, q, gen) = setup(12, 0.5);
+        for seed in 0..100 {
+            let c = merged_suite_comparison(
+                &pop,
+                &pop,
+                &gen,
+                4,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            assert!(
+                (c.independent_system - c.merged_system).abs() < 1e-15,
+                "singleton equality violated at seed {seed}"
+            );
+            // Individual versions are strictly helped by the longer suite
+            // (weakly, per replication).
+            assert!(c.merged_version <= c.independent_version + 1e-15);
+        }
+    }
+
+    #[test]
+    fn merged_suite_beats_independent_with_region_cascades() {
+        // §3.4.1: "with the longer test not only the individual
+        // reliability of the versions is going to be better but so is the
+        // system reliability." The strict system-level gain requires
+        // fault-region cascades, so use regions of size 2.
+        use diversim_universe::generator::{
+            ProfileKind, PropensityKind, RegionSize, UniverseSpec,
+        };
+        use rand::rngs::StdRng as Rng2;
+        let spec = UniverseSpec {
+            n_demands: 16,
+            n_faults: 12,
+            region_size: RegionSize::Fixed(2),
+            profile: ProfileKind::Uniform,
+        };
+        let mut urng = Rng2::seed_from_u64(1234);
+        let (universe, pop) = spec
+            .generate_with_population(&mut urng, PropensityKind::Constant(0.5))
+            .unwrap();
+        let q = universe.profile().clone();
+        let gen = ProfileGenerator::new(q.clone());
+        let mut ind_sys = MeanVar::new();
+        let mut mrg_sys = MeanVar::new();
+        let mut ind_ver = MeanVar::new();
+        let mut mrg_ver = MeanVar::new();
+        for seed in 0..600 {
+            let c = merged_suite_comparison(
+                &pop,
+                &pop,
+                &gen,
+                4,
+                &PerfectOracle::new(),
+                &PerfectFixer::new(),
+                &q,
+                seed,
+            );
+            // Per-replication domination under perfect testing.
+            assert!(c.merged_system <= c.independent_system + 1e-15);
+            assert!(c.merged_version <= c.independent_version + 1e-15);
+            ind_sys.push(c.independent_system);
+            mrg_sys.push(c.merged_system);
+            ind_ver.push(c.independent_version);
+            mrg_ver.push(c.merged_version);
+        }
+        assert!(
+            mrg_sys.mean() < ind_sys.mean(),
+            "merged 2n suite should beat independent n suites on average: {} vs {}",
+            mrg_sys.mean(),
+            ind_sys.mean()
+        );
+        assert!(mrg_ver.mean() < ind_ver.mean());
+    }
+}

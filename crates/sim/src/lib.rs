@@ -1,0 +1,80 @@
+//! Monte Carlo simulation engine for the `diversim` reproduction of Popov
+//! & Littlewood (DSN 2004).
+//!
+//! Where `diversim-core` computes the paper's expectations exactly (which
+//! is feasible only on enumerable universes), this crate *samples* the
+//! full stochastic process — random versions, random suites, fallible
+//! oracles and fixers — and aggregates replications:
+//!
+//! * [`campaign`] — one end-to-end development-and-debugging campaign for
+//!   a version pair under a chosen regime (independent suites, shared
+//!   suite, back-to-back);
+//! * [`estimate`] — replicated campaigns → pfd estimates with confidence
+//!   intervals, cross-validatable against the exact values;
+//! * [`growth`] — reliability-growth trajectories (the paper's ref \[5\]
+//!   study) and the §3.4.1 merged-suite trade-off;
+//! * [`runner`] — deterministic parallel execution: results are identical
+//!   for any thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use diversim_sim::campaign::CampaignRegime;
+//! use diversim_sim::estimate::estimate_pair;
+//! use diversim_testing::fixing::PerfectFixer;
+//! use diversim_testing::generation::ProfileGenerator;
+//! use diversim_testing::oracle::PerfectOracle;
+//! use diversim_universe::demand::DemandSpace;
+//! use diversim_universe::fault::FaultModelBuilder;
+//! use diversim_universe::population::BernoulliPopulation;
+//! use diversim_universe::profile::UsageProfile;
+//! use std::sync::Arc;
+//!
+//! let space = DemandSpace::new(16)?;
+//! let model = Arc::new(FaultModelBuilder::new(space).singleton_faults().build()?);
+//! let pop = BernoulliPopulation::constant(model, 0.2)?;
+//! let q = UsageProfile::uniform(space);
+//! let gen = ProfileGenerator::new(q.clone());
+//!
+//! let est = estimate_pair(
+//!     &pop, &pop, &gen, 8, CampaignRegime::SharedSuite,
+//!     &PerfectOracle::new(), &PerfectFixer::new(), &q,
+//!     2_000, 42, 4,
+//! );
+//! assert!(est.system_pfd.mean >= 0.0 && est.system_pfd.mean <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod adaptive;
+pub mod campaign;
+pub mod common_cause;
+pub mod estimate;
+pub mod growth;
+pub mod operation;
+pub mod runner;
+
+/// The exact system pfd of a concrete pair (re-exported shim so
+/// simulation modules state their ground truth through one name).
+pub(crate) fn campaign_truth(
+    a: &diversim_universe::version::Version,
+    b: &diversim_universe::version::Version,
+    model: &diversim_universe::fault::FaultModel,
+    profile: &diversim_universe::profile::UsageProfile,
+) -> f64 {
+    diversim_core::system::pair_pfd(a, b, model, profile)
+}
+
+pub use adaptive::{adaptive_campaign, adaptive_study, AdaptiveOutcome, AdaptiveStudy};
+pub use campaign::{run_pair_campaign, CampaignRegime, PairOutcome};
+pub use common_cause::{
+    clarification_study, mistake_study, ClarificationStudy, MistakeMode, MistakeStudy,
+};
+pub use estimate::{estimate_pair, validate_against_exact, Estimate, PairEstimates};
+pub use growth::{
+    growth_replication, merged_suite_comparison, replicated_growth, GrowthCurve, GrowthSample,
+    MergedComparison,
+};
+pub use operation::{coverage_study, operate_pair, CoverageStudy, OperationLog};
+pub use runner::{default_threads, parallel_replications};

@@ -1,0 +1,213 @@
+//! Operational exposure of a deployed (tested) system, and assessment
+//! from observed behaviour.
+//!
+//! After debugging, the 1-out-of-2 system goes into operation: demands
+//! arrive from `Q(·)`, and the system fails when both versions fail
+//! simultaneously. An assessor only sees the failure record, so the
+//! system pfd must be *estimated* — here with the Clopper–Pearson
+//! interval from `diversim-stats` — and the experiments can measure how
+//! well such assessment works (coverage of the true, known pfd).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use diversim_stats::ci::{clopper_pearson, Interval};
+use diversim_stats::seed::SeedSequence;
+use diversim_universe::fault::FaultModel;
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+use crate::runner::parallel_replications;
+
+/// What operation of a version pair produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperationLog {
+    /// Demands executed.
+    pub demands: u64,
+    /// Demands on which version A failed.
+    pub failures_a: u64,
+    /// Demands on which version B failed.
+    pub failures_b: u64,
+    /// Demands on which both failed — system failures.
+    pub system_failures: u64,
+}
+
+impl OperationLog {
+    /// Clopper–Pearson interval for the system pfd at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no demands were run (an assessment needs exposure).
+    pub fn system_pfd_interval(&self, level: f64) -> Interval {
+        clopper_pearson(self.system_failures, self.demands, level)
+            .expect("demands > 0 and level validated upstream")
+    }
+
+    /// Point estimate of the system pfd.
+    pub fn system_pfd_estimate(&self) -> f64 {
+        if self.demands == 0 {
+            0.0
+        } else {
+            self.system_failures as f64 / self.demands as f64
+        }
+    }
+}
+
+/// Exposes a version pair to `demands` operational demands drawn from
+/// `profile`, recording version and system failures.
+pub fn operate_pair(
+    a: &Version,
+    b: &Version,
+    model: &FaultModel,
+    profile: &UsageProfile,
+    demands: u64,
+    seed: u64,
+) -> OperationLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fa = a.failure_set(model);
+    let fb = b.failure_set(model);
+    let mut log = OperationLog { demands, failures_a: 0, failures_b: 0, system_failures: 0 };
+    for _ in 0..demands {
+        let x = profile.sample(&mut rng);
+        let ia = fa.contains(x.index());
+        let ib = fb.contains(x.index());
+        if ia {
+            log.failures_a += 1;
+        }
+        if ib {
+            log.failures_b += 1;
+        }
+        if ia && ib {
+            log.system_failures += 1;
+        }
+    }
+    log
+}
+
+/// Result of a coverage study: how often the assessment interval covered
+/// the true pfd.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageStudy {
+    /// Fraction of replications whose interval contained the true value.
+    pub coverage: f64,
+    /// Mean interval width.
+    pub mean_width: f64,
+    /// Replications run.
+    pub replications: u64,
+}
+
+/// Measures the empirical coverage of the Clopper–Pearson assessment of
+/// a *fixed* pair's system pfd across replicated operational exposures.
+#[allow(clippy::too_many_arguments)]
+pub fn coverage_study(
+    a: &Version,
+    b: &Version,
+    model: &FaultModel,
+    profile: &UsageProfile,
+    demands: u64,
+    level: f64,
+    replications: u64,
+    seed: u64,
+    threads: usize,
+) -> CoverageStudy {
+    let truth = crate::campaign_truth(a, b, model, profile);
+    let seeds = SeedSequence::new(seed);
+    let results: Vec<(bool, f64)> =
+        parallel_replications(replications, seeds, threads, |_, rep_seed| {
+            let log = operate_pair(a, b, model, profile, demands, rep_seed);
+            let iv = log.system_pfd_interval(level);
+            (iv.contains(truth), iv.width())
+        });
+    let hits = results.iter().filter(|(hit, _)| *hit).count();
+    let width: f64 = results.iter().map(|(_, w)| w).sum::<f64>() / results.len().max(1) as f64;
+    CoverageStudy {
+        coverage: hits as f64 / results.len().max(1) as f64,
+        mean_width: width,
+        replications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_core::system::pair_pfd;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::{FaultId, FaultModelBuilder};
+
+    fn f(i: u32) -> FaultId {
+        FaultId::new(i)
+    }
+
+    fn model() -> FaultModel {
+        FaultModelBuilder::new(DemandSpace::new(8).unwrap())
+            .singleton_faults()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn operation_counts_are_consistent() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let a = Version::from_faults(&m, [f(0), f(1), f(2)]);
+        let b = Version::from_faults(&m, [f(2), f(3)]);
+        let log = operate_pair(&a, &b, &m, &q, 10_000, 1);
+        assert_eq!(log.demands, 10_000);
+        assert!(log.system_failures <= log.failures_a.min(log.failures_b));
+        // Empirical rates near the exact values.
+        let truth = pair_pfd(&a, &b, &m, &q);
+        assert!((log.system_pfd_estimate() - truth).abs() < 0.02);
+    }
+
+    #[test]
+    fn correct_pair_never_fails_in_operation() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let v = Version::correct(&m);
+        let log = operate_pair(&v, &v, &m, &q, 5_000, 2);
+        assert_eq!(log.system_failures, 0);
+        assert_eq!(log.failures_a, 0);
+        let iv = log.system_pfd_interval(0.95);
+        assert_eq!(iv.lo, 0.0);
+        assert!(iv.hi < 0.002, "failure-free bound should be ~3/n");
+    }
+
+    #[test]
+    fn operation_is_seed_deterministic() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let a = Version::from_faults(&m, [f(0)]);
+        let b = Version::from_faults(&m, [f(0), f(5)]);
+        assert_eq!(
+            operate_pair(&a, &b, &m, &q, 1000, 9),
+            operate_pair(&a, &b, &m, &q, 1000, 9)
+        );
+    }
+
+    #[test]
+    fn clopper_pearson_coverage_is_at_least_nominal() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let a = Version::from_faults(&m, [f(0), f(1)]);
+        let b = Version::from_faults(&m, [f(1), f(2)]);
+        // True system pfd = 1/8.
+        let study = coverage_study(&a, &b, &m, &q, 400, 0.95, 2_000, 11, 4);
+        assert!(
+            study.coverage >= 0.95 - 0.02,
+            "CP coverage {} below nominal",
+            study.coverage
+        );
+        assert!(study.mean_width > 0.0);
+    }
+
+    #[test]
+    fn more_exposure_narrows_the_assessment() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let a = Version::from_faults(&m, [f(0), f(1)]);
+        let b = Version::from_faults(&m, [f(1), f(2)]);
+        let short = coverage_study(&a, &b, &m, &q, 100, 0.95, 400, 12, 4);
+        let long = coverage_study(&a, &b, &m, &q, 10_000, 0.95, 400, 12, 4);
+        assert!(long.mean_width < short.mean_width / 3.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic parallel replication runner.
+//!
+//! Monte Carlo experiments are embarrassingly parallel, but naive
+//! parallelism destroys reproducibility (results depend on scheduling).
+//! Here every replication `i` derives its seed purely from `(root seed,
+//! i)` via [`SeedSequence`], worker threads claim indices from a shared
+//! atomic counter, and results are written into their index slot — so the
+//! output is identical for any thread count, including 1.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use diversim_stats::seed::SeedSequence;
+
+/// Runs `replications` jobs, each receiving `(index, seed)`, across
+/// `threads` worker threads, returning results in index order.
+///
+/// The result is a pure function of `(replications, seeds, job)` — thread
+/// count only affects wall-clock time.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a job panics (the panic is propagated).
+///
+/// # Examples
+///
+/// ```
+/// use diversim_sim::runner::parallel_replications;
+/// use diversim_stats::seed::SeedSequence;
+///
+/// let seeds = SeedSequence::new(42);
+/// let one = parallel_replications(8, seeds, 1, |i, seed| (i, seed));
+/// let four = parallel_replications(8, seeds, 4, |i, seed| (i, seed));
+/// assert_eq!(one, four);
+/// ```
+pub fn parallel_replications<T, F>(
+    replications: u64,
+    seeds: SeedSequence,
+    threads: usize,
+    job: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let n = usize::try_from(replications).expect("replication count fits in usize");
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return (0..replications).map(|i| job(i, seeds.seed_for(0, i))).collect();
+    }
+    let counter = AtomicU64::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= replications {
+                    break;
+                }
+                let result = job(i, seeds.seed_for(0, i));
+                slots.lock()[i as usize] = Some(result);
+            });
+        }
+    })
+    .expect("replication worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// A sensible default worker count: the number of available CPUs, capped
+/// at 16 (the workloads here saturate memory bandwidth well before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn results_are_in_index_order() {
+        let seeds = SeedSequence::new(1);
+        let out = parallel_replications(100, seeds, 4, |i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let seeds = SeedSequence::new(7);
+        let job = |_i: u64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            rng.gen::<f64>()
+        };
+        let serial = parallel_replications(64, seeds, 1, job);
+        for threads in [2, 3, 8] {
+            let parallel = parallel_replications(64, seeds, threads, job);
+            assert_eq!(serial, parallel, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn zero_replications_is_empty() {
+        let seeds = SeedSequence::new(0);
+        let out: Vec<u64> = parallel_replications(0, seeds, 4, |i, _| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn seeds_differ_across_replications() {
+        let seeds = SeedSequence::new(3);
+        let out = parallel_replications(32, seeds, 2, |_, seed| seed);
+        let mut dedup = out.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), out.len(), "seed collision across replications");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let seeds = SeedSequence::new(0);
+        let _ = parallel_replications(1, seeds, 0, |i, _| i);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(default_threads() <= 16);
+    }
+}

@@ -1,0 +1,216 @@
+//! Walker–Vose alias method for O(1) categorical sampling.
+//!
+//! The usage distribution `Q(·)` over the demand space is sampled once per
+//! test demand and once per operational demand in every Monte Carlo
+//! replication, so constant-time sampling matters. The alias table costs
+//! O(n) to build and O(1) per draw.
+
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Preprocessed alias table for sampling indices `0..n` with given weights.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_stats::alias::AliasSampler;
+/// use rand::SeedableRng;
+///
+/// let sampler = AliasSampler::new(&[0.5, 0.25, 0.25]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let idx = sampler.sample(&mut rng);
+/// assert!(idx < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl AliasSampler {
+    /// Builds an alias table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] for an empty slice and
+    /// [`StatsError::InvalidWeights`] if any weight is negative/non-finite
+    /// or all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self, StatsError> {
+        if weights.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        let total: f64 = {
+            let mut t = 0.0;
+            for &w in weights {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(StatsError::InvalidWeights);
+                }
+                t += w;
+            }
+            t
+        };
+        if total <= 0.0 || !total.is_finite() {
+            return Err(StatsError::InvalidWeights);
+        }
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains is 1.0 up to rounding.
+        for &l in &large {
+            prob[l] = 1.0;
+        }
+        for &s in &small {
+            prob[s] = 1.0;
+        }
+        let norm: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        Ok(Self { prob, alias, weights: norm })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the sampler has no categories (never constructed
+    /// that way — [`AliasSampler::new`] rejects empty input — but provided
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Normalised probability of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn probability(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Normalised probabilities of all categories.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Draws one index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let i = rng.gen_range(0..n);
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Draws `count` indices.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(AliasSampler::new(&[]).is_err());
+        assert!(AliasSampler::new(&[0.0, 0.0]).is_err());
+        assert!(AliasSampler::new(&[1.0, -1.0]).is_err());
+        assert!(AliasSampler::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let sampler = AliasSampler::new(&[3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let sampler = AliasSampler::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [0.5, 0.2, 0.2, 0.1];
+        let sampler = AliasSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!(
+                (freq - w).abs() < 0.01,
+                "category {i}: frequency {freq} vs weight {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let sampler = AliasSampler::new(&[2.0, 6.0]).unwrap();
+        assert!((sampler.probability(0) - 0.25).abs() < 1e-12);
+        assert!((sampler.probability(1) - 0.75).abs() < 1e-12);
+        let sum: f64 = sampler.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weights_cover_all_categories() {
+        let sampler = AliasSampler::new(&[1.0; 16]).unwrap();
+        assert_eq!(sampler.len(), 16);
+        assert!(!sampler.is_empty());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[sampler.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_many_has_requested_length() {
+        let sampler = AliasSampler::new(&[1.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(sampler.sample_many(&mut rng, 37).len(), 37);
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type shared by the statistics substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+///
+/// All constructors in this crate validate their arguments (probabilities
+/// must lie in `[0, 1]`, samples must be non-empty where a mean is needed,
+/// and so on) and report violations through this type rather than panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A probability-valued argument was outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An operation that needs at least one observation received none.
+    EmptySample,
+    /// A weight vector summed to zero or contained a negative/non-finite entry.
+    InvalidWeights,
+    /// Numerical iteration failed to converge.
+    NoConvergence {
+        /// The routine that failed.
+        routine: &'static str,
+    },
+    /// A pair of bounds was in the wrong order.
+    InvalidInterval {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability { name, value } => {
+                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+            }
+            StatsError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be strictly positive, got {value}")
+            }
+            StatsError::EmptySample => write!(f, "operation requires a non-empty sample"),
+            StatsError::InvalidWeights => {
+                write!(f, "weights must be non-negative, finite, and sum to a positive value")
+            }
+            StatsError::NoConvergence { routine } => {
+                write!(f, "numerical routine `{routine}` failed to converge")
+            }
+            StatsError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid interval: lower bound {lo} exceeds upper bound {hi}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Validates that `value` is a finite probability in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidProbability`] when the check fails.
+pub fn check_probability(name: &'static str, value: f64) -> Result<f64, StatsError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(StatsError::InvalidProbability { name, value })
+    }
+}
+
+/// Validates that `value` is finite and strictly positive.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NonPositive`] when the check fails.
+pub fn check_positive(name: &'static str, value: f64) -> Result<f64, StatsError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(StatsError::NonPositive { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::InvalidProbability { name: "alpha", value: 1.5 };
+        let msg = e.to_string();
+        assert!(msg.contains("alpha"));
+        assert!(msg.contains("1.5"));
+    }
+
+    #[test]
+    fn check_probability_accepts_bounds() {
+        assert_eq!(check_probability("p", 0.0), Ok(0.0));
+        assert_eq!(check_probability("p", 1.0), Ok(1.0));
+        assert_eq!(check_probability("p", 0.25), Ok(0.25));
+    }
+
+    #[test]
+    fn check_probability_rejects_out_of_range() {
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", 1.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+        assert!(check_probability("p", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn check_positive_rejects_zero_and_negative() {
+        assert!(check_positive("x", 0.0).is_err());
+        assert!(check_positive("x", -1.0).is_err());
+        assert!(check_positive("x", f64::NAN).is_err());
+        assert_eq!(check_positive("x", 2.0), Ok(2.0));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Statistics substrate for the `diversim` workspace.
+//!
+//! This crate provides the numerical machinery that the rest of the
+//! reproduction of Popov & Littlewood (DSN 2004) is built on:
+//!
+//! * [`online`] — mergeable streaming estimators (Welford mean/variance,
+//!   bivariate covariance) used by the Monte Carlo engine;
+//! * [`weighted`] — exact moments of functions under discrete probability
+//!   measures, the workhorse behind every `E[·]`, `Var(·)` and `Cov(·, ·)`
+//!   in the paper's equations;
+//! * [`ci`] — confidence intervals for proportions and means (normal,
+//!   Wilson, Clopper–Pearson);
+//! * [`special`] — special functions (log-gamma, regularized incomplete
+//!   beta and its inverse, error function, normal quantile) implemented
+//!   from scratch because no external stats crate is used;
+//! * [`alias`] — Walker–Vose alias sampler for O(1) sampling from the
+//!   usage distribution `Q(·)` over the demand space;
+//! * [`seed`] — SplitMix64-based deterministic seed derivation so that
+//!   replicated simulations are reproducible regardless of thread count;
+//! * [`stopping`] — test-campaign stopping rules in the spirit of the
+//!   paper's reference \[3\] (Littlewood & Wright 1997);
+//! * [`summary`], [`histogram`], [`bootstrap`] — sample summaries,
+//!   fixed-bin histograms and bootstrap intervals for experiment reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use diversim_stats::online::MeanVar;
+//!
+//! let mut acc = MeanVar::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     acc.push(x);
+//! }
+//! assert_eq!(acc.mean(), 2.5);
+//! assert!((acc.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod alias;
+pub mod bootstrap;
+pub mod ci;
+pub mod error;
+pub mod histogram;
+pub mod online;
+pub mod seed;
+pub mod special;
+pub mod stopping;
+pub mod summary;
+pub mod weighted;
+
+pub use alias::AliasSampler;
+pub use ci::{clopper_pearson, wilson, Interval};
+pub use error::StatsError;
+pub use online::{BivariateMeanVar, MeanVar};
+pub use seed::SeedSequence;
+pub use summary::Summary;

@@ -1,0 +1,377 @@
+//! Mergeable streaming estimators.
+//!
+//! [`MeanVar`] implements Welford's algorithm for numerically stable
+//! streaming mean/variance; [`BivariateMeanVar`] extends it to paired
+//! observations for covariance and correlation. Both support `merge`
+//! (Chan et al.'s parallel combination), which is what lets the Monte
+//! Carlo engine in `diversim-sim` accumulate per-thread results and
+//! combine them deterministically.
+
+/// Streaming (Welford) estimator of mean and variance.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_stats::online::MeanVar;
+///
+/// let acc: MeanVar = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(acc.mean(), 5.0);
+/// assert_eq!(acc.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanVar {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the observations; `0.0` for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (divides by `n - 1`); `0.0` when fewer than
+    /// two observations have been pushed.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (divides by `n`); `0.0` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_sd(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `sd / sqrt(n)`; `0.0` when empty.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_sd() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Combines two accumulators as if all observations had been pushed into
+    /// one (Chan et al. parallel update). The result is independent of the
+    /// split, up to floating-point rounding.
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let count = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let n = count as f64;
+        let mean = self.mean + delta * (other.count as f64 / n);
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64 / n);
+        Self { count, mean, m2 }
+    }
+}
+
+impl FromIterator<f64> for MeanVar {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+impl Extend<f64> for MeanVar {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Streaming estimator of the joint first and second moments of paired
+/// observations `(x, y)`: means, variances, covariance and correlation.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_stats::online::BivariateMeanVar;
+///
+/// let mut acc = BivariateMeanVar::new();
+/// for (x, y) in [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)] {
+///     acc.push(x, y);
+/// }
+/// assert!((acc.correlation() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BivariateMeanVar {
+    count: u64,
+    mean_x: f64,
+    mean_y: f64,
+    m2_x: f64,
+    m2_y: f64,
+    c2: f64,
+}
+
+impl BivariateMeanVar {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one paired observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.count += 1;
+        let n = self.count as f64;
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_x += dx / n;
+        self.mean_y += dy / n;
+        let dx2 = x - self.mean_x;
+        let dy2 = y - self.mean_y;
+        self.m2_x += dx * dx2;
+        self.m2_y += dy * dy2;
+        self.c2 += dx * dy2;
+    }
+
+    /// Number of pairs pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the first coordinate.
+    pub fn mean_x(&self) -> f64 {
+        self.mean_x
+    }
+
+    /// Mean of the second coordinate.
+    pub fn mean_y(&self) -> f64 {
+        self.mean_y
+    }
+
+    /// Unbiased sample covariance; `0.0` with fewer than two pairs.
+    pub fn sample_covariance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.c2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population covariance (divides by `n`); `0.0` when empty.
+    pub fn population_covariance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.c2 / self.count as f64
+        }
+    }
+
+    /// Sample variance of the first coordinate.
+    pub fn sample_variance_x(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2_x / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample variance of the second coordinate.
+    pub fn sample_variance_y(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2_y / (self.count - 1) as f64
+        }
+    }
+
+    /// Pearson correlation coefficient; `0.0` when either variance is zero.
+    pub fn correlation(&self) -> f64 {
+        let denom = (self.m2_x * self.m2_y).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.c2 / denom
+        }
+    }
+
+    /// Combines two accumulators as if all pairs had been pushed into one.
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let count = self.count + other.count;
+        let n = count as f64;
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        Self {
+            count,
+            mean_x: self.mean_x + dx * nb / n,
+            mean_y: self.mean_y + dy * nb / n,
+            m2_x: self.m2_x + other.m2_x + dx * dx * na * nb / n,
+            m2_y: self.m2_y + other.m2_y + dy * dy * na * nb / n,
+            c2: self.c2 + other.c2 + dx * dy * na * nb / n,
+        }
+    }
+}
+
+impl FromIterator<(f64, f64)> for BivariateMeanVar {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for (x, y) in iter {
+            acc.push(x, y);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn empty_accumulator_is_zeroed() {
+        let acc = MeanVar::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut acc = MeanVar::new();
+        acc.push(42.0);
+        assert_eq!(acc.mean(), 42.0);
+        assert_eq!(acc.sample_variance(), 0.0);
+        assert_eq!(acc.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_naive_formulas() {
+        let xs = [1.5, -2.25, 3.0, 0.0, 9.75, -1.0, 4.5];
+        let acc: MeanVar = xs.iter().copied().collect();
+        let (mean, var) = naive_mean_var(&xs);
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let full: MeanVar = xs.iter().copied().collect();
+        let left: MeanVar = xs[..37].iter().copied().collect();
+        let right: MeanVar = xs[37..].iter().copied().collect();
+        let merged = left.merge(&right);
+        assert_eq!(merged.count(), full.count());
+        assert!((merged.mean() - full.mean()).abs() < 1e-12);
+        assert!((merged.sample_variance() - full.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let acc: MeanVar = [1.0, 2.0, 3.0].iter().copied().collect();
+        let empty = MeanVar::new();
+        assert_eq!(acc.merge(&empty), acc);
+        assert_eq!(empty.merge(&acc), acc);
+    }
+
+    #[test]
+    fn numerical_stability_with_large_offset() {
+        // Welford must not lose the variance of small deviations riding on a
+        // huge offset, unlike the naive sum-of-squares formula.
+        let offset = 1e9;
+        let acc: MeanVar = [offset + 1.0, offset + 2.0, offset + 3.0].iter().copied().collect();
+        assert!((acc.sample_variance() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bivariate_covariance_matches_naive() {
+        let pairs = [(1.0, 3.0), (2.0, -1.0), (4.0, 0.5), (-3.0, 2.0)];
+        let acc: BivariateMeanVar = pairs.iter().copied().collect();
+        let n = pairs.len() as f64;
+        let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov =
+            pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / (n - 1.0);
+        assert!((acc.sample_covariance() - cov).abs() < 1e-12);
+        assert!((acc.mean_x() - mx).abs() < 1e-12);
+        assert!((acc.mean_y() - my).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bivariate_merge_equals_sequential() {
+        let pairs: Vec<(f64, f64)> =
+            (0..50).map(|i| ((i as f64).cos(), (i as f64 * 0.7).sin())).collect();
+        let full: BivariateMeanVar = pairs.iter().copied().collect();
+        let left: BivariateMeanVar = pairs[..20].iter().copied().collect();
+        let right: BivariateMeanVar = pairs[20..].iter().copied().collect();
+        let merged = left.merge(&right);
+        assert!((merged.sample_covariance() - full.sample_covariance()).abs() < 1e-12);
+        assert!((merged.correlation() - full.correlation()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anticorrelated_pairs_have_negative_correlation() {
+        let mut acc = BivariateMeanVar::new();
+        for i in 0..10 {
+            acc.push(i as f64, -(i as f64));
+        }
+        assert!((acc.correlation() + 1.0).abs() < 1e-12);
+        assert!(acc.sample_covariance() < 0.0);
+    }
+
+    #[test]
+    fn constant_coordinate_gives_zero_correlation() {
+        let mut acc = BivariateMeanVar::new();
+        for i in 0..10 {
+            acc.push(5.0, i as f64);
+        }
+        assert_eq!(acc.correlation(), 0.0);
+    }
+}

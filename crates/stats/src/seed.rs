@@ -1,0 +1,140 @@
+//! Deterministic seed derivation.
+//!
+//! Replicated Monte Carlo experiments must be reproducible and independent
+//! of the execution schedule: replication `i` always receives the same
+//! seed regardless of which thread runs it. [`SeedSequence`] derives
+//! per-replication and per-stream seeds from a root seed with SplitMix64,
+//! whose output is a bijection of its counter — distinct indices can never
+//! collide.
+
+/// One step of the SplitMix64 generator: mixes `state + GOLDEN_GAMMA`.
+///
+/// SplitMix64 passes BigCrush and is the standard seeding PRNG for
+/// xoshiro-family generators.
+#[inline]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives independent, reproducible seeds from a root seed.
+///
+/// Seeds are derived as `splitmix64(root ⊕ mix(stream) ⊕ mix(index))`,
+/// so each `(stream, index)` pair maps to a distinct, well-mixed value.
+/// Streams separate logical uses (e.g. version sampling vs. suite
+/// generation) so that changing the number of draws in one stream does not
+/// perturb another.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_stats::seed::SeedSequence;
+///
+/// let seq = SeedSequence::new(42);
+/// let a = seq.seed_for(0, 0);
+/// let b = seq.seed_for(0, 1);
+/// assert_ne!(a, b);
+/// // Derivation is pure: same coordinates, same seed.
+/// assert_eq!(a, SeedSequence::new(42).seed_for(0, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedSequence {
+    root: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `root`.
+    pub fn new(root: u64) -> Self {
+        Self { root }
+    }
+
+    /// The root seed.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Seed for `(stream, index)`. Pure function of its arguments.
+    pub fn seed_for(&self, stream: u64, index: u64) -> u64 {
+        // Mix each coordinate through a full SplitMix64 round before
+        // combining, so that low-entropy (small-integer) coordinates are
+        // spread across all 64 bits.
+        let s = splitmix64(stream.wrapping_mul(2).wrapping_add(1));
+        let i = splitmix64(index.wrapping_mul(2));
+        splitmix64(self.root ^ s.rotate_left(17) ^ i)
+    }
+
+    /// Derives a child sequence for a named sub-experiment.
+    pub fn child(&self, stream: u64) -> SeedSequence {
+        SeedSequence { root: self.seed_for(stream, u64::MAX) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 0 per the public-domain implementation
+        // (sequence of splitmix64 with incrementing internal state).
+        let mut state = 0u64;
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            let out = splitmix64(state);
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            // reproduce the classic "state += gamma then mix" formulation
+            outs.push(out);
+        }
+        assert_eq!(outs[0], 0xE220_A839_7B1D_CDAF);
+        assert_eq!(outs[1], 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(outs[2], 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn distinct_indices_get_distinct_seeds() {
+        let seq = SeedSequence::new(7);
+        let mut seen = HashSet::new();
+        for stream in 0..8 {
+            for index in 0..256 {
+                assert!(
+                    seen.insert(seq.seed_for(stream, index)),
+                    "collision at stream {stream}, index {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = SeedSequence::new(123).seed_for(4, 99);
+        let b = SeedSequence::new(123).seed_for(4, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_roots_decorrelate() {
+        let a = SeedSequence::new(1).seed_for(0, 0);
+        let b = SeedSequence::new(2).seed_for(0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn child_sequences_are_distinct_from_parent() {
+        let parent = SeedSequence::new(9);
+        let child = parent.child(3);
+        assert_ne!(parent.root(), child.root());
+        assert_ne!(parent.seed_for(0, 0), child.seed_for(0, 0));
+    }
+
+    #[test]
+    fn streams_are_independent_of_index_usage() {
+        // Consuming many indices on stream 0 must not change stream 1.
+        let seq = SeedSequence::new(55);
+        let before = seq.seed_for(1, 0);
+        let _burn: Vec<u64> = (0..1000).map(|i| seq.seed_for(0, i)).collect();
+        assert_eq!(seq.seed_for(1, 0), before);
+    }
+}

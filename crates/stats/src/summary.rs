@@ -1,0 +1,193 @@
+//! Sample summaries for experiment reports.
+
+use crate::error::StatsError;
+
+/// A five-number-plus summary of a real-valued sample: count, mean,
+/// standard deviation, extremes and interpolated quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_stats::summary::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.median(), 3.0);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    sample_sd: f64,
+}
+
+impl Summary {
+    /// Builds a summary from a slice of observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] for an empty slice and
+    /// [`StatsError::InvalidWeights`] if any observation is non-finite.
+    pub fn from_slice(values: &[f64]) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidWeights);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let sample_sd = if sorted.len() < 2 {
+            0.0
+        } else {
+            (sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        Ok(Self { sorted, mean, sample_sd })
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample standard deviation (zero for a single observation).
+    pub fn sample_sd(&self) -> f64 {
+        self.sample_sd
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        self.sample_sd / (self.sorted.len() as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Linearly interpolated quantile (R type-7 / NumPy default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let h = q * (n - 1) as f64;
+        let lo = h.floor() as usize;
+        let hi = h.ceil() as usize;
+        let frac = h - lo as f64;
+        self.sorted[lo] + (self.sorted[hi] - self.sorted[lo]) * frac
+    }
+
+    /// Interquartile range, `q(0.75) − q(0.25)`.
+    pub fn iqr(&self) -> f64 {
+        self.quantile(0.75) - self.quantile(0.25)
+    }
+
+    /// The observations, sorted ascending.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6} sd={:.6} min={:.6} p50={:.6} max={:.6}",
+            self.count(),
+            self.mean(),
+            self.sample_sd(),
+            self.min(),
+            self.median(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert_eq!(Summary::from_slice(&[]), Err(StatsError::EmptySample));
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+        assert!(Summary::from_slice(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_slice(&[7.5]).unwrap();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.sample_sd(), 0.0);
+        assert_eq!(s.median(), 7.5);
+        assert_eq!(s.quantile(0.99), 7.5);
+    }
+
+    #[test]
+    fn median_even_count_interpolates() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn quantiles_match_numpy_type7() {
+        // numpy.quantile([1,2,3,4,5,6,7,8,9,10], 0.25) == 3.25
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let s = Summary::from_slice(&xs).unwrap();
+        assert!((s.quantile(0.25) - 3.25).abs() < 1e-12);
+        assert!((s.quantile(0.75) - 7.75).abs() < 1e-12);
+        assert!((s.iqr() - 4.5).abs() < 1e-12);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = Summary::from_slice(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.sorted_values(), &[1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let s = Summary::from_slice(&[1.0, 2.0]).unwrap();
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = Summary::from_slice(&[1.0, 3.0]).unwrap();
+        let out = s.to_string();
+        assert!(out.contains("n=2"));
+        assert!(out.contains("mean=2.0"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Failure-detection oracles.
+//!
+//! §2: "a judging mechanism (for example oracle(s)) … Clearly, the judging
+//! mechanism can itself be fallible." An [`Oracle`] decides whether an
+//! observed failure (a demand on which the executed version's output is
+//! wrong) is *detected*. Back-to-back comparison (§4.2) is not an
+//! [`Oracle`] — its verdict depends on both versions' outcomes — and is
+//! modelled separately by [`IdenticalFailureModel`] in
+//! [`crate::process::back_to_back_debug`].
+
+use rand::{Rng, RngCore};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+use diversim_universe::demand::DemandId;
+
+use crate::error::TestingError;
+
+/// Decides whether a failure on a demand is detected.
+pub trait Oracle: std::fmt::Debug + Send + Sync {
+    /// Returns `true` if a failure on `x` is detected. Called once per
+    /// failing execution.
+    fn detects(&self, rng: &mut dyn RngCore, x: DemandId) -> bool;
+
+    /// `true` if the oracle detects every failure with certainty, enabling
+    /// closed-form shortcuts.
+    fn is_perfect(&self) -> bool {
+        false
+    }
+}
+
+/// The perfect oracle of §3: every failure is detected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct PerfectOracle;
+
+impl PerfectOracle {
+    /// Creates a perfect oracle.
+    pub fn new() -> Self {
+        PerfectOracle
+    }
+}
+
+impl Oracle for PerfectOracle {
+    fn detects(&self, _rng: &mut dyn RngCore, _x: DemandId) -> bool {
+        true
+    }
+
+    fn is_perfect(&self) -> bool {
+        true
+    }
+}
+
+/// The imperfect oracle of §4.1: each failing execution is detected
+/// independently with probability `detect_prob`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ImperfectOracle {
+    detect_prob: f64,
+}
+
+impl ImperfectOracle {
+    /// Creates an oracle with the given per-failure detection probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestingError::InvalidProbability`] unless
+    /// `detect_prob ∈ [0, 1]`.
+    pub fn new(detect_prob: f64) -> Result<Self, TestingError> {
+        if !detect_prob.is_finite() || !(0.0..=1.0).contains(&detect_prob) {
+            return Err(TestingError::InvalidProbability {
+                name: "detect_prob",
+                value: detect_prob,
+            });
+        }
+        Ok(Self { detect_prob })
+    }
+
+    /// The per-failure detection probability.
+    pub fn detect_prob(&self) -> f64 {
+        self.detect_prob
+    }
+}
+
+impl Oracle for ImperfectOracle {
+    fn detects(&self, rng: &mut dyn RngCore, _x: DemandId) -> bool {
+        rng.gen::<f64>() < self.detect_prob
+    }
+
+    fn is_perfect(&self) -> bool {
+        self.detect_prob >= 1.0
+    }
+}
+
+/// An oracle with per-demand detection probabilities (some failures are
+/// easier to judge than others) — an extension beyond the paper's global
+/// imperfection parameter.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct PerDemandOracle {
+    detect_probs: Vec<f64>,
+}
+
+impl PerDemandOracle {
+    /// Creates an oracle from per-demand detection probabilities, indexed
+    /// by demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestingError::InvalidProbability`] if any entry is out of
+    /// range.
+    pub fn new(detect_probs: Vec<f64>) -> Result<Self, TestingError> {
+        for &p in &detect_probs {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(TestingError::InvalidProbability {
+                    name: "detect_probs[i]",
+                    value: p,
+                });
+            }
+        }
+        Ok(Self { detect_probs })
+    }
+}
+
+impl Oracle for PerDemandOracle {
+    fn detects(&self, rng: &mut dyn RngCore, x: DemandId) -> bool {
+        let p = self.detect_probs.get(x.index()).copied().unwrap_or(0.0);
+        rng.gen::<f64>() < p
+    }
+
+    fn is_perfect(&self) -> bool {
+        self.detect_probs.iter().all(|&p| p >= 1.0)
+    }
+}
+
+/// How coincident failures behave under back-to-back comparison (§4.2).
+///
+/// When exactly one version fails on a demand the outputs necessarily
+/// mismatch and the failure is detected. When *both* fail, detection
+/// succeeds only if the wrong outputs differ:
+///
+/// * [`IdenticalFailureModel::Never`] — the optimistic bound: coincident
+///   failures are never identical, so back-to-back behaves like a perfect
+///   oracle;
+/// * [`IdenticalFailureModel::Always`] — the pessimistic bound: all
+///   coincident failures are identical and undetectable;
+/// * [`IdenticalFailureModel::Bernoulli`] — each coincident failure is
+///   identical with probability `γ`, interpolating between the bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum IdenticalFailureModel {
+    /// Coincident failures always mismatch (optimistic).
+    Never,
+    /// Coincident failures are always identical (pessimistic).
+    Always,
+    /// Coincident failures are identical with probability `γ`.
+    Bernoulli(f64),
+}
+
+impl IdenticalFailureModel {
+    /// Validates the γ parameter of the Bernoulli variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestingError::InvalidProbability`] if γ is out of range.
+    pub fn validate(&self) -> Result<(), TestingError> {
+        if let IdenticalFailureModel::Bernoulli(g) = *self {
+            if !g.is_finite() || !(0.0..=1.0).contains(&g) {
+                return Err(TestingError::InvalidProbability { name: "gamma", value: g });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws whether a coincident failure is identical (hence undetected).
+    pub fn is_identical(&self, rng: &mut dyn RngCore) -> bool {
+        match *self {
+            IdenticalFailureModel::Never => false,
+            IdenticalFailureModel::Always => true,
+            IdenticalFailureModel::Bernoulli(g) => rng.gen::<f64>() < g,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    #[test]
+    fn perfect_oracle_always_detects() {
+        let o = PerfectOracle::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(o.is_perfect());
+        for i in 0..100 {
+            assert!(o.detects(&mut rng, d(i)));
+        }
+    }
+
+    #[test]
+    fn imperfect_oracle_detection_rate() {
+        let o = ImperfectOracle::new(0.3).unwrap();
+        assert!(!o.is_perfect());
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| o.detects(&mut rng, d(0))).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn imperfect_oracle_extremes() {
+        let zero = ImperfectOracle::new(0.0).unwrap();
+        let one = ImperfectOracle::new(1.0).unwrap();
+        assert!(one.is_perfect());
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!zero.detects(&mut rng, d(0)));
+        assert!(one.detects(&mut rng, d(0)));
+    }
+
+    #[test]
+    fn imperfect_oracle_rejects_bad_probability() {
+        assert!(ImperfectOracle::new(-0.1).is_err());
+        assert!(ImperfectOracle::new(1.1).is_err());
+        assert!(ImperfectOracle::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn per_demand_oracle_uses_right_entry() {
+        let o = PerDemandOracle::new(vec![1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(o.detects(&mut rng, d(0)));
+        assert!(!o.detects(&mut rng, d(1)));
+        // Out-of-range demands are never detected.
+        assert!(!o.detects(&mut rng, d(9)));
+        assert!(!o.is_perfect());
+        assert!(PerDemandOracle::new(vec![1.0, 1.0]).unwrap().is_perfect());
+    }
+
+    #[test]
+    fn per_demand_oracle_validates() {
+        assert!(PerDemandOracle::new(vec![0.5, 2.0]).is_err());
+    }
+
+    #[test]
+    fn identical_failure_model_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!IdenticalFailureModel::Never.is_identical(&mut rng));
+        assert!(IdenticalFailureModel::Always.is_identical(&mut rng));
+    }
+
+    #[test]
+    fn identical_failure_model_bernoulli_rate() {
+        let m = IdenticalFailureModel::Bernoulli(0.7);
+        m.validate().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| m.is_identical(&mut rng)).count();
+        assert!((hits as f64 / 100_000.0 - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn identical_failure_model_validation() {
+        assert!(IdenticalFailureModel::Bernoulli(1.5).validate().is_err());
+        assert!(IdenticalFailureModel::Never.validate().is_ok());
+        assert!(IdenticalFailureModel::Always.validate().is_ok());
+    }
+
+    #[test]
+    fn oracles_are_object_safe() {
+        let oracles: Vec<Box<dyn Oracle>> = vec![
+            Box::new(PerfectOracle::new()),
+            Box::new(ImperfectOracle::new(0.5).unwrap()),
+            Box::new(PerDemandOracle::new(vec![0.5]).unwrap()),
+        ];
+        let mut rng = StdRng::seed_from_u64(6);
+        for o in &oracles {
+            let _ = o.detects(&mut rng, d(0));
+        }
+    }
+}

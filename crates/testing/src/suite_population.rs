@@ -1,0 +1,289 @@
+//! Suite populations: the measure `M(·)` over the set of test suites `Ξ`.
+//!
+//! "Let us define the set of all test suites, Ξ = {t₁, t₂, …}, which can
+//! be generated with a given generation procedure together with the
+//! probabilistic measure, M(·), defined on Ξ." (§3). For exact
+//! computation the measure is held explicitly; for simulation it is
+//! sampled through a [`crate::generation::SuiteGenerator`].
+
+use std::collections::HashMap;
+
+use rand::RngCore;
+
+use diversim_stats::alias::AliasSampler;
+use diversim_universe::bitset::BitSet;
+use diversim_universe::demand::DemandId;
+use diversim_universe::profile::UsageProfile;
+
+use crate::error::TestingError;
+use crate::suite::TestSuite;
+
+/// A finite, explicit measure over test suites.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_testing::suite::TestSuite;
+/// use diversim_testing::suite_population::ExplicitSuitePopulation;
+/// use diversim_universe::demand::{DemandId, DemandSpace};
+///
+/// let space = DemandSpace::new(2).unwrap();
+/// let t0 = TestSuite::from_demands(space, vec![DemandId::new(0)]).unwrap();
+/// let t1 = TestSuite::from_demands(space, vec![DemandId::new(1)]).unwrap();
+/// let m = ExplicitSuitePopulation::new(vec![(t0, 0.5), (t1, 0.5)]).unwrap();
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplicitSuitePopulation {
+    suites: Vec<(TestSuite, f64)>,
+    sampler: AliasSampler,
+}
+
+impl ExplicitSuitePopulation {
+    /// Builds a population from `(suite, weight)` pairs; weights are
+    /// normalised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestingError::InvalidSuitePopulation`] for an empty list
+    /// or degenerate weights.
+    pub fn new(suites: Vec<(TestSuite, f64)>) -> Result<Self, TestingError> {
+        if suites.is_empty() {
+            return Err(TestingError::InvalidSuitePopulation { reason: "no suites supplied" });
+        }
+        let weights: Vec<f64> = suites.iter().map(|(_, w)| *w).collect();
+        let sampler = AliasSampler::new(&weights).map_err(|_| {
+            TestingError::InvalidSuitePopulation { reason: "degenerate weights" }
+        })?;
+        let norm = sampler.probabilities().to_vec();
+        let suites = suites
+            .into_iter()
+            .zip(norm)
+            .map(|((t, _), p)| (t, p))
+            .collect();
+        Ok(Self { suites, sampler })
+    }
+
+    /// A population selecting uniformly among the given suites.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ExplicitSuitePopulation::new`].
+    pub fn uniform(suites: Vec<TestSuite>) -> Result<Self, TestingError> {
+        Self::new(suites.into_iter().map(|t| (t, 1.0)).collect())
+    }
+
+    /// Number of suites in the support.
+    pub fn len(&self) -> usize {
+        self.suites.len()
+    }
+
+    /// Returns `true` if the support is empty (never true after
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.suites.is_empty()
+    }
+
+    /// Iterates `(suite, probability)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&TestSuite, f64)> {
+        self.suites.iter().map(|(t, p)| (t, *p))
+    }
+
+    /// Draws one suite `T ~ M(·)`.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> &TestSuite {
+        &self.suites[self.sampler.sample(rng)].0
+    }
+
+    /// Expectation over the measure of a function of the suite.
+    pub fn expect<F: FnMut(&TestSuite) -> f64>(&self, mut f: F) -> f64 {
+        self.iter().map(|(t, p)| f(t) * p).sum()
+    }
+}
+
+/// Exactly enumerates the distribution over *covered demand sets* induced
+/// by drawing `size` i.i.d. demands from `profile`.
+///
+/// Two sequences covering the same set of demands are equivalent under
+/// perfect failure detection and perfect fixing (a fault survives iff its
+/// region misses the covered set), so the enumeration collapses the
+/// `|F|^size` sequences into at most `2^|F|` covered sets by dynamic
+/// programming over draws. **The collapse is only valid for perfect
+/// testing** — imperfect oracles see each execution separately; use
+/// sampling for those regimes.
+///
+/// # Errors
+///
+/// Returns [`TestingError::EnumerationTooLarge`] as soon as the number of
+/// reachable sets exceeds `limit`.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_testing::suite_population::enumerate_iid_suites;
+/// use diversim_universe::demand::DemandSpace;
+/// use diversim_universe::profile::UsageProfile;
+///
+/// let q = UsageProfile::uniform(DemandSpace::new(2).unwrap());
+/// let m = enumerate_iid_suites(&q, 2, 1 << 10).unwrap();
+/// // Covered sets after 2 uniform draws over {0, 1}:
+/// //   {0} w.p. 1/4, {1} w.p. 1/4, {0,1} w.p. 1/2.
+/// assert_eq!(m.len(), 3);
+/// ```
+pub fn enumerate_iid_suites(
+    profile: &UsageProfile,
+    size: usize,
+    limit: usize,
+) -> Result<ExplicitSuitePopulation, TestingError> {
+    let space = profile.space();
+    let n = space.len();
+    let mut dist: HashMap<BitSet, f64> = HashMap::new();
+    dist.insert(BitSet::new(n), 1.0);
+    for _ in 0..size {
+        let mut next: HashMap<BitSet, f64> = HashMap::with_capacity(dist.len() * 2);
+        for (set, p) in &dist {
+            for (x, q) in profile.iter() {
+                if q == 0.0 {
+                    continue;
+                }
+                let mut ns = set.clone();
+                ns.insert(x.index());
+                *next.entry(ns).or_insert(0.0) += p * q;
+            }
+        }
+        if next.len() > limit {
+            return Err(TestingError::EnumerationTooLarge { required: next.len(), limit });
+        }
+        dist = next;
+    }
+    let mut suites: Vec<(TestSuite, f64)> = dist
+        .into_iter()
+        .map(|(set, p)| {
+            let demands: Vec<DemandId> =
+                set.iter().map(|i| DemandId::new(i as u32)).collect();
+            let t = TestSuite::from_demands(space, demands)
+                .expect("enumerated demands lie in the space");
+            (t, p)
+        })
+        .collect();
+    // Deterministic order for reproducible reports.
+    suites.sort_by(|(a, _), (b, _)| a.demands().cmp(b.demands()));
+    ExplicitSuitePopulation::new(suites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_universe::demand::DemandSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    fn space(n: usize) -> DemandSpace {
+        DemandSpace::new(n).unwrap()
+    }
+
+    #[test]
+    fn explicit_population_normalises() {
+        let t0 = TestSuite::empty(space(2));
+        let t1 = TestSuite::exhaustive(space(2));
+        let m = ExplicitSuitePopulation::new(vec![(t0, 1.0), (t1, 3.0)]).unwrap();
+        let probs: Vec<f64> = m.iter().map(|(_, p)| p).collect();
+        assert!((probs[0] - 0.25).abs() < 1e-12);
+        assert!((probs[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_population_rejects_empty() {
+        assert!(ExplicitSuitePopulation::new(vec![]).is_err());
+        assert!(ExplicitSuitePopulation::uniform(vec![]).is_err());
+    }
+
+    #[test]
+    fn expectation_over_measure() {
+        let t0 = TestSuite::empty(space(2));
+        let t1 = TestSuite::exhaustive(space(2));
+        let m = ExplicitSuitePopulation::new(vec![(t0, 0.5), (t1, 0.5)]).unwrap();
+        let mean_len = m.expect(|t| t.len() as f64);
+        assert!((mean_len - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let t0 = TestSuite::empty(space(2));
+        let t1 = TestSuite::exhaustive(space(2));
+        let m = ExplicitSuitePopulation::new(vec![(t0, 0.9), (t1, 0.1)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut empties = 0;
+        for _ in 0..10_000 {
+            if m.sample(&mut rng).is_empty() {
+                empties += 1;
+            }
+        }
+        assert!((empties as f64 / 10_000.0 - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn iid_enumeration_two_uniform_draws() {
+        let q = UsageProfile::uniform(space(2));
+        let m = enumerate_iid_suites(&q, 2, 100).unwrap();
+        assert_eq!(m.len(), 3);
+        let mut by_set: HashMap<Vec<DemandId>, f64> = HashMap::new();
+        for (t, p) in m.iter() {
+            by_set.insert(t.demands().to_vec(), p);
+        }
+        assert!((by_set[&vec![d(0)]] - 0.25).abs() < 1e-12);
+        assert!((by_set[&vec![d(1)]] - 0.25).abs() < 1e-12);
+        assert!((by_set[&vec![d(0), d(1)]] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_enumeration_skewed_profile() {
+        let q = UsageProfile::from_weights(space(2), vec![0.9, 0.1]).unwrap();
+        let m = enumerate_iid_suites(&q, 1, 100).unwrap();
+        assert_eq!(m.len(), 2);
+        for (t, p) in m.iter() {
+            if t.contains(d(0)) {
+                assert!((p - 0.9).abs() < 1e-12);
+            } else {
+                assert!((p - 0.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn iid_enumeration_probabilities_sum_to_one() {
+        let q = UsageProfile::from_weights(space(4), vec![0.4, 0.3, 0.2, 0.1]).unwrap();
+        let m = enumerate_iid_suites(&q, 3, 1 << 8).unwrap();
+        let total: f64 = m.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iid_enumeration_zero_size_is_empty_suite() {
+        let q = UsageProfile::uniform(space(3));
+        let m = enumerate_iid_suites(&q, 0, 10).unwrap();
+        assert_eq!(m.len(), 1);
+        let (t, p) = m.iter().next().unwrap();
+        assert!(t.is_empty());
+        assert!((p - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn iid_enumeration_respects_limit() {
+        let q = UsageProfile::uniform(space(10));
+        let err = enumerate_iid_suites(&q, 5, 4).unwrap_err();
+        assert!(matches!(err, TestingError::EnumerationTooLarge { .. }));
+    }
+
+    #[test]
+    fn iid_enumeration_ignores_zero_probability_demands() {
+        let q = UsageProfile::from_weights(space(3), vec![0.5, 0.5, 0.0]).unwrap();
+        let m = enumerate_iid_suites(&q, 2, 100).unwrap();
+        for (t, _) in m.iter() {
+            assert!(!t.contains(d(2)), "unreachable demand appeared in a suite");
+        }
+    }
+}

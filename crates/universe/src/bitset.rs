@@ -1,0 +1,361 @@
+//! A compact fixed-capacity bit set.
+//!
+//! Both fault sets (which faults a version contains) and demand sets
+//! (which demands a version fails on) are dense sets of small integers
+//! that are unioned, intersected and counted in the inner loops of the
+//! simulator, so they get a dedicated bit set rather than `HashSet`.
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+const BITS: usize = 64;
+
+/// A fixed-capacity set of `usize` values in `[0, capacity)`, stored as a
+/// bit vector.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_universe::bitset::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `[0, capacity)`.
+    pub fn new(capacity: usize) -> Self {
+        Self { blocks: vec![0; capacity.div_ceil(BITS)], capacity }
+    }
+
+    /// Creates a set containing every value in `[0, capacity)`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for b in s.blocks.iter_mut() {
+            *b = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Builds a set from an iterator of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is `>= capacity`.
+    pub fn from_iter_with_capacity<I: IntoIterator<Item = usize>>(
+        capacity: usize,
+        values: I,
+    ) -> Self {
+        let mut s = Self::new(capacity);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+
+    fn trim(&mut self) {
+        let rem = self.capacity % BITS;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Capacity (exclusive upper bound on stored values).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "value {value} out of capacity {}", self.capacity);
+        let (blk, bit) = (value / BITS, value % BITS);
+        let mask = 1u64 << bit;
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] |= mask;
+        !was
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= capacity`.
+    pub fn remove(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "value {value} out of capacity {}", self.capacity);
+        let (blk, bit) = (value / BITS, value % BITS);
+        let mask = 1u64 << bit;
+        let was = self.blocks[blk] & mask != 0;
+        self.blocks[blk] &= !mask;
+        was
+    }
+
+    /// Membership test. Values at or beyond capacity are reported absent.
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (blk, bit) = (value / BITS, value % BITS);
+        self.blocks[blk] & (1u64 << bit) != 0
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Removes every value.
+    pub fn clear(&mut self) {
+        for b in self.blocks.iter_mut() {
+            *b = 0;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in union");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference: removes every value present in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn difference_with(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in difference");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// Size of the intersection without materialising it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersection_len(&self, other: &Self) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection_len");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` if the two sets share at least one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersects(&self, other: &Self) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersects");
+        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if every value of `self` is in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch in is_subset");
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates stored values in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, block_idx: 0, current: self.blocks.first().copied().unwrap_or(0) }
+    }
+}
+
+/// Ascending iterator over a [`BitSet`], created by [`BitSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * BITS + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.set.blocks.len() {
+                return None;
+            }
+            self.current = self.set.blocks[self.block_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let s = BitSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64), "double remove reports false");
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn contains_beyond_capacity_is_false() {
+        let s = BitSet::new(5);
+        assert!(!s.contains(5));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_beyond_capacity_panics() {
+        BitSet::new(5).insert(5);
+    }
+
+    #[test]
+    fn full_contains_everything_up_to_capacity() {
+        let s = BitSet::full(67);
+        assert_eq!(s.len(), 67);
+        assert!(s.contains(0) && s.contains(66));
+        assert!(!s.contains(67));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = BitSet::from_iter_with_capacity(200, [199, 0, 63, 64, 65]);
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = BitSet::from_iter_with_capacity(70, [1, 2, 3, 69]);
+        let b = BitSet::from_iter_with_capacity(70, [3, 4, 69]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 69]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3, 69]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn intersection_len_and_intersects() {
+        let a = BitSet::from_iter_with_capacity(128, [0, 10, 64, 127]);
+        let b = BitSet::from_iter_with_capacity(128, [10, 127]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.intersects(&b));
+        let c = BitSet::from_iter_with_capacity(128, [1, 2]);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection_len(&c), 0);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_iter_with_capacity(40, [5, 6]);
+        let b = BitSet::from_iter_with_capacity(40, [5, 6, 7]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(BitSet::new(40).is_subset(&a), "empty set is a subset of anything");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::full(33);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn capacity_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn into_iterator_for_reference() {
+        let s = BitSet::from_iter_with_capacity(8, [2, 4]);
+        let mut total = 0;
+        for v in &s {
+            total += v;
+        }
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for universe construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing demand spaces, fault models or
+/// populations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UniverseError {
+    /// The demand space must contain at least one demand.
+    EmptyDemandSpace,
+    /// A demand identifier referenced a demand outside the space.
+    DemandOutOfRange {
+        /// The offending demand index.
+        demand: usize,
+        /// Size of the demand space.
+        size: usize,
+    },
+    /// A fault identifier referenced a fault outside the model.
+    FaultOutOfRange {
+        /// The offending fault index.
+        fault: usize,
+        /// Number of faults in the model.
+        count: usize,
+    },
+    /// A fault was declared with an empty failure region.
+    EmptyFailureRegion {
+        /// Index of the offending fault.
+        fault: usize,
+    },
+    /// A probability-valued parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// An explicit population was given no versions, or weights that do not
+    /// form a distribution.
+    InvalidPopulation {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Underlying statistics error (e.g. degenerate usage profile weights).
+    Stats(diversim_stats::StatsError),
+}
+
+impl fmt::Display for UniverseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniverseError::EmptyDemandSpace => {
+                write!(f, "demand space must contain at least one demand")
+            }
+            UniverseError::DemandOutOfRange { demand, size } => {
+                write!(f, "demand {demand} out of range for demand space of size {size}")
+            }
+            UniverseError::FaultOutOfRange { fault, count } => {
+                write!(f, "fault {fault} out of range for fault model with {count} faults")
+            }
+            UniverseError::EmptyFailureRegion { fault } => {
+                write!(f, "fault {fault} has an empty failure region")
+            }
+            UniverseError::InvalidProbability { name, value } => {
+                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+            }
+            UniverseError::InvalidPopulation { reason } => {
+                write!(f, "invalid population: {reason}")
+            }
+            UniverseError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for UniverseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UniverseError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<diversim_stats::StatsError> for UniverseError {
+    fn from(e: diversim_stats::StatsError) -> Self {
+        UniverseError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = UniverseError::DemandOutOfRange { demand: 9, size: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn stats_errors_convert_and_chain() {
+        let inner = diversim_stats::StatsError::EmptySample;
+        let e: UniverseError = inner.clone().into();
+        assert_eq!(e, UniverseError::Stats(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UniverseError>();
+    }
+}

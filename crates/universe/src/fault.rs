@@ -1,0 +1,398 @@
+//! Faults and failure regions.
+//!
+//! Section 3 of the paper: "Within this space a set of points (failure
+//! regions) will be associated with a fault: typically there will be many
+//! demands that would trigger a particular fault". A [`FaultModel`] holds
+//! every *potential* fault that any version in the population might
+//! contain, each with its failure region; the inverted index gives the
+//! paper's `O_x` — the set of faults that cause a failure on demand `x`.
+//!
+//! With every region of size one, the model degenerates to the paper's
+//! abstract per-demand score model (no cross-demand fixing cascades);
+//! larger regions produce exactly the `O_x`/`D_X` cascade discussed in §3.
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+use crate::bitset::BitSet;
+use crate::demand::{DemandId, DemandSpace};
+use crate::error::UniverseError;
+
+/// Identifier of a potential fault: an index into a [`FaultModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FaultId(u32);
+
+impl FaultId {
+    /// Creates a fault identifier from its index.
+    pub fn new(index: u32) -> Self {
+        FaultId(index)
+    }
+
+    /// The fault's index as a `usize`, for array addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for FaultId {
+    fn from(v: u32) -> Self {
+        FaultId(v)
+    }
+}
+
+impl std::fmt::Display for FaultId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// One potential fault: the set of demands (its *failure region*) on which
+/// a version containing the fault fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Fault {
+    region: Vec<DemandId>,
+}
+
+impl Fault {
+    /// Creates a fault failing on the given demands (sorted, deduplicated).
+    pub fn new<I: IntoIterator<Item = DemandId>>(region: I) -> Self {
+        let mut region: Vec<DemandId> = region.into_iter().collect();
+        region.sort_unstable();
+        region.dedup();
+        Fault { region }
+    }
+
+    /// The demands this fault fails on, sorted ascending.
+    pub fn region(&self) -> &[DemandId] {
+        &self.region
+    }
+
+    /// Number of demands in the failure region.
+    pub fn region_size(&self) -> usize {
+        self.region.len()
+    }
+
+    /// Returns `true` if the fault causes a failure on `x`.
+    pub fn covers(&self, x: DemandId) -> bool {
+        self.region.binary_search(&x).is_ok()
+    }
+}
+
+/// The complete set of potential faults over a demand space, with the
+/// inverted index `O_x` (faults per demand).
+///
+/// # Examples
+///
+/// ```
+/// use diversim_universe::demand::{DemandId, DemandSpace};
+/// use diversim_universe::fault::{Fault, FaultModel};
+///
+/// let space = DemandSpace::new(3).unwrap();
+/// let model = FaultModel::new(space, vec![
+///     Fault::new([DemandId::new(0), DemandId::new(1)]),
+///     Fault::new([DemandId::new(1)]),
+/// ]).unwrap();
+/// // O_{x1} contains both faults.
+/// assert_eq!(model.faults_at(DemandId::new(1)).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FaultModel {
+    space: DemandSpace,
+    faults: Vec<Fault>,
+    /// `by_demand[x]` = the paper's `O_x`: faults whose region contains `x`.
+    by_demand: Vec<Vec<FaultId>>,
+    /// `region_sets[f]` = the fault's region as a bit set over demands.
+    region_sets: Vec<BitSet>,
+}
+
+impl FaultModel {
+    /// Builds a model from faults, validating regions against the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniverseError::EmptyFailureRegion`] if a fault covers no
+    /// demand, or [`UniverseError::DemandOutOfRange`] if a region demand
+    /// lies outside the space.
+    pub fn new(space: DemandSpace, faults: Vec<Fault>) -> Result<Self, UniverseError> {
+        let mut by_demand: Vec<Vec<FaultId>> = vec![Vec::new(); space.len()];
+        let mut region_sets: Vec<BitSet> = Vec::with_capacity(faults.len());
+        for (i, fault) in faults.iter().enumerate() {
+            if fault.region().is_empty() {
+                return Err(UniverseError::EmptyFailureRegion { fault: i });
+            }
+            let mut set = BitSet::new(space.len());
+            for &x in fault.region() {
+                space.check(x)?;
+                by_demand[x.index()].push(FaultId::new(i as u32));
+                set.insert(x.index());
+            }
+            region_sets.push(set);
+        }
+        Ok(FaultModel { space, faults, by_demand, region_sets })
+    }
+
+    /// The demand space the model is defined over.
+    pub fn space(&self) -> DemandSpace {
+        self.space
+    }
+
+    /// Number of potential faults.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Iterates all fault identifiers.
+    pub fn fault_ids(&self) -> impl ExactSizeIterator<Item = FaultId> {
+        (0..self.faults.len() as u32).map(FaultId::new)
+    }
+
+    /// The fault with identifier `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn fault(&self, f: FaultId) -> &Fault {
+        &self.faults[f.index()]
+    }
+
+    /// Validates a fault identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniverseError::FaultOutOfRange`] for unknown faults.
+    pub fn check(&self, f: FaultId) -> Result<FaultId, UniverseError> {
+        if f.index() < self.faults.len() {
+            Ok(f)
+        } else {
+            Err(UniverseError::FaultOutOfRange { fault: f.index(), count: self.faults.len() })
+        }
+    }
+
+    /// The paper's `O_x`: every fault whose failure region contains `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside the demand space.
+    pub fn faults_at(&self, x: DemandId) -> &[FaultId] {
+        &self.by_demand[x.index()]
+    }
+
+    /// The fault's failure region as a bit set over demand indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn region_set(&self, f: FaultId) -> &BitSet {
+        &self.region_sets[f.index()]
+    }
+
+    /// Returns `true` if fault `f` is triggered by at least one demand of
+    /// `suite_demands` (given as a bit set over demand indices).
+    pub fn triggered_by(&self, f: FaultId, suite_demands: &BitSet) -> bool {
+        self.region_sets[f.index()].intersects(suite_demands)
+    }
+
+    /// The paper's `D_X` for a set of faults: the union of their failure
+    /// regions — every demand whose score changes if all those faults are
+    /// fixed (and no other fault covers it).
+    pub fn affected_demands<I: IntoIterator<Item = FaultId>>(&self, faults: I) -> BitSet {
+        let mut out = BitSet::new(self.space.len());
+        for f in faults {
+            out.union_with(&self.region_sets[f.index()]);
+        }
+        out
+    }
+
+    /// Returns `true` if every failure region has size one — the regime in
+    /// which the model coincides with the paper's abstract score model.
+    pub fn is_singleton(&self) -> bool {
+        self.faults.iter().all(|f| f.region_size() == 1)
+    }
+
+    /// Largest failure-region size in the model (0 when there are no
+    /// faults).
+    pub fn max_region_size(&self) -> usize {
+        self.faults.iter().map(Fault::region_size).max().unwrap_or(0)
+    }
+}
+
+/// Incremental builder for a [`FaultModel`].
+///
+/// # Examples
+///
+/// ```
+/// use diversim_universe::demand::{DemandId, DemandSpace};
+/// use diversim_universe::fault::FaultModelBuilder;
+///
+/// let space = DemandSpace::new(4).unwrap();
+/// let model = FaultModelBuilder::new(space)
+///     .fault([DemandId::new(0)])
+///     .fault([DemandId::new(1), DemandId::new(2)])
+///     .build()
+///     .unwrap();
+/// assert_eq!(model.fault_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultModelBuilder {
+    space: DemandSpace,
+    faults: Vec<Fault>,
+}
+
+impl FaultModelBuilder {
+    /// Starts a builder over the given space.
+    pub fn new(space: DemandSpace) -> Self {
+        Self { space, faults: Vec::new() }
+    }
+
+    /// Adds a fault with the given failure region.
+    pub fn fault<I: IntoIterator<Item = DemandId>>(mut self, region: I) -> Self {
+        self.faults.push(Fault::new(region));
+        self
+    }
+
+    /// Adds one singleton fault per demand in the space — the pure
+    /// Eckhardt–Lee score-model structure.
+    pub fn singleton_faults(mut self) -> Self {
+        for x in self.space.iter() {
+            self.faults.push(Fault::new([x]));
+        }
+        self
+    }
+
+    /// Number of faults added so far.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if no fault has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Finalises the model.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultModel::new`].
+    pub fn build(self) -> Result<FaultModel, UniverseError> {
+        FaultModel::new(self.space, self.faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    fn space(n: usize) -> DemandSpace {
+        DemandSpace::new(n).unwrap()
+    }
+
+    #[test]
+    fn fault_region_sorted_dedup() {
+        let f = Fault::new([d(3), d(1), d(3), d(2)]);
+        assert_eq!(f.region(), &[d(1), d(2), d(3)]);
+        assert_eq!(f.region_size(), 3);
+        assert!(f.covers(d(2)));
+        assert!(!f.covers(d(0)));
+    }
+
+    #[test]
+    fn model_builds_inverted_index() {
+        let m = FaultModel::new(
+            space(4),
+            vec![Fault::new([d(0), d(1)]), Fault::new([d(1), d(2)]), Fault::new([d(3)])],
+        )
+        .unwrap();
+        assert_eq!(m.faults_at(d(0)), &[FaultId::new(0)]);
+        assert_eq!(m.faults_at(d(1)), &[FaultId::new(0), FaultId::new(1)]);
+        assert_eq!(m.faults_at(d(2)), &[FaultId::new(1)]);
+        assert_eq!(m.faults_at(d(3)), &[FaultId::new(2)]);
+    }
+
+    #[test]
+    fn model_rejects_empty_region() {
+        let err = FaultModel::new(space(2), vec![Fault::new(Vec::<DemandId>::new())]);
+        assert_eq!(err.unwrap_err(), UniverseError::EmptyFailureRegion { fault: 0 });
+    }
+
+    #[test]
+    fn model_rejects_out_of_range_region() {
+        let err = FaultModel::new(space(2), vec![Fault::new([d(5)])]);
+        assert!(matches!(err.unwrap_err(), UniverseError::DemandOutOfRange { demand: 5, .. }));
+    }
+
+    #[test]
+    fn affected_demands_unions_regions() {
+        let m = FaultModel::new(
+            space(5),
+            vec![Fault::new([d(0), d(1)]), Fault::new([d(3)])],
+        )
+        .unwrap();
+        let dx = m.affected_demands([FaultId::new(0), FaultId::new(1)]);
+        assert_eq!(dx.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn triggered_by_checks_region_intersection() {
+        let m = FaultModel::new(space(4), vec![Fault::new([d(1), d(2)])]).unwrap();
+        let mut suite = BitSet::new(4);
+        suite.insert(0);
+        assert!(!m.triggered_by(FaultId::new(0), &suite));
+        suite.insert(2);
+        assert!(m.triggered_by(FaultId::new(0), &suite));
+    }
+
+    #[test]
+    fn singleton_detection() {
+        let singleton = FaultModelBuilder::new(space(3)).singleton_faults().build().unwrap();
+        assert!(singleton.is_singleton());
+        assert_eq!(singleton.fault_count(), 3);
+        assert_eq!(singleton.max_region_size(), 1);
+
+        let general = FaultModelBuilder::new(space(3))
+            .fault([d(0), d(1)])
+            .build()
+            .unwrap();
+        assert!(!general.is_singleton());
+        assert_eq!(general.max_region_size(), 2);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let b = FaultModelBuilder::new(space(2)).fault([d(0)]).fault([d(1)]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.build().unwrap().fault_count(), 2);
+    }
+
+    #[test]
+    fn check_validates_fault_ids() {
+        let m = FaultModelBuilder::new(space(2)).fault([d(0)]).build().unwrap();
+        assert!(m.check(FaultId::new(0)).is_ok());
+        assert_eq!(
+            m.check(FaultId::new(3)).unwrap_err(),
+            UniverseError::FaultOutOfRange { fault: 3, count: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_model_is_allowed() {
+        let m = FaultModel::new(space(2), vec![]).unwrap();
+        assert_eq!(m.fault_count(), 0);
+        assert_eq!(m.max_region_size(), 0);
+        assert!(m.is_singleton(), "vacuously singleton");
+        assert!(m.faults_at(d(0)).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Monte Carlo vs. exact cross-validation across the whole pipeline.
+//!
+//! The simulator (`diversim-sim`) must agree — within its own confidence
+//! intervals — with the exact computations (`diversim-core`) on universes
+//! small enough to enumerate. Imperfect regimes must land inside the §4
+//! analytical bounds.
+
+use std::sync::Arc;
+
+use diversim::core::bounds::{BackToBackBounds, ImperfectTestingBounds};
+use diversim::core::marginal::{MarginalAnalysis, SuiteAssignment};
+use diversim::prelude::*;
+use diversim::sim::campaign::CampaignRegime;
+use diversim::sim::estimate::estimate_pair;
+
+fn setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
+    let space = DemandSpace::new(props.len()).unwrap();
+    let model = Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+    let pop = BernoulliPopulation::new(model, props).unwrap();
+    let q = UsageProfile::uniform(space);
+    let gen = ProfileGenerator::new(q.clone());
+    (pop, q, gen)
+}
+
+#[test]
+fn simulation_matches_exact_for_both_regimes() {
+    let (pop, q, gen) = setup(vec![0.1, 0.3, 0.5, 0.7]);
+    let suite_size = 3;
+    let m = enumerate_iid_suites(&q, suite_size, 1 << 12).unwrap();
+    for (regime, assignment) in [
+        (CampaignRegime::IndependentSuites, SuiteAssignment::independent(&m)),
+        (CampaignRegime::SharedSuite, SuiteAssignment::Shared(&m)),
+    ] {
+        let exact = MarginalAnalysis::compute(&pop, &pop, assignment, &q);
+        let est = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            suite_size,
+            regime,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &q,
+            40_000,
+            987,
+            4,
+        );
+        assert!(
+            est.system_pfd.consistent_with(exact.system_pfd()),
+            "MC {} vs exact {} under {regime:?}",
+            est.system_pfd.mean,
+            exact.system_pfd()
+        );
+        // Version pfds estimate E[Θ_T] = mean ζ.
+        let mean_zeta = q.expect(|x| diversim::core::difficulty::zeta(&pop, x, &m));
+        assert!(
+            (est.version_a_pfd.mean - mean_zeta).abs() < 5.0 * est.version_a_pfd.standard_error + 1e-9,
+            "version pfd off: {} vs {}",
+            est.version_a_pfd.mean,
+            mean_zeta
+        );
+    }
+}
+
+#[test]
+fn imperfect_oracle_lands_between_the_bounds() {
+    let (pop, q, gen) = setup(vec![0.2, 0.4, 0.6, 0.8]);
+    let suite_size = 4;
+    let m = enumerate_iid_suites(&q, suite_size, 1 << 12).unwrap();
+    let bounds =
+        ImperfectTestingBounds::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+    for detect_prob in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let est = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            suite_size,
+            CampaignRegime::SharedSuite,
+            &ImperfectOracle::new(detect_prob).unwrap(),
+            &PerfectFixer::new(),
+            &q,
+            30_000,
+            55,
+            4,
+        );
+        // Allow three standard errors of slack at the boundary cases.
+        let slack = 3.0 * est.system_pfd.standard_error;
+        assert!(
+            est.system_pfd.mean >= bounds.lower - slack
+                && est.system_pfd.mean <= bounds.upper + slack,
+            "detect_prob {detect_prob}: {} outside [{}, {}]",
+            est.system_pfd.mean,
+            bounds.lower,
+            bounds.upper
+        );
+    }
+}
+
+#[test]
+fn imperfect_fixing_lands_between_the_bounds() {
+    let (pop, q, gen) = setup(vec![0.3, 0.5, 0.7]);
+    let suite_size = 3;
+    let m = enumerate_iid_suites(&q, suite_size, 1 << 12).unwrap();
+    let bounds =
+        ImperfectTestingBounds::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+    for fix_prob in [0.0, 0.3, 0.7, 1.0] {
+        let est = estimate_pair(
+            &pop,
+            &pop,
+            &gen,
+            suite_size,
+            CampaignRegime::IndependentSuites,
+            &PerfectOracle::new(),
+            &ImperfectFixer::new(fix_prob).unwrap(),
+            &q,
+            30_000,
+            66,
+            4,
+        );
+        let slack = 3.0 * est.system_pfd.standard_error;
+        assert!(
+            est.system_pfd.mean >= bounds.lower - slack
+                && est.system_pfd.mean <= bounds.upper + slack,
+            "fix_prob {fix_prob}: {} outside [{}, {}]",
+            est.system_pfd.mean,
+            bounds.lower,
+            bounds.upper
+        );
+    }
+}
+
+#[test]
+fn back_to_back_endpoints_hit_the_bounds_exactly() {
+    // Singleton universe: γ=0 equals the optimistic (eq 23) value and γ=1
+    // equals the pessimistic (untested) value, in expectation.
+    let (pop, q, gen) = setup(vec![0.4, 0.8]);
+    let suite_size = 2;
+    let m = enumerate_iid_suites(&q, suite_size, 1 << 10).unwrap();
+    let bounds = BackToBackBounds::compute(&pop, &pop, &m, &q);
+
+    let optimistic = estimate_pair(
+        &pop,
+        &pop,
+        &gen,
+        suite_size,
+        CampaignRegime::BackToBack(IdenticalFailureModel::Never),
+        &PerfectOracle::new(),
+        &PerfectFixer::new(),
+        &q,
+        40_000,
+        77,
+        4,
+    );
+    assert!(
+        (optimistic.system_pfd.mean - bounds.optimistic).abs()
+            < 3.5 * optimistic.system_pfd.standard_error + 1e-9,
+        "γ=0: {} vs optimistic bound {}",
+        optimistic.system_pfd.mean,
+        bounds.optimistic
+    );
+
+    let pessimistic = estimate_pair(
+        &pop,
+        &pop,
+        &gen,
+        suite_size,
+        CampaignRegime::BackToBack(IdenticalFailureModel::Always),
+        &PerfectOracle::new(),
+        &PerfectFixer::new(),
+        &q,
+        40_000,
+        78,
+        4,
+    );
+    assert!(
+        (pessimistic.system_pfd.mean - bounds.pessimistic).abs()
+            < 3.5 * pessimistic.system_pfd.standard_error + 1e-9,
+        "γ=1: {} vs pessimistic bound {}",
+        pessimistic.system_pfd.mean,
+        bounds.pessimistic
+    );
+
+    // Intermediate γ strictly between the endpoints (statistically).
+    let mid = estimate_pair(
+        &pop,
+        &pop,
+        &gen,
+        suite_size,
+        CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.5)),
+        &PerfectOracle::new(),
+        &PerfectFixer::new(),
+        &q,
+        40_000,
+        79,
+        4,
+    );
+    assert!(mid.system_pfd.mean > bounds.optimistic - 1e-9);
+    assert!(mid.system_pfd.mean < bounds.pessimistic + 1e-9);
+}
+
+#[test]
+fn growth_curves_converge_to_exact_marginals_at_each_checkpoint() {
+    use diversim::sim::growth::replicated_growth;
+    let (pop, q, gen) = setup(vec![0.3, 0.6, 0.9]);
+    let checkpoints = [0usize, 1, 2, 3];
+    let curve = replicated_growth(
+        &pop,
+        &pop,
+        &gen,
+        &checkpoints,
+        CampaignRegime::SharedSuite,
+        &PerfectOracle::new(),
+        &PerfectFixer::new(),
+        &q,
+        40_000,
+        88,
+        4,
+    );
+    for (i, &n) in checkpoints.iter().enumerate() {
+        let m = enumerate_iid_suites(&q, n, 1 << 10).unwrap();
+        let exact = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+        let mean = curve.system[i].mean();
+        let se = curve.system[i].standard_error();
+        assert!(
+            (mean - exact.system_pfd()).abs() < 4.0 * se + 1e-9,
+            "checkpoint {n}: MC {mean} vs exact {}",
+            exact.system_pfd()
+        );
+    }
+}

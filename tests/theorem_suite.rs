@@ -1,0 +1,180 @@
+//! Cross-crate theorem verification on randomized universes.
+//!
+//! Every identity of §3 of Popov & Littlewood (DSN 2004) is checked on a
+//! battery of randomly generated universes, comparing the closed-form /
+//! decomposition path (`diversim-core`) against brute-force enumeration of
+//! the full stochastic process (`diversim-exact`).
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use diversim::core::el::ElAnalysis;
+use diversim::core::marginal::{MarginalAnalysis, SuiteAssignment};
+use diversim::exact::verify::verify_pair;
+use diversim::prelude::*;
+use diversim::testing::suite_population::enumerate_iid_suites;
+use diversim::universe::generator::{ProfileKind, RegionSize, UniverseSpec};
+
+/// Builds a random universe with a Bernoulli population; small enough to
+/// enumerate exactly.
+fn random_setup(
+    seed: u64,
+    singleton: bool,
+) -> (BernoulliPopulation, UsageProfile) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_demands = rng.gen_range(2..=6);
+    let n_faults = if singleton { n_demands } else { rng.gen_range(2..=6) };
+    let spec = UniverseSpec {
+        n_demands,
+        n_faults,
+        region_size: if singleton {
+            RegionSize::Fixed(1)
+        } else {
+            RegionSize::Uniform { min: 1, max: 3 }
+        },
+        profile: if rng.gen_bool(0.5) { ProfileKind::Uniform } else { ProfileKind::Zipf(1.0) },
+    };
+    let universe = spec.generate(&mut rng).expect("valid spec");
+    let props: Vec<f64> = (0..n_faults).map(|_| rng.gen_range(0.0..=1.0)).collect();
+    let pop = BernoulliPopulation::new(Arc::clone(universe.model()), props).expect("valid");
+    (pop, universe.profile().clone())
+}
+
+#[test]
+fn identities_hold_on_many_random_singleton_universes() {
+    for seed in 0..30 {
+        let (pop, q) = random_setup(seed, true);
+        let suite_size = (seed % 4) as usize;
+        let m = enumerate_iid_suites(&q, suite_size, 1 << 14).expect("enumerable");
+        let support = pop.enumerate(1 << 14).expect("enumerable");
+        let report = verify_pair(&pop, &pop, &support, &support, &m, &q);
+        assert!(
+            report.all_hold(1e-10),
+            "identity violated on singleton universe seed {seed}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn identities_hold_on_many_random_cascade_universes() {
+    for seed in 100..130 {
+        let (pop, q) = random_setup(seed, false);
+        let suite_size = (seed % 3) as usize;
+        let m = enumerate_iid_suites(&q, suite_size, 1 << 14).expect("enumerable");
+        let support = pop.enumerate(1 << 14).expect("enumerable");
+        let report = verify_pair(&pop, &pop, &support, &support, &m, &q);
+        assert!(
+            report.all_hold(1e-10),
+            "identity violated on cascade universe seed {seed}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn forced_diversity_identities_hold_on_random_pairs() {
+    for seed in 200..220 {
+        let (pop_a, q) = random_setup(seed, false);
+        // Second methodology over the same fault model with fresh
+        // propensities.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let props_b: Vec<f64> =
+            (0..pop_a.model().fault_count()).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        let pop_b =
+            BernoulliPopulation::new(Arc::clone(pop_a.model()), props_b).expect("valid");
+        let m = enumerate_iid_suites(&q, 2, 1 << 14).expect("enumerable");
+        let sa = pop_a.enumerate(1 << 14).expect("enumerable");
+        let sb = pop_b.enumerate(1 << 14).expect("enumerable");
+        let report = verify_pair(&pop_a, &pop_b, &sa, &sb, &m, &q);
+        assert!(
+            report.all_hold(1e-10),
+            "forced-diversity identity violated at seed {seed}:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn shared_suite_dominates_independent_for_single_population() {
+    // Eq (23) ≥ eq (22) on every random universe and suite size — the
+    // paper's main inequality.
+    for seed in 300..330 {
+        let (pop, q) = random_setup(seed, seed % 2 == 0);
+        for suite_size in 0..3 {
+            let m = enumerate_iid_suites(&q, suite_size, 1 << 14).expect("enumerable");
+            let ind =
+                MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+            let sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+            assert!(
+                sh.system_pfd() + 1e-12 >= ind.system_pfd(),
+                "eq 23 < eq 22 at seed {seed}, n={suite_size}"
+            );
+            assert!(
+                sh.suite_coupling >= -1e-12,
+                "negative Var coupling at seed {seed}, n={suite_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn testing_never_worsens_any_marginal_quantity() {
+    // ζ(x) ≤ θ(x) pointwise and system pfd decreases with suite size.
+    for seed in 400..420 {
+        let (pop, q) = random_setup(seed, seed % 2 == 0);
+        let mut prev_ind = f64::INFINITY;
+        let mut prev_sh = f64::INFINITY;
+        for suite_size in 0..4 {
+            let m = enumerate_iid_suites(&q, suite_size, 1 << 14).expect("enumerable");
+            for x in q.space().iter() {
+                assert!(
+                    pop.theta(x) + 1e-12 >= diversim::core::difficulty::zeta(&pop, x, &m),
+                    "zeta exceeded theta at seed {seed}"
+                );
+            }
+            let ind = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q)
+                .system_pfd();
+            let sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q)
+                .system_pfd();
+            assert!(ind <= prev_ind + 1e-12, "independent pfd grew at seed {seed}");
+            assert!(sh <= prev_sh + 1e-12, "shared pfd grew at seed {seed}");
+            prev_ind = ind;
+            prev_sh = sh;
+        }
+    }
+}
+
+#[test]
+fn el_is_the_zero_testing_special_case() {
+    for seed in 500..515 {
+        let (pop, q) = random_setup(seed, true);
+        let m = enumerate_iid_suites(&q, 0, 4).expect("trivial");
+        let el = ElAnalysis::compute(&pop, &q);
+        let marginal =
+            MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+        assert!(
+            (marginal.system_pfd() - el.joint_pfd).abs() < 1e-12,
+            "zero-testing marginal differs from EL at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn lm_is_the_zero_testing_special_case_for_forced_pairs() {
+    for seed in 600..612 {
+        let (pop_a, q) = random_setup(seed, true);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let props_b: Vec<f64> =
+            (0..pop_a.model().fault_count()).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        let pop_b =
+            BernoulliPopulation::new(Arc::clone(pop_a.model()), props_b).expect("valid");
+        let m = enumerate_iid_suites(&q, 0, 4).expect("trivial");
+        let lm = LmAnalysis::compute(&pop_a, &pop_b, &q);
+        let marginal =
+            MarginalAnalysis::compute(&pop_a, &pop_b, SuiteAssignment::independent(&m), &q);
+        assert!(
+            (marginal.system_pfd() - lm.joint_pfd).abs() < 1e-12,
+            "zero-testing forced marginal differs from LM at seed {seed}"
+        );
+    }
+}
