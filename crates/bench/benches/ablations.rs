@@ -42,8 +42,7 @@ fn ablation_region_structure(c: &mut Criterion) {
             .expect("valid");
         let gen = ProfileGenerator::new(universe.profile().clone());
         let version = pop.sample(&mut rng);
-        let suite =
-            diversim_testing::generation::SuiteGenerator::generate(&gen, &mut rng, 128);
+        let suite = diversim_testing::generation::SuiteGenerator::generate(&gen, &mut rng, 128);
         group.bench_function(name, |b| {
             b.iter(|| black_box(perfect_debug(&version, &suite, universe.model())))
         });
@@ -64,8 +63,7 @@ fn ablation_population_representation(c: &mut Criterion) {
         .generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.1, hi: 0.5 })
         .expect("valid");
     let support = bernoulli.enumerate(1 << 14).expect("enumerable");
-    let explicit =
-        ExplicitPopulation::new(Arc::clone(universe.model()), support).expect("valid");
+    let explicit = ExplicitPopulation::new(Arc::clone(universe.model()), support).expect("valid");
     let x = DemandId::new(5);
 
     let mut group = c.benchmark_group("ablation/population_theta");
@@ -87,7 +85,9 @@ fn ablation_sampling(c: &mut Criterion) {
     let norm: Vec<f64> = weights.iter().map(|w| w / total).collect();
 
     let mut group = c.benchmark_group("ablation/categorical_sampling");
-    group.bench_function("alias_o1", |b| b.iter(|| black_box(sampler.sample(&mut rng))));
+    group.bench_function("alias_o1", |b| {
+        b.iter(|| black_box(sampler.sample(&mut rng)))
+    });
     group.bench_function("linear_cdf_walk", |b| {
         b.iter(|| {
             let u: f64 = rng.gen();
@@ -130,9 +130,7 @@ fn ablation_parallelism(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
-            |b, &threads| {
-                b.iter(|| black_box(parallel_replications(256, seeds, threads, job)))
-            },
+            |b, &threads| b.iter(|| black_box(parallel_replications(256, seeds, threads, job))),
         );
     }
     group.finish();

@@ -17,34 +17,26 @@ fn bench_exact_marginal(c: &mut Criterion) {
     let mut group = c.benchmark_group("exact/marginal_analysis");
     for n in [2usize, 4, 8] {
         let m = enumerate_iid_suites(&w.profile, n, 1 << 16).expect("enumerable");
-        group.bench_with_input(
-            BenchmarkId::new("shared", n),
-            &m,
-            |b, m| {
-                b.iter(|| {
-                    black_box(MarginalAnalysis::compute(
-                        &w.pop_a,
-                        &w.pop_a,
-                        SuiteAssignment::Shared(m),
-                        &w.profile,
-                    ))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("independent", n),
-            &m,
-            |b, m| {
-                b.iter(|| {
-                    black_box(MarginalAnalysis::compute(
-                        &w.pop_a,
-                        &w.pop_a,
-                        SuiteAssignment::independent(m),
-                        &w.profile,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("shared", n), &m, |b, m| {
+            b.iter(|| {
+                black_box(MarginalAnalysis::compute(
+                    &w.pop_a,
+                    &w.pop_a,
+                    SuiteAssignment::Shared(m),
+                    &w.profile,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("independent", n), &m, |b, m| {
+            b.iter(|| {
+                black_box(MarginalAnalysis::compute(
+                    &w.pop_a,
+                    &w.pop_a,
+                    SuiteAssignment::independent(m),
+                    &w.profile,
+                ))
+            })
+        });
     }
     group.finish();
 }
@@ -68,9 +60,9 @@ fn bench_campaigns(c: &mut Criterion) {
         ("shared", CampaignRegime::SharedSuite),
         (
             "back_to_back",
-            CampaignRegime::BackToBack(
-                diversim_testing::oracle::IdenticalFailureModel::Bernoulli(0.5),
-            ),
+            CampaignRegime::BackToBack(diversim_testing::oracle::IdenticalFailureModel::Bernoulli(
+                0.5,
+            )),
         ),
     ] {
         group.bench_function(name, |b| {

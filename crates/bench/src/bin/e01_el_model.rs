@@ -18,7 +18,15 @@ fn main() {
     println!("E1: Eckhardt–Lee — variance of difficulty drives coincident failure (eqs 6–7)\n");
     let mut table = Table::new(
         "joint pfd vs difficulty spread (mean difficulty fixed at 0.3)",
-        &["spread", "E[theta]", "Var(theta)", "joint=E[th^2]", "indep=E[th]^2", "ratio", "MC joint"],
+        &[
+            "spread",
+            "E[theta]",
+            "Var(theta)",
+            "joint=E[th^2]",
+            "indep=E[th]^2",
+            "ratio",
+            "MC joint",
+        ],
     );
 
     for &spread in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
@@ -33,7 +41,12 @@ fn main() {
         for _ in 0..60_000 {
             let v1 = world.pop_a.sample(&mut rng);
             let v2 = world.pop_a.sample(&mut rng);
-            acc.push(diversim_core::system::pair_pfd(&v1, &v2, &model, &world.profile));
+            acc.push(diversim_core::system::pair_pfd(
+                &v1,
+                &v2,
+                &model,
+                &world.profile,
+            ));
         }
 
         table.row(&[
@@ -57,7 +70,10 @@ fn main() {
                 "equality case failed"
             );
         } else {
-            assert!(el.joint_pfd > el.independent_pfd, "strict inequality failed");
+            assert!(
+                el.joint_pfd > el.independent_pfd,
+                "strict inequality failed"
+            );
         }
         assert!(
             (acc.mean() - el.joint_pfd).abs() < 4.0 * acc.standard_error() + 1e-9,

@@ -19,8 +19,12 @@ fn main() {
     println!("E2: Littlewood–Miller — covariance of difficulties decides the benefit (eqs 9–10)\n");
     let n = 8usize;
     let space = DemandSpace::new(n).expect("non-empty");
-    let model =
-        Arc::new(FaultModelBuilder::new(space).singleton_faults().build().expect("valid"));
+    let model = Arc::new(
+        FaultModelBuilder::new(space)
+            .singleton_faults()
+            .build()
+            .expect("valid"),
+    );
     let q = UsageProfile::uniform(space);
 
     // Methodology A always finds the first half hard. Methodology B
@@ -32,7 +36,13 @@ fn main() {
 
     let mut table = Table::new(
         "joint pfd vs methodology alignment",
-        &["alignment", "Cov(A,B)", "joint (eq 9)", "indep bench", "beats indep?"],
+        &[
+            "alignment",
+            "Cov(A,B)",
+            "joint (eq 9)",
+            "indep bench",
+            "beats indep?",
+        ],
     );
 
     let mut last_cov = f64::INFINITY;
@@ -54,9 +64,16 @@ fn main() {
             format!("{:+.6}", lm.covariance),
             format!("{:.6}", lm.joint_pfd),
             format!("{:.6}", lm.independent_pfd),
-            if lm.beats_independence() { "YES".into() } else { "no".into() },
+            if lm.beats_independence() {
+                "YES".into()
+            } else {
+                "no".into()
+            },
         ]);
-        assert!(lm.covariance <= last_cov + 1e-15, "covariance must fall with mirroring");
+        assert!(
+            lm.covariance <= last_cov + 1e-15,
+            "covariance must fall with mirroring"
+        );
         last_cov = lm.covariance;
     }
 

@@ -45,7 +45,11 @@ fn main() {
                 (brute_joint - z * z).abs()
             })
             .fold(0.0, f64::max);
-        table.row(&["eq16 same-pop/same-proc".into(), n.to_string(), format!("{max_err:.3e}")]);
+        table.row(&[
+            "eq16 same-pop/same-proc".into(),
+            n.to_string(),
+            format!("{max_err:.3e}"),
+        ]);
         assert!(max_err < 1e-9, "eq16 violated at n={n}: {max_err:.3e}");
     }
 
@@ -60,29 +64,25 @@ fn main() {
             .space()
             .iter()
             .map(|x| {
-                let brute_joint = brute::joint_on_demand_independent(
-                    &sa,
-                    &sb,
-                    &m,
-                    &m,
-                    wf.pop_a.model(),
-                    x,
-                );
+                let brute_joint =
+                    brute::joint_on_demand_independent(&sa, &sb, &m, &m, wf.pop_a.model(), x);
                 let z = zeta(&wf.pop_a, x, &m) * zeta(&wf.pop_b, x, &m);
                 (brute_joint - z).abs()
             })
             .fold(0.0, f64::max);
-        table.row(&["eq17 forced-design".into(), n.to_string(), format!("{max_err:.3e}")]);
+        table.row(&[
+            "eq17 forced-design".into(),
+            n.to_string(),
+            format!("{max_err:.3e}"),
+        ]);
         assert!(max_err < 1e-9, "eq17 violated at n={n}: {max_err:.3e}");
     }
 
     // Regimes (18)/(19): forced testing diversity — operational profile
     // for one version, debug-skewed profile for the other.
-    let debug_profile = UsageProfile::from_weights(
-        w.profile.space(),
-        vec![0.05, 0.05, 0.1, 0.2, 0.3, 0.3],
-    )
-    .expect("valid weights");
+    let debug_profile =
+        UsageProfile::from_weights(w.profile.space(), vec![0.05, 0.05, 0.1, 0.2, 0.3, 0.3])
+            .expect("valid weights");
     for n in [1usize, 2] {
         let ma = enumerate_iid_suites(&w.profile, n, 1 << 14).expect("enumerable");
         let mb = enumerate_iid_suites(&debug_profile, n, 1 << 14).expect("enumerable");
@@ -103,7 +103,11 @@ fn main() {
                 (brute_joint - z).abs()
             })
             .fold(0.0, f64::max);
-        table.row(&["eq18 forced-testing".into(), n.to_string(), format!("{max_err:.3e}")]);
+        table.row(&[
+            "eq18 forced-testing".into(),
+            n.to_string(),
+            format!("{max_err:.3e}"),
+        ]);
         assert!(max_err < 1e-9, "eq18 violated at n={n}: {max_err:.3e}");
 
         // Forced design + forced testing: mirrored pops over the 8-demand
@@ -124,14 +128,8 @@ fn main() {
             .space()
             .iter()
             .map(|x| {
-                let brute_joint = brute::joint_on_demand_independent(
-                    &sa,
-                    &sb,
-                    &ma8,
-                    &mb8,
-                    wf.pop_a.model(),
-                    x,
-                );
+                let brute_joint =
+                    brute::joint_on_demand_independent(&sa, &sb, &ma8, &mb8, wf.pop_a.model(), x);
                 let z = zeta(&wf.pop_a, x, &ma8) * zeta(&wf.pop_b, x, &mb8);
                 (brute_joint - z).abs()
             })
@@ -141,7 +139,10 @@ fn main() {
             n.to_string(),
             format!("{max_err_19:.3e}"),
         ]);
-        assert!(max_err_19 < 1e-9, "eq19 violated at n={n}: {max_err_19:.3e}");
+        assert!(
+            max_err_19 < 1e-9,
+            "eq19 violated at n={n}: {max_err_19:.3e}"
+        );
     }
 
     table.emit("e03_indep_suites");

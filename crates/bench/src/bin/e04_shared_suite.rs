@@ -39,8 +39,7 @@ fn main() {
         let theta = w.pop_a.theta(x);
         let z = zeta(&w.pop_a, x, &m);
         let joint = joint_shared_suite(&w.pop_a, &w.pop_a, &m, x);
-        let brute_joint =
-            brute::joint_on_demand_shared(&support, &support, &m, w.pop_a.model(), x);
+        let brute_joint = brute::joint_on_demand_shared(&support, &support, &m, w.pop_a.model(), x);
         let err_pct = if joint.total() > 0.0 {
             100.0 * joint.coupling / joint.total()
         } else {
@@ -57,8 +56,14 @@ fn main() {
             format!("{err_pct:.1}"),
         ]);
         // eq 20 identities and inequality.
-        assert!((joint.total() - brute_joint).abs() < 1e-12, "eq20 brute mismatch at {x}");
-        assert!((joint.independent - z * z).abs() < 1e-12, "mean term is not ζ² at {x}");
+        assert!(
+            (joint.total() - brute_joint).abs() < 1e-12,
+            "eq20 brute mismatch at {x}"
+        );
+        assert!(
+            (joint.independent - z * z).abs() < 1e-12,
+            "mean term is not ζ² at {x}"
+        );
         assert!(joint.coupling >= -1e-15, "negative variance at {x}");
         assert!(theta + 1e-15 >= z, "testing worsened difficulty at {x}");
     }

@@ -26,11 +26,16 @@ fn run_world(
     let mut max_cov = f64::NEG_INFINITY;
     for x in world.profile.space().iter() {
         let joint = joint_shared_suite(&world.pop_a, &world.pop_b, &m, x);
-        let brute_joint =
-            brute::joint_on_demand_shared(&sa, &sb, &m, world.pop_a.model(), x);
-        assert!((joint.total() - brute_joint).abs() < 1e-12, "eq21 brute mismatch");
+        let brute_joint = brute::joint_on_demand_shared(&sa, &sb, &m, world.pop_a.model(), x);
+        assert!(
+            (joint.total() - brute_joint).abs() < 1e-12,
+            "eq21 brute mismatch"
+        );
         let prod = zeta(&world.pop_a, x, &m) * zeta(&world.pop_b, x, &m);
-        assert!((joint.independent - prod).abs() < 1e-12, "eq21 mean term mismatch");
+        assert!(
+            (joint.independent - prod).abs() < 1e-12,
+            "eq21 mean term mismatch"
+        );
         min_cov = min_cov.min(joint.coupling);
         max_cov = max_cov.max(joint.coupling);
         table.row(&[
@@ -45,10 +50,18 @@ fn run_world(
 }
 
 fn main() {
-    println!("E5: forced diversity on a shared suite — the covariance can take either sign (eq 21)\n");
+    println!(
+        "E5: forced diversity on a shared suite — the covariance can take either sign (eq 21)\n"
+    );
     let mut table = Table::new(
         "per-demand eq-21 decomposition",
-        &["world", "demand", "zeta_A*zeta_B", "Cov_Xi(xi_A,xi_B)", "joint"],
+        &[
+            "world",
+            "demand",
+            "zeta_A*zeta_B",
+            "Cov_Xi(xi_A,xi_B)",
+            "joint",
+        ],
     );
 
     // Mirrored singleton world: coupling is non-negative (suites kill both
@@ -63,8 +76,14 @@ fn main() {
 
     table.emit("e05_forced_shared");
 
-    assert!(max_cov_m > 0.0, "expected a positive coupling demand in the mirrored world");
-    assert!(min_cov_n < 0.0, "expected a negative coupling demand in the engineered world");
+    assert!(
+        max_cov_m > 0.0,
+        "expected a positive coupling demand in the mirrored world"
+    );
+    assert!(
+        min_cov_n < 0.0,
+        "expected a negative coupling demand in the engineered world"
+    );
     println!(
         "Claim reproduced: Cov_Ξ(ξ_A, ξ_B) > 0 on some worlds (shared testing\n\
          hurts) and < 0 on others (shared testing *helps*) — exactly the eq-21\n\

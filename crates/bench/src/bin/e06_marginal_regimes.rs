@@ -67,7 +67,11 @@ fn main() {
             700 + n as u64,
             threads,
         );
-        let ratio = if ind.system_pfd() > 0.0 { sh.system_pfd() / ind.system_pfd() } else { 1.0 };
+        let ratio = if ind.system_pfd() > 0.0 {
+            sh.system_pfd() / ind.system_pfd()
+        } else {
+            1.0
+        };
         table.row(&[
             n.to_string(),
             format!("{:.6}", ind.system_pfd()),
@@ -78,7 +82,10 @@ fn main() {
             format!("{:.6}", mc_sh.system_pfd.mean),
         ]);
 
-        assert!(sh.system_pfd() + 1e-12 >= ind.system_pfd(), "eq23 < eq22 at n={n}");
+        assert!(
+            sh.system_pfd() + 1e-12 >= ind.system_pfd(),
+            "eq23 < eq22 at n={n}"
+        );
         assert!(sh.suite_coupling >= -1e-12, "negative penalty at n={n}");
         assert!(
             (mc_ind.system_pfd.mean - ind.system_pfd()).abs()

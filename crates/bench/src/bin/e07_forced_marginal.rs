@@ -16,15 +16,23 @@ fn main() {
     println!("E7: forced diversity — either regime can win marginally (eqs 24–25)\n");
     let mut table = Table::new(
         "eq 24 vs eq 25 across worlds",
-        &["world", "n", "indep (eq24)", "shared (eq25)", "coupling", "winner"],
+        &[
+            "world",
+            "n",
+            "indep (eq24)",
+            "shared (eq25)",
+            "coupling",
+            "winner",
+        ],
     );
 
     let mut saw_shared_win = false;
     let mut saw_indep_win = false;
 
-    for (label, world) in
-        [("mirrored", mirrored(0.8, 0.1)), ("neg-coupling", negative_coupling())]
-    {
+    for (label, world) in [
+        ("mirrored", mirrored(0.8, 0.1)),
+        ("neg-coupling", negative_coupling()),
+    ] {
         for n in [1usize, 2, 3] {
             let m = enumerate_iid_suites(&world.profile, n, 1 << 14).expect("enumerable");
             let ind = MarginalAnalysis::compute(
@@ -60,8 +68,14 @@ fn main() {
     }
 
     table.emit("e07_forced_marginal");
-    assert!(saw_indep_win, "expected a world where independent suites win");
-    assert!(saw_shared_win, "expected a world where the shared suite wins");
+    assert!(
+        saw_indep_win,
+        "expected a world where independent suites win"
+    );
+    assert!(
+        saw_shared_win,
+        "expected a world where the shared suite wins"
+    );
     println!(
         "Claim reproduced: the eq-25 coupling term takes both signs across\n\
          worlds — with negative coupling the cheaper shared suite delivers the\n\

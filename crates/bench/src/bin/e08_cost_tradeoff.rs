@@ -28,7 +28,13 @@ fn main() {
     let replications = 4_000u64;
     let mut table = Table::new(
         "system pfd by budget interpretation",
-        &["n", "independent(n each)", "shared(n)", "merged(2n shared)", "best"],
+        &[
+            "n",
+            "independent(n each)",
+            "shared(n)",
+            "merged(2n shared)",
+            "best",
+        ],
     );
 
     for n in [5usize, 10, 20, 40, 80] {
@@ -73,8 +79,7 @@ fn main() {
             );
             merged.push(c.merged_system);
         }
-        let vals =
-            [ind.system_pfd.mean, shared.system_pfd.mean, merged.mean()];
+        let vals = [ind.system_pfd.mean, shared.system_pfd.mean, merged.mean()];
         let best = ["independent", "shared", "merged"][vals
             .iter()
             .enumerate()
@@ -92,8 +97,7 @@ fn main() {
         // Qualitative claims: at equal run budget, independent ≤ shared;
         // with free running, merged ≤ independent.
         assert!(
-            ind.system_pfd.mean
-                <= shared.system_pfd.mean + 3.0 * shared.system_pfd.standard_error,
+            ind.system_pfd.mean <= shared.system_pfd.mean + 3.0 * shared.system_pfd.standard_error,
             "independent should beat shared at equal run budget (n={n})"
         );
         assert!(

@@ -35,7 +35,12 @@ fn main() {
     let threads = diversim_sim::runner::default_threads();
     let mut table = Table::new(
         "measured system pfd across the (detect, fix) grid",
-        &["detect p", "fix p", "system pfd", "position in [lower, upper]"],
+        &[
+            "detect p",
+            "fix p",
+            "system pfd",
+            "position in [lower, upper]",
+        ],
     );
 
     let mut grid_means: Vec<(f64, f64, f64)> = Vec::new();
@@ -86,7 +91,10 @@ fn main() {
             .map(|(_, _, v)| *v)
             .expect("grid point")
     };
-    assert!(at(1.0, 1.0) <= at(0.25, 0.25), "perfect testing should beat weak testing");
+    assert!(
+        at(1.0, 1.0) <= at(0.25, 0.25),
+        "perfect testing should beat weak testing"
+    );
     println!(
         "Claim reproduced: every imperfect regime lies between the perfect-testing\n\
          lower bound and the untested upper bound, moving monotonically toward the\n\

@@ -74,7 +74,10 @@ fn main() {
                 && est.system_pfd.mean <= bounds.pessimistic + slack,
             "γ={gamma} escaped the bounds"
         );
-        assert!(est.system_pfd.mean >= prev - slack, "system pfd must rise with γ");
+        assert!(
+            est.system_pfd.mean >= prev - slack,
+            "system pfd must rise with γ"
+        );
         prev = est.system_pfd.mean;
     }
     table.emit("e10_gamma_sweep");
@@ -100,13 +103,22 @@ fn main() {
             &mut rng,
         );
         let after = pair_pfd(&out.first, &out.second, &model, &w.profile);
-        assert!((after - before).abs() < 1e-15, "pessimistic b2b changed the system pfd");
+        assert!(
+            (after - before).abs() < 1e-15,
+            "pessimistic b2b changed the system pfd"
+        );
         // Limit claim: both versions now fail exactly on the coincident
         // set, so each version's pfd equals the system pfd.
         let va_pfd = out.first.pfd(&model, &w.profile);
         let vb_pfd = out.second.pfd(&model, &w.profile);
-        assert!((va_pfd - after).abs() < 1e-15, "version A != system in the limit");
-        assert!((vb_pfd - after).abs() < 1e-15, "version B != system in the limit");
+        assert!(
+            (va_pfd - after).abs() < 1e-15,
+            "version A != system in the limit"
+        );
+        assert!(
+            (vb_pfd - after).abs() < 1e-15,
+            "version B != system in the limit"
+        );
         checked += 1;
     }
     println!(

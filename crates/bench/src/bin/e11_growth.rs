@@ -82,12 +82,18 @@ fn main() {
         ind.system[last].mean() < ind.system[0].mean(),
         "no growth under independent suites"
     );
-    assert!(sh.system[last].mean() < sh.system[0].mean(), "no growth under shared suite");
+    assert!(
+        sh.system[last].mean() < sh.system[0].mean(),
+        "no growth under shared suite"
+    );
     // Version-level growth is regime-independent (same marginal process).
     for i in 0..checkpoints.len() {
         let d = (ind.version_a[i].mean() - sh.version_a[i].mean()).abs();
         let se = ind.version_a[i].standard_error() + sh.version_a[i].standard_error();
-        assert!(d < 5.0 * se + 1e-9, "version growth differed between regimes at {i}");
+        assert!(
+            d < 5.0 * se + 1e-9,
+            "version growth differed between regimes at {i}"
+        );
     }
     // System under shared suite lags behind independent suites late in
     // testing.

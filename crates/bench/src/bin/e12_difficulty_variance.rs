@@ -27,17 +27,17 @@ use std::sync::Arc;
 /// relative to their shrunken mean.
 fn rare_hard_world() -> World {
     let space = DemandSpace::new(5).expect("non-empty");
-    let model =
-        Arc::new(FaultModelBuilder::new(space).singleton_faults().build().expect("valid"));
-    let pop = BernoulliPopulation::new(
-        Arc::clone(&model),
-        vec![0.3, 0.3, 0.3, 0.3, 0.9],
-    )
-    .expect("valid");
+    let model = Arc::new(
+        FaultModelBuilder::new(space)
+            .singleton_faults()
+            .build()
+            .expect("valid"),
+    );
+    let pop =
+        BernoulliPopulation::new(Arc::clone(&model), vec![0.3, 0.3, 0.3, 0.3, 0.9]).expect("valid");
     // Demand 4 (the hard one) is almost never exercised.
-    let profile =
-        UsageProfile::from_weights(space, vec![0.2475, 0.2475, 0.2475, 0.2475, 0.01])
-            .expect("valid");
+    let profile = UsageProfile::from_weights(space, vec![0.2475, 0.2475, 0.2475, 0.2475, 0.01])
+        .expect("valid");
     World {
         pop_a: pop.clone(),
         pop_b: pop,
@@ -51,7 +51,16 @@ fn main() {
     println!("E12: how testing reshapes the variability of difficulty (§3 discussion)\n");
     let mut table = Table::new(
         "difficulty moments before/after testing",
-        &["world", "n", "E[theta]", "Var(theta)", "E[zeta]", "Var(zeta)", "CV before", "CV after"],
+        &[
+            "world",
+            "n",
+            "E[theta]",
+            "Var(theta)",
+            "E[zeta]",
+            "Var(zeta)",
+            "CV before",
+            "CV after",
+        ],
     );
 
     let mut saw_decrease = false;
@@ -76,7 +85,10 @@ fn main() {
                 format!("{cv_before:.3}"),
                 format!("{cv_after:.3}"),
             ]);
-            assert!(shift.mean_after <= shift.mean_before + 1e-15, "mean difficulty rose");
+            assert!(
+                shift.mean_after <= shift.mean_before + 1e-15,
+                "mean difficulty rose"
+            );
             if shift.variance_reduced() {
                 saw_decrease = true;
             }
@@ -87,7 +99,10 @@ fn main() {
     }
 
     table.emit("e12_difficulty_variance");
-    assert!(saw_decrease, "expected at least one variance-reducing configuration");
+    assert!(
+        saw_decrease,
+        "expected at least one variance-reducing configuration"
+    );
     assert!(
         saw_cv_increase,
         "expected at least one configuration with increased relative variability"

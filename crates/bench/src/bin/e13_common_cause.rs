@@ -60,11 +60,9 @@ fn main() {
         ]);
         // Version-level severity statistically equal; system-level damage
         // strictly worse under common mistakes.
-        let se = common.version_pfd.standard_error()
-            + independent.version_pfd.standard_error();
+        let se = common.version_pfd.standard_error() + independent.version_pfd.standard_error();
         assert!(
-            (common.version_pfd.mean() - independent.version_pfd.mean()).abs()
-                < 5.0 * se + 1e-9,
+            (common.version_pfd.mean() - independent.version_pfd.mean()).abs() < 5.0 * se + 1e-9,
             "version severity diverged at {mistakes} mistakes"
         );
         assert!(

@@ -23,29 +23,55 @@ fn main() {
 
     let mut table = Table::new(
         &format!("system pfd vs channel count ({suite_size}-demand suites)"),
-        &["N", "independent", "shared", "shared/indep", "marginal gain (ind)", "marginal gain (sh)"],
+        &[
+            "N",
+            "independent",
+            "shared",
+            "shared/indep",
+            "marginal gain (ind)",
+            "marginal gain (sh)",
+        ],
     );
 
     let mut prev_ind = f64::NAN;
     let mut prev_sh = f64::NAN;
     for n_channels in 1..=6 {
-        let pops: Vec<&dyn TestedDifficulty> =
-            (0..n_channels).map(|_| &w.pop_a as &dyn TestedDifficulty).collect();
-        let ind =
-            system_pfd_n(&pops, &m, &w.profile, TestingRegime::IndependentSuites);
+        let pops: Vec<&dyn TestedDifficulty> = (0..n_channels)
+            .map(|_| &w.pop_a as &dyn TestedDifficulty)
+            .collect();
+        let ind = system_pfd_n(&pops, &m, &w.profile, TestingRegime::IndependentSuites);
         let sh = system_pfd_n(&pops, &m, &w.profile, TestingRegime::SharedSuite);
-        let gain_ind = if prev_ind.is_nan() { f64::NAN } else { prev_ind / ind.max(1e-300) };
-        let gain_sh = if prev_sh.is_nan() { f64::NAN } else { prev_sh / sh.max(1e-300) };
+        let gain_ind = if prev_ind.is_nan() {
+            f64::NAN
+        } else {
+            prev_ind / ind.max(1e-300)
+        };
+        let gain_sh = if prev_sh.is_nan() {
+            f64::NAN
+        } else {
+            prev_sh / sh.max(1e-300)
+        };
         table.row(&[
             n_channels.to_string(),
             format!("{ind:.3e}"),
             format!("{sh:.3e}"),
             format!("{:.1}", sh / ind.max(1e-300)),
-            if gain_ind.is_nan() { "-".into() } else { format!("{gain_ind:.1}x") },
-            if gain_sh.is_nan() { "-".into() } else { format!("{gain_sh:.1}x") },
+            if gain_ind.is_nan() {
+                "-".into()
+            } else {
+                format!("{gain_ind:.1}x")
+            },
+            if gain_sh.is_nan() {
+                "-".into()
+            } else {
+                format!("{gain_sh:.1}x")
+            },
         ]);
 
-        assert!(sh + 1e-15 >= ind, "shared beat independent at N={n_channels}");
+        assert!(
+            sh + 1e-15 >= ind,
+            "shared beat independent at N={n_channels}"
+        );
         if !prev_ind.is_nan() {
             assert!(ind <= prev_ind + 1e-15, "extra channel hurt (independent)");
             assert!(sh <= prev_sh + 1e-15, "extra channel hurt (shared)");

@@ -24,7 +24,13 @@ fn main() {
 
     let mut table = Table::new(
         "failure-free rule calibration (perfect oracle)",
-        &["target pfd", "min run", "mean demands", "mean achieved pfd", "P(met target)"],
+        &[
+            "target pfd",
+            "min run",
+            "mean demands",
+            "mean achieved pfd",
+            "P(met target)",
+        ],
     );
     for &target in &[0.05, 0.02, 0.01, 0.005] {
         let rule = StoppingRule::FailureFree { target, confidence };
@@ -49,7 +55,10 @@ fn main() {
             format!("{:.6}", study.achieved_pfd.mean()),
             format!("{:.3}", study.target_met_rate),
         ]);
-        assert!(study.rule_fired_rate > 0.99, "rule failed to fire at target {target}");
+        assert!(
+            study.rule_fired_rate > 0.99,
+            "rule failed to fire at target {target}"
+        );
         // Debugging *while* demonstrating: the delivered assurance must be
         // at least the nominal confidence (testing only improves things
         // after a failure resets the run).
@@ -66,7 +75,12 @@ fn main() {
     let rule = StoppingRule::FailureFree { target, confidence };
     let mut table2 = Table::new(
         "same rule under imperfect detection (target 0.01 @ 95%)",
-        &["detect prob", "mean demands", "mean achieved pfd", "P(met target)"],
+        &[
+            "detect prob",
+            "mean demands",
+            "mean achieved pfd",
+            "P(met target)",
+        ],
     );
     let mut last_met = 2.0;
     for &detect in &[1.0, 0.75, 0.5, 0.25, 0.1] {

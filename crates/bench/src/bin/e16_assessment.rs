@@ -31,7 +31,14 @@ fn main() {
 
     let mut table = Table::new(
         "true shared-suite system pfd vs independence prediction (exact closed forms)",
-        &["n", "rho", "true (shared)", "indep prediction", "underestimate x", "MC check"],
+        &[
+            "n",
+            "rho",
+            "true (shared)",
+            "indep prediction",
+            "underestimate x",
+            "MC check",
+        ],
     );
 
     for &(n, rho) in &[
@@ -83,7 +90,10 @@ fn main() {
             format!("{factor:.1}"),
             format!("{:.6}", mc.system_pfd.mean),
         ]);
-        assert!(truth >= prediction - 1e-15, "independence prediction was conservative?");
+        assert!(
+            truth >= prediction - 1e-15,
+            "independence prediction was conservative?"
+        );
         assert!(
             (mc.system_pfd.mean - truth).abs() < 4.0 * mc.system_pfd.standard_error + 1e-9,
             "MC disagrees with the closed form at n={n}, rho={rho}"

@@ -32,7 +32,12 @@ pub struct World {
 
 fn singleton_model(n: usize) -> Arc<FaultModel> {
     let space = DemandSpace::new(n).expect("non-empty");
-    Arc::new(FaultModelBuilder::new(space).singleton_faults().build().expect("valid"))
+    Arc::new(
+        FaultModelBuilder::new(space)
+            .singleton_faults()
+            .build()
+            .expect("valid"),
+    )
 }
 
 /// The canonical small exact world: 6 demands, singleton faults, graded
@@ -59,8 +64,10 @@ pub fn graded_with_spread(spread: f64) -> World {
     let mean = 0.3;
     // Difficulty points symmetric around the mean, scaled by `spread`.
     let offsets = [-0.25, -0.15, -0.05, 0.05, 0.15, 0.25];
-    let props: Vec<f64> =
-        offsets.iter().map(|o| (mean + o * spread).clamp(0.0, 1.0)).collect();
+    let props: Vec<f64> = offsets
+        .iter()
+        .map(|o| (mean + o * spread).clamp(0.0, 1.0))
+        .collect();
     let pop = BernoulliPopulation::new(Arc::clone(&model), props).expect("valid");
     let profile = UsageProfile::uniform(model.space());
     World {

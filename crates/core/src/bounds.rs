@@ -53,7 +53,10 @@ impl ImperfectTestingBounds {
     ) -> Self {
         let tested = MarginalAnalysis::compute(pop_a, pop_b, assignment, profile);
         let untested = LmAnalysis::compute(pop_a, pop_b, profile);
-        ImperfectTestingBounds { lower: tested.system_pfd(), upper: untested.joint_pfd }
+        ImperfectTestingBounds {
+            lower: tested.system_pfd(),
+            upper: untested.joint_pfd,
+        }
     }
 
     /// Returns `true` if `value` lies within the bounds (inclusive, with a
@@ -97,7 +100,10 @@ impl BackToBackBounds {
             MarginalAnalysis::compute(pop_a, pop_b, SuiteAssignment::Shared(measure), profile)
                 .system_pfd();
         let pessimistic = LmAnalysis::compute(pop_a, pop_b, profile).joint_pfd;
-        BackToBackBounds { optimistic, pessimistic }
+        BackToBackBounds {
+            optimistic,
+            pessimistic,
+        }
     }
 
     /// Returns `true` if `value` lies between the optimistic and
@@ -118,8 +124,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -129,9 +139,10 @@ mod tests {
         let q = UsageProfile::uniform(pop.model().space());
         for n in 0..4 {
             let m = enumerate_iid_suites(&q, n, 1 << 8).unwrap();
-            for assignment in
-                [SuiteAssignment::independent(&m), SuiteAssignment::Shared(&m)]
-            {
+            for assignment in [
+                SuiteAssignment::independent(&m),
+                SuiteAssignment::Shared(&m),
+            ] {
                 let b = ImperfectTestingBounds::compute(&pop, &pop, assignment, &q);
                 assert!(b.lower <= b.upper + 1e-15, "bounds inverted at n={n}");
                 assert!(b.width() >= -1e-15);
@@ -153,8 +164,7 @@ mod tests {
         let pop = singleton_pop(vec![0.4, 0.7]);
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 2, 64).unwrap();
-        let b =
-            ImperfectTestingBounds::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+        let b = ImperfectTestingBounds::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
         assert!(b.contains(b.lower));
         assert!(b.contains(b.upper));
         assert!(!b.contains(b.upper + 0.1));

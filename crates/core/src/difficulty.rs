@@ -47,12 +47,7 @@ use diversim_universe::version::Version;
 /// covered.insert(0);
 /// assert_eq!(tested_score(&v, &model, DemandId::new(0), &covered), 0.0);
 /// ```
-pub fn tested_score(
-    version: &Version,
-    model: &FaultModel,
-    x: DemandId,
-    covered: &BitSet,
-) -> f64 {
+pub fn tested_score(version: &Version, model: &FaultModel, x: DemandId, covered: &BitSet) -> f64 {
     let fails = model
         .faults_at(x)
         .iter()
@@ -77,7 +72,11 @@ pub trait TestedDifficulty: Population {
 
     /// `ξ(x, t)` evaluated on every demand, indexed by demand.
     fn xi_vector(&self, covered: &BitSet) -> Vec<f64> {
-        self.model().space().iter().map(|x| self.xi(x, covered)).collect()
+        self.model()
+            .space()
+            .iter()
+            .map(|x| self.xi(x, covered))
+            .collect()
     }
 }
 
@@ -90,7 +89,9 @@ impl TestedDifficulty for BernoulliPopulation {
 impl TestedDifficulty for ExplicitPopulation {
     fn xi(&self, x: DemandId, covered: &BitSet) -> f64 {
         let model = self.model().clone();
-        self.iter().map(|(v, p)| tested_score(v, &model, x, covered) * p).sum()
+        self.iter()
+            .map(|(v, p)| tested_score(v, &model, x, covered) * p)
+            .sum()
     }
 }
 
@@ -122,17 +123,17 @@ pub fn eta(
 ///
 /// Satisfies `θ(x) ≥ ζ(x)` for every `x` and any measure `M(·)` — testing
 /// can only help (§3).
-pub fn zeta(
-    pop: &dyn TestedDifficulty,
-    x: DemandId,
-    measure: &ExplicitSuitePopulation,
-) -> f64 {
+pub fn zeta(pop: &dyn TestedDifficulty, x: DemandId, measure: &ExplicitSuitePopulation) -> f64 {
     measure.expect(|t| pop.xi(x, t.demand_set()))
 }
 
 /// `ζ(x)` evaluated on every demand, indexed by demand.
 pub fn zeta_vector(pop: &dyn TestedDifficulty, measure: &ExplicitSuitePopulation) -> Vec<f64> {
-    pop.model().space().iter().map(|x| zeta(pop, x, measure)).collect()
+    pop.model()
+        .space()
+        .iter()
+        .map(|x| zeta(pop, x, measure))
+        .collect()
 }
 
 /// Summary of how testing reshapes the difficulty function: the paper's §3
@@ -158,10 +159,11 @@ impl DifficultyShift {
         measure: &ExplicitSuitePopulation,
         profile: &UsageProfile,
     ) -> Self {
-        let theta: Vec<(f64, f64)> =
-            profile.iter().map(|(x, q)| (pop.theta(x), q)).collect();
-        let zeta: Vec<(f64, f64)> =
-            profile.iter().map(|(x, q)| (zeta(pop, x, measure), q)).collect();
+        let theta: Vec<(f64, f64)> = profile.iter().map(|(x, q)| (pop.theta(x), q)).collect();
+        let zeta: Vec<(f64, f64)> = profile
+            .iter()
+            .map(|(x, q)| (zeta(pop, x, measure), q))
+            .collect();
         let before = diversim_stats::weighted::moments(theta.iter().copied())
             .expect("profile is a valid measure");
         let after = diversim_stats::weighted::moments(zeta.iter().copied())
@@ -201,8 +203,12 @@ mod tests {
     /// Singleton universe with 2 demands, Bernoulli propensities [p0, p1].
     fn singleton_pop(p0: f64, p1: f64) -> BernoulliPopulation {
         let space = DemandSpace::new(2).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, vec![p0, p1]).unwrap()
     }
 
@@ -216,10 +222,7 @@ mod tests {
         let mut covered = BitSet::new(2);
         covered.insert(0);
         for x in model.space().iter() {
-            assert!(
-                tested_score(&v, &model, x, &empty)
-                    >= tested_score(&v, &model, x, &covered)
-            );
+            assert!(tested_score(&v, &model, x, &empty) >= tested_score(&v, &model, x, &covered));
         }
     }
 
@@ -232,8 +235,7 @@ mod tests {
         covered.insert(1);
         for x in pop.model().space().iter() {
             assert!(
-                (TestedDifficulty::xi(&pop, x, &covered) - explicit.xi(x, &covered)).abs()
-                    < 1e-12,
+                (TestedDifficulty::xi(&pop, x, &covered) - explicit.xi(x, &covered)).abs() < 1e-12,
                 "xi mismatch at {x}"
             );
         }
@@ -296,8 +298,7 @@ mod tests {
         let model = pop.model().clone();
         let v = Version::from_faults(&model, [f(0), f(1)]);
         let q = UsageProfile::from_weights(model.space(), vec![0.25, 0.75]).unwrap();
-        let suite =
-            TestSuite::from_demands(model.space(), vec![d(0)]).unwrap();
+        let suite = TestSuite::from_demands(model.space(), vec![d(0)]).unwrap();
         // After testing on {x0}, the version fails only on x1.
         assert!((eta(&v, &model, &suite, &q) - 0.75).abs() < 1e-12);
         // Untested: fails everywhere → pfd 1.
@@ -311,7 +312,10 @@ mod tests {
         // cascade), so ξ(x1, {x0}) = 0 even though x1 was never run.
         let space = DemandSpace::new(2).unwrap();
         let model = Arc::new(
-            FaultModelBuilder::new(space).fault([d(0), d(1)]).build().unwrap(),
+            FaultModelBuilder::new(space)
+                .fault([d(0), d(1)])
+                .build()
+                .unwrap(),
         );
         let pop = BernoulliPopulation::new(model, vec![0.9]).unwrap();
         let mut covered = BitSet::new(2);

@@ -87,8 +87,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -123,8 +127,7 @@ mod tests {
     fn varying_difficulty_is_always_worse_than_independence() {
         // The EL headline result: E[Θ²] ≥ (E[Θ])², strict when θ varies.
         let pop = singleton_pop(vec![0.05, 0.1, 0.6, 0.01]);
-        let q = UsageProfile::from_weights(pop.model().space(), vec![0.4, 0.3, 0.2, 0.1])
-            .unwrap();
+        let q = UsageProfile::from_weights(pop.model().space(), vec![0.4, 0.3, 0.2, 0.1]).unwrap();
         let a = ElAnalysis::compute(&pop, &q);
         assert!(a.joint_pfd > a.independent_pfd);
         assert!(a.dependence_ratio().unwrap() > 1.0);
@@ -153,8 +156,7 @@ mod tests {
         // demand raises everything.
         let pop = singleton_pop(vec![0.1, 0.5]);
         let uniform = UsageProfile::uniform(pop.model().space());
-        let skewed =
-            UsageProfile::from_weights(pop.model().space(), vec![0.1, 0.9]).unwrap();
+        let skewed = UsageProfile::from_weights(pop.model().space(), vec![0.1, 0.9]).unwrap();
         let a_u = ElAnalysis::compute(&pop, &uniform);
         let a_s = ElAnalysis::compute(&pop, &skewed);
         assert!(a_s.mean_theta > a_u.mean_theta);

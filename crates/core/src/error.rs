@@ -65,7 +65,9 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        let e = CoreError::ModelMismatch { reason: "spaces differ" };
+        let e = CoreError::ModelMismatch {
+            reason: "spaces differ",
+        };
         assert!(e.to_string().contains("spaces differ"));
         let u: CoreError = UniverseError::EmptyDemandSpace.into();
         assert!(Error::source(&u).is_some());

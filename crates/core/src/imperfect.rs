@@ -62,7 +62,11 @@ fn check_preconditions(pop: &BernoulliPopulation, repair_prob: f64) -> Result<()
 
 /// Propensity of the unique fault covering `x` (0 if none).
 fn fault_propensity(pop: &BernoulliPopulation, x: DemandId) -> f64 {
-    pop.model().faults_at(x).first().map(|&f| pop.propensity(f)).unwrap_or(0.0)
+    pop.model()
+        .faults_at(x)
+        .first()
+        .map(|&f| pop.propensity(f))
+        .unwrap_or(0.0)
 }
 
 /// `ξ_ρ(x, t)`: the probability that a random version, debugged on the
@@ -186,8 +190,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -195,7 +203,10 @@ mod tests {
     fn rejects_non_singleton_models() {
         let space = DemandSpace::new(2).unwrap();
         let model = Arc::new(
-            FaultModelBuilder::new(space).fault([d(0), d(1)]).build().unwrap(),
+            FaultModelBuilder::new(space)
+                .fault([d(0), d(1)])
+                .build()
+                .unwrap(),
         );
         let pop = BernoulliPopulation::new(model, vec![0.5]).unwrap();
         let q = UsageProfile::uniform(space);
@@ -206,7 +217,11 @@ mod tests {
     fn rejects_multiple_faults_per_demand() {
         let space = DemandSpace::new(2).unwrap();
         let model = Arc::new(
-            FaultModelBuilder::new(space).fault([d(0)]).fault([d(0)]).build().unwrap(),
+            FaultModelBuilder::new(space)
+                .fault([d(0)])
+                .fault([d(0)])
+                .build()
+                .unwrap(),
         );
         let pop = BernoulliPopulation::new(model, vec![0.5, 0.5]).unwrap();
         let q = UsageProfile::uniform(space);
@@ -225,11 +240,7 @@ mod tests {
     fn xi_counts_multiplicities() {
         // Suite [x0, x0, x1]: fault at x0 survives two repair attempts.
         let pop = singleton_pop(vec![0.8, 0.8]);
-        let suite = TestSuite::from_demands(
-            pop.model().space(),
-            vec![d(0), d(0), d(1)],
-        )
-        .unwrap();
+        let suite = TestSuite::from_demands(pop.model().space(), vec![d(0), d(0), d(1)]).unwrap();
         let xi0 = xi_imperfect(&pop, d(0), &suite, 0.5).unwrap();
         assert!((xi0 - 0.8 * 0.25).abs() < 1e-12);
         let xi1 = xi_imperfect(&pop, d(1), &suite, 0.5).unwrap();
@@ -244,20 +255,16 @@ mod tests {
         let m = enumerate_iid_suites(&q, n, 64).unwrap();
         for regime in [TestingRegime::IndependentSuites, TestingRegime::SharedSuite] {
             let exact = match regime {
-                TestingRegime::IndependentSuites => MarginalAnalysis::compute(
-                    &pop,
-                    &pop,
-                    SuiteAssignment::independent(&m),
-                    &q,
-                )
-                .system_pfd(),
+                TestingRegime::IndependentSuites => {
+                    MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q)
+                        .system_pfd()
+                }
                 TestingRegime::SharedSuite => {
                     MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q)
                         .system_pfd()
                 }
             };
-            let closed =
-                marginal_imperfect_iid(&pop, &pop, &q, &q, n, 1.0, regime).unwrap();
+            let closed = marginal_imperfect_iid(&pop, &pop, &q, &q, n, 1.0, regime).unwrap();
             assert!(
                 (exact - closed).abs() < 1e-12,
                 "ρ=1 mismatch under {regime}: {exact} vs {closed}"
@@ -271,8 +278,7 @@ mod tests {
         let q = UsageProfile::uniform(pop.model().space());
         let el = crate::el::ElAnalysis::compute(&pop, &q);
         for regime in [TestingRegime::IndependentSuites, TestingRegime::SharedSuite] {
-            let closed =
-                marginal_imperfect_iid(&pop, &pop, &q, &q, 10, 0.0, regime).unwrap();
+            let closed = marginal_imperfect_iid(&pop, &pop, &q, &q, 10, 0.0, regime).unwrap();
             assert!((closed - el.joint_pfd).abs() < 1e-12);
         }
     }
@@ -293,17 +299,13 @@ mod tests {
                     TestingRegime::IndependentSuites,
                 )
                 .unwrap();
-                let sh = marginal_imperfect_iid(
-                    &pop,
-                    &pop,
-                    &q,
-                    &q,
-                    n,
-                    rho,
-                    TestingRegime::SharedSuite,
-                )
-                .unwrap();
-                assert!(sh + 1e-15 >= ind, "shared < independent at rho={rho}, n={n}");
+                let sh =
+                    marginal_imperfect_iid(&pop, &pop, &q, &q, n, rho, TestingRegime::SharedSuite)
+                        .unwrap();
+                assert!(
+                    sh + 1e-15 >= ind,
+                    "shared < independent at rho={rho}, n={n}"
+                );
             }
         }
     }
@@ -325,11 +327,13 @@ mod tests {
                 TestingRegime::IndependentSuites,
             )
             .unwrap();
-            let sh =
-                marginal_imperfect_iid(&pop, &pop, &q, &q, 4, rho, TestingRegime::SharedSuite)
-                    .unwrap();
+            let sh = marginal_imperfect_iid(&pop, &pop, &q, &q, 4, rho, TestingRegime::SharedSuite)
+                .unwrap();
             let penalty = sh - ind;
-            assert!(penalty + 1e-15 >= last_penalty, "penalty fell as ρ grew to {rho}");
+            assert!(
+                penalty + 1e-15 >= last_penalty,
+                "penalty fell as ρ grew to {rho}"
+            );
             last_penalty = penalty;
         }
     }
@@ -354,10 +358,12 @@ mod tests {
         pub fn check_against_mc() {
             let space = DemandSpace::new(3).unwrap();
             let model = Arc::new(
-                FaultModelBuilder::new(space).singleton_faults().build().unwrap(),
+                FaultModelBuilder::new(space)
+                    .singleton_faults()
+                    .build()
+                    .unwrap(),
             );
-            let pop =
-                BernoulliPopulation::new(Arc::clone(&model), vec![0.5, 0.7, 0.9]).unwrap();
+            let pop = BernoulliPopulation::new(Arc::clone(&model), vec![0.5, 0.7, 0.9]).unwrap();
             let q = UsageProfile::from_weights(space, vec![0.5, 0.3, 0.2]).unwrap();
             let rho = 0.6;
             let n = 4usize;
@@ -366,8 +372,11 @@ mod tests {
             let mut fails = [0u64; 3];
             for _ in 0..reps {
                 // Sample version, sample suite, apply per-execution repair.
-                let mut present: Vec<bool> =
-                    pop.propensities().iter().map(|&p| rng.gen::<f64>() < p).collect();
+                let mut present: Vec<bool> = pop
+                    .propensities()
+                    .iter()
+                    .map(|&p| rng.gen::<f64>() < p)
+                    .collect();
                 for _ in 0..n {
                     let y = q.sample(&mut rng);
                     if present[y.index()] && rng.gen::<f64>() < rho {

@@ -75,8 +75,8 @@ pub use el::ElAnalysis;
 pub use error::CoreError;
 pub use imperfect::{marginal_imperfect_iid, xi_imperfect, zeta_imperfect_iid};
 pub use lm::LmAnalysis;
-pub use metrics::{dependence_ratio, failure_correlation, jaccard_overlap, DiversityReport};
 pub use marginal::{shared_suite_penalty, MarginalAnalysis, SuiteAssignment};
+pub use metrics::{dependence_ratio, failure_correlation, jaccard_overlap, DiversityReport};
 pub use nversion::system_pfd_n;
 pub use system::{diversity_gain, pair_pfd, system_failure_set, system_pfd};
 pub use testing_effect::{

@@ -43,11 +43,7 @@ impl LmAnalysis {
     /// # Panics
     ///
     /// Panics if the populations are defined over different demand spaces.
-    pub fn compute(
-        pop_a: &dyn Population,
-        pop_b: &dyn Population,
-        profile: &UsageProfile,
-    ) -> Self {
+    pub fn compute(pop_a: &dyn Population, pop_b: &dyn Population, profile: &UsageProfile) -> Self {
         assert_eq!(
             pop_a.model().space(),
             pop_b.model().space(),
@@ -57,8 +53,8 @@ impl LmAnalysis {
             .iter()
             .map(|(x, q)| ((pop_a.theta(x), pop_b.theta(x)), q))
             .collect();
-        let cov = weighted::covariance(triples.iter().copied())
-            .expect("profile is a valid measure");
+        let cov =
+            weighted::covariance(triples.iter().copied()).expect("profile is a valid measure");
         let mean_a = weighted::mean(triples.iter().map(|&((a, _), q)| (a, q)))
             .expect("profile is a valid measure");
         let mean_b = weighted::mean(triples.iter().map(|&((_, b), q)| (b, q)))
@@ -107,7 +103,12 @@ mod tests {
 
     fn singleton_model(n: usize) -> Arc<diversim_universe::fault::FaultModel> {
         let space = DemandSpace::new(n).unwrap();
-        Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap())
+        Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        )
     }
 
     #[test]
@@ -139,7 +140,10 @@ mod tests {
         let el = crate::el::ElAnalysis::compute(&pop, &q);
         assert!((lm.joint_pfd - el.joint_pfd).abs() < 1e-12);
         assert!((lm.covariance - el.var_theta).abs() < 1e-12);
-        assert!(!lm.beats_independence(), "self-covariance is a variance ≥ 0");
+        assert!(
+            !lm.beats_independence(),
+            "self-covariance is a variance ≥ 0"
+        );
     }
 
     #[test]
@@ -148,7 +152,10 @@ mod tests {
         let (a, b) = mirrored_pair(&m, 0.6, 0.05).unwrap();
         let q = UsageProfile::uniform(m.space());
         let lm = LmAnalysis::compute(&a, &b, &q);
-        assert!(lm.covariance < 0.0, "mirrored propensities must anti-correlate");
+        assert!(
+            lm.covariance < 0.0,
+            "mirrored propensities must anti-correlate"
+        );
         assert!(lm.joint_pfd < lm.independent_pfd);
     }
 

@@ -48,7 +48,10 @@ pub enum SuiteAssignment<'a> {
 impl<'a> SuiteAssignment<'a> {
     /// Both versions' suites drawn independently from one procedure.
     pub fn independent(measure: &'a ExplicitSuitePopulation) -> Self {
-        SuiteAssignment::Independent { measure_a: measure, measure_b: measure }
+        SuiteAssignment::Independent {
+            measure_a: measure,
+            measure_b: measure,
+        }
     }
 
     /// The corresponding [`TestingRegime`].
@@ -120,16 +123,18 @@ impl MarginalAnalysis {
         let mut coupling = 0.0;
         for (x, q) in profile.iter() {
             let joint = match assignment {
-                SuiteAssignment::Independent { measure_a, measure_b } => {
-                    joint_independent_suites(pop_a, pop_b, measure_a, measure_b, x)
-                }
-                SuiteAssignment::Shared(measure) => {
-                    joint_shared_suite(pop_a, pop_b, measure, x)
-                }
+                SuiteAssignment::Independent {
+                    measure_a,
+                    measure_b,
+                } => joint_independent_suites(pop_a, pop_b, measure_a, measure_b, x),
+                SuiteAssignment::Shared(measure) => joint_shared_suite(pop_a, pop_b, measure, x),
             };
             coupling += joint.coupling * q;
             let (za, zb) = match assignment {
-                SuiteAssignment::Independent { measure_a, measure_b } => (
+                SuiteAssignment::Independent {
+                    measure_a,
+                    measure_b,
+                } => (
                     crate::difficulty::zeta(pop_a, x, measure_a),
                     crate::difficulty::zeta(pop_b, x, measure_b),
                 ),
@@ -140,8 +145,8 @@ impl MarginalAnalysis {
             };
             zeta_triples.push(((za, zb), q));
         }
-        let cov = weighted::covariance(zeta_triples.iter().copied())
-            .expect("profile is a valid measure");
+        let cov =
+            weighted::covariance(zeta_triples.iter().copied()).expect("profile is a valid measure");
         let mean_a = weighted::mean(zeta_triples.iter().map(|&((a, _), q)| (a, q)))
             .expect("profile is a valid measure");
         let mean_b = weighted::mean(zeta_triples.iter().map(|&((_, b), q)| (b, q)))
@@ -166,8 +171,7 @@ pub fn shared_suite_penalty(
     measure: &ExplicitSuitePopulation,
     profile: &UsageProfile,
 ) -> f64 {
-    let shared =
-        MarginalAnalysis::compute(pop_a, pop_b, SuiteAssignment::Shared(measure), profile);
+    let shared = MarginalAnalysis::compute(pop_a, pop_b, SuiteAssignment::Shared(measure), profile);
     shared.suite_coupling
 }
 
@@ -182,8 +186,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -221,15 +229,10 @@ mod tests {
     fn eq23_dominates_eq22_across_universes() {
         // The §3.4.1 headline: shared ≥ independent, for every suite size.
         let pop = singleton_pop(vec![0.1, 0.35, 0.6, 0.85]);
-        let q = UsageProfile::from_weights(
-            pop.model().space(),
-            vec![0.4, 0.3, 0.2, 0.1],
-        )
-        .unwrap();
+        let q = UsageProfile::from_weights(pop.model().space(), vec![0.4, 0.3, 0.2, 0.1]).unwrap();
         for n in 0..5 {
             let m = enumerate_iid_suites(&q, n, 1 << 10).unwrap();
-            let ind =
-                MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+            let ind = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
             let sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
             assert!(
                 sh.system_pfd() + 1e-15 >= ind.system_pfd(),
@@ -245,9 +248,10 @@ mod tests {
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 0, 4).unwrap();
         let el = crate::el::ElAnalysis::compute(&pop, &q);
-        for assignment in
-            [SuiteAssignment::independent(&m), SuiteAssignment::Shared(&m)]
-        {
+        for assignment in [
+            SuiteAssignment::independent(&m),
+            SuiteAssignment::Shared(&m),
+        ] {
             let a = MarginalAnalysis::compute(&pop, &pop, assignment, &q);
             assert!((a.system_pfd() - el.joint_pfd).abs() < 1e-12);
         }
@@ -259,8 +263,12 @@ mod tests {
         // ζ_A = (0.2, 0.05), ζ_B = (0.05, 0.2);
         // (24) = Σ ζ_Aζ_B Q = (0.01 + 0.01)/2 = 0.01.
         let space = DemandSpace::new(2).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         let a = BernoulliPopulation::new(model.clone(), vec![0.4, 0.1]).unwrap();
         let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.4]).unwrap();
         let q = UsageProfile::uniform(space);
@@ -277,8 +285,12 @@ mod tests {
         // coupling Σ Cov_Ξ Q is positive (same suites kill both versions'
         // faults on the same demands).
         let space = DemandSpace::new(2).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         let a = BernoulliPopulation::new(model.clone(), vec![0.8, 0.1]).unwrap();
         let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.8]).unwrap();
         let q = UsageProfile::uniform(space);
@@ -311,8 +323,14 @@ mod tests {
         let space = DemandSpace::new(3).unwrap();
         let model = Arc::new(
             FaultModelBuilder::new(space)
-                .fault([diversim_universe::DemandId::new(0), diversim_universe::DemandId::new(1)])
-                .fault([diversim_universe::DemandId::new(0), diversim_universe::DemandId::new(2)])
+                .fault([
+                    diversim_universe::DemandId::new(0),
+                    diversim_universe::DemandId::new(1),
+                ])
+                .fault([
+                    diversim_universe::DemandId::new(0),
+                    diversim_universe::DemandId::new(2),
+                ])
                 .build()
                 .unwrap(),
         );
@@ -350,6 +368,9 @@ mod tests {
             SuiteAssignment::independent(&m).regime(),
             TestingRegime::IndependentSuites
         );
-        assert_eq!(SuiteAssignment::Shared(&m).regime(), TestingRegime::SharedSuite);
+        assert_eq!(
+            SuiteAssignment::Shared(&m).regime(),
+            TestingRegime::SharedSuite
+        );
     }
 }

@@ -36,12 +36,7 @@ pub struct DiversityReport {
 
 impl DiversityReport {
     /// Computes all metrics in one pass over the demand space.
-    pub fn compute(
-        a: &Version,
-        b: &Version,
-        model: &FaultModel,
-        profile: &UsageProfile,
-    ) -> Self {
+    pub fn compute(a: &Version, b: &Version, model: &FaultModel, profile: &UsageProfile) -> Self {
         let fa = a.failure_set(model);
         let fb = b.failure_set(model);
         let mut pfd_a = 0.0;
@@ -72,7 +67,13 @@ impl DiversityReport {
             0.0
         };
         let jaccard = if union > 0.0 { joint / union } else { 0.0 };
-        DiversityReport { pfd_a, pfd_b, joint_pfd: joint, correlation, jaccard }
+        DiversityReport {
+            pfd_a,
+            pfd_b,
+            joint_pfd: joint,
+            correlation,
+            jaccard,
+        }
     }
 
     /// `P(both fail) / (pfd_A·pfd_B)`: 1 under independence, > 1 for

@@ -93,8 +93,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -103,13 +107,12 @@ mod tests {
         let pop = singleton_pop(vec![0.3, 0.6]);
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
-        let pair_ind =
-            MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q)
-                .system_pfd();
+        let pair_ind = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q)
+            .system_pfd();
         let n_ind = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::IndependentSuites);
         assert!((pair_ind - n_ind).abs() < 1e-12);
-        let pair_sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q)
-            .system_pfd();
+        let pair_sh =
+            MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q).system_pfd();
         let n_sh = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::SharedSuite);
         assert!((pair_sh - n_sh).abs() < 1e-12);
     }
@@ -136,8 +139,9 @@ mod tests {
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
         for n_channels in 2..=4 {
-            let pops: Vec<&dyn TestedDifficulty> =
-                (0..n_channels).map(|_| &pop as &dyn TestedDifficulty).collect();
+            let pops: Vec<&dyn TestedDifficulty> = (0..n_channels)
+                .map(|_| &pop as &dyn TestedDifficulty)
+                .collect();
             let ind = system_pfd_n(&pops, &m, &q, TestingRegime::IndependentSuites);
             let sh = system_pfd_n(&pops, &m, &q, TestingRegime::SharedSuite);
             assert!(sh + 1e-15 >= ind, "shared < independent for N={n_channels}");
@@ -164,10 +168,13 @@ mod tests {
         let strong = BernoulliPopulation::new(weak.model().clone(), vec![0.01, 0.01]).unwrap();
         let q = UsageProfile::uniform(weak.model().space());
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
-        let without =
-            system_pfd_n(&[&weak, &weak], &m, &q, TestingRegime::IndependentSuites);
-        let with =
-            system_pfd_n(&[&weak, &weak, &strong], &m, &q, TestingRegime::IndependentSuites);
+        let without = system_pfd_n(&[&weak, &weak], &m, &q, TestingRegime::IndependentSuites);
+        let with = system_pfd_n(
+            &[&weak, &weak, &strong],
+            &m,
+            &q,
+            TestingRegime::IndependentSuites,
+        );
         assert!(with < without * 0.1, "strong channel should slash the pfd");
     }
 

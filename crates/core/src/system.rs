@@ -30,12 +30,7 @@ pub fn system_failure_set(versions: &[&Version], model: &FaultModel) -> BitSet {
 
 /// Probability that a 1-out-of-2 system of two concrete versions fails on
 /// a random demand: `Σ_x υ(π₁,x)·υ(π₂,x)·Q(x)`.
-pub fn pair_pfd(
-    v1: &Version,
-    v2: &Version,
-    model: &FaultModel,
-    profile: &UsageProfile,
-) -> f64 {
+pub fn pair_pfd(v1: &Version, v2: &Version, model: &FaultModel, profile: &UsageProfile) -> f64 {
     system_pfd(&[v1, v2], model, profile)
 }
 
@@ -147,7 +142,7 @@ mod tests {
         let q = UsageProfile::uniform(m.space());
         let v1 = Version::from_faults(&m, [f(0), f(1)]); // pfd 0.5
         let v2 = Version::from_faults(&m, [f(1), f(2)]); // pfd 0.5
-        // Pair pfd 0.25; gain = 0.5 / 0.25 = 2.
+                                                         // Pair pfd 0.25; gain = 0.5 / 0.25 = 2.
         assert!((diversity_gain(&v1, &v2, &m, &q).unwrap() - 2.0).abs() < 1e-12);
     }
 

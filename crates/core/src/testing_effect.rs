@@ -109,7 +109,10 @@ pub fn joint_shared_suite(
         .expect("measure is a valid distribution");
     let mean_b = weighted::mean(triples.iter().map(|&((_, b), p)| (b, p)))
         .expect("measure is a valid distribution");
-    JointOnDemand { independent: mean_a * mean_b, coupling: cov }
+    JointOnDemand {
+        independent: mean_a * mean_b,
+        coupling: cov,
+    }
 }
 
 /// Joint failure probability on demand `x` under either regime (dispatch
@@ -146,8 +149,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -181,11 +188,7 @@ mod tests {
     fn eq20_shared_never_below_independent() {
         // Var_Ξ(ξ(x,T)) ≥ 0: the shared-suite joint dominates demand-wise.
         let pop = singleton_pop(vec![0.15, 0.45, 0.75, 0.3]);
-        let q = UsageProfile::from_weights(
-            pop.model().space(),
-            vec![0.4, 0.3, 0.2, 0.1],
-        )
-        .unwrap();
+        let q = UsageProfile::from_weights(pop.model().space(), vec![0.4, 0.3, 0.2, 0.1]).unwrap();
         for n in 0..4 {
             let m = enumerate_iid_suites(&q, n, 1 << 10).unwrap();
             for x in pop.model().space().iter() {
@@ -224,8 +227,12 @@ mod tests {
         // → ξ_A and ξ_B move *together* in T ⇒ positive covariance
         //   (both are killed by the same suites).
         let space = DemandSpace::new(2).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         let a = BernoulliPopulation::new(model.clone(), vec![0.8, 0.1]).unwrap();
         let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.8]).unwrap();
         let q = UsageProfile::uniform(space);

@@ -153,8 +153,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -176,8 +180,7 @@ mod tests {
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
         let support = pop.enumerate(16).unwrap();
-        let joint =
-            joint_on_demand_independent(&support, &support, &m, &m, pop.model(), d(0));
+        let joint = joint_on_demand_independent(&support, &support, &m, &m, pop.model(), d(0));
         let z = zeta_brute(&support, &m, pop.model(), d(0));
         assert!((joint - z * z).abs() < 1e-12);
     }
@@ -189,8 +192,7 @@ mod tests {
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
         let support = pop.enumerate(16).unwrap();
         let shared = joint_on_demand_shared(&support, &support, &m, pop.model(), d(0));
-        let indep =
-            joint_on_demand_independent(&support, &support, &m, &m, pop.model(), d(0));
+        let indep = joint_on_demand_independent(&support, &support, &m, &m, pop.model(), d(0));
         // Hand values from the core tests: 0.08 vs 0.04.
         assert!((shared - 0.08).abs() < 1e-12);
         assert!((indep - 0.04).abs() < 1e-12);

@@ -43,7 +43,10 @@ pub struct TheoremReport {
 impl TheoremReport {
     /// Largest discrepancy across all checks.
     pub fn max_error(&self) -> f64 {
-        self.checks.iter().map(IdentityCheck::abs_error).fold(0.0, f64::max)
+        self.checks
+            .iter()
+            .map(IdentityCheck::abs_error)
+            .fold(0.0, f64::max)
     }
 
     /// Whether every identity holds within `tol`.
@@ -104,12 +107,15 @@ pub fn verify_pair(
     // eq14: ζ per demand, aggregated as a usage-weighted sum.
     let zeta_formula = profile.expect(|x| zeta(pop_a, x, measure));
     let zeta_brute = profile.expect(|x| brute::zeta_brute(support_a, measure, model, x));
-    checks.push(IdentityCheck { name: "eq14", formula: zeta_formula, brute: zeta_brute });
+    checks.push(IdentityCheck {
+        name: "eq14",
+        formula: zeta_formula,
+        brute: zeta_brute,
+    });
 
     // eq16/17: independent suites, per-demand, aggregated as the max
     // pointwise error folded into one summed comparison.
-    let indep_formula =
-        profile.expect(|x| zeta(pop_a, x, measure) * zeta(pop_b, x, measure));
+    let indep_formula = profile.expect(|x| zeta(pop_a, x, measure) * zeta(pop_b, x, measure));
     let indep_brute = profile.expect(|x| {
         brute::joint_on_demand_independent(support_a, support_b, measure, measure, model, x)
     });
@@ -123,8 +129,8 @@ pub fn verify_pair(
     let shared_formula = profile.expect(|x| {
         diversim_core::testing_effect::joint_shared_suite(pop_a, pop_b, measure, x).total()
     });
-    let shared_brute = profile
-        .expect(|x| brute::joint_on_demand_shared(support_a, support_b, measure, model, x));
+    let shared_brute =
+        profile.expect(|x| brute::joint_on_demand_shared(support_a, support_b, measure, model, x));
     checks.push(IdentityCheck {
         name: "eq20/21-per-demand",
         formula: shared_formula,
@@ -177,8 +183,12 @@ mod tests {
 
     fn singleton_pop(props: Vec<f64>) -> BernoulliPopulation {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         BernoulliPopulation::new(model, props).unwrap()
     }
 
@@ -219,8 +229,12 @@ mod tests {
     #[test]
     fn identities_hold_for_forced_diversity() {
         let space = DemandSpace::new(3).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         let a = BernoulliPopulation::new(model.clone(), vec![0.6, 0.1, 0.3]).unwrap();
         let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.6, 0.2]).unwrap();
         let q = UsageProfile::uniform(space);

@@ -63,7 +63,10 @@ pub fn adaptive_campaign(
     let mut failures_observed = 0u64;
     let mut stopped_by_rule = false;
     while state.demands() < max_demands {
-        if state.should_stop().expect("rule parameters validated by caller") {
+        if state
+            .should_stop()
+            .expect("rule parameters validated by caller")
+        {
             stopped_by_rule = true;
             break;
         }
@@ -170,9 +173,16 @@ mod tests {
 
     fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile) {
         let space = DemandSpace::new(n).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
-        (BernoulliPopulation::constant(model, p).unwrap(), UsageProfile::uniform(space))
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
+        (
+            BernoulliPopulation::constant(model, p).unwrap(),
+            UsageProfile::uniform(space),
+        )
     }
 
     #[test]
@@ -196,7 +206,10 @@ mod tests {
     fn cap_prevents_runaway_campaigns() {
         // A practically unreachable failure-free requirement.
         let (pop, q) = setup(4, 0.9);
-        let rule = StoppingRule::FailureFree { target: 1e-9, confidence: 0.999 };
+        let rule = StoppingRule::FailureFree {
+            target: 1e-9,
+            confidence: 0.999,
+        };
         let out = adaptive_campaign(
             &pop,
             &q,
@@ -214,7 +227,10 @@ mod tests {
     #[test]
     fn failure_free_rule_keeps_testing_after_failures() {
         let (pop, q) = setup(6, 0.8);
-        let rule = StoppingRule::FailureFree { target: 0.2, confidence: 0.9 };
+        let rule = StoppingRule::FailureFree {
+            target: 0.2,
+            confidence: 0.9,
+        };
         let out = adaptive_campaign(
             &pop,
             &q,
@@ -228,15 +244,17 @@ mod tests {
         assert!(out.stopped_by_rule);
         // The rule demands ~11 consecutive detected-failure-free tests, so
         // failures must push the total beyond the minimum.
-        let minimum =
-            diversim_stats::stopping::failure_free_tests_required(0.2, 0.9).unwrap();
+        let minimum = diversim_stats::stopping::failure_free_tests_required(0.2, 0.9).unwrap();
         assert!(out.demands_used >= minimum);
     }
 
     #[test]
     fn campaign_is_deterministic_per_seed() {
         let (pop, q) = setup(8, 0.5);
-        let rule = StoppingRule::FailureFree { target: 0.1, confidence: 0.9 };
+        let rule = StoppingRule::FailureFree {
+            target: 0.1,
+            confidence: 0.9,
+        };
         let a = adaptive_campaign(
             &pop,
             &q,
@@ -265,9 +283,11 @@ mod tests {
         // With detection probability 0 the rule sees only "successes" and
         // stops at the minimum count — while the version is untouched.
         let (pop, q) = setup(6, 0.9);
-        let rule = StoppingRule::FailureFree { target: 0.1, confidence: 0.9 };
-        let minimum =
-            diversim_stats::stopping::failure_free_tests_required(0.1, 0.9).unwrap();
+        let rule = StoppingRule::FailureFree {
+            target: 0.1,
+            confidence: 0.9,
+        };
+        let minimum = diversim_stats::stopping::failure_free_tests_required(0.1, 0.9).unwrap();
         let out = adaptive_campaign(
             &pop,
             &q,
@@ -287,7 +307,10 @@ mod tests {
     #[test]
     fn study_aggregates_and_is_thread_invariant() {
         let (pop, q) = setup(10, 0.4);
-        let rule = StoppingRule::FailureFree { target: 0.05, confidence: 0.9 };
+        let rule = StoppingRule::FailureFree {
+            target: 0.05,
+            confidence: 0.9,
+        };
         let run = |threads| {
             adaptive_study(
                 &pop,

@@ -134,8 +134,12 @@ mod tests {
 
     fn setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         let pop = BernoulliPopulation::new(model, props).unwrap();
         let q = UsageProfile::uniform(space);
         let gen = ProfileGenerator::new(q.clone());

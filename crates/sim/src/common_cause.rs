@@ -89,8 +89,7 @@ pub fn mistake_study(
                     CommonCauseEvent::Mistake { faults: fb }.apply(&mut b);
                 }
             }
-            let version =
-                0.5 * (a.pfd(&model, profile) + b.pfd(&model, profile));
+            let version = 0.5 * (a.pfd(&model, profile) + b.pfd(&model, profile));
             let system = pair_pfd(&a, &b, &model, profile);
             (version, system, before)
         });
@@ -102,7 +101,11 @@ pub fn mistake_study(
         system_pfd.push(s);
         system_pfd_before.push(before);
     }
-    MistakeStudy { version_pfd, system_pfd, system_pfd_before }
+    MistakeStudy {
+        version_pfd,
+        system_pfd,
+        system_pfd_before,
+    }
 }
 
 /// Aggregated results of a clarification study: faults removed from both
@@ -140,9 +143,12 @@ pub fn clarification_study(
             let ev = CommonCauseEvent::Clarification { faults };
             ev.apply(&mut a);
             ev.apply(&mut b);
-            let report =
-                diversim_core::metrics::DiversityReport::compute(&a, &b, &model, profile);
-            (0.5 * (report.pfd_a + report.pfd_b), report.joint_pfd, report.jaccard)
+            let report = diversim_core::metrics::DiversityReport::compute(&a, &b, &model, profile);
+            (
+                0.5 * (report.pfd_a + report.pfd_b),
+                report.joint_pfd,
+                report.jaccard,
+            )
         });
     let mut version_pfd = MeanVar::new();
     let mut system_pfd = MeanVar::new();
@@ -152,7 +158,11 @@ pub fn clarification_study(
         system_pfd.push(s);
         jaccard.push(j);
     }
-    ClarificationStudy { version_pfd, system_pfd, jaccard }
+    ClarificationStudy {
+        version_pfd,
+        system_pfd,
+        jaccard,
+    }
 }
 
 #[cfg(test)]
@@ -165,24 +175,28 @@ mod tests {
 
     fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile) {
         let space = DemandSpace::new(n).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
-        (BernoulliPopulation::constant(model, p).unwrap(), UsageProfile::uniform(space))
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
+        (
+            BernoulliPopulation::constant(model, p).unwrap(),
+            UsageProfile::uniform(space),
+        )
     }
 
     #[test]
     fn common_mistakes_hurt_the_system_more_than_independent_ones() {
         let (pop, q) = setup(20, 0.1);
-        let common =
-            mistake_study(&pop, &q, 3, MistakeMode::Common, 2_000, 5, 4);
-        let independent =
-            mistake_study(&pop, &q, 3, MistakeMode::Independent, 2_000, 5, 4);
+        let common = mistake_study(&pop, &q, 3, MistakeMode::Common, 2_000, 5, 4);
+        let independent = mistake_study(&pop, &q, 3, MistakeMode::Independent, 2_000, 5, 4);
         // Version-level damage is statistically identical…
         let dv = (common.version_pfd.mean() - independent.version_pfd.mean()).abs();
         assert!(
             dv < 4.0
-                * (common.version_pfd.standard_error()
-                    + independent.version_pfd.standard_error()),
+                * (common.version_pfd.standard_error() + independent.version_pfd.standard_error()),
             "version damage should not depend on the mode"
         );
         // …but the system damage is much worse under common mistakes.
@@ -198,9 +212,7 @@ mod tests {
     fn zero_mistakes_change_nothing() {
         let (pop, q) = setup(10, 0.3);
         let study = mistake_study(&pop, &q, 0, MistakeMode::Common, 500, 1, 2);
-        assert!(
-            (study.system_pfd.mean() - study.system_pfd_before.mean()).abs() < 1e-12
-        );
+        assert!((study.system_pfd.mean() - study.system_pfd_before.mean()).abs() < 1e-12);
     }
 
     #[test]

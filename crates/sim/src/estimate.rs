@@ -138,8 +138,12 @@ mod tests {
 
     fn setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
         let space = DemandSpace::new(props.len()).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         let pop = BernoulliPopulation::new(model, props).unwrap();
         let q = UsageProfile::uniform(space);
         let gen = ProfileGenerator::new(q.clone());
@@ -186,8 +190,7 @@ mod tests {
             4,
         );
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
-        let exact =
-            MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+        let exact = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
         let (mc, ex, ok) = validate_against_exact(&est, &exact);
         assert!(ok, "MC {mc} vs exact {ex} not consistent at 95%");
         assert!((mc - 0.10).abs() < 0.02, "hand value 0.10, got {mc}");

@@ -295,8 +295,7 @@ pub fn merged_suite_comparison(
         merged_system: pair_pfd(&b1.version, &b2.version, &model, profile),
         independent_version: 0.5
             * (a1.version.pfd(&model, profile) + a2.version.pfd(&model, profile)),
-        merged_version: 0.5
-            * (b1.version.pfd(&model, profile) + b2.version.pfd(&model, profile)),
+        merged_version: 0.5 * (b1.version.pfd(&model, profile) + b2.version.pfd(&model, profile)),
     }
 }
 
@@ -313,8 +312,12 @@ mod tests {
 
     fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
         let space = DemandSpace::new(n).unwrap();
-        let model =
-            Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
         let pop = BernoulliPopulation::constant(model, p).unwrap();
         let q = UsageProfile::uniform(space);
         let gen = ProfileGenerator::new(q.clone());
@@ -465,9 +468,7 @@ mod tests {
         // reliability of the versions is going to be better but so is the
         // system reliability." The strict system-level gain requires
         // fault-region cascades, so use regions of size 2.
-        use diversim_universe::generator::{
-            ProfileKind, PropensityKind, RegionSize, UniverseSpec,
-        };
+        use diversim_universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
         use rand::rngs::StdRng as Rng2;
         let spec = UniverseSpec {
             n_demands: 16,

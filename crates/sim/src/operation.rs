@@ -66,7 +66,12 @@ pub fn operate_pair(
     let mut rng = StdRng::seed_from_u64(seed);
     let fa = a.failure_set(model);
     let fb = b.failure_set(model);
-    let mut log = OperationLog { demands, failures_a: 0, failures_b: 0, system_failures: 0 };
+    let mut log = OperationLog {
+        demands,
+        failures_a: 0,
+        failures_b: 0,
+        system_failures: 0,
+    };
     for _ in 0..demands {
         let x = profile.sample(&mut rng);
         let ia = fa.contains(x.index());

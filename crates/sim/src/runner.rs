@@ -8,8 +8,7 @@
 //! output is identical for any thread count, including 1.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use diversim_stats::seed::SeedSequence;
 
@@ -51,25 +50,29 @@ where
     }
     let threads = threads.min(n);
     if threads == 1 {
-        return (0..replications).map(|i| job(i, seeds.seed_for(0, i))).collect();
+        return (0..replications)
+            .map(|i| job(i, seeds.seed_for(0, i)))
+            .collect();
     }
     let counter = AtomicU64::new(0);
     let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    // A scoped-thread work queue: panics in workers propagate when the
+    // scope joins, matching the documented behaviour.
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = counter.fetch_add(1, Ordering::Relaxed);
                 if i >= replications {
                     break;
                 }
                 let result = job(i, seeds.seed_for(0, i));
-                slots.lock()[i as usize] = Some(result);
+                slots.lock().expect("slot lock poisoned")[i as usize] = Some(result);
             });
         }
-    })
-    .expect("replication worker panicked");
+    });
     slots
         .into_inner()
+        .expect("slot lock poisoned")
         .into_iter()
         .map(|slot| slot.expect("every index claimed exactly once"))
         .collect()
@@ -78,7 +81,10 @@ where
 /// A sensible default worker count: the number of available CPUs, capped
 /// at 16 (the workloads here saturate memory bandwidth well before that).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
 }
 
 #[cfg(test)]

@@ -88,7 +88,11 @@ impl AliasSampler {
             prob[s] = 1.0;
         }
         let norm: Vec<f64> = weights.iter().map(|w| w / total).collect();
-        Ok(Self { prob, alias, weights: norm })
+        Ok(Self {
+            prob,
+            alias,
+            weights: norm,
+        })
     }
 
     /// Number of categories.

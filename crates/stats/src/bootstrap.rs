@@ -49,10 +49,16 @@ where
         return Err(StatsError::EmptySample);
     }
     if !level.is_finite() || level <= 0.0 || level >= 1.0 {
-        return Err(StatsError::InvalidProbability { name: "level", value: level });
+        return Err(StatsError::InvalidProbability {
+            name: "level",
+            value: level,
+        });
     }
     if resamples == 0 {
-        return Err(StatsError::NonPositive { name: "resamples", value: 0.0 });
+        return Err(StatsError::NonPositive {
+            name: "resamples",
+            value: 0.0,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = Vec::with_capacity(resamples);
@@ -83,7 +89,13 @@ pub fn mean_interval(
     level: f64,
     seed: u64,
 ) -> Result<Interval, StatsError> {
-    percentile(sample, |s| s.iter().sum::<f64>() / s.len() as f64, resamples, level, seed)
+    percentile(
+        sample,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
 }
 
 #[cfg(test)]

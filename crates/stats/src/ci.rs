@@ -38,7 +38,13 @@ impl Interval {
 
 impl std::fmt::Display for Interval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "[{:.6}, {:.6}] @{:.0}%", self.lo, self.hi, self.level * 100.0)
+        write!(
+            f,
+            "[{:.6}, {:.6}] @{:.0}%",
+            self.lo,
+            self.hi,
+            self.level * 100.0
+        )
     }
 }
 
@@ -46,7 +52,10 @@ fn check_level(level: f64) -> Result<f64, StatsError> {
     if level.is_finite() && level > 0.0 && level < 1.0 {
         Ok(level)
     } else {
-        Err(StatsError::InvalidProbability { name: "level", value: level })
+        Err(StatsError::InvalidProbability {
+            name: "level",
+            value: level,
+        })
     }
 }
 
@@ -74,7 +83,10 @@ pub fn wilson(successes: u64, trials: u64, level: f64) -> Result<Interval, Stats
         return Err(StatsError::EmptySample);
     }
     if successes > trials {
-        return Err(StatsError::InvalidInterval { lo: successes as f64, hi: trials as f64 });
+        return Err(StatsError::InvalidInterval {
+            lo: successes as f64,
+            hi: trials as f64,
+        });
     }
     let z = normal_quantile(0.5 + level / 2.0)?;
     let n = trials as f64;
@@ -85,8 +97,16 @@ pub fn wilson(successes: u64, trials: u64, level: f64) -> Result<Interval, Stats
     let half = z * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt() / denom;
     // At the boundaries the Wilson endpoints are exactly 0 and 1; pin them
     // so rounding cannot exclude the point estimate.
-    let lo = if successes == 0 { 0.0 } else { (centre - half).max(0.0) };
-    let hi = if successes == trials { 1.0 } else { (centre + half).min(1.0) };
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (centre - half).max(0.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        (centre + half).min(1.0)
+    };
     Ok(Interval { lo, hi, level })
 }
 
@@ -113,7 +133,10 @@ pub fn clopper_pearson(successes: u64, trials: u64, level: f64) -> Result<Interv
         return Err(StatsError::EmptySample);
     }
     if successes > trials {
-        return Err(StatsError::InvalidInterval { lo: successes as f64, hi: trials as f64 });
+        return Err(StatsError::InvalidInterval {
+            lo: successes as f64,
+            hi: trials as f64,
+        });
     }
     let alpha = 1.0 - level;
     let k = successes as f64;
@@ -141,10 +164,17 @@ pub fn clopper_pearson(successes: u64, trials: u64, level: f64) -> Result<Interv
 pub fn normal_mean(mean: f64, standard_error: f64, level: f64) -> Result<Interval, StatsError> {
     let level = check_level(level)?;
     if standard_error < 0.0 || !standard_error.is_finite() {
-        return Err(StatsError::NonPositive { name: "standard_error", value: standard_error });
+        return Err(StatsError::NonPositive {
+            name: "standard_error",
+            value: standard_error,
+        });
     }
     let z = normal_quantile(0.5 + level / 2.0)?;
-    Ok(Interval { lo: mean - z * standard_error, hi: mean + z * standard_error, level })
+    Ok(Interval {
+        lo: mean - z * standard_error,
+        hi: mean + z * standard_error,
+        level,
+    })
 }
 
 #[cfg(test)]
@@ -231,7 +261,11 @@ mod tests {
 
     #[test]
     fn interval_display_mentions_level() {
-        let iv = Interval { lo: 0.1, hi: 0.2, level: 0.95 };
+        let iv = Interval {
+            lo: 0.1,
+            hi: 0.2,
+            level: 0.95,
+        };
         assert!(iv.to_string().contains("95"));
     }
 }

@@ -46,20 +46,32 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be a probability in [0, 1], got {value}"
+                )
             }
             StatsError::NonPositive { name, value } => {
-                write!(f, "parameter `{name}` must be strictly positive, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be strictly positive, got {value}"
+                )
             }
             StatsError::EmptySample => write!(f, "operation requires a non-empty sample"),
             StatsError::InvalidWeights => {
-                write!(f, "weights must be non-negative, finite, and sum to a positive value")
+                write!(
+                    f,
+                    "weights must be non-negative, finite, and sum to a positive value"
+                )
             }
             StatsError::NoConvergence { routine } => {
                 write!(f, "numerical routine `{routine}` failed to converge")
             }
             StatsError::InvalidInterval { lo, hi } => {
-                write!(f, "invalid interval: lower bound {lo} exceeds upper bound {hi}")
+                write!(
+                    f,
+                    "invalid interval: lower bound {lo} exceeds upper bound {hi}"
+                )
             }
         }
     }
@@ -99,7 +111,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = StatsError::InvalidProbability { name: "alpha", value: 1.5 };
+        let e = StatsError::InvalidProbability {
+            name: "alpha",
+            value: 1.5,
+        };
         let msg = e.to_string();
         assert!(msg.contains("alpha"));
         assert!(msg.contains("1.5"));

@@ -44,7 +44,13 @@ impl Histogram {
         if bins == 0 {
             return Err(StatsError::EmptySample);
         }
-        Ok(Self { min, max, counts: vec![0; bins], underflow: 0, overflow: 0 })
+        Ok(Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Adds one observation. Non-finite values are counted as overflow.

@@ -97,9 +97,7 @@ impl MeanVar {
         let delta = other.mean - self.mean;
         let n = count as f64;
         let mean = self.mean + delta * (other.count as f64 / n);
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.count as f64 * other.count as f64 / n);
+        let m2 = self.m2 + other.m2 + delta * delta * (self.count as f64 * other.count as f64 / n);
         Self { count, mean, m2 }
     }
 }
@@ -326,7 +324,10 @@ mod tests {
         // Welford must not lose the variance of small deviations riding on a
         // huge offset, unlike the naive sum-of-squares formula.
         let offset = 1e9;
-        let acc: MeanVar = [offset + 1.0, offset + 2.0, offset + 3.0].iter().copied().collect();
+        let acc: MeanVar = [offset + 1.0, offset + 2.0, offset + 3.0]
+            .iter()
+            .copied()
+            .collect();
         assert!((acc.sample_variance() - 1.0).abs() < 1e-6);
     }
 
@@ -337,8 +338,7 @@ mod tests {
         let n = pairs.len() as f64;
         let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
         let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
-        let cov =
-            pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / (n - 1.0);
+        let cov = pairs.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>() / (n - 1.0);
         assert!((acc.sample_covariance() - cov).abs() < 1e-12);
         assert!((acc.mean_x() - mx).abs() < 1e-12);
         assert!((acc.mean_y() - my).abs() < 1e-12);
@@ -346,8 +346,9 @@ mod tests {
 
     #[test]
     fn bivariate_merge_equals_sequential() {
-        let pairs: Vec<(f64, f64)> =
-            (0..50).map(|i| ((i as f64).cos(), (i as f64 * 0.7).sin())).collect();
+        let pairs: Vec<(f64, f64)> = (0..50)
+            .map(|i| ((i as f64).cos(), (i as f64 * 0.7).sin()))
+            .collect();
         let full: BivariateMeanVar = pairs.iter().copied().collect();
         let left: BivariateMeanVar = pairs[..20].iter().copied().collect();
         let right: BivariateMeanVar = pairs[20..].iter().copied().collect();

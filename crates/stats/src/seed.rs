@@ -67,7 +67,9 @@ impl SeedSequence {
 
     /// Derives a child sequence for a named sub-experiment.
     pub fn child(&self, stream: u64) -> SeedSequence {
-        SeedSequence { root: self.seed_for(stream, u64::MAX) }
+        SeedSequence {
+            root: self.seed_for(stream, u64::MAX),
+        }
     }
 }
 

@@ -64,10 +64,16 @@ const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
 /// [`StatsError::NoConvergence`] if the expansion fails to converge.
 pub fn reg_inc_gamma(a: f64, x: f64) -> Result<f64, StatsError> {
     if !a.is_finite() || a <= 0.0 {
-        return Err(StatsError::NonPositive { name: "a", value: a });
+        return Err(StatsError::NonPositive {
+            name: "a",
+            value: a,
+        });
     }
     if x < 0.0 || !x.is_finite() {
-        return Err(StatsError::NonPositive { name: "x", value: x });
+        return Err(StatsError::NonPositive {
+            name: "x",
+            value: x,
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -86,7 +92,9 @@ pub fn reg_inc_gamma(a: f64, x: f64) -> Result<f64, StatsError> {
                 return Ok((sum * ln_pre.exp()).clamp(0.0, 1.0));
             }
         }
-        Err(StatsError::NoConvergence { routine: "reg_inc_gamma(series)" })
+        Err(StatsError::NoConvergence {
+            routine: "reg_inc_gamma(series)",
+        })
     } else {
         // Continued fraction for Q(a, x) = 1 − P(a, x), modified Lentz.
         let mut b = x + 1.0 - a;
@@ -112,7 +120,9 @@ pub fn reg_inc_gamma(a: f64, x: f64) -> Result<f64, StatsError> {
                 return Ok((1.0 - ln_pre.exp() * h).clamp(0.0, 1.0));
             }
         }
-        Err(StatsError::NoConvergence { routine: "reg_inc_gamma(cf)" })
+        Err(StatsError::NoConvergence {
+            routine: "reg_inc_gamma(cf)",
+        })
     }
 }
 
@@ -185,13 +195,22 @@ fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64, StatsError> {
 /// ```
 pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64, StatsError> {
     if !a.is_finite() || a <= 0.0 {
-        return Err(StatsError::NonPositive { name: "a", value: a });
+        return Err(StatsError::NonPositive {
+            name: "a",
+            value: a,
+        });
     }
     if !b.is_finite() || b <= 0.0 {
-        return Err(StatsError::NonPositive { name: "b", value: b });
+        return Err(StatsError::NonPositive {
+            name: "b",
+            value: b,
+        });
     }
     if !(0.0..=1.0).contains(&x) || !x.is_finite() {
-        return Err(StatsError::InvalidProbability { name: "x", value: x });
+        return Err(StatsError::InvalidProbability {
+            name: "x",
+            value: x,
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -199,8 +218,7 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64, StatsError> {
     if x == 1.0 {
         return Ok(1.0);
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         Ok((front * beta_cf(a, b, x)? / a).clamp(0.0, 1.0))
@@ -220,7 +238,10 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64, StatsError> {
 /// Same conditions as [`reg_inc_beta`], with `p` validated as a probability.
 pub fn inv_reg_inc_beta(a: f64, b: f64, p: f64) -> Result<f64, StatsError> {
     if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-        return Err(StatsError::InvalidProbability { name: "p", value: p });
+        return Err(StatsError::InvalidProbability {
+            name: "p",
+            value: p,
+        });
     }
     if p == 0.0 {
         return Ok(0.0);
@@ -328,7 +349,10 @@ fn acklam(p: f64) -> f64 {
 /// ```
 pub fn normal_quantile(p: f64) -> Result<f64, StatsError> {
     if !p.is_finite() || p <= 0.0 || p >= 1.0 {
-        return Err(StatsError::InvalidProbability { name: "p", value: p });
+        return Err(StatsError::InvalidProbability {
+            name: "p",
+            value: p,
+        });
     }
     let x = acklam(p);
     // One Halley refinement: e = Φ(x) − p, u = e / φ(x).
@@ -418,7 +442,10 @@ mod tests {
             for &p in &[0.01, 0.25, 0.5, 0.9, 0.999] {
                 let x = inv_reg_inc_beta(a, b, p).unwrap();
                 let back = reg_inc_beta(a, b, x).unwrap();
-                assert!((back - p).abs() < 1e-10, "roundtrip failed for a={a} b={b} p={p}");
+                assert!(
+                    (back - p).abs() < 1e-10,
+                    "roundtrip failed for a={a} b={b} p={p}"
+                );
             }
         }
     }

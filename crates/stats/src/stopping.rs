@@ -40,10 +40,16 @@ use crate::special::reg_inc_beta;
 /// ```
 pub fn failure_free_tests_required(target: f64, confidence: f64) -> Result<u64, StatsError> {
     if !target.is_finite() || target <= 0.0 || target >= 1.0 {
-        return Err(StatsError::InvalidProbability { name: "target", value: target });
+        return Err(StatsError::InvalidProbability {
+            name: "target",
+            value: target,
+        });
     }
     if !confidence.is_finite() || confidence <= 0.0 || confidence >= 1.0 {
-        return Err(StatsError::InvalidProbability { name: "confidence", value: confidence });
+        return Err(StatsError::InvalidProbability {
+            name: "confidence",
+            value: confidence,
+        });
     }
     // n >= ln(1 − c) / ln(1 − p).
     let n = ((1.0 - confidence).ln() / (1.0 - target).ln()).ceil();
@@ -58,7 +64,10 @@ pub fn failure_free_tests_required(target: f64, confidence: f64) -> Result<u64, 
 /// Returns [`StatsError::InvalidProbability`] if `target ∉ (0, 1)`.
 pub fn failure_free_confidence(target: f64, n: u64) -> Result<f64, StatsError> {
     if !target.is_finite() || target <= 0.0 || target >= 1.0 {
-        return Err(StatsError::InvalidProbability { name: "target", value: target });
+        return Err(StatsError::InvalidProbability {
+            name: "target",
+            value: target,
+        });
     }
     Ok(1.0 - (1.0 - target).powi(n.min(i32::MAX as u64) as i32))
 }
@@ -78,7 +87,10 @@ pub fn bayesian_confidence(
     target: f64,
 ) -> Result<f64, StatsError> {
     if failures > n {
-        return Err(StatsError::InvalidInterval { lo: failures as f64, hi: n as f64 });
+        return Err(StatsError::InvalidInterval {
+            lo: failures as f64,
+            hi: n as f64,
+        });
     }
     reg_inc_beta(a + failures as f64, b + (n - failures) as f64, target)
 }
@@ -123,7 +135,12 @@ pub struct StoppingState {
 impl StoppingState {
     /// Creates a fresh state for `rule`.
     pub fn new(rule: StoppingRule) -> Self {
-        Self { rule, demands: 0, failures: 0, failure_free_run: 0 }
+        Self {
+            rule,
+            demands: 0,
+            failures: 0,
+            failure_free_run: 0,
+        }
     }
 
     /// Records the outcome of one demand (`failed = true` for a failure).
@@ -159,7 +176,12 @@ impl StoppingState {
                 let needed = failure_free_tests_required(target, confidence)?;
                 Ok(self.failure_free_run >= needed)
             }
-            StoppingRule::BayesianBeta { a, b, target, confidence } => {
+            StoppingRule::BayesianBeta {
+                a,
+                b,
+                target,
+                confidence,
+            } => {
                 let post = bayesian_confidence(a, b, self.demands, self.failures, target)?;
                 Ok(post >= confidence)
             }
@@ -235,7 +257,10 @@ mod tests {
 
     #[test]
     fn failure_resets_failure_free_run() {
-        let rule = StoppingRule::FailureFree { target: 0.1, confidence: 0.9 };
+        let rule = StoppingRule::FailureFree {
+            target: 0.1,
+            confidence: 0.9,
+        };
         let needed = failure_free_tests_required(0.1, 0.9).unwrap();
         let mut st = StoppingState::new(rule);
         for _ in 0..needed - 1 {
@@ -253,7 +278,12 @@ mod tests {
 
     #[test]
     fn bayesian_state_machine_stops_eventually() {
-        let rule = StoppingRule::BayesianBeta { a: 1.0, b: 1.0, target: 0.05, confidence: 0.95 };
+        let rule = StoppingRule::BayesianBeta {
+            a: 1.0,
+            b: 1.0,
+            target: 0.05,
+            confidence: 0.95,
+        };
         let mut st = StoppingState::new(rule);
         let mut steps = 0;
         while !st.should_stop().unwrap() {

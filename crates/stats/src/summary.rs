@@ -46,7 +46,11 @@ impl Summary {
         } else {
             (sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)).sqrt()
         };
-        Ok(Self { sorted, mean, sample_sd })
+        Ok(Self {
+            sorted,
+            mean,
+            sample_sd,
+        })
     }
 
     /// Number of observations.
@@ -90,7 +94,10 @@ impl Summary {
     ///
     /// Panics if `q` is not in `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
         let n = self.sorted.len();
         if n == 1 {
             return self.sorted[0];

@@ -88,7 +88,10 @@ where
         .map(|(v, w)| (v - mean) * (v - mean) * w)
         .sum::<f64>()
         / total;
-    Ok(Moments { mean, variance: variance.max(0.0) })
+    Ok(Moments {
+        mean,
+        variance: variance.max(0.0),
+    })
 }
 
 /// Computes the exact population variance `Var(f) = E[(f − E[f])²]`.
@@ -236,11 +239,17 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_bad_weights() {
-        assert_eq!(mean(std::iter::empty::<(f64, f64)>()), Err(StatsError::EmptySample));
+        assert_eq!(
+            mean(std::iter::empty::<(f64, f64)>()),
+            Err(StatsError::EmptySample)
+        );
         assert_eq!(mean([(1.0, -0.5)]), Err(StatsError::InvalidWeights));
         assert_eq!(mean([(1.0, 0.0)]), Err(StatsError::InvalidWeights));
         assert_eq!(mean([(1.0, f64::NAN)]), Err(StatsError::InvalidWeights));
-        assert_eq!(covariance([(((1.0), (2.0)), -1.0)]), Err(StatsError::InvalidWeights));
+        assert_eq!(
+            covariance([(((1.0), (2.0)), -1.0)]),
+            Err(StatsError::InvalidWeights)
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl fmt::Display for TestingError {
         match self {
             TestingError::Universe(e) => write!(f, "universe error: {e}"),
             TestingError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be a probability in [0, 1], got {value}"
+                )
             }
             TestingError::InvalidPartition { reason } => {
                 write!(f, "invalid partition: {reason}")
@@ -51,7 +54,10 @@ impl fmt::Display for TestingError {
                 write!(f, "invalid suite population: {reason}")
             }
             TestingError::EnumerationTooLarge { required, limit } => {
-                write!(f, "enumeration needs {required} entries, exceeding the limit of {limit}")
+                write!(
+                    f,
+                    "enumeration needs {required} entries, exceeding the limit of {limit}"
+                )
             }
         }
     }
@@ -78,7 +84,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = TestingError::EnumerationTooLarge { required: 1024, limit: 100 };
+        let e = TestingError::EnumerationTooLarge {
+            required: 1024,
+            limit: 100,
+        };
         assert!(e.to_string().contains("1024"));
         assert!(Error::source(&e).is_none());
 

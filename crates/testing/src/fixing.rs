@@ -87,7 +87,10 @@ impl ImperfectFixer {
     /// `fix_prob ∈ [0, 1]`.
     pub fn new(fix_prob: f64) -> Result<Self, TestingError> {
         if !fix_prob.is_finite() || !(0.0..=1.0).contains(&fix_prob) {
-            return Err(TestingError::InvalidProbability { name: "fix_prob", value: fix_prob });
+            return Err(TestingError::InvalidProbability {
+                name: "fix_prob",
+                value: fix_prob,
+            });
         }
         Ok(Self { fix_prob })
     }

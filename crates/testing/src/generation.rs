@@ -83,11 +83,15 @@ impl PartitionGenerator {
     /// a demand outside the space.
     pub fn new(space: DemandSpace, classes: Vec<Vec<DemandId>>) -> Result<Self, TestingError> {
         if classes.is_empty() {
-            return Err(TestingError::InvalidPartition { reason: "no classes supplied" });
+            return Err(TestingError::InvalidPartition {
+                reason: "no classes supplied",
+            });
         }
         for class in &classes {
             if class.is_empty() {
-                return Err(TestingError::InvalidPartition { reason: "empty class" });
+                return Err(TestingError::InvalidPartition {
+                    reason: "empty class",
+                });
             }
             for &x in class {
                 space.check(x)?;
@@ -136,8 +140,7 @@ impl SuiteGenerator for PartitionGenerator {
             let class = &self.classes[i % self.classes.len()];
             demands.push(class[rng.gen_range(0..class.len())]);
         }
-        TestSuite::from_demands(self.space, demands)
-            .expect("classes validated at construction")
+        TestSuite::from_demands(self.space, demands).expect("classes validated at construction")
     }
 }
 

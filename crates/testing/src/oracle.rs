@@ -167,7 +167,10 @@ impl IdenticalFailureModel {
     pub fn validate(&self) -> Result<(), TestingError> {
         if let IdenticalFailureModel::Bernoulli(g) = *self {
             if !g.is_finite() || !(0.0..=1.0).contains(&g) {
-                return Err(TestingError::InvalidProbability { name: "gamma", value: g });
+                return Err(TestingError::InvalidProbability {
+                    name: "gamma",
+                    value: g,
+                });
             }
         }
         Ok(())

@@ -111,7 +111,10 @@ pub fn debug_version(
             }
         }
     }
-    DebugOutcome { version: current, log }
+    DebugOutcome {
+        version: current,
+        log,
+    }
 }
 
 /// Counters describing one back-to-back campaign over a version pair.
@@ -191,7 +194,11 @@ pub fn back_to_back_debug(
             }
         }
     }
-    BackToBackOutcome { first: v1, second: v2, log }
+    BackToBackOutcome {
+        first: v1,
+        second: v2,
+        log,
+    }
 }
 
 #[cfg(test)]
@@ -266,8 +273,10 @@ mod tests {
             TestSuite::exhaustive(m.space()),
         ];
         for mask in 0u32..8 {
-            let faults: Vec<FaultId> =
-                (0..3).filter(|i| mask & (1 << i) != 0).map(|i| f(i as u32)).collect();
+            let faults: Vec<FaultId> = (0..3)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| f(i as u32))
+                .collect();
             let v = Version::from_faults(&m, faults);
             for t in &suites {
                 let closed = perfect_debug(&v, t, &m);
@@ -290,7 +299,14 @@ mod tests {
         let v = Version::from_faults(&m, [f(0), f(1)]);
         let t = TestSuite::from_demands(m.space(), vec![d(0), d(1), d(3)]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let out = debug_version(&v, &t, &m, &PerfectOracle::new(), &PerfectFixer::new(), &mut rng);
+        let out = debug_version(
+            &v,
+            &t,
+            &m,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &mut rng,
+        );
         assert_eq!(out.log.demands_run, 3);
         // Demand 0 fails (fault 0) → removes fault 0; demand 1 still fails
         // (fault 1) → removes fault 1; demand 3 passes.
@@ -401,7 +417,10 @@ mod tests {
         // With singleton regions (the paper's pure score model), the
         // pessimistic bound is exact: the system's failure set is
         // untouched by back-to-back testing.
-        let m = FaultModelBuilder::new(space(3)).singleton_faults().build().unwrap();
+        let m = FaultModelBuilder::new(space(3))
+            .singleton_faults()
+            .build()
+            .unwrap();
         let v1 = Version::from_faults(&m, [f(0), f(1)]);
         let v2 = Version::from_faults(&m, [f(1), f(2)]);
         let t = TestSuite::exhaustive(m.space());

@@ -39,7 +39,11 @@ pub struct TestSuite {
 impl TestSuite {
     /// The empty suite (the paper's `∅`: no testing).
     pub fn empty(space: DemandSpace) -> Self {
-        Self { space, demands: Vec::new(), demand_set: BitSet::new(space.len()) }
+        Self {
+            space,
+            demands: Vec::new(),
+            demand_set: BitSet::new(space.len()),
+        }
     }
 
     /// Builds a suite from an ordered sequence of demands.
@@ -48,16 +52,17 @@ impl TestSuite {
     ///
     /// Returns a wrapped [`diversim_universe::UniverseError::DemandOutOfRange`]
     /// if any demand lies outside the space.
-    pub fn from_demands(
-        space: DemandSpace,
-        demands: Vec<DemandId>,
-    ) -> Result<Self, TestingError> {
+    pub fn from_demands(space: DemandSpace, demands: Vec<DemandId>) -> Result<Self, TestingError> {
         let mut demand_set = BitSet::new(space.len());
         for &x in &demands {
             space.check(x)?;
             demand_set.insert(x.index());
         }
-        Ok(Self { space, demands, demand_set })
+        Ok(Self {
+            space,
+            demands,
+            demand_set,
+        })
     }
 
     /// The exhaustive suite: every demand of the space exactly once, in
@@ -65,7 +70,11 @@ impl TestSuite {
     pub fn exhaustive(space: DemandSpace) -> Self {
         let demands: Vec<DemandId> = space.iter().collect();
         let demand_set = BitSet::full(space.len());
-        Self { space, demands, demand_set }
+        Self {
+            space,
+            demands,
+            demand_set,
+        }
     }
 
     /// The demand space the suite is defined over.
@@ -110,18 +119,30 @@ impl TestSuite {
     ///
     /// Panics if the suites are over different demand spaces.
     pub fn merged(&self, other: &TestSuite) -> TestSuite {
-        assert_eq!(self.space, other.space, "cannot merge suites over different spaces");
+        assert_eq!(
+            self.space, other.space,
+            "cannot merge suites over different spaces"
+        );
         let mut demands = self.demands.clone();
         demands.extend_from_slice(&other.demands);
         let mut demand_set = self.demand_set.clone();
         demand_set.union_with(&other.demand_set);
-        TestSuite { space: self.space, demands, demand_set }
+        TestSuite {
+            space: self.space,
+            demands,
+            demand_set,
+        }
     }
 }
 
 impl std::fmt::Display for TestSuite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "suite[n={}, distinct={}]", self.len(), self.distinct_len())
+        write!(
+            f,
+            "suite[n={}, distinct={}]",
+            self.len(),
+            self.distinct_len()
+        )
     }
 }
 

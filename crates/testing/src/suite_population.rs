@@ -49,12 +49,15 @@ impl ExplicitSuitePopulation {
     /// or degenerate weights.
     pub fn new(suites: Vec<(TestSuite, f64)>) -> Result<Self, TestingError> {
         if suites.is_empty() {
-            return Err(TestingError::InvalidSuitePopulation { reason: "no suites supplied" });
+            return Err(TestingError::InvalidSuitePopulation {
+                reason: "no suites supplied",
+            });
         }
         let weights: Vec<f64> = suites.iter().map(|(_, w)| *w).collect();
-        let sampler = AliasSampler::new(&weights).map_err(|_| {
-            TestingError::InvalidSuitePopulation { reason: "degenerate weights" }
-        })?;
+        let sampler =
+            AliasSampler::new(&weights).map_err(|_| TestingError::InvalidSuitePopulation {
+                reason: "degenerate weights",
+            })?;
         let norm = sampler.probabilities().to_vec();
         let suites = suites
             .into_iter()
@@ -151,15 +154,17 @@ pub fn enumerate_iid_suites(
             }
         }
         if next.len() > limit {
-            return Err(TestingError::EnumerationTooLarge { required: next.len(), limit });
+            return Err(TestingError::EnumerationTooLarge {
+                required: next.len(),
+                limit,
+            });
         }
         dist = next;
     }
     let mut suites: Vec<(TestSuite, f64)> = dist
         .into_iter()
         .map(|(set, p)| {
-            let demands: Vec<DemandId> =
-                set.iter().map(|i| DemandId::new(i as u32)).collect();
+            let demands: Vec<DemandId> = set.iter().map(|i| DemandId::new(i as u32)).collect();
             let t = TestSuite::from_demands(space, demands)
                 .expect("enumerated demands lie in the space");
             (t, p)

@@ -35,7 +35,10 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set able to hold values in `[0, capacity)`.
     pub fn new(capacity: usize) -> Self {
-        Self { blocks: vec![0; capacity.div_ceil(BITS)], capacity }
+        Self {
+            blocks: vec![0; capacity.div_ceil(BITS)],
+            capacity,
+        }
     }
 
     /// Creates a set containing every value in `[0, capacity)`.
@@ -84,7 +87,11 @@ impl BitSet {
     ///
     /// Panics if `value >= capacity`.
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "value {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "value {value} out of capacity {}",
+            self.capacity
+        );
         let (blk, bit) = (value / BITS, value % BITS);
         let mask = 1u64 << bit;
         let was = self.blocks[blk] & mask != 0;
@@ -98,7 +105,11 @@ impl BitSet {
     ///
     /// Panics if `value >= capacity`.
     pub fn remove(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "value {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "value {value} out of capacity {}",
+            self.capacity
+        );
         let (blk, bit) = (value / BITS, value % BITS);
         let mask = 1u64 << bit;
         let was = self.blocks[blk] & mask != 0;
@@ -150,7 +161,10 @@ impl BitSet {
     ///
     /// Panics if capacities differ.
     pub fn intersect_with(&mut self, other: &Self) {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in intersection"
+        );
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a &= b;
         }
@@ -162,7 +176,10 @@ impl BitSet {
     ///
     /// Panics if capacities differ.
     pub fn difference_with(&mut self, other: &Self) {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in difference");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in difference"
+        );
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a &= !b;
         }
@@ -174,7 +191,10 @@ impl BitSet {
     ///
     /// Panics if capacities differ.
     pub fn intersection_len(&self, other: &Self) -> usize {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersection_len");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in intersection_len"
+        );
         self.blocks
             .iter()
             .zip(&other.blocks)
@@ -188,8 +208,14 @@ impl BitSet {
     ///
     /// Panics if capacities differ.
     pub fn intersects(&self, other: &Self) -> bool {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersects");
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in intersects"
+        );
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Returns `true` if every value of `self` is in `other`.
@@ -198,13 +224,23 @@ impl BitSet {
     ///
     /// Panics if capacities differ.
     pub fn is_subset(&self, other: &Self) -> bool {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in is_subset");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in is_subset"
+        );
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates stored values in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, block_idx: 0, current: self.blocks.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 }
 
@@ -331,7 +367,10 @@ mod tests {
         let b = BitSet::from_iter_with_capacity(40, [5, 6, 7]);
         assert!(a.is_subset(&b));
         assert!(!b.is_subset(&a));
-        assert!(BitSet::new(40).is_subset(&a), "empty set is a subset of anything");
+        assert!(
+            BitSet::new(40).is_subset(&a),
+            "empty set is a subset of anything"
+        );
     }
 
     #[test]

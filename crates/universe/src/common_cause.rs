@@ -122,10 +122,7 @@ mod tests {
     #[test]
     fn mistake_introduces_everywhere() {
         let m = model();
-        let mut versions = vec![
-            Version::correct(&m),
-            Version::from_faults(&m, [f(2)]),
-        ];
+        let mut versions = vec![Version::correct(&m), Version::from_faults(&m, [f(2)])];
         let ev = CommonCauseEvent::Mistake { faults: vec![f(2)] };
         // Version 1 already has the fault, so only one addition.
         assert_eq!(ev.apply_all(&mut versions), 1);

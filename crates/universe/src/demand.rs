@@ -105,7 +105,10 @@ impl DemandSpace {
         if self.contains(demand) {
             Ok(demand)
         } else {
-            Err(UniverseError::DemandOutOfRange { demand: demand.index(), size: self.len() })
+            Err(UniverseError::DemandOutOfRange {
+                demand: demand.index(),
+                size: self.len(),
+            })
         }
     }
 
@@ -130,7 +133,10 @@ mod tests {
 
     #[test]
     fn empty_space_rejected() {
-        assert_eq!(DemandSpace::new(0).unwrap_err(), UniverseError::EmptyDemandSpace);
+        assert_eq!(
+            DemandSpace::new(0).unwrap_err(),
+            UniverseError::EmptyDemandSpace
+        );
     }
 
     #[test]

@@ -52,16 +52,25 @@ impl fmt::Display for UniverseError {
                 write!(f, "demand space must contain at least one demand")
             }
             UniverseError::DemandOutOfRange { demand, size } => {
-                write!(f, "demand {demand} out of range for demand space of size {size}")
+                write!(
+                    f,
+                    "demand {demand} out of range for demand space of size {size}"
+                )
             }
             UniverseError::FaultOutOfRange { fault, count } => {
-                write!(f, "fault {fault} out of range for fault model with {count} faults")
+                write!(
+                    f,
+                    "fault {fault} out of range for fault model with {count} faults"
+                )
             }
             UniverseError::EmptyFailureRegion { fault } => {
                 write!(f, "fault {fault} has an empty failure region")
             }
             UniverseError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be a probability in [0, 1], got {value}"
+                )
             }
             UniverseError::InvalidPopulation { reason } => {
                 write!(f, "invalid population: {reason}")

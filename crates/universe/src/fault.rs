@@ -136,7 +136,12 @@ impl FaultModel {
             }
             region_sets.push(set);
         }
-        Ok(FaultModel { space, faults, by_demand, region_sets })
+        Ok(FaultModel {
+            space,
+            faults,
+            by_demand,
+            region_sets,
+        })
     }
 
     /// The demand space the model is defined over.
@@ -172,7 +177,10 @@ impl FaultModel {
         if f.index() < self.faults.len() {
             Ok(f)
         } else {
-            Err(UniverseError::FaultOutOfRange { fault: f.index(), count: self.faults.len() })
+            Err(UniverseError::FaultOutOfRange {
+                fault: f.index(),
+                count: self.faults.len(),
+            })
         }
     }
 
@@ -220,7 +228,11 @@ impl FaultModel {
     /// Largest failure-region size in the model (0 when there are no
     /// faults).
     pub fn max_region_size(&self) -> usize {
-        self.faults.iter().map(Fault::region_size).max().unwrap_or(0)
+        self.faults
+            .iter()
+            .map(Fault::region_size)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -249,7 +261,10 @@ pub struct FaultModelBuilder {
 impl FaultModelBuilder {
     /// Starts a builder over the given space.
     pub fn new(space: DemandSpace) -> Self {
-        Self { space, faults: Vec::new() }
+        Self {
+            space,
+            faults: Vec::new(),
+        }
     }
 
     /// Adds a fault with the given failure region.
@@ -312,7 +327,11 @@ mod tests {
     fn model_builds_inverted_index() {
         let m = FaultModel::new(
             space(4),
-            vec![Fault::new([d(0), d(1)]), Fault::new([d(1), d(2)]), Fault::new([d(3)])],
+            vec![
+                Fault::new([d(0), d(1)]),
+                Fault::new([d(1), d(2)]),
+                Fault::new([d(3)]),
+            ],
         )
         .unwrap();
         assert_eq!(m.faults_at(d(0)), &[FaultId::new(0)]);
@@ -324,22 +343,25 @@ mod tests {
     #[test]
     fn model_rejects_empty_region() {
         let err = FaultModel::new(space(2), vec![Fault::new(Vec::<DemandId>::new())]);
-        assert_eq!(err.unwrap_err(), UniverseError::EmptyFailureRegion { fault: 0 });
+        assert_eq!(
+            err.unwrap_err(),
+            UniverseError::EmptyFailureRegion { fault: 0 }
+        );
     }
 
     #[test]
     fn model_rejects_out_of_range_region() {
         let err = FaultModel::new(space(2), vec![Fault::new([d(5)])]);
-        assert!(matches!(err.unwrap_err(), UniverseError::DemandOutOfRange { demand: 5, .. }));
+        assert!(matches!(
+            err.unwrap_err(),
+            UniverseError::DemandOutOfRange { demand: 5, .. }
+        ));
     }
 
     #[test]
     fn affected_demands_unions_regions() {
-        let m = FaultModel::new(
-            space(5),
-            vec![Fault::new([d(0), d(1)]), Fault::new([d(3)])],
-        )
-        .unwrap();
+        let m =
+            FaultModel::new(space(5), vec![Fault::new([d(0), d(1)]), Fault::new([d(3)])]).unwrap();
         let dx = m.affected_demands([FaultId::new(0), FaultId::new(1)]);
         assert_eq!(dx.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
     }
@@ -356,7 +378,10 @@ mod tests {
 
     #[test]
     fn singleton_detection() {
-        let singleton = FaultModelBuilder::new(space(3)).singleton_faults().build().unwrap();
+        let singleton = FaultModelBuilder::new(space(3))
+            .singleton_faults()
+            .build()
+            .unwrap();
         assert!(singleton.is_singleton());
         assert_eq!(singleton.fault_count(), 3);
         assert_eq!(singleton.max_region_size(), 1);
@@ -379,7 +404,10 @@ mod tests {
 
     #[test]
     fn check_validates_fault_ids() {
-        let m = FaultModelBuilder::new(space(2)).fault([d(0)]).build().unwrap();
+        let m = FaultModelBuilder::new(space(2))
+            .fault([d(0)])
+            .build()
+            .unwrap();
         assert!(m.check(FaultId::new(0)).is_ok());
         assert_eq!(
             m.check(FaultId::new(3)).unwrap_err(),

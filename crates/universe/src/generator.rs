@@ -98,9 +98,7 @@ impl PropensityKind {
             PropensityKind::Uniform { lo, hi } => {
                 (0..n_faults).map(|_| rng.gen_range(lo..=hi)).collect()
             }
-            PropensityKind::Harmonic { hi } => {
-                (0..n_faults).map(|i| hi / (i + 1) as f64).collect()
-            }
+            PropensityKind::Harmonic { hi } => (0..n_faults).map(|i| hi / (i + 1) as f64).collect(),
         }
     }
 }
@@ -305,8 +303,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let u = spec.generate(&mut rng).unwrap();
         assert!(
-            u.profile().probability(DemandId::new(0))
-                > u.profile().probability(DemandId::new(9))
+            u.profile().probability(DemandId::new(0)) > u.profile().probability(DemandId::new(9))
         );
     }
 

@@ -86,14 +86,23 @@ impl ExplicitPopulation {
         weighted_versions: Vec<(Version, f64)>,
     ) -> Result<Self, UniverseError> {
         if weighted_versions.is_empty() {
-            return Err(UniverseError::InvalidPopulation { reason: "no versions supplied" });
+            return Err(UniverseError::InvalidPopulation {
+                reason: "no versions supplied",
+            });
         }
         let weights: Vec<f64> = weighted_versions.iter().map(|(_, w)| *w).collect();
-        let sampler = AliasSampler::new(&weights)
-            .map_err(|_| UniverseError::InvalidPopulation { reason: "degenerate weights" })?;
+        let sampler =
+            AliasSampler::new(&weights).map_err(|_| UniverseError::InvalidPopulation {
+                reason: "degenerate weights",
+            })?;
         let probabilities = sampler.probabilities().to_vec();
         let versions = weighted_versions.into_iter().map(|(v, _)| v).collect();
-        Ok(Self { model, versions, probabilities, sampler })
+        Ok(Self {
+            model,
+            versions,
+            probabilities,
+            sampler,
+        })
     }
 
     /// A population selecting uniformly among the given versions.
@@ -177,6 +186,10 @@ pub struct BernoulliPopulation {
 }
 
 #[cfg(feature = "serde")]
+// Referenced by name from the `serde(default = "empty_model")` helper
+// attribute above; the vendored no-op derive expands to nothing, so the
+// reference is invisible to rustc until real serde is patched back in.
+#[allow(dead_code)]
 fn empty_model() -> Arc<FaultModel> {
     use crate::demand::DemandSpace;
     Arc::new(FaultModel::new(DemandSpace::new(1).expect("non-zero"), vec![]).expect("valid"))
@@ -199,10 +212,16 @@ impl BernoulliPopulation {
         }
         for &p in &propensities {
             if !p.is_finite() || !(0.0..=1.0).contains(&p) {
-                return Err(UniverseError::InvalidProbability { name: "propensity", value: p });
+                return Err(UniverseError::InvalidProbability {
+                    name: "propensity",
+                    value: p,
+                });
             }
         }
-        Ok(Self { model, propensities })
+        Ok(Self {
+            model,
+            propensities,
+        })
     }
 
     /// A population where every fault has the same propensity.
@@ -248,7 +267,10 @@ impl BernoulliPopulation {
     /// Number of faults with propensity strictly between 0 and 1 (the
     /// enumeration exponent: support size is `2^free`).
     pub fn free_fault_count(&self) -> usize {
-        self.propensities.iter().filter(|&&p| p > 0.0 && p < 1.0).count()
+        self.propensities
+            .iter()
+            .filter(|&&p| p > 0.0 && p < 1.0)
+            .count()
     }
 }
 
@@ -396,8 +418,7 @@ mod tests {
         assert!((total - 1.0).abs() < 1e-12);
         let m = pop.model().clone();
         for x in m.space().iter() {
-            let enumerated: f64 =
-                support.iter().map(|(v, p)| v.score(&m, x) * p).sum();
+            let enumerated: f64 = support.iter().map(|(v, p)| v.score(&m, x) * p).sum();
             assert!(
                 (enumerated - pop.theta(x)).abs() < 1e-12,
                 "theta mismatch at {x}"
@@ -474,9 +495,7 @@ mod tests {
         let m = model();
         let pops: Vec<Box<dyn Population>> = vec![
             Box::new(BernoulliPopulation::constant(m.clone(), 0.1).unwrap()),
-            Box::new(
-                ExplicitPopulation::uniform(m.clone(), vec![Version::correct(&m)]).unwrap(),
-            ),
+            Box::new(ExplicitPopulation::uniform(m.clone(), vec![Version::correct(&m)]).unwrap()),
         ];
         let mut rng = StdRng::seed_from_u64(0);
         for p in &pops {

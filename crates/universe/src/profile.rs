@@ -42,7 +42,11 @@ impl UsageProfile {
         let n = space.len();
         let probabilities = vec![1.0 / n as f64; n];
         let sampler = AliasSampler::new(&probabilities).ok();
-        Self { space, probabilities, sampler }
+        Self {
+            space,
+            probabilities,
+            sampler,
+        }
     }
 
     /// Zipf-like distribution: demand `i` gets weight `1 / (i + 1)^s`,
@@ -55,10 +59,14 @@ impl UsageProfile {
     /// non-finite.
     pub fn zipf(space: DemandSpace, s: f64) -> Result<Self, UniverseError> {
         if !s.is_finite() || s < 0.0 {
-            return Err(UniverseError::InvalidProbability { name: "s", value: s });
+            return Err(UniverseError::InvalidProbability {
+                name: "s",
+                value: s,
+            });
         }
-        let weights: Vec<f64> =
-            (0..space.len()).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+        let weights: Vec<f64> = (0..space.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+            .collect();
         Self::from_weights(space, weights)
     }
 
@@ -78,7 +86,11 @@ impl UsageProfile {
         }
         let sampler = AliasSampler::new(&weights)?;
         let probabilities = sampler.probabilities().to_vec();
-        Ok(Self { space, probabilities, sampler: Some(sampler) })
+        Ok(Self {
+            space,
+            probabilities,
+            sampler: Some(sampler),
+        })
     }
 
     /// The demand space this profile is defined over.
@@ -249,7 +261,9 @@ mod tests {
     #[test]
     fn restriction_renormalises() {
         let q = UsageProfile::from_weights(space(3), vec![0.2, 0.3, 0.5]).unwrap();
-        let r = q.restricted_to([DemandId::new(1), DemandId::new(2)]).unwrap();
+        let r = q
+            .restricted_to([DemandId::new(1), DemandId::new(2)])
+            .unwrap();
         assert_eq!(r.probability(DemandId::new(0)), 0.0);
         assert!((r.probability(DemandId::new(1)) - 0.375).abs() < 1e-12);
         assert!((r.probability(DemandId::new(2)) - 0.625).abs() < 1e-12);

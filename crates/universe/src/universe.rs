@@ -49,7 +49,10 @@ impl Universe {
     ) -> Result<Self, UniverseError> {
         let space = DemandSpace::new(n_demands)?;
         let model = Arc::new(FaultModel::new(space, faults)?);
-        Ok(Self { profile: UsageProfile::uniform(space), model })
+        Ok(Self {
+            profile: UsageProfile::uniform(space),
+            model,
+        })
     }
 
     /// The demand space.
@@ -103,8 +106,7 @@ mod tests {
     #[test]
     fn with_profile_swaps_usage() {
         let u = Universe::with_uniform_profile(2, vec![]).unwrap();
-        let skewed =
-            UsageProfile::from_weights(u.space(), vec![0.9, 0.1]).unwrap();
+        let skewed = UsageProfile::from_weights(u.space(), vec![0.9, 0.1]).unwrap();
         let u2 = u.with_profile(skewed).unwrap();
         assert!((u2.profile().probability(DemandId::new(0)) - 0.9).abs() < 1e-12);
         // Model is shared, not cloned.

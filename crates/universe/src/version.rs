@@ -44,7 +44,9 @@ pub struct Version {
 impl Version {
     /// The correct program: no faults.
     pub fn correct(model: &FaultModel) -> Self {
-        Version { faults: BitSet::new(model.fault_count()) }
+        Version {
+            faults: BitSet::new(model.fault_count()),
+        }
     }
 
     /// A version containing exactly the given faults.
@@ -106,7 +108,10 @@ impl Version {
     ///
     /// Panics if `x` is outside the model's demand space.
     pub fn fails_on(&self, model: &FaultModel, x: DemandId) -> bool {
-        model.faults_at(x).iter().any(|f| self.faults.contains(f.index()))
+        model
+            .faults_at(x)
+            .iter()
+            .any(|f| self.faults.contains(f.index()))
     }
 
     /// Numeric form of the score function: `1.0` on failure, `0.0`
@@ -228,11 +233,7 @@ mod tests {
     #[test]
     fn pfd_is_usage_mass_of_failure_set() {
         let m = model();
-        let q = UsageProfile::from_weights(
-            m.space(),
-            vec![0.1, 0.2, 0.3, 0.4],
-        )
-        .unwrap();
+        let q = UsageProfile::from_weights(m.space(), vec![0.1, 0.2, 0.3, 0.4]).unwrap();
         let v = Version::from_faults(&m, [f(1), f(2)]);
         // Fails on demands 1, 2, 3 → pfd = 0.2 + 0.3 + 0.4.
         assert!((v.pfd(&m, &q) - 0.9).abs() < 1e-12);

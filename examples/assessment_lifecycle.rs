@@ -29,8 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         profile: ProfileKind::Zipf(0.9),
     };
     let mut rng = StdRng::seed_from_u64(2004);
-    let (universe, pop) = spec
-        .generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.02, hi: 0.3 })?;
+    let (universe, pop) =
+        spec.generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.02, hi: 0.3 })?;
     let model = Arc::clone(universe.model());
     let q = universe.profile().clone();
 
@@ -39,13 +39,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut a = pop.sample(&mut rng);
     let mut b = pop.sample(&mut rng);
     println!("=== Development ===");
-    println!("version A: {} faults, pfd {:.5}", a.fault_count(), a.pfd(&model, &q));
-    println!("version B: {} faults, pfd {:.5}", b.fault_count(), b.pfd(&model, &q));
+    println!(
+        "version A: {} faults, pfd {:.5}",
+        a.fault_count(),
+        a.pfd(&model, &q)
+    );
+    println!(
+        "version B: {} faults, pfd {:.5}",
+        b.fault_count(),
+        b.pfd(&model, &q)
+    );
 
     // 2. Acceptance testing on ONE shared suite, stopping when 30
     //    consecutive demands pass on both channels (a failure-free rule at
     //    pfd 0.1 / 95%).
-    let rule = StoppingRule::FailureFree { target: 0.1, confidence: 0.95 };
+    let rule = StoppingRule::FailureFree {
+        target: 0.1,
+        confidence: 0.95,
+    };
     let mut state = StoppingState::new(rule);
     let oracle = PerfectOracle::new();
     let fixer = PerfectFixer::new();
@@ -72,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let naive = report.pfd_a * report.pfd_b;
     println!("\n=== Assessment ===");
     println!("naive (independence) system pfd prediction: {naive:.3e}");
-    println!("true system pfd:                            {:.3e}", report.joint_pfd);
+    println!(
+        "true system pfd:                            {:.3e}",
+        report.joint_pfd
+    );
     if naive > 0.0 {
         println!(
             "→ the independence assumption is optimistic by {:.1}x \

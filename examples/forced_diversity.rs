@@ -33,13 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("independence bench = {:.6}", lm.independent_pfd);
     println!(
         "→ forced diversity {} independence\n",
-        if lm.beats_independence() { "BEATS" } else { "does not beat" }
+        if lm.beats_independence() {
+            "BEATS"
+        } else {
+            "does not beat"
+        }
     );
 
     // Testing the mirrored pair under both regimes.
     let measure = enumerate_iid_suites(&q, 3, 1 << 16)?;
-    let ind =
-        MarginalAnalysis::compute(&pop_a, &pop_b, SuiteAssignment::independent(&measure), &q);
+    let ind = MarginalAnalysis::compute(&pop_a, &pop_b, SuiteAssignment::independent(&measure), &q);
     let sh = MarginalAnalysis::compute(&pop_a, &pop_b, SuiteAssignment::Shared(&measure), &q);
     println!("=== After 3-demand suites (eqs 24 vs 25) ===");
     println!("independent suites: system pfd = {:.6}", ind.system_pfd());
@@ -66,10 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ind2 = MarginalAnalysis::compute(&a2, &b2, SuiteAssignment::independent(&m2), &q2);
     let sh2 = MarginalAnalysis::compute(&a2, &b2, SuiteAssignment::Shared(&m2), &q2);
     println!("=== Engineered negative eq-25 coupling ===");
-    println!(
-        "independent suites: system pfd = {:.6}",
-        ind2.system_pfd()
-    );
+    println!("independent suites: system pfd = {:.6}", ind2.system_pfd());
     println!(
         "shared suite:       system pfd = {:.6} (coupling {:+.6})",
         sh2.system_pfd(),

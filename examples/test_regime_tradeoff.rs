@@ -102,7 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{n:<8} {:<21.6} {:<19.6} {}",
             ind_acc.mean(),
             mrg_acc.mean(),
-            if mrg_acc.mean() <= ind_acc.mean() { "yes" } else { "no" }
+            if mrg_acc.mean() <= ind_acc.mean() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!(

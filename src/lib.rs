@@ -83,9 +83,7 @@ pub mod prelude {
     pub use diversim_testing::suite_population::enumerate_iid_suites;
     pub use diversim_universe::demand::{DemandId, DemandSpace};
     pub use diversim_universe::fault::{Fault, FaultId, FaultModel, FaultModelBuilder};
-    pub use diversim_universe::population::{
-        BernoulliPopulation, ExplicitPopulation, Population,
-    };
+    pub use diversim_universe::population::{BernoulliPopulation, ExplicitPopulation, Population};
     pub use diversim_universe::profile::UsageProfile;
     pub use diversim_universe::version::Version;
 }

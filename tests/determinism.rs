@@ -1,7 +1,6 @@
 //! End-to-end determinism: every simulation result is a pure function of
 //! its seed, independent of thread count and repeated invocation.
 
-
 use diversim::prelude::*;
 use diversim::sim::campaign::CampaignRegime;
 use diversim::sim::estimate::estimate_pair;
@@ -46,7 +45,11 @@ fn estimates_identical_across_thread_counts() {
     };
     let reference = run(1);
     for threads in [2, 3, 5, 8] {
-        assert_eq!(run(threads), reference, "thread count {threads} changed the estimate");
+        assert_eq!(
+            run(threads),
+            reference,
+            "thread count {threads} changed the estimate"
+        );
     }
 }
 

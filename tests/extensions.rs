@@ -16,7 +16,12 @@ use diversim::stats::stopping::StoppingRule;
 
 fn singleton_setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
     let space = DemandSpace::new(props.len()).unwrap();
-    let model = Arc::new(FaultModelBuilder::new(space).singleton_faults().build().unwrap());
+    let model = Arc::new(
+        FaultModelBuilder::new(space)
+            .singleton_faults()
+            .build()
+            .unwrap(),
+    );
     let pop = BernoulliPopulation::new(model, props).unwrap();
     let q = UsageProfile::uniform(space);
     let gen = ProfileGenerator::new(q.clone());
@@ -31,13 +36,18 @@ fn imperfect_closed_form_matches_full_pipeline() {
     let n = 6;
     for (detect, fix) in [(0.8, 0.75), (0.75, 0.8), (0.6, 1.0), (1.0, 0.6)] {
         let rho: f64 = 0.6;
-        assert!((detect * fix - rho).abs() < 1e-12, "test setup: products differ");
+        assert!(
+            (detect * fix - rho).abs() < 1e-12,
+            "test setup: products differ"
+        );
         for (regime, campaign) in [
-            (TestingRegime::IndependentSuites, CampaignRegime::IndependentSuites),
+            (
+                TestingRegime::IndependentSuites,
+                CampaignRegime::IndependentSuites,
+            ),
             (TestingRegime::SharedSuite, CampaignRegime::SharedSuite),
         ] {
-            let closed =
-                marginal_imperfect_iid(&pop, &pop, &q, &q, n, rho, regime).unwrap();
+            let closed = marginal_imperfect_iid(&pop, &pop, &q, &q, n, rho, regime).unwrap();
             let est = estimate_pair(
                 &pop,
                 &pop,
@@ -52,8 +62,7 @@ fn imperfect_closed_form_matches_full_pipeline() {
                 4,
             );
             assert!(
-                (est.system_pfd.mean - closed).abs()
-                    < 4.0 * est.system_pfd.standard_error + 1e-9,
+                (est.system_pfd.mean - closed).abs() < 4.0 * est.system_pfd.standard_error + 1e-9,
                 "pipeline {} vs closed form {closed} at d={detect}, r={fix}, {regime}",
                 est.system_pfd.mean
             );
@@ -104,7 +113,10 @@ fn adaptive_rule_beats_fixed_budget_of_equal_mean_size() {
     // mean testing effort the adaptive campaign achieves a pfd no worse
     // than a fixed-size campaign (statistically).
     let (pop, q, _gen) = singleton_setup(vec![0.5; 12]);
-    let rule = StoppingRule::FailureFree { target: 0.05, confidence: 0.9 };
+    let rule = StoppingRule::FailureFree {
+        target: 0.05,
+        confidence: 0.9,
+    };
     let adaptive = adaptive_study(
         &pop,
         &q,
@@ -133,8 +145,7 @@ fn adaptive_rule_beats_fixed_budget_of_equal_mean_size() {
         4,
     );
     assert!(
-        adaptive.target_met_rate
-            >= fixed.target_met_rate - 0.05,
+        adaptive.target_met_rate >= fixed.target_met_rate - 0.05,
         "adaptive {} vs fixed {} at equal mean budget {budget}",
         adaptive.target_met_rate,
         fixed.target_met_rate

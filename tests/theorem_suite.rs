@@ -19,13 +19,14 @@ use diversim::universe::generator::{ProfileKind, RegionSize, UniverseSpec};
 
 /// Builds a random universe with a Bernoulli population; small enough to
 /// enumerate exactly.
-fn random_setup(
-    seed: u64,
-    singleton: bool,
-) -> (BernoulliPopulation, UsageProfile) {
+fn random_setup(seed: u64, singleton: bool) -> (BernoulliPopulation, UsageProfile) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n_demands = rng.gen_range(2..=6);
-    let n_faults = if singleton { n_demands } else { rng.gen_range(2..=6) };
+    let n_faults = if singleton {
+        n_demands
+    } else {
+        rng.gen_range(2..=6)
+    };
     let spec = UniverseSpec {
         n_demands,
         n_faults,
@@ -34,7 +35,11 @@ fn random_setup(
         } else {
             RegionSize::Uniform { min: 1, max: 3 }
         },
-        profile: if rng.gen_bool(0.5) { ProfileKind::Uniform } else { ProfileKind::Zipf(1.0) },
+        profile: if rng.gen_bool(0.5) {
+            ProfileKind::Uniform
+        } else {
+            ProfileKind::Zipf(1.0)
+        },
     };
     let universe = spec.generate(&mut rng).expect("valid spec");
     let props: Vec<f64> = (0..n_faults).map(|_| rng.gen_range(0.0..=1.0)).collect();
@@ -79,10 +84,10 @@ fn forced_diversity_identities_hold_on_random_pairs() {
         // Second methodology over the same fault model with fresh
         // propensities.
         let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
-        let props_b: Vec<f64> =
-            (0..pop_a.model().fault_count()).map(|_| rng.gen_range(0.0..=1.0)).collect();
-        let pop_b =
-            BernoulliPopulation::new(Arc::clone(pop_a.model()), props_b).expect("valid");
+        let props_b: Vec<f64> = (0..pop_a.model().fault_count())
+            .map(|_| rng.gen_range(0.0..=1.0))
+            .collect();
+        let pop_b = BernoulliPopulation::new(Arc::clone(pop_a.model()), props_b).expect("valid");
         let m = enumerate_iid_suites(&q, 2, 1 << 14).expect("enumerable");
         let sa = pop_a.enumerate(1 << 14).expect("enumerable");
         let sb = pop_b.enumerate(1 << 14).expect("enumerable");
@@ -102,8 +107,7 @@ fn shared_suite_dominates_independent_for_single_population() {
         let (pop, q) = random_setup(seed, seed % 2 == 0);
         for suite_size in 0..3 {
             let m = enumerate_iid_suites(&q, suite_size, 1 << 14).expect("enumerable");
-            let ind =
-                MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
+            let ind = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
             let sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
             assert!(
                 sh.system_pfd() + 1e-12 >= ind.system_pfd(),
@@ -134,9 +138,12 @@ fn testing_never_worsens_any_marginal_quantity() {
             }
             let ind = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q)
                 .system_pfd();
-            let sh = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q)
-                .system_pfd();
-            assert!(ind <= prev_ind + 1e-12, "independent pfd grew at seed {seed}");
+            let sh =
+                MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q).system_pfd();
+            assert!(
+                ind <= prev_ind + 1e-12,
+                "independent pfd grew at seed {seed}"
+            );
             assert!(sh <= prev_sh + 1e-12, "shared pfd grew at seed {seed}");
             prev_ind = ind;
             prev_sh = sh;
@@ -150,8 +157,7 @@ fn el_is_the_zero_testing_special_case() {
         let (pop, q) = random_setup(seed, true);
         let m = enumerate_iid_suites(&q, 0, 4).expect("trivial");
         let el = ElAnalysis::compute(&pop, &q);
-        let marginal =
-            MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
+        let marginal = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
         assert!(
             (marginal.system_pfd() - el.joint_pfd).abs() < 1e-12,
             "zero-testing marginal differs from EL at seed {seed}"
@@ -164,10 +170,10 @@ fn lm_is_the_zero_testing_special_case_for_forced_pairs() {
     for seed in 600..612 {
         let (pop_a, q) = random_setup(seed, true);
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
-        let props_b: Vec<f64> =
-            (0..pop_a.model().fault_count()).map(|_| rng.gen_range(0.0..=1.0)).collect();
-        let pop_b =
-            BernoulliPopulation::new(Arc::clone(pop_a.model()), props_b).expect("valid");
+        let props_b: Vec<f64> = (0..pop_a.model().fault_count())
+            .map(|_| rng.gen_range(0.0..=1.0))
+            .collect();
+        let pop_b = BernoulliPopulation::new(Arc::clone(pop_a.model()), props_b).expect("valid");
         let m = enumerate_iid_suites(&q, 0, 4).expect("trivial");
         let lm = LmAnalysis::compute(&pop_a, &pop_b, &q);
         let marginal =

@@ -1,0 +1,342 @@
+//! Offline, vendored mini benchmark harness exposing the subset of the
+//! [`criterion`](https://docs.rs/criterion) API that the `diversim`
+//! workspace uses: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`]/
+//! [`criterion_main!`] macros.
+//!
+//! It is a real measuring harness — warm-up, then `sample_size` timed
+//! samples, reporting min/median/max ns per iteration — but with none
+//! of criterion's statistics, plotting or baseline storage. The
+//! `--test` CLI flag (as passed by `cargo bench -- --test`) runs every
+//! benchmark body exactly once, which is what the CI smoke job uses to
+//! keep benches compiling and running without paying measurement time.
+//! Positional CLI arguments filter benchmarks by substring, mirroring
+//! criterion/libtest.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a run (e.g. `group/function/param`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+/// The benchmark manager: configuration plus the run loop.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Applies CLI arguments: `--test` switches to run-once mode, a
+    /// positional argument filters benchmark ids by substring, and
+    /// harness-level flags such as `--bench` are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.config.test_mode = true,
+                s if !s.starts_with('-') => self.config.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.config, &id.into().id, f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with its name.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.config.clone(),
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix and (optionally)
+/// an overridden configuration.
+pub struct BenchmarkGroup<'a> {
+    config: Config,
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        run_one(&self.config, &id, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(&self.config, &id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    reported: Option<(f64, f64, f64)>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` (or runs it once in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.reported = Some((0.0, 0.0, 0.0));
+            return;
+        }
+        // Warm-up, and estimate the cost of one iteration as we go.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_done as f64;
+
+        // Choose a batch size so all samples fit the measurement budget.
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64();
+        let batch = ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut times_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        times_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = times_ns[0];
+        let max = times_ns[times_ns.len() - 1];
+        let median = times_ns[times_ns.len() / 2];
+        self.reported = Some((min, median, max));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, id: &str, mut f: F) {
+    if let Some(filter) = &config.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        config,
+        reported: None,
+    };
+    f(&mut bencher);
+    match bencher.reported {
+        Some(_) if config.test_mode => println!("test {id} ... ok"),
+        Some((min, median, max)) => {
+            println!(
+                "{id:<50} time: [{} {} {}]",
+                fmt_ns(min),
+                fmt_ns(median),
+                fmt_ns(max)
+            );
+        }
+        None => println!("{id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Defines a benchmark group function, in either the positional or the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> Config {
+        Config {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            test_mode: false,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn measures_and_reports() {
+        let config = test_config();
+        let mut ran = 0u64;
+        run_one(&config, "demo", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let config = Config {
+            test_mode: true,
+            ..test_config()
+        };
+        let mut ran = 0u64;
+        run_one(&config, "demo", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let config = Config {
+            filter: Some("other".into()),
+            ..test_config()
+        };
+        let mut ran = 0u64;
+        run_one(&config, "demo", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+}

@@ -1,0 +1,79 @@
+//! The [`any`] entry point and the [`Arbitrary`] trait.
+
+use crate::strategy::Strategy;
+use core::marker::PhantomData;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Arbitrary finite `f64`, spread over a wide magnitude range.
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mantissa: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let exponent = rng.gen_range(-64i32..=64);
+        mantissa * (exponent as f64).exp2()
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing arbitrary values of `T`, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::seeded_rng;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = seeded_rng("arbitrary::bool");
+        let s = any::<bool>();
+        let (mut t, mut f) = (false, false);
+        for _ in 0..200 {
+            if s.generate(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = seeded_rng("arbitrary::f64");
+        let s = any::<f64>();
+        for _ in 0..1000 {
+            assert!(s.generate(&mut rng).is_finite());
+        }
+    }
+}

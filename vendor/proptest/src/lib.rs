@@ -1,0 +1,132 @@
+//! Offline, vendored mini property-testing harness exposing the subset
+//! of the [`proptest`](https://docs.rs/proptest) API that the `diversim`
+//! workspace uses: the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! [`Just`](strategy::Just),
+//! [`collection::vec`]/[`collection::hash_set`], [`arbitrary::any`],
+//! and the [`proptest!`]/[`prop_oneof!`]/[`prop_assert!`] macro family.
+//!
+//! Differences from the real crate, chosen deliberately for an offline,
+//! deterministic CI:
+//!
+//! * **Fixed seeds.** Every `proptest!`-generated test derives its RNG
+//!   seed from the test's module path and name (FNV-1a), so a failure
+//!   reproduces identically on every run and machine. There is no
+//!   environment-dependent reseeding.
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   formatted into the panic message instead of a minimised
+//!   counterexample.
+//! * **No persistence files**, no forking, no timeout handling.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #[test]
+//!     fn addition_is_commutative(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![deny(missing_docs)]
+// The crate-level example necessarily shows `proptest!` defining a
+// `#[test]` fn — that is the macro's entire purpose — so the doctest
+// can only compile it, not run it.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+///
+/// Accepts an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                // Deterministic per-test seed: reruns and CI see the
+                // exact same case sequence.
+                let mut __rng = $crate::test_runner::seeded_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let __strategies = ( $($strat,)+ );
+                for _ in 0..__config.cases {
+                    let ( $($pat,)+ ) = $crate::strategy::Strategy::generate(
+                        &__strategies,
+                        &mut __rng,
+                    );
+                    // Each case runs in its own closure so that
+                    // `prop_assume!`'s early `return` rejects the whole
+                    // case even from inside a loop in the test body.
+                    let mut __case = || $body;
+                    __case();
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Skips (rejects) the current case when its precondition does not
+/// hold. Expands to an early `return` from the per-case closure that
+/// [`proptest!`] wraps each body in, so it works at any nesting depth.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

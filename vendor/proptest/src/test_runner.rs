@@ -1,0 +1,63 @@
+//! Test-run configuration and deterministic seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 128 cases — half the real proptest default, chosen to keep the
+    /// deterministic CI suite fast.
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// FNV-1a hash of a string, used to derive per-test seeds.
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// A deterministic RNG whose seed is derived from `name` — every run of
+/// a given test sees the identical case sequence.
+pub fn seeded_rng(name: &str) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = seeded_rng("x::y");
+        let mut b = seeded_rng("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_names_differ() {
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

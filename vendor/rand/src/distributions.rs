@@ -1,0 +1,190 @@
+//! Distributions: the [`Standard`] distribution behind `Rng::gen` and
+//! the uniform-range machinery behind `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng` as the randomness source.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over the full domain
+/// for integers and `bool`, uniform on `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform on `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform on `[0, 1)` with 24 random mantissa bits.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges, mirroring
+    //! `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Draws uniformly from `[lo, hi)` (`inclusive == false`) or
+        /// `[lo, hi]` (`inclusive == true`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Draws uniformly from `[0, span)` using Lemire's widening-multiply
+    /// rejection method (no modulo bias).
+    #[inline]
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return rng.next_u64() & (span - 1);
+        }
+        loop {
+            let x = rng.next_u64();
+            let m = (x as u128) * (span as u128);
+            let low = m as u64;
+            if low < span {
+                // 2^64 mod span, computed without 128-bit division.
+                let threshold = span.wrapping_neg() % span;
+                if low < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty => $unsigned:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    if inclusive {
+                        assert!(lo <= hi, "gen_range: empty range");
+                    } else {
+                        assert!(lo < hi, "gen_range: empty range");
+                    }
+                    // Width of the range as an unsigned span; wrapping
+                    // arithmetic handles signed types uniformly.
+                    let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64;
+                    if inclusive && span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = if inclusive { span + 1 } else { span };
+                    let offset = uniform_below(rng, span);
+                    ((lo as $unsigned).wrapping_add(offset as $unsigned)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_int!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+    );
+
+    macro_rules! impl_sample_uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    if inclusive {
+                        assert!(lo <= hi, "gen_range: empty range");
+                    } else {
+                        assert!(lo < hi, "gen_range: empty range");
+                    }
+                    let u: $t = crate::distributions::Distribution::sample(
+                        &crate::distributions::Standard,
+                        rng,
+                    );
+                    let x = lo + u * (hi - lo);
+                    // Guard against rounding up to an excluded endpoint
+                    // (next_down is sign-correct, unlike bit decrements).
+                    if !inclusive && x >= hi {
+                        hi.next_down()
+                    } else {
+                        x
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform_float!(f32, f64);
+
+    /// Range-like types accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            T::sample_uniform(rng, lo, hi, true)
+        }
+    }
+}

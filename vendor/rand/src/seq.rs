@@ -1,0 +1,91 @@
+//! Sequence-related helpers, mirroring `rand::seq`.
+
+pub mod index {
+    //! Sampling distinct indices from `0..length`.
+
+    use crate::{Rng, RngCore};
+
+    /// A set of sampled indices.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// Iterates over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Converts into a plain vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Samples `amount` distinct indices uniformly from `0..length`,
+    /// in random order (partial Fisher–Yates shuffle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > length`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "sample: amount {amount} exceeds length {length}"
+        );
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..length);
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::sample;
+        use crate::rngs::StdRng;
+        use crate::SeedableRng;
+
+        #[test]
+        fn samples_are_distinct_and_in_range() {
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..100 {
+                let idx = sample(&mut rng, 50, 12);
+                let v = idx.into_vec();
+                assert_eq!(v.len(), 12);
+                let mut sorted = v.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 12, "indices must be distinct");
+                assert!(v.iter().all(|&i| i < 50));
+            }
+        }
+
+        #[test]
+        fn full_sample_is_a_permutation() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut v = sample(&mut rng, 8, 8).into_vec();
+            v.sort_unstable();
+            assert_eq!(v, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline, vendored stand-in for the slice of `serde` 1.0 that the
+//! `diversim` workspace touches: the `Serialize`/`Deserialize` *derive
+//! macros* and the trait names they shadow.
+//!
+//! The build environment cannot reach crates.io. No code in the
+//! workspace serializes anything yet (reports are plain text/TSV), so
+//! the derives only declare intent on public data types. This stub lets
+//! those declarations compile unchanged: the derives expand to nothing
+//! and the traits below are empty markers. When real serialization
+//! lands, swap the path entry in the root `[workspace.dependencies]`
+//! for crates.io `serde` and remove the vendor crates from
+//! `workspace.members` — call sites need no edits.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in this stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in this stub).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,25 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors this stub: `#[derive(Serialize, Deserialize)]` parses and
+//! expands to nothing. Types therefore do **not** implement the serde
+//! traits — nothing in the workspace currently requires them at runtime;
+//! the derives document intent and keep the public API source-compatible
+//! with the real `serde` for the day the `[workspace.dependencies]`
+//! path entries are swapped back to crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item (including `#[serde(...)]`
+/// helper attributes), emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item (including
+/// `#[serde(...)]` helper attributes), emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
