@@ -1,0 +1,12 @@
+//! The unified `diversim` experiment driver.
+//!
+//! ```console
+//! $ diversim list
+//! $ diversim run e01
+//! $ diversim run --all --fast --threads 4 --out results/
+//! $ diversim docs --write
+//! ```
+
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::main()
+}

@@ -1,89 +1,7 @@
-//! E1 — Eckhardt–Lee model, equations (6)/(7).
-//!
-//! Paper claim: `P(both fail on X) = E[Θ]² + Var(Θ) ≥ E[Θ]²`, with
-//! equality iff the difficulty function is constant. The experiment sweeps
-//! the difficulty spread at fixed mean difficulty and reports the joint
-//! pfd, its decomposition and the dependence ratio, cross-checked by
-//! Monte Carlo sampling of version pairs.
+//! Thin wrapper: runs the registered `e01_el_model` experiment through the
+//! shared engine (`diversim run e01`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::graded_with_spread;
-use diversim_bench::Table;
-use diversim_core::el::ElAnalysis;
-use diversim_stats::online::MeanVar;
-use diversim_universe::population::Population;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn main() {
-    println!("E1: Eckhardt–Lee — variance of difficulty drives coincident failure (eqs 6–7)\n");
-    let mut table = Table::new(
-        "joint pfd vs difficulty spread (mean difficulty fixed at 0.3)",
-        &[
-            "spread",
-            "E[theta]",
-            "Var(theta)",
-            "joint=E[th^2]",
-            "indep=E[th]^2",
-            "ratio",
-            "MC joint",
-        ],
-    );
-
-    for &spread in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
-        let world = graded_with_spread(spread);
-        let el = ElAnalysis::compute(&world.pop_a, &world.profile);
-
-        // Monte Carlo: draw version pairs, average the exact conditional
-        // joint pfd of each pair.
-        let mut rng = StdRng::seed_from_u64(1000 + (spread * 10.0) as u64);
-        let mut acc = MeanVar::new();
-        let model = world.pop_a.model().clone();
-        for _ in 0..60_000 {
-            let v1 = world.pop_a.sample(&mut rng);
-            let v2 = world.pop_a.sample(&mut rng);
-            acc.push(diversim_core::system::pair_pfd(
-                &v1,
-                &v2,
-                &model,
-                &world.profile,
-            ));
-        }
-
-        table.row(&[
-            format!("{spread:.1}"),
-            format!("{:.6}", el.mean_theta),
-            format!("{:.6}", el.var_theta),
-            format!("{:.6}", el.joint_pfd),
-            format!("{:.6}", el.independent_pfd),
-            format!("{:.3}", el.dependence_ratio().unwrap_or(f64::NAN)),
-            format!("{:.6}", acc.mean()),
-        ]);
-
-        // Reproduction assertions.
-        assert!(
-            el.joint_pfd >= el.independent_pfd - 1e-15,
-            "EL inequality violated at spread {spread}"
-        );
-        if spread == 0.0 {
-            assert!(
-                (el.joint_pfd - el.independent_pfd).abs() < 1e-12,
-                "equality case failed"
-            );
-        } else {
-            assert!(
-                el.joint_pfd > el.independent_pfd,
-                "strict inequality failed"
-            );
-        }
-        assert!(
-            (acc.mean() - el.joint_pfd).abs() < 4.0 * acc.standard_error() + 1e-9,
-            "MC disagrees with exact at spread {spread}"
-        );
-    }
-
-    table.emit("e01_el_model");
-    println!(
-        "Claim reproduced: joint pfd = E[Θ]² + Var(Θ); independence only under\n\
-         constant difficulty, and the penalty grows with the difficulty variance."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e01")
 }

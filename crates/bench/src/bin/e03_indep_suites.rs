@@ -1,153 +1,7 @@
-//! E3 — conditional independence under independent suites, equations
-//! (16)–(19).
-//!
-//! Paper claim: "if the versions are tested on independently chosen test
-//! suites, the conditional independence is preserved after the testing, no
-//! matter whether diversity is employed in development only or in the
-//! selection of the test suites as well." The experiment verifies, per
-//! demand, that the brute-force joint probability equals `ζ_A(x)·ζ_B(x)`
-//! in all four §3.1/§3.2 regimes.
+//! Thin wrapper: runs the registered `e03_indep_suites` experiment through the
+//! shared engine (`diversim run e03`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::{mirrored, small_graded};
-use diversim_bench::Table;
-use diversim_core::difficulty::zeta;
-use diversim_exact::brute;
-use diversim_testing::suite_population::enumerate_iid_suites;
-use diversim_universe::population::Population;
-use diversim_universe::profile::UsageProfile;
-
-fn main() {
-    println!("E3: independent suites preserve conditional independence (eqs 16–19)\n");
-    let mut table = Table::new(
-        "max |brute joint − ζ_A·ζ_B| over all demands",
-        &["regime", "suite size", "max abs error"],
-    );
-
-    // Regime (16): same population, same suite procedure.
-    let w = small_graded();
-    let support = w.pop_a.enumerate(1 << 12).expect("enumerable");
-    for n in [1usize, 2, 3] {
-        let m = enumerate_iid_suites(&w.profile, n, 1 << 14).expect("enumerable");
-        let max_err = w
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint = brute::joint_on_demand_independent(
-                    &support,
-                    &support,
-                    &m,
-                    &m,
-                    w.pop_a.model(),
-                    x,
-                );
-                let z = zeta(&w.pop_a, x, &m);
-                (brute_joint - z * z).abs()
-            })
-            .fold(0.0, f64::max);
-        table.row(&[
-            "eq16 same-pop/same-proc".into(),
-            n.to_string(),
-            format!("{max_err:.3e}"),
-        ]);
-        assert!(max_err < 1e-9, "eq16 violated at n={n}: {max_err:.3e}");
-    }
-
-    // Regime (17): forced design diversity, same suite procedure.
-    let wf = mirrored(0.5, 0.05);
-    let sa = wf.pop_a.enumerate(1 << 12).expect("enumerable");
-    let sb = wf.pop_b.enumerate(1 << 12).expect("enumerable");
-    for n in [1usize, 2] {
-        let m = enumerate_iid_suites(&wf.profile, n, 1 << 14).expect("enumerable");
-        let max_err = wf
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint =
-                    brute::joint_on_demand_independent(&sa, &sb, &m, &m, wf.pop_a.model(), x);
-                let z = zeta(&wf.pop_a, x, &m) * zeta(&wf.pop_b, x, &m);
-                (brute_joint - z).abs()
-            })
-            .fold(0.0, f64::max);
-        table.row(&[
-            "eq17 forced-design".into(),
-            n.to_string(),
-            format!("{max_err:.3e}"),
-        ]);
-        assert!(max_err < 1e-9, "eq17 violated at n={n}: {max_err:.3e}");
-    }
-
-    // Regimes (18)/(19): forced testing diversity — operational profile
-    // for one version, debug-skewed profile for the other.
-    let debug_profile =
-        UsageProfile::from_weights(w.profile.space(), vec![0.05, 0.05, 0.1, 0.2, 0.3, 0.3])
-            .expect("valid weights");
-    for n in [1usize, 2] {
-        let ma = enumerate_iid_suites(&w.profile, n, 1 << 14).expect("enumerable");
-        let mb = enumerate_iid_suites(&debug_profile, n, 1 << 14).expect("enumerable");
-        let max_err = w
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint = brute::joint_on_demand_independent(
-                    &support,
-                    &support,
-                    &ma,
-                    &mb,
-                    w.pop_a.model(),
-                    x,
-                );
-                let z = zeta(&w.pop_a, x, &ma) * zeta(&w.pop_a, x, &mb);
-                (brute_joint - z).abs()
-            })
-            .fold(0.0, f64::max);
-        table.row(&[
-            "eq18 forced-testing".into(),
-            n.to_string(),
-            format!("{max_err:.3e}"),
-        ]);
-        assert!(max_err < 1e-9, "eq18 violated at n={n}: {max_err:.3e}");
-
-        // Forced design + forced testing: mirrored pops over the 8-demand
-        // space, two different suite procedures.
-        let mb8 = enumerate_iid_suites(
-            &UsageProfile::from_weights(
-                wf.profile.space(),
-                vec![0.05, 0.05, 0.05, 0.05, 0.2, 0.2, 0.2, 0.2],
-            )
-            .expect("valid"),
-            n,
-            1 << 14,
-        )
-        .expect("enumerable");
-        let ma8 = enumerate_iid_suites(&wf.profile, n, 1 << 14).expect("enumerable");
-        let max_err_19 = wf
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint =
-                    brute::joint_on_demand_independent(&sa, &sb, &ma8, &mb8, wf.pop_a.model(), x);
-                let z = zeta(&wf.pop_a, x, &ma8) * zeta(&wf.pop_b, x, &mb8);
-                (brute_joint - z).abs()
-            })
-            .fold(0.0, f64::max);
-        table.row(&[
-            "eq19 forced-design+testing".into(),
-            n.to_string(),
-            format!("{max_err_19:.3e}"),
-        ]);
-        assert!(
-            max_err_19 < 1e-9,
-            "eq19 violated at n={n}: {max_err_19:.3e}"
-        );
-    }
-
-    table.emit("e03_indep_suites");
-    println!(
-        "Claim reproduced: in all four independent-suite regimes the joint\n\
-         probability factorises as ζ_A(x)·ζ_B(x) on every demand (≤1e-9, pure accumulation rounding)."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e03")
 }

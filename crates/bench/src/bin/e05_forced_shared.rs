@@ -1,92 +1,7 @@
-//! E5 — forced design diversity on a shared suite, equation (21).
-//!
-//! Paper claim: for methodologies A ≠ B tested on one suite the joint
-//! probability on demand x is `ζ_A(x)ζ_B(x) + Cov_Ξ(ξ_A(x,T), ξ_B(x,T))`,
-//! and unlike the single-population case the covariance term can be
-//! positive *or* negative. The experiment exhibits both signs.
+//! Thin wrapper: runs the registered `e05_forced_shared` experiment through the
+//! shared engine (`diversim run e05`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::{mirrored, negative_coupling};
-use diversim_bench::Table;
-use diversim_core::difficulty::zeta;
-use diversim_core::testing_effect::joint_shared_suite;
-use diversim_exact::brute;
-use diversim_testing::suite_population::enumerate_iid_suites;
-use diversim_universe::population::Population;
-
-fn run_world(
-    label: &str,
-    world: &diversim_bench::worlds::World,
-    suite_size: usize,
-    table: &mut Table,
-) -> (f64, f64) {
-    let m = enumerate_iid_suites(&world.profile, suite_size, 1 << 14).expect("enumerable");
-    let sa = world.pop_a.enumerate(1 << 12).expect("enumerable");
-    let sb = world.pop_b.enumerate(1 << 12).expect("enumerable");
-    let mut min_cov = f64::INFINITY;
-    let mut max_cov = f64::NEG_INFINITY;
-    for x in world.profile.space().iter() {
-        let joint = joint_shared_suite(&world.pop_a, &world.pop_b, &m, x);
-        let brute_joint = brute::joint_on_demand_shared(&sa, &sb, &m, world.pop_a.model(), x);
-        assert!(
-            (joint.total() - brute_joint).abs() < 1e-12,
-            "eq21 brute mismatch"
-        );
-        let prod = zeta(&world.pop_a, x, &m) * zeta(&world.pop_b, x, &m);
-        assert!(
-            (joint.independent - prod).abs() < 1e-12,
-            "eq21 mean term mismatch"
-        );
-        min_cov = min_cov.min(joint.coupling);
-        max_cov = max_cov.max(joint.coupling);
-        table.row(&[
-            label.to_string(),
-            x.to_string(),
-            format!("{:.6}", joint.independent),
-            format!("{:+.6}", joint.coupling),
-            format!("{:.6}", joint.total()),
-        ]);
-    }
-    (min_cov, max_cov)
-}
-
-fn main() {
-    println!(
-        "E5: forced diversity on a shared suite — the covariance can take either sign (eq 21)\n"
-    );
-    let mut table = Table::new(
-        "per-demand eq-21 decomposition",
-        &[
-            "world",
-            "demand",
-            "zeta_A*zeta_B",
-            "Cov_Xi(xi_A,xi_B)",
-            "joint",
-        ],
-    );
-
-    // Mirrored singleton world: coupling is non-negative (suites kill both
-    // methodologies' faults on the same demands).
-    let wm = mirrored(0.8, 0.1);
-    let (_, max_cov_m) = run_world("mirrored", &wm, 1, &mut table);
-
-    // Engineered overlap world: the same suite repairs A and B on
-    // *different* demands → negative covariance on the contested demand.
-    let wn = negative_coupling();
-    let (min_cov_n, _) = run_world("neg-coupling", &wn, 1, &mut table);
-
-    table.emit("e05_forced_shared");
-
-    assert!(
-        max_cov_m > 0.0,
-        "expected a positive coupling demand in the mirrored world"
-    );
-    assert!(
-        min_cov_n < 0.0,
-        "expected a negative coupling demand in the engineered world"
-    );
-    println!(
-        "Claim reproduced: Cov_Ξ(ξ_A, ξ_B) > 0 on some worlds (shared testing\n\
-         hurts) and < 0 on others (shared testing *helps*) — exactly the eq-21\n\
-         ambiguity the paper highlights."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e05")
 }

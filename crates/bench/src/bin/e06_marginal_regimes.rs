@@ -1,108 +1,7 @@
-//! E6 — the headline marginal result, equations (22) vs (23).
-//!
-//! Paper claim: "the use of a common test suite increases the marginal
-//! probability of system failure", by exactly `Σ_x Var_Ξ(ξ(x,T))Q(x) ≥ 0`.
-//! The experiment sweeps the suite size, reporting both regimes' system
-//! pfds (exact and Monte Carlo), the penalty, and the ratio.
+//! Thin wrapper: runs the registered `e06_marginal_regimes` experiment through the
+//! shared engine (`diversim run e06`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::small_graded;
-use diversim_bench::Table;
-use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::PerfectOracle;
-use diversim_testing::suite_population::enumerate_iid_suites;
-
-fn main() {
-    println!("E6: shared vs independent suites — the marginal system pfd (eqs 22–23)\n");
-    let w = small_graded();
-    let threads = diversim_sim::runner::default_threads();
-    let mut table = Table::new(
-        "system pfd vs suite size (exact + MC)",
-        &[
-            "n",
-            "indep (eq22)",
-            "shared (eq23)",
-            "penalty",
-            "shared/indep",
-            "MC indep",
-            "MC shared",
-        ],
-    );
-
-    for n in [0usize, 1, 2, 4, 6, 8, 12] {
-        let m = enumerate_iid_suites(&w.profile, n, 1 << 16).expect("enumerable");
-        let ind = MarginalAnalysis::compute(
-            &w.pop_a,
-            &w.pop_a,
-            SuiteAssignment::independent(&m),
-            &w.profile,
-        );
-        let sh =
-            MarginalAnalysis::compute(&w.pop_a, &w.pop_a, SuiteAssignment::Shared(&m), &w.profile);
-        let mc_ind = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::IndependentSuites,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            30_000,
-            600 + n as u64,
-            threads,
-        );
-        let mc_sh = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            30_000,
-            700 + n as u64,
-            threads,
-        );
-        let ratio = if ind.system_pfd() > 0.0 {
-            sh.system_pfd() / ind.system_pfd()
-        } else {
-            1.0
-        };
-        table.row(&[
-            n.to_string(),
-            format!("{:.6}", ind.system_pfd()),
-            format!("{:.6}", sh.system_pfd()),
-            format!("{:.6}", sh.suite_coupling),
-            format!("{ratio:.3}"),
-            format!("{:.6}", mc_ind.system_pfd.mean),
-            format!("{:.6}", mc_sh.system_pfd.mean),
-        ]);
-
-        assert!(
-            sh.system_pfd() + 1e-12 >= ind.system_pfd(),
-            "eq23 < eq22 at n={n}"
-        );
-        assert!(sh.suite_coupling >= -1e-12, "negative penalty at n={n}");
-        assert!(
-            (mc_ind.system_pfd.mean - ind.system_pfd()).abs()
-                < 4.0 * mc_ind.system_pfd.standard_error + 1e-9,
-            "MC/exact mismatch (independent) at n={n}"
-        );
-        assert!(
-            (mc_sh.system_pfd.mean - sh.system_pfd()).abs()
-                < 4.0 * mc_sh.system_pfd.standard_error + 1e-9,
-            "MC/exact mismatch (shared) at n={n}"
-        );
-    }
-
-    table.emit("e06_marginal_regimes");
-    println!(
-        "Claim reproduced: shared-suite testing is never better and typically\n\
-         much worse marginally (ratio grows as testing removes the easy faults);\n\
-         at n=0 the regimes coincide with the untested EL value."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e06")
 }

@@ -1,84 +1,7 @@
-//! E7 — forced diversity marginals, equations (24) vs (25).
-//!
-//! Paper claim: under forced design diversity the shared-suite term
-//! `Σ_x Cov_Ξ(ξ_A(x,T), ξ_B(x,T))Q(x)` can be positive or negative, so
-//! "in principle, the system tested with the same test suite can be more
-//! reliable than if the versions were tested individually" — which is
-//! counterintuitive because the shared suite is also cheaper. The
-//! experiment exhibits a world for each sign.
+//! Thin wrapper: runs the registered `e07_forced_marginal` experiment through the
+//! shared engine (`diversim run e07`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::{mirrored, negative_coupling};
-use diversim_bench::Table;
-use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
-use diversim_testing::suite_population::enumerate_iid_suites;
-
-fn main() {
-    println!("E7: forced diversity — either regime can win marginally (eqs 24–25)\n");
-    let mut table = Table::new(
-        "eq 24 vs eq 25 across worlds",
-        &[
-            "world",
-            "n",
-            "indep (eq24)",
-            "shared (eq25)",
-            "coupling",
-            "winner",
-        ],
-    );
-
-    let mut saw_shared_win = false;
-    let mut saw_indep_win = false;
-
-    for (label, world) in [
-        ("mirrored", mirrored(0.8, 0.1)),
-        ("neg-coupling", negative_coupling()),
-    ] {
-        for n in [1usize, 2, 3] {
-            let m = enumerate_iid_suites(&world.profile, n, 1 << 14).expect("enumerable");
-            let ind = MarginalAnalysis::compute(
-                &world.pop_a,
-                &world.pop_b,
-                SuiteAssignment::independent(&m),
-                &world.profile,
-            );
-            let sh = MarginalAnalysis::compute(
-                &world.pop_a,
-                &world.pop_b,
-                SuiteAssignment::Shared(&m),
-                &world.profile,
-            );
-            let winner = if sh.system_pfd() < ind.system_pfd() - 1e-15 {
-                saw_shared_win = true;
-                "SHARED"
-            } else if ind.system_pfd() < sh.system_pfd() - 1e-15 {
-                saw_indep_win = true;
-                "indep"
-            } else {
-                "tie"
-            };
-            table.row(&[
-                label.to_string(),
-                n.to_string(),
-                format!("{:.6}", ind.system_pfd()),
-                format!("{:.6}", sh.system_pfd()),
-                format!("{:+.6}", sh.suite_coupling),
-                winner.to_string(),
-            ]);
-        }
-    }
-
-    table.emit("e07_forced_marginal");
-    assert!(
-        saw_indep_win,
-        "expected a world where independent suites win"
-    );
-    assert!(
-        saw_shared_win,
-        "expected a world where the shared suite wins"
-    );
-    println!(
-        "Claim reproduced: the eq-25 coupling term takes both signs across\n\
-         worlds — with negative coupling the cheaper shared suite delivers the\n\
-         more reliable system, the paper's counterintuitive possibility."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e07")
 }

@@ -1,116 +1,7 @@
-//! E8 — the §3.4.1 cost trade-off.
-//!
-//! Paper discussion: with free test *execution*, merging the two generated
-//! suites (2n demands, shared) beats independent n-demand suites — "with
-//! the longer test not only the individual reliability of the versions is
-//! going to be better but so is the system reliability"; with expensive
-//! execution the comparison at equal *run budget* (n demands per version)
-//! favours independent suites. The experiment measures three budgets:
-//!
-//! * independent: one n-demand suite per version (2n executions total);
-//! * shared-n: one n-demand suite run on both versions (2n executions);
-//! * merged-2n: the union of two n-demand suites run on both versions
-//!   (4n executions — the "free running" scenario).
+//! Thin wrapper: runs the registered `e08_cost_tradeoff` experiment through the
+//! shared engine (`diversim run e08`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::medium_cascade;
-use diversim_bench::Table;
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_sim::growth::merged_suite_comparison;
-use diversim_stats::online::MeanVar;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::PerfectOracle;
-
-fn main() {
-    println!("E8: §3.4.1 cost trade-off — merged 2n shared vs independent n vs shared n\n");
-    let w = medium_cascade(11);
-    let threads = diversim_sim::runner::default_threads();
-    let replications = 4_000u64;
-    let mut table = Table::new(
-        "system pfd by budget interpretation",
-        &[
-            "n",
-            "independent(n each)",
-            "shared(n)",
-            "merged(2n shared)",
-            "best",
-        ],
-    );
-
-    for n in [5usize, 10, 20, 40, 80] {
-        let ind = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::IndependentSuites,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            replications,
-            800 + n as u64,
-            threads,
-        );
-        let shared = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            replications,
-            900 + n as u64,
-            threads,
-        );
-        // Merged arm via the paired comparison helper.
-        let mut merged = MeanVar::new();
-        for seed in 0..replications {
-            let c = merged_suite_comparison(
-                &w.pop_a,
-                &w.pop_a,
-                &w.generator,
-                n,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &w.profile,
-                10_000 + seed,
-            );
-            merged.push(c.merged_system);
-        }
-        let vals = [ind.system_pfd.mean, shared.system_pfd.mean, merged.mean()];
-        let best = ["independent", "shared", "merged"][vals
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-            .map(|(i, _)| i)
-            .expect("non-empty")];
-        table.row(&[
-            n.to_string(),
-            format!("{:.6}", ind.system_pfd.mean),
-            format!("{:.6}", shared.system_pfd.mean),
-            format!("{:.6}", merged.mean()),
-            best.to_string(),
-        ]);
-
-        // Qualitative claims: at equal run budget, independent ≤ shared;
-        // with free running, merged ≤ independent.
-        assert!(
-            ind.system_pfd.mean <= shared.system_pfd.mean + 3.0 * shared.system_pfd.standard_error,
-            "independent should beat shared at equal run budget (n={n})"
-        );
-        assert!(
-            merged.mean() <= ind.system_pfd.mean + 3.0 * ind.system_pfd.standard_error,
-            "merged 2n should beat independent n (n={n})"
-        );
-    }
-
-    table.emit("e08_cost_tradeoff");
-    println!(
-        "Claim reproduced: at equal execution budget independent suites win\n\
-         (diversity preserved); if execution is free the merged 2n shared suite\n\
-         wins (more faults removed trumps lost diversity) — the two poles of the\n\
-         paper's cost discussion."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e08")
 }

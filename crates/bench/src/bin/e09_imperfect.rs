@@ -1,103 +1,7 @@
-//! E9 — imperfect oracle and imperfect fixing, §4.1.
-//!
-//! Paper claim: with a fallible oracle and/or fixer, "the results from the
-//! previous section (15–25) can be used as lower bounds on the probability
-//! of system failure" and the untested joint pfd "forms a natural upper
-//! bound". The experiment sweeps a detection × fixing grid and places
-//! every measured system pfd inside the analytical bounds.
+//! Thin wrapper: runs the registered `e09_imperfect` experiment through the
+//! shared engine (`diversim run e09`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::small_graded;
-use diversim_bench::Table;
-use diversim_core::bounds::ImperfectTestingBounds;
-use diversim_core::marginal::SuiteAssignment;
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_testing::fixing::ImperfectFixer;
-use diversim_testing::oracle::ImperfectOracle;
-use diversim_testing::suite_population::enumerate_iid_suites;
-
-fn main() {
-    println!("E9: imperfect oracle / imperfect fixing stay inside the §4.1 bounds\n");
-    let w = small_graded();
-    let suite_size = 5;
-    let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
-    let bounds = ImperfectTestingBounds::compute(
-        &w.pop_a,
-        &w.pop_a,
-        SuiteAssignment::Shared(&m),
-        &w.profile,
-    );
-    println!(
-        "analytical bounds (shared suite, n={suite_size}): lower={:.6} (perfect testing), upper={:.6} (untested)\n",
-        bounds.lower, bounds.upper
-    );
-
-    let threads = diversim_sim::runner::default_threads();
-    let mut table = Table::new(
-        "measured system pfd across the (detect, fix) grid",
-        &[
-            "detect p",
-            "fix p",
-            "system pfd",
-            "position in [lower, upper]",
-        ],
-    );
-
-    let mut grid_means: Vec<(f64, f64, f64)> = Vec::new();
-    for &detect in &[0.25, 0.5, 0.75, 1.0] {
-        for &fix in &[0.25, 0.5, 0.75, 1.0] {
-            let est = estimate_pair(
-                &w.pop_a,
-                &w.pop_a,
-                &w.generator,
-                suite_size,
-                CampaignRegime::SharedSuite,
-                &ImperfectOracle::new(detect).expect("valid"),
-                &ImperfectFixer::new(fix).expect("valid"),
-                &w.profile,
-                30_000,
-                (detect * 100.0) as u64 * 1000 + (fix * 100.0) as u64,
-                threads,
-            );
-            let pos = if bounds.width() > 0.0 {
-                (est.system_pfd.mean - bounds.lower) / bounds.width()
-            } else {
-                0.0
-            };
-            table.row(&[
-                format!("{detect:.2}"),
-                format!("{fix:.2}"),
-                format!("{:.6}", est.system_pfd.mean),
-                format!("{pos:.3}"),
-            ]);
-            let slack = 4.0 * est.system_pfd.standard_error;
-            assert!(
-                est.system_pfd.mean >= bounds.lower - slack
-                    && est.system_pfd.mean <= bounds.upper + slack,
-                "({detect},{fix}) escaped the bounds"
-            );
-            grid_means.push((detect, fix, est.system_pfd.mean));
-        }
-    }
-
-    table.emit("e09_imperfect");
-
-    // Monotonicity: better detection/fixing never hurts (at fixed other
-    // parameter, statistically).
-    let at = |d: f64, f: f64| {
-        grid_means
-            .iter()
-            .find(|(gd, gf, _)| (gd - d).abs() < 1e-9 && (gf - f).abs() < 1e-9)
-            .map(|(_, _, v)| *v)
-            .expect("grid point")
-    };
-    assert!(
-        at(1.0, 1.0) <= at(0.25, 0.25),
-        "perfect testing should beat weak testing"
-    );
-    println!(
-        "Claim reproduced: every imperfect regime lies between the perfect-testing\n\
-         lower bound and the untested upper bound, moving monotonically toward the\n\
-         lower bound as detection and fixing improve."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e09")
 }

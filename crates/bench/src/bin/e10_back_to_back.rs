@@ -1,134 +1,7 @@
-//! E10 — back-to-back testing, §4.2.
-//!
-//! Paper claims: (i) if coincident failures never look identical,
-//! back-to-back testing equals perfect-oracle shared-suite testing; (ii)
-//! in the worst case (all coincident failures identical) "back-to-back
-//! testing does not improve system reliability at all — it only improves
-//! the reliability of the individual versions on demands which have no
-//! effect on system reliability"; (iii) after exhaustive worst-case
-//! testing "the versions would fail identically and the system behave
-//! exactly as each version does".
+//! Thin wrapper: runs the registered `e10_back_to_back` experiment through the
+//! shared engine (`diversim run e10`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::small_graded;
-use diversim_bench::Table;
-use diversim_core::bounds::BackToBackBounds;
-use diversim_core::system::pair_pfd;
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::{IdenticalFailureModel, PerfectOracle};
-use diversim_testing::process::back_to_back_debug;
-use diversim_testing::suite::TestSuite;
-use diversim_testing::suite_population::enumerate_iid_suites;
-use diversim_universe::population::Population;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn main() {
-    println!("E10: back-to-back testing between the §4.2 bounds\n");
-    let w = small_graded();
-    let suite_size = 5;
-    let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
-    let bounds = BackToBackBounds::compute(&w.pop_a, &w.pop_a, &m, &w.profile);
-    println!(
-        "bounds (n={suite_size}): optimistic={:.6} (γ=0, = eq 23), pessimistic={:.6} (γ=1, untested)\n",
-        bounds.optimistic, bounds.pessimistic
-    );
-
-    let threads = diversim_sim::runner::default_threads();
-    let mut table = Table::new(
-        "γ sweep (singleton world)",
-        &["gamma", "system pfd", "version pfd", "undetected share"],
-    );
-
-    let mut prev = -1.0;
-    for step in 0..=5 {
-        let gamma = step as f64 / 5.0;
-        let identical = match step {
-            0 => IdenticalFailureModel::Never,
-            5 => IdenticalFailureModel::Always,
-            _ => IdenticalFailureModel::Bernoulli(gamma),
-        };
-        let est = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            suite_size,
-            CampaignRegime::BackToBack(identical),
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            40_000,
-            1300 + step as u64,
-            threads,
-        );
-        table.row(&[
-            format!("{gamma:.1}"),
-            format!("{:.6}", est.system_pfd.mean),
-            format!("{:.6}", est.version_a_pfd.mean),
-            format!("{gamma:.1}"),
-        ]);
-        let slack = 4.0 * est.system_pfd.standard_error;
-        assert!(
-            est.system_pfd.mean >= bounds.optimistic - slack
-                && est.system_pfd.mean <= bounds.pessimistic + slack,
-            "γ={gamma} escaped the bounds"
-        );
-        assert!(
-            est.system_pfd.mean >= prev - slack,
-            "system pfd must rise with γ"
-        );
-        prev = est.system_pfd.mean;
-    }
-    table.emit("e10_gamma_sweep");
-
-    // Claim (iii): exhaustive pessimistic b2b — versions converge to the
-    // coincident-failure set; system pfd unchanged; each version's pfd
-    // equals the system's.
-    let model = w.pop_a.model().clone();
-    let exhaustive = TestSuite::exhaustive(model.space());
-    let mut rng = StdRng::seed_from_u64(77);
-    let mut checked = 0;
-    for _ in 0..2_000 {
-        let v1 = w.pop_a.sample(&mut rng);
-        let v2 = w.pop_a.sample(&mut rng);
-        let before = pair_pfd(&v1, &v2, &model, &w.profile);
-        let out = back_to_back_debug(
-            &v1,
-            &v2,
-            &exhaustive,
-            &model,
-            IdenticalFailureModel::Always,
-            &PerfectFixer::new(),
-            &mut rng,
-        );
-        let after = pair_pfd(&out.first, &out.second, &model, &w.profile);
-        assert!(
-            (after - before).abs() < 1e-15,
-            "pessimistic b2b changed the system pfd"
-        );
-        // Limit claim: both versions now fail exactly on the coincident
-        // set, so each version's pfd equals the system pfd.
-        let va_pfd = out.first.pfd(&model, &w.profile);
-        let vb_pfd = out.second.pfd(&model, &w.profile);
-        assert!(
-            (va_pfd - after).abs() < 1e-15,
-            "version A != system in the limit"
-        );
-        assert!(
-            (vb_pfd - after).abs() < 1e-15,
-            "version B != system in the limit"
-        );
-        checked += 1;
-    }
-    println!(
-        "exhaustive pessimistic b2b on {checked} random pairs: system pfd unchanged,\n\
-         and each version's pfd collapsed onto the system pfd — \"the versions\n\
-         would fail identically and the system behave exactly as each version does\".\n"
-    );
-    println!(
-        "Claim reproduced: γ=0 attains the optimistic (perfect-oracle) bound, γ=1\n\
-         the pessimistic bound; version reliability keeps improving while system\n\
-         reliability gains vanish."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e10")
 }

@@ -1,117 +1,7 @@
-//! E11 — reliability growth of single version vs 1-out-of-2 system
-//! (replication of the paper's reference \[5\], Djambazov & Popov ISSRE'95).
-//!
-//! The paper cites simulation showing "how the reliabilities of the
-//! versions and of the system improve as a function of testing effort".
-//! The experiment produces those growth curves under both suite regimes,
-//! with the diversity gain (version pfd / system pfd) as the headline
-//! series: under independent suites diversity is preserved as reliability
-//! grows; under the shared suite the gain stagnates.
+//! Thin wrapper: runs the registered `e11_growth` experiment through the
+//! shared engine (`diversim run e11`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::medium_cascade;
-use diversim_bench::Table;
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::growth::replicated_growth;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::PerfectOracle;
-
-fn main() {
-    println!("E11: reliability growth — single version vs 1-out-of-2 system (ref [5])\n");
-    let w = medium_cascade(11);
-    let threads = diversim_sim::runner::default_threads();
-    let replications = 6_000;
-    let checkpoints = [0usize, 5, 10, 20, 40, 80, 160, 320, 640];
-
-    let ind = replicated_growth(
-        &w.pop_a,
-        &w.pop_a,
-        &w.generator,
-        &checkpoints,
-        CampaignRegime::IndependentSuites,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &w.profile,
-        replications,
-        1111,
-        threads,
-    );
-    let sh = replicated_growth(
-        &w.pop_a,
-        &w.pop_a,
-        &w.generator,
-        &checkpoints,
-        CampaignRegime::SharedSuite,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &w.profile,
-        replications,
-        2222,
-        threads,
-    );
-
-    let mut table = Table::new(
-        &format!("growth curves ({replications} replications, {})", w.label),
-        &[
-            "demands",
-            "version (ind)",
-            "system (ind)",
-            "gain (ind)",
-            "version (shared)",
-            "system (shared)",
-            "gain (shared)",
-        ],
-    );
-    for (i, &n) in checkpoints.iter().enumerate() {
-        let gain_ind = ind.version_a[i].mean() / ind.system[i].mean().max(1e-12);
-        let gain_sh = sh.version_a[i].mean() / sh.system[i].mean().max(1e-12);
-        table.row(&[
-            n.to_string(),
-            format!("{:.6}", ind.version_a[i].mean()),
-            format!("{:.6}", ind.system[i].mean()),
-            format!("{gain_ind:.2}"),
-            format!("{:.6}", sh.version_a[i].mean()),
-            format!("{:.6}", sh.system[i].mean()),
-            format!("{gain_sh:.2}"),
-        ]);
-    }
-    table.emit("e11_growth");
-
-    // Qualitative claims.
-    let last = checkpoints.len() - 1;
-    assert!(
-        ind.system[last].mean() < ind.system[0].mean(),
-        "no growth under independent suites"
-    );
-    assert!(
-        sh.system[last].mean() < sh.system[0].mean(),
-        "no growth under shared suite"
-    );
-    // Version-level growth is regime-independent (same marginal process).
-    for i in 0..checkpoints.len() {
-        let d = (ind.version_a[i].mean() - sh.version_a[i].mean()).abs();
-        let se = ind.version_a[i].standard_error() + sh.version_a[i].standard_error();
-        assert!(
-            d < 5.0 * se + 1e-9,
-            "version growth differed between regimes at {i}"
-        );
-    }
-    // System under shared suite lags behind independent suites late in
-    // testing.
-    assert!(
-        sh.system[last].mean() > ind.system[last].mean(),
-        "shared suite should lag at high testing effort"
-    );
-    // Diversity gain: grows under independent suites, stalls under shared.
-    let gain_ind_last = ind.version_a[last].mean() / ind.system[last].mean().max(1e-12);
-    let gain_sh_last = sh.version_a[last].mean() / sh.system[last].mean().max(1e-12);
-    assert!(
-        gain_ind_last > gain_sh_last,
-        "diversity gain should favour independent suites"
-    );
-
-    println!(
-        "Claim reproduced: versions grow identically under both regimes, but the\n\
-         system's benefit from diversity keeps growing only when the suites are\n\
-         independent — with a shared suite the versions become 'more alike'."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e11")
 }

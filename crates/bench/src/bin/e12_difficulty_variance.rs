@@ -1,116 +1,7 @@
-//! E12 — does testing reduce the variability of difficulty? (§3
-//! discussion).
-//!
-//! The paper notes that if testing made `ζ(x)` constant across demands,
-//! post-testing failures would be unconditionally independent; "at the
-//! very least it seems desirable to reduce the variability of ζ(x). …
-//! The other extreme case, increase of variability as a result of the
-//! testing, is also possible." The experiment measures `Var_Q(Θ)` before
-//! vs `Var_Q(Θ_T)` after testing across worlds and suite sizes, and
-//! exhibits both directions — including the *relative* variability
-//! (coefficient of variation), which is what drives the dependence ratio.
+//! Thin wrapper: runs the registered `e12_difficulty_variance` experiment through the
+//! shared engine (`diversim run e12`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::{small_graded, World};
-use diversim_bench::Table;
-use diversim_core::difficulty::DifficultyShift;
-use diversim_testing::suite_population::enumerate_iid_suites;
-use diversim_universe::demand::DemandSpace;
-use diversim_universe::fault::FaultModelBuilder;
-use diversim_universe::population::BernoulliPopulation;
-use diversim_universe::profile::UsageProfile;
-use std::sync::Arc;
-
-/// A world where operational testing *increases* absolute difficulty
-/// variance: one very hard, rarely-used demand and several easy, heavily
-/// used ones. Testing removes the easy mass quickly while the hard
-/// demand's difficulty barely moves, spreading the ζ values apart...
-/// relative to their shrunken mean.
-fn rare_hard_world() -> World {
-    let space = DemandSpace::new(5).expect("non-empty");
-    let model = Arc::new(
-        FaultModelBuilder::new(space)
-            .singleton_faults()
-            .build()
-            .expect("valid"),
-    );
-    let pop =
-        BernoulliPopulation::new(Arc::clone(&model), vec![0.3, 0.3, 0.3, 0.3, 0.9]).expect("valid");
-    // Demand 4 (the hard one) is almost never exercised.
-    let profile = UsageProfile::from_weights(space, vec![0.2475, 0.2475, 0.2475, 0.2475, 0.01])
-        .expect("valid");
-    World {
-        pop_a: pop.clone(),
-        pop_b: pop,
-        generator: diversim_testing::generation::ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "rare-hard (hard demand hidden from the operational profile)",
-    }
-}
-
-fn main() {
-    println!("E12: how testing reshapes the variability of difficulty (§3 discussion)\n");
-    let mut table = Table::new(
-        "difficulty moments before/after testing",
-        &[
-            "world",
-            "n",
-            "E[theta]",
-            "Var(theta)",
-            "E[zeta]",
-            "Var(zeta)",
-            "CV before",
-            "CV after",
-        ],
-    );
-
-    let mut saw_decrease = false;
-    let mut saw_cv_increase = false;
-
-    for (world, sizes) in [
-        (small_graded(), vec![1usize, 2, 4, 8]),
-        (rare_hard_world(), vec![1usize, 2, 4, 8, 16]),
-    ] {
-        for &n in &sizes {
-            let m = enumerate_iid_suites(&world.profile, n, 1 << 16).expect("enumerable");
-            let shift = DifficultyShift::compute(&world.pop_a, &m, &world.profile);
-            let cv_before = shift.var_before.sqrt() / shift.mean_before.max(1e-12);
-            let cv_after = shift.var_after.sqrt() / shift.mean_after.max(1e-12);
-            table.row(&[
-                world.label.split(' ').next().expect("label").to_string(),
-                n.to_string(),
-                format!("{:.6}", shift.mean_before),
-                format!("{:.6}", shift.var_before),
-                format!("{:.6}", shift.mean_after),
-                format!("{:.6}", shift.var_after),
-                format!("{cv_before:.3}"),
-                format!("{cv_after:.3}"),
-            ]);
-            assert!(
-                shift.mean_after <= shift.mean_before + 1e-15,
-                "mean difficulty rose"
-            );
-            if shift.variance_reduced() {
-                saw_decrease = true;
-            }
-            if cv_after > cv_before {
-                saw_cv_increase = true;
-            }
-        }
-    }
-
-    table.emit("e12_difficulty_variance");
-    assert!(
-        saw_decrease,
-        "expected at least one variance-reducing configuration"
-    );
-    assert!(
-        saw_cv_increase,
-        "expected at least one configuration with increased relative variability"
-    );
-    println!(
-        "Claim reproduced: testing always lowers mean difficulty, and can lower\n\
-         the absolute variance of difficulty — but the *relative* variability\n\
-         (and with it the dependence ratio E[Θ_T²]/E[Θ_T]²) can grow, the\n\
-         paper's \"other extreme case\"."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e12")
 }

@@ -1,120 +1,7 @@
-//! E15 — stopping-rule-driven testing (the §2 framing, paper ref \[3\]).
-//!
-//! §2: suite sizes are chosen "with respect to some stopping rule which
-//! gives the tester sufficiently high confidence that the goal … has been
-//! achieved". The experiment runs adaptive campaigns that stop when the
-//! Littlewood–Wright-style failure-free rule fires, and measures what the
-//! rule actually delivers: demands spent, achieved pfd, and how the
-//! guarantee degrades when the oracle is fallible (§4.1's warning — the
-//! rule only sees *detected* failures).
+//! Thin wrapper: runs the registered `e15_stopping` experiment through the
+//! shared engine (`diversim run e15`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::medium_cascade;
-use diversim_bench::Table;
-use diversim_sim::adaptive::adaptive_study;
-use diversim_stats::stopping::{failure_free_tests_required, StoppingRule};
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::{ImperfectOracle, PerfectOracle};
-
-fn main() {
-    println!("E15: adaptive campaigns under conservative stopping rules (§2, ref [3])\n");
-    let w = medium_cascade(11);
-    let threads = diversim_sim::runner::default_threads();
-    let replications = 2_000;
-    let confidence = 0.95;
-
-    let mut table = Table::new(
-        "failure-free rule calibration (perfect oracle)",
-        &[
-            "target pfd",
-            "min run",
-            "mean demands",
-            "mean achieved pfd",
-            "P(met target)",
-        ],
-    );
-    for &target in &[0.05, 0.02, 0.01, 0.005] {
-        let rule = StoppingRule::FailureFree { target, confidence };
-        let study = adaptive_study(
-            &w.pop_a,
-            &w.profile,
-            &w.profile,
-            rule,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            100_000,
-            target,
-            replications,
-            (target * 1e4) as u64,
-            threads,
-        );
-        let min_run = failure_free_tests_required(target, confidence).expect("valid");
-        table.row(&[
-            format!("{target}"),
-            min_run.to_string(),
-            format!("{:.1}", study.demands.mean()),
-            format!("{:.6}", study.achieved_pfd.mean()),
-            format!("{:.3}", study.target_met_rate),
-        ]);
-        assert!(
-            study.rule_fired_rate > 0.99,
-            "rule failed to fire at target {target}"
-        );
-        // Debugging *while* demonstrating: the delivered assurance must be
-        // at least the nominal confidence (testing only improves things
-        // after a failure resets the run).
-        assert!(
-            study.target_met_rate >= confidence - 0.03,
-            "calibration broken at target {target}: {}",
-            study.target_met_rate
-        );
-    }
-    table.emit("e15_calibration");
-
-    // §4.1 interaction: a fallible oracle silently weakens the guarantee.
-    let target = 0.01;
-    let rule = StoppingRule::FailureFree { target, confidence };
-    let mut table2 = Table::new(
-        "same rule under imperfect detection (target 0.01 @ 95%)",
-        &[
-            "detect prob",
-            "mean demands",
-            "mean achieved pfd",
-            "P(met target)",
-        ],
-    );
-    let mut last_met = 2.0;
-    for &detect in &[1.0, 0.75, 0.5, 0.25, 0.1] {
-        let study = adaptive_study(
-            &w.pop_a,
-            &w.profile,
-            &w.profile,
-            rule,
-            &ImperfectOracle::new(detect).expect("valid"),
-            &PerfectFixer::new(),
-            100_000,
-            target,
-            replications,
-            9_000 + (detect * 100.0) as u64,
-            threads,
-        );
-        table2.row(&[
-            format!("{detect}"),
-            format!("{:.1}", study.demands.mean()),
-            format!("{:.6}", study.achieved_pfd.mean()),
-            format!("{:.3}", study.target_met_rate),
-        ]);
-        assert!(
-            study.target_met_rate <= last_met + 0.05,
-            "weaker detection should not improve calibration"
-        );
-        last_met = study.target_met_rate;
-    }
-    table2.emit("e15_imperfect_oracle");
-
-    println!(
-        "Claim reproduced: with a perfect oracle the failure-free rule delivers\n\
-         (at least) its nominal confidence; undetected failures count as\n\
-         successes, so a fallible oracle silently destroys the guarantee —\n\
-         the §4.1 uncertainty made operational."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e15")
 }

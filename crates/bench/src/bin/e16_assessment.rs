@@ -1,111 +1,7 @@
-//! E16 — the assessment error of assuming independence after shared-suite
-//! testing, with the exact imperfect-repair closed forms.
-//!
-//! The practical teeth of eqs (20)–(23): "(20) and (21) are important
-//! because they preclude using the EL and LM models (which assume
-//! conditional independence of failures on each demand x) once a two
-//! channel system is expected to be tested with the same test suite,
-//! which appears to be a common practice. … (20) asserts that testing
-//! both versions on the same suite implies on average that an (incorrect)
-//! assumption of conditional independence will be too optimistic."
-//!
-//! The experiment quantifies the under-estimation factor an assessor
-//! incurs by predicting the system pfd as `(mean version pfd)²` after a
-//! shared-suite campaign, using this repository's exact closed forms for
-//! *imperfect* per-execution repair (`ρ = detect·fix`, singleton worlds)
-//! — an analytical extension beyond the paper's §4.1 bounds.
+//! Thin wrapper: runs the registered `e16_assessment` experiment through the
+//! shared engine (`diversim run e16`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
 
-use diversim_bench::worlds::small_graded;
-use diversim_bench::Table;
-use diversim_core::imperfect::{marginal_imperfect_iid, zeta_imperfect_iid};
-use diversim_core::testing_effect::TestingRegime;
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_testing::fixing::ImperfectFixer;
-use diversim_testing::oracle::ImperfectOracle;
-
-fn main() {
-    println!("E16: how wrong is an independence-based assessment? (eqs 20–23 + exact ρ forms)\n");
-    let w = small_graded();
-    let threads = diversim_sim::runner::default_threads();
-
-    let mut table = Table::new(
-        "true shared-suite system pfd vs independence prediction (exact closed forms)",
-        &[
-            "n",
-            "rho",
-            "true (shared)",
-            "indep prediction",
-            "underestimate x",
-            "MC check",
-        ],
-    );
-
-    for &(n, rho) in &[
-        (4usize, 1.0),
-        (8, 1.0),
-        (16, 1.0),
-        (8, 0.5),
-        (16, 0.5),
-        (16, 0.25),
-    ] {
-        let truth = marginal_imperfect_iid(
-            &w.pop_a,
-            &w.pop_a,
-            &w.profile,
-            &w.profile,
-            n,
-            rho,
-            TestingRegime::SharedSuite,
-        )
-        .expect("singleton world");
-        // The independence-based assessor squares the mean tested pfd.
-        let mean_pfd = w.profile.expect(|x| {
-            zeta_imperfect_iid(&w.pop_a, x, &w.profile, n, rho).expect("singleton world")
-        });
-        let prediction = mean_pfd * mean_pfd;
-        let factor = truth / prediction.max(1e-300);
-
-        // Monte Carlo: same regime via an imperfect oracle with d = rho
-        // and a perfect fixer (rho = d·r).
-        let mc = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::SharedSuite,
-            &ImperfectOracle::new(rho).expect("valid"),
-            &ImperfectFixer::new(1.0).expect("valid"),
-            &w.profile,
-            30_000,
-            1600 + n as u64 + (rho * 100.0) as u64,
-            threads,
-        );
-
-        table.row(&[
-            n.to_string(),
-            format!("{rho}"),
-            format!("{truth:.6}"),
-            format!("{prediction:.6}"),
-            format!("{factor:.1}"),
-            format!("{:.6}", mc.system_pfd.mean),
-        ]);
-        assert!(
-            truth >= prediction - 1e-15,
-            "independence prediction was conservative?"
-        );
-        assert!(
-            (mc.system_pfd.mean - truth).abs() < 4.0 * mc.system_pfd.standard_error + 1e-9,
-            "MC disagrees with the closed form at n={n}, rho={rho}"
-        );
-    }
-
-    table.emit("e16_assessment");
-    println!(
-        "Claim reproduced: an independence-based assessment is *always*\n\
-         optimistic after shared-suite testing, by a factor that grows with\n\
-         testing effort (and shrinks with repair sloppiness ρ) — exactly the\n\
-         misuse of EL/LM the paper warns against, here with closed-form truth\n\
-         values even for imperfect testing."
-    );
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e16")
 }

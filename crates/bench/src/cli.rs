@@ -1,0 +1,332 @@
+//! The `diversim` command-line interface, and the entry point shared by
+//! the thin `eNN_*` experiment binaries.
+//!
+//! ```console
+//! $ diversim list
+//! $ diversim run e01
+//! $ diversim run --all --fast --threads 4 --out results/
+//! $ diversim docs --write
+//! ```
+//!
+//! Exit codes: `0` success, `1` at least one reproduction check failed,
+//! `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use diversim_sim::runner::default_threads;
+
+use crate::engine::{run_experiment, write_outcome, RunOutcome};
+use crate::registry;
+use crate::report::Table;
+use crate::spec::{ExperimentSpec, Profile};
+
+const USAGE: &str = "diversim — unified driver for the 16 Popov & Littlewood reproductions
+
+USAGE:
+    diversim list
+    diversim run [EXPERIMENT...] [--all] [--smoke|--fast|--full]
+                 [--threads N] [--out DIR] [--quiet]
+    diversim docs [--write]
+    diversim help
+
+EXPERIMENT may be a slug (e01), a binary name (e01_el_model) or an id (1).
+
+OPTIONS:
+    --all          run every registered experiment
+    --smoke        tiny replication budgets; checks recorded, not enforced
+    --fast         1/10 replication budgets (the CI profile)
+    --full         paper-faithful replication budgets [default]
+    --threads N    worker threads (default: available CPUs, capped at 16)
+    --out DIR      write one JSON and one CSV result file per experiment
+    --quiet        suppress experiment narration and tables
+";
+
+/// Options shared by `diversim run` and the standalone binaries.
+#[derive(Debug, Clone)]
+struct RunOptions {
+    profile: Profile,
+    threads: usize,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            profile: Profile::Full,
+            threads: default_threads(),
+            out: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_run_args(args: &[String]) -> Result<(Vec<String>, bool, RunOptions), String> {
+    let mut keys = Vec::new();
+    let mut all = false;
+    let mut opts = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--smoke" => opts.profile = Profile::Smoke,
+            "--fast" => opts.profile = Profile::Fast,
+            "--full" => opts.profile = Profile::Full,
+            "--quiet" => opts.quiet = true,
+            "--threads" => {
+                let value = it.next().ok_or("--threads needs a value")?;
+                opts.threads = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid thread count: {value}"))?;
+            }
+            "--out" => {
+                let value = it.next().ok_or("--out needs a directory")?;
+                opts.out = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
+            key => keys.push(key.to_string()),
+        }
+    }
+    Ok((keys, all, opts))
+}
+
+fn resolve(keys: &[String], all: bool) -> Result<Vec<&'static ExperimentSpec>, String> {
+    if all {
+        if !keys.is_empty() {
+            return Err("pass either experiment names or --all, not both".into());
+        }
+        return Ok(registry::all().to_vec());
+    }
+    if keys.is_empty() {
+        return Err("specify at least one experiment, or --all (see `diversim list`)".into());
+    }
+    keys.iter()
+        .map(|key| {
+            registry::find(key)
+                .ok_or_else(|| format!("unknown experiment: {key} (see `diversim list`)"))
+        })
+        .collect()
+}
+
+fn run_specs(specs: &[&'static ExperimentSpec], opts: &RunOptions) -> ExitCode {
+    let started = Instant::now();
+    let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(specs.len());
+    for (position, spec) in specs.iter().enumerate() {
+        if !opts.quiet && specs.len() > 1 {
+            println!(
+                "━━━ {} ({}/{}) ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━",
+                spec.name,
+                position + 1,
+                specs.len()
+            );
+        }
+        let outcome = run_experiment(spec, opts.profile, opts.threads, opts.quiet);
+        if let Some(dir) = &opts.out {
+            match write_outcome(dir, &outcome) {
+                Ok((json_path, csv_path)) => {
+                    if !opts.quiet {
+                        println!("results: {} + {}", json_path.display(), csv_path.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: could not write results for {}: {e}", spec.name);
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        outcomes.push(outcome);
+    }
+
+    let mut summary = Table::new(
+        &format!(
+            "campaign summary ({} profile, {} threads)",
+            opts.profile.name(),
+            opts.threads
+        ),
+        &["experiment", "checks", "failed", "status", "wall"],
+    );
+    let mut failed_experiments = 0;
+    for outcome in &outcomes {
+        let failed = outcome.checks.iter().filter(|c| !c.passed).count();
+        if !outcome.passed {
+            failed_experiments += 1;
+        }
+        summary.row(&[
+            outcome.spec.name.to_string(),
+            outcome.checks.len().to_string(),
+            failed.to_string(),
+            if outcome.passed { "ok" } else { "FAILED" }.to_string(),
+            format!("{:.2}s", outcome.wall.as_secs_f64()),
+        ]);
+    }
+    println!("{}", summary.render());
+    println!(
+        "{} experiment(s), {} failed, {:.2}s total",
+        outcomes.len(),
+        failed_experiments,
+        started.elapsed().as_secs_f64()
+    );
+    for outcome in &outcomes {
+        for check in outcome.checks.iter().filter(|c| !c.passed) {
+            eprintln!("FAILED [{}]: {}", outcome.spec.name, check.label);
+        }
+    }
+    if failed_experiments > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn list() -> ExitCode {
+    let mut table = Table::new(
+        "registered experiments",
+        &["slug", "binary", "paper result", "title", "full MC budget"],
+    );
+    for spec in registry::all() {
+        table.row(&[
+            spec.slug.to_string(),
+            spec.name.to_string(),
+            spec.paper_ref.to_string(),
+            spec.title.to_string(),
+            if spec.full_replications == 0 {
+                "exact".to_string()
+            } else {
+                spec.full_replications.to_string()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("run one with `diversim run <slug>`; all with `diversim run --all --fast`.");
+    ExitCode::SUCCESS
+}
+
+fn docs(args: &[String]) -> ExitCode {
+    let md = registry::experiments_md();
+    match args {
+        [] => {
+            print!("{md}");
+            ExitCode::SUCCESS
+        }
+        [flag] if flag == "--write" => {
+            // Anchor at the workspace root (two levels above this
+            // crate's manifest) so the command works from any cwd.
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+            if let Err(e) = std::fs::write(path, &md) {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("wrote {path} ({} bytes)", md.len());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: diversim docs [--write]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Entry point of the `diversim` binary.
+pub fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first().map(|(cmd, rest)| (cmd.as_str(), rest)) {
+        Some(("list", [])) => list(),
+        Some(("list", _)) => {
+            eprintln!("usage: diversim list");
+            ExitCode::from(2)
+        }
+        Some(("run", rest)) => match parse_run_args(rest)
+            .and_then(|(keys, all, opts)| resolve(&keys, all).map(|specs| (specs, opts)))
+        {
+            Ok((specs, opts)) => run_specs(&specs, &opts),
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+        },
+        Some(("docs", rest)) => docs(rest),
+        Some(("help", _)) | Some(("--help", _)) | Some(("-h", _)) | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some((other, _)) => {
+            eprintln!("error: unknown command: {other}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Entry point shared by the thin `eNN_*` binaries: runs one experiment
+/// (at `--full` effort unless flags say otherwise), forwarding any CLI
+/// flags of `diversim run`.
+pub fn experiment_binary_main(key: &str) -> ExitCode {
+    let spec = registry::find(key).expect("binary key must be registered");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_run_args(&args) {
+        Ok((keys, all, opts)) if keys.is_empty() && !all => run_specs(&[spec], &opts),
+        Ok(_) => {
+            eprintln!(
+                "error: {} runs exactly one experiment; use the `diversim` binary to select others",
+                spec.name
+            );
+            ExitCode::from(2)
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_profile_threads_out_and_keys() {
+        let (keys, all, opts) = parse_run_args(&strings(&[
+            "e01",
+            "--fast",
+            "--threads",
+            "3",
+            "--out",
+            "r",
+            "e02",
+        ]))
+        .unwrap();
+        assert_eq!(keys, ["e01", "e02"]);
+        assert!(!all);
+        assert_eq!(opts.profile, Profile::Fast);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.out.as_deref(), Some(std::path::Path::new("r")));
+        assert!(!opts.quiet);
+    }
+
+    #[test]
+    fn rejects_bad_flags_and_values() {
+        assert!(parse_run_args(&strings(&["--bogus"])).is_err());
+        assert!(parse_run_args(&strings(&["--threads"])).is_err());
+        assert!(parse_run_args(&strings(&["--threads", "0"])).is_err());
+        assert!(parse_run_args(&strings(&["--threads", "x"])).is_err());
+        assert!(parse_run_args(&strings(&["--out"])).is_err());
+    }
+
+    #[test]
+    fn resolve_handles_all_and_unknown() {
+        assert_eq!(resolve(&[], true).unwrap().len(), 16);
+        assert!(resolve(&strings(&["e01"]), true).is_err());
+        assert!(resolve(&[], false).is_err());
+        assert!(resolve(&strings(&["e99"]), false).is_err());
+        let specs = resolve(&strings(&["e02", "16"]), false).unwrap();
+        assert_eq!(specs[0].id, 2);
+        assert_eq!(specs[1].id, 16);
+    }
+}

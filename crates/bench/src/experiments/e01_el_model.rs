@@ -1,0 +1,102 @@
+//! E1 — Eckhardt–Lee model, equations (6)/(7).
+//!
+//! Paper claim: `P(both fail on X) = E[Θ]² + Var(Θ) ≥ E[Θ]²`, with
+//! equality iff the difficulty function is constant. The experiment sweeps
+//! the difficulty spread at fixed mean difficulty and reports the joint
+//! pfd, its decomposition and the dependence ratio, cross-checked by
+//! Monte Carlo sampling of version pairs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use diversim_core::el::ElAnalysis;
+use diversim_sim::runner::parallel_accumulate;
+use diversim_stats::seed::SeedSequence;
+use diversim_universe::population::Population;
+
+use crate::report::Table;
+use crate::spec::{ExperimentSpec, RunContext};
+use crate::worlds::graded_with_spread;
+
+/// Declarative description of E1.
+pub static SPEC: ExperimentSpec = ExperimentSpec {
+    id: 1,
+    slug: "e01",
+    name: "e01_el_model",
+    title: "Eckhardt–Lee: variance of difficulty drives coincident failure",
+    paper_ref: "eqs (6)–(7)",
+    claim: "joint pfd = E[Θ]² + Var(Θ) ≥ E[Θ]²; equality iff difficulty is constant",
+    sweep: "difficulty spread ∈ {0.0, 0.2, …, 1.0} at fixed mean 0.3",
+    full_replications: 60_000,
+    run,
+};
+
+fn run(ctx: &mut RunContext) {
+    ctx.note("E1: Eckhardt–Lee — variance of difficulty drives coincident failure (eqs 6–7)\n");
+    let mut table = Table::new(
+        "joint pfd vs difficulty spread (mean difficulty fixed at 0.3)",
+        &[
+            "spread",
+            "E[theta]",
+            "Var(theta)",
+            "joint=E[th^2]",
+            "indep=E[th]^2",
+            "ratio",
+            "MC joint",
+        ],
+    );
+    let replications = ctx.replications(SPEC.full_replications);
+
+    for &spread in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let world = graded_with_spread(spread);
+        let el = ElAnalysis::compute(&world.pop_a, &world.profile);
+
+        // Monte Carlo: draw version pairs, average the exact conditional
+        // joint pfd of each pair.
+        let seeds = SeedSequence::new(1000 + (spread * 10.0) as u64);
+        let model = world.pop_a.model().clone();
+        let acc = parallel_accumulate(replications, seeds, ctx.threads(), |_, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v1 = world.pop_a.sample(&mut rng);
+            let v2 = world.pop_a.sample(&mut rng);
+            diversim_core::system::pair_pfd(&v1, &v2, &model, &world.profile)
+        });
+
+        table.row(&[
+            format!("{spread:.1}"),
+            format!("{:.6}", el.mean_theta),
+            format!("{:.6}", el.var_theta),
+            format!("{:.6}", el.joint_pfd),
+            format!("{:.6}", el.independent_pfd),
+            format!("{:.3}", el.dependence_ratio().unwrap_or(f64::NAN)),
+            format!("{:.6}", acc.mean()),
+        ]);
+
+        // Reproduction checks.
+        ctx.check(
+            el.joint_pfd >= el.independent_pfd - 1e-15,
+            format!("EL inequality holds at spread {spread}"),
+        );
+        if spread == 0.0 {
+            ctx.check(
+                (el.joint_pfd - el.independent_pfd).abs() < 1e-12,
+                "equality case under constant difficulty",
+            );
+        } else {
+            ctx.check(
+                el.joint_pfd > el.independent_pfd,
+                format!("strict inequality at spread {spread}"),
+            );
+        }
+        ctx.check(
+            (acc.mean() - el.joint_pfd).abs() < 4.0 * acc.standard_error() + 1e-9,
+            format!("MC agrees with exact at spread {spread}"),
+        );
+    }
+
+    ctx.emit(table, "e01_el_model");
+    ctx.note(
+        "Claim reproduced: joint pfd = E[Θ]² + Var(Θ); independence only under\n\
+         constant difficulty, and the penalty grows with the difficulty variance.",
+    );
+}

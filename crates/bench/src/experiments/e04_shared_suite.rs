@@ -1,0 +1,98 @@
+//! E4 — the shared-suite coupling, equation (20).
+//!
+//! Paper claim: testing both versions on the same suite makes the joint
+//! probability on each demand `ζ(x)² + Var_Ξ(ξ(x,T))` — conditional
+//! independence is destroyed, and an independence assumption is
+//! optimistic. The experiment prints the per-demand decomposition and the
+//! relative error an (incorrect) independence assumption would make.
+
+use diversim_core::difficulty::zeta;
+use diversim_core::testing_effect::joint_shared_suite;
+use diversim_exact::brute;
+use diversim_testing::suite_population::enumerate_iid_suites;
+use diversim_universe::population::Population;
+
+use crate::report::Table;
+use crate::spec::{ExperimentSpec, RunContext};
+use crate::worlds::small_graded;
+
+/// Declarative description of E4.
+pub static SPEC: ExperimentSpec = ExperimentSpec {
+    id: 4,
+    slug: "e04",
+    name: "e04_shared_suite",
+    title: "The shared suite induces per-demand failure dependence",
+    paper_ref: "eq (20)",
+    claim: "per demand, shared-suite joint = ζ(x)² + Var_Ξ(ξ(x,T)) ≥ ζ(x)²",
+    sweep: "all demands of the small-graded world, 3-demand shared suites",
+    full_replications: 0,
+    run,
+};
+
+fn run(ctx: &mut RunContext) {
+    ctx.note("E4: the shared suite induces per-demand failure dependence (eq 20)\n");
+    let w = small_graded();
+    let suite_size = 3;
+    let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 14).expect("enumerable");
+    let support = w.pop_a.enumerate(1 << 12).expect("enumerable");
+
+    let mut table = Table::new(
+        &format!("per-demand decomposition, {suite_size}-demand shared suites"),
+        &[
+            "demand",
+            "theta(x)",
+            "zeta(x)",
+            "zeta^2",
+            "Var_Xi(xi)",
+            "joint (eq 20)",
+            "brute",
+            "indep err %",
+        ],
+    );
+
+    for x in w.profile.space().iter() {
+        let theta = w.pop_a.theta(x);
+        let z = zeta(&w.pop_a, x, &m);
+        let joint = joint_shared_suite(&w.pop_a, &w.pop_a, &m, x);
+        let brute_joint = brute::joint_on_demand_shared(&support, &support, &m, w.pop_a.model(), x);
+        let err_pct = if joint.total() > 0.0 {
+            100.0 * joint.coupling / joint.total()
+        } else {
+            0.0
+        };
+        table.row(&[
+            x.to_string(),
+            format!("{theta:.6}"),
+            format!("{z:.6}"),
+            format!("{:.6}", joint.independent),
+            format!("{:.6}", joint.coupling),
+            format!("{:.6}", joint.total()),
+            format!("{brute_joint:.6}"),
+            format!("{err_pct:.1}"),
+        ]);
+        // eq 20 identities and inequality.
+        ctx.check(
+            (joint.total() - brute_joint).abs() < 1e-12,
+            format!("eq20 matches brute force at {x}"),
+        );
+        ctx.check(
+            (joint.independent - z * z).abs() < 1e-12,
+            format!("mean term is ζ² at {x}"),
+        );
+        ctx.check(
+            joint.coupling >= -1e-15,
+            format!("non-negative variance at {x}"),
+        );
+        ctx.check(
+            theta + 1e-15 >= z,
+            format!("testing does not worsen difficulty at {x}"),
+        );
+    }
+
+    ctx.emit(table, "e04_shared_suite");
+    ctx.note(
+        "Claim reproduced: on every demand the shared-suite joint exceeds ζ(x)²\n\
+         by exactly Var_Ξ(ξ(x,T)) ≥ 0; assuming conditional independence after\n\
+         shared-suite testing understates the joint probability.",
+    );
+}

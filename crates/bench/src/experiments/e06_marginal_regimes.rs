@@ -1,0 +1,127 @@
+//! E6 — the headline marginal result, equations (22) vs (23).
+//!
+//! Paper claim: "the use of a common test suite increases the marginal
+//! probability of system failure", by exactly `Σ_x Var_Ξ(ξ(x,T))Q(x) ≥ 0`.
+//! The experiment sweeps the suite size, reporting both regimes' system
+//! pfds (exact and Monte Carlo), the penalty, and the ratio.
+
+use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
+use diversim_sim::campaign::CampaignRegime;
+use diversim_sim::estimate::estimate_pair;
+use diversim_testing::fixing::PerfectFixer;
+use diversim_testing::oracle::PerfectOracle;
+use diversim_testing::suite_population::enumerate_iid_suites;
+
+use crate::report::Table;
+use crate::spec::{ExperimentSpec, RunContext};
+use crate::worlds::small_graded;
+
+/// Declarative description of E6.
+pub static SPEC: ExperimentSpec = ExperimentSpec {
+    id: 6,
+    slug: "e06",
+    name: "e06_marginal_regimes",
+    title: "Shared vs independent suites: the marginal system pfd",
+    paper_ref: "eqs (22)–(23)",
+    claim: "shared-suite testing is never better marginally; penalty = Σ_x Var_Ξ(ξ(x,T))Q(x) ≥ 0",
+    sweep: "suite size n ∈ {0, 1, 2, 4, 6, 8, 12}, both regimes, exact + MC",
+    full_replications: 30_000,
+    run,
+};
+
+fn run(ctx: &mut RunContext) {
+    ctx.note("E6: shared vs independent suites — the marginal system pfd (eqs 22–23)\n");
+    let w = small_graded();
+    let threads = ctx.threads();
+    let replications = ctx.replications(SPEC.full_replications);
+    let mut table = Table::new(
+        "system pfd vs suite size (exact + MC)",
+        &[
+            "n",
+            "indep (eq22)",
+            "shared (eq23)",
+            "penalty",
+            "shared/indep",
+            "MC indep",
+            "MC shared",
+        ],
+    );
+
+    for n in [0usize, 1, 2, 4, 6, 8, 12] {
+        let m = enumerate_iid_suites(&w.profile, n, 1 << 16).expect("enumerable");
+        let ind = MarginalAnalysis::compute(
+            &w.pop_a,
+            &w.pop_a,
+            SuiteAssignment::independent(&m),
+            &w.profile,
+        );
+        let sh =
+            MarginalAnalysis::compute(&w.pop_a, &w.pop_a, SuiteAssignment::Shared(&m), &w.profile);
+        let mc_ind = estimate_pair(
+            &w.pop_a,
+            &w.pop_a,
+            &w.generator,
+            n,
+            CampaignRegime::IndependentSuites,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &w.profile,
+            replications,
+            600 + n as u64,
+            threads,
+        );
+        let mc_sh = estimate_pair(
+            &w.pop_a,
+            &w.pop_a,
+            &w.generator,
+            n,
+            CampaignRegime::SharedSuite,
+            &PerfectOracle::new(),
+            &PerfectFixer::new(),
+            &w.profile,
+            replications,
+            700 + n as u64,
+            threads,
+        );
+        let ratio = if ind.system_pfd() > 0.0 {
+            sh.system_pfd() / ind.system_pfd()
+        } else {
+            1.0
+        };
+        table.row(&[
+            n.to_string(),
+            format!("{:.6}", ind.system_pfd()),
+            format!("{:.6}", sh.system_pfd()),
+            format!("{:.6}", sh.suite_coupling),
+            format!("{ratio:.3}"),
+            format!("{:.6}", mc_ind.system_pfd.mean),
+            format!("{:.6}", mc_sh.system_pfd.mean),
+        ]);
+
+        ctx.check(
+            sh.system_pfd() + 1e-12 >= ind.system_pfd(),
+            format!("eq23 ≥ eq22 at n={n}"),
+        );
+        ctx.check(
+            sh.suite_coupling >= -1e-12,
+            format!("non-negative penalty at n={n}"),
+        );
+        ctx.check(
+            (mc_ind.system_pfd.mean - ind.system_pfd()).abs()
+                < 4.0 * mc_ind.system_pfd.standard_error + 1e-9,
+            format!("MC agrees with exact (independent) at n={n}"),
+        );
+        ctx.check(
+            (mc_sh.system_pfd.mean - sh.system_pfd()).abs()
+                < 4.0 * mc_sh.system_pfd.standard_error + 1e-9,
+            format!("MC agrees with exact (shared) at n={n}"),
+        );
+    }
+
+    ctx.emit(table, "e06_marginal_regimes");
+    ctx.note(
+        "Claim reproduced: shared-suite testing is never better and typically\n\
+         much worse marginally (ratio grows as testing removes the easy faults);\n\
+         at n=0 the regimes coincide with the untested EL value.",
+    );
+}

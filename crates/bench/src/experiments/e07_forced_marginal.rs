@@ -1,0 +1,94 @@
+//! E7 — forced diversity marginals, equations (24) vs (25).
+//!
+//! Paper claim: under forced design diversity the shared-suite term
+//! `Σ_x Cov_Ξ(ξ_A(x,T), ξ_B(x,T))Q(x)` can be positive or negative, so
+//! "in principle, the system tested with the same test suite can be more
+//! reliable than if the versions were tested individually" — which is
+//! counterintuitive because the shared suite is also cheaper. The
+//! experiment exhibits a world for each sign.
+
+use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
+use diversim_testing::suite_population::enumerate_iid_suites;
+
+use crate::report::Table;
+use crate::spec::{ExperimentSpec, RunContext};
+use crate::worlds::{mirrored, negative_coupling};
+
+/// Declarative description of E7.
+pub static SPEC: ExperimentSpec = ExperimentSpec {
+    id: 7,
+    slug: "e07",
+    name: "e07_forced_marginal",
+    title: "Forced diversity: either suite regime can win marginally",
+    paper_ref: "eqs (24)–(25)",
+    claim:
+        "the eq-25 coupling term takes both signs across worlds; the cheaper shared suite can win",
+    sweep: "mirrored and negative-coupling worlds × suite sizes n ∈ {1, 2, 3}",
+    full_replications: 0,
+    run,
+};
+
+fn run(ctx: &mut RunContext) {
+    ctx.note("E7: forced diversity — either regime can win marginally (eqs 24–25)\n");
+    let mut table = Table::new(
+        "eq 24 vs eq 25 across worlds",
+        &[
+            "world",
+            "n",
+            "indep (eq24)",
+            "shared (eq25)",
+            "coupling",
+            "winner",
+        ],
+    );
+
+    let mut saw_shared_win = false;
+    let mut saw_indep_win = false;
+
+    for (label, world) in [
+        ("mirrored", mirrored(0.8, 0.1)),
+        ("neg-coupling", negative_coupling()),
+    ] {
+        for n in [1usize, 2, 3] {
+            let m = enumerate_iid_suites(&world.profile, n, 1 << 14).expect("enumerable");
+            let ind = MarginalAnalysis::compute(
+                &world.pop_a,
+                &world.pop_b,
+                SuiteAssignment::independent(&m),
+                &world.profile,
+            );
+            let sh = MarginalAnalysis::compute(
+                &world.pop_a,
+                &world.pop_b,
+                SuiteAssignment::Shared(&m),
+                &world.profile,
+            );
+            let winner = if sh.system_pfd() < ind.system_pfd() - 1e-15 {
+                saw_shared_win = true;
+                "SHARED"
+            } else if ind.system_pfd() < sh.system_pfd() - 1e-15 {
+                saw_indep_win = true;
+                "indep"
+            } else {
+                "tie"
+            };
+            table.row(&[
+                label.to_string(),
+                n.to_string(),
+                format!("{:.6}", ind.system_pfd()),
+                format!("{:.6}", sh.system_pfd()),
+                format!("{:+.6}", sh.suite_coupling),
+                winner.to_string(),
+            ]);
+        }
+    }
+
+    ctx.emit(table, "e07_forced_marginal");
+    ctx.check(saw_indep_win, "a world exists where independent suites win");
+    ctx.check(saw_shared_win, "a world exists where the shared suite wins");
+    ctx.note(
+        "Claim reproduced: the eq-25 coupling term takes both signs across\n\
+         worlds — with negative coupling the cheaper shared suite delivers the\n\
+         more reliable system, the paper's counterintuitive possibility.",
+    );
+}

@@ -1,0 +1,27 @@
+//! The sixteen experiment implementations.
+//!
+//! Each module holds one [`ExperimentSpec`](crate::spec::ExperimentSpec)
+//! static (`SPEC`) plus its `run` function; the registry
+//! (`crate::registry`) collects them and every front end — the
+//! `diversim` CLI and the thin `eNN_*` binaries — executes them through
+//! the engine (`crate::engine`). The modules contain the *entire*
+//! experiment logic; the old standalone binaries' sweep loops,
+//! replication counts and ad-hoc reporting all live here now, driven by
+//! the shared [`RunContext`](crate::spec::RunContext).
+
+pub mod e01_el_model;
+pub mod e02_lm_model;
+pub mod e03_indep_suites;
+pub mod e04_shared_suite;
+pub mod e05_forced_shared;
+pub mod e06_marginal_regimes;
+pub mod e07_forced_marginal;
+pub mod e08_cost_tradeoff;
+pub mod e09_imperfect;
+pub mod e10_back_to_back;
+pub mod e11_growth;
+pub mod e12_difficulty_variance;
+pub mod e13_common_cause;
+pub mod e14_nversion;
+pub mod e15_stopping;
+pub mod e16_assessment;

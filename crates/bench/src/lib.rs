@@ -1,13 +1,27 @@
-//! Shared infrastructure for the experiment binaries (E1–E12) and the
-//! Criterion benchmarks.
+//! The experiment engine and shared infrastructure for the `diversim`
+//! reproduction campaign (E1–E16) and the Criterion benchmarks.
 //!
-//! Each binary `eNN_*` regenerates one numbered result of Popov &
+//! Each registered experiment regenerates one numbered result of Popov &
 //! Littlewood (DSN 2004); see `EXPERIMENTS.md` at the workspace root for
-//! the experiment ↔ paper-result index.
+//! the experiment ↔ paper-result index (generated from [`registry`]).
+//!
+//! * [`spec`] — declarative [`spec::ExperimentSpec`]s, replication
+//!   [`spec::Profile`]s and the per-run [`spec::RunContext`];
+//! * [`registry`] — the ordered list of all sixteen experiments;
+//! * [`engine`] — deterministic execution and JSON/CSV result rendering;
+//! * [`cli`] — the `diversim` binary (`list` / `run` / `docs`) and the
+//!   entry point shared by the thin `eNN_*` binaries;
+//! * [`report`] — table rendering (text, TSV, CSV, JSON);
+//! * [`worlds`] — the standard universes the experiments run on.
 
 #![deny(missing_docs)]
 
+pub mod cli;
+pub mod engine;
+mod experiments;
+pub mod registry;
 pub mod report;
+pub mod spec;
 pub mod worlds;
 
 pub use report::Table;

@@ -1,0 +1,246 @@
+//! Declarative experiment specifications and the per-run context.
+//!
+//! An [`ExperimentSpec`] is the single source of truth for one numbered
+//! reproduction of Popov & Littlewood (DSN 2004): identity, the paper
+//! result it regenerates, its sweep grid, its replication plan, and the
+//! function that executes it. The registry (`crate::registry`) lists
+//! all sixteen; the engine (`crate::engine`) executes any of them
+//! through `sim::runner`'s deterministic-parallel primitives; the CLI
+//! (`crate::cli`) and the thin `eNN_*` binaries are fronts over that
+//! one code path.
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+
+/// Replication profile: how much Monte Carlo effort a run spends.
+///
+/// Experiments state their replication budgets *at full effort*; the
+/// profile scales them. Statistical tolerances inside experiments are
+/// written in terms of standard errors, so they widen automatically as
+/// budgets shrink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum Profile {
+    /// Tiny budgets (full/200, floor 50): exercises every code path in
+    /// seconds. Claim checks are recorded but *not* enforced — at this
+    /// effort the statistical ones are pure noise.
+    Smoke,
+    /// Reduced budgets (full/10, floor 400): the CI profile. All claim
+    /// checks are enforced.
+    Fast,
+    /// The paper-faithful budgets. All claim checks are enforced.
+    #[default]
+    Full,
+}
+
+impl Profile {
+    /// Scales a full-effort replication budget down to this profile.
+    pub fn replications(self, full: u64) -> u64 {
+        match self {
+            Profile::Smoke => full.min((full / 200).max(50)),
+            Profile::Fast => full.min((full / 10).max(400)),
+            Profile::Full => full,
+        }
+    }
+
+    /// Whether failed claim checks fail the run.
+    pub fn enforces_checks(self) -> bool {
+        !matches!(self, Profile::Smoke)
+    }
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Fast => "fast",
+            Profile::Full => "full",
+        }
+    }
+}
+
+/// One reproduction claim verified during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// What was checked (shown in reports and result files).
+    pub label: String,
+    /// Whether it held.
+    pub passed: bool,
+}
+
+/// The declarative description of one experiment.
+///
+/// Everything here is static metadata except `run`, which executes the
+/// experiment against a [`RunContext`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// Ordinal, 1–16.
+    pub id: u8,
+    /// Short handle accepted by the CLI (`"e01"`).
+    pub slug: &'static str,
+    /// Binary / result-file name (`"e01_el_model"`).
+    pub name: &'static str,
+    /// One-line human title.
+    pub title: &'static str,
+    /// The paper result(s) reproduced (`"eqs (6)-(7)"`).
+    pub paper_ref: &'static str,
+    /// The claim the run re-verifies.
+    pub claim: &'static str,
+    /// Human description of the sweep grid.
+    pub sweep: &'static str,
+    /// Total Monte Carlo replication budget at `--full` effort (`0` for
+    /// purely exact/enumerative experiments).
+    pub full_replications: u64,
+    /// Executes the experiment, recording tables and checks.
+    pub run: fn(&mut RunContext),
+}
+
+/// Mutable state threaded through one experiment execution: the
+/// profile and thread count in, tables and claim checks out.
+#[derive(Debug)]
+pub struct RunContext {
+    profile: Profile,
+    threads: usize,
+    quiet: bool,
+    tables: Vec<Table>,
+    table_stems: Vec<String>,
+    checks: Vec<Check>,
+}
+
+impl RunContext {
+    /// Creates a context for one run.
+    pub fn new(profile: Profile, threads: usize, quiet: bool) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        RunContext {
+            profile,
+            threads,
+            quiet,
+            tables: Vec::new(),
+            table_stems: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// The active replication profile.
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// Worker threads available to `sim::runner` calls.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Scales a full-effort replication budget to the active profile.
+    pub fn replications(&self, full: u64) -> u64 {
+        self.profile.replications(full)
+    }
+
+    /// Prints a progress/narrative line unless the run is quiet.
+    pub fn note(&self, message: impl AsRef<str>) {
+        if !self.quiet {
+            println!("{}", message.as_ref());
+        }
+    }
+
+    /// Records a finished table under a result-file stem, printing it
+    /// unless quiet and mirroring it to `DIVERSIM_TSV_DIR` if set (the
+    /// legacy per-table plotting hook).
+    pub fn emit(&mut self, table: Table, file_stem: &str) {
+        if !self.quiet {
+            println!("{}", table.render());
+        }
+        table.mirror_tsv(file_stem);
+        self.table_stems.push(file_stem.to_string());
+        self.tables.push(table);
+    }
+
+    /// Records one reproduction-claim check.
+    ///
+    /// Failures are collected, not thrown: the engine fails the run
+    /// afterwards when the profile enforces checks, and the result
+    /// files record every check either way.
+    pub fn check(&mut self, passed: bool, label: impl Into<String>) {
+        let label = label.into();
+        if !passed && !self.quiet {
+            eprintln!("CHECK FAILED: {label}");
+        }
+        self.checks.push(Check { passed, label });
+    }
+
+    /// The tables recorded so far.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// The per-table result-file stems (parallel to [`tables`](Self::tables)).
+    pub fn table_stems(&self) -> &[String] {
+        &self.table_stems
+    }
+
+    /// The checks recorded so far.
+    pub fn checks(&self) -> &[Check] {
+        &self.checks
+    }
+
+    /// Labels of the failed checks.
+    pub fn failed_checks(&self) -> Vec<&str> {
+        self.checks
+            .iter()
+            .filter(|c| !c.passed)
+            .map(|c| c.label.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_scaling_is_monotone_and_floored() {
+        assert_eq!(Profile::Full.replications(60_000), 60_000);
+        assert_eq!(Profile::Fast.replications(60_000), 6_000);
+        assert_eq!(Profile::Smoke.replications(60_000), 300);
+        // Floors kick in for small budgets…
+        assert_eq!(Profile::Fast.replications(2_000), 400);
+        assert_eq!(Profile::Smoke.replications(2_000), 50);
+        // …but never exceed the full budget.
+        assert_eq!(Profile::Fast.replications(100), 100);
+        assert_eq!(Profile::Smoke.replications(30), 30);
+    }
+
+    #[test]
+    fn profile_names_and_enforcement() {
+        assert_eq!(Profile::Smoke.name(), "smoke");
+        assert_eq!(Profile::Fast.name(), "fast");
+        assert_eq!(Profile::Full.name(), "full");
+        assert!(!Profile::Smoke.enforces_checks());
+        assert!(Profile::Fast.enforces_checks());
+        assert!(Profile::Full.enforces_checks());
+        assert_eq!(Profile::default(), Profile::Full);
+    }
+
+    #[test]
+    fn context_collects_tables_and_checks() {
+        let mut ctx = RunContext::new(Profile::Smoke, 2, true);
+        assert_eq!(ctx.replications(10_000), 50);
+        assert_eq!(ctx.threads(), 2);
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["1".into()]);
+        ctx.emit(t, "stem");
+        ctx.check(true, "holds");
+        ctx.check(false, "broken");
+        assert_eq!(ctx.tables().len(), 1);
+        assert_eq!(ctx.table_stems(), ["stem".to_string()]);
+        assert_eq!(ctx.checks().len(), 2);
+        assert_eq!(ctx.failed_checks(), vec!["broken"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_context_panics() {
+        let _ = RunContext::new(Profile::Full, 0, true);
+    }
+}

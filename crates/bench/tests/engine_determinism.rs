@@ -1,0 +1,80 @@
+//! Integration tests for the experiment engine: thread-count
+//! determinism of the rendered result files, a full-registry smoke run,
+//! and the generated-docs drift guard.
+
+use diversim_bench::engine::{run_experiment, RESULT_SCHEMA};
+use diversim_bench::registry;
+use diversim_bench::spec::Profile;
+
+/// The engine's rendered JSON and CSV must be byte-identical whether
+/// the Monte Carlo replications run on 1 thread or 8 — the ISSUE-2
+/// acceptance criterion for deterministic parallelism. `e06` and `e08`
+/// exercise both `parallel_accumulate_n` (via `estimate_pair`) and the
+/// scalar `parallel_accumulate` path.
+#[test]
+fn engine_output_is_byte_identical_for_1_and_8_threads() {
+    for key in ["e06", "e08"] {
+        let spec = registry::find(key).expect("registered");
+        let one = run_experiment(spec, Profile::Smoke, 1, true);
+        let eight = run_experiment(spec, Profile::Smoke, 8, true);
+        assert_eq!(
+            one.json, eight.json,
+            "{key}: JSON differs between 1 and 8 threads"
+        );
+        assert_eq!(
+            one.csv, eight.csv,
+            "{key}: CSV differs between 1 and 8 threads"
+        );
+    }
+}
+
+/// Every registered spec must run to completion under the smoke
+/// profile and produce non-empty, well-formed results.
+#[test]
+fn all_sixteen_specs_run_under_smoke_profile() {
+    let specs = registry::all();
+    assert_eq!(specs.len(), 16);
+    for spec in specs {
+        let outcome = run_experiment(spec, Profile::Smoke, 2, true);
+        assert!(
+            outcome.passed,
+            "{} failed under smoke (checks must not be enforced there)",
+            spec.name
+        );
+        assert!(
+            !outcome.checks.is_empty(),
+            "{} recorded no reproduction checks",
+            spec.name
+        );
+        assert!(
+            outcome
+                .json
+                .starts_with(&format!("{{\"schema\":\"{RESULT_SCHEMA}\"")),
+            "{} JSON missing schema header",
+            spec.name
+        );
+        assert!(
+            outcome.json.contains("\"tables\":[{"),
+            "{} produced no tables",
+            spec.name
+        );
+        assert!(
+            outcome.csv.lines().count() > 1,
+            "{} produced an empty CSV",
+            spec.name
+        );
+    }
+}
+
+/// `EXPERIMENTS.md` at the workspace root is generated from the
+/// registry; this guard makes drift a test failure. Regenerate with
+/// `diversim docs --write`.
+#[test]
+fn experiments_md_matches_registry() {
+    let on_disk = include_str!("../../../EXPERIMENTS.md");
+    assert_eq!(
+        on_disk,
+        registry::experiments_md(),
+        "EXPERIMENTS.md is stale; run `cargo run -p diversim-bench --bin diversim -- docs --write`"
+    );
+}

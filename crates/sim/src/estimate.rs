@@ -15,8 +15,8 @@ use diversim_testing::oracle::Oracle;
 use diversim_universe::population::Population;
 use diversim_universe::profile::UsageProfile;
 
-use crate::campaign::{run_pair_campaign, CampaignRegime, PairOutcome};
-use crate::runner::parallel_replications;
+use crate::campaign::{run_pair_campaign, CampaignRegime};
+use crate::runner::parallel_accumulate_n;
 
 /// A Monte Carlo point estimate with its uncertainty.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,20 +87,16 @@ pub fn estimate_pair(
     threads: usize,
 ) -> PairEstimates {
     let seeds = SeedSequence::new(seed);
-    let outcomes: Vec<PairOutcome> =
-        parallel_replications(replications, seeds, threads, |_, rep_seed| {
-            run_pair_campaign(
+    // Batched accumulation: campaigns stream straight into the three
+    // moment accumulators, so no per-replication outcome (with its full
+    // `Version` payloads) is ever materialised.
+    let [acc_a, acc_b, acc_sys] =
+        parallel_accumulate_n::<3, _>(replications, seeds, threads, |_, rep_seed| {
+            let o = run_pair_campaign(
                 pop_a, pop_b, generator, suite_size, regime, oracle, fixer, profile, rep_seed,
-            )
+            );
+            [o.first_pfd, o.second_pfd, o.system_pfd]
         });
-    let mut acc_a = MeanVar::new();
-    let mut acc_b = MeanVar::new();
-    let mut acc_sys = MeanVar::new();
-    for o in &outcomes {
-        acc_a.push(o.first_pfd);
-        acc_b.push(o.second_pfd);
-        acc_sys.push(o.system_pfd);
-    }
     PairEstimates {
         version_a_pfd: Estimate::from_accumulator(&acc_a),
         version_b_pfd: Estimate::from_accumulator(&acc_b),

@@ -77,4 +77,6 @@ pub use growth::{
     MergedComparison,
 };
 pub use operation::{coverage_study, operate_pair, CoverageStudy, OperationLog};
-pub use runner::{default_threads, parallel_replications};
+pub use runner::{
+    default_threads, parallel_accumulate, parallel_accumulate_n, parallel_replications,
+};

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use diversim_stats::online::MeanVar;
 use diversim_stats::seed::SeedSequence;
 
 /// Runs `replications` jobs, each receiving `(index, seed)`, across
@@ -78,6 +79,128 @@ where
         .collect()
 }
 
+/// Replications per accumulation block in [`parallel_accumulate_n`].
+///
+/// Blocks are the unit of work stealing *and* of floating-point
+/// accumulation: each block is folded in index order and blocks are
+/// merged in block order, so the result is bit-identical for any thread
+/// count.
+const ACCUMULATE_BLOCK: u64 = 1024;
+
+/// Runs `replications` scalar-vector jobs and folds them into `K`
+/// streaming [`MeanVar`] accumulators without materialising the
+/// per-replication results.
+///
+/// This is the batching primitive behind the experiment engine: a
+/// campaign job maps `(index, seed)` to `K` observables (say version
+/// pfds and the system pfd), and the runner returns one accumulator per
+/// observable. Replications are processed in fixed-size blocks; each
+/// block is accumulated in index order and the per-block accumulators
+/// are merged in block order, so the result is a pure function of
+/// `(replications, seeds, job)` — bit-identical for any `threads`,
+/// including 1 — while memory stays `O(blocks)` instead of
+/// `O(replications)`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a job panics (the panic is
+/// propagated).
+///
+/// # Examples
+///
+/// ```
+/// use diversim_sim::runner::parallel_accumulate_n;
+/// use diversim_stats::seed::SeedSequence;
+///
+/// let seeds = SeedSequence::new(9);
+/// let one = parallel_accumulate_n::<2, _>(2000, seeds, 1, |i, _| [i as f64, 1.0]);
+/// let four = parallel_accumulate_n::<2, _>(2000, seeds, 4, |i, _| [i as f64, 1.0]);
+/// assert_eq!(one, four);
+/// assert_eq!(one[1].mean(), 1.0);
+/// ```
+pub fn parallel_accumulate_n<const K: usize, F>(
+    replications: u64,
+    seeds: SeedSequence,
+    threads: usize,
+    job: F,
+) -> [MeanVar; K]
+where
+    F: Fn(u64, u64) -> [f64; K] + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if replications == 0 {
+        return [MeanVar::new(); K];
+    }
+    let n_blocks = replications.div_ceil(ACCUMULATE_BLOCK);
+    let accumulate_block = |block: u64| -> [MeanVar; K] {
+        let mut accs = [MeanVar::new(); K];
+        let lo = block * ACCUMULATE_BLOCK;
+        let hi = (lo + ACCUMULATE_BLOCK).min(replications);
+        for i in lo..hi {
+            let values = job(i, seeds.seed_for(0, i));
+            for (acc, v) in accs.iter_mut().zip(values) {
+                acc.push(v);
+            }
+        }
+        accs
+    };
+    let blocks: Vec<[MeanVar; K]> = if threads == 1 || n_blocks == 1 {
+        (0..n_blocks).map(accumulate_block).collect()
+    } else {
+        let counter = AtomicU64::new(0);
+        let slots: Mutex<Vec<Option<[MeanVar; K]>>> =
+            Mutex::new((0..n_blocks).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(n_blocks as usize) {
+                scope.spawn(|| loop {
+                    let block = counter.fetch_add(1, Ordering::Relaxed);
+                    if block >= n_blocks {
+                        break;
+                    }
+                    let accs = accumulate_block(block);
+                    slots.lock().expect("slot lock poisoned")[block as usize] = Some(accs);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("slot lock poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every block claimed exactly once"))
+            .collect()
+    };
+    // Merge in block order: the fold sequence is fixed, so rounding is too.
+    blocks
+        .into_iter()
+        .reduce(|mut merged, block| {
+            for (m, b) in merged.iter_mut().zip(block) {
+                *m = m.merge(&b);
+            }
+            merged
+        })
+        .expect("at least one block")
+}
+
+/// Scalar convenience wrapper over [`parallel_accumulate_n`]: folds one
+/// observable per replication into a single [`MeanVar`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a job panics.
+pub fn parallel_accumulate<F>(
+    replications: u64,
+    seeds: SeedSequence,
+    threads: usize,
+    job: F,
+) -> MeanVar
+where
+    F: Fn(u64, u64) -> f64 + Sync,
+{
+    let [acc] =
+        parallel_accumulate_n::<1, _>(replications, seeds, threads, |i, seed| [job(i, seed)]);
+    acc
+}
+
 /// A sensible default worker count: the number of available CPUs, capped
 /// at 16 (the workloads here saturate memory bandwidth well before that).
 pub fn default_threads() -> usize {
@@ -142,5 +265,51 @@ mod tests {
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
         assert!(default_threads() <= 16);
+    }
+
+    #[test]
+    fn accumulate_is_thread_count_invariant_bitwise() {
+        // More replications than one block so the merge path is exercised.
+        let seeds = SeedSequence::new(11);
+        let job = |_i: u64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            [rng.gen::<f64>(), rng.gen::<f64>() * 3.0 - 1.5]
+        };
+        let serial = parallel_accumulate_n::<2, _>(5000, seeds, 1, job);
+        for threads in [2, 3, 8] {
+            let parallel = parallel_accumulate_n::<2, _>(5000, seeds, threads, job);
+            assert_eq!(serial, parallel, "thread count {threads} changed moments");
+        }
+    }
+
+    #[test]
+    fn accumulate_matches_sequential_push_statistics() {
+        let seeds = SeedSequence::new(13);
+        let job = |_i: u64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            rng.gen::<f64>()
+        };
+        let acc = parallel_accumulate(3000, seeds, 4, job);
+        let mut reference = MeanVar::new();
+        for i in 0..3000u64 {
+            reference.push(job(i, seeds.seed_for(0, i)));
+        }
+        assert_eq!(acc.count(), reference.count());
+        assert!((acc.mean() - reference.mean()).abs() < 1e-12);
+        assert!((acc.sample_variance() - reference.sample_variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_zero_replications_is_empty() {
+        let seeds = SeedSequence::new(0);
+        let acc = parallel_accumulate(0, seeds, 4, |_, _| 1.0);
+        assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn accumulate_zero_threads_panics() {
+        let seeds = SeedSequence::new(0);
+        let _ = parallel_accumulate(1, seeds, 0, |_, _| 1.0);
     }
 }

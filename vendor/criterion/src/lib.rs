@@ -13,11 +13,46 @@
 //! Positional CLI arguments filter benchmarks by substring, mirroring
 //! criterion/libtest.
 
+//! Setting the `DIVERSIM_BENCH_JSON` environment variable to a file
+//! path makes real (non-`--test`) runs additionally record every
+//! benchmark's min/median/max nanoseconds as a JSON array at that path
+//! — the hook CI uses to archive benchmark trajectories as workflow
+//! artifacts.
+
 #![deny(missing_docs)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One recorded measurement: `(id, min_ns, median_ns, max_ns)`.
+type JsonResult = (String, f64, f64, f64);
+
+/// Measurements recorded so far in this process, mirrored to
+/// `DIVERSIM_BENCH_JSON` after every benchmark so a partial run still
+/// leaves a valid file.
+static JSON_RESULTS: OnceLock<Mutex<Vec<JsonResult>>> = OnceLock::new();
+
+fn record_json_result(path: &str, id: &str, min: f64, median: f64, max: f64) {
+    let results = JSON_RESULTS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut results = results.lock().expect("bench json lock poisoned");
+    results.push((id.to_string(), min, median, max));
+    let mut out = String::from("[\n");
+    for (i, (id, min, median, max)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let id = id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"id\":\"{id}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"max_ns\":{max:.1}}}"
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write bench json {path}: {e}");
+    }
+}
 
 /// Identifies one benchmark within a run (e.g. `group/function/param`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -256,6 +291,9 @@ fn run_one<F: FnMut(&mut Bencher)>(config: &Config, id: &str, mut f: F) {
                 fmt_ns(median),
                 fmt_ns(max)
             );
+            if let Ok(path) = std::env::var("DIVERSIM_BENCH_JSON") {
+                record_json_result(&path, id, min, median, max);
+            }
         }
         None => println!("{id:<50} (no measurement: Bencher::iter never called)"),
     }
@@ -338,5 +376,20 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
         assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+
+    #[test]
+    fn json_recording_appends_and_stays_valid() {
+        let path = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        record_json_result(path_str, "group/a", 1.0, 2.0, 3.0);
+        record_json_result(path_str, "with \"quote\"", 4.5, 5.5, 6.5);
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("[\n"));
+        assert!(written.trim_end().ends_with(']'));
+        assert!(written
+            .contains("{\"id\":\"group/a\",\"min_ns\":1.0,\"median_ns\":2.0,\"max_ns\":3.0}"));
+        assert!(written.contains("\\\"quote\\\""));
+        std::fs::remove_file(&path).ok();
     }
 }
