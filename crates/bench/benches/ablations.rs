@@ -10,13 +10,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use diversim_bench::worlds::medium_cascade;
-use diversim_sim::campaign::{run_pair_campaign, CampaignRegime};
 use diversim_sim::runner::parallel_replications;
 use diversim_stats::alias::AliasSampler;
 use diversim_stats::seed::SeedSequence;
-use diversim_testing::fixing::PerfectFixer;
 use diversim_testing::generation::ProfileGenerator;
-use diversim_testing::oracle::PerfectOracle;
 use diversim_testing::process::perfect_debug;
 use diversim_universe::demand::DemandId;
 use diversim_universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
@@ -108,22 +105,13 @@ fn ablation_sampling(c: &mut Criterion) {
 
 /// Sequential vs parallel replication throughput for a fixed workload.
 fn ablation_parallelism(c: &mut Criterion) {
-    let w = medium_cascade(9);
+    let scenario = medium_cascade(9)
+        .scenario()
+        .suite_size(32)
+        .build()
+        .expect("valid world");
     let seeds = SeedSequence::new(99);
-    let job = |_i: u64, seed: u64| {
-        run_pair_campaign(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            32,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            seed,
-        )
-        .system_pfd
-    };
+    let job = |_i: u64, seed: u64| scenario.run(seed).system_pfd;
     let mut group = c.benchmark_group("ablation/replication_threads");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {

@@ -6,10 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use diversim_bench::worlds::{medium_cascade, small_graded};
 use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
-use diversim_sim::campaign::{run_pair_campaign, CampaignRegime};
-use diversim_sim::growth::growth_replication;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::PerfectOracle;
+use diversim_sim::campaign::CampaignRegime;
 use diversim_testing::suite_population::enumerate_iid_suites;
 
 fn bench_exact_marginal(c: &mut Criterion) {
@@ -53,7 +50,11 @@ fn bench_suite_enumeration(c: &mut Criterion) {
 }
 
 fn bench_campaigns(c: &mut Criterion) {
-    let w = medium_cascade(7);
+    let base = medium_cascade(7)
+        .scenario()
+        .suite_size(64)
+        .build()
+        .expect("valid world");
     let mut group = c.benchmark_group("sim/pair_campaign");
     for (name, regime) in [
         ("independent", CampaignRegime::IndependentSuites),
@@ -65,21 +66,12 @@ fn bench_campaigns(c: &mut Criterion) {
             )),
         ),
     ] {
+        let scenario = base.with_regime(regime);
         group.bench_function(name, |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                black_box(run_pair_campaign(
-                    &w.pop_a,
-                    &w.pop_a,
-                    &w.generator,
-                    64,
-                    regime,
-                    &PerfectOracle::new(),
-                    &PerfectFixer::new(),
-                    &w.profile,
-                    seed,
-                ))
+                black_box(scenario.run(seed))
             })
         });
     }
@@ -87,23 +79,17 @@ fn bench_campaigns(c: &mut Criterion) {
 }
 
 fn bench_growth(c: &mut Criterion) {
-    let w = medium_cascade(8);
+    let scenario = medium_cascade(8).scenario().build().expect("valid world");
     let checkpoints = [0usize, 16, 64, 256];
     c.bench_function("sim/growth_replication", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed = seed.wrapping_add(1);
-            black_box(growth_replication(
-                &w.pop_a,
-                &w.pop_a,
-                &w.generator,
-                &checkpoints,
-                CampaignRegime::SharedSuite,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &w.profile,
-                seed,
-            ))
+            black_box(
+                scenario
+                    .growth_sample(&checkpoints, seed)
+                    .expect("valid checkpoints"),
+            )
         })
     });
 }

@@ -1,0 +1,76 @@
+//! Measures what the `Scenario` precomputation actually buys: replication
+//! throughput with a prepared (build-once) scenario vs. a baseline that
+//! rebuilds the scenario — and therefore its per-world `Prepared` cache —
+//! for every replication.
+//!
+//! Run measured with `DIVERSIM_BENCH_JSON=BENCH_scenario_overhead.json
+//! cargo bench -p diversim-bench --bench scenario_overhead` to feed the
+//! performance-trajectory hook; CI runs it in `--test` mode so the
+//! comparison can never rot.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use diversim_bench::worlds::{large, medium_cascade, small_graded};
+use diversim_sim::scenario::Scenario;
+use diversim_sim::world::World;
+
+fn bench_world(c: &mut Criterion, name: &str, world: &World, suite_size: usize) {
+    let mut group = c.benchmark_group(format!("scenario_overhead/{name}"));
+    let prepared = world
+        .scenario()
+        .suite_size(suite_size)
+        .build()
+        .expect("valid world");
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("prepared"),
+        &prepared,
+        |b, scenario| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(scenario.run(seed))
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("rebuild_per_replication"),
+        world,
+        |b, world| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let scenario: Scenario = world
+                    .scenario()
+                    .suite_size(suite_size)
+                    .build()
+                    .expect("valid world");
+                black_box(scenario.run(seed))
+            })
+        },
+    );
+    group.finish();
+}
+
+fn scenario_overhead(c: &mut Criterion) {
+    // Three world scales: tiny exact world (cache build is cheap but so
+    // is the campaign), the standard Monte Carlo world, and the large
+    // world where the per-replication rebuild is most wasteful.
+    bench_world(c, "small_graded", &small_graded(), 8);
+    bench_world(c, "medium_cascade", &medium_cascade(7), 64);
+    bench_world(c, "large", &large(2), 64);
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = scenario_overhead
+);
+criterion_main!(benches);

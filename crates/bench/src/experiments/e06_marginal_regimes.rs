@@ -7,9 +7,6 @@
 
 use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
 use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::PerfectOracle;
 use diversim_testing::suite_population::enumerate_iid_suites;
 
 use crate::report::Table;
@@ -32,6 +29,7 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
 fn run(ctx: &mut RunContext) {
     ctx.note("E6: shared vs independent suites — the marginal system pfd (eqs 22–23)\n");
     let w = small_graded();
+    let scenario = w.scenario().build().expect("valid world");
     let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
@@ -57,32 +55,15 @@ fn run(ctx: &mut RunContext) {
         );
         let sh =
             MarginalAnalysis::compute(&w.pop_a, &w.pop_a, SuiteAssignment::Shared(&m), &w.profile);
-        let mc_ind = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::IndependentSuites,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            replications,
-            600 + n as u64,
-            threads,
-        );
-        let mc_sh = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            replications,
-            700 + n as u64,
-            threads,
-        );
+        let mc_ind = scenario
+            .with_suite_size(n)
+            .with_regime(CampaignRegime::IndependentSuites)
+            .with_seed(600 + n as u64)
+            .estimate(replications, threads);
+        let mc_sh = scenario
+            .with_suite_size(n)
+            .with_seed(700 + n as u64)
+            .estimate(replications, threads);
         let ratio = if ind.system_pfd() > 0.0 {
             sh.system_pfd() / ind.system_pfd()
         } else {

@@ -13,12 +13,7 @@
 //!   (4n executions — the "free running" scenario).
 
 use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_sim::growth::merged_suite_comparison;
-use diversim_sim::runner::parallel_accumulate;
-use diversim_stats::seed::SeedSequence;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::PerfectOracle;
+use diversim_sim::scenario::SeedPolicy;
 
 use crate::report::Table;
 use crate::spec::{ExperimentSpec, RunContext};
@@ -40,6 +35,7 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
 fn run(ctx: &mut RunContext) {
     ctx.note("E8: §3.4.1 cost trade-off — merged 2n shared vs independent n vs shared n\n");
     let w = medium_cascade(11);
+    let scenario = w.scenario().build().expect("valid world");
     let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
@@ -54,53 +50,22 @@ fn run(ctx: &mut RunContext) {
     );
 
     for n in [5usize, 10, 20, 40, 80] {
-        let ind = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::IndependentSuites,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            replications,
-            800 + n as u64,
-            threads,
-        );
-        let shared = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            replications,
-            900 + n as u64,
-            threads,
-        );
-        // Merged arm via the paired comparison helper (seeded by
-        // replication index to match the historical single-thread runs).
-        let merged = parallel_accumulate(
-            replications,
-            SeedSequence::new(10_000),
-            threads,
-            |i, _seed| {
-                merged_suite_comparison(
-                    &w.pop_a,
-                    &w.pop_a,
-                    &w.generator,
-                    n,
-                    &PerfectOracle::new(),
-                    &PerfectFixer::new(),
-                    &w.profile,
-                    10_000 + i,
-                )
-                .merged_system
-            },
-        );
-        let vals = [ind.system_pfd.mean, shared.system_pfd.mean, merged.mean()];
+        let ind = scenario
+            .with_suite_size(n)
+            .with_regime(CampaignRegime::IndependentSuites)
+            .with_seed(800 + n as u64)
+            .estimate(replications, threads);
+        let shared = scenario
+            .with_suite_size(n)
+            .with_seed(900 + n as u64)
+            .estimate(replications, threads);
+        // Merged arm via the paired comparison study (consecutive seeds to
+        // match the historical single-thread runs).
+        let merged = scenario
+            .with_seeds(SeedPolicy::offset(10_000))
+            .merged_estimate(n, replications, threads)
+            .merged_system;
+        let vals = [ind.system_pfd.mean, shared.system_pfd.mean, merged.mean];
         let best = ["independent", "shared", "merged"][vals
             .iter()
             .enumerate()
@@ -111,7 +76,7 @@ fn run(ctx: &mut RunContext) {
             n.to_string(),
             format!("{:.6}", ind.system_pfd.mean),
             format!("{:.6}", shared.system_pfd.mean),
-            format!("{:.6}", merged.mean()),
+            format!("{:.6}", merged.mean),
             best.to_string(),
         ]);
 
@@ -125,9 +90,9 @@ fn run(ctx: &mut RunContext) {
             format!("independent beats shared at equal run budget (n={n})"),
         );
         ctx.check(
-            merged.mean()
+            merged.mean
                 <= ind.system_pfd.mean
-                    + 3.0 * (merged.standard_error() + ind.system_pfd.standard_error),
+                    + 3.0 * (merged.standard_error + ind.system_pfd.standard_error),
             format!("merged 2n beats independent n (n={n})"),
         );
     }

@@ -8,8 +8,6 @@
 
 use diversim_core::bounds::ImperfectTestingBounds;
 use diversim_core::marginal::SuiteAssignment;
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
 use diversim_testing::fixing::ImperfectFixer;
 use diversim_testing::oracle::ImperfectOracle;
 use diversim_testing::suite_population::enumerate_iid_suites;
@@ -47,6 +45,11 @@ fn run(ctx: &mut RunContext) {
         bounds.lower, bounds.upper
     ));
 
+    let scenario = w
+        .scenario()
+        .suite_size(suite_size)
+        .build()
+        .expect("valid world");
     let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
@@ -62,19 +65,11 @@ fn run(ctx: &mut RunContext) {
     let mut grid_means: Vec<(f64, f64, f64)> = Vec::new();
     for &detect in &[0.25, 0.5, 0.75, 1.0] {
         for &fix in &[0.25, 0.5, 0.75, 1.0] {
-            let est = estimate_pair(
-                &w.pop_a,
-                &w.pop_a,
-                &w.generator,
-                suite_size,
-                CampaignRegime::SharedSuite,
-                &ImperfectOracle::new(detect).expect("valid"),
-                &ImperfectFixer::new(fix).expect("valid"),
-                &w.profile,
-                replications,
-                (detect * 100.0) as u64 * 1000 + (fix * 100.0) as u64,
-                threads,
-            );
+            let est = scenario
+                .with_oracle(ImperfectOracle::new(detect).expect("valid"))
+                .with_fixer(ImperfectFixer::new(fix).expect("valid"))
+                .with_seed((detect * 100.0) as u64 * 1000 + (fix * 100.0) as u64)
+                .estimate(replications, threads);
             let pos = if bounds.width() > 0.0 {
                 (est.system_pfd.mean - bounds.lower) / bounds.width()
             } else {

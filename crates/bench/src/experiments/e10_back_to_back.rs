@@ -15,9 +15,8 @@ use rand::SeedableRng;
 use diversim_core::bounds::BackToBackBounds;
 use diversim_core::system::pair_pfd;
 use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
 use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::{IdenticalFailureModel, PerfectOracle};
+use diversim_testing::oracle::IdenticalFailureModel;
 use diversim_testing::process::back_to_back_debug;
 use diversim_testing::suite::TestSuite;
 use diversim_testing::suite_population::enumerate_iid_suites;
@@ -51,6 +50,11 @@ fn run(ctx: &mut RunContext) {
         bounds.optimistic, bounds.pessimistic
     ));
 
+    let scenario = w
+        .scenario()
+        .suite_size(suite_size)
+        .build()
+        .expect("valid world");
     let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
@@ -66,19 +70,10 @@ fn run(ctx: &mut RunContext) {
             5 => IdenticalFailureModel::Always,
             _ => IdenticalFailureModel::Bernoulli(gamma),
         };
-        let est = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            suite_size,
-            CampaignRegime::BackToBack(identical),
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &w.profile,
-            replications,
-            1300 + step as u64,
-            threads,
-        );
+        let est = scenario
+            .with_regime(CampaignRegime::BackToBack(identical))
+            .with_seed(1300 + step as u64)
+            .estimate(replications, threads);
         table.row(&[
             format!("{gamma:.1}"),
             format!("{:.6}", est.system_pfd.mean),

@@ -9,9 +9,6 @@
 //! grows; under the shared suite the gain stagnates.
 
 use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::growth::replicated_growth;
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::PerfectOracle;
 
 use crate::report::Table;
 use crate::spec::{ExperimentSpec, RunContext};
@@ -37,35 +34,19 @@ fn run(ctx: &mut RunContext) {
     let replications = ctx.replications(SPEC.full_replications);
     let checkpoints = [0usize, 5, 10, 20, 40, 80, 160, 320, 640];
 
-    let ind = replicated_growth(
-        &w.pop_a,
-        &w.pop_a,
-        &w.generator,
-        &checkpoints,
-        CampaignRegime::IndependentSuites,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &w.profile,
-        replications,
-        1111,
-        threads,
-    );
-    let sh = replicated_growth(
-        &w.pop_a,
-        &w.pop_a,
-        &w.generator,
-        &checkpoints,
-        CampaignRegime::SharedSuite,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &w.profile,
-        replications,
-        2222,
-        threads,
-    );
+    let scenario = w.scenario().build().expect("valid world");
+    let ind = scenario
+        .with_regime(CampaignRegime::IndependentSuites)
+        .with_seed(1111)
+        .growth(&checkpoints, replications, threads)
+        .expect("valid checkpoints");
+    let sh = scenario
+        .with_seed(2222)
+        .growth(&checkpoints, replications, threads)
+        .expect("valid checkpoints");
 
     let mut table = Table::new(
-        &format!("growth curves ({replications} replications, {})", w.label),
+        &format!("growth curves ({replications} replications, {})", w.label()),
         &[
             "demands",
             "version (ind)",

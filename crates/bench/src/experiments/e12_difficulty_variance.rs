@@ -54,13 +54,7 @@ fn rare_hard_world() -> World {
     // Demand 4 (the hard one) is almost never exercised.
     let profile = UsageProfile::from_weights(space, vec![0.2475, 0.2475, 0.2475, 0.2475, 0.01])
         .expect("valid");
-    World {
-        pop_a: pop.clone(),
-        pop_b: pop,
-        generator: diversim_testing::generation::ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "rare-hard (hard demand hidden from the operational profile)",
-    }
+    World::symmetric("rare-hard", pop, profile)
 }
 
 fn run(ctx: &mut RunContext) {
@@ -92,7 +86,7 @@ fn run(ctx: &mut RunContext) {
             let cv_before = shift.var_before.sqrt() / shift.mean_before.max(1e-12);
             let cv_after = shift.var_after.sqrt() / shift.mean_after.max(1e-12);
             table.row(&[
-                world.label.split(' ').next().expect("label").to_string(),
+                world.label().split(' ').next().expect("label").to_string(),
                 n.to_string(),
                 format!("{:.6}", shift.mean_before),
                 format!("{:.6}", shift.var_before),
@@ -103,7 +97,7 @@ fn run(ctx: &mut RunContext) {
             ]);
             ctx.check(
                 shift.mean_after <= shift.mean_before + 1e-15,
-                format!("mean difficulty does not rise ({} n={n})", world.label),
+                format!("mean difficulty does not rise ({} n={n})", world.label()),
             );
             if shift.variance_reduced() {
                 saw_decrease = true;

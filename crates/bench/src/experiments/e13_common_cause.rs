@@ -9,7 +9,7 @@
 //! version-level severity, and measures what common clarifications do to
 //! both reliability and diversity.
 
-use diversim_sim::common_cause::{clarification_study, mistake_study, MistakeMode};
+use diversim_sim::common_cause::MistakeMode;
 
 use crate::report::Table;
 use crate::spec::{ExperimentSpec, RunContext};
@@ -31,6 +31,7 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
 fn run(ctx: &mut RunContext) {
     ctx.note("E13: common clarifications and mistakes (§5 extensions)\n");
     let w = medium_cascade(11);
+    let scenario = w.scenario().build().expect("valid world");
     let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
 
@@ -46,22 +47,16 @@ fn run(ctx: &mut RunContext) {
         ],
     );
     for mistakes in [1usize, 2, 4, 8] {
-        let common = mistake_study(
-            &w.pop_a,
-            &w.profile,
+        let common = scenario.with_seed(1300 + mistakes as u64).mistakes(
             mistakes,
             MistakeMode::Common,
             replications,
-            1300 + mistakes as u64,
             threads,
         );
-        let independent = mistake_study(
-            &w.pop_a,
-            &w.profile,
+        let independent = scenario.with_seed(1400 + mistakes as u64).mistakes(
             mistakes,
             MistakeMode::Independent,
             replications,
-            1400 + mistakes as u64,
             threads,
         );
         let ratio = common.system_pfd.mean() / independent.system_pfd.mean().max(1e-12);
@@ -96,12 +91,9 @@ fn run(ctx: &mut RunContext) {
     let mut last_version = f64::INFINITY;
     let mut last_se = 0.0;
     for clarified in [0usize, 4, 8, 16, 32] {
-        let study = clarification_study(
-            &w.pop_a,
-            &w.profile,
+        let study = scenario.with_seed(1500 + clarified as u64).clarifications(
             clarified,
             replications,
-            1500 + clarified as u64,
             threads,
         );
         table2.row(&[

@@ -8,10 +8,8 @@
 //! guarantee degrades when the oracle is fallible (§4.1's warning — the
 //! rule only sees *detected* failures).
 
-use diversim_sim::adaptive::adaptive_study;
 use diversim_stats::stopping::{failure_free_tests_required, StoppingRule};
-use diversim_testing::fixing::PerfectFixer;
-use diversim_testing::oracle::{ImperfectOracle, PerfectOracle};
+use diversim_testing::oracle::ImperfectOracle;
 
 use crate::report::Table;
 use crate::spec::{ExperimentSpec, RunContext};
@@ -33,6 +31,7 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
 fn run(ctx: &mut RunContext) {
     ctx.note("E15: adaptive campaigns under conservative stopping rules (§2, ref [3])\n");
     let w = medium_cascade(11);
+    let scenario = w.scenario().build().expect("valid world");
     let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let confidence = 0.95;
@@ -52,17 +51,11 @@ fn run(ctx: &mut RunContext) {
     );
     for &target in &[0.05, 0.02, 0.01, 0.005] {
         let rule = StoppingRule::FailureFree { target, confidence };
-        let study = adaptive_study(
-            &w.pop_a,
-            &w.profile,
-            &w.profile,
+        let study = scenario.with_seed((target * 1e4) as u64).adaptive_study(
             rule,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
             100_000,
             target,
             replications,
-            (target * 1e4) as u64,
             threads,
         );
         let min_run = failure_free_tests_required(target, confidence).expect("valid");
@@ -104,19 +97,10 @@ fn run(ctx: &mut RunContext) {
     );
     let mut last_met = 2.0;
     for &detect in &[1.0, 0.75, 0.5, 0.25, 0.1] {
-        let study = adaptive_study(
-            &w.pop_a,
-            &w.profile,
-            &w.profile,
-            rule,
-            &ImperfectOracle::new(detect).expect("valid"),
-            &PerfectFixer::new(),
-            100_000,
-            target,
-            replications,
-            9_000 + (detect * 100.0) as u64,
-            threads,
-        );
+        let study = scenario
+            .with_oracle(ImperfectOracle::new(detect).expect("valid"))
+            .with_seed(9_000 + (detect * 100.0) as u64)
+            .adaptive_study(rule, 100_000, target, replications, threads);
         table2.row(&[
             format!("{detect}"),
             format!("{:.1}", study.demands.mean()),

@@ -17,9 +17,6 @@
 
 use diversim_core::imperfect::{marginal_imperfect_iid, zeta_imperfect_iid};
 use diversim_core::testing_effect::TestingRegime;
-use diversim_sim::campaign::CampaignRegime;
-use diversim_sim::estimate::estimate_pair;
-use diversim_testing::fixing::ImperfectFixer;
 use diversim_testing::oracle::ImperfectOracle;
 
 use crate::report::Table;
@@ -42,6 +39,7 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
 fn run(ctx: &mut RunContext) {
     ctx.note("E16: how wrong is an independence-based assessment? (eqs 20–23 + exact ρ forms)\n");
     let w = small_graded();
+    let scenario = w.scenario().build().expect("valid world");
     let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
 
@@ -83,20 +81,12 @@ fn run(ctx: &mut RunContext) {
         let factor = truth / prediction.max(1e-300);
 
         // Monte Carlo: same regime via an imperfect oracle with d = rho
-        // and a perfect fixer (rho = d·r).
-        let mc = estimate_pair(
-            &w.pop_a,
-            &w.pop_a,
-            &w.generator,
-            n,
-            CampaignRegime::SharedSuite,
-            &ImperfectOracle::new(rho).expect("valid"),
-            &ImperfectFixer::new(1.0).expect("valid"),
-            &w.profile,
-            replications,
-            1600 + n as u64 + (rho * 100.0) as u64,
-            threads,
-        );
+        // and the default perfect fixer (rho = d·r).
+        let mc = scenario
+            .with_suite_size(n)
+            .with_oracle(ImperfectOracle::new(rho).expect("valid"))
+            .with_seed(1600 + n as u64 + (rho * 100.0) as u64)
+            .estimate(replications, threads);
 
         table.row(&[
             n.to_string(),

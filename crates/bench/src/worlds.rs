@@ -1,66 +1,34 @@
-//! Standard universes used across the experiments, so that every binary
-//! states its workload in one line and the reports stay comparable.
-
-use std::sync::Arc;
+//! Standard universes used across the experiments, so that every
+//! experiment states its workload in one line and the reports stay
+//! comparable.
+//!
+//! The world *type* is `sim`'s canonical [`World`] (re-exported here);
+//! this module only keeps the named fixtures. Labels are derived from
+//! the world parameters by [`World`] itself, so they can never drift
+//! from the actual workload.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use diversim_testing::generation::ProfileGenerator;
-use diversim_universe::demand::DemandSpace;
-use diversim_universe::fault::{FaultModel, FaultModelBuilder};
 use diversim_universe::generator::{
     mirrored_pair, ProfileKind, PropensityKind, RegionSize, UniverseSpec,
 };
 use diversim_universe::population::BernoulliPopulation;
 use diversim_universe::profile::UsageProfile;
 
-/// A ready-to-run world: population(s), usage profile and suite generator.
-#[derive(Debug, Clone)]
-pub struct World {
-    /// Methodology A.
-    pub pop_a: BernoulliPopulation,
-    /// Methodology B (equal to A for unforced worlds).
-    pub pop_b: BernoulliPopulation,
-    /// The operational profile `Q(·)`.
-    pub profile: UsageProfile,
-    /// Operational-profile suite generator.
-    pub generator: ProfileGenerator,
-    /// Short description for reports.
-    pub label: &'static str,
-}
-
-fn singleton_model(n: usize) -> Arc<FaultModel> {
-    let space = DemandSpace::new(n).expect("non-empty");
-    Arc::new(
-        FaultModelBuilder::new(space)
-            .singleton_faults()
-            .build()
-            .expect("valid"),
-    )
-}
+pub use diversim_sim::world::World;
 
 /// The canonical small exact world: 6 demands, singleton faults, graded
 /// difficulty 0.02–0.6, uniform usage. Fully enumerable.
 pub fn small_graded() -> World {
-    let model = singleton_model(6);
-    let props = vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.6];
-    let pop = BernoulliPopulation::new(Arc::clone(&model), props).expect("valid");
-    let profile = UsageProfile::uniform(model.space());
-    World {
-        pop_a: pop.clone(),
-        pop_b: pop,
-        generator: ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "small-graded (6 demands, singleton, uniform Q)",
-    }
+    World::singleton_uniform("small-graded", vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.6])
+        .expect("valid propensities")
 }
 
 /// A graded singleton world with a constant-difficulty twin: used to show
 /// the EL equality case. `spread` interpolates between constant difficulty
 /// (0.0) and strongly varying difficulty (1.0) at fixed mean 0.3.
 pub fn graded_with_spread(spread: f64) -> World {
-    let model = singleton_model(6);
     let mean = 0.3;
     // Difficulty points symmetric around the mean, scaled by `spread`.
     let offsets = [-0.25, -0.15, -0.05, 0.05, 0.15, 0.25];
@@ -68,36 +36,32 @@ pub fn graded_with_spread(spread: f64) -> World {
         .iter()
         .map(|o| (mean + o * spread).clamp(0.0, 1.0))
         .collect();
-    let pop = BernoulliPopulation::new(Arc::clone(&model), props).expect("valid");
-    let profile = UsageProfile::uniform(model.space());
-    World {
-        pop_a: pop.clone(),
-        pop_b: pop,
-        generator: ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "graded-spread (6 demands, singleton, mean difficulty 0.3)",
-    }
+    World::singleton_uniform("graded-spread", props).expect("valid propensities")
 }
 
 /// A forced-diversity world: mirrored methodologies over 8 singleton
 /// faults (negative difficulty covariance).
 pub fn mirrored(hi: f64, lo: f64) -> World {
-    let model = singleton_model(8);
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use std::sync::Arc;
+    let space = DemandSpace::new(8).expect("non-empty");
+    let model = Arc::new(
+        FaultModelBuilder::new(space)
+            .singleton_faults()
+            .build()
+            .expect("valid"),
+    );
     let (pop_a, pop_b) = mirrored_pair(&model, hi, lo).expect("valid propensities");
-    let profile = UsageProfile::uniform(model.space());
-    World {
-        pop_a,
-        pop_b,
-        generator: ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "mirrored forced diversity (8 demands, singleton)",
-    }
+    World::forced("mirrored", pop_a, pop_b, UsageProfile::uniform(space))
 }
 
 /// The engineered negative-eq-25-coupling world: two faults with
 /// overlapping regions, each prone for one methodology only.
 pub fn negative_coupling() -> World {
-    use diversim_universe::demand::DemandId;
+    use diversim_universe::demand::{DemandId, DemandSpace};
+    use diversim_universe::fault::FaultModelBuilder;
+    use std::sync::Arc;
     let space = DemandSpace::new(3).expect("non-empty");
     let model = Arc::new(
         FaultModelBuilder::new(space)
@@ -108,14 +72,12 @@ pub fn negative_coupling() -> World {
     );
     let pop_a = BernoulliPopulation::new(Arc::clone(&model), vec![0.9, 0.0]).expect("valid");
     let pop_b = BernoulliPopulation::new(Arc::clone(&model), vec![0.0, 0.9]).expect("valid");
-    let profile = UsageProfile::uniform(space);
-    World {
+    World::forced(
+        "negative-coupling",
         pop_a,
         pop_b,
-        generator: ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "negative-coupling (3 demands, overlapping regions)",
-    }
+        UsageProfile::uniform(space),
+    )
 }
 
 /// A medium simulation world with fault-region cascades: 200 demands, 60
@@ -132,14 +94,7 @@ pub fn medium_cascade(seed: u64) -> World {
     let (universe, pop) = spec
         .generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.05, hi: 0.5 })
         .expect("valid spec");
-    let profile = universe.profile().clone();
-    World {
-        pop_a: pop.clone(),
-        pop_b: pop,
-        generator: ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "medium-cascade (200 demands, 60 faults, Zipf usage)",
-    }
+    World::from_universe("medium-cascade", &universe, pop)
 }
 
 /// A large simulation world for benchmarking throughput: 2000 demands,
@@ -155,14 +110,7 @@ pub fn large(seed: u64) -> World {
     let (universe, pop) = spec
         .generate_with_population(&mut rng, PropensityKind::Harmonic { hi: 0.5 })
         .expect("valid spec");
-    let profile = universe.profile().clone();
-    World {
-        pop_a: pop.clone(),
-        pop_b: pop,
-        generator: ProfileGenerator::new(profile.clone()),
-        profile,
-        label: "large (2000 demands, 400 faults)",
-    }
+    World::from_universe("large", &universe, pop)
 }
 
 #[cfg(test)]
@@ -182,8 +130,25 @@ mod tests {
         ] {
             assert_eq!(world.pop_a.model().space(), world.profile.space());
             assert_eq!(world.pop_b.model().space(), world.profile.space());
-            assert!(!world.label.is_empty());
+            assert!(!world.label().is_empty());
         }
+    }
+
+    #[test]
+    fn labels_are_derived_from_parameters() {
+        assert_eq!(
+            small_graded().label(),
+            "small-graded (6 demands, 6 faults, singleton, uniform Q)"
+        );
+        assert_eq!(
+            negative_coupling().label(),
+            "negative-coupling (3 demands, 2 faults, regions ≤2, uniform Q)"
+        );
+        let medium = medium_cascade(1);
+        assert!(medium
+            .label()
+            .starts_with("medium-cascade (200 demands, 60 faults,"));
+        assert!(medium.label().ends_with("skewed Q)"));
     }
 
     #[test]

@@ -8,9 +8,9 @@ use diversim_bench::spec::Profile;
 
 /// The engine's rendered JSON and CSV must be byte-identical whether
 /// the Monte Carlo replications run on 1 thread or 8 — the ISSUE-2
-/// acceptance criterion for deterministic parallelism. `e06` and `e08`
-/// exercise both `parallel_accumulate_n` (via `estimate_pair`) and the
-/// scalar `parallel_accumulate` path.
+/// acceptance criterion for deterministic parallelism. `e06` covers
+/// `Scenario::estimate` and `e08` additionally `merged_estimate`, both
+/// batching through `parallel_accumulate_n`.
 #[test]
 fn engine_output_is_byte_identical_for_1_and_8_threads() {
     for key in ["e06", "e08"] {

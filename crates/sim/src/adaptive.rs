@@ -7,21 +7,20 @@
 //! module debugs a version demand-by-demand until a
 //! [`diversim_stats::stopping::StoppingRule`] fires, and measures what
 //! the rule actually delivers: how many demands were spent and whether
-//! the achieved pfd meets the target.
+//! the achieved pfd meets the target. Adaptive studies are launched
+//! through [`crate::scenario::Scenario::adaptive`] and
+//! [`crate::scenario::Scenario::adaptive_study`]; demands are drawn from
+//! the scenario's *test* profile while the achieved pfd is evaluated on
+//! its operational profile.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use diversim_stats::online::MeanVar;
-use diversim_stats::seed::SeedSequence;
 use diversim_stats::stopping::{StoppingRule, StoppingState};
-use diversim_testing::fixing::Fixer;
-use diversim_testing::oracle::Oracle;
-use diversim_universe::population::Population;
-use diversim_universe::profile::UsageProfile;
 use diversim_universe::version::Version;
 
-use crate::runner::parallel_replications;
+use crate::scenario::Scenario;
 
 /// Outcome of one adaptive campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,26 +38,23 @@ pub struct AdaptiveOutcome {
     pub achieved_pfd: f64,
 }
 
-/// Debugs a freshly drawn version until `rule` fires (or `max_demands` is
-/// reached), drawing test demands i.i.d. from `test_profile`.
+/// The body behind [`Scenario::adaptive`]: debugs a freshly drawn version
+/// (from population A) until `rule` fires or `max_demands` is reached.
 ///
 /// The stopping rule observes the *oracle verdicts* — undetected failures
 /// look like successes to the rule, exactly the fallibility the paper
 /// warns about in §4.1.
-#[allow(clippy::too_many_arguments)]
-pub fn adaptive_campaign(
-    pop: &dyn Population,
-    test_profile: &UsageProfile,
-    operational_profile: &UsageProfile,
+pub(crate) fn adaptive_campaign(
+    scenario: &Scenario,
     rule: StoppingRule,
-    oracle: &dyn Oracle,
-    fixer: &dyn Fixer,
     max_demands: u64,
     seed: u64,
 ) -> AdaptiveOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
-    let model = pop.model().clone();
-    let mut version = pop.sample(&mut rng);
+    let prepared = scenario.prepared();
+    let model = prepared.model();
+    let test_profile = scenario.test_profile();
+    let mut version = scenario.pop_a().sample(&mut rng);
     let mut state = StoppingState::new(rule);
     let mut failures_observed = 0u64;
     let mut stopped_by_rule = false;
@@ -71,13 +67,13 @@ pub fn adaptive_campaign(
             break;
         }
         let x = test_profile.sample(&mut rng);
-        let failed = version.fails_on(&model, x);
-        let detected = failed && oracle.detects(&mut rng, x);
+        let failed = version.fails_on(model, x);
+        let detected = failed && scenario.oracle().detects(&mut rng, x);
         if failed {
             failures_observed += 1;
         }
         if detected {
-            fixer.fix(&mut rng, &model, &mut version, x);
+            scenario.fixer().fix(&mut rng, model, &mut version, x);
         }
         // The rule sees the oracle's verdict, not the ground truth.
         state.record(detected);
@@ -86,7 +82,7 @@ pub fn adaptive_campaign(
         stopped_by_rule = true;
     }
     AdaptiveOutcome {
-        achieved_pfd: version.pfd(&model, operational_profile),
+        achieved_pfd: prepared.version_pfd(&version),
         demands_used: state.demands(),
         failures_observed,
         stopped_by_rule,
@@ -108,36 +104,19 @@ pub struct AdaptiveStudy {
     pub rule_fired_rate: f64,
 }
 
-/// Runs `replications` adaptive campaigns in parallel and reports the
-/// rule's delivered calibration against `target_pfd`.
-#[allow(clippy::too_many_arguments)]
-pub fn adaptive_study(
-    pop: &dyn Population,
-    test_profile: &UsageProfile,
-    operational_profile: &UsageProfile,
+/// The body behind [`Scenario::adaptive_study`]: replicated adaptive
+/// campaigns with the rule's delivered calibration against `target_pfd`.
+pub(crate) fn adaptive_study(
+    scenario: &Scenario,
     rule: StoppingRule,
-    oracle: &dyn Oracle,
-    fixer: &dyn Fixer,
     max_demands: u64,
     target_pfd: f64,
     replications: u64,
-    seed: u64,
     threads: usize,
 ) -> AdaptiveStudy {
-    let seeds = SeedSequence::new(seed);
-    let outcomes: Vec<AdaptiveOutcome> =
-        parallel_replications(replications, seeds, threads, |_, rep_seed| {
-            adaptive_campaign(
-                pop,
-                test_profile,
-                operational_profile,
-                rule,
-                oracle,
-                fixer,
-                max_demands,
-                rep_seed,
-            )
-        });
+    let outcomes: Vec<AdaptiveOutcome> = scenario.replicate(replications, threads, |seed| {
+        adaptive_campaign(scenario, rule, max_demands, seed)
+    });
     let mut demands = MeanVar::new();
     let mut achieved = MeanVar::new();
     let mut met = 0u64;
@@ -164,40 +143,22 @@ pub fn adaptive_study(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diversim_testing::fixing::PerfectFixer;
-    use diversim_testing::oracle::{ImperfectOracle, PerfectOracle};
-    use diversim_universe::demand::DemandSpace;
-    use diversim_universe::fault::FaultModelBuilder;
-    use diversim_universe::population::BernoulliPopulation;
-    use std::sync::Arc;
+    use crate::world::World;
+    use diversim_testing::oracle::ImperfectOracle;
 
-    fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile) {
-        let space = DemandSpace::new(n).unwrap();
-        let model = Arc::new(
-            FaultModelBuilder::new(space)
-                .singleton_faults()
-                .build()
-                .unwrap(),
-        );
-        (
-            BernoulliPopulation::constant(model, p).unwrap(),
-            UsageProfile::uniform(space),
-        )
+    fn scenario(n: usize, p: f64, seed: u64) -> Scenario {
+        World::singleton_uniform("adaptive-test", vec![p; n])
+            .unwrap()
+            .scenario()
+            .seed(seed)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn fixed_size_rule_uses_exact_budget() {
-        let (pop, q) = setup(10, 0.5);
-        let out = adaptive_campaign(
-            &pop,
-            &q,
-            &q,
-            StoppingRule::FixedSize(25),
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            1000,
-            3,
-        );
+        let s = scenario(10, 0.5, 0);
+        let out = s.adaptive(StoppingRule::FixedSize(25), 1000, 3);
         assert_eq!(out.demands_used, 25);
         assert!(out.stopped_by_rule);
     }
@@ -205,42 +166,24 @@ mod tests {
     #[test]
     fn cap_prevents_runaway_campaigns() {
         // A practically unreachable failure-free requirement.
-        let (pop, q) = setup(4, 0.9);
+        let s = scenario(4, 0.9, 0);
         let rule = StoppingRule::FailureFree {
             target: 1e-9,
             confidence: 0.999,
         };
-        let out = adaptive_campaign(
-            &pop,
-            &q,
-            &q,
-            rule,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            500,
-            4,
-        );
+        let out = s.adaptive(rule, 500, 4);
         assert_eq!(out.demands_used, 500);
         assert!(!out.stopped_by_rule);
     }
 
     #[test]
     fn failure_free_rule_keeps_testing_after_failures() {
-        let (pop, q) = setup(6, 0.8);
+        let s = scenario(6, 0.8, 0);
         let rule = StoppingRule::FailureFree {
             target: 0.2,
             confidence: 0.9,
         };
-        let out = adaptive_campaign(
-            &pop,
-            &q,
-            &q,
-            rule,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            10_000,
-            5,
-        );
+        let out = s.adaptive(rule, 10_000, 5);
         assert!(out.stopped_by_rule);
         // The rule demands ~11 consecutive detected-failure-free tests, so
         // failures must push the total beyond the minimum.
@@ -250,54 +193,25 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic_per_seed() {
-        let (pop, q) = setup(8, 0.5);
+        let s = scenario(8, 0.5, 0);
         let rule = StoppingRule::FailureFree {
             target: 0.1,
             confidence: 0.9,
         };
-        let a = adaptive_campaign(
-            &pop,
-            &q,
-            &q,
-            rule,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            5000,
-            77,
-        );
-        let b = adaptive_campaign(
-            &pop,
-            &q,
-            &q,
-            rule,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            5000,
-            77,
-        );
-        assert_eq!(a, b);
+        assert_eq!(s.adaptive(rule, 5000, 77), s.adaptive(rule, 5000, 77));
     }
 
     #[test]
     fn blind_oracle_fools_the_rule() {
         // With detection probability 0 the rule sees only "successes" and
         // stops at the minimum count — while the version is untouched.
-        let (pop, q) = setup(6, 0.9);
+        let s = scenario(6, 0.9, 0).with_oracle(ImperfectOracle::new(0.0).unwrap());
         let rule = StoppingRule::FailureFree {
             target: 0.1,
             confidence: 0.9,
         };
         let minimum = diversim_stats::stopping::failure_free_tests_required(0.1, 0.9).unwrap();
-        let out = adaptive_campaign(
-            &pop,
-            &q,
-            &q,
-            rule,
-            &ImperfectOracle::new(0.0).unwrap(),
-            &PerfectFixer::new(),
-            10_000,
-            6,
-        );
+        let out = s.adaptive(rule, 10_000, 6);
         assert!(out.stopped_by_rule);
         assert_eq!(out.demands_used, minimum);
         // Nothing was fixed: the achieved pfd is the untested pfd.
@@ -306,28 +220,13 @@ mod tests {
 
     #[test]
     fn study_aggregates_and_is_thread_invariant() {
-        let (pop, q) = setup(10, 0.4);
+        let s = scenario(10, 0.4, 12);
         let rule = StoppingRule::FailureFree {
             target: 0.05,
             confidence: 0.9,
         };
-        let run = |threads| {
-            adaptive_study(
-                &pop,
-                &q,
-                &q,
-                rule,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                5_000,
-                0.05,
-                300,
-                12,
-                threads,
-            )
-        };
-        let a = run(1);
-        let b = run(4);
+        let a = s.adaptive_study(rule, 5_000, 0.05, 300, 1);
+        let b = s.adaptive_study(rule, 5_000, 0.05, 300, 4);
         assert_eq!(a, b);
         assert_eq!(a.demands.count(), 300);
         assert!(a.rule_fired_rate > 0.9, "rule should fire almost always");

@@ -8,6 +8,10 @@
 //! operational demands), which Rao–Blackwellises the estimator: the only
 //! Monte Carlo noise left is over versions and suites, exactly the
 //! uncertainty the paper's expectations range over.
+//!
+//! Campaigns are launched through [`crate::scenario::Scenario::run`]; the
+//! scenario supplies the world, the process knobs and the per-world
+//! [`crate::prepared::Prepared`] cache the evaluation runs on.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,14 +19,11 @@ use rand::SeedableRng;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
-use diversim_core::system::pair_pfd;
-use diversim_testing::fixing::Fixer;
-use diversim_testing::generation::SuiteGenerator;
-use diversim_testing::oracle::{IdenticalFailureModel, Oracle};
+use diversim_testing::oracle::IdenticalFailureModel;
 use diversim_testing::process::{back_to_back_debug, debug_version};
-use diversim_universe::population::Population;
-use diversim_universe::profile::UsageProfile;
 use diversim_universe::version::Version;
+
+use crate::scenario::Scenario;
 
 /// The testing regime a campaign runs under.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,34 +60,27 @@ pub struct PairOutcome {
     pub system_pfd_before: f64,
 }
 
-/// Runs one campaign.
+/// Runs one campaign of `scenario` (the body behind
+/// [`Scenario::run`]).
 ///
 /// `suite_size` demands are drawn per suite (one suite per version under
 /// [`CampaignRegime::IndependentSuites`], one shared suite otherwise).
-/// The `oracle` is consulted only under [`CampaignRegime::SharedSuite`]
-/// and [`CampaignRegime::IndependentSuites`]; back-to-back supplies its
-/// own detection semantics.
-#[allow(clippy::too_many_arguments)]
-pub fn run_pair_campaign(
-    pop_a: &dyn Population,
-    pop_b: &dyn Population,
-    generator: &dyn SuiteGenerator,
-    suite_size: usize,
-    regime: CampaignRegime,
-    oracle: &dyn Oracle,
-    fixer: &dyn Fixer,
-    profile: &UsageProfile,
-    seed: u64,
-) -> PairOutcome {
+/// The oracle is consulted only under [`CampaignRegime::SharedSuite`] and
+/// [`CampaignRegime::IndependentSuites`]; back-to-back supplies its own
+/// detection semantics.
+pub(crate) fn run_campaign(scenario: &Scenario, seed: u64) -> PairOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
-    let model = pop_a.model().clone();
-    let va = pop_a.sample(&mut rng);
-    let vb = pop_b.sample(&mut rng);
-    let first_pfd_before = va.pfd(&model, profile);
-    let second_pfd_before = vb.pfd(&model, profile);
-    let system_pfd_before = pair_pfd(&va, &vb, &model, profile);
+    let prepared = scenario.prepared();
+    let model = prepared.model();
+    let generator = scenario.generator();
+    let suite_size = scenario.suite_size();
+    let va = scenario.pop_a().sample(&mut rng);
+    let vb = scenario.pop_b().sample(&mut rng);
+    let first_pfd_before = prepared.version_pfd(&va);
+    let second_pfd_before = prepared.version_pfd(&vb);
+    let system_pfd_before = prepared.pair_pfd(&va, &vb);
 
-    let (ta, tb) = match regime {
+    let (ta, tb) = match scenario.regime() {
         CampaignRegime::IndependentSuites => (
             generator.generate(&mut rng, suite_size),
             generator.generate(&mut rng, suite_size),
@@ -97,22 +91,37 @@ pub fn run_pair_campaign(
         }
     };
 
-    let (first, second) = match regime {
+    let (first, second) = match scenario.regime() {
         CampaignRegime::IndependentSuites | CampaignRegime::SharedSuite => {
-            let a = debug_version(&va, &ta, &model, oracle, fixer, &mut rng);
-            let b = debug_version(&vb, &tb, &model, oracle, fixer, &mut rng);
+            let a = debug_version(
+                &va,
+                &ta,
+                model,
+                scenario.oracle(),
+                scenario.fixer(),
+                &mut rng,
+            );
+            let b = debug_version(
+                &vb,
+                &tb,
+                model,
+                scenario.oracle(),
+                scenario.fixer(),
+                &mut rng,
+            );
             (a.version, b.version)
         }
         CampaignRegime::BackToBack(identical) => {
-            let out = back_to_back_debug(&va, &vb, &ta, &model, identical, fixer, &mut rng);
+            let out =
+                back_to_back_debug(&va, &vb, &ta, model, identical, scenario.fixer(), &mut rng);
             (out.first, out.second)
         }
     };
 
     PairOutcome {
-        first_pfd: first.pfd(&model, profile),
-        second_pfd: second.pfd(&model, profile),
-        system_pfd: pair_pfd(&first, &second, &model, profile),
+        first_pfd: prepared.version_pfd(&first),
+        second_pfd: prepared.version_pfd(&second),
+        system_pfd: prepared.pair_pfd(&first, &second),
         first,
         second,
         first_pfd_before,
@@ -124,71 +133,29 @@ pub fn run_pair_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diversim_testing::fixing::PerfectFixer;
-    use diversim_testing::generation::ProfileGenerator;
-    use diversim_testing::oracle::PerfectOracle;
-    use diversim_universe::demand::DemandSpace;
-    use diversim_universe::fault::FaultModelBuilder;
-    use diversim_universe::population::BernoulliPopulation;
-    use std::sync::Arc;
+    use crate::world::World;
 
-    fn setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
-        let space = DemandSpace::new(props.len()).unwrap();
-        let model = Arc::new(
-            FaultModelBuilder::new(space)
-                .singleton_faults()
-                .build()
-                .unwrap(),
-        );
-        let pop = BernoulliPopulation::new(model, props).unwrap();
-        let q = UsageProfile::uniform(space);
-        let gen = ProfileGenerator::new(q.clone());
-        (pop, q, gen)
+    fn scenario(props: Vec<f64>, size: usize, regime: CampaignRegime) -> Scenario {
+        World::singleton_uniform("campaign-test", props)
+            .unwrap()
+            .scenario()
+            .suite_size(size)
+            .regime(regime)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn campaign_is_seed_deterministic() {
-        let (pop, q, gen) = setup(vec![0.3, 0.6, 0.2]);
-        let a = run_pair_campaign(
-            &pop,
-            &pop,
-            &gen,
-            4,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            99,
-        );
-        let b = run_pair_campaign(
-            &pop,
-            &pop,
-            &gen,
-            4,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            99,
-        );
-        assert_eq!(a, b);
+        let s = scenario(vec![0.3, 0.6, 0.2], 4, CampaignRegime::SharedSuite);
+        assert_eq!(s.run(99), s.run(99));
     }
 
     #[test]
     fn debugging_never_hurts_with_perfect_testing() {
-        let (pop, q, gen) = setup(vec![0.5, 0.5, 0.5, 0.5]);
+        let s = scenario(vec![0.5; 4], 6, CampaignRegime::IndependentSuites);
         for seed in 0..50 {
-            let out = run_pair_campaign(
-                &pop,
-                &pop,
-                &gen,
-                6,
-                CampaignRegime::IndependentSuites,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
+            let out = s.run(seed);
             assert!(out.first_pfd <= out.first_pfd_before + 1e-15);
             assert!(out.second_pfd <= out.second_pfd_before + 1e-15);
             assert!(out.system_pfd <= out.system_pfd_before + 1e-15);
@@ -197,18 +164,8 @@ mod tests {
 
     #[test]
     fn zero_size_suite_changes_nothing() {
-        let (pop, q, gen) = setup(vec![0.7, 0.7]);
-        let out = run_pair_campaign(
-            &pop,
-            &pop,
-            &gen,
-            0,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            5,
-        );
+        let s = scenario(vec![0.7, 0.7], 0, CampaignRegime::SharedSuite);
+        let out = s.run(5);
         assert_eq!(out.first_pfd, out.first_pfd_before);
         assert_eq!(out.system_pfd, out.system_pfd_before);
     }
@@ -217,34 +174,15 @@ mod tests {
     fn back_to_back_never_identical_matches_shared_perfect_oracle() {
         // With IdenticalFailureModel::Never and a perfect fixer, b2b on the
         // shared suite produces exactly the perfect-oracle shared outcome.
-        let (pop, q, gen) = setup(vec![0.4, 0.6, 0.8]);
+        let shared = scenario(vec![0.4, 0.6, 0.8], 5, CampaignRegime::SharedSuite);
+        let b2b = shared.with_regime(CampaignRegime::BackToBack(IdenticalFailureModel::Never));
         for seed in 0..30 {
-            let b2b = run_pair_campaign(
-                &pop,
-                &pop,
-                &gen,
-                5,
-                CampaignRegime::BackToBack(IdenticalFailureModel::Never),
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
-            let shared = run_pair_campaign(
-                &pop,
-                &pop,
-                &gen,
-                5,
-                CampaignRegime::SharedSuite,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
+            let b = b2b.run(seed);
+            let s = shared.run(seed);
             // Same seed → same versions and same shared suite; perfect
             // detection in both → identical end states.
-            assert_eq!(b2b.first, shared.first);
-            assert_eq!(b2b.second, shared.second);
+            assert_eq!(b.first, s.first);
+            assert_eq!(b.second, s.second);
         }
     }
 
@@ -252,19 +190,13 @@ mod tests {
     fn back_to_back_pessimistic_keeps_system_pfd_singleton() {
         // Singleton regions: the §4.2 worst case is exact — system pfd
         // after pessimistic b2b equals system pfd before.
-        let (pop, q, gen) = setup(vec![0.5, 0.5, 0.5, 0.5, 0.5]);
+        let s = scenario(
+            vec![0.5; 5],
+            10,
+            CampaignRegime::BackToBack(IdenticalFailureModel::Always),
+        );
         for seed in 0..50 {
-            let out = run_pair_campaign(
-                &pop,
-                &pop,
-                &gen,
-                10,
-                CampaignRegime::BackToBack(IdenticalFailureModel::Always),
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
+            let out = s.run(seed);
             assert!(
                 (out.system_pfd - out.system_pfd_before).abs() < 1e-15,
                 "pessimistic b2b changed system pfd at seed {seed}"
@@ -276,36 +208,10 @@ mod tests {
     fn independent_suites_actually_differ_from_shared() {
         // Statistical sanity: across many seeds the regimes should not
         // produce identical system pfds every time.
-        let (pop, q, gen) = setup(vec![0.5, 0.5, 0.5]);
-        let mut differs = false;
-        for seed in 0..40 {
-            let ind = run_pair_campaign(
-                &pop,
-                &pop,
-                &gen,
-                2,
-                CampaignRegime::IndependentSuites,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
-            let sh = run_pair_campaign(
-                &pop,
-                &pop,
-                &gen,
-                2,
-                CampaignRegime::SharedSuite,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
-            if (ind.system_pfd - sh.system_pfd).abs() > 1e-15 {
-                differs = true;
-                break;
-            }
-        }
+        let sh = scenario(vec![0.5; 3], 2, CampaignRegime::SharedSuite);
+        let ind = sh.with_regime(CampaignRegime::IndependentSuites);
+        let differs =
+            (0..40).any(|seed| (ind.run(seed).system_pfd - sh.run(seed).system_pfd).abs() > 1e-15);
         assert!(differs, "regimes never differed — suspicious");
     }
 }

@@ -10,19 +10,17 @@
 //! versions) against **independent** mistakes (each version gets its own
 //! independently drawn fault): the version-level damage is identical by
 //! construction, but the system-level damage is radically different.
+//! Studies are launched through [`crate::scenario::Scenario::mistakes`]
+//! and [`crate::scenario::Scenario::clarifications`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use diversim_core::system::pair_pfd;
 use diversim_stats::online::MeanVar;
-use diversim_stats::seed::SeedSequence;
 use diversim_universe::common_cause::CommonCauseEvent;
 use diversim_universe::fault::FaultId;
-use diversim_universe::population::Population;
-use diversim_universe::profile::UsageProfile;
 
-use crate::runner::parallel_replications;
+use crate::scenario::Scenario;
 
 /// How mistakes are distributed across the two versions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,44 +53,40 @@ fn draw_faults<R: Rng + ?Sized>(rng: &mut R, fault_count: usize, mistakes: usize
         .collect()
 }
 
-/// Runs a replicated mistake study: draw a version pair, inject
+/// The body behind [`Scenario::mistakes`]: draw a version pair, inject
 /// `mistakes` faults per the chosen [`MistakeMode`], and measure pfds.
-#[allow(clippy::too_many_arguments)]
-pub fn mistake_study(
-    pop: &dyn Population,
-    profile: &UsageProfile,
+pub(crate) fn mistake_study(
+    scenario: &Scenario,
     mistakes: usize,
     mode: MistakeMode,
     replications: u64,
-    seed: u64,
     threads: usize,
 ) -> MistakeStudy {
-    let seeds = SeedSequence::new(seed);
-    let results: Vec<(f64, f64, f64)> =
-        parallel_replications(replications, seeds, threads, |_, rep_seed| {
-            let mut rng = StdRng::seed_from_u64(rep_seed);
-            let model = pop.model().clone();
-            let mut a = pop.sample(&mut rng);
-            let mut b = pop.sample(&mut rng);
-            let before = pair_pfd(&a, &b, &model, profile);
-            match mode {
-                MistakeMode::Common => {
-                    let faults = draw_faults(&mut rng, model.fault_count(), mistakes);
-                    let ev = CommonCauseEvent::Mistake { faults };
-                    ev.apply(&mut a);
-                    ev.apply(&mut b);
-                }
-                MistakeMode::Independent => {
-                    let fa = draw_faults(&mut rng, model.fault_count(), mistakes);
-                    let fb = draw_faults(&mut rng, model.fault_count(), mistakes);
-                    CommonCauseEvent::Mistake { faults: fa }.apply(&mut a);
-                    CommonCauseEvent::Mistake { faults: fb }.apply(&mut b);
-                }
+    let prepared = scenario.prepared();
+    let results: Vec<(f64, f64, f64)> = scenario.replicate(replications, threads, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fault_count = prepared.model().fault_count();
+        let mut a = scenario.pop_a().sample(&mut rng);
+        let mut b = scenario.pop_b().sample(&mut rng);
+        let before = prepared.pair_pfd(&a, &b);
+        match mode {
+            MistakeMode::Common => {
+                let faults = draw_faults(&mut rng, fault_count, mistakes);
+                let ev = CommonCauseEvent::Mistake { faults };
+                ev.apply(&mut a);
+                ev.apply(&mut b);
             }
-            let version = 0.5 * (a.pfd(&model, profile) + b.pfd(&model, profile));
-            let system = pair_pfd(&a, &b, &model, profile);
-            (version, system, before)
-        });
+            MistakeMode::Independent => {
+                let fa = draw_faults(&mut rng, fault_count, mistakes);
+                let fb = draw_faults(&mut rng, fault_count, mistakes);
+                CommonCauseEvent::Mistake { faults: fa }.apply(&mut a);
+                CommonCauseEvent::Mistake { faults: fb }.apply(&mut b);
+            }
+        }
+        let version = 0.5 * (prepared.version_pfd(&a) + prepared.version_pfd(&b));
+        let system = prepared.pair_pfd(&a, &b);
+        (version, system, before)
+    });
     let mut version_pfd = MeanVar::new();
     let mut system_pfd = MeanVar::new();
     let mut system_pfd_before = MeanVar::new();
@@ -121,35 +115,32 @@ pub struct ClarificationStudy {
     pub jaccard: MeanVar,
 }
 
-/// Runs a replicated clarification study: `clarified` random faults are
-/// resolved for *both* versions (the §5 common clarification).
-#[allow(clippy::too_many_arguments)]
-pub fn clarification_study(
-    pop: &dyn Population,
-    profile: &UsageProfile,
+/// The body behind [`Scenario::clarifications`]: `clarified` random
+/// faults are resolved for *both* versions (the §5 common clarification).
+pub(crate) fn clarification_study(
+    scenario: &Scenario,
     clarified: usize,
     replications: u64,
-    seed: u64,
     threads: usize,
 ) -> ClarificationStudy {
-    let seeds = SeedSequence::new(seed);
-    let results: Vec<(f64, f64, f64)> =
-        parallel_replications(replications, seeds, threads, |_, rep_seed| {
-            let mut rng = StdRng::seed_from_u64(rep_seed);
-            let model = pop.model().clone();
-            let mut a = pop.sample(&mut rng);
-            let mut b = pop.sample(&mut rng);
-            let faults = draw_faults(&mut rng, model.fault_count(), clarified);
-            let ev = CommonCauseEvent::Clarification { faults };
-            ev.apply(&mut a);
-            ev.apply(&mut b);
-            let report = diversim_core::metrics::DiversityReport::compute(&a, &b, &model, profile);
-            (
-                0.5 * (report.pfd_a + report.pfd_b),
-                report.joint_pfd,
-                report.jaccard,
-            )
-        });
+    let prepared = scenario.prepared();
+    let results: Vec<(f64, f64, f64)> = scenario.replicate(replications, threads, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = prepared.model();
+        let mut a = scenario.pop_a().sample(&mut rng);
+        let mut b = scenario.pop_b().sample(&mut rng);
+        let faults = draw_faults(&mut rng, model.fault_count(), clarified);
+        let ev = CommonCauseEvent::Clarification { faults };
+        ev.apply(&mut a);
+        ev.apply(&mut b);
+        let report =
+            diversim_core::metrics::DiversityReport::compute(&a, &b, model, prepared.profile());
+        (
+            0.5 * (report.pfd_a + report.pfd_b),
+            report.joint_pfd,
+            report.jaccard,
+        )
+    });
     let mut version_pfd = MeanVar::new();
     let mut system_pfd = MeanVar::new();
     let mut jaccard = MeanVar::new();
@@ -168,30 +159,22 @@ pub fn clarification_study(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diversim_universe::demand::DemandSpace;
-    use diversim_universe::fault::FaultModelBuilder;
-    use diversim_universe::population::BernoulliPopulation;
-    use std::sync::Arc;
+    use crate::world::World;
 
-    fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile) {
-        let space = DemandSpace::new(n).unwrap();
-        let model = Arc::new(
-            FaultModelBuilder::new(space)
-                .singleton_faults()
-                .build()
-                .unwrap(),
-        );
-        (
-            BernoulliPopulation::constant(model, p).unwrap(),
-            UsageProfile::uniform(space),
-        )
+    fn scenario(n: usize, p: f64, seed: u64) -> Scenario {
+        World::singleton_uniform("cc-test", vec![p; n])
+            .unwrap()
+            .scenario()
+            .seed(seed)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn common_mistakes_hurt_the_system_more_than_independent_ones() {
-        let (pop, q) = setup(20, 0.1);
-        let common = mistake_study(&pop, &q, 3, MistakeMode::Common, 2_000, 5, 4);
-        let independent = mistake_study(&pop, &q, 3, MistakeMode::Independent, 2_000, 5, 4);
+        let s = scenario(20, 0.1, 5);
+        let common = s.mistakes(3, MistakeMode::Common, 2_000, 4);
+        let independent = s.mistakes(3, MistakeMode::Independent, 2_000, 4);
         // Version-level damage is statistically identical…
         let dv = (common.version_pfd.mean() - independent.version_pfd.mean()).abs();
         assert!(
@@ -210,8 +193,8 @@ mod tests {
 
     #[test]
     fn zero_mistakes_change_nothing() {
-        let (pop, q) = setup(10, 0.3);
-        let study = mistake_study(&pop, &q, 0, MistakeMode::Common, 500, 1, 2);
+        let s = scenario(10, 0.3, 1);
+        let study = s.mistakes(0, MistakeMode::Common, 500, 2);
         assert!((study.system_pfd.mean() - study.system_pfd_before.mean()).abs() < 1e-12);
     }
 
@@ -219,20 +202,22 @@ mod tests {
     fn common_mistake_guarantees_coincident_failure() {
         // With one common mistake on a singleton model, both versions fail
         // on the affected demand: system pfd ≥ 1/n always.
-        let (pop, q) = setup(10, 0.0);
-        let study = mistake_study(&pop, &q, 1, MistakeMode::Common, 300, 2, 2);
+        let s = scenario(10, 0.0, 2);
+        let study = s.mistakes(1, MistakeMode::Common, 300, 2);
         assert!((study.system_pfd.mean() - 0.1).abs() < 1e-12);
         // Independent mistakes on a fault-free population collide only
         // 1/n of the time.
-        let ind = mistake_study(&pop, &q, 1, MistakeMode::Independent, 3_000, 3, 2);
+        let ind = s
+            .with_seed(3)
+            .mistakes(1, MistakeMode::Independent, 3_000, 2);
         assert!((ind.system_pfd.mean() - 0.01).abs() < 0.01);
     }
 
     #[test]
     fn clarifications_help_both_levels_but_raise_overlap() {
-        let (pop, q) = setup(12, 0.5);
-        let none = clarification_study(&pop, &q, 0, 2_000, 7, 4);
-        let many = clarification_study(&pop, &q, 8, 2_000, 7, 4);
+        let s = scenario(12, 0.5, 7);
+        let none = s.clarifications(0, 2_000, 4);
+        let many = s.clarifications(8, 2_000, 4);
         assert!(many.version_pfd.mean() < none.version_pfd.mean());
         assert!(many.system_pfd.mean() < none.system_pfd.mean());
         // Remaining failures concentrate on the unclarified faults, so the
@@ -244,20 +229,20 @@ mod tests {
 
     #[test]
     fn studies_are_thread_invariant() {
-        let (pop, q) = setup(10, 0.2);
-        let a = mistake_study(&pop, &q, 2, MistakeMode::Common, 256, 9, 1);
-        let b = mistake_study(&pop, &q, 2, MistakeMode::Common, 256, 9, 4);
+        let s = scenario(10, 0.2, 9);
+        let a = s.mistakes(2, MistakeMode::Common, 256, 1);
+        let b = s.mistakes(2, MistakeMode::Common, 256, 4);
         assert_eq!(a, b);
-        let c = clarification_study(&pop, &q, 2, 256, 9, 1);
-        let d = clarification_study(&pop, &q, 2, 256, 9, 4);
+        let c = s.clarifications(2, 256, 1);
+        let d = s.clarifications(2, 256, 4);
         assert_eq!(c, d);
     }
 
     #[test]
     fn mistake_count_caps_at_fault_count() {
-        let (pop, q) = setup(4, 0.0);
+        let s = scenario(4, 0.0, 11);
         // Asking for more mistakes than faults must not panic.
-        let study = mistake_study(&pop, &q, 100, MistakeMode::Common, 50, 11, 2);
+        let study = s.mistakes(100, MistakeMode::Common, 50, 2);
         // All faults injected into both versions → both fail everywhere.
         assert!((study.system_pfd.mean() - 1.0).abs() < 1e-12);
     }

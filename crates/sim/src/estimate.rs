@@ -3,20 +3,14 @@
 //! These estimate by simulation exactly what `diversim-core` computes by
 //! formula, so the two can be cross-validated on small universes (the
 //! integration tests do this) and the simulation can then be trusted on
-//! universes too large to enumerate.
+//! universes too large to enumerate. Estimation is launched through
+//! [`crate::scenario::Scenario::estimate`].
 
 use diversim_core::marginal::MarginalAnalysis;
 use diversim_stats::ci::{normal_mean, Interval};
 use diversim_stats::online::MeanVar;
-use diversim_stats::seed::SeedSequence;
-use diversim_testing::fixing::Fixer;
-use diversim_testing::generation::SuiteGenerator;
-use diversim_testing::oracle::Oracle;
-use diversim_universe::population::Population;
-use diversim_universe::profile::UsageProfile;
 
-use crate::campaign::{run_pair_campaign, CampaignRegime};
-use crate::runner::parallel_accumulate_n;
+use crate::scenario::Scenario;
 
 /// A Monte Carlo point estimate with its uncertainty.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,35 +62,30 @@ pub struct PairEstimates {
     pub system_pfd: Estimate,
 }
 
-/// Estimates the marginal system pfd and version pfds of a tested pair by
-/// replicated campaigns.
-///
-/// Deterministic in `(seed, replications)` regardless of `threads`.
-#[allow(clippy::too_many_arguments)]
-pub fn estimate_pair(
-    pop_a: &dyn Population,
-    pop_b: &dyn Population,
-    generator: &dyn SuiteGenerator,
-    suite_size: usize,
-    regime: CampaignRegime,
-    oracle: &dyn Oracle,
-    fixer: &dyn Fixer,
-    profile: &UsageProfile,
-    replications: u64,
-    seed: u64,
-    threads: usize,
-) -> PairEstimates {
-    let seeds = SeedSequence::new(seed);
-    // Batched accumulation: campaigns stream straight into the three
-    // moment accumulators, so no per-replication outcome (with its full
-    // `Version` payloads) is ever materialised.
-    let [acc_a, acc_b, acc_sys] =
-        parallel_accumulate_n::<3, _>(replications, seeds, threads, |_, rep_seed| {
-            let o = run_pair_campaign(
-                pop_a, pop_b, generator, suite_size, regime, oracle, fixer, profile, rep_seed,
-            );
-            [o.first_pfd, o.second_pfd, o.system_pfd]
-        });
+impl PairEstimates {
+    /// Checks the Monte Carlo system-pfd estimate against the exact
+    /// [`MarginalAnalysis`] value, returning `(estimate, exact,
+    /// consistent)`.
+    pub fn validate_against_exact(&self, exact: &MarginalAnalysis) -> (f64, f64, bool) {
+        let exact_value = exact.system_pfd();
+        (
+            self.system_pfd.mean,
+            exact_value,
+            self.system_pfd.consistent_with(exact_value),
+        )
+    }
+}
+
+/// The body behind [`Scenario::estimate`]: replicated campaigns batched
+/// straight into the three moment accumulators, so no per-replication
+/// outcome (with its full `Version` payloads) is ever materialised.
+/// Deterministic in `(scenario.seeds(), replications)` regardless of
+/// `threads`.
+pub(crate) fn estimate(scenario: &Scenario, replications: u64, threads: usize) -> PairEstimates {
+    let [acc_a, acc_b, acc_sys] = scenario.accumulate_n::<3, _>(replications, threads, |seed| {
+        let o = scenario.run(seed);
+        [o.first_pfd, o.second_pfd, o.system_pfd]
+    });
     PairEstimates {
         version_a_pfd: Estimate::from_accumulator(&acc_a),
         version_b_pfd: Estimate::from_accumulator(&acc_b),
@@ -104,90 +93,57 @@ pub fn estimate_pair(
     }
 }
 
-/// Convenience wrapper: checks a Monte Carlo pair estimate against the
-/// exact [`MarginalAnalysis`] value, returning `(estimate, exact,
-/// consistent)`.
-pub fn validate_against_exact(
-    estimates: &PairEstimates,
-    exact: &MarginalAnalysis,
-) -> (f64, f64, bool) {
-    let exact_value = exact.system_pfd();
-    (
-        estimates.system_pfd.mean,
-        exact_value,
-        estimates.system_pfd.consistent_with(exact_value),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::campaign::CampaignRegime;
+    use crate::world::World;
     use diversim_core::marginal::SuiteAssignment;
-    use diversim_testing::fixing::PerfectFixer;
-    use diversim_testing::generation::ProfileGenerator;
-    use diversim_testing::oracle::PerfectOracle;
     use diversim_testing::suite_population::enumerate_iid_suites;
-    use diversim_universe::demand::DemandSpace;
-    use diversim_universe::fault::FaultModelBuilder;
-    use diversim_universe::population::BernoulliPopulation;
-    use std::sync::Arc;
 
-    fn setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
-        let space = DemandSpace::new(props.len()).unwrap();
-        let model = Arc::new(
-            FaultModelBuilder::new(space)
-                .singleton_faults()
-                .build()
-                .unwrap(),
-        );
-        let pop = BernoulliPopulation::new(model, props).unwrap();
-        let q = UsageProfile::uniform(space);
-        let gen = ProfileGenerator::new(q.clone());
-        (pop, q, gen)
+    fn scenario(props: Vec<f64>, size: usize, regime: CampaignRegime, seed: u64) -> Scenario {
+        World::singleton_uniform("estimate-test", props)
+            .unwrap()
+            .scenario()
+            .suite_size(size)
+            .regime(regime)
+            .seed(seed)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn estimate_matches_exact_marginal_shared() {
-        let (pop, q, gen) = setup(vec![0.4, 0.8]);
-        let est = estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            1,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            20_000,
-            42,
-            4,
-        );
-        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
-        let exact = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q);
-        let (mc, ex, ok) = validate_against_exact(&est, &exact);
+        let w = World::singleton_uniform("estimate-test", vec![0.4, 0.8]).unwrap();
+        let s = w.scenario().suite_size(1).seed(42).build().unwrap();
+        let est = s.estimate(20_000, 4);
+        let m = enumerate_iid_suites(&w.profile, 1, 64).unwrap();
+        let exact =
+            MarginalAnalysis::compute(&w.pop_a, &w.pop_a, SuiteAssignment::Shared(&m), &w.profile);
+        let (mc, ex, ok) = est.validate_against_exact(&exact);
         assert!(ok, "MC {mc} vs exact {ex} not consistent at 95%");
         assert!((mc - 0.20).abs() < 0.02, "hand value 0.20, got {mc}");
     }
 
     #[test]
     fn estimate_matches_exact_marginal_independent() {
-        let (pop, q, gen) = setup(vec![0.4, 0.8]);
-        let est = estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            1,
-            CampaignRegime::IndependentSuites,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            20_000,
-            43,
-            4,
+        let w = World::singleton_uniform("estimate-test", vec![0.4, 0.8]).unwrap();
+        let s = w
+            .scenario()
+            .suite_size(1)
+            .regime(CampaignRegime::IndependentSuites)
+            .seed(43)
+            .build()
+            .unwrap();
+        let est = s.estimate(20_000, 4);
+        let m = enumerate_iid_suites(&w.profile, 1, 64).unwrap();
+        let exact = MarginalAnalysis::compute(
+            &w.pop_a,
+            &w.pop_a,
+            SuiteAssignment::independent(&m),
+            &w.profile,
         );
-        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
-        let exact = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q);
-        let (mc, ex, ok) = validate_against_exact(&est, &exact);
+        let (mc, ex, ok) = est.validate_against_exact(&exact);
         assert!(ok, "MC {mc} vs exact {ex} not consistent at 95%");
         assert!((mc - 0.10).abs() < 0.02, "hand value 0.10, got {mc}");
     }
@@ -195,74 +151,35 @@ mod tests {
     #[test]
     fn version_pfd_estimates_match_zeta_mean() {
         // E[Θ_T] for p=(0.4,0.8), one draw: mean ζ = (0.2+0.4)/2 = 0.3.
-        let (pop, q, gen) = setup(vec![0.4, 0.8]);
-        let est = estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            1,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            20_000,
-            44,
-            4,
-        );
+        let s = scenario(vec![0.4, 0.8], 1, CampaignRegime::SharedSuite, 44);
+        let est = s.estimate(20_000, 4);
         assert!((est.version_a_pfd.mean - 0.3).abs() < 0.02);
         assert!((est.version_b_pfd.mean - 0.3).abs() < 0.02);
     }
 
     #[test]
     fn estimates_are_thread_count_invariant() {
-        let (pop, q, gen) = setup(vec![0.3, 0.5]);
-        let run = |threads| {
-            estimate_pair(
-                &pop,
-                &pop,
-                &gen,
-                2,
-                CampaignRegime::SharedSuite,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                500,
-                7,
-                threads,
-            )
-        };
-        assert_eq!(run(1), run(4));
+        let s = scenario(vec![0.3, 0.5], 2, CampaignRegime::SharedSuite, 7);
+        assert_eq!(s.estimate(500, 1), s.estimate(500, 4));
+    }
+
+    #[test]
+    fn offset_policy_changes_the_replication_stream() {
+        use crate::scenario::SeedPolicy;
+        let s = scenario(vec![0.5, 0.5], 1, CampaignRegime::SharedSuite, 3);
+        let offset = s.with_seeds(SeedPolicy::offset(3));
+        // Same root, different derivation: statistically equivalent but
+        // not identical streams.
+        assert_ne!(s.estimate(300, 2), offset.estimate(300, 2));
+        // Offset runs are deterministic too.
+        assert_eq!(offset.estimate(300, 1), offset.estimate(300, 4));
     }
 
     #[test]
     fn standard_error_shrinks_with_replications() {
-        let (pop, q, gen) = setup(vec![0.5, 0.5]);
-        let small = estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            1,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            200,
-            1,
-            2,
-        );
-        let large = estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            1,
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            20_000,
-            1,
-            2,
-        );
+        let s = scenario(vec![0.5, 0.5], 1, CampaignRegime::SharedSuite, 1);
+        let small = s.estimate(200, 2);
+        let large = s.estimate(20_000, 2);
         assert!(large.system_pfd.standard_error < small.system_pfd.standard_error);
     }
 

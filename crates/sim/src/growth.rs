@@ -6,6 +6,9 @@
 //! ISSRE'95: "the effects of testing on the reliability of single version
 //! and 1-out-of-2 software"), and powers the §3.4.1 trade-off experiment
 //! (merged 2n-demand shared suite vs. two independent n-demand suites).
+//! Growth studies are launched through
+//! [`crate::scenario::Scenario::growth`] and
+//! [`crate::scenario::Scenario::merged_estimate`].
 //!
 //! One replication draws a version pair, then feeds demands one at a time
 //! through the debugging process, recording exact pfds at each checkpoint.
@@ -15,18 +18,14 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use diversim_core::system::pair_pfd;
 use diversim_stats::online::MeanVar;
-use diversim_stats::seed::SeedSequence;
-use diversim_testing::fixing::Fixer;
-use diversim_testing::generation::SuiteGenerator;
-use diversim_testing::oracle::Oracle;
 use diversim_testing::suite::TestSuite;
-use diversim_universe::population::Population;
-use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
 
 use crate::campaign::CampaignRegime;
-use crate::runner::parallel_replications;
+use crate::estimate::Estimate;
+use crate::prepared::Prepared;
+use crate::scenario::Scenario;
 
 /// One replication's trajectory: pfds recorded at each checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,56 +70,34 @@ impl GrowthCurve {
     }
 }
 
-fn record(
-    sample: &mut GrowthSample,
-    model: &diversim_universe::fault::FaultModel,
-    profile: &UsageProfile,
-    va: &diversim_universe::version::Version,
-    vb: &diversim_universe::version::Version,
-) {
-    sample.version_a.push(va.pfd(model, profile));
-    sample.version_b.push(vb.pfd(model, profile));
-    sample.system.push(pair_pfd(va, vb, model, profile));
+fn record(sample: &mut GrowthSample, prepared: &Prepared, va: &Version, vb: &Version) {
+    sample.version_a.push(prepared.version_pfd(va));
+    sample.version_b.push(prepared.version_pfd(vb));
+    sample.system.push(prepared.pair_pfd(va, vb));
 }
 
-/// Runs one growth replication: debugging proceeds demand by demand and
-/// pfds are recorded whenever the number of executed demands reaches a
-/// checkpoint. Checkpoint 0 (if present) records the untested pair.
-///
-/// # Panics
-///
-/// Panics if `checkpoints` is empty or not strictly increasing.
-#[allow(clippy::too_many_arguments)]
-pub fn growth_replication(
-    pop_a: &dyn Population,
-    pop_b: &dyn Population,
-    generator: &dyn SuiteGenerator,
-    checkpoints: &[usize],
-    regime: CampaignRegime,
-    oracle: &dyn Oracle,
-    fixer: &dyn Fixer,
-    profile: &UsageProfile,
-    seed: u64,
-) -> GrowthSample {
-    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
-    assert!(
-        checkpoints.windows(2).all(|w| w[0] < w[1]),
-        "checkpoints must be strictly increasing"
-    );
+/// One growth replication (the body behind [`Scenario::growth_sample`]):
+/// debugging proceeds demand by demand and pfds are recorded whenever the
+/// number of executed demands reaches a checkpoint. Checkpoint 0 (if
+/// present) records the untested pair. The checkpoint list is validated
+/// by the scenario before this runs.
+pub(crate) fn growth_sample(scenario: &Scenario, checkpoints: &[usize], seed: u64) -> GrowthSample {
     let mut rng = StdRng::seed_from_u64(seed);
-    let model = pop_a.model().clone();
-    let mut va = pop_a.sample(&mut rng);
-    let mut vb = pop_b.sample(&mut rng);
-    let total = *checkpoints.last().expect("non-empty");
+    let prepared = scenario.prepared();
+    let model = prepared.model();
+    let regime = scenario.regime();
+    let mut va = scenario.pop_a().sample(&mut rng);
+    let mut vb = scenario.pop_b().sample(&mut rng);
+    let total = *checkpoints.last().expect("validated non-empty");
 
     // Draw the demand streams up front (suites of the total length).
     let (stream_a, stream_b) = match regime {
         CampaignRegime::IndependentSuites => (
-            generator.generate(&mut rng, total),
-            generator.generate(&mut rng, total),
+            scenario.generator().generate(&mut rng, total),
+            scenario.generator().generate(&mut rng, total),
         ),
         CampaignRegime::SharedSuite | CampaignRegime::BackToBack(_) => {
-            let t = generator.generate(&mut rng, total);
+            let t = scenario.generator().generate(&mut rng, total);
             (t.clone(), t)
         }
     };
@@ -134,7 +111,7 @@ pub fn growth_replication(
 
     let mut next_checkpoint = 0usize;
     if checkpoints[next_checkpoint] == 0 {
-        record(&mut sample, &model, profile, &va, &vb);
+        record(&mut sample, prepared, &va, &vb);
         next_checkpoint += 1;
     }
 
@@ -144,32 +121,32 @@ pub fn growth_replication(
         match regime {
             CampaignRegime::IndependentSuites | CampaignRegime::SharedSuite => {
                 if let Some(x) = xa {
-                    if va.fails_on(&model, x) && oracle.detects(&mut rng, x) {
-                        fixer.fix(&mut rng, &model, &mut va, x);
+                    if va.fails_on(model, x) && scenario.oracle().detects(&mut rng, x) {
+                        scenario.fixer().fix(&mut rng, model, &mut va, x);
                     }
                 }
                 if let Some(x) = xb {
-                    if vb.fails_on(&model, x) && oracle.detects(&mut rng, x) {
-                        fixer.fix(&mut rng, &model, &mut vb, x);
+                    if vb.fails_on(model, x) && scenario.oracle().detects(&mut rng, x) {
+                        scenario.fixer().fix(&mut rng, model, &mut vb, x);
                     }
                 }
             }
             CampaignRegime::BackToBack(identical) => {
                 if let Some(x) = xa {
-                    let fa = va.fails_on(&model, x);
-                    let fb = vb.fails_on(&model, x);
+                    let fa = va.fails_on(model, x);
+                    let fb = vb.fails_on(model, x);
                     match (fa, fb) {
                         (false, false) => {}
                         (true, false) => {
-                            fixer.fix(&mut rng, &model, &mut va, x);
+                            scenario.fixer().fix(&mut rng, model, &mut va, x);
                         }
                         (false, true) => {
-                            fixer.fix(&mut rng, &model, &mut vb, x);
+                            scenario.fixer().fix(&mut rng, model, &mut vb, x);
                         }
                         (true, true) => {
                             if !identical.is_identical(&mut rng) {
-                                fixer.fix(&mut rng, &model, &mut va, x);
-                                fixer.fix(&mut rng, &model, &mut vb, x);
+                                scenario.fixer().fix(&mut rng, model, &mut va, x);
+                                scenario.fixer().fix(&mut rng, model, &mut vb, x);
                             }
                         }
                     }
@@ -177,44 +154,25 @@ pub fn growth_replication(
             }
         }
         if next_checkpoint < checkpoints.len() && step + 1 == checkpoints[next_checkpoint] {
-            record(&mut sample, &model, profile, &va, &vb);
+            record(&mut sample, prepared, &va, &vb);
             next_checkpoint += 1;
         }
     }
     sample
 }
 
-/// Runs `replications` growth replications in parallel and aggregates
-/// per-checkpoint statistics. Deterministic in `(seed, replications)`.
-#[allow(clippy::too_many_arguments)]
-pub fn replicated_growth(
-    pop_a: &dyn Population,
-    pop_b: &dyn Population,
-    generator: &dyn SuiteGenerator,
+/// Replicated growth (the body behind [`Scenario::growth`]): runs
+/// replications in parallel and aggregates per-checkpoint statistics.
+/// Deterministic in `(scenario.seeds(), replications)`.
+pub(crate) fn growth(
+    scenario: &Scenario,
     checkpoints: &[usize],
-    regime: CampaignRegime,
-    oracle: &dyn Oracle,
-    fixer: &dyn Fixer,
-    profile: &UsageProfile,
     replications: u64,
-    seed: u64,
     threads: usize,
 ) -> GrowthCurve {
-    let seeds = SeedSequence::new(seed);
-    let samples: Vec<GrowthSample> =
-        parallel_replications(replications, seeds, threads, |_, rep_seed| {
-            growth_replication(
-                pop_a,
-                pop_b,
-                generator,
-                checkpoints,
-                regime,
-                oracle,
-                fixer,
-                profile,
-                rep_seed,
-            )
-        });
+    let samples: Vec<GrowthSample> = scenario.replicate(replications, threads, |seed| {
+        growth_sample(scenario, checkpoints, seed)
+    });
     let k = checkpoints.len();
     let mut curve = GrowthCurve {
         checkpoints: checkpoints.to_vec(),
@@ -233,7 +191,7 @@ pub fn replicated_growth(
 }
 
 /// Result of one §3.4.1 merged-suite comparison (see
-/// [`merged_suite_comparison`]).
+/// [`Scenario::merged_comparison`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MergedComparison {
     /// System pfd after arm (a): each version debugged on its own
@@ -246,6 +204,20 @@ pub struct MergedComparison {
     pub independent_version: f64,
     /// Mean version pfd after arm (b).
     pub merged_version: f64,
+}
+
+/// Replicated [`MergedComparison`] statistics (see
+/// [`Scenario::merged_estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergedEstimates {
+    /// System pfd under arm (a), independent `n`-demand suites.
+    pub independent_system: Estimate,
+    /// System pfd under arm (b), the merged `2n`-demand shared suite.
+    pub merged_system: Estimate,
+    /// Mean version pfd under arm (a).
+    pub independent_version: Estimate,
+    /// Mean version pfd under arm (b).
+    pub merged_version: Estimate,
 }
 
 /// The §3.4.1 merged-suite comparison for one replication: the same pair
@@ -261,145 +233,117 @@ pub struct MergedComparison {
 /// regions the *system* pfds are exactly equal (removing either version's
 /// fault on `x` repairs the system there), and the strict system-level
 /// advantage of merging appears only through region cascades.
-#[allow(clippy::too_many_arguments)]
-pub fn merged_suite_comparison(
-    pop_a: &dyn Population,
-    pop_b: &dyn Population,
-    generator: &dyn SuiteGenerator,
-    n: usize,
-    oracle: &dyn Oracle,
-    fixer: &dyn Fixer,
-    profile: &UsageProfile,
-    seed: u64,
-) -> MergedComparison {
+pub(crate) fn merged_comparison(scenario: &Scenario, n: usize, seed: u64) -> MergedComparison {
     let mut rng = StdRng::seed_from_u64(seed);
-    let model = pop_a.model().clone();
-    let va = pop_a.sample(&mut rng);
-    let vb = pop_b.sample(&mut rng);
-    let t1 = generator.generate(&mut rng, n);
-    let t2 = generator.generate(&mut rng, n);
+    let prepared = scenario.prepared();
+    let model = prepared.model();
+    let va = scenario.pop_a().sample(&mut rng);
+    let vb = scenario.pop_b().sample(&mut rng);
+    let t1 = scenario.generator().generate(&mut rng, n);
+    let t2 = scenario.generator().generate(&mut rng, n);
     let merged: TestSuite = t1.merged(&t2);
+    let oracle = scenario.oracle();
+    let fixer = scenario.fixer();
 
     // Arm (a): independent suites, one per version.
-    let a1 = diversim_testing::process::debug_version(&va, &t1, &model, oracle, fixer, &mut rng);
-    let a2 = diversim_testing::process::debug_version(&vb, &t2, &model, oracle, fixer, &mut rng);
+    let a1 = diversim_testing::process::debug_version(&va, &t1, model, oracle, fixer, &mut rng);
+    let a2 = diversim_testing::process::debug_version(&vb, &t2, model, oracle, fixer, &mut rng);
 
     // Arm (b): both versions on the merged 2n suite.
-    let b1 =
-        diversim_testing::process::debug_version(&va, &merged, &model, oracle, fixer, &mut rng);
-    let b2 =
-        diversim_testing::process::debug_version(&vb, &merged, &model, oracle, fixer, &mut rng);
+    let b1 = diversim_testing::process::debug_version(&va, &merged, model, oracle, fixer, &mut rng);
+    let b2 = diversim_testing::process::debug_version(&vb, &merged, model, oracle, fixer, &mut rng);
 
     MergedComparison {
-        independent_system: pair_pfd(&a1.version, &a2.version, &model, profile),
-        merged_system: pair_pfd(&b1.version, &b2.version, &model, profile),
+        independent_system: prepared.pair_pfd(&a1.version, &a2.version),
+        merged_system: prepared.pair_pfd(&b1.version, &b2.version),
         independent_version: 0.5
-            * (a1.version.pfd(&model, profile) + a2.version.pfd(&model, profile)),
-        merged_version: 0.5 * (b1.version.pfd(&model, profile) + b2.version.pfd(&model, profile)),
+            * (prepared.version_pfd(&a1.version) + prepared.version_pfd(&a2.version)),
+        merged_version: 0.5
+            * (prepared.version_pfd(&b1.version) + prepared.version_pfd(&b2.version)),
+    }
+}
+
+/// The body behind [`Scenario::merged_estimate`]: all four comparison
+/// observables accumulated jointly without materialising outcomes.
+pub(crate) fn merged_estimate(
+    scenario: &Scenario,
+    n: usize,
+    replications: u64,
+    threads: usize,
+) -> MergedEstimates {
+    let [ind_sys, mrg_sys, ind_ver, mrg_ver] =
+        scenario.accumulate_n::<4, _>(replications, threads, |seed| {
+            let c = merged_comparison(scenario, n, seed);
+            [
+                c.independent_system,
+                c.merged_system,
+                c.independent_version,
+                c.merged_version,
+            ]
+        });
+    MergedEstimates {
+        independent_system: Estimate::from_accumulator(&ind_sys),
+        merged_system: Estimate::from_accumulator(&mrg_sys),
+        independent_version: Estimate::from_accumulator(&ind_ver),
+        merged_version: Estimate::from_accumulator(&mrg_ver),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diversim_testing::fixing::PerfectFixer;
-    use diversim_testing::generation::ProfileGenerator;
-    use diversim_testing::oracle::{IdenticalFailureModel, PerfectOracle};
-    use diversim_universe::demand::DemandSpace;
-    use diversim_universe::fault::FaultModelBuilder;
-    use diversim_universe::population::BernoulliPopulation;
-    use std::sync::Arc;
+    use crate::scenario::ScenarioError;
+    use crate::world::World;
+    use diversim_testing::oracle::IdenticalFailureModel;
 
-    fn setup(n: usize, p: f64) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
-        let space = DemandSpace::new(n).unwrap();
-        let model = Arc::new(
-            FaultModelBuilder::new(space)
-                .singleton_faults()
-                .build()
-                .unwrap(),
-        );
-        let pop = BernoulliPopulation::constant(model, p).unwrap();
-        let q = UsageProfile::uniform(space);
-        let gen = ProfileGenerator::new(q.clone());
-        (pop, q, gen)
+    fn scenario(n: usize, p: f64, regime: CampaignRegime, seed: u64) -> Scenario {
+        World::singleton_uniform("growth-test", vec![p; n])
+            .unwrap()
+            .scenario()
+            .regime(regime)
+            .seed(seed)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn trajectories_are_monotone_under_perfect_testing() {
-        let (pop, q, gen) = setup(10, 0.5);
-        let s = growth_replication(
-            &pop,
-            &pop,
-            &gen,
-            &[0, 2, 5, 10, 20],
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            3,
-        );
-        for w in s.version_a.windows(2) {
+        let s = scenario(10, 0.5, CampaignRegime::SharedSuite, 0);
+        let out = s.growth_sample(&[0, 2, 5, 10, 20], 3).unwrap();
+        for w in out.version_a.windows(2) {
             assert!(w[1] <= w[0] + 1e-15, "version pfd increased");
         }
-        for w in s.system.windows(2) {
+        for w in out.system.windows(2) {
             assert!(w[1] <= w[0] + 1e-15, "system pfd increased");
         }
     }
 
     #[test]
     fn checkpoint_zero_is_untested_state() {
-        let (pop, q, gen) = setup(6, 0.8);
-        let s = growth_replication(
-            &pop,
-            &pop,
-            &gen,
-            &[0, 3],
-            CampaignRegime::IndependentSuites,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            11,
-        );
+        let s = scenario(6, 0.8, CampaignRegime::IndependentSuites, 0);
+        let out = s.growth_sample(&[0, 3], 11).unwrap();
         // With p=0.8 on 6 singleton demands, the untested pfd is very
         // likely positive; in any case it must dominate the tested value.
-        assert!(s.version_a[0] >= s.version_a[1] - 1e-15);
-        assert_eq!(s.checkpoints, vec![0, 3]);
-        assert_eq!(s.version_a.len(), 2);
+        assert!(out.version_a[0] >= out.version_a[1] - 1e-15);
+        assert_eq!(out.checkpoints, vec![0, 3]);
+        assert_eq!(out.version_a.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn unsorted_checkpoints_panic() {
-        let (pop, q, gen) = setup(4, 0.5);
-        let _ = growth_replication(
-            &pop,
-            &pop,
-            &gen,
-            &[3, 1],
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            0,
+    fn unsorted_checkpoints_are_rejected() {
+        let s = scenario(4, 0.5, CampaignRegime::SharedSuite, 0);
+        assert_eq!(
+            s.growth_sample(&[3, 1], 0).unwrap_err(),
+            ScenarioError::InvalidCheckpoints {
+                reason: "checkpoints must be strictly increasing"
+            }
         );
     }
 
     #[test]
     fn replicated_growth_aggregates() {
-        let (pop, q, gen) = setup(8, 0.5);
-        let curve = replicated_growth(
-            &pop,
-            &pop,
-            &gen,
-            &[0, 4, 12],
-            CampaignRegime::SharedSuite,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            200,
-            5,
-            4,
-        );
+        let s = scenario(8, 0.5, CampaignRegime::SharedSuite, 5);
+        let curve = s.growth(&[0, 4, 12], 200, 4).unwrap();
         assert_eq!(curve.checkpoints, vec![0, 4, 12]);
         assert_eq!(curve.system.len(), 3);
         assert_eq!(curve.system[0].count(), 200);
@@ -413,24 +357,14 @@ mod tests {
 
     #[test]
     fn replicated_growth_thread_invariant() {
-        let (pop, q, gen) = setup(5, 0.4);
-        let run = |threads| {
-            replicated_growth(
-                &pop,
-                &pop,
-                &gen,
-                &[0, 2, 6],
-                CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.5)),
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                64,
-                9,
-                threads,
-            )
-        };
-        let a = run(1);
-        let b = run(4);
+        let s = scenario(
+            5,
+            0.4,
+            CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.5)),
+            9,
+        );
+        let a = s.growth(&[0, 2, 6], 64, 1).unwrap();
+        let b = s.growth(&[0, 2, 6], 64, 4).unwrap();
         assert_eq!(a.system_means(), b.system_means());
     }
 
@@ -440,18 +374,9 @@ mod tests {
         // arm (b) coincide exactly: the system is repaired on x as soon as
         // either version's fault at x is removed, and the union of the two
         // independent suites equals the merged coverage.
-        let (pop, q, gen) = setup(12, 0.5);
+        let s = scenario(12, 0.5, CampaignRegime::SharedSuite, 0);
         for seed in 0..100 {
-            let c = merged_suite_comparison(
-                &pop,
-                &pop,
-                &gen,
-                4,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
+            let c = s.merged_comparison(4, seed);
             assert!(
                 (c.independent_system - c.merged_system).abs() < 1e-15,
                 "singleton equality violated at seed {seed}"
@@ -468,8 +393,10 @@ mod tests {
         // reliability of the versions is going to be better but so is the
         // system reliability." The strict system-level gain requires
         // fault-region cascades, so use regions of size 2.
+        use crate::scenario::SeedPolicy;
         use diversim_universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
         use rand::rngs::StdRng as Rng2;
+        use rand::SeedableRng;
         let spec = UniverseSpec {
             n_demands: 16,
             n_faults: 12,
@@ -480,37 +407,30 @@ mod tests {
         let (universe, pop) = spec
             .generate_with_population(&mut urng, PropensityKind::Constant(0.5))
             .unwrap();
-        let q = universe.profile().clone();
-        let gen = ProfileGenerator::new(q.clone());
-        let mut ind_sys = MeanVar::new();
-        let mut mrg_sys = MeanVar::new();
-        let mut ind_ver = MeanVar::new();
-        let mut mrg_ver = MeanVar::new();
-        for seed in 0..600 {
-            let c = merged_suite_comparison(
-                &pop,
-                &pop,
-                &gen,
-                4,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
-            // Per-replication domination under perfect testing.
+        let s = World::from_universe("cascade", &universe, pop)
+            .scenario()
+            .seeds(SeedPolicy::offset(0))
+            .build()
+            .unwrap();
+        let est = s.merged_estimate(4, 600, 4);
+        // Per-replication domination under perfect testing.
+        for seed in 0..50 {
+            let c = s.merged_comparison(4, seed);
             assert!(c.merged_system <= c.independent_system + 1e-15);
             assert!(c.merged_version <= c.independent_version + 1e-15);
-            ind_sys.push(c.independent_system);
-            mrg_sys.push(c.merged_system);
-            ind_ver.push(c.independent_version);
-            mrg_ver.push(c.merged_version);
         }
         assert!(
-            mrg_sys.mean() < ind_sys.mean(),
+            est.merged_system.mean < est.independent_system.mean,
             "merged 2n suite should beat independent n suites on average: {} vs {}",
-            mrg_sys.mean(),
-            ind_sys.mean()
+            est.merged_system.mean,
+            est.independent_system.mean
         );
-        assert!(mrg_ver.mean() < ind_ver.mean());
+        assert!(est.merged_version.mean < est.independent_version.mean);
+    }
+
+    #[test]
+    fn merged_estimate_is_thread_invariant() {
+        let s = scenario(6, 0.5, CampaignRegime::SharedSuite, 17);
+        assert_eq!(s.merged_estimate(3, 256, 1), s.merged_estimate(3, 256, 4));
     }
 }

@@ -4,48 +4,53 @@
 //! Where `diversim-core` computes the paper's expectations exactly (which
 //! is feasible only on enumerable universes), this crate *samples* the
 //! full stochastic process — random versions, random suites, fallible
-//! oracles and fixers — and aggregates replications:
+//! oracles and fixers — and aggregates replications.
 //!
-//! * [`campaign`] — one end-to-end development-and-debugging campaign for
-//!   a version pair under a chosen regime (independent suites, shared
-//!   suite, back-to-back);
-//! * [`estimate`] — replicated campaigns → pfd estimates with confidence
-//!   intervals, cross-validatable against the exact values;
-//! * [`growth`] — reliability-growth trajectories (the paper's ref \[5\]
-//!   study) and the §3.4.1 merged-suite trade-off;
-//! * [`runner`] — deterministic parallel execution: results are identical
-//!   for any thread count.
+//! The entry point is the [`scenario`] module: a [`scenario::Scenario`]
+//! is one validated instance of the paper's process (world + regime +
+//! oracle + fixer + suite size + seed policy), built by a
+//! [`scenario::ScenarioBuilder`] and carrying a per-world precomputation
+//! cache ([`prepared`]) reused by every replication. Studies are scenario
+//! methods:
+//!
+//! * [`scenario::Scenario::run`] / [`scenario::Scenario::estimate`] — one
+//!   campaign, or replicated campaigns → pfd estimates with confidence
+//!   intervals ([`campaign`], [`estimate`]);
+//! * [`scenario::Scenario::growth`] — reliability-growth trajectories
+//!   (the paper's ref \[5\] study) and the §3.4.1 merged-suite trade-off
+//!   ([`growth`]);
+//! * [`scenario::Scenario::adaptive_study`] — stopping-rule-driven
+//!   campaigns ([`adaptive`]);
+//! * [`scenario::Scenario::operate`] / [`scenario::Scenario::coverage`] —
+//!   operational exposure and assessment ([`operation`]);
+//! * [`scenario::Scenario::mistakes`] /
+//!   [`scenario::Scenario::clarifications`] — the §5 common-cause
+//!   extensions ([`common_cause`]);
+//! * [`runner`] — the deterministic parallel substrate: results are
+//!   identical for any thread count.
 //!
 //! # Examples
 //!
 //! ```
 //! use diversim_sim::campaign::CampaignRegime;
-//! use diversim_sim::estimate::estimate_pair;
-//! use diversim_testing::fixing::PerfectFixer;
-//! use diversim_testing::generation::ProfileGenerator;
-//! use diversim_testing::oracle::PerfectOracle;
-//! use diversim_universe::demand::DemandSpace;
-//! use diversim_universe::fault::FaultModelBuilder;
-//! use diversim_universe::population::BernoulliPopulation;
-//! use diversim_universe::profile::UsageProfile;
-//! use std::sync::Arc;
+//! use diversim_sim::world::World;
 //!
-//! let space = DemandSpace::new(16)?;
-//! let model = Arc::new(FaultModelBuilder::new(space).singleton_faults().build()?);
-//! let pop = BernoulliPopulation::constant(model, 0.2)?;
-//! let q = UsageProfile::uniform(space);
-//! let gen = ProfileGenerator::new(q.clone());
-//!
-//! let est = estimate_pair(
-//!     &pop, &pop, &gen, 8, CampaignRegime::SharedSuite,
-//!     &PerfectOracle::new(), &PerfectFixer::new(), &q,
-//!     2_000, 42, 4,
-//! );
+//! let world = World::singleton_uniform("quick", vec![0.2; 16])?;
+//! let scenario = world
+//!     .scenario()
+//!     .regime(CampaignRegime::SharedSuite)
+//!     .suite_size(8)
+//!     .seed(42)
+//!     .build()?;
+//! let est = scenario.estimate(2_000, 4);
 //! assert!(est.system_pfd.mean >= 0.0 && est.system_pfd.mean <= 1.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![deny(missing_docs)]
+// The Scenario API exists so that no simulation entry point needs an
+// argument pile; keep it that way.
+#![deny(clippy::too_many_arguments)]
 
 pub mod adaptive;
 pub mod campaign;
@@ -53,30 +58,19 @@ pub mod common_cause;
 pub mod estimate;
 pub mod growth;
 pub mod operation;
+pub mod prepared;
 pub mod runner;
+pub mod scenario;
+pub mod world;
 
-/// The exact system pfd of a concrete pair (re-exported shim so
-/// simulation modules state their ground truth through one name).
-pub(crate) fn campaign_truth(
-    a: &diversim_universe::version::Version,
-    b: &diversim_universe::version::Version,
-    model: &diversim_universe::fault::FaultModel,
-    profile: &diversim_universe::profile::UsageProfile,
-) -> f64 {
-    diversim_core::system::pair_pfd(a, b, model, profile)
-}
-
-pub use adaptive::{adaptive_campaign, adaptive_study, AdaptiveOutcome, AdaptiveStudy};
-pub use campaign::{run_pair_campaign, CampaignRegime, PairOutcome};
-pub use common_cause::{
-    clarification_study, mistake_study, ClarificationStudy, MistakeMode, MistakeStudy,
-};
-pub use estimate::{estimate_pair, validate_against_exact, Estimate, PairEstimates};
-pub use growth::{
-    growth_replication, merged_suite_comparison, replicated_growth, GrowthCurve, GrowthSample,
-    MergedComparison,
-};
-pub use operation::{coverage_study, operate_pair, CoverageStudy, OperationLog};
+pub use adaptive::{AdaptiveOutcome, AdaptiveStudy};
+pub use campaign::{CampaignRegime, PairOutcome};
+pub use common_cause::{ClarificationStudy, MistakeMode, MistakeStudy};
+pub use estimate::{Estimate, PairEstimates};
+pub use growth::{GrowthCurve, GrowthSample, MergedComparison, MergedEstimates};
+pub use operation::{CoverageStudy, OperationLog};
 pub use runner::{
     default_threads, parallel_accumulate, parallel_accumulate_n, parallel_replications,
 };
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SeedPolicy};
+pub use world::World;

@@ -7,17 +7,16 @@
 //! system pfd must be *estimated* — here with the Clopper–Pearson
 //! interval from `diversim-stats` — and the experiments can measure how
 //! well such assessment works (coverage of the true, known pfd).
+//! Operation is launched through [`crate::scenario::Scenario::operate`]
+//! and [`crate::scenario::Scenario::coverage`].
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use diversim_stats::ci::{clopper_pearson, Interval};
-use diversim_stats::seed::SeedSequence;
-use diversim_universe::fault::FaultModel;
-use diversim_universe::profile::UsageProfile;
 use diversim_universe::version::Version;
 
-use crate::runner::parallel_replications;
+use crate::scenario::Scenario;
 
 /// What operation of a version pair produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,17 +52,20 @@ impl OperationLog {
     }
 }
 
-/// Exposes a version pair to `demands` operational demands drawn from
-/// `profile`, recording version and system failures.
-pub fn operate_pair(
+/// The body behind [`Scenario::operate`]: exposes a version pair to
+/// `demands` operational demands drawn from the scenario's profile,
+/// recording version and system failures.
+pub(crate) fn operate(
+    scenario: &Scenario,
     a: &Version,
     b: &Version,
-    model: &FaultModel,
-    profile: &UsageProfile,
     demands: u64,
     seed: u64,
 ) -> OperationLog {
     let mut rng = StdRng::seed_from_u64(seed);
+    let prepared = scenario.prepared();
+    let model = prepared.model();
+    let profile = prepared.profile();
     let fa = a.failure_set(model);
     let fb = b.failure_set(model);
     let mut log = OperationLog {
@@ -101,28 +103,25 @@ pub struct CoverageStudy {
     pub replications: u64,
 }
 
-/// Measures the empirical coverage of the Clopper–Pearson assessment of
-/// a *fixed* pair's system pfd across replicated operational exposures.
-#[allow(clippy::too_many_arguments)]
-pub fn coverage_study(
+/// The body behind [`Scenario::coverage`]: empirical coverage of the
+/// Clopper–Pearson assessment of a *fixed* pair's system pfd across
+/// replicated operational exposures. `level` is validated by the
+/// scenario.
+pub(crate) fn coverage(
+    scenario: &Scenario,
     a: &Version,
     b: &Version,
-    model: &FaultModel,
-    profile: &UsageProfile,
     demands: u64,
     level: f64,
     replications: u64,
-    seed: u64,
     threads: usize,
 ) -> CoverageStudy {
-    let truth = crate::campaign_truth(a, b, model, profile);
-    let seeds = SeedSequence::new(seed);
-    let results: Vec<(bool, f64)> =
-        parallel_replications(replications, seeds, threads, |_, rep_seed| {
-            let log = operate_pair(a, b, model, profile, demands, rep_seed);
-            let iv = log.system_pfd_interval(level);
-            (iv.contains(truth), iv.width())
-        });
+    let truth = scenario.prepared().pair_pfd(a, b);
+    let results: Vec<(bool, f64)> = scenario.replicate(replications, threads, |seed| {
+        let log = operate(scenario, a, b, demands, seed);
+        let iv = log.system_pfd_interval(level);
+        (iv.contains(truth), iv.width())
+    });
     let hits = results.iter().filter(|(hit, _)| *hit).count();
     let width: f64 = results.iter().map(|(_, w)| w).sum::<f64>() / results.len().max(1) as f64;
     CoverageStudy {
@@ -135,41 +134,41 @@ pub fn coverage_study(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use diversim_core::system::pair_pfd;
-    use diversim_universe::demand::DemandSpace;
-    use diversim_universe::fault::{FaultId, FaultModelBuilder};
+    use crate::world::World;
+    use diversim_universe::fault::FaultId;
 
     fn f(i: u32) -> FaultId {
         FaultId::new(i)
     }
 
-    fn model() -> FaultModel {
-        FaultModelBuilder::new(DemandSpace::new(8).unwrap())
-            .singleton_faults()
+    fn scenario(seed: u64) -> Scenario {
+        World::singleton_uniform("operation-test", vec![0.0; 8])
+            .unwrap()
+            .scenario()
+            .seed(seed)
             .build()
             .unwrap()
     }
 
     #[test]
     fn operation_counts_are_consistent() {
-        let m = model();
-        let q = UsageProfile::uniform(m.space());
+        let s = scenario(0);
+        let m = s.model().clone();
         let a = Version::from_faults(&m, [f(0), f(1), f(2)]);
         let b = Version::from_faults(&m, [f(2), f(3)]);
-        let log = operate_pair(&a, &b, &m, &q, 10_000, 1);
+        let log = s.operate(&a, &b, 10_000, 1);
         assert_eq!(log.demands, 10_000);
         assert!(log.system_failures <= log.failures_a.min(log.failures_b));
         // Empirical rates near the exact values.
-        let truth = pair_pfd(&a, &b, &m, &q);
+        let truth = diversim_core::system::pair_pfd(&a, &b, &m, s.profile());
         assert!((log.system_pfd_estimate() - truth).abs() < 0.02);
     }
 
     #[test]
     fn correct_pair_never_fails_in_operation() {
-        let m = model();
-        let q = UsageProfile::uniform(m.space());
-        let v = Version::correct(&m);
-        let log = operate_pair(&v, &v, &m, &q, 5_000, 2);
+        let s = scenario(0);
+        let v = Version::correct(s.model());
+        let log = s.operate(&v, &v, 5_000, 2);
         assert_eq!(log.system_failures, 0);
         assert_eq!(log.failures_a, 0);
         let iv = log.system_pfd_interval(0.95);
@@ -179,24 +178,21 @@ mod tests {
 
     #[test]
     fn operation_is_seed_deterministic() {
-        let m = model();
-        let q = UsageProfile::uniform(m.space());
+        let s = scenario(0);
+        let m = s.model().clone();
         let a = Version::from_faults(&m, [f(0)]);
         let b = Version::from_faults(&m, [f(0), f(5)]);
-        assert_eq!(
-            operate_pair(&a, &b, &m, &q, 1000, 9),
-            operate_pair(&a, &b, &m, &q, 1000, 9)
-        );
+        assert_eq!(s.operate(&a, &b, 1000, 9), s.operate(&a, &b, 1000, 9));
     }
 
     #[test]
     fn clopper_pearson_coverage_is_at_least_nominal() {
-        let m = model();
-        let q = UsageProfile::uniform(m.space());
+        let s = scenario(11);
+        let m = s.model().clone();
         let a = Version::from_faults(&m, [f(0), f(1)]);
         let b = Version::from_faults(&m, [f(1), f(2)]);
         // True system pfd = 1/8.
-        let study = coverage_study(&a, &b, &m, &q, 400, 0.95, 2_000, 11, 4);
+        let study = s.coverage(&a, &b, 400, 0.95, 2_000, 4).unwrap();
         assert!(
             study.coverage >= 0.95 - 0.02,
             "CP coverage {} below nominal",
@@ -207,12 +203,12 @@ mod tests {
 
     #[test]
     fn more_exposure_narrows_the_assessment() {
-        let m = model();
-        let q = UsageProfile::uniform(m.space());
+        let s = scenario(12);
+        let m = s.model().clone();
         let a = Version::from_faults(&m, [f(0), f(1)]);
         let b = Version::from_faults(&m, [f(1), f(2)]);
-        let short = coverage_study(&a, &b, &m, &q, 100, 0.95, 400, 12, 4);
-        let long = coverage_study(&a, &b, &m, &q, 10_000, 0.95, 400, 12, 4);
+        let short = s.coverage(&a, &b, 100, 0.95, 400, 4).unwrap();
+        let long = s.coverage(&a, &b, 10_000, 0.95, 400, 4).unwrap();
         assert!(long.mean_width < short.mean_width / 3.0);
     }
 }

@@ -1,0 +1,221 @@
+//! The per-world precomputation cache owned by a [`crate::scenario::Scenario`].
+//!
+//! Every campaign evaluates several exact pfds (before/after, version and
+//! system level). Doing that straight off the [`FaultModel`] rebuilds the
+//! same intermediate data — failure-region bit sets, profile lookups —
+//! once per *replication*, although all of it depends only on the world
+//! (fault model × usage profile). [`Prepared`] hoists that work out of
+//! the replication hot loop:
+//!
+//! * the demand marginals `Q(x)` as one flat slice (the profile's own
+//!   probability vector, indexed directly — no per-demand id
+//!   round-trips);
+//! * the usage mass of every fault's failure region (`Σ_{x ∈ region(f)}
+//!   Q(x)`), the "fault-region × profile weights" table;
+//! * whether the failure regions are pairwise disjoint — in that regime
+//!   (which includes every singleton world, the paper's abstract score
+//!   model) a version's pfd is exactly the sum of its faults' region
+//!   masses and the pair pfd the sum over the *shared* faults, so no
+//!   failure-set bit set is ever materialised.
+//!
+//! The cache is built once per scenario and shared (via `Arc`) by every
+//! replication on every worker thread.
+
+use std::sync::Arc;
+
+use diversim_universe::fault::FaultModel;
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+/// Precomputed per-world evaluation tables (see the module docs).
+///
+/// The demand marginals live on the held [`UsageProfile`] itself
+/// (`profile.probabilities()` is already a flat `&[f64]`); what the
+/// cache adds is the per-fault region masses and the disjointness flag.
+#[derive(Debug)]
+pub struct Prepared {
+    model: Arc<FaultModel>,
+    profile: UsageProfile,
+    /// `fault_mass[f] = Σ_{x ∈ region(f)} Q(x)`, indexed by fault.
+    fault_mass: Box<[f64]>,
+    /// `true` iff no demand is covered by more than one fault, so failure
+    /// regions never overlap and pfds decompose fault-by-fault.
+    disjoint: bool,
+}
+
+impl Prepared {
+    /// Builds the cache for one world. Cost is `O(demands + Σ region
+    /// sizes)` — paid once per scenario, not once per replication.
+    pub fn new(model: Arc<FaultModel>, profile: UsageProfile) -> Self {
+        let weights = profile.probabilities();
+        let fault_mass: Box<[f64]> = model
+            .fault_ids()
+            .map(|f| {
+                model
+                    .fault(f)
+                    .region()
+                    .iter()
+                    .map(|&x| weights[x.index()])
+                    .sum()
+            })
+            .collect();
+        let disjoint = model.space().iter().all(|x| model.faults_at(x).len() <= 1);
+        Prepared {
+            model,
+            profile,
+            fault_mass,
+            disjoint,
+        }
+    }
+
+    /// The world's fault model.
+    pub fn model(&self) -> &Arc<FaultModel> {
+        &self.model
+    }
+
+    /// The world's operational profile `Q(·)`.
+    pub fn profile(&self) -> &UsageProfile {
+        &self.profile
+    }
+
+    /// Whether the fault-by-fault fast path is active.
+    pub fn disjoint_regions(&self) -> bool {
+        self.disjoint
+    }
+
+    /// Exact pfd of one version: `Σ_x υ(π, x) Q(x)`.
+    ///
+    /// Equals [`Version::pfd`] but reuses the precomputed tables; with
+    /// disjoint regions it runs in `O(version faults)` without building a
+    /// failure set.
+    pub fn version_pfd(&self, v: &Version) -> f64 {
+        if self.disjoint {
+            v.faults().map(|f| self.fault_mass[f.index()]).sum()
+        } else {
+            let weights = self.profile.probabilities();
+            v.failure_set(&self.model).iter().map(|i| weights[i]).sum()
+        }
+    }
+
+    /// Exact 1-out-of-2 system pfd of a concrete pair:
+    /// `Σ_x υ(π₁,x) υ(π₂,x) Q(x)`.
+    ///
+    /// With disjoint regions the pair fails exactly on the regions of the
+    /// *shared* faults, so the sum runs over the fault-set intersection.
+    pub fn pair_pfd(&self, a: &Version, b: &Version) -> f64 {
+        if self.disjoint {
+            let other = b.fault_set();
+            a.faults()
+                .filter(|f| other.contains(f.index()))
+                .map(|f| self.fault_mass[f.index()])
+                .sum()
+        } else {
+            let weights = self.profile.probabilities();
+            let mut shared = a.failure_set(&self.model);
+            shared.intersect_with(&b.failure_set(&self.model));
+            shared.iter().map(|i| weights[i]).sum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_core::system::pair_pfd;
+    use diversim_universe::demand::{DemandId, DemandSpace};
+    use diversim_universe::fault::{FaultId, FaultModelBuilder};
+
+    fn d(i: u32) -> DemandId {
+        DemandId::new(i)
+    }
+
+    fn f(i: u32) -> FaultId {
+        FaultId::new(i)
+    }
+
+    #[test]
+    fn singleton_world_takes_the_disjoint_fast_path() {
+        let space = DemandSpace::new(4).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
+        let q = UsageProfile::from_weights(space, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let p = Prepared::new(Arc::clone(&model), q.clone());
+        assert!(p.disjoint_regions());
+        let a = Version::from_faults(&model, [f(0), f(2)]);
+        let b = Version::from_faults(&model, [f(2), f(3)]);
+        assert_eq!(p.version_pfd(&a), a.pfd(&model, &q));
+        assert_eq!(p.version_pfd(&b), b.pfd(&model, &q));
+        assert_eq!(p.pair_pfd(&a, &b), pair_pfd(&a, &b, &model, &q));
+    }
+
+    #[test]
+    fn overlapping_regions_fall_back_to_failure_sets() {
+        // Faults {0,1} and {1,2} share demand 1: the general path must not
+        // double count it.
+        let space = DemandSpace::new(3).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault([d(0), d(1)])
+                .fault([d(1), d(2)])
+                .build()
+                .unwrap(),
+        );
+        let q = UsageProfile::uniform(space);
+        let p = Prepared::new(Arc::clone(&model), q.clone());
+        assert!(!p.disjoint_regions());
+        let both = Version::from_faults(&model, [f(0), f(1)]);
+        assert!((p.version_pfd(&both) - 1.0).abs() < 1e-15);
+        assert_eq!(p.version_pfd(&both), both.pfd(&model, &q));
+        let a = Version::from_faults(&model, [f(0)]);
+        let b = Version::from_faults(&model, [f(1)]);
+        // They overlap only on demand 1.
+        assert!((p.pair_pfd(&a, &b) - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(p.pair_pfd(&a, &b), pair_pfd(&a, &b, &model, &q));
+    }
+
+    #[test]
+    fn disjoint_multi_demand_regions_match_exact_values() {
+        let space = DemandSpace::new(6).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault([d(0), d(1)])
+                .fault([d(2)])
+                .fault([d(3), d(4), d(5)])
+                .build()
+                .unwrap(),
+        );
+        let q = UsageProfile::zipf(space, 0.7).unwrap();
+        let p = Prepared::new(Arc::clone(&model), q.clone());
+        assert!(p.disjoint_regions());
+        for mask in 0u32..8 {
+            let faults: Vec<FaultId> = (0..3)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| f(i as u32))
+                .collect();
+            let v = Version::from_faults(&model, faults);
+            assert!((p.version_pfd(&v) - v.pfd(&model, &q)).abs() < 1e-15);
+            let w = Version::from_faults(&model, [f(1)]);
+            assert!((p.pair_pfd(&v, &w) - pair_pfd(&v, &w, &model, &q)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn correct_version_has_zero_pfd_on_both_paths() {
+        let space = DemandSpace::new(5).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
+        let q = UsageProfile::uniform(space);
+        let p = Prepared::new(Arc::clone(&model), q);
+        let v = Version::correct(&model);
+        assert_eq!(p.version_pfd(&v), 0.0);
+        assert_eq!(p.pair_pfd(&v, &v), 0.0);
+    }
+}

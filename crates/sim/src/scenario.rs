@@ -1,0 +1,974 @@
+//! The typed, precomputing entry point of the simulation engine.
+//!
+//! A [`Scenario`] is one fully specified instance of the paper's
+//! stochastic process: draw versions from `S_A`/`S_B`, draw suites from
+//! `M(·)`, debug under a [`CampaignRegime`], evaluate exactly over the
+//! demand space. It replaces the crate's former family of 8–10-argument
+//! free functions with one validated value, built by a
+//! [`ScenarioBuilder`]:
+//!
+//! * construction-time cross-validation (shared demand space, matching
+//!   fault models, sane suite sizes) returns a typed [`ScenarioError`]
+//!   instead of panicking mid-campaign;
+//! * the scenario owns a per-world [`Prepared`] cache (demand marginals,
+//!   fault-region usage masses, disjoint-region fast path) built once and
+//!   reused by every replication on every thread;
+//! * every study is a method: [`Scenario::run`], [`Scenario::estimate`],
+//!   [`Scenario::growth`], [`Scenario::adaptive_study`],
+//!   [`Scenario::operate`], [`Scenario::mistakes`], …
+//!
+//! Scenarios are cheap to vary: [`Scenario::with_suite_size`],
+//! [`Scenario::with_regime`], [`Scenario::with_seed`] and friends return
+//! copies that share the prepared world via `Arc`, so a sweep over suite
+//! sizes or regimes pays the precomputation exactly once.
+//!
+//! # Examples
+//!
+//! ```
+//! use diversim_sim::scenario::Scenario;
+//! use diversim_sim::campaign::CampaignRegime;
+//! use diversim_sim::world::World;
+//!
+//! let world = World::singleton_uniform("demo", vec![0.1, 0.3, 0.5])?;
+//! let scenario = world
+//!     .scenario()
+//!     .regime(CampaignRegime::SharedSuite)
+//!     .suite_size(4)
+//!     .seed(42)
+//!     .build()?;
+//!
+//! // One campaign…
+//! let outcome = scenario.run(7);
+//! assert!(outcome.system_pfd <= outcome.system_pfd_before);
+//! // …or a replicated estimate (deterministic for any thread count).
+//! let est = scenario.estimate(500, 4);
+//! assert!(est.system_pfd.mean >= 0.0 && est.system_pfd.mean <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::Arc;
+
+use diversim_stats::seed::SeedSequence;
+use diversim_stats::stopping::StoppingRule;
+use diversim_testing::fixing::{Fixer, PerfectFixer};
+use diversim_testing::generation::{ProfileGenerator, SuiteGenerator};
+use diversim_testing::oracle::{Oracle, PerfectOracle};
+use diversim_universe::fault::FaultModel;
+use diversim_universe::population::Population;
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+use crate::adaptive::{AdaptiveOutcome, AdaptiveStudy};
+use crate::campaign::{CampaignRegime, PairOutcome};
+use crate::common_cause::{ClarificationStudy, MistakeMode, MistakeStudy};
+use crate::estimate::PairEstimates;
+use crate::growth::{GrowthCurve, GrowthSample, MergedComparison, MergedEstimates};
+use crate::operation::{CoverageStudy, OperationLog};
+use crate::prepared::Prepared;
+use crate::world::World;
+
+/// Largest accepted suite size — far above any statistically sensible
+/// value; the cap catches arithmetic mistakes (e.g. an underflowed
+/// `usize`) before they allocate gigabytes of demands.
+pub const MAX_SUITE_SIZE: usize = 1 << 24;
+
+/// How replicated studies derive the seed of replication `i` from the
+/// scenario's root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeedPolicy {
+    /// SplitMix64-mixed seeds: replication `i` receives
+    /// `SeedSequence::new(root).seed_for(0, i)` (the default — distinct,
+    /// well-mixed, collision-free).
+    Sequence(u64),
+    /// Consecutive seeds: replication `i` receives `root + i`. Matches
+    /// experiments whose historical runs enumerated seeds directly.
+    Offset(u64),
+}
+
+impl SeedPolicy {
+    /// Mixed seeds rooted at `root` (see [`SeedPolicy::Sequence`]).
+    pub fn sequence(root: u64) -> Self {
+        SeedPolicy::Sequence(root)
+    }
+
+    /// Consecutive seeds starting at `root` (see [`SeedPolicy::Offset`]).
+    pub fn offset(root: u64) -> Self {
+        SeedPolicy::Offset(root)
+    }
+
+    /// The root seed.
+    pub fn root(self) -> u64 {
+        match self {
+            SeedPolicy::Sequence(root) | SeedPolicy::Offset(root) => root,
+        }
+    }
+
+    /// The same derivation rule with a different root.
+    pub fn with_root(self, root: u64) -> Self {
+        match self {
+            SeedPolicy::Sequence(_) => SeedPolicy::Sequence(root),
+            SeedPolicy::Offset(_) => SeedPolicy::Offset(root),
+        }
+    }
+
+    /// The seed of replication `i`. Pure function of `(self, i)`, so
+    /// replicated studies are deterministic for any thread count.
+    pub fn seed_for(self, i: u64) -> u64 {
+        match self {
+            SeedPolicy::Sequence(root) => SeedSequence::new(root).seed_for(0, i),
+            SeedPolicy::Offset(root) => root.wrapping_add(i),
+        }
+    }
+}
+
+impl Default for SeedPolicy {
+    fn default() -> Self {
+        SeedPolicy::Sequence(0)
+    }
+}
+
+/// Why a [`ScenarioBuilder`] (or a scenario method with structured
+/// arguments) rejected its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioError {
+    /// A required ingredient was never supplied.
+    Missing {
+        /// Which ingredient (`"population"`, `"profile"`).
+        what: &'static str,
+    },
+    /// The two populations are defined over different fault models, so no
+    /// single campaign semantics exists for the pair.
+    ModelMismatch,
+    /// A component disagrees with the populations' demand space.
+    SpaceMismatch {
+        /// Which component (`"profile"`, `"generator"`, `"test profile"`).
+        what: &'static str,
+        /// The populations' demand-space size.
+        expected: usize,
+        /// The component's demand-space size.
+        found: usize,
+    },
+    /// The suite size exceeds [`MAX_SUITE_SIZE`].
+    SuiteTooLarge {
+        /// The requested size.
+        size: usize,
+        /// The cap it violated.
+        limit: usize,
+    },
+    /// A growth study's checkpoint list is unusable.
+    InvalidCheckpoints {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A confidence level outside `(0, 1)`.
+    InvalidLevel {
+        /// The offending level.
+        level: f64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Missing { what } => write!(f, "scenario is missing its {what}"),
+            ScenarioError::ModelMismatch => {
+                write!(f, "the two populations use different fault models")
+            }
+            ScenarioError::SpaceMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{what} covers {found} demands but the populations' space has {expected}"
+            ),
+            ScenarioError::SuiteTooLarge { size, limit } => {
+                write!(f, "suite size {size} exceeds the sanity cap {limit}")
+            }
+            ScenarioError::InvalidCheckpoints { reason } => {
+                write!(f, "invalid growth checkpoints: {reason}")
+            }
+            ScenarioError::InvalidLevel { level } => {
+                write!(f, "confidence level {level} is outside (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Assembles a validated [`Scenario`]; see the [module docs](self).
+///
+/// Required: a population (or pair) and an operational profile. Everything
+/// else defaults: suite generation draws i.i.d. from the operational
+/// profile, the oracle and fixer are perfect, the regime is
+/// [`CampaignRegime::SharedSuite`], the suite is empty and the seed policy
+/// is `SeedPolicy::Sequence(0)`.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    pop_a: Option<Arc<dyn Population>>,
+    pop_b: Option<Arc<dyn Population>>,
+    profile: Option<UsageProfile>,
+    test_profile: Option<UsageProfile>,
+    generator: Option<Arc<dyn SuiteGenerator>>,
+    oracle: Arc<dyn Oracle>,
+    fixer: Arc<dyn Fixer>,
+    regime: CampaignRegime,
+    suite_size: usize,
+    seeds: SeedPolicy,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// An empty builder with the defaults described on the type.
+    pub fn new() -> Self {
+        ScenarioBuilder {
+            pop_a: None,
+            pop_b: None,
+            profile: None,
+            test_profile: None,
+            generator: None,
+            oracle: Arc::new(PerfectOracle::new()),
+            fixer: Arc::new(PerfectFixer::new()),
+            regime: CampaignRegime::SharedSuite,
+            suite_size: 0,
+            seeds: SeedPolicy::default(),
+        }
+    }
+
+    /// Uses one methodology for both versions.
+    pub fn population<P: Population + 'static>(mut self, pop: P) -> Self {
+        let pop: Arc<dyn Population> = Arc::new(pop);
+        self.pop_a = Some(Arc::clone(&pop));
+        self.pop_b = Some(pop);
+        self
+    }
+
+    /// Uses two (possibly different) methodologies over one fault model.
+    pub fn populations<A, B>(mut self, pop_a: A, pop_b: B) -> Self
+    where
+        A: Population + 'static,
+        B: Population + 'static,
+    {
+        self.pop_a = Some(Arc::new(pop_a));
+        self.pop_b = Some(Arc::new(pop_b));
+        self
+    }
+
+    /// Loads a [`World`]'s populations, profile and generator in one call.
+    pub fn world(mut self, world: &World) -> Self {
+        self.pop_a = Some(Arc::new(world.pop_a.clone()));
+        self.pop_b = Some(Arc::new(world.pop_b.clone()));
+        self.profile = Some(world.profile.clone());
+        self.generator = Some(Arc::new(world.generator.clone()));
+        self
+    }
+
+    /// The operational profile `Q(·)` used for exact pfd evaluation (and,
+    /// unless a generator is supplied, for suite generation).
+    pub fn profile(mut self, profile: UsageProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// A separate test profile for [`Scenario::adaptive`] campaigns
+    /// (defaults to the operational profile).
+    pub fn test_profile(mut self, profile: UsageProfile) -> Self {
+        self.test_profile = Some(profile);
+        self
+    }
+
+    /// The suite-generation procedure `M(·)` (defaults to i.i.d. draws
+    /// from the operational profile).
+    pub fn generator<G: SuiteGenerator + 'static>(mut self, generator: G) -> Self {
+        self.generator = Some(Arc::new(generator));
+        self
+    }
+
+    /// The failure-detection oracle (default: perfect).
+    pub fn oracle<O: Oracle + 'static>(mut self, oracle: O) -> Self {
+        self.oracle = Arc::new(oracle);
+        self
+    }
+
+    /// The fault fixer (default: perfect).
+    pub fn fixer<F: Fixer + 'static>(mut self, fixer: F) -> Self {
+        self.fixer = Arc::new(fixer);
+        self
+    }
+
+    /// The testing regime (default: [`CampaignRegime::SharedSuite`]).
+    pub fn regime(mut self, regime: CampaignRegime) -> Self {
+        self.regime = regime;
+        self
+    }
+
+    /// Demands per generated suite (default: 0, a no-op campaign).
+    pub fn suite_size(mut self, suite_size: usize) -> Self {
+        self.suite_size = suite_size;
+        self
+    }
+
+    /// The seed policy for replicated studies.
+    pub fn seeds(mut self, seeds: SeedPolicy) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Shorthand for `seeds(SeedPolicy::Sequence(root))`.
+    pub fn seed(self, root: u64) -> Self {
+        self.seeds(SeedPolicy::Sequence(root))
+    }
+
+    /// Validates the assembly and builds the scenario, including its
+    /// per-world [`Prepared`] cache.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScenarioError::Missing`] — no population or no profile;
+    /// * [`ScenarioError::ModelMismatch`] — the populations' fault models
+    ///   differ;
+    /// * [`ScenarioError::SpaceMismatch`] — profile, generator or test
+    ///   profile cover a different demand space than the populations;
+    /// * [`ScenarioError::SuiteTooLarge`] — suite size above
+    ///   [`MAX_SUITE_SIZE`].
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let pop_a = self
+            .pop_a
+            .ok_or(ScenarioError::Missing { what: "population" })?;
+        let pop_b = self
+            .pop_b
+            .ok_or(ScenarioError::Missing { what: "population" })?;
+        if !Arc::ptr_eq(pop_a.model(), pop_b.model()) && pop_a.model() != pop_b.model() {
+            return Err(ScenarioError::ModelMismatch);
+        }
+        let profile = self
+            .profile
+            .ok_or(ScenarioError::Missing { what: "profile" })?;
+        let space = pop_a.model().space();
+        if profile.space() != space {
+            return Err(ScenarioError::SpaceMismatch {
+                what: "profile",
+                expected: space.len(),
+                found: profile.space().len(),
+            });
+        }
+        let generator = match self.generator {
+            Some(generator) => {
+                if generator.space() != space {
+                    return Err(ScenarioError::SpaceMismatch {
+                        what: "generator",
+                        expected: space.len(),
+                        found: generator.space().len(),
+                    });
+                }
+                generator
+            }
+            None => Arc::new(ProfileGenerator::new(profile.clone())) as Arc<dyn SuiteGenerator>,
+        };
+        if let Some(test_profile) = &self.test_profile {
+            if test_profile.space() != space {
+                return Err(ScenarioError::SpaceMismatch {
+                    what: "test profile",
+                    expected: space.len(),
+                    found: test_profile.space().len(),
+                });
+            }
+        }
+        if self.suite_size > MAX_SUITE_SIZE {
+            return Err(ScenarioError::SuiteTooLarge {
+                size: self.suite_size,
+                limit: MAX_SUITE_SIZE,
+            });
+        }
+        let prepared = Arc::new(Prepared::new(Arc::clone(pop_a.model()), profile));
+        Ok(Scenario {
+            pop_a,
+            pop_b,
+            generator,
+            oracle: self.oracle,
+            fixer: self.fixer,
+            regime: self.regime,
+            suite_size: self.suite_size,
+            seeds: self.seeds,
+            test_profile: self.test_profile.map(Arc::new),
+            prepared,
+        })
+    }
+}
+
+/// One validated, precomputed instance of the paper's stochastic process;
+/// see the [module docs](self).
+///
+/// Cloning is cheap (everything heavy sits behind `Arc`s), and the
+/// `with_*` methods hand out varied copies that share the prepared world.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pop_a: Arc<dyn Population>,
+    pop_b: Arc<dyn Population>,
+    generator: Arc<dyn SuiteGenerator>,
+    oracle: Arc<dyn Oracle>,
+    fixer: Arc<dyn Fixer>,
+    regime: CampaignRegime,
+    suite_size: usize,
+    seeds: SeedPolicy,
+    test_profile: Option<Arc<UsageProfile>>,
+    prepared: Arc<Prepared>,
+}
+
+impl Scenario {
+    /// Starts an empty [`ScenarioBuilder`].
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    // --- accessors -----------------------------------------------------
+
+    /// The active testing regime.
+    pub fn regime(&self) -> CampaignRegime {
+        self.regime
+    }
+
+    /// Demands per generated suite.
+    pub fn suite_size(&self) -> usize {
+        self.suite_size
+    }
+
+    /// The replication seed policy.
+    pub fn seeds(&self) -> SeedPolicy {
+        self.seeds
+    }
+
+    /// The operational profile `Q(·)`.
+    pub fn profile(&self) -> &UsageProfile {
+        self.prepared.profile()
+    }
+
+    /// The shared fault model.
+    pub fn model(&self) -> &Arc<FaultModel> {
+        self.prepared.model()
+    }
+
+    pub(crate) fn pop_a(&self) -> &dyn Population {
+        self.pop_a.as_ref()
+    }
+
+    pub(crate) fn pop_b(&self) -> &dyn Population {
+        self.pop_b.as_ref()
+    }
+
+    pub(crate) fn generator(&self) -> &dyn SuiteGenerator {
+        self.generator.as_ref()
+    }
+
+    pub(crate) fn oracle(&self) -> &dyn Oracle {
+        self.oracle.as_ref()
+    }
+
+    pub(crate) fn fixer(&self) -> &dyn Fixer {
+        self.fixer.as_ref()
+    }
+
+    pub(crate) fn prepared(&self) -> &Prepared {
+        &self.prepared
+    }
+
+    pub(crate) fn test_profile(&self) -> &UsageProfile {
+        self.test_profile
+            .as_deref()
+            .unwrap_or_else(|| self.prepared.profile())
+    }
+
+    /// Runs `replications` jobs through the deterministic runner, each
+    /// receiving the seed the scenario's [`SeedPolicy`] assigns to its
+    /// replication index. The single place the policy meets the runner.
+    pub(crate) fn replicate<T, F>(&self, replications: u64, threads: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        let policy = self.seeds;
+        crate::runner::parallel_replications(
+            replications,
+            SeedSequence::new(policy.root()),
+            threads,
+            move |i, _| job(policy.seed_for(i)),
+        )
+    }
+
+    /// [`Scenario::replicate`]'s accumulator twin: folds `K` observables
+    /// per replication straight into streaming moments.
+    pub(crate) fn accumulate_n<const K: usize, F>(
+        &self,
+        replications: u64,
+        threads: usize,
+        job: F,
+    ) -> [diversim_stats::online::MeanVar; K]
+    where
+        F: Fn(u64) -> [f64; K] + Sync,
+    {
+        let policy = self.seeds;
+        crate::runner::parallel_accumulate_n::<K, _>(
+            replications,
+            SeedSequence::new(policy.root()),
+            threads,
+            move |i, _| job(policy.seed_for(i)),
+        )
+    }
+
+    // --- cheap variations (the prepared world is shared) ---------------
+
+    /// The same scenario under a different regime.
+    pub fn with_regime(&self, regime: CampaignRegime) -> Self {
+        let mut s = self.clone();
+        s.regime = regime;
+        s
+    }
+
+    /// The same scenario with a different suite size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suite_size` exceeds [`MAX_SUITE_SIZE`] (the builder
+    /// reports the same condition as a typed error).
+    pub fn with_suite_size(&self, suite_size: usize) -> Self {
+        assert!(
+            suite_size <= MAX_SUITE_SIZE,
+            "suite size {suite_size} exceeds the sanity cap {MAX_SUITE_SIZE}"
+        );
+        let mut s = self.clone();
+        s.suite_size = suite_size;
+        s
+    }
+
+    /// The same scenario with a different seed policy.
+    pub fn with_seeds(&self, seeds: SeedPolicy) -> Self {
+        let mut s = self.clone();
+        s.seeds = seeds;
+        s
+    }
+
+    /// The same scenario re-rooted at `root` (the policy's derivation
+    /// rule is kept).
+    pub fn with_seed(&self, root: u64) -> Self {
+        self.with_seeds(self.seeds.with_root(root))
+    }
+
+    /// The same scenario judged by a different oracle.
+    pub fn with_oracle<O: Oracle + 'static>(&self, oracle: O) -> Self {
+        let mut s = self.clone();
+        s.oracle = Arc::new(oracle);
+        s
+    }
+
+    /// The same scenario repaired by a different fixer.
+    pub fn with_fixer<F: Fixer + 'static>(&self, fixer: F) -> Self {
+        let mut s = self.clone();
+        s.fixer = Arc::new(fixer);
+        s
+    }
+
+    // --- studies -------------------------------------------------------
+
+    /// Runs one end-to-end campaign (draw versions, draw suites, debug,
+    /// evaluate exactly). Deterministic in `seed`.
+    pub fn run(&self, seed: u64) -> PairOutcome {
+        crate::campaign::run_campaign(self, seed)
+    }
+
+    /// Estimates the marginal version and system pfds of the tested pair
+    /// by `replications` campaigns, batched through
+    /// [`crate::runner::parallel_accumulate_n`].
+    ///
+    /// Byte-identical for any `threads`, including 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `replications == 0`.
+    pub fn estimate(&self, replications: u64, threads: usize) -> PairEstimates {
+        crate::estimate::estimate(self, replications, threads)
+    }
+
+    /// One reliability-growth trajectory: debugging proceeds demand by
+    /// demand, recording exact pfds at each checkpoint (checkpoint 0
+    /// records the untested pair).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidCheckpoints`] if `checkpoints` is empty or
+    /// not strictly increasing.
+    pub fn growth_sample(
+        &self,
+        checkpoints: &[usize],
+        seed: u64,
+    ) -> Result<GrowthSample, ScenarioError> {
+        validate_checkpoints(checkpoints)?;
+        Ok(crate::growth::growth_sample(self, checkpoints, seed))
+    }
+
+    /// Replicated growth trajectories aggregated into per-checkpoint
+    /// statistics. Deterministic in `(seeds, replications)` for any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidCheckpoints`] as for
+    /// [`Scenario::growth_sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn growth(
+        &self,
+        checkpoints: &[usize],
+        replications: u64,
+        threads: usize,
+    ) -> Result<GrowthCurve, ScenarioError> {
+        validate_checkpoints(checkpoints)?;
+        Ok(crate::growth::growth(
+            self,
+            checkpoints,
+            replications,
+            threads,
+        ))
+    }
+
+    /// One §3.4.1 merged-suite comparison: the same pair debugged (a) on
+    /// two independent `n`-demand suites vs (b) on the merged `2n`-demand
+    /// shared suite. The scenario's regime is immaterial — the comparison
+    /// defines both arms itself.
+    pub fn merged_comparison(&self, n: usize, seed: u64) -> MergedComparison {
+        crate::growth::merged_comparison(self, n, seed)
+    }
+
+    /// Replicated [`Scenario::merged_comparison`], all four observables
+    /// estimated jointly. Deterministic for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `replications == 0`.
+    pub fn merged_estimate(&self, n: usize, replications: u64, threads: usize) -> MergedEstimates {
+        crate::growth::merged_estimate(self, n, replications, threads)
+    }
+
+    /// One adaptive campaign: a freshly drawn version is debugged on
+    /// demands drawn i.i.d. from the test profile until `rule` fires (or
+    /// `max_demands` is reached). The rule sees only *detected* failures.
+    pub fn adaptive(&self, rule: StoppingRule, max_demands: u64, seed: u64) -> AdaptiveOutcome {
+        crate::adaptive::adaptive_campaign(self, rule, max_demands, seed)
+    }
+
+    /// Replicated adaptive campaigns with calibration statistics against
+    /// `target_pfd`. Deterministic for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn adaptive_study(
+        &self,
+        rule: StoppingRule,
+        max_demands: u64,
+        target_pfd: f64,
+        replications: u64,
+        threads: usize,
+    ) -> AdaptiveStudy {
+        crate::adaptive::adaptive_study(self, rule, max_demands, target_pfd, replications, threads)
+    }
+
+    /// Exposes a concrete (already tested) pair to `demands` operational
+    /// demands drawn from the scenario's profile, recording version and
+    /// system failures.
+    pub fn operate(&self, a: &Version, b: &Version, demands: u64, seed: u64) -> OperationLog {
+        crate::operation::operate(self, a, b, demands, seed)
+    }
+
+    /// Empirical coverage of the Clopper–Pearson assessment of a fixed
+    /// pair's system pfd across replicated operational exposures.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidLevel`] if `level` is outside `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn coverage(
+        &self,
+        a: &Version,
+        b: &Version,
+        demands: u64,
+        level: f64,
+        replications: u64,
+        threads: usize,
+    ) -> Result<CoverageStudy, ScenarioError> {
+        if !level.is_finite() || !(0.0..1.0).contains(&level) || level == 0.0 {
+            return Err(ScenarioError::InvalidLevel { level });
+        }
+        Ok(crate::operation::coverage(
+            self,
+            a,
+            b,
+            demands,
+            level,
+            replications,
+            threads,
+        ))
+    }
+
+    /// Replicated §5 *mistake* study: draw a pair, inject `count` faults
+    /// per [`MistakeMode`], measure the damage at both levels.
+    pub fn mistakes(
+        &self,
+        count: usize,
+        mode: MistakeMode,
+        replications: u64,
+        threads: usize,
+    ) -> MistakeStudy {
+        crate::common_cause::mistake_study(self, count, mode, replications, threads)
+    }
+
+    /// Replicated §5 *clarification* study: `count` random faults are
+    /// resolved for both versions simultaneously.
+    pub fn clarifications(
+        &self,
+        count: usize,
+        replications: u64,
+        threads: usize,
+    ) -> ClarificationStudy {
+        crate::common_cause::clarification_study(self, count, replications, threads)
+    }
+}
+
+fn validate_checkpoints(checkpoints: &[usize]) -> Result<(), ScenarioError> {
+    if checkpoints.is_empty() {
+        return Err(ScenarioError::InvalidCheckpoints {
+            reason: "need at least one checkpoint",
+        });
+    }
+    if !checkpoints.windows(2).all(|w| w[0] < w[1]) {
+        return Err(ScenarioError::InvalidCheckpoints {
+            reason: "checkpoints must be strictly increasing",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diversim_universe::demand::DemandSpace;
+    use diversim_universe::fault::FaultModelBuilder;
+    use diversim_universe::population::BernoulliPopulation;
+
+    fn world() -> World {
+        World::singleton_uniform("test", vec![0.3, 0.5, 0.7]).unwrap()
+    }
+
+    #[test]
+    fn missing_population_is_reported() {
+        let err = ScenarioBuilder::new()
+            .profile(world().profile)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::Missing { what: "population" });
+    }
+
+    #[test]
+    fn missing_profile_is_reported() {
+        let w = world();
+        let err = ScenarioBuilder::new()
+            .population(w.pop_a)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::Missing { what: "profile" });
+    }
+
+    #[test]
+    fn mismatched_models_are_rejected() {
+        let w = world();
+        let other = World::singleton_uniform("other", vec![0.1, 0.2, 0.5, 0.9]).unwrap();
+        let err = ScenarioBuilder::new()
+            .populations(w.pop_a, other.pop_a)
+            .profile(w.profile)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::ModelMismatch);
+    }
+
+    #[test]
+    fn mismatched_profile_space_is_rejected() {
+        let w = world();
+        let wrong = UsageProfile::uniform(DemandSpace::new(5).unwrap());
+        let err = ScenarioBuilder::new()
+            .population(w.pop_a)
+            .profile(wrong)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::SpaceMismatch {
+                what: "profile",
+                expected: 3,
+                found: 5
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_generator_space_is_rejected() {
+        let w = world();
+        let wrong = ProfileGenerator::new(UsageProfile::uniform(DemandSpace::new(7).unwrap()));
+        let err = ScenarioBuilder::new()
+            .population(w.pop_a)
+            .profile(w.profile)
+            .generator(wrong)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::SpaceMismatch {
+                what: "generator",
+                expected: 3,
+                found: 7
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_test_profile_is_rejected() {
+        let w = world();
+        let wrong = UsageProfile::uniform(DemandSpace::new(2).unwrap());
+        let err = w.scenario().test_profile(wrong).build().unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::SpaceMismatch {
+                what: "test profile",
+                expected: 3,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_suite_is_rejected() {
+        let err = world()
+            .scenario()
+            .suite_size(MAX_SUITE_SIZE + 1)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::SuiteTooLarge {
+                size: MAX_SUITE_SIZE + 1,
+                limit: MAX_SUITE_SIZE
+            }
+        );
+    }
+
+    #[test]
+    fn equal_but_separately_built_models_are_accepted() {
+        // Arc identity is not required — structural model equality is.
+        let build = || {
+            let space = DemandSpace::new(2).unwrap();
+            let model = std::sync::Arc::new(
+                FaultModelBuilder::new(space)
+                    .singleton_faults()
+                    .build()
+                    .unwrap(),
+            );
+            BernoulliPopulation::constant(model, 0.4).unwrap()
+        };
+        let (a, b) = (build(), build());
+        let profile = UsageProfile::uniform(DemandSpace::new(2).unwrap());
+        assert!(ScenarioBuilder::new()
+            .populations(a, b)
+            .profile(profile)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn bad_checkpoints_are_typed_errors() {
+        let s = world().scenario().suite_size(2).build().unwrap();
+        assert_eq!(
+            s.growth_sample(&[], 0).unwrap_err(),
+            ScenarioError::InvalidCheckpoints {
+                reason: "need at least one checkpoint"
+            }
+        );
+        assert_eq!(
+            s.growth(&[3, 1], 10, 1).unwrap_err(),
+            ScenarioError::InvalidCheckpoints {
+                reason: "checkpoints must be strictly increasing"
+            }
+        );
+    }
+
+    #[test]
+    fn bad_coverage_level_is_a_typed_error() {
+        let s = world().scenario().build().unwrap();
+        let model = s.model().clone();
+        let v = Version::correct(&model);
+        for level in [0.0, 1.0, -0.5] {
+            assert_eq!(
+                s.coverage(&v, &v, 10, level, 5, 1).unwrap_err(),
+                ScenarioError::InvalidLevel { level },
+                "level {level} should be rejected"
+            );
+        }
+        assert!(matches!(
+            s.coverage(&v, &v, 10, f64::NAN, 5, 1).unwrap_err(),
+            ScenarioError::InvalidLevel { .. }
+        ));
+    }
+
+    #[test]
+    fn seed_policies_derive_documented_seeds() {
+        assert_eq!(
+            SeedPolicy::sequence(9).seed_for(3),
+            SeedSequence::new(9).seed_for(0, 3)
+        );
+        assert_eq!(SeedPolicy::offset(100).seed_for(7), 107);
+        assert_eq!(SeedPolicy::default(), SeedPolicy::Sequence(0));
+        assert_eq!(
+            SeedPolicy::offset(5).with_root(9),
+            SeedPolicy::Offset(9),
+            "with_root must keep the derivation rule"
+        );
+        assert_eq!(SeedPolicy::offset(5).root(), 5);
+    }
+
+    #[test]
+    fn variations_share_the_prepared_world() {
+        let s = world().scenario().suite_size(2).seed(1).build().unwrap();
+        let varied = s
+            .with_suite_size(5)
+            .with_seed(9)
+            .with_regime(CampaignRegime::IndependentSuites);
+        assert!(Arc::ptr_eq(&s.prepared, &varied.prepared));
+        assert_eq!(varied.suite_size(), 5);
+        assert_eq!(varied.seeds().root(), 9);
+        assert_eq!(varied.regime(), CampaignRegime::IndependentSuites);
+        // The original is untouched.
+        assert_eq!(s.suite_size(), 2);
+        assert_eq!(s.regime(), CampaignRegime::SharedSuite);
+    }
+
+    #[test]
+    fn errors_render_human_messages() {
+        let text = format!(
+            "{} / {} / {}",
+            ScenarioError::Missing { what: "profile" },
+            ScenarioError::ModelMismatch,
+            ScenarioError::SuiteTooLarge { size: 9, limit: 5 }
+        );
+        assert!(text.contains("missing its profile"));
+        assert!(text.contains("different fault models"));
+        assert!(text.contains("exceeds the sanity cap"));
+    }
+}

@@ -14,7 +14,6 @@ use std::sync::Arc;
 
 use diversim::core::metrics::DiversityReport;
 use diversim::prelude::*;
-use diversim::sim::operation::operate_pair;
 use diversim::stats::stopping::{StoppingRule, StoppingState};
 use diversim::universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
 use rand::rngs::StdRng;
@@ -99,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Operation: one year of demands, honest interval assessment.
     let exposure = 50_000;
-    let log = operate_pair(&a, &b, &model, &q, exposure, 4242);
+    let scenario = Scenario::builder()
+        .population(pop)
+        .profile(q.clone())
+        .build()?;
+    let log = scenario.operate(&a, &b, exposure, 4242);
     let iv = log.system_pfd_interval(0.95);
     println!("\n=== Operation ({exposure} demands) ===");
     println!("observed system failures: {}", log.system_failures);

@@ -33,8 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("optimistic  (γ=0, = eq 23): {:.6}", bounds.optimistic);
     println!("pessimistic (γ=1, untested): {:.6}\n", bounds.pessimistic);
 
-    // Simulated γ sweep.
-    let gen = ProfileGenerator::new(q.clone());
+    // Simulated γ sweep: one scenario, re-specialised per γ (the
+    // prepared world is built once and shared).
+    let base = Scenario::builder()
+        .population(pop.clone())
+        .profile(q.clone())
+        .suite_size(suite_size)
+        .build()?;
     let replications = 40_000;
     println!("γ      system pfd   version pfd   inside bounds?");
     for step in 0..=10 {
@@ -44,19 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             10 => IdenticalFailureModel::Always,
             _ => IdenticalFailureModel::Bernoulli(gamma),
         };
-        let est = estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            suite_size,
-            CampaignRegime::BackToBack(identical),
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            replications,
-            7 + step as u64,
-            diversim::sim::runner::default_threads(),
-        );
+        let est = base
+            .with_regime(CampaignRegime::BackToBack(identical))
+            .with_seed(7 + step as u64)
+            .estimate(replications, diversim::sim::runner::default_threads());
         let inside = bounds.contains(est.system_pfd.mean)
             || est.system_pfd.interval.contains(bounds.optimistic)
             || est.system_pfd.interval.contains(bounds.pessimistic);

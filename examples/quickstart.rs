@@ -73,20 +73,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(report.all_hold(1e-10), "identity violated!");
 
     // 5. Monte Carlo cross-check (as one would run on larger universes).
-    let gen = ProfileGenerator::new(q.clone());
-    let est = estimate_pair(
-        &pop,
-        &pop,
-        &gen,
-        suite_size,
-        CampaignRegime::SharedSuite,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &q,
-        50_000,
-        2024,
-        diversim::sim::runner::default_threads(),
-    );
+    let scenario = Scenario::builder()
+        .population(pop.clone())
+        .profile(q.clone())
+        .regime(CampaignRegime::SharedSuite)
+        .suite_size(suite_size)
+        .seed(2024)
+        .build()?;
+    let est = scenario.estimate(50_000, diversim::sim::runner::default_threads());
     println!("\n=== Monte Carlo cross-check (shared suite) ===");
     println!(
         "estimated system pfd = {:.6} ± {:.6} (95% CI {})",

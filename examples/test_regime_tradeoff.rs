@@ -7,8 +7,6 @@
 
 use diversim::prelude::*;
 use diversim::sim::campaign::CampaignRegime;
-use diversim::sim::growth::{merged_suite_comparison, replicated_growth};
-use diversim::stats::online::MeanVar;
 use diversim::universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(11);
     let (universe, pop) =
         spec.generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.05, hi: 0.5 })?;
-    let q = universe.profile().clone();
-    let gen = ProfileGenerator::new(q.clone());
+    let world = SimWorld::from_universe("tradeoff", &universe, pop);
+    let scenario = world.scenario().build()?;
     let threads = diversim::sim::runner::default_threads();
     let replications = 3_000;
     let checkpoints = [0usize, 5, 10, 20, 40, 80, 160, 320];
@@ -36,32 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("          ------ independent suites ------    -------- shared suite ---------");
     println!("demands   version pfd     system pfd          version pfd     system pfd");
 
-    let ind = replicated_growth(
-        &pop,
-        &pop,
-        &gen,
-        &checkpoints,
-        CampaignRegime::IndependentSuites,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &q,
-        replications,
-        21,
-        threads,
-    );
-    let sh = replicated_growth(
-        &pop,
-        &pop,
-        &gen,
-        &checkpoints,
-        CampaignRegime::SharedSuite,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &q,
-        replications,
-        22,
-        threads,
-    );
+    let ind = scenario
+        .with_regime(CampaignRegime::IndependentSuites)
+        .with_seed(21)
+        .growth(&checkpoints, replications, threads)?;
+    let sh = scenario
+        .with_seed(22)
+        .growth(&checkpoints, replications, threads)?;
     for (i, &n) in checkpoints.iter().enumerate() {
         println!(
             "{n:<9} {:<15.6} {:<19.6} {:<15.6} {:<.6}",
@@ -81,28 +60,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cost (one procedure invocation instead of two).
     println!("=== §3.4.1 merged-suite trade-off ===");
     println!("n        independent(n each)   merged(2n shared)   merged wins?");
+    let merged_scenario = scenario.with_seeds(SeedPolicy::offset(0));
     for n in [5usize, 10, 20, 40, 80] {
-        let mut ind_acc = MeanVar::new();
-        let mut mrg_acc = MeanVar::new();
-        for seed in 0..2_000u64 {
-            let c = merged_suite_comparison(
-                &pop,
-                &pop,
-                &gen,
-                n,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
-            ind_acc.push(c.independent_system);
-            mrg_acc.push(c.merged_system);
-        }
+        let est = merged_scenario.merged_estimate(n, 2_000, threads);
         println!(
             "{n:<8} {:<21.6} {:<19.6} {}",
-            ind_acc.mean(),
-            mrg_acc.mean(),
-            if mrg_acc.mean() <= ind_acc.mean() {
+            est.independent_system.mean,
+            est.merged_system.mean,
+            if est.merged_system.mean <= est.independent_system.mean {
                 "yes"
             } else {
                 "no"

@@ -71,9 +71,9 @@ pub mod prelude {
     pub use diversim_core::system::{pair_pfd, system_pfd};
     pub use diversim_core::testing_effect::TestingRegime;
     pub use diversim_exact::verify::verify_pair;
-    pub use diversim_sim::campaign::{run_pair_campaign, CampaignRegime};
-    pub use diversim_sim::estimate::estimate_pair;
-    pub use diversim_sim::growth::replicated_growth;
+    pub use diversim_sim::campaign::CampaignRegime;
+    pub use diversim_sim::scenario::{Scenario, ScenarioBuilder, ScenarioError, SeedPolicy};
+    pub use diversim_sim::world::World as SimWorld;
     pub use diversim_testing::fixing::{Fixer, ImperfectFixer, PerfectFixer};
     pub use diversim_testing::generation::{ProfileGenerator, SuiteGenerator};
     pub use diversim_testing::oracle::{

@@ -3,13 +3,11 @@
 
 use diversim::prelude::*;
 use diversim::sim::campaign::CampaignRegime;
-use diversim::sim::estimate::estimate_pair;
-use diversim::sim::growth::replicated_growth;
 use diversim::universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn setup() -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
+fn setup() -> SimWorld {
     let spec = UniverseSpec {
         n_demands: 40,
         n_faults: 20,
@@ -20,33 +18,50 @@ fn setup() -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
     let (universe, pop) = spec
         .generate_with_population(&mut rng, PropensityKind::Uniform { lo: 0.05, hi: 0.4 })
         .unwrap();
-    let q = universe.profile().clone();
-    let gen = ProfileGenerator::new(q.clone());
-    (pop, q, gen)
+    SimWorld::from_universe("determinism", &universe, pop)
+}
+
+/// Every regime the scenario API supports, for cross-regime sweeps.
+fn all_regimes() -> [CampaignRegime; 4] {
+    [
+        CampaignRegime::IndependentSuites,
+        CampaignRegime::SharedSuite,
+        CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.3)),
+        CampaignRegime::BackToBack(IdenticalFailureModel::Always),
+    ]
+}
+
+#[test]
+fn every_regime_is_seed_deterministic_and_thread_invariant() {
+    // The cross-regime determinism matrix: for each campaign regime,
+    // (i) `run(seed)` twice produces identical outcomes, and (ii) the
+    // replicated estimate is byte-identical between 1 and 8 worker
+    // threads.
+    let world = setup();
+    let base = world.scenario().suite_size(10).seed(31337).build().unwrap();
+    for regime in all_regimes() {
+        let s = base.with_regime(regime);
+        assert_eq!(s.run(777), s.run(777), "{regime:?}: run(seed) not pure");
+        let one = s.estimate(256, 1);
+        let eight = s.estimate(256, 8);
+        assert_eq!(one, eight, "{regime:?}: thread count changed the estimate");
+    }
 }
 
 #[test]
 fn estimates_identical_across_thread_counts() {
-    let (pop, q, gen) = setup();
-    let run = |threads: usize| {
-        estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            10,
-            CampaignRegime::SharedSuite,
-            &ImperfectOracle::new(0.8).unwrap(),
-            &ImperfectFixer::new(0.9).unwrap(),
-            &q,
-            512,
-            31337,
-            threads,
-        )
-    };
-    let reference = run(1);
+    let s = setup()
+        .scenario()
+        .suite_size(10)
+        .oracle(ImperfectOracle::new(0.8).unwrap())
+        .fixer(ImperfectFixer::new(0.9).unwrap())
+        .seed(31337)
+        .build()
+        .unwrap();
+    let reference = s.estimate(512, 1);
     for threads in [2, 3, 5, 8] {
         assert_eq!(
-            run(threads),
+            s.estimate(512, threads),
             reference,
             "thread count {threads} changed the estimate"
         );
@@ -55,22 +70,15 @@ fn estimates_identical_across_thread_counts() {
 
 #[test]
 fn growth_curves_identical_across_thread_counts() {
-    let (pop, q, gen) = setup();
-    let run = |threads: usize| {
-        replicated_growth(
-            &pop,
-            &pop,
-            &gen,
-            &[0, 5, 15, 30],
-            CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.3)),
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            256,
-            99,
-            threads,
-        )
-    };
+    let s = setup()
+        .scenario()
+        .regime(CampaignRegime::BackToBack(
+            IdenticalFailureModel::Bernoulli(0.3),
+        ))
+        .seed(99)
+        .build()
+        .unwrap();
+    let run = |threads: usize| s.growth(&[0, 5, 15, 30], 256, threads).unwrap();
     let reference = run(1);
     let parallel = run(6);
     assert_eq!(reference.system_means(), parallel.system_means());
@@ -79,23 +87,28 @@ fn growth_curves_identical_across_thread_counts() {
 
 #[test]
 fn different_seeds_give_different_results() {
-    let (pop, q, gen) = setup();
-    let run = |seed: u64| {
-        estimate_pair(
-            &pop,
-            &pop,
-            &gen,
-            10,
-            CampaignRegime::IndependentSuites,
-            &PerfectOracle::new(),
-            &PerfectFixer::new(),
-            &q,
-            256,
-            seed,
-            4,
-        )
-    };
+    let s = setup()
+        .scenario()
+        .suite_size(10)
+        .regime(CampaignRegime::IndependentSuites)
+        .build()
+        .unwrap();
+    let run = |seed: u64| s.with_seed(seed).estimate(256, 4);
     assert_ne!(run(1).system_pfd, run(2).system_pfd);
+}
+
+#[test]
+fn seed_policies_are_deterministic_but_distinct() {
+    let s = setup().scenario().suite_size(5).build().unwrap();
+    let sequence = s.with_seeds(SeedPolicy::sequence(7));
+    let offset = s.with_seeds(SeedPolicy::offset(7));
+    assert_eq!(sequence.estimate(128, 1), sequence.estimate(128, 8));
+    assert_eq!(offset.estimate(128, 1), offset.estimate(128, 8));
+    assert_ne!(
+        sequence.estimate(128, 4),
+        offset.estimate(128, 4),
+        "the two derivation rules must generate different replication streams"
+    );
 }
 
 #[test]
@@ -124,29 +137,11 @@ fn campaigns_with_same_seed_share_version_draws() {
     // The campaign seed fully determines the sampled versions, so two
     // regimes at the same seed start from identical pairs — the paired
     // comparison the trade-off experiments rely on.
-    let (pop, q, gen) = setup();
-    let a = diversim::sim::campaign::run_pair_campaign(
-        &pop,
-        &pop,
-        &gen,
-        0,
-        CampaignRegime::SharedSuite,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &q,
-        4242,
-    );
-    let b = diversim::sim::campaign::run_pair_campaign(
-        &pop,
-        &pop,
-        &gen,
-        0,
-        CampaignRegime::IndependentSuites,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        &q,
-        4242,
-    );
+    let base = setup().scenario().suite_size(0).build().unwrap();
+    let a = base.run(4242);
+    let b = base
+        .with_regime(CampaignRegime::IndependentSuites)
+        .run(4242);
     // Zero-size suites: the outcome is exactly the drawn versions.
     assert_eq!(a.first, b.first);
     assert_eq!(a.second, b.second);

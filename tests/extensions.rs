@@ -2,38 +2,25 @@
 //! closed forms vs the full simulation pipeline, diversity metrics on
 //! tested pairs, adaptive stopping, and common-cause studies.
 
-use std::sync::Arc;
-
 use diversim::core::imperfect::marginal_imperfect_iid;
 use diversim::core::metrics::DiversityReport;
 use diversim::core::testing_effect::TestingRegime;
 use diversim::prelude::*;
-use diversim::sim::adaptive::adaptive_study;
-use diversim::sim::campaign::{run_pair_campaign, CampaignRegime};
-use diversim::sim::common_cause::{mistake_study, MistakeMode};
-use diversim::sim::estimate::estimate_pair;
+use diversim::sim::campaign::CampaignRegime;
+use diversim::sim::common_cause::MistakeMode;
 use diversim::stats::stopping::StoppingRule;
 
-fn singleton_setup(props: Vec<f64>) -> (BernoulliPopulation, UsageProfile, ProfileGenerator) {
-    let space = DemandSpace::new(props.len()).unwrap();
-    let model = Arc::new(
-        FaultModelBuilder::new(space)
-            .singleton_faults()
-            .build()
-            .unwrap(),
-    );
-    let pop = BernoulliPopulation::new(model, props).unwrap();
-    let q = UsageProfile::uniform(space);
-    let gen = ProfileGenerator::new(q.clone());
-    (pop, q, gen)
+fn singleton_setup(props: Vec<f64>) -> SimWorld {
+    SimWorld::singleton_uniform("extensions", props).unwrap()
 }
 
 #[test]
 fn imperfect_closed_form_matches_full_pipeline() {
     // ρ = d·r: any (detect, fix) split with the same product gives the
     // same closed-form value, and the full campaign simulation agrees.
-    let (pop, q, gen) = singleton_setup(vec![0.2, 0.4, 0.6, 0.8]);
+    let w = singleton_setup(vec![0.2, 0.4, 0.6, 0.8]);
     let n = 6;
+    let base = w.scenario().suite_size(n).build().unwrap();
     for (detect, fix) in [(0.8, 0.75), (0.75, 0.8), (0.6, 1.0), (1.0, 0.6)] {
         let rho: f64 = 0.6;
         assert!(
@@ -47,20 +34,15 @@ fn imperfect_closed_form_matches_full_pipeline() {
             ),
             (TestingRegime::SharedSuite, CampaignRegime::SharedSuite),
         ] {
-            let closed = marginal_imperfect_iid(&pop, &pop, &q, &q, n, rho, regime).unwrap();
-            let est = estimate_pair(
-                &pop,
-                &pop,
-                &gen,
-                n,
-                campaign,
-                &ImperfectOracle::new(detect).unwrap(),
-                &ImperfectFixer::new(fix).unwrap(),
-                &q,
-                40_000,
-                (detect * 1000.0) as u64 + (fix * 100.0) as u64,
-                4,
-            );
+            let closed =
+                marginal_imperfect_iid(&w.pop_a, &w.pop_a, &w.profile, &w.profile, n, rho, regime)
+                    .unwrap();
+            let est = base
+                .with_regime(campaign)
+                .with_oracle(ImperfectOracle::new(detect).unwrap())
+                .with_fixer(ImperfectFixer::new(fix).unwrap())
+                .with_seed((detect * 1000.0) as u64 + (fix * 100.0) as u64)
+                .estimate(40_000, 4);
             assert!(
                 (est.system_pfd.mean - closed).abs() < 4.0 * est.system_pfd.standard_error + 1e-9,
                 "pipeline {} vs closed form {closed} at d={detect}, r={fix}, {regime}",
@@ -75,27 +57,16 @@ fn shared_suite_raises_measured_failure_correlation() {
     // The diversity metrics should *see* the eq-20 coupling: across many
     // campaigns, tested pairs from a shared suite have a higher mean
     // failure correlation than pairs tested independently.
-    let (pop, q, gen) = singleton_setup(vec![0.3, 0.5, 0.7, 0.9]);
-    let model = pop.model().clone();
+    let w = singleton_setup(vec![0.3, 0.5, 0.7, 0.9]);
+    let model = w.model().clone();
+    let base = w.scenario().suite_size(3).build().unwrap();
+    let indep = base.with_regime(CampaignRegime::IndependentSuites);
     let mut corr_shared = diversim::stats::online::MeanVar::new();
     let mut corr_indep = diversim::stats::online::MeanVar::new();
     for seed in 0..4_000 {
-        for (campaign, acc) in [
-            (CampaignRegime::SharedSuite, &mut corr_shared),
-            (CampaignRegime::IndependentSuites, &mut corr_indep),
-        ] {
-            let out = run_pair_campaign(
-                &pop,
-                &pop,
-                &gen,
-                3,
-                campaign,
-                &PerfectOracle::new(),
-                &PerfectFixer::new(),
-                &q,
-                seed,
-            );
-            let r = DiversityReport::compute(&out.first, &out.second, &model, &q);
+        for (scenario, acc) in [(&base, &mut corr_shared), (&indep, &mut corr_indep)] {
+            let out = scenario.run(seed);
+            let r = DiversityReport::compute(&out.first, &out.second, &model, &w.profile);
             acc.push(r.correlation);
         }
     }
@@ -112,36 +83,21 @@ fn adaptive_rule_beats_fixed_budget_of_equal_mean_size() {
     // Adaptivity concentrates effort on unlucky (buggy) draws: at equal
     // mean testing effort the adaptive campaign achieves a pfd no worse
     // than a fixed-size campaign (statistically).
-    let (pop, q, _gen) = singleton_setup(vec![0.5; 12]);
+    let w = singleton_setup(vec![0.5; 12]);
+    let scenario = w.scenario().build().unwrap();
     let rule = StoppingRule::FailureFree {
         target: 0.05,
         confidence: 0.9,
     };
-    let adaptive = adaptive_study(
-        &pop,
-        &q,
-        &q,
-        rule,
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
-        100_000,
-        0.05,
-        1_500,
-        42,
-        4,
-    );
+    let adaptive = scenario
+        .with_seed(42)
+        .adaptive_study(rule, 100_000, 0.05, 1_500, 4);
     let budget = adaptive.demands.mean().round() as u64;
-    let fixed = adaptive_study(
-        &pop,
-        &q,
-        &q,
+    let fixed = scenario.with_seed(43).adaptive_study(
         StoppingRule::FixedSize(budget),
-        &PerfectOracle::new(),
-        &PerfectFixer::new(),
         100_000,
         0.05,
         1_500,
-        43,
         4,
     );
     assert!(
@@ -157,9 +113,13 @@ fn common_mistakes_on_clean_versions_collide_always() {
     // On a fault-free population a single common mistake forces a
     // coincident failure with probability 1; independent mistakes collide
     // with probability 1/faults.
-    let (pop, q, _gen) = singleton_setup(vec![0.0; 8]);
-    let common = mistake_study(&pop, &q, 1, MistakeMode::Common, 2_000, 7, 4);
-    let indep = mistake_study(&pop, &q, 1, MistakeMode::Independent, 2_000, 7, 4);
+    let scenario = singleton_setup(vec![0.0; 8])
+        .scenario()
+        .seed(7)
+        .build()
+        .unwrap();
+    let common = scenario.mistakes(1, MistakeMode::Common, 2_000, 4);
+    let indep = scenario.mistakes(1, MistakeMode::Independent, 2_000, 4);
     // Every common-mistake pair fails together on 1 of 8 demands.
     assert!((common.system_pfd.mean() - 0.125).abs() < 1e-12);
     // Independent mistakes collide 1/8 of the time → mean 0.125/8.

@@ -394,13 +394,15 @@ proptest! {
         demands in 1u64..500,
         seed in any::<u64>(),
     ) {
-        use diversim::sim::operation::operate_pair;
-        let space = DemandSpace::new(6).unwrap();
-        let model = FaultModelBuilder::new(space).singleton_faults().build().unwrap();
+        let scenario = SimWorld::singleton_uniform("ops", vec![0.0; 6])
+            .unwrap()
+            .scenario()
+            .build()
+            .unwrap();
+        let model = scenario.model().clone();
         let a = Version::from_faults(&model, faults.iter().map(|&i| FaultId::new(i)));
         let b = Version::correct(&model);
-        let q = UsageProfile::uniform(space);
-        let log = operate_pair(&a, &b, &model, &q, demands, seed);
+        let log = scenario.operate(&a, &b, demands, seed);
         prop_assert_eq!(log.demands, demands);
         prop_assert_eq!(log.failures_b, 0);
         prop_assert_eq!(log.system_failures, 0, "correct channel shields the system");
