@@ -5,18 +5,21 @@
 //! $ diversim list
 //! $ diversim run e01
 //! $ diversim run --all --fast --threads 4 --out results/
+//! $ diversim report --run --smoke
+//! $ diversim report --results results/
 //! $ diversim docs --write
 //! ```
 //!
 //! Exit codes: `0` success, `1` at least one reproduction check failed,
 //! `2` usage error.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 use diversim_sim::runner::default_threads;
 
+use crate::book::{self, ResultDoc};
 use crate::engine::{run_experiment, write_outcome, RunOutcome};
 use crate::registry;
 use crate::report::Table;
@@ -28,6 +31,8 @@ USAGE:
     diversim list
     diversim run [EXPERIMENT...] [--all] [--smoke|--fast|--full]
                  [--threads N] [--out DIR] [--quiet]
+    diversim report [--run | --results DIR] [--smoke|--fast|--full]
+                    [--threads N] [--out DIR] [--quiet]
     diversim docs [--write]
     diversim help
 
@@ -39,9 +44,62 @@ OPTIONS:
     --fast         1/10 replication budgets (the CI profile)
     --full         paper-faithful replication budgets [default]
     --threads N    worker threads (default: available CPUs, capped at 16)
-    --out DIR      write one JSON and one CSV result file per experiment
+    --out DIR      run: write one JSON and one CSV result file per experiment
+                   report: book output root (default: the workspace root,
+                   i.e. the committed REPORT.md + report/ book)
     --quiet        suppress experiment narration and tables
+
+`report` renders the reproduction book — REPORT.md plus one figure-rich
+chapter per experiment under report/ — either by re-running every
+registered experiment (--run, at the chosen profile) or from the result
+files a previous `diversim run --all --out DIR` wrote (--results DIR,
+the default, reading results/). The book is byte-identical for any
+--threads count; the committed book uses `--run --smoke`.
 ";
+
+/// The flags `diversim run` and `diversim report` share. Values stay
+/// `Option` so each command can apply its own defaults and reject
+/// flags that are meaningless in its mode.
+#[derive(Debug, Clone, Default)]
+struct CommonFlags {
+    profile: Option<Profile>,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+impl CommonFlags {
+    /// Consumes `arg` (pulling values from `it` as needed) if it is one
+    /// of the shared flags; returns `Ok(false)` if it is not.
+    fn consume(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--smoke" => self.profile = Some(Profile::Smoke),
+            "--fast" => self.profile = Some(Profile::Fast),
+            "--full" => self.profile = Some(Profile::Full),
+            "--quiet" => self.quiet = true,
+            "--threads" => {
+                let value = it.next().ok_or("--threads needs a value")?;
+                self.threads = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid thread count: {value}"))?,
+                );
+            }
+            "--out" => {
+                let value = it.next().ok_or("--out needs a directory")?;
+                self.out = Some(PathBuf::from(value));
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
 
 /// Options shared by `diversim run` and the standalone binaries.
 #[derive(Debug, Clone)]
@@ -52,45 +110,27 @@ struct RunOptions {
     quiet: bool,
 }
 
-impl Default for RunOptions {
-    fn default() -> Self {
-        RunOptions {
-            profile: Profile::Full,
-            threads: default_threads(),
-            out: None,
-            quiet: false,
-        }
-    }
-}
-
 fn parse_run_args(args: &[String]) -> Result<(Vec<String>, bool, RunOptions), String> {
     let mut keys = Vec::new();
     let mut all = false;
-    let mut opts = RunOptions::default();
+    let mut flags = CommonFlags::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if flags.consume(arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
             "--all" => all = true,
-            "--smoke" => opts.profile = Profile::Smoke,
-            "--fast" => opts.profile = Profile::Fast,
-            "--full" => opts.profile = Profile::Full,
-            "--quiet" => opts.quiet = true,
-            "--threads" => {
-                let value = it.next().ok_or("--threads needs a value")?;
-                opts.threads = value
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| format!("invalid thread count: {value}"))?;
-            }
-            "--out" => {
-                let value = it.next().ok_or("--out needs a directory")?;
-                opts.out = Some(PathBuf::from(value));
-            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag: {flag}")),
             key => keys.push(key.to_string()),
         }
     }
+    let opts = RunOptions {
+        profile: flags.profile.unwrap_or(Profile::Full),
+        threads: flags.threads.unwrap_or_else(default_threads),
+        out: flags.out,
+        quiet: flags.quiet,
+    };
     Ok((keys, all, opts))
 }
 
@@ -205,6 +245,163 @@ fn list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Options of `diversim report`.
+#[derive(Debug, Clone)]
+struct ReportOptions {
+    /// Re-run every experiment instead of loading result files.
+    run: bool,
+    /// Where result files are loaded from when not re-running.
+    results: PathBuf,
+    profile: Option<Profile>,
+    threads: usize,
+    /// Book output root; `None` means the workspace root (the committed
+    /// book).
+    out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_report_args(args: &[String]) -> Result<ReportOptions, String> {
+    let mut run = false;
+    let mut results: Option<PathBuf> = None;
+    let mut flags = CommonFlags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if flags.consume(arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--run" => run = true,
+            "--results" => {
+                let value = it.next().ok_or("--results needs a directory")?;
+                results = Some(PathBuf::from(value));
+            }
+            other => return Err(format!("unknown report argument: {other}")),
+        }
+    }
+    if run && results.is_some() {
+        return Err("pass either --run or --results DIR, not both".into());
+    }
+    if !run && flags.profile.is_some() {
+        return Err("--smoke/--fast/--full select the re-run effort and require --run".into());
+    }
+    if !run && flags.threads.is_some() {
+        return Err("--threads selects the re-run parallelism and requires --run".into());
+    }
+    Ok(ReportOptions {
+        run,
+        results: results.unwrap_or_else(|| PathBuf::from("results")),
+        profile: flags.profile,
+        threads: flags.threads.unwrap_or_else(default_threads),
+        out: flags.out,
+        quiet: flags.quiet,
+    })
+}
+
+/// The workspace root (two levels above this crate's manifest), so
+/// `diversim report` regenerates the committed book from any cwd.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn load_or_run_docs(opts: &ReportOptions) -> Result<Vec<ResultDoc>, String> {
+    let mut docs = Vec::new();
+    for spec in registry::all() {
+        let doc = if opts.run {
+            if !opts.quiet {
+                println!("running {} …", spec.name);
+            }
+            let outcome =
+                run_experiment(spec, opts.profile.unwrap_or_default(), opts.threads, true);
+            ResultDoc::from_outcome(&outcome).map_err(|e| e.to_string())?
+        } else {
+            let path = opts.results.join(format!("{}.json", spec.name));
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                format!(
+                    "could not read {}: {e}\n(write result files with `diversim run --all --out {}`, \
+                     or re-run the experiments with `diversim report --run`)",
+                    path.display(),
+                    opts.results.display()
+                )
+            })?;
+            ResultDoc::from_json(&text, &path.display().to_string()).map_err(|e| e.to_string())?
+        };
+        docs.push(doc);
+    }
+    Ok(docs)
+}
+
+fn write_book(root: &Path, book: &book::Book) -> std::io::Result<()> {
+    std::fs::create_dir_all(root.join(book::CHAPTER_DIR))?;
+    std::fs::write(root.join(book::REPORT_FILE), &book.report)?;
+    for chapter in &book.chapters {
+        std::fs::write(
+            root.join(book::CHAPTER_DIR).join(&chapter.file_name),
+            &chapter.markdown,
+        )?;
+    }
+    Ok(())
+}
+
+fn report(args: &[String]) -> ExitCode {
+    let opts = match parse_report_args(args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let started = Instant::now();
+    let docs = match load_or_run_docs(&opts) {
+        Ok(docs) => docs,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let book = match book::render_book(&docs) {
+        Ok(book) => book,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = opts.out.clone().unwrap_or_else(workspace_root);
+    if let Err(e) = write_book(&root, &book) {
+        eprintln!(
+            "error: could not write the book under {}: {e}",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let total: usize = docs.iter().map(|d| d.checks.len()).sum();
+    let failed: usize = docs.iter().map(|d| d.failed_checks()).sum();
+    let failed_experiments = docs
+        .iter()
+        .filter(|d| d.failed_checks() > 0 && d.enforces_checks())
+        .count();
+    if !opts.quiet {
+        println!(
+            "wrote {} + {} chapter(s) under {}",
+            book::REPORT_FILE,
+            book.chapters.len(),
+            root.display()
+        );
+        println!(
+            "{}/{} reproduction checks passed; wall-clock {:.2}s (stdout only — the book itself is \
+             byte-deterministic)",
+            total - failed,
+            total,
+            started.elapsed().as_secs_f64()
+        );
+    }
+    if failed_experiments > 0 {
+        eprintln!("{failed_experiments} experiment(s) failed enforced checks");
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn docs(args: &[String]) -> ExitCode {
     let md = registry::experiments_md();
     match args {
@@ -248,6 +445,7 @@ pub fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some(("report", rest)) => report(rest),
         Some(("docs", rest)) => docs(rest),
         Some(("help", _)) | Some(("--help", _)) | Some(("-h", _)) | None => {
             print!("{USAGE}");
@@ -317,6 +515,46 @@ mod tests {
         assert!(parse_run_args(&strings(&["--threads", "0"])).is_err());
         assert!(parse_run_args(&strings(&["--threads", "x"])).is_err());
         assert!(parse_run_args(&strings(&["--out"])).is_err());
+    }
+
+    #[test]
+    fn parse_report_args_covers_modes_and_conflicts() {
+        let opts = parse_report_args(&strings(&[])).unwrap();
+        assert!(!opts.run);
+        assert_eq!(opts.results, std::path::PathBuf::from("results"));
+        assert_eq!(opts.profile, None);
+        assert!(opts.out.is_none());
+
+        let opts = parse_report_args(&strings(&[
+            "--run",
+            "--smoke",
+            "--threads",
+            "2",
+            "--out",
+            "book",
+        ]))
+        .unwrap();
+        assert!(opts.run);
+        assert_eq!(opts.profile, Some(Profile::Smoke));
+        assert_eq!(opts.threads, 2);
+        assert_eq!(opts.out.as_deref(), Some(std::path::Path::new("book")));
+
+        let opts = parse_report_args(&strings(&["--results", "r", "--quiet"])).unwrap();
+        assert!(opts.quiet);
+        assert_eq!(opts.results, std::path::PathBuf::from("r"));
+
+        assert!(parse_report_args(&strings(&["--run", "--results", "r"])).is_err());
+        assert!(
+            parse_report_args(&strings(&["--fast"])).is_err(),
+            "profile needs --run"
+        );
+        assert!(
+            parse_report_args(&strings(&["--threads", "2"])).is_err(),
+            "threads need --run"
+        );
+        assert!(parse_report_args(&strings(&["--bogus"])).is_err());
+        assert!(parse_report_args(&strings(&["--results"])).is_err());
+        assert!(parse_report_args(&strings(&["--threads", "0"])).is_err());
     }
 
     #[test]

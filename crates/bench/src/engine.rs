@@ -154,6 +154,7 @@ mod tests {
         claim: "none",
         sweep: "none",
         full_replications: 1000,
+        figures: &[],
         run: demo_run,
     };
 

@@ -15,7 +15,7 @@ use diversim_stats::seed::SeedSequence;
 use diversim_universe::population::Population;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::graded_with_spread;
 
 /// Declarative description of E1.
@@ -28,6 +28,19 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "joint pfd = E[Θ]² + Var(Θ) ≥ E[Θ]²; equality iff difficulty is constant",
     sweep: "difficulty spread ∈ {0.0, 0.2, …, 1.0} at fixed mean 0.3",
     full_replications: 60_000,
+    figures: &[FigureSpec::new(
+        0,
+        "The joint pfd tracks E[Θ]² + Var(Θ) exactly; the independence \
+         benchmark E[Θ]² falls behind as the difficulty spread grows. The \
+         Monte Carlo estimate carries a ±2·SE band.",
+        "spread",
+        &[
+            SeriesSpec::new("joint = E[Θ²] (exact)", "joint=E[th^2]"),
+            SeriesSpec::new("independent benchmark E[Θ]²", "indep=E[th]^2"),
+            SeriesSpec::new("MC joint", "MC joint").band("MC se"),
+        ],
+    )
+    .labels("difficulty spread", "P(both versions fail)")],
     run,
 };
 
@@ -43,6 +56,7 @@ fn run(ctx: &mut RunContext) {
             "indep=E[th]^2",
             "ratio",
             "MC joint",
+            "MC se",
         ],
     );
     let replications = ctx.replications(SPEC.full_replications);
@@ -70,6 +84,7 @@ fn run(ctx: &mut RunContext) {
             format!("{:.6}", el.independent_pfd),
             format!("{:.3}", el.dependence_ratio().unwrap_or(f64::NAN)),
             format!("{:.6}", acc.mean()),
+            format!("{:.6}", acc.standard_error()),
         ]);
 
         // Reproduction checks.

@@ -15,7 +15,7 @@ use diversim_universe::population::Population;
 use diversim_universe::profile::UsageProfile;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::{mirrored, small_graded};
 
 /// Declarative description of E3.
@@ -28,6 +28,26 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "per demand, brute joint = ζ_A(x)·ζ_B(x) in all four independent-suite regimes",
     sweep: "regimes 16/17/18/19 × suite sizes n ∈ {1, 2(, 3)}",
     full_replications: 0,
+    figures: &[FigureSpec::new(
+        0,
+        "Worst-case factorisation error |brute joint − ζ_A·ζ_B| across all \
+         demands, per regime and suite size — pure accumulation rounding, \
+         orders of magnitude below any statistical scale (log axis; exact \
+         zeros cannot be placed and are omitted).",
+        "suite size",
+        &[
+            SeriesSpec::new("eq 16 (same pop, same proc)", "max abs error")
+                .only("regime", "eq16 same-pop/same-proc"),
+            SeriesSpec::new("eq 17 (forced design)", "max abs error")
+                .only("regime", "eq17 forced-design"),
+            SeriesSpec::new("eq 18 (forced testing)", "max abs error")
+                .only("regime", "eq18 forced-testing"),
+            SeriesSpec::new("eq 19 (design + testing)", "max abs error")
+                .only("regime", "eq19 forced-design+testing"),
+        ],
+    )
+    .labels("suite size n", "max |brute − ζ_A·ζ_B|")
+    .log_y()],
     run,
 };
 

@@ -13,7 +13,7 @@ use diversim_testing::suite_population::enumerate_iid_suites;
 use diversim_universe::population::Population;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::small_graded;
 
 /// Declarative description of E4.
@@ -26,6 +26,20 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "per demand, shared-suite joint = ζ(x)² + Var_Ξ(ξ(x,T)) ≥ ζ(x)²",
     sweep: "all demands of the small-graded world, 3-demand shared suites",
     full_replications: 0,
+    figures: &[FigureSpec::new(
+        0,
+        "Per-demand eq-20 decomposition on the small-graded world: testing \
+         lowers difficulty (ζ ≤ θ), but the shared-suite joint probability \
+         exceeds the independence term ζ² by Var_Ξ(ξ) ≥ 0 on every demand.",
+        "demand",
+        &[
+            SeriesSpec::new("θ(x) — untested difficulty", "theta(x)"),
+            SeriesSpec::new("ζ(x) — tested difficulty", "zeta(x)"),
+            SeriesSpec::new("ζ(x)² — independence term", "zeta^2"),
+            SeriesSpec::new("joint (eq 20)", "joint (eq 20)"),
+        ],
+    )
+    .labels("demand", "probability")],
     run,
 };
 

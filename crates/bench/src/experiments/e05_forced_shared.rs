@@ -12,7 +12,7 @@ use diversim_testing::suite_population::enumerate_iid_suites;
 use diversim_universe::population::Population;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::{mirrored, negative_coupling, World};
 
 /// Declarative description of E5.
@@ -25,6 +25,20 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "Cov_Ξ(ξ_A, ξ_B) > 0 on some worlds (shared testing hurts), < 0 on others (it helps)",
     sweep: "mirrored and negative-coupling worlds, all demands, 1-demand suites",
     full_replications: 0,
+    figures: &[FigureSpec::new(
+        0,
+        "The eq-21 coupling Cov_Ξ(ξ_A, ξ_B) per demand: non-negative \
+         everywhere on the mirrored world, but negative on the contested \
+         demand of the engineered world — shared-suite testing can *help* \
+         forced-diverse versions.",
+        "demand",
+        &[
+            SeriesSpec::new("mirrored world", "Cov_Xi(xi_A,xi_B)").only("world", "mirrored"),
+            SeriesSpec::new("negative-coupling world", "Cov_Xi(xi_A,xi_B)")
+                .only("world", "neg-coupling"),
+        ],
+    )
+    .labels("demand", "Cov_Ξ(ξ_A, ξ_B)")],
     run,
 };
 

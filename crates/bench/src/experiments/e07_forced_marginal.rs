@@ -11,7 +11,7 @@ use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
 use diversim_testing::suite_population::enumerate_iid_suites;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::{mirrored, negative_coupling};
 
 /// Declarative description of E7.
@@ -25,6 +25,22 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
         "the eq-25 coupling term takes both signs across worlds; the cheaper shared suite can win",
     sweep: "mirrored and negative-coupling worlds × suite sizes n ∈ {1, 2, 3}",
     full_replications: 0,
+    figures: &[FigureSpec::new(
+        0,
+        "Eq 24 (independent suites) vs eq 25 (shared suite) on two forced-\
+         diversity worlds: on the mirrored world independent suites win, but \
+         on the negative-coupling world the cheaper shared suite delivers the \
+         more reliable system.",
+        "n",
+        &[
+            SeriesSpec::new("independent — mirrored", "indep (eq24)").only("world", "mirrored"),
+            SeriesSpec::new("shared — mirrored", "shared (eq25)").only("world", "mirrored"),
+            SeriesSpec::new("independent — neg-coupling", "indep (eq24)")
+                .only("world", "neg-coupling"),
+            SeriesSpec::new("shared — neg-coupling", "shared (eq25)").only("world", "neg-coupling"),
+        ],
+    )
+    .labels("suite size n", "system pfd")],
     run,
 };
 

@@ -16,7 +16,7 @@ use diversim_sim::campaign::CampaignRegime;
 use diversim_sim::scenario::SeedPolicy;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::medium_cascade;
 
 /// Declarative description of E8.
@@ -29,6 +29,20 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "at equal run budget independent suites win; with free execution merged 2n shared wins",
     sweep: "suite size n ∈ {5, 10, 20, 40, 80} on the medium-cascade world",
     full_replications: 4_000,
+    figures: &[FigureSpec::new(
+        0,
+        "Three readings of the same test budget: at equal executions \
+         independent n-demand suites beat the shared n-demand suite, but \
+         when running tests is free the merged 2n-demand shared suite wins \
+         both comparisons — the §3.4.1 trade-off.",
+        "n",
+        &[
+            SeriesSpec::new("independent (n each)", "independent(n each)"),
+            SeriesSpec::new("shared (n)", "shared(n)"),
+            SeriesSpec::new("merged (2n shared)", "merged(2n shared)"),
+        ],
+    )
+    .labels("suite size n", "system pfd")],
     run,
 };
 

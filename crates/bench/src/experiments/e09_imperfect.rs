@@ -13,7 +13,7 @@ use diversim_testing::oracle::ImperfectOracle;
 use diversim_testing::suite_population::enumerate_iid_suites;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::small_graded;
 
 /// Declarative description of E9.
@@ -26,6 +26,21 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "every imperfect regime lies between the perfect-testing lower and untested upper bound",
     sweep: "detection × fixing grid {0.25, 0.5, 0.75, 1.0}², shared 5-demand suites",
     full_replications: 30_000,
+    figures: &[FigureSpec::new(
+        0,
+        "Measured system pfd across the (detect, fix) grid: better detection \
+         and better fixing both push the system monotonically from the \
+         untested upper bound toward the perfect-testing lower bound, never \
+         leaving the §4.1 interval.",
+        "detect p",
+        &[
+            SeriesSpec::new("fix p = 0.25", "system pfd").only("fix p", "0.25"),
+            SeriesSpec::new("fix p = 0.50", "system pfd").only("fix p", "0.50"),
+            SeriesSpec::new("fix p = 0.75", "system pfd").only("fix p", "0.75"),
+            SeriesSpec::new("fix p = 1.00", "system pfd").only("fix p", "1.00"),
+        ],
+    )
+    .labels("detection probability", "system pfd")],
     run,
 };
 

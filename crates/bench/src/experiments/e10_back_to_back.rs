@@ -23,7 +23,7 @@ use diversim_testing::suite_population::enumerate_iid_suites;
 use diversim_universe::population::Population;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::small_graded;
 
 /// Declarative description of E10.
@@ -36,6 +36,20 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "γ=0 attains the perfect-oracle bound, γ=1 the untested bound; system gains vanish",
     sweep: "identical-failure probability γ ∈ {0.0, 0.2, …, 1.0}, plus exhaustive worst case",
     full_replications: 40_000,
+    figures: &[FigureSpec::new(
+        0,
+        "Back-to-back testing as the identical-failure probability γ grows: \
+         version reliability keeps improving, but the system pfd climbs from \
+         the optimistic (γ=0, perfect-oracle) bound to the pessimistic (γ=1, \
+         untested) bound — coincident failures that look identical are \
+         invisible to the comparison oracle.",
+        "gamma",
+        &[
+            SeriesSpec::new("system pfd", "system pfd"),
+            SeriesSpec::new("version pfd", "version pfd"),
+        ],
+    )
+    .labels("identical-failure probability γ", "pfd")],
     run,
 };
 

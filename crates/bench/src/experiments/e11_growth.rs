@@ -11,7 +11,7 @@
 use diversim_sim::campaign::CampaignRegime;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::medium_cascade;
 
 /// Declarative description of E11.
@@ -24,6 +24,35 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "versions grow identically under both regimes, but diversity gain grows only with independent suites",
     sweep: "testing effort checkpoints {0, 5, 10, …, 640} demands, both regimes",
     full_replications: 6_000,
+    figures: &[
+        FigureSpec::new(
+            0,
+            "Growth curves under both regimes: the single-version curves \
+             coincide (the marginal debugging process is regime-independent), \
+             while the system curves (±2·SE bands) separate — the shared \
+             suite's system lags as testing effort grows.",
+            "demands",
+            &[
+                SeriesSpec::new("version (independent)", "version (ind)"),
+                SeriesSpec::new("system (independent)", "system (ind)").band("system se (ind)"),
+                SeriesSpec::new("version (shared)", "version (shared)"),
+                SeriesSpec::new("system (shared)", "system (shared)").band("system se (shared)"),
+            ],
+        )
+        .labels("demands tested", "pfd"),
+        FigureSpec::new(
+            0,
+            "The diversity gain (version pfd / system pfd): under independent \
+             suites it keeps growing with testing effort; under the shared \
+             suite it stagnates — the versions become 'more alike'.",
+            "demands",
+            &[
+                SeriesSpec::new("gain (independent)", "gain (ind)"),
+                SeriesSpec::new("gain (shared)", "gain (shared)"),
+            ],
+        )
+        .labels("demands tested", "version pfd / system pfd"),
+    ],
     run,
 };
 
@@ -51,9 +80,11 @@ fn run(ctx: &mut RunContext) {
             "demands",
             "version (ind)",
             "system (ind)",
+            "system se (ind)",
             "gain (ind)",
             "version (shared)",
             "system (shared)",
+            "system se (shared)",
             "gain (shared)",
         ],
     );
@@ -64,9 +95,11 @@ fn run(ctx: &mut RunContext) {
             n.to_string(),
             format!("{:.6}", ind.version_a[i].mean()),
             format!("{:.6}", ind.system[i].mean()),
+            format!("{:.6}", ind.system[i].standard_error()),
             format!("{gain_ind:.2}"),
             format!("{:.6}", sh.version_a[i].mean()),
             format!("{:.6}", sh.system[i].mean()),
+            format!("{:.6}", sh.system[i].standard_error()),
             format!("{gain_sh:.2}"),
         ]);
     }

@@ -20,7 +20,7 @@ use diversim_universe::population::BernoulliPopulation;
 use diversim_universe::profile::UsageProfile;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::{small_graded, World};
 
 /// Declarative description of E12.
@@ -33,6 +33,21 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "testing lowers mean difficulty and can lower Var(ζ), but relative variability can grow",
     sweep: "small-graded and rare-hard worlds × suite sizes n ∈ {1, 2, 4, 8(, 16)}",
     full_replications: 0,
+    figures: &[FigureSpec::new(
+        0,
+        "The coefficient of variation of difficulty before vs after testing: \
+         on the small-graded world testing tames variability, but on the \
+         rare-hard world the relative variability *grows* with suite size — \
+         the paper's 'other extreme case'.",
+        "n",
+        &[
+            SeriesSpec::new("CV before — small-graded", "CV before").only("world", "small-graded"),
+            SeriesSpec::new("CV after — small-graded", "CV after").only("world", "small-graded"),
+            SeriesSpec::new("CV before — rare-hard", "CV before").only("world", "rare-hard"),
+            SeriesSpec::new("CV after — rare-hard", "CV after").only("world", "rare-hard"),
+        ],
+    )
+    .labels("suite size n", "coefficient of variation of difficulty")],
     run,
 };
 

@@ -12,7 +12,7 @@
 use diversim_sim::common_cause::MistakeMode;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::medium_cascade;
 
 /// Declarative description of E13.
@@ -25,6 +25,43 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "at equal per-version severity, common mistakes inflate the system pfd; clarifications help both levels while increasing overlap",
     sweep: "mistake count ∈ {1, 2, 4, 8} (common vs independent); clarified demands ∈ {0, 4, 8, 16, 32}",
     full_replications: 4_000,
+    figures: &[
+        FigureSpec::new(
+            0,
+            "Common vs independent mistakes of equal per-version severity: \
+             the version-level curves coincide, but a *common* mistake (the \
+             same fault injected into both versions) inflates the system pfd \
+             well beyond independent mistakes of the same count.",
+            "mistakes",
+            &[
+                SeriesSpec::new("system pfd — common", "system pfd (common)"),
+                SeriesSpec::new("system pfd — independent", "system pfd (indep)"),
+                SeriesSpec::new("version pfd — common", "version pfd (common)"),
+                SeriesSpec::new("version pfd — independent", "version pfd (indep)"),
+            ],
+        )
+        .labels("mistakes injected", "pfd"),
+        FigureSpec::new(
+            1,
+            "Common clarifications improve both the versions and the system…",
+            "clarified",
+            &[
+                SeriesSpec::new("version pfd", "version pfd"),
+                SeriesSpec::new("system pfd", "system pfd"),
+            ],
+        )
+        .labels("demands clarified for all teams", "pfd"),
+        FigureSpec::new(
+            1,
+            "…while making the survivors' failure sets more alike: the \
+             Jaccard overlap of the two versions' failure sets grows with \
+             every clarification — the §5 'common knowledge' channel of \
+             dependence.",
+            "clarified",
+            &[SeriesSpec::new("Jaccard overlap", "jaccard overlap")],
+        )
+        .labels("demands clarified for all teams", "Jaccard overlap of failure sets"),
+    ],
     run,
 };
 

@@ -14,7 +14,7 @@ use diversim_core::testing_effect::TestingRegime;
 use diversim_testing::suite_population::enumerate_iid_suites;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::small_graded;
 
 /// Declarative description of E14.
@@ -27,6 +27,20 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "each added channel multiplies reliability under independent suites; a shared suite caps the benefit",
     sweep: "channel count N ∈ {1, …, 6}, 4-demand suites",
     full_replications: 0,
+    figures: &[FigureSpec::new(
+        0,
+        "1-out-of-N system pfd vs channel count (log scale): under \
+         independent suites each added channel multiplies reliability by \
+         roughly 1/E[Θ_T]; under a shared suite the coupling term caps the \
+         benefit after a few channels — redundancy without diversity.",
+        "N",
+        &[
+            SeriesSpec::new("independent suites", "independent"),
+            SeriesSpec::new("shared suite", "shared"),
+        ],
+    )
+    .labels("channels N", "system pfd")
+    .log_y()],
     run,
 };
 

@@ -12,7 +12,7 @@ use diversim_stats::stopping::{failure_free_tests_required, StoppingRule};
 use diversim_testing::oracle::ImperfectOracle;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::medium_cascade;
 
 /// Declarative description of E15.
@@ -25,6 +25,30 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "the failure-free rule delivers its nominal confidence with a perfect oracle; a fallible oracle silently destroys the guarantee",
     sweep: "target pfd ∈ {0.05, 0.02, 0.01, 0.005} (perfect oracle); detection ∈ {1.0, …, 0.1} at target 0.01",
     full_replications: 2_000,
+    figures: &[
+        FigureSpec::new(
+            0,
+            "What the failure-free stopping rule costs: mean demands spent \
+             until the rule fires, against the target pfd (both axes log). \
+             Tighter targets cost roughly 1/target demands — the \
+             Littlewood–Wright price of assurance.",
+            "target pfd",
+            &[SeriesSpec::new("mean demands to stop", "mean demands")],
+        )
+        .labels("target pfd", "mean demands until the rule fires")
+        .log_x()
+        .log_y(),
+        FigureSpec::new(
+            1,
+            "The same rule (target 0.01 @ 95%) under a fallible oracle: \
+             undetected failures count as failure-free successes, so the \
+             delivered P(met target) collapses as detection degrades — the \
+             §4.1 warning made operational.",
+            "detect prob",
+            &[SeriesSpec::new("P(met target)", "P(met target)")],
+        )
+        .labels("detection probability", "P(achieved pfd ≤ target)"),
+    ],
     run,
 };
 

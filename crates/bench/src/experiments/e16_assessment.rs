@@ -20,7 +20,7 @@ use diversim_core::testing_effect::TestingRegime;
 use diversim_testing::oracle::ImperfectOracle;
 
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, RunContext};
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
 use crate::worlds::small_graded;
 
 /// Declarative description of E16.
@@ -33,6 +33,20 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
     claim: "an independence-based assessment is always optimistic after shared-suite testing",
     sweep: "(suite size, repair ρ) ∈ {(4,1), (8,1), (16,1), (8,.5), (16,.5), (16,.25)}",
     full_replications: 30_000,
+    figures: &[FigureSpec::new(
+        0,
+        "The assessor's error at perfect repair (ρ = 1): the true shared-\
+         suite system pfd vs the (mean version pfd)² an independence-based \
+         assessment predicts. The gap — the under-estimation factor — grows \
+         with testing effort; the Monte Carlo check tracks the closed form.",
+        "n",
+        &[
+            SeriesSpec::new("true system pfd (shared)", "true (shared)").only("rho", "1"),
+            SeriesSpec::new("independence prediction", "indep prediction").only("rho", "1"),
+            SeriesSpec::new("MC check", "MC check").only("rho", "1"),
+        ],
+    )
+    .labels("suite size n", "system pfd")],
     run,
 };
 

@@ -5,21 +5,30 @@
 //! Littlewood (DSN 2004); see `EXPERIMENTS.md` at the workspace root for
 //! the experiment ↔ paper-result index (generated from [`registry`]).
 //!
-//! * [`spec`] — declarative [`spec::ExperimentSpec`]s, replication
+//! * [`spec`] — declarative [`spec::ExperimentSpec`]s (including their
+//!   [`spec::FigureSpec`] plot declarations), replication
 //!   [`spec::Profile`]s and the per-run [`spec::RunContext`];
 //! * [`registry`] — the ordered list of all sixteen experiments;
 //! * [`engine`] — deterministic execution and JSON/CSV result rendering;
-//! * [`cli`] — the `diversim` binary (`list` / `run` / `docs`) and the
-//!   entry point shared by the thin `eNN_*` binaries;
+//! * [`cli`] — the `diversim` binary (`list` / `run` / `report` /
+//!   `docs`) and the entry point shared by the thin `eNN_*` binaries;
 //! * [`report`] — table rendering (text, TSV, CSV, JSON);
+//! * [`render`] — deterministic SVG line/band plots for the report book;
+//! * [`book`] — the reproduction report: `REPORT.md` + per-experiment
+//!   chapters generated from result documents;
+//! * [`json`] — the minimal reader for the engine's own result JSON;
 //! * [`worlds`] — the standard universes the experiments run on.
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod book;
 pub mod cli;
 pub mod engine;
 mod experiments;
+pub mod json;
 pub mod registry;
+pub mod render;
 pub mod report;
 pub mod spec;
 pub mod worlds;

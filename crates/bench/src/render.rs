@@ -1,0 +1,691 @@
+//! Deterministic, dependency-free SVG line/band plots for the
+//! reproduction report.
+//!
+//! The renderer draws the figures declared by each experiment's
+//! [`crate::spec::FigureSpec`] from data extracted out of its recorded
+//! [`crate::report::Table`]s. Everything is computed with plain `f64`
+//! arithmetic and formatted with fixed precision, so the emitted SVG is
+//! byte-identical across machines and thread counts — the same property
+//! the engine guarantees for its JSON/CSV result files, extended to the
+//! figures.
+//!
+//! Design follows the data-viz ground rules: a fixed-order categorical
+//! palette (validated for adjacent-pair colour-vision safety), one y
+//! axis per figure, thin 2 px lines with ≥ 8 px markers, recessive
+//! hairline grid, a legend whenever two or more series are drawn, and
+//! muted text tokens for all labels. Confidence bands are translucent
+//! fills of their own series colour.
+
+use std::fmt::Write as _;
+
+use crate::spec::Scale;
+
+/// The fixed-order categorical palette (light surface). Series are
+/// assigned slots in declaration order, never cycled by value.
+pub const PALETTE: [&str; 8] = [
+    "#2a78d6", // blue
+    "#eb6834", // orange
+    "#1baf7a", // aqua
+    "#eda100", // yellow
+    "#e87ba4", // magenta
+    "#008300", // green
+    "#4a3aa7", // violet
+    "#e34948", // red
+];
+
+const SURFACE: &str = "#fcfcfb";
+const INK_PRIMARY: &str = "#0b0b0b";
+const INK_SECONDARY: &str = "#52514e";
+const INK_MUTED: &str = "#898781";
+const GRID: &str = "#e1e0d9";
+const AXIS: &str = "#c3c2b7";
+const FONT: &str = "system-ui, sans-serif";
+
+const WIDTH: f64 = 720.0;
+const PLOT_X: f64 = 74.0;
+const PLOT_Y: f64 = 40.0;
+const PLOT_W: f64 = 620.0;
+const PLOT_H: f64 = 300.0;
+/// Vertical space under the plot for x tick labels + axis title.
+const X_AXIS_BAND: f64 = 46.0;
+const LEGEND_ROW_H: f64 = 20.0;
+/// Estimated glyph advance at font-size 11.5 (deterministic layout
+/// without text measurement).
+const CHAR_W: f64 = 6.6;
+
+/// One plotted series: a label, its points, and an optional confidence
+/// band (as `(x, lo, hi)` triples).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, in any order; the renderer sorts by x and skips
+    /// non-finite values (and non-positive ones on log axes).
+    pub points: Vec<(f64, f64)>,
+    /// `(x, lo, hi)` band triples; empty means no band.
+    pub band: Vec<(f64, f64, f64)>,
+}
+
+/// A complete figure ready to render.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure title (drawn above the plot).
+    pub title: String,
+    /// X-axis title.
+    pub x_label: String,
+    /// Y-axis title.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series, in palette order.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// An empty figure with linear axes.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+}
+
+/// Escapes text for XML content and attribute values.
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a pixel coordinate with fixed (deterministic) precision.
+fn px(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// A value usable on `scale`: finite, and positive on log axes.
+fn placeable(v: f64, scale: Scale) -> bool {
+    v.is_finite() && (scale == Scale::Linear || v > 0.0)
+}
+
+/// The axis-space transform of a data value (identity or log10).
+fn to_axis(v: f64, scale: Scale) -> f64 {
+    match scale {
+        Scale::Linear => v,
+        Scale::Log => v.log10(),
+    }
+}
+
+/// One axis: data range (in axis space) plus tick positions/labels.
+struct AxisLayout {
+    lo: f64,
+    hi: f64,
+    ticks: Vec<(f64, String)>,
+}
+
+impl AxisLayout {
+    fn project(&self, axis_value: f64, origin: f64, extent: f64) -> f64 {
+        origin + (axis_value - self.lo) / (self.hi - self.lo) * extent
+    }
+}
+
+/// `⌊log10(v)⌋` for `v > 0`, computed from Rust's exact scientific
+/// float formatting rather than libm.
+///
+/// Tick layout sits on `floor`/`ceil` decade boundaries, where a 1-ulp
+/// libm difference in `log10` between platforms could flip a whole
+/// decade and break the byte-for-byte golden/drift guards. Float→
+/// decimal formatting in Rust is exact and platform-independent
+/// (`{:e}` yields `m e p` with `m ∈ [1, 10)`), so the exponent *is*
+/// the floored decade, on every target.
+fn decade_floor(v: f64) -> i32 {
+    debug_assert!(v > 0.0 && v.is_finite());
+    let text = format!("{v:e}");
+    let (_, exponent) = text.split_once('e').expect("{:e} always has an exponent");
+    exponent.parse().expect("{:e} exponent is an integer")
+}
+
+/// `⌈log10(v)⌉` for `v > 0`, exact for powers of ten (same mechanism
+/// as [`decade_floor`]).
+fn decade_ceil(v: f64) -> i32 {
+    let text = format!("{v:e}");
+    let (mantissa, exponent) = text.split_once('e').expect("{:e} always has an exponent");
+    let exponent: i32 = exponent.parse().expect("{:e} exponent is an integer");
+    if mantissa == "1" || mantissa == "-1" {
+        exponent
+    } else {
+        exponent + 1
+    }
+}
+
+/// `10^k` via deterministic IEEE multiplications (no libm `powf`).
+fn pow10(k: i32) -> f64 {
+    10f64.powi(k)
+}
+
+/// Formats a linear tick value using the precision the step implies.
+fn fmt_linear_tick(v: f64, step: f64) -> String {
+    let abs = v.abs();
+    if abs >= 1e6 || (abs > 0.0 && abs < 1e-4) {
+        return format!("{v:.1e}");
+    }
+    let decimals = if step >= 1.0 {
+        0
+    } else {
+        (-decade_floor(step)) as usize
+    };
+    format!("{v:.decimals$}")
+}
+
+/// Lays out a linear axis with ~5 "nice" (1/2/5 × 10^k) ticks.
+fn linear_axis(mut lo: f64, mut hi: f64) -> AxisLayout {
+    if lo == hi {
+        let pad = if lo == 0.0 { 1.0 } else { lo.abs() * 0.5 };
+        lo -= pad;
+        hi += pad;
+    }
+    let pad = (hi - lo) * 0.05;
+    lo -= pad;
+    hi += pad;
+    let raw = (hi - lo) / 5.0;
+    let mag = pow10(decade_floor(raw));
+    let norm = raw / mag;
+    let step = mag
+        * if norm <= 1.0 {
+            1.0
+        } else if norm <= 2.0 {
+            2.0
+        } else if norm <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let mut ticks = Vec::new();
+    let first = (lo / step).ceil();
+    let mut i = first;
+    while i * step <= hi + step * 1e-9 {
+        let v = i * step;
+        // Snap -0.0 (and rounding dust below one thousandth of a step)
+        // onto exact zero so labels never read "-0".
+        let v = if v.abs() < step * 1e-3 { 0.0 } else { v };
+        ticks.push((v, fmt_linear_tick(v, step)));
+        i += 1.0;
+    }
+    AxisLayout { lo, hi, ticks }
+}
+
+/// Lays out a log axis with decade ticks (strided when crowded).
+fn log_axis(lo_value: f64, hi_value: f64) -> AxisLayout {
+    let mut lo = decade_floor(lo_value) as i64;
+    let mut hi = decade_ceil(hi_value) as i64;
+    if lo == hi {
+        lo -= 1;
+        hi += 1;
+    }
+    let decades = hi - lo;
+    let stride = (decades + 5) / 6;
+    let stride = stride.max(1);
+    let mut ticks = Vec::new();
+    let mut d = lo;
+    while d <= hi {
+        let label = if (-3..=3).contains(&d) {
+            format!("{}", pow10(d as i32))
+        } else {
+            format!("1e{d}")
+        };
+        ticks.push((d as f64, label));
+        d += stride;
+    }
+    AxisLayout {
+        lo: lo as f64,
+        hi: hi as f64,
+        ticks,
+    }
+}
+
+/// A series' placeable data in axis space: `(palette slot, points,
+/// band triples)`.
+type Drawable = (usize, Vec<(f64, f64)>, Vec<(f64, f64, f64)>);
+
+/// Renders a [`Figure`] as a standalone SVG document.
+///
+/// Series are drawn in declaration order with palette colours assigned
+/// by slot. Points that cannot be placed on the active scales (non-
+/// finite, or non-positive on a log axis) are skipped; a series left
+/// with a single point renders as a lone marker; a figure with no
+/// placeable points at all renders an explicit "no plottable data"
+/// notice instead of an empty frame.
+pub fn render_svg(figure: &Figure) -> String {
+    // --- collect placeable data (kept in raw data space; scales are
+    // applied only at projection time, so decade-exact axis layout sees
+    // the original values, never a log/exp round-trip) ----------------
+    let mut drawable: Vec<Drawable> = Vec::new();
+    for (slot, series) in figure.series.iter().enumerate() {
+        let mut pts: Vec<(f64, f64)> = series
+            .points
+            .iter()
+            .filter(|(x, y)| placeable(*x, figure.x_scale) && placeable(*y, figure.y_scale))
+            .copied()
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite by construction"));
+        let mut band: Vec<(f64, f64, f64)> = series
+            .band
+            .iter()
+            .filter(|(x, lo, hi)| {
+                placeable(*x, figure.x_scale)
+                    && placeable(*lo, figure.y_scale)
+                    && placeable(*hi, figure.y_scale)
+            })
+            .copied()
+            .collect();
+        band.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite by construction"));
+        drawable.push((slot, pts, band));
+    }
+
+    let xs: Vec<f64> = drawable
+        .iter()
+        .flat_map(|(_, p, b)| {
+            p.iter()
+                .map(|&(x, _)| x)
+                .chain(b.iter().map(|&(x, _, _)| x))
+        })
+        .collect();
+    let ys: Vec<f64> = drawable
+        .iter()
+        .flat_map(|(_, p, b)| {
+            p.iter()
+                .map(|&(_, y)| y)
+                .chain(b.iter().flat_map(|&(_, lo, hi)| [lo, hi]))
+        })
+        .collect();
+
+    // --- axes --------------------------------------------------------
+    let fold = |values: &[f64]| {
+        values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            })
+    };
+    let empty = xs.is_empty();
+    let (x_axis, y_axis) = if empty {
+        (linear_axis(0.0, 1.0), linear_axis(0.0, 1.0))
+    } else {
+        let (x_lo, x_hi) = fold(&xs);
+        let (y_lo, y_hi) = fold(&ys);
+        let x_axis = match figure.x_scale {
+            Scale::Linear => linear_axis(x_lo, x_hi),
+            Scale::Log => log_axis(x_lo, x_hi),
+        };
+        let y_axis = match figure.y_scale {
+            Scale::Linear => linear_axis(y_lo, y_hi),
+            Scale::Log => log_axis(y_lo, y_hi),
+        };
+        (x_axis, y_axis)
+    };
+    let plot_bottom = PLOT_Y + PLOT_H;
+    // Tick positions are already in axis space (decades on a log axis);
+    // data values go through `to_axis` first.
+    let tick_x = |v: f64| x_axis.project(v, PLOT_X, PLOT_W);
+    let tick_y = |v: f64| y_axis.project(v, plot_bottom, -PLOT_H);
+    let sx = |v: f64| tick_x(to_axis(v, figure.x_scale));
+    let sy = |v: f64| tick_y(to_axis(v, figure.y_scale));
+
+    // --- legend layout (deterministic, estimated glyph widths) -------
+    let legend: Vec<(usize, &str)> = if figure.series.len() >= 2 {
+        figure
+            .series
+            .iter()
+            .enumerate()
+            .map(|(slot, s)| (slot, s.label.as_str()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut legend_rows: Vec<Vec<(usize, &str, f64)>> = Vec::new();
+    {
+        let mut cursor = 0.0;
+        for (slot, label) in &legend {
+            let w = 30.0 + label.chars().count() as f64 * CHAR_W + 18.0;
+            if cursor + w > PLOT_W && cursor > 0.0 {
+                cursor = 0.0;
+                legend_rows.push(Vec::new());
+            }
+            if legend_rows.is_empty() {
+                legend_rows.push(Vec::new());
+            }
+            legend_rows
+                .last_mut()
+                .expect("row pushed above")
+                .push((*slot, label, cursor));
+            cursor += w;
+        }
+    }
+    let legend_h = legend_rows.len() as f64 * LEGEND_ROW_H;
+    let height = plot_bottom + X_AXIS_BAND + legend_h + 10.0;
+
+    // --- document ----------------------------------------------------
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {} {}\" \
+         width=\"{}\" height=\"{}\" role=\"img\" font-family=\"{FONT}\">",
+        WIDTH,
+        px(height),
+        WIDTH,
+        px(height)
+    );
+    let _ = write!(
+        out,
+        "<rect width=\"{}\" height=\"{}\" fill=\"{SURFACE}\"/>",
+        WIDTH,
+        px(height)
+    );
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"24\" font-size=\"13.5\" font-weight=\"600\" fill=\"{INK_PRIMARY}\">{}</text>",
+        px(PLOT_X),
+        xml_escape(&figure.title)
+    );
+
+    // Grid + y ticks.
+    for (v, label) in &y_axis.ticks {
+        let y = tick_y(*v);
+        let _ = write!(
+            out,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{GRID}\" stroke-width=\"1\"/>",
+            px(PLOT_X),
+            px(y),
+            px(PLOT_X + PLOT_W),
+            px(y)
+        );
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{}\" font-size=\"11\" fill=\"{INK_MUTED}\" text-anchor=\"end\">{}</text>",
+            px(PLOT_X - 8.0),
+            px(y + 3.5),
+            xml_escape(label)
+        );
+    }
+    // X ticks.
+    for (v, label) in &x_axis.ticks {
+        let x = tick_x(*v);
+        let _ = write!(
+            out,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{AXIS}\" stroke-width=\"1\"/>",
+            px(x),
+            px(plot_bottom),
+            px(x),
+            px(plot_bottom + 4.0)
+        );
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{}\" font-size=\"11\" fill=\"{INK_MUTED}\" text-anchor=\"middle\">{}</text>",
+            px(x),
+            px(plot_bottom + 17.0),
+            xml_escape(label)
+        );
+    }
+    // Axis lines.
+    let _ = write!(
+        out,
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{AXIS}\" stroke-width=\"1\"/>",
+        px(PLOT_X),
+        px(plot_bottom),
+        px(PLOT_X + PLOT_W),
+        px(plot_bottom)
+    );
+    let _ = write!(
+        out,
+        "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{AXIS}\" stroke-width=\"1\"/>",
+        px(PLOT_X),
+        px(PLOT_Y),
+        px(PLOT_X),
+        px(plot_bottom)
+    );
+    // Axis titles.
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-size=\"11.5\" fill=\"{INK_SECONDARY}\" text-anchor=\"middle\">{}</text>",
+        px(PLOT_X + PLOT_W / 2.0),
+        px(plot_bottom + 36.0),
+        xml_escape(&figure.x_label)
+    );
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-size=\"11.5\" fill=\"{INK_SECONDARY}\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 {} {})\">{}</text>",
+        px(16.0),
+        px(PLOT_Y + PLOT_H / 2.0),
+        px(16.0),
+        px(PLOT_Y + PLOT_H / 2.0),
+        xml_escape(&figure.y_label)
+    );
+
+    if empty {
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{}\" font-size=\"12\" fill=\"{INK_MUTED}\" text-anchor=\"middle\">no plottable data</text>",
+            px(PLOT_X + PLOT_W / 2.0),
+            px(PLOT_Y + PLOT_H / 2.0)
+        );
+    }
+
+    // Bands first (under every line), then lines, then markers.
+    for (slot, _, band) in &drawable {
+        if band.len() < 2 {
+            continue;
+        }
+        let color = PALETTE[slot % PALETTE.len()];
+        let mut d = String::new();
+        for (i, (x, _, hi)) in band.iter().enumerate() {
+            let _ = write!(
+                d,
+                "{}{},{}",
+                if i == 0 { "M" } else { " L" },
+                px(sx(*x)),
+                px(sy(*hi))
+            );
+        }
+        for (x, lo, _) in band.iter().rev() {
+            let _ = write!(d, " L{},{}", px(sx(*x)), px(sy(*lo)));
+        }
+        d.push('Z');
+        let _ = write!(
+            out,
+            "<path d=\"{d}\" fill=\"{color}\" fill-opacity=\"0.13\" stroke=\"none\"/>"
+        );
+    }
+    for (slot, pts, _) in &drawable {
+        if pts.len() < 2 {
+            continue;
+        }
+        let color = PALETTE[slot % PALETTE.len()];
+        let coords: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{},{}", px(sx(x)), px(sy(y))))
+            .collect();
+        let _ = write!(
+            out,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" \
+             stroke-linejoin=\"round\" stroke-linecap=\"round\"/>",
+            coords.join(" ")
+        );
+    }
+    for (slot, pts, _) in &drawable {
+        let color = PALETTE[slot % PALETTE.len()];
+        for &(x, y) in pts {
+            let _ = write!(
+                out,
+                "<circle cx=\"{}\" cy=\"{}\" r=\"4\" fill=\"{color}\" stroke=\"{SURFACE}\" stroke-width=\"2\"/>",
+                px(sx(x)),
+                px(sy(y))
+            );
+        }
+    }
+
+    // Legend.
+    for (row, entries) in legend_rows.iter().enumerate() {
+        let y = plot_bottom + X_AXIS_BAND + row as f64 * LEGEND_ROW_H + 8.0;
+        for (slot, label, cursor) in entries {
+            let color = PALETTE[slot % PALETTE.len()];
+            let x = PLOT_X + cursor;
+            let _ = write!(
+                out,
+                "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{color}\" stroke-width=\"2\"/>",
+                px(x),
+                px(y),
+                px(x + 18.0),
+                px(y)
+            );
+            let _ = write!(
+                out,
+                "<circle cx=\"{}\" cy=\"{}\" r=\"3\" fill=\"{color}\"/>",
+                px(x + 9.0),
+                px(y)
+            );
+            let _ = write!(
+                out,
+                "<text x=\"{}\" y=\"{}\" font-size=\"11.5\" fill=\"{INK_SECONDARY}\">{}</text>",
+                px(x + 24.0),
+                px(y + 3.5),
+                xml_escape(label)
+            );
+        }
+    }
+
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+            band: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn renders_points_lines_and_legend() {
+        let mut fig = Figure::new("demo", "x", "y");
+        fig.series.push(line("a", vec![(0.0, 0.0), (1.0, 1.0)]));
+        fig.series.push(line("b", vec![(0.0, 1.0), (1.0, 0.0)]));
+        let svg = render_svg(&fig);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.matches(PALETTE[0]).count() >= 2, "slot colours");
+        assert!(svg.contains(">a</text>") && svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn single_series_has_no_legend() {
+        let mut fig = Figure::new("solo", "x", "y");
+        fig.series.push(line("only", vec![(0.0, 1.0), (2.0, 3.0)]));
+        let svg = render_svg(&fig);
+        assert!(!svg.contains(">only</text>"), "title names a lone series");
+    }
+
+    #[test]
+    fn single_point_series_renders_marker_without_line() {
+        let mut fig = Figure::new("point", "x", "y");
+        fig.series.push(line("p", vec![(1.0, 2.0)]));
+        let svg = render_svg(&fig);
+        assert!(!svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_figure_renders_notice() {
+        let fig = Figure::new("empty", "x", "y");
+        let svg = render_svg(&fig);
+        assert!(svg.contains("no plottable data"));
+    }
+
+    #[test]
+    fn log_axis_skips_nonpositive_points() {
+        let mut fig = Figure::new("log", "x", "y");
+        fig.y_scale = Scale::Log;
+        fig.series
+            .push(line("s", vec![(1.0, 0.0), (2.0, 1e-6), (3.0, 1e-2)]));
+        let svg = render_svg(&fig);
+        // The zero point is dropped: two markers survive.
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains("1e-6") || svg.contains("1e-7"), "decade ticks");
+    }
+
+    #[test]
+    fn band_renders_one_translucent_path() {
+        let mut fig = Figure::new("band", "x", "y");
+        fig.series.push(Series {
+            label: "mc".into(),
+            points: vec![(0.0, 0.5), (1.0, 0.6)],
+            band: vec![(0.0, 0.45, 0.55), (1.0, 0.55, 0.65)],
+        });
+        let svg = render_svg(&fig);
+        assert_eq!(svg.matches("fill-opacity=\"0.13\"").count(), 1);
+    }
+
+    #[test]
+    fn output_is_stable_across_calls_and_escapes_xml() {
+        let mut fig = Figure::new("a < b & \"c\"", "x", "y");
+        fig.series.push(line("s<1>", vec![(0.0, 0.3), (1.0, 0.7)]));
+        fig.series.push(line("s&2", vec![(0.0, 0.1)]));
+        let first = render_svg(&fig);
+        let second = render_svg(&fig);
+        assert_eq!(first, second);
+        assert!(first.contains("a &lt; b &amp; &quot;c&quot;"));
+        assert!(first.contains("s&lt;1&gt;"));
+        assert!(!first.contains("a < b"));
+    }
+
+    #[test]
+    fn constant_series_degenerate_range_still_renders() {
+        let mut fig = Figure::new("flat", "x", "y");
+        fig.series.push(line("f", vec![(0.0, 0.5), (1.0, 0.5)]));
+        let svg = render_svg(&fig);
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    fn unsorted_points_are_drawn_in_x_order() {
+        let mut fig = Figure::new("sort", "x", "y");
+        fig.series
+            .push(line("s", vec![(2.0, 0.2), (0.0, 0.0), (1.0, 0.1)]));
+        let svg = render_svg(&fig);
+        let polyline = svg
+            .split("points=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .expect("polyline present");
+        let xs: Vec<f64> = polyline
+            .split(' ')
+            .map(|pair| pair.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(xs.windows(2).all(|w| w[0] < w[1]), "{xs:?}");
+    }
+}

@@ -69,6 +69,129 @@ pub struct Check {
     pub passed: bool,
 }
 
+/// Axis scale of a declared figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// A linear axis.
+    #[default]
+    Linear,
+    /// A base-10 logarithmic axis. Non-positive values cannot be placed
+    /// and are skipped by the renderer.
+    Log,
+}
+
+/// One plotted series of a [`FigureSpec`]: which table column carries
+/// the y values, how the series is labelled, and (optionally) which
+/// column carries its Monte Carlo standard error and which rows belong
+/// to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesSpec {
+    /// Legend label.
+    pub label: &'static str,
+    /// Header of the column holding the y values.
+    pub y: &'static str,
+    /// Header of the column holding the standard error of `y`, drawn as
+    /// a ±2·SE confidence band around the line.
+    pub se: Option<&'static str>,
+    /// Row filter `(column, value)`: the series uses only rows whose
+    /// `column` cell equals `value` exactly. Lets one long-format table
+    /// carry several series (per world, per regime, per grid level).
+    pub filter: Option<(&'static str, &'static str)>,
+}
+
+impl SeriesSpec {
+    /// A plain series: `label`, drawn from column `y`, no band, all rows.
+    pub const fn new(label: &'static str, y: &'static str) -> Self {
+        SeriesSpec {
+            label,
+            y,
+            se: None,
+            filter: None,
+        }
+    }
+
+    /// The same series with a ±2·SE band read from column `se`.
+    pub const fn band(mut self, se: &'static str) -> Self {
+        self.se = Some(se);
+        self
+    }
+
+    /// The same series restricted to rows where `column` equals `value`.
+    pub const fn only(mut self, column: &'static str, value: &'static str) -> Self {
+        self.filter = Some((column, value));
+        self
+    }
+}
+
+/// A declared figure: how one of an experiment's emitted tables is
+/// plotted in the reproduction report.
+///
+/// The declaration is pure metadata — the `book` module resolves it
+/// against the recorded table (by index), extracts `(x, y)` points per
+/// series, and hands them to the `render` module. Cells that do not
+/// parse as numbers (after stripping a leading identifier prefix such
+/// as the `x` of demand ids) are skipped, so tables may freely mix
+/// plottable and narrative columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigureSpec {
+    /// Index into the experiment's emitted tables.
+    pub table: usize,
+    /// Figure caption (shown under the plot).
+    pub caption: &'static str,
+    /// Header of the column holding the x values.
+    pub x: &'static str,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// Y-axis label.
+    pub y_label: &'static str,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The plotted series, in palette order.
+    pub series: &'static [SeriesSpec],
+}
+
+impl FigureSpec {
+    /// A linear-scaled figure over table `table` with `x` on the x axis.
+    pub const fn new(
+        table: usize,
+        caption: &'static str,
+        x: &'static str,
+        series: &'static [SeriesSpec],
+    ) -> Self {
+        FigureSpec {
+            table,
+            caption,
+            x,
+            x_label: x,
+            y_label: "value",
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series,
+        }
+    }
+
+    /// The same figure with explicit axis labels.
+    pub const fn labels(mut self, x_label: &'static str, y_label: &'static str) -> Self {
+        self.x_label = x_label;
+        self.y_label = y_label;
+        self
+    }
+
+    /// The same figure with a logarithmic y axis.
+    pub const fn log_y(mut self) -> Self {
+        self.y_scale = Scale::Log;
+        self
+    }
+
+    /// The same figure with a logarithmic x axis.
+    pub const fn log_x(mut self) -> Self {
+        self.x_scale = Scale::Log;
+        self
+    }
+}
+
 /// The declarative description of one experiment.
 ///
 /// Everything here is static metadata except `run`, which executes the
@@ -92,6 +215,10 @@ pub struct ExperimentSpec {
     /// Total Monte Carlo replication budget at `--full` effort (`0` for
     /// purely exact/enumerative experiments).
     pub full_replications: u64,
+    /// How the emitted tables are plotted in the reproduction report
+    /// (`diversim report`). Indices refer to the tables in emission
+    /// order; an empty slice renders a chapter without figures.
+    pub figures: &'static [FigureSpec],
     /// Executes the experiment, recording tables and checks.
     pub run: fn(&mut RunContext),
 }
@@ -242,5 +369,30 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_context_panics() {
         let _ = RunContext::new(Profile::Full, 0, true);
+    }
+
+    #[test]
+    fn figure_metadata_const_builders_compose() {
+        const MC: SeriesSpec = SeriesSpec::new("MC joint", "MC joint")
+            .band("MC se")
+            .only("world", "mirrored");
+        const FIG: FigureSpec = FigureSpec::new(1, "caption", "n", &[MC])
+            .labels("suite size n", "system pfd")
+            .log_y();
+        assert_eq!(MC.label, "MC joint");
+        assert_eq!(MC.se, Some("MC se"));
+        assert_eq!(MC.filter, Some(("world", "mirrored")));
+        assert_eq!(FIG.table, 1);
+        assert_eq!(FIG.x, "n");
+        assert_eq!(FIG.x_label, "suite size n");
+        assert_eq!(FIG.y_label, "system pfd");
+        assert_eq!(FIG.x_scale, Scale::Linear);
+        assert_eq!(FIG.y_scale, Scale::Log);
+        // Defaults: axis labels fall back to the x column / "value".
+        const PLAIN: FigureSpec = FigureSpec::new(0, "c", "x", &[]);
+        assert_eq!(PLAIN.x_label, "x");
+        assert_eq!(PLAIN.y_label, "value");
+        assert_eq!(PLAIN.y_scale, Scale::Linear);
+        assert_eq!(Scale::default(), Scale::Linear);
     }
 }

@@ -1,0 +1,89 @@
+//! Golden-file tests for the SVG renderer: the exact bytes of three
+//! tricky cases — an empty figure, a single-point series, and
+//! log-scale axes — are pinned under `tests/golden/`. Any rendering
+//! change shows up as a reviewable SVG diff.
+//!
+//! To re-bless after an intentional renderer change:
+//! `DIVERSIM_UPDATE_GOLDEN=1 cargo test -p diversim-bench --test render_golden`
+
+use std::path::PathBuf;
+
+use diversim_bench::render::{render_svg, Figure, Series};
+use diversim_bench::spec::Scale;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).join(name)
+}
+
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("DIVERSIM_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+        std::fs::write(&path, rendered).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{} missing ({e}); bless with DIVERSIM_UPDATE_GOLDEN=1 cargo test -p diversim-bench --test render_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden,
+        rendered,
+        "{} drifted; re-bless with DIVERSIM_UPDATE_GOLDEN=1 if the change is intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_empty_series() {
+    let mut figure = Figure::new("empty series", "x", "y");
+    figure.series.push(Series {
+        label: "nothing measured".into(),
+        points: Vec::new(),
+        band: Vec::new(),
+    });
+    figure.series.push(Series {
+        label: "also empty".into(),
+        points: Vec::new(),
+        band: Vec::new(),
+    });
+    let svg = render_svg(&figure);
+    assert!(svg.contains("no plottable data"));
+    assert_matches_golden("empty_series.svg", &svg);
+}
+
+#[test]
+fn golden_single_point_series() {
+    let mut figure = Figure::new("single point", "suite size n", "system pfd");
+    figure.series.push(Series {
+        label: "lone measurement".into(),
+        points: vec![(4.0, 0.25)],
+        band: Vec::new(),
+    });
+    let svg = render_svg(&figure);
+    assert!(!svg.contains("<polyline"), "one point draws no line");
+    assert_matches_golden("single_point.svg", &svg);
+}
+
+#[test]
+fn golden_log_scale_axes() {
+    let mut figure = Figure::new("log-log decay", "target pfd", "demands");
+    figure.x_scale = Scale::Log;
+    figure.y_scale = Scale::Log;
+    figure.series.push(Series {
+        label: "cost".into(),
+        // Includes a zero y value that a log axis must skip.
+        points: vec![(0.05, 60.0), (0.02, 150.0), (0.01, 300.0), (0.005, 0.0)],
+        band: Vec::new(),
+    });
+    figure.series.push(Series {
+        label: "floor".into(),
+        points: vec![(0.05, 10.0), (0.005, 10.0)],
+        band: Vec::new(),
+    });
+    let svg = render_svg(&figure);
+    assert!(svg.contains("0.01"), "decade ticks labelled");
+    assert_matches_golden("log_scale.svg", &svg);
+}

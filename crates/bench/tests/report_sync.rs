@@ -1,0 +1,105 @@
+//! Drift guard for the committed reproduction book, in the style of the
+//! `EXPERIMENTS.md` guard: the smoke-profile `REPORT.md` and every
+//! `report/eNN_*.md` chapter at the workspace root are regenerated here
+//! and asserted byte-equal to what is committed, so the book can never
+//! drift from the registry, the engine, the figure declarations or the
+//! renderer. Regenerate with
+//! `cargo run --release -p diversim-bench --bin diversim -- report --run --smoke`.
+
+use std::path::Path;
+
+use diversim_bench::book::{render_book, Book, ResultDoc, CHAPTER_DIR, REPORT_FILE};
+use diversim_bench::engine::run_experiment;
+use diversim_bench::registry;
+use diversim_bench::spec::Profile;
+
+fn smoke_book(threads: usize) -> Book {
+    let docs: Vec<ResultDoc> = registry::all()
+        .into_iter()
+        .map(|spec| {
+            let outcome = run_experiment(spec, Profile::Smoke, threads, true);
+            ResultDoc::from_outcome(&outcome).expect("engine output parses")
+        })
+        .collect();
+    render_book(&docs).expect("book renders")
+}
+
+#[test]
+fn committed_smoke_report_matches_the_engine() {
+    let book = smoke_book(2);
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+
+    let committed_report =
+        std::fs::read_to_string(root.join(REPORT_FILE)).expect("REPORT.md is committed");
+    assert_eq!(
+        committed_report, book.report,
+        "REPORT.md is stale; run `cargo run --release -p diversim-bench --bin diversim -- report --run --smoke`"
+    );
+
+    assert_eq!(book.chapters.len(), 16);
+    for chapter in &book.chapters {
+        let path = root.join(CHAPTER_DIR).join(&chapter.file_name);
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} is not committed: {e}", path.display()));
+        assert_eq!(
+            committed,
+            chapter.markdown,
+            "{} is stale; run `cargo run --release -p diversim-bench --bin diversim -- report --run --smoke`",
+            path.display()
+        );
+    }
+}
+
+/// The ISSUE-4 acceptance criterion at the book level: the whole book —
+/// summary page, chapters, inline SVG figures — must be byte-identical
+/// whether the experiments ran on 1 worker thread or 8.
+#[test]
+fn book_is_byte_identical_for_1_and_8_threads() {
+    // Two experiments keep the double run cheap while covering both an
+    // exact experiment (e14, figures from closed forms, log axes) and a
+    // Monte Carlo one with confidence bands (e06).
+    for key in ["e06", "e14"] {
+        let spec = registry::find(key).expect("registered");
+        let render = |threads: usize| {
+            let outcome = run_experiment(spec, Profile::Smoke, threads, true);
+            let doc = ResultDoc::from_outcome(&outcome).expect("parses");
+            render_book(&[doc]).expect("renders")
+        };
+        let one = render(1);
+        let eight = render(8);
+        assert_eq!(
+            one.report, eight.report,
+            "{key}: REPORT.md differs between 1 and 8 threads"
+        );
+        assert_eq!(one.chapters.len(), eight.chapters.len());
+        for (a, b) in one.chapters.iter().zip(&eight.chapters) {
+            assert_eq!(a.file_name, b.file_name);
+            assert_eq!(
+                a.markdown, b.markdown,
+                "{key}: chapter differs between 1 and 8 threads"
+            );
+        }
+    }
+}
+
+/// Loading result files from disk and re-running the engine must
+/// produce the same book — the two `diversim report` input paths cannot
+/// drift apart.
+#[test]
+fn results_dir_and_rerun_produce_the_same_book() {
+    let spec = registry::find("e04").expect("registered");
+    let outcome = run_experiment(spec, Profile::Smoke, 2, true);
+
+    let dir = std::env::temp_dir().join(format!("diversim-report-test-{}", std::process::id()));
+    let (json_path, _) = diversim_bench::engine::write_outcome(&dir, &outcome).expect("writable");
+
+    let from_engine = ResultDoc::from_outcome(&outcome).expect("parses");
+    let text = std::fs::read_to_string(&json_path).expect("written");
+    let from_disk = ResultDoc::from_json(&text, &json_path.display().to_string()).expect("parses");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let book_a = render_book(&[from_engine]).expect("renders");
+    let book_b = render_book(&[from_disk]).expect("renders");
+    assert_eq!(book_a.report, book_b.report);
+    assert_eq!(book_a.chapters[0].markdown, book_b.chapters[0].markdown);
+}

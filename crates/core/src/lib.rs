@@ -54,6 +54,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bounds;
 pub mod difficulty;

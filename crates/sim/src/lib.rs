@@ -48,6 +48,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 // The Scenario API exists so that no simulation entry point needs an
 // argument pile; keep it that way.
 #![deny(clippy::too_many_arguments)]

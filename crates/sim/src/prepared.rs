@@ -2,7 +2,8 @@
 //!
 //! Every campaign evaluates several exact pfds (before/after, version and
 //! system level). Doing that straight off the [`FaultModel`] rebuilds the
-//! same intermediate data — failure-region bit sets, profile lookups —
+//! same intermediate data — failure-region
+//! [`BitSet`](diversim_universe::bitset::BitSet)s, profile lookups —
 //! once per *replication*, although all of it depends only on the world
 //! (fault model × usage profile). [`Prepared`] hoists that work out of
 //! the replication hot loop:
@@ -30,8 +31,9 @@ use diversim_universe::version::Version;
 /// Precomputed per-world evaluation tables (see the module docs).
 ///
 /// The demand marginals live on the held [`UsageProfile`] itself
-/// (`profile.probabilities()` is already a flat `&[f64]`); what the
-/// cache adds is the per-fault region masses and the disjointness flag.
+/// ([`UsageProfile::probabilities`] is already a flat `&[f64]`); what
+/// the cache adds is the per-fault region masses and the disjointness
+/// flag.
 #[derive(Debug)]
 pub struct Prepared {
     model: Arc<FaultModel>,

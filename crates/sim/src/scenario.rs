@@ -74,11 +74,33 @@ pub const MAX_SUITE_SIZE: usize = 1 << 24;
 
 /// How replicated studies derive the seed of replication `i` from the
 /// scenario's root seed.
+///
+/// # Examples
+///
+/// Both policies are pure functions of `(policy, i)`, which is what
+/// makes every replicated study thread-count-independent:
+///
+/// ```
+/// use diversim_sim::scenario::SeedPolicy;
+///
+/// // Offset: consecutive seeds, as historical experiments enumerated.
+/// assert_eq!(SeedPolicy::offset(100).seed_for(3), 103);
+///
+/// // Sequence: SplitMix64-mixed — adjacent replications get unrelated
+/// // seeds, and the derivation is stable across runs.
+/// let mixed = SeedPolicy::sequence(100);
+/// assert_ne!(mixed.seed_for(0), mixed.seed_for(1));
+/// assert_eq!(mixed.seed_for(5), mixed.seed_for(5));
+///
+/// // Re-rooting keeps the derivation rule.
+/// assert_eq!(mixed.with_root(7).root(), 7);
+/// assert!(matches!(mixed.with_root(7), SeedPolicy::Sequence(7)));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SeedPolicy {
     /// SplitMix64-mixed seeds: replication `i` receives
-    /// `SeedSequence::new(root).seed_for(0, i)` (the default — distinct,
-    /// well-mixed, collision-free).
+    /// [`SeedSequence::new`]`(root)`[`.seed_for(0, i)`](SeedSequence::seed_for)
+    /// (the default — distinct, well-mixed, collision-free).
     Sequence(u64),
     /// Consecutive seeds: replication `i` receives `root + i`. Matches
     /// experiments whose historical runs enumerated seeds directly.
@@ -201,9 +223,45 @@ impl std::error::Error for ScenarioError {}
 ///
 /// Required: a population (or pair) and an operational profile. Everything
 /// else defaults: suite generation draws i.i.d. from the operational
-/// profile, the oracle and fixer are perfect, the regime is
+/// profile ([`ProfileGenerator`]), the oracle and fixer are perfect
+/// ([`PerfectOracle`] / [`PerfectFixer`]), the regime is
 /// [`CampaignRegime::SharedSuite`], the suite is empty and the seed policy
-/// is `SeedPolicy::Sequence(0)`.
+/// is [`SeedPolicy::Sequence`]`(0)`.
+///
+/// # Examples
+///
+/// The assessment lifecycle on one scenario — *estimate* the tested
+/// pair, trace reliability *growth*, then *operate* a concrete pair:
+///
+/// ```
+/// use diversim_sim::campaign::CampaignRegime;
+/// use diversim_sim::scenario::{Scenario, SeedPolicy};
+/// use diversim_sim::world::World;
+///
+/// let world = World::singleton_uniform("lifecycle", vec![0.3; 12])?;
+///
+/// // 1. Estimate: replicated campaigns → pfd estimates with intervals
+/// // (byte-identical for any thread count).
+/// let scenario = Scenario::builder()
+///     .world(&world)
+///     .regime(CampaignRegime::SharedSuite)
+///     .suite_size(6)
+///     .seeds(SeedPolicy::sequence(42))
+///     .build()?;
+/// let est = scenario.estimate(400, 2);
+/// assert!(est.system_pfd.mean <= est.version_a_pfd.mean + 1e-12);
+///
+/// // 2. Growth: pfds at growing testing effort (checkpoint 0 records
+/// // the untested pair).
+/// let growth = scenario.growth(&[0, 4, 8], 200, 2)?;
+/// assert!(growth.system[2].mean() <= growth.system[0].mean());
+///
+/// // 3. Operate: expose one debugged pair to operational demands.
+/// let outcome = scenario.run(7);
+/// let log = scenario.operate(&outcome.first, &outcome.second, 1_000, 9);
+/// assert!(log.system_failures <= log.failures_a + log.failures_b);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     pop_a: Option<Arc<dyn Population>>,
@@ -284,19 +342,19 @@ impl ScenarioBuilder {
     }
 
     /// The suite-generation procedure `M(·)` (defaults to i.i.d. draws
-    /// from the operational profile).
+    /// from the operational profile via [`ProfileGenerator`]).
     pub fn generator<G: SuiteGenerator + 'static>(mut self, generator: G) -> Self {
         self.generator = Some(Arc::new(generator));
         self
     }
 
-    /// The failure-detection oracle (default: perfect).
+    /// The failure-detection oracle (default: [`PerfectOracle`]).
     pub fn oracle<O: Oracle + 'static>(mut self, oracle: O) -> Self {
         self.oracle = Arc::new(oracle);
         self
     }
 
-    /// The fault fixer (default: perfect).
+    /// The fault fixer (default: [`PerfectFixer`]).
     pub fn fixer<F: Fixer + 'static>(mut self, fixer: F) -> Self {
         self.fixer = Arc::new(fixer);
         self
@@ -320,7 +378,7 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Shorthand for `seeds(SeedPolicy::Sequence(root))`.
+    /// Shorthand for [`seeds`](Self::seeds)`(`[`SeedPolicy::Sequence`]`(root))`.
     pub fn seed(self, root: u64) -> Self {
         self.seeds(SeedPolicy::Sequence(root))
     }
@@ -484,7 +542,8 @@ impl Scenario {
             .unwrap_or_else(|| self.prepared.profile())
     }
 
-    /// Runs `replications` jobs through the deterministic runner, each
+    /// Runs `replications` jobs through the deterministic
+    /// [`runner`](crate::runner), each
     /// receiving the seed the scenario's [`SeedPolicy`] assigns to its
     /// replication index. The single place the policy meets the runner.
     pub(crate) fn replicate<T, F>(&self, replications: u64, threads: usize, job: F) -> Vec<T>

@@ -43,6 +43,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bitset;
 pub mod common_cause;

@@ -53,6 +53,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use diversim_core as core;
 pub use diversim_exact as exact;
