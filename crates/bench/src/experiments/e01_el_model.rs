@@ -10,7 +10,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use diversim_core::el::ElAnalysis;
-use diversim_sim::runner::parallel_accumulate;
+use diversim_sim::runner::parallel_reduce;
+use diversim_stats::reduce::Moments;
 use diversim_stats::seed::SeedSequence;
 use diversim_universe::population::Population;
 
@@ -65,11 +66,11 @@ fn run(ctx: &mut RunContext) {
         let world = graded_with_spread(spread);
         let el = ElAnalysis::compute(&world.pop_a, &world.profile);
 
-        // Monte Carlo: draw version pairs, average the exact conditional
-        // joint pfd of each pair.
+        // Monte Carlo: draw version pairs, stream the exact conditional
+        // joint pfd of each pair straight into moment accumulators.
         let seeds = SeedSequence::new(1000 + (spread * 10.0) as u64);
         let model = world.pop_a.model().clone();
-        let acc = parallel_accumulate(replications, seeds, ctx.threads(), |_, seed| {
+        let acc = parallel_reduce(replications, seeds, ctx.threads(), &Moments, |_, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             let v1 = world.pop_a.sample(&mut rng);
             let v2 = world.pop_a.sample(&mut rng);

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use diversim_stats::online::MeanVar;
+use diversim_stats::reduce::{Count, Moments};
 use diversim_stats::stopping::{StoppingRule, StoppingState};
 use diversim_universe::version::Version;
 
@@ -114,27 +115,21 @@ pub(crate) fn adaptive_study(
     replications: u64,
     threads: usize,
 ) -> AdaptiveStudy {
-    let outcomes: Vec<AdaptiveOutcome> = scenario.replicate(replications, threads, |seed| {
-        adaptive_campaign(scenario, rule, max_demands, seed)
-    });
-    let mut demands = MeanVar::new();
-    let mut achieved = MeanVar::new();
-    let mut met = 0u64;
-    let mut fired = 0u64;
-    for o in &outcomes {
-        demands.push(o.demands_used as f64);
-        achieved.push(o.achieved_pfd);
-        if o.achieved_pfd < target_pfd {
-            met += 1;
-        }
-        if o.stopped_by_rule {
-            fired += 1;
-        }
-    }
-    let n = outcomes.len().max(1) as f64;
+    let reducer = (Moments, Moments, Count, Count);
+    let (demands, achieved_pfd, met, fired) =
+        scenario.reduce(replications, threads, &reducer, |seed| {
+            let o = adaptive_campaign(scenario, rule, max_demands, seed);
+            (
+                o.demands_used as f64,
+                o.achieved_pfd,
+                o.achieved_pfd < target_pfd,
+                o.stopped_by_rule,
+            )
+        });
+    let n = replications.max(1) as f64;
     AdaptiveStudy {
         demands,
-        achieved_pfd: achieved,
+        achieved_pfd,
         target_met_rate: met as f64 / n,
         rule_fired_rate: fired as f64 / n,
     }

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use diversim_stats::online::MeanVar;
+use diversim_stats::reduce::Moments;
 use diversim_universe::common_cause::CommonCauseEvent;
 use diversim_universe::fault::FaultId;
 
@@ -63,38 +64,32 @@ pub(crate) fn mistake_study(
     threads: usize,
 ) -> MistakeStudy {
     let prepared = scenario.prepared();
-    let results: Vec<(f64, f64, f64)> = scenario.replicate(replications, threads, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let fault_count = prepared.model().fault_count();
-        let mut a = scenario.pop_a().sample(&mut rng);
-        let mut b = scenario.pop_b().sample(&mut rng);
-        let before = prepared.pair_pfd(&a, &b);
-        match mode {
-            MistakeMode::Common => {
-                let faults = draw_faults(&mut rng, fault_count, mistakes);
-                let ev = CommonCauseEvent::Mistake { faults };
-                ev.apply(&mut a);
-                ev.apply(&mut b);
+    let reducer = (Moments, Moments, Moments);
+    let (version_pfd, system_pfd, system_pfd_before) =
+        scenario.reduce(replications, threads, &reducer, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fault_count = prepared.model().fault_count();
+            let mut a = scenario.pop_a().sample(&mut rng);
+            let mut b = scenario.pop_b().sample(&mut rng);
+            let before = prepared.pair_pfd(&a, &b);
+            match mode {
+                MistakeMode::Common => {
+                    let faults = draw_faults(&mut rng, fault_count, mistakes);
+                    let ev = CommonCauseEvent::Mistake { faults };
+                    ev.apply(&mut a);
+                    ev.apply(&mut b);
+                }
+                MistakeMode::Independent => {
+                    let fa = draw_faults(&mut rng, fault_count, mistakes);
+                    let fb = draw_faults(&mut rng, fault_count, mistakes);
+                    CommonCauseEvent::Mistake { faults: fa }.apply(&mut a);
+                    CommonCauseEvent::Mistake { faults: fb }.apply(&mut b);
+                }
             }
-            MistakeMode::Independent => {
-                let fa = draw_faults(&mut rng, fault_count, mistakes);
-                let fb = draw_faults(&mut rng, fault_count, mistakes);
-                CommonCauseEvent::Mistake { faults: fa }.apply(&mut a);
-                CommonCauseEvent::Mistake { faults: fb }.apply(&mut b);
-            }
-        }
-        let version = 0.5 * (prepared.version_pfd(&a) + prepared.version_pfd(&b));
-        let system = prepared.pair_pfd(&a, &b);
-        (version, system, before)
-    });
-    let mut version_pfd = MeanVar::new();
-    let mut system_pfd = MeanVar::new();
-    let mut system_pfd_before = MeanVar::new();
-    for (v, s, before) in results {
-        version_pfd.push(v);
-        system_pfd.push(s);
-        system_pfd_before.push(before);
-    }
+            let version = 0.5 * (prepared.version_pfd(&a) + prepared.version_pfd(&b));
+            let system = prepared.pair_pfd(&a, &b);
+            (version, system, before)
+        });
     MistakeStudy {
         version_pfd,
         system_pfd,
@@ -124,31 +119,25 @@ pub(crate) fn clarification_study(
     threads: usize,
 ) -> ClarificationStudy {
     let prepared = scenario.prepared();
-    let results: Vec<(f64, f64, f64)> = scenario.replicate(replications, threads, |seed| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let model = prepared.model();
-        let mut a = scenario.pop_a().sample(&mut rng);
-        let mut b = scenario.pop_b().sample(&mut rng);
-        let faults = draw_faults(&mut rng, model.fault_count(), clarified);
-        let ev = CommonCauseEvent::Clarification { faults };
-        ev.apply(&mut a);
-        ev.apply(&mut b);
-        let report =
-            diversim_core::metrics::DiversityReport::compute(&a, &b, model, prepared.profile());
-        (
-            0.5 * (report.pfd_a + report.pfd_b),
-            report.joint_pfd,
-            report.jaccard,
-        )
-    });
-    let mut version_pfd = MeanVar::new();
-    let mut system_pfd = MeanVar::new();
-    let mut jaccard = MeanVar::new();
-    for (v, s, j) in results {
-        version_pfd.push(v);
-        system_pfd.push(s);
-        jaccard.push(j);
-    }
+    let reducer = (Moments, Moments, Moments);
+    let (version_pfd, system_pfd, jaccard) =
+        scenario.reduce(replications, threads, &reducer, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = prepared.model();
+            let mut a = scenario.pop_a().sample(&mut rng);
+            let mut b = scenario.pop_b().sample(&mut rng);
+            let faults = draw_faults(&mut rng, model.fault_count(), clarified);
+            let ev = CommonCauseEvent::Clarification { faults };
+            ev.apply(&mut a);
+            ev.apply(&mut b);
+            let report =
+                diversim_core::metrics::DiversityReport::compute(&a, &b, model, prepared.profile());
+            (
+                0.5 * (report.pfd_a + report.pfd_b),
+                report.joint_pfd,
+                report.jaccard,
+            )
+        });
     ClarificationStudy {
         version_pfd,
         system_pfd,

@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use diversim_stats::online::MeanVar;
+use diversim_stats::reduce::{ElementWise, Moments};
 use diversim_testing::suite::TestSuite;
 use diversim_universe::version::Version;
 
@@ -162,32 +163,29 @@ pub(crate) fn growth_sample(scenario: &Scenario, checkpoints: &[usize], seed: u6
 }
 
 /// Replicated growth (the body behind [`Scenario::growth`]): runs
-/// replications in parallel and aggregates per-checkpoint statistics.
-/// Deterministic in `(scenario.seeds(), replications)`.
+/// replications in parallel, streaming each trajectory into one
+/// [`MeanVar`] per checkpoint per curve — no per-replication
+/// trajectories are materialised. Deterministic in
+/// `(scenario.seeds(), replications)`.
 pub(crate) fn growth(
     scenario: &Scenario,
     checkpoints: &[usize],
     replications: u64,
     threads: usize,
 ) -> GrowthCurve {
-    let samples: Vec<GrowthSample> = scenario.replicate(replications, threads, |seed| {
-        growth_sample(scenario, checkpoints, seed)
-    });
     let k = checkpoints.len();
-    let mut curve = GrowthCurve {
+    let per_checkpoint = || ElementWise::new(Moments, k);
+    let reducer = (per_checkpoint(), per_checkpoint(), per_checkpoint());
+    let (version_a, version_b, system) = scenario.reduce(replications, threads, &reducer, |seed| {
+        let s = growth_sample(scenario, checkpoints, seed);
+        (s.version_a, s.version_b, s.system)
+    });
+    GrowthCurve {
         checkpoints: checkpoints.to_vec(),
-        version_a: vec![MeanVar::new(); k],
-        version_b: vec![MeanVar::new(); k],
-        system: vec![MeanVar::new(); k],
-    };
-    for s in &samples {
-        for i in 0..k {
-            curve.version_a[i].push(s.version_a[i]);
-            curve.version_b[i].push(s.version_b[i]);
-            curve.system[i].push(s.system[i]);
-        }
+        version_a,
+        version_b,
+        system,
     }
-    curve
 }
 
 /// Result of one §3.4.1 merged-suite comparison (see

@@ -26,8 +26,12 @@
 //! * [`scenario::Scenario::mistakes`] /
 //!   [`scenario::Scenario::clarifications`] — the §5 common-cause
 //!   extensions ([`common_cause`]);
-//! * [`runner`] — the deterministic parallel substrate: results are
-//!   identical for any thread count.
+//! * [`runner`] — the lock-free deterministic parallel substrate:
+//!   workers claim index chunks from an atomic counter, write disjoint
+//!   pre-allocated slots, and stream observables through composable
+//!   [`diversim_stats::reduce::Reducer`]s; results are bit-identical
+//!   for any thread count and job panics re-raise with their
+//!   replication index.
 //!
 //! # Examples
 //!
@@ -71,7 +75,8 @@ pub use estimate::{Estimate, PairEstimates};
 pub use growth::{GrowthCurve, GrowthSample, MergedComparison, MergedEstimates};
 pub use operation::{CoverageStudy, OperationLog};
 pub use runner::{
-    default_threads, parallel_accumulate, parallel_accumulate_n, parallel_replications,
+    default_threads, parallel_accumulate, parallel_accumulate_n, parallel_reduce,
+    parallel_replications,
 };
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError, SeedPolicy};
 pub use world::World;

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use diversim_stats::ci::{clopper_pearson, Interval};
+use diversim_stats::reduce::{Count, Sum};
 use diversim_universe::version::Version;
 
 use crate::scenario::Scenario;
@@ -117,16 +118,15 @@ pub(crate) fn coverage(
     threads: usize,
 ) -> CoverageStudy {
     let truth = scenario.prepared().pair_pfd(a, b);
-    let results: Vec<(bool, f64)> = scenario.replicate(replications, threads, |seed| {
+    let (hits, width_sum) = scenario.reduce(replications, threads, &(Count, Sum), |seed| {
         let log = operate(scenario, a, b, demands, seed);
         let iv = log.system_pfd_interval(level);
         (iv.contains(truth), iv.width())
     });
-    let hits = results.iter().filter(|(hit, _)| *hit).count();
-    let width: f64 = results.iter().map(|(_, w)| w).sum::<f64>() / results.len().max(1) as f64;
+    let n = replications.max(1) as f64;
     CoverageStudy {
-        coverage: hits as f64 / results.len().max(1) as f64,
-        mean_width: width,
+        coverage: hits as f64 / n,
+        mean_width: width_sum / n,
         replications,
     }
 }

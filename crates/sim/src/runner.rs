@@ -1,27 +1,212 @@
-//! Deterministic parallel replication runner.
+//! Lock-free deterministic parallel replication runner.
 //!
 //! Monte Carlo experiments are embarrassingly parallel, but naive
 //! parallelism destroys reproducibility (results depend on scheduling).
 //! Here every replication `i` derives its seed purely from `(root seed,
-//! i)` via [`SeedSequence`], worker threads claim indices from a shared
-//! atomic counter, and results are written into their index slot — so the
-//! output is identical for any thread count, including 1.
+//! i)` via [`SeedSequence`], so the *values* are schedule-independent by
+//! construction; the runner's job is to execute them fast and put them
+//! back in index order without ever serialising the workers.
+//!
+//! # Execution model
+//!
+//! * **Chunk claiming** — workers claim fixed-size index chunks from one
+//!   shared atomic counter (`fetch_add`), the only point of inter-thread
+//!   communication on the hot path. A chunk is large enough to amortise
+//!   the atomic increment, small enough to balance ragged job bodies.
+//! * **Disjoint slot writes** — results land in pre-allocated
+//!   per-index (or per-block) slots. Index ranges of distinct chunks are
+//!   disjoint, so every slot is written by exactly one worker exactly
+//!   once: plain unsynchronised stores through an `UnsafeCell`, no
+//!   mutex, no per-item locking, no false sharing on a lock word. (An
+//!   earlier design funnelled every result through one global
+//!   `Mutex<Vec<Option<T>>>`; the `runner_scaling` bench records how
+//!   badly that loses at small job granularity.)
+//! * **Panic semantics** — each job runs under `catch_unwind`. The
+//!   first panic (lowest replication index among those observed) aborts
+//!   further chunk claiming and is re-raised after all workers drain,
+//!   carrying its replication index *and* the original message for
+//!   `&str`/`String` payloads (other payload types are re-raised
+//!   verbatim). Sibling workers never raise secondary panics — the old
+//!   design poisoned its mutex and crashed siblings with a misleading
+//!   `"slot lock poisoned"` panic that masked the real failure.
+//!
+//! # Determinism contract
+//!
+//! [`parallel_replications`] returns values in index order, so it is a
+//! pure function of `(replications, seeds, job)`. The folding entry
+//! points ([`parallel_reduce`], [`parallel_accumulate_n`],
+//! [`parallel_accumulate`]) fold *blocks* of `ACCUMULATE_BLOCK` (1024)
+//! consecutive replications in index order and merge block accumulators
+//! in block order, so the result — including floating-point rounding —
+//! is bit-identical for any thread count, including 1. The block size
+//! is therefore part of the output contract: changing it changes
+//! low-order bits of every streamed estimate.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use diversim_stats::online::MeanVar;
+use diversim_stats::reduce::{MomentsArray, Reducer};
 use diversim_stats::seed::SeedSequence;
+
+/// Replication indices claimed per `fetch_add` in
+/// [`parallel_replications`]: the work-stealing granule, shrunk at run
+/// time when there are fewer than `workers × chunk` replications so
+/// every worker still gets work. Purely a throughput knob — results
+/// are written to per-index slots, so the output does not depend on it.
+const REPLICATION_CHUNK: u64 = 64;
+
+/// Replications per accumulation block in the folding entry points.
+///
+/// Blocks are the unit of work claiming *and* of floating-point
+/// accumulation: each block is folded in index order and blocks are
+/// merged in block order, so the result is bit-identical for any thread
+/// count — but a function of this constant. Do not change it casually:
+/// every recorded experiment result encodes it in its low-order bits.
+const ACCUMULATE_BLOCK: u64 = 1024;
+
+/// Pre-allocated write-once result slots shared across workers.
+///
+/// Safety protocol: slot `i` is written at most once, by the worker
+/// that claimed the chunk containing `i`, and only read (`into_vec`)
+/// after all workers have joined with no panic — i.e. after every slot
+/// has been written. On the panic path the slots are dropped as raw
+/// `MaybeUninit` storage, which leaks any already-written values; this
+/// is deliberate (we cannot know which slots were written) and
+/// confined to a path that unwinds with the original job panic.
+struct Slots<T> {
+    cells: Vec<UnsafeCell<MaybeUninit<T>>>,
+}
+
+// SAFETY: workers only perform disjoint writes (see the protocol on the
+// type); sharing &Slots across threads is sound for T: Send because the
+// values themselves move between threads exactly once.
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Self {
+        Slots {
+            cells: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `i` must be claimed by exactly one worker, which calls this at
+    /// most once for it.
+    unsafe fn write(&self, i: usize, value: T) {
+        (*self.cells[i].get()).write(value);
+    }
+
+    /// # Safety
+    ///
+    /// Every slot must have been written (all chunks completed).
+    unsafe fn into_vec(self) -> Vec<T> {
+        self.cells
+            .into_iter()
+            .map(|cell| cell.into_inner().assume_init())
+            .collect()
+    }
+}
+
+/// A captured job panic: the replication index it occurred at plus the
+/// original payload.
+struct JobPanic {
+    index: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Runs one job under `catch_unwind`, tagging any panic with its
+/// replication index.
+fn run_job<T>(index: u64, job: impl FnOnce() -> T) -> Result<T, JobPanic> {
+    catch_unwind(AssertUnwindSafe(job)).map_err(|payload| JobPanic { index, payload })
+}
+
+/// Re-raises a captured job panic. String-ish payloads are re-wrapped
+/// so the replication index and the original message both surface in
+/// the propagated panic; other payloads are re-raised verbatim (the
+/// index is then only visible in the worker's original report).
+fn raise(p: JobPanic) -> ! {
+    let JobPanic { index, payload } = p;
+    if let Some(msg) = payload.downcast_ref::<&str>() {
+        panic!("replication {index} panicked: {msg}");
+    }
+    if let Some(msg) = payload.downcast_ref::<String>() {
+        panic!("replication {index} panicked: {msg}");
+    }
+    resume_unwind(payload)
+}
+
+/// The shared worker loop: `threads` scoped workers claim chunk indices
+/// `0..n_chunks` from an atomic counter and run `work` on each. If any
+/// `work` reports a [`JobPanic`], further claiming stops and the panic
+/// with the lowest replication index among those observed is re-raised
+/// after every worker has drained — exactly one panic, never a
+/// secondary one.
+fn drive_workers<F>(n_chunks: u64, threads: usize, work: F)
+where
+    F: Fn(u64) -> Result<(), JobPanic> + Sync,
+{
+    let counter = AtomicU64::new(0);
+    let abort = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| -> Option<JobPanic> {
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            return None;
+                        }
+                        let chunk = counter.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= n_chunks {
+                            return None;
+                        }
+                        if let Err(panic) = work(chunk) {
+                            abort.store(true, Ordering::Relaxed);
+                            return Some(panic);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut first: Option<JobPanic> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Some(panic)) => {
+                    if first.as_ref().is_none_or(|f| panic.index < f.index) {
+                        first = Some(panic);
+                    }
+                }
+                Ok(None) => {}
+                // A panic outside a job (runner bug): propagate as-is.
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        if let Some(panic) = first {
+            raise(panic);
+        }
+    });
+}
 
 /// Runs `replications` jobs, each receiving `(index, seed)`, across
 /// `threads` worker threads, returning results in index order.
 ///
 /// The result is a pure function of `(replications, seeds, job)` — thread
-/// count only affects wall-clock time.
+/// count only affects wall-clock time. Workers claim index chunks (64,
+/// shrunk when replications are scarce relative to workers) from an
+/// atomic counter and write each result into its own pre-allocated
+/// slot; no lock is taken anywhere.
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or if a job panics (the panic is propagated).
+/// Panics if `threads == 0`, or re-raises the first job panic with its
+/// replication index (see the [module docs](self) for the exact
+/// semantics).
 ///
 /// # Examples
 ///
@@ -49,62 +234,140 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = threads.min(n);
-    if threads == 1 {
+    let workers = threads.min(n);
+    if workers == 1 {
         return (0..replications)
-            .map(|i| job(i, seeds.seed_for(0, i)))
+            .map(|i| run_job(i, || job(i, seeds.seed_for(0, i))).unwrap_or_else(|p| raise(p)))
             .collect();
     }
-    let counter = AtomicU64::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    // A scoped-thread work queue: panics in workers propagate when the
-    // scope joins, matching the documented behaviour.
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = counter.fetch_add(1, Ordering::Relaxed);
-                if i >= replications {
-                    break;
-                }
-                let result = job(i, seeds.seed_for(0, i));
-                slots.lock().expect("slot lock poisoned")[i as usize] = Some(result);
-            });
+    // Shrink the chunk when there are too few replications to hand every
+    // worker at least one full-size chunk: expensive-job workloads with
+    // small replication counts would otherwise idle most threads. Safe
+    // because the chunk size only shapes claiming, never the output.
+    let chunk = REPLICATION_CHUNK
+        .min(replications.div_ceil(workers as u64))
+        .max(1);
+    let n_chunks = replications.div_ceil(chunk);
+    let slots: Slots<T> = Slots::new(n);
+    drive_workers(n_chunks, workers, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(replications);
+        for i in lo..hi {
+            let value = run_job(i, || job(i, seeds.seed_for(0, i)))?;
+            // SAFETY: i lies in chunk `chunk`, claimed by this worker
+            // alone, and each index is visited once.
+            unsafe { slots.write(i as usize, value) };
         }
+        Ok(())
     });
-    slots
-        .into_inner()
-        .expect("slot lock poisoned")
-        .into_iter()
-        .map(|slot| slot.expect("every index claimed exactly once"))
-        .collect()
+    // SAFETY: drive_workers returned normally, so every chunk — hence
+    // every slot — completed.
+    unsafe { slots.into_vec() }
 }
 
-/// Replications per accumulation block in [`parallel_accumulate_n`].
+/// Runs `replications` jobs and folds their observables through a
+/// [`Reducer`] without materialising per-replication results.
 ///
-/// Blocks are the unit of work stealing *and* of floating-point
-/// accumulation: each block is folded in index order and blocks are
-/// merged in block order, so the result is bit-identical for any thread
-/// count.
-const ACCUMULATE_BLOCK: u64 = 1024;
+/// Replications are processed in fixed-size blocks of
+/// `ACCUMULATE_BLOCK` (1024); each block is folded in index order
+/// ([`Reducer::push`]) into its own pre-allocated slot and the block
+/// accumulators are merged in block order ([`Reducer::merge`]), so the
+/// result is a pure function of `(replications, seeds, reducer, job)` —
+/// bit-identical for any `threads`, including 1 — while memory stays
+/// `O(blocks)` instead of `O(replications)`.
+///
+/// Reducers compose (tuples, [`ElementWise`]), so one pass can stream
+/// any mix of moments, extrema, histograms and counts; see
+/// [`diversim_stats::reduce`].
+///
+/// [`ElementWise`]: diversim_stats::reduce::ElementWise
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or re-raises the first job panic with its
+/// replication index.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_sim::runner::parallel_reduce;
+/// use diversim_stats::reduce::{MinMax, Moments};
+/// use diversim_stats::seed::SeedSequence;
+///
+/// let seeds = SeedSequence::new(3);
+/// let reducer = (Moments, MinMax);
+/// let job = |i: u64, _seed: u64| (i as f64, i as f64);
+/// let one = parallel_reduce(5000, seeds, 1, &reducer, job);
+/// let eight = parallel_reduce(5000, seeds, 8, &reducer, job);
+/// assert_eq!(one, eight);
+/// assert_eq!(one.1.max(), Some(4999.0));
+/// ```
+pub fn parallel_reduce<R, F>(
+    replications: u64,
+    seeds: SeedSequence,
+    threads: usize,
+    reducer: &R,
+    job: F,
+) -> R::Acc
+where
+    R: Reducer + Sync,
+    R::Acc: Send,
+    F: Fn(u64, u64) -> R::Item + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if replications == 0 {
+        return reducer.empty();
+    }
+    let n_blocks = replications.div_ceil(ACCUMULATE_BLOCK);
+    let fold_block = |block: u64| -> Result<R::Acc, JobPanic> {
+        let mut acc = reducer.empty();
+        let lo = block * ACCUMULATE_BLOCK;
+        let hi = (lo + ACCUMULATE_BLOCK).min(replications);
+        for i in lo..hi {
+            let item = run_job(i, || job(i, seeds.seed_for(0, i)))?;
+            reducer.push(&mut acc, item);
+        }
+        Ok(acc)
+    };
+    let workers = threads.min(usize::try_from(n_blocks).unwrap_or(usize::MAX));
+    let blocks: Vec<R::Acc> = if workers == 1 {
+        (0..n_blocks)
+            .map(|block| fold_block(block).unwrap_or_else(|p| raise(p)))
+            .collect()
+    } else {
+        let slots: Slots<R::Acc> = Slots::new(n_blocks as usize);
+        drive_workers(n_blocks, workers, |block| {
+            let acc = fold_block(block)?;
+            // SAFETY: one slot per block, each block claimed once.
+            unsafe { slots.write(block as usize, acc) };
+            Ok(())
+        });
+        // SAFETY: drive_workers returned normally ⇒ all blocks written.
+        unsafe { slots.into_vec() }
+    };
+    // Merge in block order: the fold sequence is fixed, so rounding is
+    // too.
+    blocks
+        .into_iter()
+        .reduce(|left, right| reducer.merge(left, right))
+        .expect("at least one block")
+}
 
 /// Runs `replications` scalar-vector jobs and folds them into `K`
 /// streaming [`MeanVar`] accumulators without materialising the
 /// per-replication results.
 ///
-/// This is the batching primitive behind the experiment engine: a
-/// campaign job maps `(index, seed)` to `K` observables (say version
-/// pfds and the system pfd), and the runner returns one accumulator per
-/// observable. Replications are processed in fixed-size blocks; each
-/// block is accumulated in index order and the per-block accumulators
-/// are merged in block order, so the result is a pure function of
-/// `(replications, seeds, job)` — bit-identical for any `threads`,
-/// including 1 — while memory stays `O(blocks)` instead of
-/// `O(replications)`.
+/// This is [`parallel_reduce`] specialised to a
+/// [`MomentsArray`]`::<K>` reducer — the batching primitive behind the
+/// experiment engine: a campaign job maps `(index, seed)` to `K`
+/// observables (say version pfds and the system pfd), and the runner
+/// returns one accumulator per observable, bit-identical for any
+/// thread count.
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or if a job panics (the panic is
-/// propagated).
+/// Panics if `threads == 0`, or re-raises the first job panic with its
+/// replication index.
 ///
 /// # Examples
 ///
@@ -127,58 +390,7 @@ pub fn parallel_accumulate_n<const K: usize, F>(
 where
     F: Fn(u64, u64) -> [f64; K] + Sync,
 {
-    assert!(threads > 0, "need at least one worker thread");
-    if replications == 0 {
-        return [MeanVar::new(); K];
-    }
-    let n_blocks = replications.div_ceil(ACCUMULATE_BLOCK);
-    let accumulate_block = |block: u64| -> [MeanVar; K] {
-        let mut accs = [MeanVar::new(); K];
-        let lo = block * ACCUMULATE_BLOCK;
-        let hi = (lo + ACCUMULATE_BLOCK).min(replications);
-        for i in lo..hi {
-            let values = job(i, seeds.seed_for(0, i));
-            for (acc, v) in accs.iter_mut().zip(values) {
-                acc.push(v);
-            }
-        }
-        accs
-    };
-    let blocks: Vec<[MeanVar; K]> = if threads == 1 || n_blocks == 1 {
-        (0..n_blocks).map(accumulate_block).collect()
-    } else {
-        let counter = AtomicU64::new(0);
-        let slots: Mutex<Vec<Option<[MeanVar; K]>>> =
-            Mutex::new((0..n_blocks).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(n_blocks as usize) {
-                scope.spawn(|| loop {
-                    let block = counter.fetch_add(1, Ordering::Relaxed);
-                    if block >= n_blocks {
-                        break;
-                    }
-                    let accs = accumulate_block(block);
-                    slots.lock().expect("slot lock poisoned")[block as usize] = Some(accs);
-                });
-            }
-        });
-        slots
-            .into_inner()
-            .expect("slot lock poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("every block claimed exactly once"))
-            .collect()
-    };
-    // Merge in block order: the fold sequence is fixed, so rounding is too.
-    blocks
-        .into_iter()
-        .reduce(|mut merged, block| {
-            for (m, b) in merged.iter_mut().zip(block) {
-                *m = m.merge(&b);
-            }
-            merged
-        })
-        .expect("at least one block")
+    parallel_reduce(replications, seeds, threads, &MomentsArray::<K>, job)
 }
 
 /// Scalar convenience wrapper over [`parallel_accumulate_n`]: folds one
@@ -186,7 +398,8 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or if a job panics.
+/// Panics if `threads == 0`, or re-raises the first job panic with its
+/// replication index.
 pub fn parallel_accumulate<F>(
     replications: u64,
     seeds: SeedSequence,
@@ -201,8 +414,18 @@ where
     acc
 }
 
-/// A sensible default worker count: the number of available CPUs, capped
-/// at 16 (the workloads here saturate memory bandwidth well before that).
+/// A sensible default worker count: the number of available CPUs,
+/// capped at 16.
+///
+/// The cap is empirical, not architectural: replication jobs stream
+/// through shared per-world evaluation tables, so past roughly 16
+/// workers the workloads here saturate memory bandwidth rather than
+/// cores, and tiny job bodies peak earlier still. The `runner_scaling`
+/// bench (1/2/4/8/16 threads, small vs large job bodies, with the
+/// retired global-mutex design as baseline) records the scaling curve
+/// on real hardware via CI's measured-bench trajectory, so the cap can
+/// be revisited with data. Callers with unusual hardware can always
+/// pass an explicit thread count; correctness never depends on it.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -311,5 +534,19 @@ mod tests {
     fn accumulate_zero_threads_panics() {
         let seeds = SeedSequence::new(0);
         let _ = parallel_accumulate(1, seeds, 0, |_, _| 1.0);
+    }
+
+    #[test]
+    fn reduce_streams_composite_observables() {
+        use diversim_stats::reduce::{Count, MinMax, Moments};
+        let seeds = SeedSequence::new(21);
+        let reducer = (Moments, MinMax, Count);
+        let acc = parallel_reduce(2500, seeds, 4, &reducer, |i, _| {
+            (i as f64, i as f64, i % 3 == 0)
+        });
+        assert_eq!(acc.0.count(), 2500);
+        assert_eq!(acc.1.min(), Some(0.0));
+        assert_eq!(acc.1.max(), Some(2499.0));
+        assert_eq!(acc.2, 834);
     }
 }

@@ -542,25 +542,38 @@ impl Scenario {
             .unwrap_or_else(|| self.prepared.profile())
     }
 
-    /// Runs `replications` jobs through the deterministic
-    /// [`runner`](crate::runner), each
-    /// receiving the seed the scenario's [`SeedPolicy`] assigns to its
-    /// replication index. The single place the policy meets the runner.
-    pub(crate) fn replicate<T, F>(&self, replications: u64, threads: usize, job: F) -> Vec<T>
+    /// Streams `replications` jobs through the deterministic
+    /// [`runner`](crate::runner)'s [`parallel_reduce`], each receiving
+    /// the seed the scenario's [`SeedPolicy`] assigns to its replication
+    /// index. The single place the policy meets the runner: every
+    /// replicated study folds its observables through a
+    /// [`Reducer`](diversim_stats::reduce::Reducer) instead of
+    /// materialising per-replication vectors.
+    ///
+    /// [`parallel_reduce`]: crate::runner::parallel_reduce
+    pub(crate) fn reduce<R, F>(
+        &self,
+        replications: u64,
+        threads: usize,
+        reducer: &R,
+        job: F,
+    ) -> R::Acc
     where
-        T: Send,
-        F: Fn(u64) -> T + Sync,
+        R: diversim_stats::reduce::Reducer + Sync,
+        R::Acc: Send,
+        F: Fn(u64) -> R::Item + Sync,
     {
         let policy = self.seeds;
-        crate::runner::parallel_replications(
+        crate::runner::parallel_reduce(
             replications,
             SeedSequence::new(policy.root()),
             threads,
+            reducer,
             move |i, _| job(policy.seed_for(i)),
         )
     }
 
-    /// [`Scenario::replicate`]'s accumulator twin: folds `K` observables
+    /// [`Scenario::reduce`]'s fixed-arity sibling: folds `K` observables
     /// per replication straight into streaming moments.
     pub(crate) fn accumulate_n<const K: usize, F>(
         &self,

@@ -73,7 +73,12 @@ impl AliasSampler {
             large.pop();
             prob[s] = scaled[s];
             alias[s] = l;
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            // The donor's residual can round to a value slightly below
+            // zero (e.g. for weights whose scaled probabilities are not
+            // representable exactly); a negative entry would later land
+            // in `prob` as a nonsensical acceptance probability, so
+            // clamp at the mathematical lower bound.
+            scaled[l] = ((scaled[l] + scaled[s]) - 1.0).max(0.0);
             if scaled[l] < 1.0 {
                 small.push(l);
             } else {
@@ -119,6 +124,14 @@ impl AliasSampler {
     /// Normalised probabilities of all categories.
     pub fn probabilities(&self) -> &[f64] {
         &self.weights
+    }
+
+    /// The internal acceptance column of the alias table: category `i`
+    /// is returned directly with probability `acceptance(i)` and its
+    /// alias otherwise. Exposed so that table invariants (every entry in
+    /// `[0, 1]`) can be validated by tests and property checks.
+    pub fn acceptance_probabilities(&self) -> &[f64] {
+        &self.prob
     }
 
     /// Draws one index in O(1).
@@ -209,6 +222,46 @@ mod tests {
             seen[sampler.sample(&mut rng)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Builds the table and asserts every acceptance probability is a
+    /// valid probability — the invariant the rounding clamp protects.
+    fn assert_table_valid(weights: &[f64]) {
+        let sampler = AliasSampler::new(weights).unwrap();
+        for (i, &p) in sampler.acceptance_probabilities().iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "acceptance probability {p} out of [0, 1] at {i} for {weights:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_weight_vectors_build_valid_tables() {
+        // Tiny/huge ratios, many near-zero entries, and irrational-ish
+        // scaled probabilities that cannot be represented exactly: the
+        // donor-residual update `(scaled[l] + scaled[s]) - 1.0` rounds
+        // below zero on such inputs without the clamp.
+        assert_table_valid(&[1e-300, 1.0, 1e300]);
+        assert_table_valid(&[1e-12, 1e-12, 1e12, 1e-12]);
+        assert_table_valid(&[0.1; 7]);
+        assert_table_valid(&[0.3, 0.3, 0.1, 0.1, 0.1, 0.1]);
+        let mut near_zero = vec![f64::MIN_POSITIVE; 63];
+        near_zero.push(1.0);
+        assert_table_valid(&near_zero);
+        // A third-harmonic series: 1/3 is inexact in binary.
+        let thirds: Vec<f64> = (1..20).map(|i| 1.0 / (3.0 * i as f64)).collect();
+        assert_table_valid(&thirds);
+    }
+
+    #[test]
+    fn extreme_ratio_sampling_stays_in_range_and_favours_heavy() {
+        let sampler = AliasSampler::new(&[1e-12, 1e12, 1e-12]).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let idx = sampler.sample(&mut rng);
+            assert_eq!(idx, 1, "mass 1 - 2e-24 must dominate every draw");
+        }
     }
 
     #[test]

@@ -132,6 +132,35 @@ impl Histogram {
         best
     }
 
+    /// Combines two histograms over the *identical* binning, as if every
+    /// observation had been pushed into one (bin, underflow and overflow
+    /// counts add). This is what lets histograms accumulate in parallel
+    /// blocks and merge deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms differ in bounds or bin count.
+    pub fn merge(&self, other: &Self) -> Self {
+        assert!(
+            self.min == other.min
+                && self.max == other.max
+                && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different binning"
+        );
+        Self {
+            min: self.min,
+            max: self.max,
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+            underflow: self.underflow + other.underflow,
+            overflow: self.overflow + other.overflow,
+        }
+    }
+
     /// Renders rows of `lo<TAB>hi<TAB>count` for machine-readable output.
     pub fn to_tsv(&self) -> String {
         let mut out = String::new();
@@ -189,6 +218,27 @@ mod tests {
         let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
         h.extend([0.6, 0.6, 0.65, 0.1]);
         assert_eq!(h.mode_bin(), 2);
+    }
+
+    #[test]
+    fn merge_adds_all_counters() {
+        let mut a = Histogram::new(0.0, 1.0, 2).unwrap();
+        a.extend([0.1, -1.0]);
+        let mut b = Histogram::new(0.0, 1.0, 2).unwrap();
+        b.extend([0.7, 2.0, 0.2]);
+        let merged = a.merge(&b);
+        assert_eq!(merged.counts(), &[2, 1]);
+        assert_eq!(merged.underflow(), 1);
+        assert_eq!(merged.overflow(), 1);
+        assert_eq!(merged.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn merge_rejects_mismatched_binning() {
+        let a = Histogram::new(0.0, 1.0, 2).unwrap();
+        let b = Histogram::new(0.0, 1.0, 3).unwrap();
+        let _ = a.merge(&b);
     }
 
     #[test]

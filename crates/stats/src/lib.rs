@@ -5,6 +5,10 @@
 //!
 //! * [`online`] — mergeable streaming estimators (Welford mean/variance,
 //!   bivariate covariance) used by the Monte Carlo engine;
+//! * [`reduce`] — composable streaming [`reduce::Reducer`]s (moments,
+//!   min/max, histograms, counts, tuple and element-wise combinators)
+//!   that let the runner fold arbitrary observables without
+//!   materialising per-replication vectors;
 //! * [`weighted`] — exact moments of functions under discrete probability
 //!   measures, the workhorse behind every `E[·]`, `Var(·)` and `Cov(·, ·)`
 //!   in the paper's equations;
@@ -44,6 +48,7 @@ pub mod ci;
 pub mod error;
 pub mod histogram;
 pub mod online;
+pub mod reduce;
 pub mod seed;
 pub mod special;
 pub mod stopping;
@@ -54,5 +59,6 @@ pub use alias::AliasSampler;
 pub use ci::{clopper_pearson, wilson, Interval};
 pub use error::StatsError;
 pub use online::{BivariateMeanVar, MeanVar};
+pub use reduce::Reducer;
 pub use seed::SeedSequence;
 pub use summary::Summary;

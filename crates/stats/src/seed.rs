@@ -66,12 +66,28 @@ impl SeedSequence {
     }
 
     /// Derives a child sequence for a named sub-experiment.
+    ///
+    /// The child root mixes a dedicated *odd-input* tag where
+    /// [`SeedSequence::seed_for`] mixes `splitmix64(2·index)`. SplitMix64
+    /// is a bijection, so its images of even and odd inputs are disjoint
+    /// sets: for the same `stream`, no replication index — including
+    /// `u64::MAX` — can reproduce a child root. (An earlier formulation
+    /// returned `seed_for(stream, u64::MAX)` verbatim, silently sharing
+    /// the child's whole seed stream with that legitimate replication.)
     pub fn child(&self, stream: u64) -> SeedSequence {
+        let s = splitmix64(stream.wrapping_mul(2).wrapping_add(1));
+        let tag = splitmix64(CHILD_TAG);
         SeedSequence {
-            root: self.seed_for(stream, u64::MAX),
+            root: splitmix64(self.root ^ s.rotate_left(17) ^ tag),
         }
     }
 }
+
+/// Domain-separation tag for [`SeedSequence::child`]. Odd by
+/// construction: `seed_for` only ever feeds even inputs
+/// (`index.wrapping_mul(2)`) into the index coordinate, so
+/// `splitmix64(CHILD_TAG)` can never equal an index coordinate.
+const CHILD_TAG: u64 = 0xD6E8_FEB8_6659_FD93;
 
 #[cfg(test)]
 mod tests {
@@ -129,6 +145,35 @@ mod tests {
         let child = parent.child(3);
         assert_ne!(parent.root(), child.root());
         assert_ne!(parent.seed_for(0, 0), child.seed_for(0, 0));
+    }
+
+    #[test]
+    fn child_tag_is_odd() {
+        // The disjointness argument in `child`'s docs requires an odd
+        // tag input (index coordinates mix even inputs only).
+        assert_eq!(CHILD_TAG % 2, 1);
+    }
+
+    #[test]
+    fn child_roots_do_not_collide_with_replication_seeds() {
+        // Regression: `child(stream)` used to return
+        // `seed_for(stream, u64::MAX)` — a legitimate replication seed.
+        let seq = SeedSequence::new(0xDEAD_BEEF);
+        for stream in 0..8u64 {
+            let child_root = seq.child(stream).root();
+            assert_ne!(
+                child_root,
+                seq.seed_for(stream, u64::MAX),
+                "child({stream}) equals the index-u64::MAX seed"
+            );
+            for index in (0..4096).chain([u64::MAX - 1, u64::MAX]) {
+                assert_ne!(
+                    child_root,
+                    seq.seed_for(stream, index),
+                    "child({stream}) collides with seed_for({stream}, {index})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -298,6 +298,66 @@ proptest! {
         let total: f64 = sampler.probabilities().iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn alias_table_is_valid_on_adversarial_weights(
+        weights in adversarial_weights(),
+    ) {
+        // Regression: the table-construction residual
+        // `(scaled[l] + scaled[s]) - 1.0` could round slightly negative,
+        // leaving a negative acceptance probability in the table.
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let sampler = diversim::stats::alias::AliasSampler::new(&weights).unwrap();
+        for (i, &p) in sampler.acceptance_probabilities().iter().enumerate() {
+            prop_assert!(
+                (0.0..=1.0).contains(&p),
+                "acceptance probability {} out of [0, 1] at {} for {:?}", p, i, weights
+            );
+        }
+        let total: f64 = sampler.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alias_empirical_frequencies_match_adversarial_weights(
+        weights in adversarial_weights(),
+        seed in any::<u64>(),
+    ) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 0.0);
+        let sampler = diversim::stats::alias::AliasSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 20_000u64;
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let p = w / total;
+            let freq = counts[i] as f64 / draws as f64;
+            // Binomial 5σ band plus one-count slack for discreteness.
+            let se = (p * (1.0 - p) / draws as f64).sqrt();
+            prop_assert!(
+                (freq - p).abs() <= 5.0 * se + 2.0 / draws as f64,
+                "category {}: frequency {} vs probability {} for {:?}", i, freq, p, weights
+            );
+        }
+    }
+}
+
+/// Adversarial alias-table inputs: tiny/huge ratios spanning ~18 orders
+/// of magnitude, exact zeros and many near-zero entries.
+fn adversarial_weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            Just(1e-12),
+            Just(f64::MIN_POSITIVE),
+            (-9.0f64..9.0).prop_map(|e| 10f64.powf(e)),
+            0.01f64..1.0,
+        ],
+        1..16,
+    )
 }
 
 // ---------------------------------------------------------------------
