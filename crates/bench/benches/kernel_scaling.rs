@@ -1,0 +1,184 @@
+//! Scaling of the packed-bitset evaluation kernel across demand-space
+//! sizes (10³–10⁶) and fault-region profiles.
+//!
+//! Three region profiles bracket the kernel's design space:
+//!
+//! * **dense** — a handful of broad faults tiling the whole space. The
+//!   packed path (`BlockWeights` weighted popcount over 64-demand
+//!   blocks) is at its best here; the retired per-demand walk pays a
+//!   score-function call for every demand.
+//! * **sparse** — many small scattered regions in a mostly-empty space.
+//!   `Prepared` switches to explicit sorted index lists
+//!   (`EvalStrategy::SparseUnion`) once the packed blocks would mostly
+//!   hold zeros.
+//! * **skewed** — one huge region plus a tail of tiny ones, the mixed
+//!   case the adaptive switch has to get right.
+//!
+//! Each configuration measures the kernel path (`Prepared::version_pfd`
+//! / `Prepared::pair_pfd`) against the retired per-demand evaluation,
+//! kept verbatim below as the `per_demand` baseline so the speedup
+//! stays measurable. Both paths return bit-identical values — asserted
+//! at setup for every world, so a kernel regression fails the bench
+//! before it skews the trajectory.
+//!
+//! Run measured (not `--test`) with
+//! `DIVERSIM_BENCH_JSON=BENCH_kernel_scaling.json` to archive the
+//! trajectory, as the CI `bench-measure` job does.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use diversim_sim::prepared::Prepared;
+use diversim_universe::demand::{DemandId, DemandSpace};
+use diversim_universe::fault::{Fault, FaultModel};
+use diversim_universe::profile::UsageProfile;
+use diversim_universe::version::Version;
+
+/// The retired hot-path design: walk every demand in the space, ask the
+/// score function, and weight by the usage probability. Kept verbatim
+/// as the ablation baseline.
+fn per_demand_pfd(v: &Version, model: &FaultModel, profile: &UsageProfile) -> f64 {
+    profile.expect(|x| v.score(model, x))
+}
+
+/// Retired per-demand joint evaluation for a 1-out-of-2 pair.
+fn per_demand_pair_pfd(
+    a: &Version,
+    b: &Version,
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> f64 {
+    profile.expect(|x| a.score(model, x) * b.score(model, x))
+}
+
+/// A contiguous region of `len` demands starting at `start` (clamped to
+/// the space).
+fn region(n: usize, start: usize, len: usize) -> Fault {
+    let end = (start + len).min(n);
+    Fault::new((start..end).map(|i| DemandId::new(i as u32)))
+}
+
+/// Broad coverage: 8 faults tiling the space end to end, each
+/// overlapping its neighbour by one demand (so the regions are not
+/// pairwise disjoint and the packed-block strategy is exercised rather
+/// than the disjoint fast path).
+fn dense_world(n: usize) -> FaultModel {
+    let chunk = n.div_ceil(8);
+    let faults = (0..8).map(|k| region(n, k * chunk, chunk + 1)).collect();
+    FaultModel::new(DemandSpace::new(n).expect("non-empty space"), faults).expect("valid model")
+}
+
+/// Scattered coverage: 16 sites spread across the space, each holding a
+/// pair of half-overlapping 8-demand faults (32 faults total). Overlap
+/// keeps the model off the disjoint fast path; the tiny total region
+/// flips `Prepared` to explicit index lists once the space is large.
+fn sparse_world(n: usize) -> FaultModel {
+    let stride = (n / 16).max(12);
+    let faults = (0..16)
+        .flat_map(|k| {
+            let base = (k * stride) % n;
+            [region(n, base, 8), region(n, base + 4, 8)]
+        })
+        .collect();
+    FaultModel::new(DemandSpace::new(n).expect("non-empty space"), faults).expect("valid model")
+}
+
+/// One huge region plus a tail of tiny ones.
+fn skewed_world(n: usize) -> FaultModel {
+    let mut faults = vec![region(n, 0, n / 2)];
+    let stride = (n / 24).max(4);
+    faults.extend((0..24).map(|k| region(n, (n / 2 + k * stride) % n, 4)));
+    FaultModel::new(DemandSpace::new(n).expect("non-empty space"), faults).expect("valid model")
+}
+
+/// A graded, non-uniform usage profile so the weighted sums are not
+/// trivially collapsible.
+fn graded_profile(space: DemandSpace) -> UsageProfile {
+    let n = space.len();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64 / 64.0)).collect();
+    UsageProfile::from_weights(space, weights).expect("positive weights")
+}
+
+/// The version under test: every other fault present.
+fn alternating_version(model: &FaultModel) -> Version {
+    Version::from_faults(model, model.fault_ids().filter(|f| f.index() % 2 == 0))
+}
+
+/// Its complement partner for the pair benches.
+fn complement_version(model: &FaultModel) -> Version {
+    Version::from_faults(model, model.fault_ids().filter(|f| f.index() % 2 == 1))
+}
+
+fn bench_profile(c: &mut Criterion, name: &str, build: fn(usize) -> FaultModel) {
+    let mut group = c.benchmark_group(format!("kernel_scaling/{name}"));
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let model = Arc::new(build(n));
+        let profile = graded_profile(model.space());
+        let prepared = Prepared::new(Arc::clone(&model), profile.clone());
+        let v = alternating_version(&model);
+        // The two paths must agree bit for bit, or the comparison below
+        // measures two different quantities.
+        assert_eq!(
+            prepared.version_pfd(&v),
+            per_demand_pfd(&v, &model, &profile)
+        );
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, _| {
+            b.iter(|| black_box(prepared.version_pfd(&v)))
+        });
+        group.bench_with_input(BenchmarkId::new("per_demand", n), &n, |b, _| {
+            b.iter(|| black_box(per_demand_pfd(&v, &model, &profile)))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_dense(c: &mut Criterion) {
+    bench_profile(c, "dense", dense_world);
+}
+
+fn scaling_sparse(c: &mut Criterion) {
+    bench_profile(c, "sparse", sparse_world);
+}
+
+fn scaling_skewed(c: &mut Criterion) {
+    bench_profile(c, "skewed", skewed_world);
+}
+
+/// Joint (1-out-of-2) evaluation on the dense profile: the masked
+/// weighted-popcount intersection against the per-demand product walk.
+fn scaling_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_scaling/pair_dense");
+    for n in [10_000usize, 1_000_000] {
+        let model = Arc::new(dense_world(n));
+        let profile = graded_profile(model.space());
+        let prepared = Prepared::new(Arc::clone(&model), profile.clone());
+        let a = alternating_version(&model);
+        let b_v = complement_version(&model);
+        assert_eq!(
+            prepared.pair_pfd(&a, &b_v),
+            per_demand_pair_pfd(&a, &b_v, &model, &profile)
+        );
+        group.bench_with_input(BenchmarkId::new("kernel", n), &n, |b, _| {
+            b.iter(|| black_box(prepared.pair_pfd(&a, &b_v)))
+        });
+        group.bench_with_input(BenchmarkId::new("per_demand", n), &n, |b, _| {
+            b.iter(|| black_box(per_demand_pair_pfd(&a, &b_v, &model, &profile)))
+        });
+    }
+    group.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick_config();
+    targets = scaling_dense, scaling_sparse, scaling_skewed, scaling_pair
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Drift guard for the committed benchmark trajectories.
+//!
+//! The workspace root archives measured benchmark results as
+//! `BENCH_*.json` files (written by the vendored criterion harness when
+//! `DIVERSIM_BENCH_JSON` is set, as the CI `bench-measure` job does).
+//! The README's *Perf trajectory* section quotes them, so a file that
+//! stops parsing as the engine's bench schema — an array of
+//! `{"id", "min_ns", "median_ns", "max_ns"}` objects — would silently
+//! rot the documentation. This test pins the schema and the invariants
+//! every real measurement satisfies.
+
+use std::path::Path;
+
+use diversim_bench::json::{self, Value};
+
+/// Every trajectory file the repository commits to the workspace root.
+const COMMITTED: &[&str] = &["BENCH_kernel_scaling.json", "BENCH_runner_scaling.json"];
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Parses one trajectory file and checks every record against the
+/// harness's output schema.
+fn check_trajectory(name: &str) {
+    let path = workspace_root().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("committed trajectory {name} unreadable: {e}"));
+    let value = json::parse(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"));
+    let records = value
+        .as_array()
+        .unwrap_or_else(|| panic!("{name}: top level must be an array"));
+    assert!(
+        !records.is_empty(),
+        "{name}: an empty trajectory guards nothing"
+    );
+    for (i, rec) in records.iter().enumerate() {
+        let id = rec
+            .get("id")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("{name}[{i}]: missing string field \"id\""));
+        assert!(!id.is_empty(), "{name}[{i}]: empty benchmark id");
+        let field = |key: &str| -> f64 {
+            rec.get(key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{name}[{i}] ({id}): missing numeric field {key:?}"))
+        };
+        let (min, median, max) = (field("min_ns"), field("median_ns"), field("max_ns"));
+        assert!(
+            min > 0.0 && min <= median && median <= max,
+            "{name}[{i}] ({id}): expected 0 < min ≤ median ≤ max, got {min}/{median}/{max}"
+        );
+    }
+}
+
+#[test]
+fn committed_trajectories_parse_as_the_bench_schema() {
+    for name in COMMITTED {
+        check_trajectory(name);
+    }
+}
+
+/// The kernel_scaling trajectory must carry both sides of the
+/// comparison the README quotes: the packed-kernel path and the retired
+/// per-demand baseline, for every region profile.
+#[test]
+fn kernel_trajectory_covers_both_paths_and_all_profiles() {
+    let path = workspace_root().join("BENCH_kernel_scaling.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_kernel_scaling.json unreadable");
+    let value = json::parse(&text).expect("valid JSON");
+    let ids: Vec<String> = value
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|r| r.get("id").and_then(Value::as_str).expect("id").to_string())
+        .collect();
+    for profile in ["dense", "sparse", "skewed"] {
+        for side in ["kernel", "per_demand"] {
+            assert!(
+                ids.iter()
+                    .any(|id| id.contains(profile) && id.contains(side)),
+                "trajectory lost the {side} measurements for the {profile} profile"
+            );
+        }
+    }
+    // The headline claim: at 10⁵+ demands on the dense profile the
+    // kernel must hold a ≥5× lead over the retired per-demand path.
+    for n in ["100000", "1000000"] {
+        let median = |side: &str| -> f64 {
+            let id = format!("kernel_scaling/dense/{side}/{n}");
+            value
+                .as_array()
+                .unwrap()
+                .iter()
+                .find(|r| r.get("id").and_then(Value::as_str) == Some(id.as_str()))
+                .unwrap_or_else(|| panic!("missing {id}"))
+                .get("median_ns")
+                .and_then(Value::as_f64)
+                .expect("median_ns")
+        };
+        let speedup = median("per_demand") / median("kernel");
+        assert!(
+            speedup >= 5.0,
+            "dense/{n}: committed trajectory shows only {speedup:.1}x kernel speedup"
+        );
+    }
+}

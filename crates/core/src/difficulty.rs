@@ -59,12 +59,34 @@ pub fn tested_score(version: &Version, model: &FaultModel, x: DemandId, covered:
     }
 }
 
+/// The kernel form of the tested score: the set of demands on which the
+/// tested version still fails — the union of the failure regions of its
+/// *surviving* faults (those not triggered by `covered`).
+///
+/// `x ∈ tested_failure_set(π, t)` iff [`tested_score`]`(π, x, t) == 1`,
+/// so demand-space-wide quantities become masses of this set instead of
+/// per-demand loops: each fault is checked against the suite once rather
+/// than once per demand of its region.
+pub fn tested_failure_set(version: &Version, model: &FaultModel, covered: &BitSet) -> BitSet {
+    let mut out = BitSet::new(model.space().len());
+    for f in version.faults() {
+        if !model.triggered_by(f, covered) {
+            model.region_set(f).union_into(&mut out);
+        }
+    }
+    out
+}
+
 /// Populations for which the post-testing difficulty `ξ(x, t)` (eq 13) is
 /// computable exactly.
 ///
 /// Implemented for [`BernoulliPopulation`] (closed form over surviving
 /// faults) and [`ExplicitPopulation`] (weighted average of
-/// [`tested_score`] over the support).
+/// [`tested_score`] over the support). Both override
+/// [`xi_vector`](Self::xi_vector) with a kernel form that visits each
+/// surviving fault once instead of once per demand; the per-demand
+/// arithmetic order is preserved, so the vector agrees with per-demand
+/// [`xi`](Self::xi) calls bit-for-bit.
 pub trait TestedDifficulty: Population {
     /// `ξ(x, t)`: the probability that a randomly chosen program, tested
     /// with a suite covering `covered`, fails on `x`.
@@ -84,6 +106,26 @@ impl TestedDifficulty for BernoulliPopulation {
     fn xi(&self, x: DemandId, covered: &BitSet) -> f64 {
         BernoulliPopulation::xi(self, x, covered)
     }
+
+    /// Kernel form of the closed-form ξ: scatter each surviving fault's
+    /// survival factor `1 − p_f` over its region (one suite check per
+    /// fault), then complement. Per demand, the factors multiply in
+    /// ascending fault order — exactly the order of the per-demand `O_x`
+    /// product — so this equals [`BernoulliPopulation::xi`] bit-for-bit.
+    fn xi_vector(&self, covered: &BitSet) -> Vec<f64> {
+        let model = self.model();
+        let mut survive = vec![1.0; model.space().len()];
+        for f in model.fault_ids() {
+            if model.triggered_by(f, covered) {
+                continue;
+            }
+            let keep = 1.0 - self.propensity(f);
+            for x in model.region_set(f).iter() {
+                survive[x] *= keep;
+            }
+        }
+        survive.iter().map(|s| 1.0 - s).collect()
+    }
 }
 
 impl TestedDifficulty for ExplicitPopulation {
@@ -92,6 +134,21 @@ impl TestedDifficulty for ExplicitPopulation {
         self.iter()
             .map(|(v, p)| tested_score(v, &model, x, covered) * p)
             .sum()
+    }
+
+    /// Kernel form of the support average: scatter each version's weight
+    /// over its [`tested_failure_set`]. Per demand, the weights add in
+    /// support order — the order of the per-demand score sum — so this
+    /// equals per-demand [`xi`](TestedDifficulty::xi) calls bit-for-bit.
+    fn xi_vector(&self, covered: &BitSet) -> Vec<f64> {
+        let model = self.model().clone();
+        let mut out = vec![0.0; model.space().len()];
+        for (v, p) in self.iter() {
+            for x in tested_failure_set(v, &model, covered).iter() {
+                out[x] += p;
+            }
+        }
+        out
     }
 }
 
@@ -109,13 +166,19 @@ pub fn varsigma(
 /// The paper's `η(π, t)`: the probability that version `π`, tested on `t`,
 /// fails on a randomly selected demand `X ~ Q(·)` — the tested version's
 /// pfd.
+///
+/// Kernel form: the usage mass of [`tested_failure_set`] via
+/// [`BitSet::weighted_mass`] — `O(surviving regions)` instead of a score
+/// evaluation per demand of the space, and bit-identical to the
+/// per-demand expectation it replaces (same ascending summation order;
+/// the skipped demands contributed exact zeros).
 pub fn eta(
     version: &Version,
     model: &FaultModel,
     suite: &TestSuite,
     profile: &UsageProfile,
 ) -> f64 {
-    profile.expect(|x| tested_score(version, model, x, suite.demand_set()))
+    tested_failure_set(version, model, suite.demand_set()).weighted_mass(profile.probabilities())
 }
 
 /// The paper's `ζ(x)` (eq 14): the post-testing difficulty function
@@ -128,12 +191,21 @@ pub fn zeta(pop: &dyn TestedDifficulty, x: DemandId, measure: &ExplicitSuitePopu
 }
 
 /// `ζ(x)` evaluated on every demand, indexed by demand.
+///
+/// Kernel form: one [`TestedDifficulty::xi_vector`] per suite of the
+/// measure, accumulated suite-by-suite — `O(suites · kernel)` instead of
+/// `O(demands · suites · per-demand ξ)`. Per demand, the `ξ·M(t)` terms
+/// add in suite order, the same order as the per-demand expectation in
+/// [`zeta`], so the vector agrees with per-demand calls bit-for-bit.
 pub fn zeta_vector(pop: &dyn TestedDifficulty, measure: &ExplicitSuitePopulation) -> Vec<f64> {
-    pop.model()
-        .space()
-        .iter()
-        .map(|x| zeta(pop, x, measure))
-        .collect()
+    let mut out = vec![0.0; pop.model().space().len()];
+    for (t, p) in measure.iter() {
+        let xs = pop.xi_vector(t.demand_set());
+        for (acc, x) in out.iter_mut().zip(&xs) {
+            *acc += x * p;
+        }
+    }
+    out
 }
 
 /// Summary of how testing reshapes the difficulty function: the paper's §3
@@ -160,10 +232,8 @@ impl DifficultyShift {
         profile: &UsageProfile,
     ) -> Self {
         let theta: Vec<(f64, f64)> = profile.iter().map(|(x, q)| (pop.theta(x), q)).collect();
-        let zeta: Vec<(f64, f64)> = profile
-            .iter()
-            .map(|(x, q)| (zeta(pop, x, measure), q))
-            .collect();
+        let zv = zeta_vector(pop, measure);
+        let zeta: Vec<(f64, f64)> = profile.iter().map(|(x, q)| (zv[x.index()], q)).collect();
         let before = diversim_stats::weighted::moments(theta.iter().copied())
             .expect("profile is a valid measure");
         let after = diversim_stats::weighted::moments(zeta.iter().copied())
@@ -322,6 +392,53 @@ mod tests {
         covered.insert(0);
         assert_eq!(TestedDifficulty::xi(&pop, d(1), &covered), 0.0);
         assert!((pop.theta(d(1)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_forms_match_per_demand_paths_bitwise() {
+        // Overlapping regions + skewed profile: exercise every kernel
+        // (tested_failure_set/eta, both xi_vector overrides, zeta_vector)
+        // against the per-demand definitions with exact equality — the
+        // kernels must preserve the scalar summation order.
+        let space = DemandSpace::new(5).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault([d(0), d(1)])
+                .fault([d(1), d(2)])
+                .fault([d(3), d(4)])
+                .build()
+                .unwrap(),
+        );
+        let pop = BernoulliPopulation::new(model.clone(), vec![0.3, 0.6, 0.9]).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let explicit = ExplicitPopulation::new(model.clone(), support).unwrap();
+        let q = UsageProfile::zipf(space, 0.9).unwrap();
+        let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+
+        let mut covered = BitSet::new(5);
+        covered.insert(1);
+        covered.insert(4);
+
+        let v = Version::from_faults(&model, [f(0), f(2)]);
+        let fs = tested_failure_set(&v, &model, &covered);
+        for x in model.space().iter() {
+            let member = if fs.contains(x.index()) { 1.0 } else { 0.0 };
+            assert_eq!(member, tested_score(&v, &model, x, &covered));
+        }
+        let suite = TestSuite::from_demands(space, vec![d(1), d(4)]).unwrap();
+        let eta_per_demand = q.expect(|x| tested_score(&v, &model, x, suite.demand_set()));
+        assert_eq!(eta(&v, &model, &suite, &q), eta_per_demand);
+
+        for pop in [&pop as &dyn TestedDifficulty, &explicit] {
+            let xs = pop.xi_vector(&covered);
+            for x in model.space().iter() {
+                assert_eq!(xs[x.index()], pop.xi(x, &covered));
+            }
+            let zs = zeta_vector(pop, &m);
+            for x in model.space().iter() {
+                assert_eq!(zs[x.index()], zeta(pop, x, &m));
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use diversim_testing::process::perfect_debug;
 use diversim_testing::suite_population::ExplicitSuitePopulation;
+use diversim_universe::bitset::BitSet;
 use diversim_universe::demand::DemandId;
 use diversim_universe::fault::FaultModel;
 use diversim_universe::profile::UsageProfile;
@@ -19,30 +20,110 @@ use diversim_universe::version::Version;
 /// produced by [`diversim_universe::Population::enumerate`].
 pub type Support = [(Version, f64)];
 
-/// The tested scores of every `(version, suite)` combination on demand
-/// `x`, each weighted by its joint probability `S(π)·M(t)`, computed once
-/// through the mechanistic debugging process.
-fn weighted_scores(
-    support: &Support,
-    measure: &ExplicitSuitePopulation,
-    model: &FaultModel,
-    x: DemandId,
-) -> Vec<f64> {
-    let mut out = Vec::with_capacity(support.len() * measure.len());
-    for (v, p) in support {
-        for (t, q) in measure.iter() {
-            out.push(perfect_debug(v, t, model).score(model, x) * p * q);
+/// The mechanistically debugged ensemble in kernel form: every
+/// `(version, suite)` combination's joint probability `S(π)·M(t)`
+/// together with the failure set of the debugged version, computed once
+/// through [`perfect_debug`] instead of once per demand.
+///
+/// Combinations are stored in (support-outer, measure-inner) order — the
+/// enumeration order of the quadruple sums — so any per-demand quantity
+/// accumulated over the ensemble adds its terms in exactly the order the
+/// per-demand definitions do, and agrees with them bit-for-bit. (The
+/// stored weight equals the old per-demand `score·p·q` term on failing
+/// demands because the score factor is exactly `1.0`.)
+#[derive(Debug, Clone)]
+pub struct TestedEnsemble {
+    /// Demand-space size the failure sets are defined over.
+    capacity: usize,
+    /// `(S(π)·M(t), failure set after debugging)` per combination.
+    combos: Vec<(f64, BitSet)>,
+}
+
+impl TestedEnsemble {
+    /// Debugs every `(version, suite)` combination of a support × measure
+    /// pair once and records its weight and post-debug failure set.
+    pub fn new(support: &Support, measure: &ExplicitSuitePopulation, model: &FaultModel) -> Self {
+        let mut combos = Vec::with_capacity(support.len() * measure.len());
+        for (v, p) in support {
+            for (t, q) in measure.iter() {
+                combos.push((p * q, perfect_debug(v, t, model).failure_set(model)));
+            }
+        }
+        TestedEnsemble {
+            capacity: model.space().len(),
+            combos,
         }
     }
-    out
+
+    /// Number of `(version, suite)` combinations.
+    pub fn len(&self) -> usize {
+        self.combos.len()
+    }
+
+    /// Returns `true` if the ensemble holds no combinations.
+    pub fn is_empty(&self) -> bool {
+        self.combos.is_empty()
+    }
+
+    /// The combinations in enumeration order.
+    pub fn combos(&self) -> &[(f64, BitSet)] {
+        &self.combos
+    }
+
+    /// `ζ` on every demand: each combination scatters its weight over its
+    /// failure set (equation (14) with the demand loop hoisted out).
+    /// Agrees with per-demand [`zeta_brute`] bit-for-bit.
+    pub fn zeta_vector(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.capacity];
+        for (w, fs) in &self.combos {
+            for x in fs.iter() {
+                out[x] += w;
+            }
+        }
+        out
+    }
+
+    /// `P(both fail on x)` for every demand under independently drawn
+    /// suites: for each combination pair, the joint weight is scattered
+    /// over the failure-set intersection as a masked block walk (equation
+    /// (15) with the demand loop hoisted out). Agrees with per-demand
+    /// [`joint_on_demand_independent`] bit-for-bit.
+    pub fn joint_vector_independent(&self, other: &TestedEnsemble) -> Vec<f64> {
+        let mut out = vec![0.0; self.capacity];
+        for (wa, fa) in &self.combos {
+            for (wb, fb) in &other.combos {
+                let w = wa * wb;
+                for (bi, (&a, &b)) in fa.blocks().iter().zip(fb.blocks()).enumerate() {
+                    let mut bits = a & b;
+                    let base = bi * 64;
+                    while bits != 0 {
+                        out[base + bits.trailing_zeros() as usize] += w;
+                        bits &= bits - 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The tested scores of every `(version, suite)` combination on demand
+/// `x`, each weighted by its joint probability `S(π)·M(t)`, read off a
+/// precomputed [`TestedEnsemble`].
+fn weighted_scores(ensemble: &TestedEnsemble, x: DemandId) -> Vec<f64> {
+    ensemble
+        .combos()
+        .iter()
+        .map(|(w, fs)| if fs.contains(x.index()) { *w } else { 0.0 })
+        .collect()
 }
 
 /// Brute-force `P(both tested versions fail on x)` when the two versions
 /// are debugged on **independently drawn** suites: the full quadruple sum
 /// `Σ_{π₁} Σ_{t₁} Σ_{π₂} Σ_{t₂} υ(π₁,x,t₁)·υ(π₂,x,t₂)·S_A·M_A·S_B·M_B`
 /// of equation (15), evaluated through the mechanistic debugging process.
-/// (Each `(π, t)` score is debugged once and memoised; the quadruple sum
-/// itself is evaluated in full.)
+/// (Each `(π, t)` combination is debugged once and memoised as a
+/// [`TestedEnsemble`]; the quadruple sum itself is evaluated in full.)
 pub fn joint_on_demand_independent(
     support_a: &Support,
     support_b: &Support,
@@ -51,8 +132,10 @@ pub fn joint_on_demand_independent(
     model: &FaultModel,
     x: DemandId,
 ) -> f64 {
-    let scores_a = weighted_scores(support_a, measure_a, model, x);
-    let scores_b = weighted_scores(support_b, measure_b, model, x);
+    let ens_a = TestedEnsemble::new(support_a, measure_a, model);
+    let ens_b = TestedEnsemble::new(support_b, measure_b, model);
+    let scores_a = weighted_scores(&ens_a, x);
+    let scores_b = weighted_scores(&ens_b, x);
     let mut total = 0.0;
     for &wa in &scores_a {
         if wa == 0.0 {
@@ -93,9 +176,47 @@ pub fn joint_on_demand_shared(
     total
 }
 
+/// `P(both fail on x)` for every demand under a **shared** suite: per
+/// realised suite, each support's post-debug failure mass is scattered
+/// into a dense vector (support order per demand), then the product is
+/// accumulated suite-by-suite — the demand loop of
+/// [`joint_on_demand_shared`] hoisted out, agreeing with it bit-for-bit
+/// while debugging each `(π, t)` combination once instead of once per
+/// demand.
+pub fn joint_vector_shared(
+    support_a: &Support,
+    support_b: &Support,
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+) -> Vec<f64> {
+    let n = model.space().len();
+    let mut out = vec![0.0; n];
+    let mut fail_a = vec![0.0; n];
+    let mut fail_b = vec![0.0; n];
+    for (t, qt) in measure.iter() {
+        fail_a.fill(0.0);
+        fail_b.fill(0.0);
+        for (v, p) in support_a {
+            for x in perfect_debug(v, t, model).failure_set(model).iter() {
+                fail_a[x] += p;
+            }
+        }
+        for (v, p) in support_b {
+            for x in perfect_debug(v, t, model).failure_set(model).iter() {
+                fail_b[x] += p;
+            }
+        }
+        for ((acc, &fa), &fb) in out.iter_mut().zip(&fail_a).zip(&fail_b) {
+            *acc += qt * fa * fb;
+        }
+    }
+    out
+}
+
 /// Brute-force marginal `P(both tested versions fail on X)` for
-/// independently drawn suites: the usage-weighted sum of
-/// [`joint_on_demand_independent`] (equation (22)/(24)).
+/// independently drawn suites: the usage-weighted sum of the joint
+/// vector ([`TestedEnsemble::joint_vector_independent`], equation
+/// (22)/(24)).
 pub fn marginal_independent(
     support_a: &Support,
     support_b: &Support,
@@ -104,13 +225,15 @@ pub fn marginal_independent(
     model: &FaultModel,
     profile: &UsageProfile,
 ) -> f64 {
-    profile.expect(|x| {
-        joint_on_demand_independent(support_a, support_b, measure_a, measure_b, model, x)
-    })
+    let ens_a = TestedEnsemble::new(support_a, measure_a, model);
+    let ens_b = TestedEnsemble::new(support_b, measure_b, model);
+    let joint = ens_a.joint_vector_independent(&ens_b);
+    weighted_total(&joint, profile)
 }
 
 /// Brute-force marginal `P(both tested versions fail on X)` for a shared
-/// suite (equation (23)/(25)).
+/// suite (equation (23)/(25)): the usage-weighted sum of
+/// [`joint_vector_shared`].
 pub fn marginal_shared(
     support_a: &Support,
     support_b: &Support,
@@ -118,7 +241,18 @@ pub fn marginal_shared(
     model: &FaultModel,
     profile: &UsageProfile,
 ) -> f64 {
-    profile.expect(|x| joint_on_demand_shared(support_a, support_b, measure, model, x))
+    let joint = joint_vector_shared(support_a, support_b, measure, model);
+    weighted_total(&joint, profile)
+}
+
+/// `Σ_x values[x] · Q(x)` in ascending demand order — the same per-scalar
+/// arithmetic as `profile.expect(|x| values[x])`.
+pub(crate) fn weighted_total(values: &[f64], profile: &UsageProfile) -> f64 {
+    values
+        .iter()
+        .zip(profile.probabilities())
+        .map(|(&v, &q)| v * q)
+        .sum()
 }
 
 /// Brute-force post-testing difficulty `ζ(x) = Σ_π Σ_t υ(π,x,t)·S(π)·M(t)`
@@ -136,6 +270,19 @@ pub fn zeta_brute(
         }
     }
     total
+}
+
+/// [`zeta_brute`] on every demand through one [`TestedEnsemble`] pass:
+/// each combination is debugged once and scatters its weight over its
+/// failure set. Agrees with per-demand [`zeta_brute`] bit-for-bit and
+/// stays exact on million-demand spaces where the per-demand form would
+/// re-debug every combination per demand.
+pub fn zeta_brute_vector(
+    support: &Support,
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+) -> Vec<f64> {
+    TestedEnsemble::new(support, measure, model).zeta_vector()
 }
 
 #[cfg(test)]
@@ -208,5 +355,88 @@ mod tests {
         let ms = marginal_shared(&support, &support, &m, pop.model(), &q);
         assert!((mi - 0.10).abs() < 1e-12);
         assert!((ms - 0.20).abs() < 1e-12);
+    }
+
+    /// Overlapping regions + a skewed profile: the harder case for the
+    /// packed kernels (cascaded fixes, shared demands across faults).
+    fn overlapping_world() -> (Arc<FaultModel>, BernoulliPopulation, UsageProfile) {
+        use diversim_universe::demand::DemandId;
+        let space = DemandSpace::new(5).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault([DemandId::new(0), DemandId::new(1)])
+                .fault([DemandId::new(1), DemandId::new(2), DemandId::new(3)])
+                .fault([DemandId::new(3), DemandId::new(4)])
+                .build()
+                .unwrap(),
+        );
+        let pop = BernoulliPopulation::new(Arc::clone(&model), vec![0.35, 0.6, 0.15]).unwrap();
+        let q = UsageProfile::from_weights(space, vec![0.4, 0.25, 0.05, 0.1, 0.2]).unwrap();
+        (model, pop, q)
+    }
+
+    #[test]
+    fn zeta_vector_matches_per_demand_bitwise() {
+        let (model, pop, q) = overlapping_world();
+        let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let zv = zeta_brute_vector(&support, &m, &model);
+        assert_eq!(zv.len(), model.space().len());
+        for x in model.space().iter() {
+            // Exact equality: the vector form must reproduce the retired
+            // per-demand enumeration bit for bit, not just within tolerance.
+            assert_eq!(zv[x.index()], zeta_brute(&support, &m, &model, x));
+        }
+    }
+
+    #[test]
+    fn joint_vectors_match_per_demand_bitwise() {
+        let (model, pop, q) = overlapping_world();
+        let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let ens = TestedEnsemble::new(&support, &m, &model);
+        let jv_ind = ens.joint_vector_independent(&ens);
+        let jv_sh = joint_vector_shared(&support, &support, &m, &model);
+        for x in model.space().iter() {
+            assert_eq!(
+                jv_ind[x.index()],
+                joint_on_demand_independent(&support, &support, &m, &m, &model, x)
+            );
+            assert_eq!(
+                jv_sh[x.index()],
+                joint_on_demand_shared(&support, &support, &m, &model, x)
+            );
+        }
+    }
+
+    #[test]
+    fn marginals_equal_usage_weighted_joint_vectors_bitwise() {
+        let (model, pop, q) = overlapping_world();
+        let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        // The marginal entry points must equal the manual expectation over
+        // the retired per-demand joints exactly (same summation order).
+        let mi = marginal_independent(&support, &support, &m, &m, &model, &q);
+        let ms = marginal_shared(&support, &support, &m, &model, &q);
+        let mi_ref =
+            q.expect(|x| joint_on_demand_independent(&support, &support, &m, &m, &model, x));
+        let ms_ref = q.expect(|x| joint_on_demand_shared(&support, &support, &m, &model, x));
+        assert_eq!(mi, mi_ref);
+        assert_eq!(ms, ms_ref);
+    }
+
+    #[test]
+    fn ensemble_exposes_combo_order() {
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let ens = TestedEnsemble::new(&support, &m, pop.model());
+        assert_eq!(ens.len(), support.len() * m.len());
+        assert!(!ens.is_empty());
+        // Support-outer, measure-inner: combo weights tile as p·q blocks.
+        let (w0, _) = &ens.combos()[0];
+        let expected = support[0].1 * m.iter().next().unwrap().1;
+        assert_eq!(*w0, expected);
     }
 }

@@ -104,9 +104,19 @@ pub fn verify_pair(
     let model = pop_a.model();
     let mut checks = Vec::new();
 
+    // The brute sides below all run through the packed [`TestedEnsemble`]
+    // vector kernels: each `(version, suite)` combination is debugged
+    // once and its weight scattered over its failure set, instead of
+    // re-running the debugging process per demand. The scatter order is
+    // arranged so every usage-weighted sum is bit-identical to the
+    // retired per-demand enumeration (zero terms are IEEE no-ops on
+    // these non-negative accumulations).
+    let ens_a = brute::TestedEnsemble::new(support_a, measure, model);
+    let ens_b = brute::TestedEnsemble::new(support_b, measure, model);
+
     // eq14: ζ per demand, aggregated as a usage-weighted sum.
     let zeta_formula = profile.expect(|x| zeta(pop_a, x, measure));
-    let zeta_brute = profile.expect(|x| brute::zeta_brute(support_a, measure, model, x));
+    let zeta_brute = brute::weighted_total(&ens_a.zeta_vector(), profile);
     checks.push(IdentityCheck {
         name: "eq14",
         formula: zeta_formula,
@@ -116,9 +126,7 @@ pub fn verify_pair(
     // eq16/17: independent suites, per-demand, aggregated as the max
     // pointwise error folded into one summed comparison.
     let indep_formula = profile.expect(|x| zeta(pop_a, x, measure) * zeta(pop_b, x, measure));
-    let indep_brute = profile.expect(|x| {
-        brute::joint_on_demand_independent(support_a, support_b, measure, measure, model, x)
-    });
+    let indep_brute = brute::weighted_total(&ens_a.joint_vector_independent(&ens_b), profile);
     checks.push(IdentityCheck {
         name: "eq16/17-per-demand",
         formula: indep_formula,
@@ -129,8 +137,10 @@ pub fn verify_pair(
     let shared_formula = profile.expect(|x| {
         diversim_core::testing_effect::joint_shared_suite(pop_a, pop_b, measure, x).total()
     });
-    let shared_brute =
-        profile.expect(|x| brute::joint_on_demand_shared(support_a, support_b, measure, model, x));
+    let shared_brute = brute::weighted_total(
+        &brute::joint_vector_shared(support_a, support_b, measure, model),
+        profile,
+    );
     checks.push(IdentityCheck {
         name: "eq20/21-per-demand",
         formula: shared_formula,

@@ -8,41 +8,67 @@
 //! (fault model × usage profile). [`Prepared`] hoists that work out of
 //! the replication hot loop:
 //!
-//! * the demand marginals `Q(x)` as one flat slice (the profile's own
-//!   probability vector, indexed directly — no per-demand id
-//!   round-trips);
+//! * the demand marginals `Q(x)` both as the profile's own flat slice
+//!   and in the kernel's block-major [`BlockWeights`] layout (one
+//!   64-entry chunk per bit-set block, so masked masses walk aligned
+//!   `(u64, [f64; 64])` pairs);
 //! * the usage mass of every fault's failure region (`Σ_{x ∈ region(f)}
 //!   Q(x)`), the "fault-region × profile weights" table;
-//! * whether the failure regions are pairwise disjoint — in that regime
-//!   (which includes every singleton world, the paper's abstract score
-//!   model) a version's pfd is exactly the sum of its faults' region
-//!   masses and the pair pfd the sum over the *shared* faults, so no
-//!   failure-set bit set is ever materialised.
+//! * an [`EvalStrategy`] chosen once per world from the region
+//!   structure: pairwise-disjoint regions (which includes every
+//!   singleton world, the paper's abstract score model) decompose pfds
+//!   fault-by-fault with no set materialised at all; worlds whose total
+//!   region footprint is tiny relative to the space union explicit index
+//!   lists instead of scanning packed blocks; everything else runs the
+//!   packed weighted-popcount kernel.
+//!
+//! Whatever the strategy, every mass is accumulated in ascending demand
+//! order into a single `f64`, so the three paths agree bit-for-bit (see
+//! [`BitSet::weighted_mass`](diversim_universe::bitset::BitSet::weighted_mass)).
 //!
 //! The cache is built once per scenario and shared (via `Arc`) by every
 //! replication on every worker thread.
 
 use std::sync::Arc;
 
+use diversim_universe::bitset::BlockWeights;
 use diversim_universe::fault::FaultModel;
 use diversim_universe::profile::UsageProfile;
 use diversim_universe::version::Version;
+
+/// How [`Prepared`] evaluates version/pair pfds, chosen at
+/// [`Prepared::new`] time from the world's region structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// Regions are pairwise disjoint: pfds decompose fault-by-fault over
+    /// the precomputed region masses.
+    Disjoint,
+    /// Overlapping regions whose total size is at most one demand per
+    /// bit-set block (`Σ region sizes · 64 ≤ demands`): failure sets are
+    /// merged as sorted index lists, cheaper than touching every packed
+    /// block of a huge, almost-empty space.
+    SparseUnion,
+    /// General case: failure sets are materialised as packed bit sets
+    /// and masses come from the block-major weighted-popcount kernel.
+    DenseBlocks,
+}
 
 /// Precomputed per-world evaluation tables (see the module docs).
 ///
 /// The demand marginals live on the held [`UsageProfile`] itself
 /// ([`UsageProfile::probabilities`] is already a flat `&[f64]`); what
-/// the cache adds is the per-fault region masses and the disjointness
-/// flag.
+/// the cache adds is the block-major weight layout, the per-fault
+/// region masses and the evaluation strategy.
 #[derive(Debug)]
 pub struct Prepared {
     model: Arc<FaultModel>,
     profile: UsageProfile,
     /// `fault_mass[f] = Σ_{x ∈ region(f)} Q(x)`, indexed by fault.
     fault_mass: Box<[f64]>,
-    /// `true` iff no demand is covered by more than one fault, so failure
-    /// regions never overlap and pfds decompose fault-by-fault.
-    disjoint: bool,
+    /// `Q(·)` in block-major kernel layout, mirroring
+    /// [`UsageProfile::probabilities`].
+    weights: BlockWeights,
+    strategy: EvalStrategy,
 }
 
 impl Prepared {
@@ -62,11 +88,26 @@ impl Prepared {
             })
             .collect();
         let disjoint = model.space().iter().all(|x| model.faults_at(x).len() <= 1);
+        let strategy = if disjoint {
+            EvalStrategy::Disjoint
+        } else {
+            let total_region: usize = model
+                .fault_ids()
+                .map(|f| model.fault(f).region_size())
+                .sum();
+            if total_region * 64 <= model.space().len() {
+                EvalStrategy::SparseUnion
+            } else {
+                EvalStrategy::DenseBlocks
+            }
+        };
+        let weights = BlockWeights::new(weights);
         Prepared {
             model,
             profile,
             fault_mass,
-            disjoint,
+            weights,
+            strategy,
         }
     }
 
@@ -80,22 +121,51 @@ impl Prepared {
         &self.profile
     }
 
+    /// `Q(·)` in the kernel's block-major layout.
+    pub fn weights(&self) -> &BlockWeights {
+        &self.weights
+    }
+
+    /// The evaluation strategy chosen for this world.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
+    }
+
     /// Whether the fault-by-fault fast path is active.
     pub fn disjoint_regions(&self) -> bool {
-        self.disjoint
+        self.strategy == EvalStrategy::Disjoint
+    }
+
+    /// The version's failure demands as one sorted, deduplicated index
+    /// list (the sparse-union analogue of
+    /// [`Version::failure_set`]).
+    fn sparse_failure_indices(&self, v: &Version) -> Vec<u32> {
+        let mut idx: Vec<u32> = Vec::new();
+        for f in v.faults() {
+            for &x in self.model.fault(f).region() {
+                idx.push(x.raw());
+            }
+        }
+        idx.sort_unstable();
+        idx.dedup();
+        idx
     }
 
     /// Exact pfd of one version: `Σ_x υ(π, x) Q(x)`.
     ///
-    /// Equals [`Version::pfd`] but reuses the precomputed tables; with
-    /// disjoint regions it runs in `O(version faults)` without building a
-    /// failure set.
+    /// Equals [`Version::pfd`] bit-for-bit but reuses the precomputed
+    /// tables; with disjoint regions it runs in `O(version faults)`
+    /// without building a failure set, and on sparse-union worlds in
+    /// `O(Σ region sizes · log)` independent of the space size.
     pub fn version_pfd(&self, v: &Version) -> f64 {
-        if self.disjoint {
-            v.faults().map(|f| self.fault_mass[f.index()]).sum()
-        } else {
-            let weights = self.profile.probabilities();
-            v.failure_set(&self.model).iter().map(|i| weights[i]).sum()
+        match self.strategy {
+            EvalStrategy::Disjoint => v.faults().map(|f| self.fault_mass[f.index()]).sum(),
+            EvalStrategy::SparseUnion => self
+                .sparse_failure_indices(v)
+                .iter()
+                .map(|&i| self.weights.weight(i as usize))
+                .sum(),
+            EvalStrategy::DenseBlocks => self.weights.mass(&v.failure_set(&self.model)),
         }
     }
 
@@ -103,19 +173,38 @@ impl Prepared {
     /// `Σ_x υ(π₁,x) υ(π₂,x) Q(x)`.
     ///
     /// With disjoint regions the pair fails exactly on the regions of the
-    /// *shared* faults, so the sum runs over the fault-set intersection.
+    /// *shared* faults, so the sum runs over the fault-set intersection;
+    /// otherwise the shared failure mass is a masked weighted dot product
+    /// (or a sorted-list merge on sparse-union worlds).
     pub fn pair_pfd(&self, a: &Version, b: &Version) -> f64 {
-        if self.disjoint {
-            let other = b.fault_set();
-            a.faults()
-                .filter(|f| other.contains(f.index()))
-                .map(|f| self.fault_mass[f.index()])
-                .sum()
-        } else {
-            let weights = self.profile.probabilities();
-            let mut shared = a.failure_set(&self.model);
-            shared.intersect_with(&b.failure_set(&self.model));
-            shared.iter().map(|i| weights[i]).sum()
+        match self.strategy {
+            EvalStrategy::Disjoint => {
+                let other = b.fault_set();
+                a.faults()
+                    .filter(|f| other.contains(f.index()))
+                    .map(|f| self.fault_mass[f.index()])
+                    .sum()
+            }
+            EvalStrategy::SparseUnion => {
+                let ia = self.sparse_failure_indices(a);
+                let ib = self.sparse_failure_indices(b);
+                let (mut pa, mut pb, mut acc) = (0, 0, 0.0);
+                while pa < ia.len() && pb < ib.len() {
+                    match ia[pa].cmp(&ib[pb]) {
+                        std::cmp::Ordering::Less => pa += 1,
+                        std::cmp::Ordering::Greater => pb += 1,
+                        std::cmp::Ordering::Equal => {
+                            acc += self.weights.weight(ia[pa] as usize);
+                            pa += 1;
+                            pb += 1;
+                        }
+                    }
+                }
+                acc
+            }
+            EvalStrategy::DenseBlocks => self
+                .weights
+                .intersection_mass(&a.failure_set(&self.model), &b.failure_set(&self.model)),
         }
     }
 }
@@ -203,6 +292,59 @@ mod tests {
             let w = Version::from_faults(&model, [f(1)]);
             assert!((p.pair_pfd(&v, &w) - pair_pfd(&v, &w, &model, &q)).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn sparse_union_strategy_on_big_mostly_empty_spaces() {
+        // 2048-demand space (32 blocks), two overlapping 3-demand regions:
+        // total footprint 6 ≤ 2048 / 64, so the sorted-list path engages.
+        let space = DemandSpace::new(2048).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault([d(100), d(700), d(1500)])
+                .fault([d(700), d(1500), d(2000)])
+                .build()
+                .unwrap(),
+        );
+        let q = UsageProfile::zipf(space, 0.4).unwrap();
+        let p = Prepared::new(Arc::clone(&model), q.clone());
+        assert_eq!(p.strategy(), EvalStrategy::SparseUnion);
+        assert!(!p.disjoint_regions());
+        let a = Version::from_faults(&model, [f(0)]);
+        let b = Version::from_faults(&model, [f(1)]);
+        let both = Version::from_faults(&model, [f(0), f(1)]);
+        assert_eq!(p.version_pfd(&both), both.pfd(&model, &q));
+        assert_eq!(p.pair_pfd(&a, &b), pair_pfd(&a, &b, &model, &q));
+        // The same world forced through the dense kernel must agree to
+        // the bit: both paths sum in ascending demand order.
+        let dense = Prepared {
+            model: Arc::clone(p.model()),
+            profile: p.profile().clone(),
+            fault_mass: p.fault_mass.clone(),
+            weights: p.weights.clone(),
+            strategy: EvalStrategy::DenseBlocks,
+        };
+        assert_eq!(dense.version_pfd(&both), p.version_pfd(&both));
+        assert_eq!(dense.pair_pfd(&a, &b), p.pair_pfd(&a, &b));
+    }
+
+    #[test]
+    fn dense_strategy_when_regions_are_broad() {
+        let space = DemandSpace::new(64).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault((0..40).map(d).collect::<Vec<_>>())
+                .fault((20..60).map(d).collect::<Vec<_>>())
+                .build()
+                .unwrap(),
+        );
+        let q = UsageProfile::uniform(space);
+        let p = Prepared::new(Arc::clone(&model), q.clone());
+        assert_eq!(p.strategy(), EvalStrategy::DenseBlocks);
+        let a = Version::from_faults(&model, [f(0)]);
+        let b = Version::from_faults(&model, [f(1)]);
+        assert_eq!(p.version_pfd(&a), a.pfd(&model, &q));
+        assert_eq!(p.pair_pfd(&a, &b), pair_pfd(&a, &b, &model, &q));
     }
 
     #[test]

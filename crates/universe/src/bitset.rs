@@ -242,6 +242,259 @@ impl BitSet {
             current: self.blocks.first().copied().unwrap_or(0),
         }
     }
+
+    /// The raw 64-bit blocks, least-significant value first — the packed
+    /// representation the weighted-popcount kernel iterates over. Bits at
+    /// or beyond [`capacity`](Self::capacity) are always zero.
+    pub fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Weighted popcount `Σ_{i ∈ self} weights[i]`: the mass of the set
+    /// under a weight vector indexed by value.
+    ///
+    /// The sum runs over one accumulator in ascending value order (block
+    /// by block, least-significant bit first), so the result is
+    /// bit-identical to the naive `for i in 0..capacity { if contains(i)
+    /// { acc += weights[i] } }` loop — zero terms are IEEE no-ops for the
+    /// non-negative weights used throughout — while skipping empty blocks
+    /// entirely. Every kernel mass in the workspace keeps this fixed
+    /// summation order; see also [`BlockWeights`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the capacity.
+    pub fn weighted_mass(&self, weights: &[f64]) -> f64 {
+        assert_eq!(
+            weights.len(),
+            self.capacity,
+            "weight vector length must equal capacity"
+        );
+        let mut acc = 0.0;
+        for (bi, &block) in self.blocks.iter().enumerate() {
+            let mut bits = block;
+            if bits == 0 {
+                continue;
+            }
+            let base = bi * BITS;
+            while bits != 0 {
+                acc += weights[base + bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+            }
+        }
+        acc
+    }
+
+    /// Weighted intersection mass `Σ_{i ∈ self ∩ other} weights[i]`,
+    /// without materialising the intersection. Same fixed summation order
+    /// as [`weighted_mass`](Self::weighted_mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ or `weights.len()` differs from the
+    /// capacity.
+    pub fn weighted_intersection(&self, other: &Self, weights: &[f64]) -> f64 {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in weighted_intersection"
+        );
+        self.masked_mass(other, |a, b| a & b, weights)
+    }
+
+    /// Weighted union mass `Σ_{i ∈ self ∪ other} weights[i]`, without
+    /// materialising the union. Same fixed summation order as
+    /// [`weighted_mass`](Self::weighted_mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ or `weights.len()` differs from the
+    /// capacity.
+    pub fn weighted_union(&self, other: &Self, weights: &[f64]) -> f64 {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in weighted_union"
+        );
+        self.masked_mass(other, |a, b| a | b, weights)
+    }
+
+    /// Weighted difference mass `Σ_{i ∈ self ∖ other} weights[i]`, without
+    /// materialising the difference. Same fixed summation order as
+    /// [`weighted_mass`](Self::weighted_mass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ or `weights.len()` differs from the
+    /// capacity.
+    pub fn weighted_difference(&self, other: &Self, weights: &[f64]) -> f64 {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in weighted_difference"
+        );
+        self.masked_mass(other, |a, b| a & !b, weights)
+    }
+
+    /// Shared block-aligned inner loop of the weighted masses: combine the
+    /// two block streams with `combine`, then accumulate the weights of
+    /// the set bits in ascending order.
+    fn masked_mass(&self, other: &Self, combine: impl Fn(u64, u64) -> u64, weights: &[f64]) -> f64 {
+        assert_eq!(
+            weights.len(),
+            self.capacity,
+            "weight vector length must equal capacity"
+        );
+        let mut acc = 0.0;
+        for (bi, (&a, &b)) in self.blocks.iter().zip(&other.blocks).enumerate() {
+            let mut bits = combine(a, b);
+            if bits == 0 {
+                continue;
+            }
+            let base = bi * BITS;
+            while bits != 0 {
+                acc += weights[base + bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+            }
+        }
+        acc
+    }
+}
+
+/// A weight vector in block-major layout: one 64-entry chunk of `f64`
+/// weights per [`BitSet`] block, zero-padded past the capacity.
+///
+/// This is the kernel-side mirror of a demand-indexed weight vector such
+/// as `Q(·)`: because every chunk is exactly [`BitSet`]-block sized, the
+/// masked masses walk `(u64 block, &[f64; 64] chunk)` pairs with no
+/// bounds arithmetic in the inner loop. All masses use the same fixed
+/// ascending summation order as [`BitSet::weighted_mass`], so the two
+/// APIs are interchangeable bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use diversim_universe::bitset::{BitSet, BlockWeights};
+///
+/// let w = BlockWeights::new(&[0.1, 0.2, 0.3, 0.4]);
+/// let s = BitSet::from_iter_with_capacity(4, [1, 3]);
+/// assert!((w.mass(&s) - 0.6).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockWeights {
+    /// Block-major storage: `blocks * 64` entries, tail zero-padded.
+    padded: Box<[f64]>,
+    capacity: usize,
+}
+
+impl BlockWeights {
+    /// Copies `weights` into block-major (zero-padded) layout.
+    pub fn new(weights: &[f64]) -> Self {
+        let blocks = weights.len().div_ceil(BITS);
+        let mut padded = vec![0.0; blocks * BITS];
+        padded[..weights.len()].copy_from_slice(weights);
+        Self {
+            padded: padded.into(),
+            capacity: weights.len(),
+        }
+    }
+
+    /// Number of weights (the matching [`BitSet`] capacity).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The weights without the block padding.
+    pub fn weights(&self) -> &[f64] {
+        &self.padded[..self.capacity]
+    }
+
+    /// The weight of one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn weight(&self, i: usize) -> f64 {
+        assert!(i < self.capacity, "weight index {i} out of capacity");
+        self.padded[i]
+    }
+
+    /// `Σ_{i ∈ set} weight(i)`; equals [`BitSet::weighted_mass`] over
+    /// [`weights`](Self::weights) bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set's capacity differs from this layout's capacity.
+    pub fn mass(&self, set: &BitSet) -> f64 {
+        assert_eq!(
+            set.capacity, self.capacity,
+            "capacity mismatch in BlockWeights::mass"
+        );
+        let mut acc = 0.0;
+        for (&block, chunk) in set.blocks.iter().zip(self.padded.chunks_exact(BITS)) {
+            let mut bits = block;
+            while bits != 0 {
+                acc += chunk[bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+            }
+        }
+        acc
+    }
+
+    /// `Σ_{i ∈ a ∩ b} weight(i)`; equals [`BitSet::weighted_intersection`]
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set's capacity differs from this layout's
+    /// capacity.
+    pub fn intersection_mass(&self, a: &BitSet, b: &BitSet) -> f64 {
+        self.masked_mass(a, b, |x, y| x & y)
+    }
+
+    /// `Σ_{i ∈ a ∪ b} weight(i)`; equals [`BitSet::weighted_union`]
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set's capacity differs from this layout's
+    /// capacity.
+    pub fn union_mass(&self, a: &BitSet, b: &BitSet) -> f64 {
+        self.masked_mass(a, b, |x, y| x | y)
+    }
+
+    /// `Σ_{i ∈ a ∖ b} weight(i)`; equals [`BitSet::weighted_difference`]
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set's capacity differs from this layout's
+    /// capacity.
+    pub fn difference_mass(&self, a: &BitSet, b: &BitSet) -> f64 {
+        self.masked_mass(a, b, |x, y| x & !y)
+    }
+
+    fn masked_mass(&self, a: &BitSet, b: &BitSet, combine: impl Fn(u64, u64) -> u64) -> f64 {
+        assert_eq!(
+            a.capacity, self.capacity,
+            "capacity mismatch in BlockWeights masked mass"
+        );
+        assert_eq!(
+            b.capacity, self.capacity,
+            "capacity mismatch in BlockWeights masked mass"
+        );
+        let mut acc = 0.0;
+        for ((&x, &y), chunk) in a
+            .blocks
+            .iter()
+            .zip(&b.blocks)
+            .zip(self.padded.chunks_exact(BITS))
+        {
+            let mut bits = combine(x, y);
+            while bits != 0 {
+                acc += chunk[bits.trailing_zeros() as usize];
+                bits &= bits - 1;
+            }
+        }
+        acc
+    }
 }
 
 /// Ascending iterator over a [`BitSet`], created by [`BitSet::iter`].
@@ -396,5 +649,116 @@ mod tests {
             total += v;
         }
         assert_eq!(total, 6);
+    }
+
+    /// Deterministic weights so the kernel tests don't need an RNG:
+    /// `w[i] = (i + 1) / n`.
+    fn ramp_weights(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i + 1) as f64 / n as f64).collect()
+    }
+
+    fn naive_mass(s: &BitSet, w: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, &wi) in w.iter().enumerate().take(s.capacity()) {
+            if s.contains(i) {
+                acc += wi;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn blocks_expose_packed_representation() {
+        let s = BitSet::from_iter_with_capacity(130, [0, 64, 129]);
+        assert_eq!(s.blocks().len(), 3);
+        assert_eq!(s.blocks()[0], 1);
+        assert_eq!(s.blocks()[1], 1);
+        assert_eq!(s.blocks()[2], 2);
+    }
+
+    #[test]
+    fn weighted_mass_matches_naive_sum_bitwise() {
+        for cap in [1, 63, 64, 65, 127, 128, 129, 200] {
+            let w = ramp_weights(cap);
+            let s = BitSet::from_iter_with_capacity(cap, (0..cap).filter(|i| i % 3 == 0));
+            assert_eq!(s.weighted_mass(&w), naive_mass(&s, &w), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn weighted_mass_of_empty_and_full() {
+        let w = ramp_weights(100);
+        assert_eq!(BitSet::new(100).weighted_mass(&w), 0.0);
+        let full = BitSet::full(100);
+        assert_eq!(full.weighted_mass(&w), naive_mass(&full, &w));
+    }
+
+    #[test]
+    fn weighted_set_operations_match_materialised_sets() {
+        let cap = 130;
+        let w = ramp_weights(cap);
+        let a = BitSet::from_iter_with_capacity(cap, (0..cap).filter(|i| i % 2 == 0));
+        let b = BitSet::from_iter_with_capacity(cap, (0..cap).filter(|i| i % 3 == 0));
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        let mut uni = a.clone();
+        uni.union_with(&b);
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(a.weighted_intersection(&b, &w), inter.weighted_mass(&w));
+        assert_eq!(a.weighted_union(&b, &w), uni.weighted_mass(&w));
+        assert_eq!(a.weighted_difference(&b, &w), diff.weighted_mass(&w));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight vector length")]
+    fn weighted_mass_rejects_wrong_length() {
+        BitSet::new(10).weighted_mass(&[0.0; 9]);
+    }
+
+    #[test]
+    fn block_weights_pad_to_block_multiples() {
+        let w = BlockWeights::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.weights(), &[1.0, 2.0, 3.0]);
+        assert_eq!(w.weight(2), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn block_weights_weight_checks_capacity() {
+        BlockWeights::new(&[1.0, 2.0]).weight(2);
+    }
+
+    #[test]
+    fn block_weights_masses_match_bitset_kernels_bitwise() {
+        for cap in [1, 63, 64, 65, 129, 300] {
+            let raw = ramp_weights(cap);
+            let w = BlockWeights::new(&raw);
+            let a = BitSet::from_iter_with_capacity(cap, (0..cap).filter(|i| i % 5 != 1));
+            let b = BitSet::from_iter_with_capacity(cap, (0..cap).filter(|i| i % 7 != 2));
+            assert_eq!(w.mass(&a), a.weighted_mass(&raw), "cap {cap}");
+            assert_eq!(
+                w.intersection_mass(&a, &b),
+                a.weighted_intersection(&b, &raw),
+                "cap {cap}"
+            );
+            assert_eq!(
+                w.union_mass(&a, &b),
+                a.weighted_union(&b, &raw),
+                "cap {cap}"
+            );
+            assert_eq!(
+                w.difference_mass(&a, &b),
+                a.weighted_difference(&b, &raw),
+                "cap {cap}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn block_weights_mass_checks_capacity() {
+        BlockWeights::new(&[1.0, 2.0]).mass(&BitSet::new(3));
     }
 }

@@ -85,6 +85,131 @@ impl Fault {
     }
 }
 
+/// A fault's failure region in its kernel (evaluation) form: either an
+/// explicit sorted index list or a packed bit set, chosen per fault so
+/// that neither few huge regions nor many tiny ones blow up memory.
+///
+/// A dense [`BitSet`] costs one bit per demand of the *space* regardless
+/// of the region size; a sorted `u32` list costs 4 bytes per demand of
+/// the *region*. The crossover rule is `region_size · 64 ≤ capacity`:
+/// below it, the list is smaller than the bit vector's block array and
+/// membership/iteration touch only the region's own entries; above it,
+/// packed blocks win on both size and block-aligned set operations.
+///
+/// Both representations expose the same demands in the same ascending
+/// order, so every kernel mass computed through a `RegionSet` is
+/// bit-identical whichever representation was chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum RegionSet {
+    /// Sorted, deduplicated demand indices (few-demand regions).
+    Sparse(Box<[u32]>),
+    /// Packed bit set over the whole demand space (broad regions).
+    Dense(BitSet),
+}
+
+impl RegionSet {
+    /// Builds the adaptively chosen representation from a sorted,
+    /// deduplicated region over a space of `capacity` demands.
+    fn from_region(capacity: usize, region: &[DemandId]) -> Self {
+        if region.len() * 64 <= capacity {
+            RegionSet::Sparse(region.iter().map(|x| x.index() as u32).collect())
+        } else {
+            RegionSet::Dense(BitSet::from_iter_with_capacity(
+                capacity,
+                region.iter().map(|x| x.index()),
+            ))
+        }
+    }
+
+    /// Returns `true` if the explicit index-list representation is in use.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, RegionSet::Sparse(_))
+    }
+
+    /// Number of demands in the region.
+    pub fn len(&self) -> usize {
+        match self {
+            RegionSet::Sparse(idx) => idx.len(),
+            RegionSet::Dense(set) => set.len(),
+        }
+    }
+
+    /// Returns `true` if the region is empty (never the case inside a
+    /// validated [`FaultModel`]).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            RegionSet::Sparse(idx) => idx.is_empty(),
+            RegionSet::Dense(set) => set.is_empty(),
+        }
+    }
+
+    /// Membership test on a demand index.
+    pub fn contains(&self, i: usize) -> bool {
+        match self {
+            RegionSet::Sparse(idx) => idx.binary_search(&(i as u32)).is_ok(),
+            RegionSet::Dense(set) => set.contains(i),
+        }
+    }
+
+    /// Iterates the region's demand indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        // Either side yields ascending indices; chain through an enum of
+        // iterators without boxing.
+        let (sparse, dense) = match self {
+            RegionSet::Sparse(idx) => (Some(idx.iter().map(|&i| i as usize)), None),
+            RegionSet::Dense(set) => (None, Some(set.iter())),
+        };
+        sparse
+            .into_iter()
+            .flatten()
+            .chain(dense.into_iter().flatten())
+    }
+
+    /// Returns `true` if the region shares at least one demand with the
+    /// bit set (`region ∩ set ≠ ∅`).
+    pub fn intersects_set(&self, set: &BitSet) -> bool {
+        match self {
+            RegionSet::Sparse(idx) => idx.iter().any(|&i| set.contains(i as usize)),
+            RegionSet::Dense(region) => region.intersects(set),
+        }
+    }
+
+    /// Unions the region into a demand bit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s capacity is smaller than the region's demands
+    /// (callers size `out` to the demand space).
+    pub fn union_into(&self, out: &mut BitSet) {
+        match self {
+            RegionSet::Sparse(idx) => {
+                for &i in idx.iter() {
+                    out.insert(i as usize);
+                }
+            }
+            RegionSet::Dense(region) => out.union_with(region),
+        }
+    }
+
+    /// The region's mass `Σ_{x ∈ region} weights[x]` under a demand-
+    /// indexed weight vector, summed in ascending demand order (the same
+    /// fixed order as [`BitSet::weighted_mass`], so the value does not
+    /// depend on which representation was chosen).
+    pub fn weighted_mass(&self, weights: &[f64]) -> f64 {
+        match self {
+            RegionSet::Sparse(idx) => {
+                let mut acc = 0.0;
+                for &i in idx.iter() {
+                    acc += weights[i as usize];
+                }
+                acc
+            }
+            RegionSet::Dense(region) => region.weighted_mass(weights),
+        }
+    }
+}
+
 /// The complete set of potential faults over a demand space, with the
 /// inverted index `O_x` (faults per demand).
 ///
@@ -107,10 +232,17 @@ impl Fault {
 pub struct FaultModel {
     space: DemandSpace,
     faults: Vec<Fault>,
-    /// `by_demand[x]` = the paper's `O_x`: faults whose region contains `x`.
-    by_demand: Vec<Vec<FaultId>>,
-    /// `region_sets[f]` = the fault's region as a bit set over demands.
-    region_sets: Vec<BitSet>,
+    /// CSR offsets into `by_demand_faults`: the paper's `O_x` for demand
+    /// `x` is `by_demand_faults[by_demand_offsets[x] ..
+    /// by_demand_offsets[x + 1]]`. One flat allocation instead of one
+    /// `Vec` per demand, so million-demand spaces stay cheap to build
+    /// and hold.
+    by_demand_offsets: Vec<usize>,
+    /// CSR payload of the inverted index, ascending fault id per demand.
+    by_demand_faults: Vec<FaultId>,
+    /// `region_sets[f]` = the fault's region in kernel form
+    /// (sparse/dense, chosen per fault).
+    region_sets: Vec<RegionSet>,
 }
 
 impl FaultModel {
@@ -122,24 +254,41 @@ impl FaultModel {
     /// demand, or [`UniverseError::DemandOutOfRange`] if a region demand
     /// lies outside the space.
     pub fn new(space: DemandSpace, faults: Vec<Fault>) -> Result<Self, UniverseError> {
-        let mut by_demand: Vec<Vec<FaultId>> = vec![Vec::new(); space.len()];
-        let mut region_sets: Vec<BitSet> = Vec::with_capacity(faults.len());
+        let mut region_sets: Vec<RegionSet> = Vec::with_capacity(faults.len());
+        // Counting pass for the CSR index (validates as it goes), then a
+        // fill pass in ascending fault order so every `O_x` slice comes
+        // out sorted by fault id.
+        let mut counts = vec![0usize; space.len()];
         for (i, fault) in faults.iter().enumerate() {
             if fault.region().is_empty() {
                 return Err(UniverseError::EmptyFailureRegion { fault: i });
             }
-            let mut set = BitSet::new(space.len());
             for &x in fault.region() {
                 space.check(x)?;
-                by_demand[x.index()].push(FaultId::new(i as u32));
-                set.insert(x.index());
+                counts[x.index()] += 1;
             }
-            region_sets.push(set);
+            region_sets.push(RegionSet::from_region(space.len(), fault.region()));
+        }
+        let mut by_demand_offsets = Vec::with_capacity(space.len() + 1);
+        let mut total = 0usize;
+        by_demand_offsets.push(0);
+        for &c in &counts {
+            total += c;
+            by_demand_offsets.push(total);
+        }
+        let mut by_demand_faults = vec![FaultId::new(0); total];
+        let mut next = by_demand_offsets.clone();
+        for (i, fault) in faults.iter().enumerate() {
+            for &x in fault.region() {
+                by_demand_faults[next[x.index()]] = FaultId::new(i as u32);
+                next[x.index()] += 1;
+            }
         }
         Ok(FaultModel {
             space,
             faults,
-            by_demand,
+            by_demand_offsets,
+            by_demand_faults,
             region_sets,
         })
     }
@@ -190,22 +339,24 @@ impl FaultModel {
     ///
     /// Panics if `x` is outside the demand space.
     pub fn faults_at(&self, x: DemandId) -> &[FaultId] {
-        &self.by_demand[x.index()]
+        &self.by_demand_faults
+            [self.by_demand_offsets[x.index()]..self.by_demand_offsets[x.index() + 1]]
     }
 
-    /// The fault's failure region as a bit set over demand indices.
+    /// The fault's failure region in kernel form (sparse index list or
+    /// packed bit set, chosen per fault — see [`RegionSet`]).
     ///
     /// # Panics
     ///
     /// Panics if `f` is out of range.
-    pub fn region_set(&self, f: FaultId) -> &BitSet {
+    pub fn region_set(&self, f: FaultId) -> &RegionSet {
         &self.region_sets[f.index()]
     }
 
     /// Returns `true` if fault `f` is triggered by at least one demand of
     /// `suite_demands` (given as a bit set over demand indices).
     pub fn triggered_by(&self, f: FaultId, suite_demands: &BitSet) -> bool {
-        self.region_sets[f.index()].intersects(suite_demands)
+        self.region_sets[f.index()].intersects_set(suite_demands)
     }
 
     /// The paper's `D_X` for a set of faults: the union of their failure
@@ -214,7 +365,7 @@ impl FaultModel {
     pub fn affected_demands<I: IntoIterator<Item = FaultId>>(&self, faults: I) -> BitSet {
         let mut out = BitSet::new(self.space.len());
         for f in faults {
-            out.union_with(&self.region_sets[f.index()]);
+            self.region_sets[f.index()].union_into(&mut out);
         }
         out
     }
@@ -422,5 +573,56 @@ mod tests {
         assert_eq!(m.max_region_size(), 0);
         assert!(m.is_singleton(), "vacuously singleton");
         assert!(m.faults_at(d(0)).is_empty());
+    }
+
+    #[test]
+    fn region_representation_follows_the_crossover_rule() {
+        // 200-demand space: 3 blocks of bit set, so regions of ≤ 3 demands
+        // go sparse and broader ones go dense.
+        let m = FaultModel::new(
+            space(200),
+            vec![
+                Fault::new([d(5), d(150)]),
+                Fault::new((0..10).map(d).collect::<Vec<_>>()),
+            ],
+        )
+        .unwrap();
+        assert!(m.region_set(FaultId::new(0)).is_sparse());
+        assert!(!m.region_set(FaultId::new(1)).is_sparse());
+        // Tiny spaces always pack densely: 1 demand in a 4-demand space
+        // already exceeds capacity / 64.
+        let tiny = FaultModel::new(space(4), vec![Fault::new([d(1)])]).unwrap();
+        assert!(!tiny.region_set(FaultId::new(0)).is_sparse());
+    }
+
+    #[test]
+    fn region_set_semantics_agree_across_representations() {
+        // Same 3-demand region, represented sparsely in a 400-demand
+        // space (3·64 ≤ 400) and densely in a 100-demand space (3·64 >
+        // 100).
+        let region: Vec<DemandId> = [3u32, 70, 99].iter().map(|&i| d(i)).collect();
+        let sparse = RegionSet::from_region(400, &region);
+        let dense = RegionSet::from_region(100, &region);
+        assert!(sparse.is_sparse());
+        assert!(!dense.is_sparse());
+        for r in [&sparse, &dense] {
+            assert_eq!(r.len(), 3);
+            assert!(!r.is_empty());
+            assert!(r.contains(70));
+            assert!(!r.contains(71));
+            assert_eq!(r.iter().collect::<Vec<_>>(), vec![3, 70, 99]);
+        }
+        let weights: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        assert_eq!(sparse.weighted_mass(&weights), 3.0 + 70.0 + 99.0);
+        assert_eq!(
+            dense.weighted_mass(&weights[..100]),
+            sparse.weighted_mass(&weights)
+        );
+        let mut hit = BitSet::new(400);
+        hit.insert(70);
+        assert!(sparse.intersects_set(&hit));
+        let mut out = BitSet::new(400);
+        sparse.union_into(&mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![3, 70, 99]);
     }
 }

@@ -56,11 +56,11 @@ pub mod profile;
 pub mod universe;
 pub mod version;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, BlockWeights};
 pub use common_cause::CommonCauseEvent;
 pub use demand::{DemandId, DemandSpace};
 pub use error::UniverseError;
-pub use fault::{Fault, FaultId, FaultModel, FaultModelBuilder};
+pub use fault::{Fault, FaultId, FaultModel, FaultModelBuilder, RegionSet};
 pub use generator::{mirrored_pair, ProfileKind, PropensityKind, RegionSize, UniverseSpec};
 pub use population::{BernoulliPopulation, ExplicitPopulation, Population};
 pub use profile::UsageProfile;

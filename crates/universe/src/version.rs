@@ -129,7 +129,7 @@ impl Version {
     pub fn failure_set(&self, model: &FaultModel) -> BitSet {
         let mut out = BitSet::new(model.space().len());
         for f in self.faults() {
-            out.union_with(model.region_set(f));
+            model.region_set(f).union_into(&mut out);
         }
         out
     }

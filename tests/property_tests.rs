@@ -83,6 +83,116 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Packed weighted-popcount kernel primitives.
+// ---------------------------------------------------------------------
+
+/// Capacities straddling the 64-bit block boundaries (±1 around
+/// multiples of 64) plus degenerate single-block sizes, where masking
+/// bugs in the packed kernels would hide.
+fn boundary_capacity() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(63),
+        Just(64),
+        Just(65),
+        Just(127),
+        Just(128),
+        Just(129),
+        Just(191),
+        Just(192),
+        Just(193),
+    ]
+}
+
+/// A capacity, a member list, and a full weight vector for that capacity.
+fn set_and_weights() -> impl Strategy<Value = (usize, Vec<usize>, Vec<f64>)> {
+    boundary_capacity().prop_flat_map(|cap| {
+        (
+            Just(cap),
+            proptest::collection::vec(0..cap, 0..=cap.min(80)),
+            proptest::collection::vec(0.0f64..1.0, cap),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn weighted_mass_equals_naive_ascending_sum((cap, idx, w) in set_and_weights()) {
+        use diversim::universe::bitset::BlockWeights;
+        let s = BitSet::from_iter_with_capacity(cap, idx.iter().copied());
+        // The contract is bit-identity, not mere closeness: the kernel
+        // must add exactly the member weights in ascending index order.
+        let naive: f64 = s.iter().map(|i| w[i]).sum();
+        prop_assert_eq!(s.weighted_mass(&w), naive);
+        let bw = BlockWeights::new(&w);
+        prop_assert_eq!(bw.capacity(), cap);
+        prop_assert_eq!(bw.mass(&s), naive);
+    }
+
+    #[test]
+    fn masked_masses_equal_naive_ascending_sums(
+        (cap, ia, w) in set_and_weights(),
+        ib_seed in proptest::collection::vec(any::<usize>(), 0..80),
+    ) {
+        use diversim::universe::bitset::BlockWeights;
+        let a = BitSet::from_iter_with_capacity(cap, ia.iter().copied());
+        let b = BitSet::from_iter_with_capacity(cap, ib_seed.iter().map(|&i| i % cap));
+        let inter: f64 = (0..cap).filter(|&i| a.contains(i) && b.contains(i)).map(|i| w[i]).sum();
+        let union: f64 = (0..cap).filter(|&i| a.contains(i) || b.contains(i)).map(|i| w[i]).sum();
+        let diff: f64 = (0..cap).filter(|&i| a.contains(i) && !b.contains(i)).map(|i| w[i]).sum();
+        prop_assert_eq!(a.weighted_intersection(&b, &w), inter);
+        prop_assert_eq!(a.weighted_union(&b, &w), union);
+        prop_assert_eq!(a.weighted_difference(&b, &w), diff);
+        let bw = BlockWeights::new(&w);
+        prop_assert_eq!(bw.intersection_mass(&a, &b), inter);
+        prop_assert_eq!(bw.union_mass(&a, &b), union);
+        prop_assert_eq!(bw.difference_mass(&a, &b), diff);
+    }
+
+    #[test]
+    fn empty_and_full_sets_bracket_weighted_mass((cap, _idx, w) in set_and_weights()) {
+        use diversim::universe::bitset::BlockWeights;
+        let empty = BitSet::new(cap);
+        let mut full = BitSet::new(cap);
+        for i in 0..cap {
+            full.insert(i);
+        }
+        prop_assert_eq!(empty.weighted_mass(&w), 0.0);
+        let total: f64 = w.iter().sum();
+        prop_assert_eq!(full.weighted_mass(&w), total);
+        let bw = BlockWeights::new(&w);
+        prop_assert_eq!(bw.mass(&empty), 0.0);
+        // The zero padding of the final partial block must never leak
+        // into a full-set mass.
+        prop_assert_eq!(bw.mass(&full), total);
+    }
+
+    #[test]
+    fn region_set_representations_are_equivalent(
+        region in proptest::collection::hash_set(0usize..96, 1..=4),
+        w in proptest::collection::vec(0.0f64..1.0, 400),
+    ) {
+        // ≤4 demands in a 400-demand space sit below the sparse/dense
+        // crossover (4·64 ≤ 400), so the model stores an explicit index
+        // list; the same members in a packed BitSet exercise the dense
+        // kernel. Both must agree bit for bit.
+        let space = DemandSpace::new(400).unwrap();
+        let model = FaultModelBuilder::new(space)
+            .fault(region.iter().map(|&i| DemandId::new(i as u32)))
+            .build()
+            .unwrap();
+        let rs = model.region_set(FaultId::new(0));
+        prop_assert!(rs.is_sparse());
+        let dense = BitSet::from_iter_with_capacity(400, region.iter().copied());
+        prop_assert_eq!(rs.weighted_mass(&w), dense.weighted_mass(&w));
+        prop_assert_eq!(rs.iter().collect::<Vec<_>>(), dense.iter().collect::<Vec<_>>());
+        for i in 0..400 {
+            prop_assert_eq!(rs.contains(i), dense.contains(i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Universe/testing invariants on random small worlds.
 // ---------------------------------------------------------------------
 
