@@ -1,0 +1,114 @@
+//! Load generator for a running `diversim serve --tcp` endpoint.
+//!
+//! ```console
+//! $ diversim serve --tcp 127.0.0.1:7878 --threads 2 --quiet &
+//! $ loadgen --addr 127.0.0.1:7878 --clients 4 --requests 60 \
+//!           --out BENCH_serve_loadgen.json
+//! ```
+//!
+//! Exits `0` if every response parsed and reported `ok:true`, `1` if
+//! any protocol error occurred, `2` on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use diversim_bench::serve::loadgen::{run, LoadgenOptions};
+
+const USAGE: &str = "loadgen — hammer a diversim serve endpoint with mixed workloads
+
+USAGE:
+    loadgen --addr HOST:PORT [--clients N] [--requests N] [--seed N]
+            [--out FILE]
+
+OPTIONS:
+    --addr HOST:PORT  the running `diversim serve --tcp` endpoint (required)
+    --clients N       concurrent client connections [default: 4]
+    --requests N      requests per client [default: 30]
+    --seed N          base seed of every request [default: 42]
+    --out FILE        also write the JSON report to FILE
+";
+
+fn parse(args: &[String]) -> Result<(LoadgenOptions, Option<String>), String> {
+    let mut addr = None;
+    let mut clients = 4usize;
+    let mut requests = 30u64;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?.to_string()),
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("invalid --clients")?
+            }
+            "--requests" => {
+                requests = value("--requests")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("invalid --requests")?
+            }
+            "--seed" => seed = value("--seed")?.parse().map_err(|_| "invalid --seed")?,
+            "--out" => out = Some(value("--out")?.to_string()),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    Ok((
+        LoadgenOptions {
+            addr,
+            clients,
+            requests,
+            seed,
+        },
+        out,
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, out) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: loadgen failed against {}: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    eprintln!(
+        "{} requests over {} clients, {} errors, {:.1} req/s",
+        report.requests, report.clients, report.errors, report.throughput_rps
+    );
+    if report.errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

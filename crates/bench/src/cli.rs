@@ -23,7 +23,10 @@ use crate::book::{self, ResultDoc};
 use crate::engine::{run_experiment, write_outcome, RunOutcome};
 use crate::registry;
 use crate::report::Table;
-use crate::spec::{ExperimentSpec, Profile};
+use crate::serve::server::{serve_stdio, serve_tcp};
+use crate::serve::service::{execute_experiment, EvaluationService};
+use crate::serve::ExperimentRequest;
+use crate::spec::Profile;
 
 const USAGE: &str = "diversim — unified driver for the 16 Popov & Littlewood reproductions
 
@@ -31,6 +34,8 @@ USAGE:
     diversim list
     diversim run [EXPERIMENT...] [--all] [--smoke|--fast|--full]
                  [--threads N] [--out DIR] [--quiet]
+    diversim serve [--stdio | --tcp ADDR] [--threads N] [--cache N]
+                   [--quiet]
     diversim report [--run | --results DIR] [--smoke|--fast|--full]
                     [--threads N] [--out DIR] [--quiet]
     diversim docs [--write]
@@ -48,6 +53,13 @@ OPTIONS:
                    report: book output root (default: the workspace root,
                    i.e. the committed REPORT.md + report/ book)
     --quiet        suppress experiment narration and tables
+
+`serve` answers diversim/v1 evaluation requests (one JSON object per
+line; see README \"Serving\") on stdin/stdout (--stdio, the default) or
+a TCP listener (--tcp HOST:PORT). --cache bounds the LRU of prepared
+worlds [default: 8]. Responses are pure functions of their requests:
+byte-identical for any --threads count, connection count or arrival
+order.
 
 `report` renders the reproduction book — REPORT.md plus one figure-rich
 chapter per experiment under report/ — either by re-running every
@@ -134,12 +146,19 @@ fn parse_run_args(args: &[String]) -> Result<(Vec<String>, bool, RunOptions), St
     Ok((keys, all, opts))
 }
 
-fn resolve(keys: &[String], all: bool) -> Result<Vec<&'static ExperimentSpec>, String> {
+/// Resolves CLI experiment keys into the typed requests the engine
+/// accepts — the same [`ExperimentRequest`] values the serve protocol
+/// constructs, so CLI and wire enter through one validated surface.
+fn resolve(keys: &[String], all: bool, profile: Profile) -> Result<Vec<ExperimentRequest>, String> {
+    let request = |key: &str| ExperimentRequest {
+        key: key.to_string(),
+        profile,
+    };
     if all {
         if !keys.is_empty() {
             return Err("pass either experiment names or --all, not both".into());
         }
-        return Ok(registry::all().to_vec());
+        return Ok(registry::all().iter().map(|s| request(s.slug)).collect());
     }
     if keys.is_empty() {
         return Err("specify at least one experiment, or --all (see `diversim list`)".into());
@@ -147,24 +166,33 @@ fn resolve(keys: &[String], all: bool) -> Result<Vec<&'static ExperimentSpec>, S
     keys.iter()
         .map(|key| {
             registry::find(key)
+                .map(|spec| request(spec.slug))
                 .ok_or_else(|| format!("unknown experiment: {key} (see `diversim list`)"))
         })
         .collect()
 }
 
-fn run_specs(specs: &[&'static ExperimentSpec], opts: &RunOptions) -> ExitCode {
+fn run_requests(requests: &[ExperimentRequest], opts: &RunOptions) -> ExitCode {
     let started = Instant::now();
-    let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(specs.len());
-    for (position, spec) in specs.iter().enumerate() {
-        if !opts.quiet && specs.len() > 1 {
+    let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(requests.len());
+    for (position, request) in requests.iter().enumerate() {
+        if !opts.quiet && requests.len() > 1 {
             println!(
                 "━━━ {} ({}/{}) ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━",
-                spec.name,
+                request.key,
                 position + 1,
-                specs.len()
+                requests.len()
             );
         }
-        let outcome = run_experiment(spec, opts.profile, opts.threads, opts.quiet);
+        let outcome = match execute_experiment(request, opts.threads, opts.quiet) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // Unreachable after `resolve`, but the typed surface
+                // reports it properly for any future caller.
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
         if let Some(dir) = &opts.out {
             match write_outcome(dir, &outcome) {
                 Ok((json_path, csv_path)) => {
@@ -173,7 +201,10 @@ fn run_specs(specs: &[&'static ExperimentSpec], opts: &RunOptions) -> ExitCode {
                     }
                 }
                 Err(e) => {
-                    eprintln!("error: could not write results for {}: {e}", spec.name);
+                    eprintln!(
+                        "error: could not write results for {}: {e}",
+                        outcome.spec.name
+                    );
                     return ExitCode::from(2);
                 }
             }
@@ -219,6 +250,85 @@ fn run_specs(specs: &[&'static ExperimentSpec], opts: &RunOptions) -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Options of `diversim serve`.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeOptions {
+    /// `None` serves stdin/stdout; `Some(addr)` binds a TCP listener.
+    tcp: Option<String>,
+    threads: usize,
+    cache: usize,
+    quiet: bool,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut tcp = None;
+    let mut stdio = false;
+    let mut threads = None;
+    let mut cache = 8usize;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--tcp" => {
+                let value = it.next().ok_or("--tcp needs an address (HOST:PORT)")?;
+                tcp = Some(value.clone());
+            }
+            "--threads" => {
+                let value = it.next().ok_or("--threads needs a value")?;
+                threads = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid thread count: {value}"))?,
+                );
+            }
+            "--cache" => {
+                let value = it.next().ok_or("--cache needs a value")?;
+                cache = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid cache capacity: {value}"))?;
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown serve argument: {other}")),
+        }
+    }
+    if stdio && tcp.is_some() {
+        return Err("pass either --stdio or --tcp ADDR, not both".into());
+    }
+    Ok(ServeOptions {
+        tcp,
+        threads: threads.unwrap_or_else(default_threads),
+        cache,
+        quiet,
+    })
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let opts = match parse_serve_args(args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let service = std::sync::Arc::new(EvaluationService::new(opts.threads, opts.cache));
+    let served = match &opts.tcp {
+        Some(addr) => serve_tcp(service, addr.as_str(), opts.quiet),
+        None => serve_stdio(&service),
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -436,15 +546,16 @@ pub fn main() -> ExitCode {
             eprintln!("usage: diversim list");
             ExitCode::from(2)
         }
-        Some(("run", rest)) => match parse_run_args(rest)
-            .and_then(|(keys, all, opts)| resolve(&keys, all).map(|specs| (specs, opts)))
-        {
-            Ok((specs, opts)) => run_specs(&specs, &opts),
+        Some(("run", rest)) => match parse_run_args(rest).and_then(|(keys, all, opts)| {
+            resolve(&keys, all, opts.profile).map(|requests| (requests, opts))
+        }) {
+            Ok((requests, opts)) => run_requests(&requests, &opts),
             Err(message) => {
                 eprintln!("error: {message}");
                 ExitCode::from(2)
             }
         },
+        Some(("serve", rest)) => serve(rest),
         Some(("report", rest)) => report(rest),
         Some(("docs", rest)) => docs(rest),
         Some(("help", _)) | Some(("--help", _)) | Some(("-h", _)) | None => {
@@ -465,7 +576,13 @@ pub fn experiment_binary_main(key: &str) -> ExitCode {
     let spec = registry::find(key).expect("binary key must be registered");
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_run_args(&args) {
-        Ok((keys, all, opts)) if keys.is_empty() && !all => run_specs(&[spec], &opts),
+        Ok((keys, all, opts)) if keys.is_empty() && !all => {
+            let request = ExperimentRequest {
+                key: spec.slug.to_string(),
+                profile: opts.profile,
+            };
+            run_requests(&[request], &opts)
+        }
         Ok(_) => {
             eprintln!(
                 "error: {} runs exactly one experiment; use the `diversim` binary to select others",
@@ -559,12 +676,41 @@ mod tests {
 
     #[test]
     fn resolve_handles_all_and_unknown() {
-        assert_eq!(resolve(&[], true).unwrap().len(), 16);
-        assert!(resolve(&strings(&["e01"]), true).is_err());
-        assert!(resolve(&[], false).is_err());
-        assert!(resolve(&strings(&["e99"]), false).is_err());
-        let specs = resolve(&strings(&["e02", "16"]), false).unwrap();
-        assert_eq!(specs[0].id, 2);
-        assert_eq!(specs[1].id, 16);
+        assert_eq!(resolve(&[], true, Profile::Full).unwrap().len(), 16);
+        assert!(resolve(&strings(&["e01"]), true, Profile::Full).is_err());
+        assert!(resolve(&[], false, Profile::Full).is_err());
+        assert!(resolve(&strings(&["e99"]), false, Profile::Full).is_err());
+        let requests = resolve(&strings(&["e02", "16"]), false, Profile::Fast).unwrap();
+        assert_eq!(requests[0].key, "e02");
+        assert_eq!(requests[1].key, "e16");
+        assert!(requests.iter().all(|r| r.profile == Profile::Fast));
+    }
+
+    #[test]
+    fn parse_serve_args_covers_modes_and_conflicts() {
+        let opts = parse_serve_args(&strings(&[])).unwrap();
+        assert_eq!(opts.tcp, None);
+        assert_eq!(opts.cache, 8);
+        assert!(!opts.quiet);
+
+        let opts = parse_serve_args(&strings(&[
+            "--tcp",
+            "127.0.0.1:7878",
+            "--threads",
+            "2",
+            "--cache",
+            "3",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(opts.tcp.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!((opts.threads, opts.cache), (2, 3));
+        assert!(opts.quiet);
+
+        assert!(parse_serve_args(&strings(&["--stdio", "--tcp", "x:1"])).is_err());
+        assert!(parse_serve_args(&strings(&["--tcp"])).is_err());
+        assert!(parse_serve_args(&strings(&["--threads", "0"])).is_err());
+        assert!(parse_serve_args(&strings(&["--cache", "0"])).is_err());
+        assert!(parse_serve_args(&strings(&["--bogus"])).is_err());
     }
 }

@@ -1,13 +1,18 @@
-//! A minimal JSON reader for the engine's own result documents.
+//! A minimal JSON parse+emit module for the engine's own documents and
+//! the `diversim serve` wire protocol.
 //!
 //! The workspace's vendored `serde` is a no-op derive stub (the build
-//! image has no crates.io access), so just as the writer side lives in
-//! [`crate::report`], the reader side lives here: a small recursive-
-//! descent parser covering exactly the JSON the engine emits —
-//! objects, arrays, strings with escapes, numbers, booleans and null.
-//! It exists so `diversim report` can rebuild a report book from
-//! previously written `results/*.json` files without re-running the
-//! experiments.
+//! image has no crates.io access), so both sides of the engine's JSON
+//! handling live here: a small recursive-descent parser covering
+//! exactly the JSON the engine emits — objects, arrays, strings with
+//! escapes, numbers, booleans and null — and a strict, deterministic
+//! writer ([`Value::to_json`]) that the parser round-trips. The reader
+//! serves `diversim report` (rebuilding a report book from previously
+//! written `results/*.json` files) and the serve protocol's *tolerant*
+//! request side (member order is free, unknown members are ignored by
+//! [`Value::get`]-based consumers); the writer renders the protocol's
+//! *strict* response side (fixed member order, stable escaping), so
+//! responses are byte-deterministic.
 
 /// A parsed JSON value. Object members keep their document order.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +70,76 @@ impl Value {
             Value::Array(items) => Some(items),
             _ => None,
         }
+    }
+
+    /// Renders this value as a compact JSON document.
+    ///
+    /// The writer is strict and deterministic: object members keep
+    /// their stored order, strings are escaped exactly like
+    /// [`crate::report::json_escape`], numbers with an exact integer
+    /// value inside the `f64`-safe range print without a fraction, and
+    /// everything else uses Rust's shortest round-tripping `f64`
+    /// display. Non-finite numbers (which JSON cannot represent)
+    /// render as `null`.
+    ///
+    /// `parse(v.to_json()) == v` holds for every value free of
+    /// non-finite numbers — the round-trip property tests pin this.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => out.push_str(&format_number(*n)),
+            Value::String(s) => {
+                out.push('"');
+                out.push_str(&crate::report::json_escape(s));
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&crate::report::json_escape(key));
+                    out.push_str("\":");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Renders one JSON number: integers without a fraction inside the
+/// exactly-representable range, shortest round-tripping decimal
+/// otherwise, `null` for non-finite values.
+fn format_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    const SAFE: f64 = 9_007_199_254_740_992.0; // 2^53
+    if n.trunc() == n && n.abs() < SAFE {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
     }
 }
 
@@ -349,5 +424,51 @@ mod tests {
     fn empty_containers_parse() {
         assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
         assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+    }
+
+    #[test]
+    fn emits_compact_deterministic_documents() {
+        let value = Value::Object(vec![
+            (
+                "b".into(),
+                Value::Array(vec![Value::Number(1.0), Value::Null]),
+            ),
+            ("a".into(), Value::String("x\"y".into())),
+            ("c".into(), Value::Bool(false)),
+        ]);
+        assert_eq!(value.to_json(), r#"{"b":[1,null],"a":"x\"y","c":false}"#);
+        assert_eq!(parse(&value.to_json()).unwrap(), value);
+    }
+
+    #[test]
+    fn number_formatting_round_trips() {
+        for n in [
+            0.0,
+            -0.0,
+            1.0,
+            -17.0,
+            0.1,
+            -12.5e-3,
+            1.5e300,
+            f64::MIN_POSITIVE,
+            9_007_199_254_740_991.0,
+            9_007_199_254_740_993.0,
+        ] {
+            let text = Value::Number(n).to_json();
+            assert_eq!(
+                parse(&text).unwrap(),
+                Value::Number(n),
+                "{n} did not round-trip via {text}"
+            );
+        }
+        assert_eq!(Value::Number(3.0).to_json(), "3");
+        assert_eq!(Value::Number(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Number(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn emit_parse_round_trips_nested_structures() {
+        let doc = parse(r#"{"b":[1,2,{"c":"d\n\t"}],"a":null,"e":[[],{}]}"#).unwrap();
+        assert_eq!(parse(&doc.to_json()).unwrap(), doc);
     }
 }

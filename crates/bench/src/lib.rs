@@ -16,7 +16,10 @@
 //! * [`render`] — deterministic SVG line/band plots for the report book;
 //! * [`book`] — the reproduction report: `REPORT.md` + per-experiment
 //!   chapters generated from result documents;
-//! * [`json`] — the minimal reader for the engine's own result JSON;
+//! * [`json`] — the hand-rolled JSON reader/writer shared by the
+//!   engine's result files and the serve wire protocol;
+//! * [`serve`] — the typed evaluation-request API, the `diversim
+//!   serve` service (stdin/stdout + TCP) and the `loadgen` binary;
 //! * [`worlds`] — the standard universes the experiments run on.
 
 #![deny(missing_docs)]
@@ -30,6 +33,7 @@ pub mod json;
 pub mod registry;
 pub mod render;
 pub mod report;
+pub mod serve;
 pub mod spec;
 pub mod worlds;
 

@@ -1,0 +1,126 @@
+//! The typed failure surface of the evaluation service.
+//!
+//! Every rejected request maps to one [`ServeError`], whose `Display`
+//! rendering is the stable wire `error` string of the protocol's error
+//! responses — tests and clients may match on its content, so changes
+//! to the messages are breaking changes to the wire format.
+
+use std::error::Error;
+use std::fmt;
+
+use diversim_sim::scenario::ScenarioError;
+use diversim_universe::error::UniverseError;
+
+/// Why the service rejected (or failed to execute) a request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request line is not a protocol document at all: malformed
+    /// JSON, a non-object top level, or a missing/mis-typed required
+    /// member.
+    Protocol {
+        /// What was wrong with the line.
+        message: String,
+    },
+    /// The request named an API version this server does not speak.
+    UnsupportedApi {
+        /// The `api` member the client sent.
+        found: String,
+    },
+    /// A request member parsed but failed validation.
+    InvalidField {
+        /// The offending member, named as on the wire (`"suite_size"`,
+        /// `"world.props"`).
+        field: &'static str,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// An experiment request named an unregistered experiment.
+    UnknownExperiment {
+        /// The key the client sent.
+        key: String,
+    },
+    /// A fixture world spec named an unknown fixture.
+    UnknownFixture {
+        /// The name the client sent.
+        name: String,
+    },
+    /// World construction failed in the universe layer.
+    World(UniverseError),
+    /// Scenario assembly failed its cross-validation.
+    Scenario(ScenarioError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol { message } => write!(f, "protocol error: {message}"),
+            ServeError::UnsupportedApi { found } => {
+                write!(f, "unsupported api version: {found}")
+            }
+            ServeError::InvalidField { field, message } => {
+                write!(f, "invalid request field `{field}`: {message}")
+            }
+            ServeError::UnknownExperiment { key } => {
+                write!(f, "unknown experiment: {key}")
+            }
+            ServeError::UnknownFixture { name } => {
+                write!(f, "unknown world fixture: {name}")
+            }
+            ServeError::World(e) => write!(f, "world construction failed: {e}"),
+            ServeError::Scenario(e) => write!(f, "scenario rejected: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::World(e) => Some(e),
+            ServeError::Scenario(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UniverseError> for ServeError {
+    fn from(e: UniverseError) -> Self {
+        ServeError::World(e)
+    }
+}
+
+impl From<ScenarioError> for ServeError {
+    fn from(e: ScenarioError) -> Self {
+        ServeError::Scenario(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_fields_and_sources_chain() {
+        let e = ServeError::InvalidField {
+            field: "suite_size",
+            message: "exceeds the cap".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid request field `suite_size`: exceeds the cap"
+        );
+        assert!(e.source().is_none());
+
+        let wrapped: ServeError = UniverseError::EmptyDemandSpace.into();
+        assert!(wrapped.source().is_some());
+        let wrapped: ServeError = ScenarioError::Missing { what: "profile" }.into();
+        assert!(wrapped.to_string().contains("missing its profile"));
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,349 @@
+//! The load generator behind the `loadgen` binary: hammers a running
+//! `diversim serve` TCP endpoint with mixed workloads and reports
+//! throughput and latency percentiles in the committed-trajectory
+//! JSON schema (`BENCH_serve_loadgen.json`).
+//!
+//! Three workload classes interleave on every client connection:
+//!
+//! * `cache_hot/estimate` — the `small-graded` fixture under cycling
+//!   regimes: the server answers from one cached prepared world;
+//! * `cache_hot/growth` — per-checkpoint growth curves on the
+//!   `mirrored` fixture, still cache-resident;
+//! * `cache_cold/estimate` — a freshly generated world per request
+//!   (the generation seed varies), forcing world builds and LRU churn.
+//!
+//! Every client runs a deterministic request schedule (ids `c{n}-r{i}`,
+//! stream = client index), so a loadgen run is reproducible up to
+//! timing; a response that fails to parse, reports `ok:false` or
+//! answers the wrong id counts as a protocol error, and the binary
+//! exits non-zero if any occurred.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::json::Value;
+
+use super::request::{
+    EvaluateRequest, EvaluationRequest, EvaluationResponse, RegimeSpec, RequestKind, StudySpec,
+    WorldSpec,
+};
+
+/// Schema string of the loadgen report document.
+pub const LOADGEN_SCHEMA: &str = "diversim-serve-loadgen/v1";
+
+/// The workload classes, in per-client schedule order.
+const WORKLOADS: &[&str] = &[
+    "serve_loadgen/cache_hot/estimate",
+    "serve_loadgen/cache_hot/growth",
+    "serve_loadgen/cache_cold/estimate",
+];
+
+/// What one loadgen run should do.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// The `host:port` of a running `diversim serve --tcp`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: u64,
+    /// Base seed of every request (streams separate the clients).
+    pub seed: u64,
+}
+
+/// Latency summary of one workload class, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// The workload id (`serve_loadgen/...`).
+    pub id: String,
+    /// Requests measured.
+    pub requests: u64,
+    /// Fastest request.
+    pub min_ns: u64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Slowest request.
+    pub max_ns: u64,
+}
+
+/// The result of one loadgen run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenReport {
+    /// Client connections used.
+    pub clients: usize,
+    /// Total requests sent.
+    pub requests: u64,
+    /// Protocol errors observed (see the module docs).
+    pub errors: u64,
+    /// Wall-clock duration of the measurement, in nanoseconds.
+    pub wall_ns: u64,
+    /// Aggregate requests per second.
+    pub throughput_rps: f64,
+    /// Per-workload latency summaries.
+    pub workloads: Vec<WorkloadSummary>,
+}
+
+impl LoadgenReport {
+    /// Renders the report in the committed-trajectory schema.
+    pub fn to_json(&self) -> String {
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| {
+                Value::Object(vec![
+                    ("id".into(), Value::String(w.id.clone())),
+                    ("requests".into(), Value::Number(w.requests as f64)),
+                    ("min_ns".into(), Value::Number(w.min_ns as f64)),
+                    ("p50_ns".into(), Value::Number(w.p50_ns as f64)),
+                    ("p99_ns".into(), Value::Number(w.p99_ns as f64)),
+                    ("max_ns".into(), Value::Number(w.max_ns as f64)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".into(), Value::String(LOADGEN_SCHEMA.into())),
+            ("clients".into(), Value::Number(self.clients as f64)),
+            ("requests".into(), Value::Number(self.requests as f64)),
+            ("errors".into(), Value::Number(self.errors as f64)),
+            ("wall_ns".into(), Value::Number(self.wall_ns as f64)),
+            ("throughput_rps".into(), Value::Number(self.throughput_rps)),
+            ("workloads".into(), Value::Array(workloads)),
+        ])
+        .to_json()
+    }
+}
+
+/// The deterministic request schedule of client `client`: request `i`
+/// draws its workload class round-robin and its parameters from
+/// `(seed, client, i)` only.
+pub fn schedule(seed: u64, client: usize, i: u64) -> EvaluationRequest {
+    let workload = (i % WORKLOADS.len() as u64) as usize;
+    let kind = match workload {
+        0 => RequestKind::Evaluate(EvaluateRequest {
+            world: WorldSpec::Fixture {
+                name: "small-graded".into(),
+            },
+            regime: match i % 3 {
+                0 => RegimeSpec::Shared,
+                1 => RegimeSpec::Independent,
+                _ => RegimeSpec::BackToBack { gamma: 0.3 },
+            },
+            suite_size: 4,
+            replications: 200,
+            study: StudySpec::Estimate,
+        }),
+        1 => RequestKind::Evaluate(EvaluateRequest {
+            world: WorldSpec::Fixture {
+                name: "mirrored".into(),
+            },
+            regime: RegimeSpec::Independent,
+            suite_size: 8,
+            replications: 100,
+            study: StudySpec::Growth {
+                checkpoints: vec![0, 4, 8],
+            },
+        }),
+        _ => RequestKind::Evaluate(EvaluateRequest {
+            world: WorldSpec::Generated {
+                demands: 64,
+                faults: 16,
+                region_max: 2,
+                zipf: 0.8,
+                prop_lo: 0.05,
+                prop_hi: 0.5,
+                // Unique per (client, i): every cold request builds a
+                // distinct world, churning the server's LRU.
+                seed: seed ^ (client as u64).wrapping_mul(1_000_003).wrapping_add(i),
+            },
+            regime: RegimeSpec::Shared,
+            suite_size: 4,
+            replications: 100,
+            study: StudySpec::Estimate,
+        }),
+    };
+    EvaluationRequest {
+        id: format!("c{client}-r{i}"),
+        seed,
+        stream: client as u64,
+        kind,
+    }
+}
+
+/// One measured request: which workload class, how long, and whether
+/// it failed the protocol.
+struct Sample {
+    workload: usize,
+    ns: u64,
+    error: bool,
+}
+
+fn run_client(addr: &str, seed: u64, client: usize, requests: u64) -> io::Result<Vec<Sample>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?; // measure the service, not Nagle stalls
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut samples = Vec::with_capacity(requests as usize);
+    let mut line = String::new();
+    for i in 0..requests {
+        let request = schedule(seed, client, i);
+        let started = Instant::now();
+        writer.write_all(request.to_json().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        let ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let error = n == 0
+            || !matches!(
+                EvaluationResponse::parse_status(line.trim_end()),
+                Ok((id, true)) if id == request.id
+            );
+        samples.push(Sample {
+            workload: (i % WORKLOADS.len() as u64) as usize,
+            ns,
+            error,
+        });
+        if n == 0 {
+            break; // server hung up
+        }
+    }
+    Ok(samples)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs the load, one thread per client, and aggregates the report.
+///
+/// # Errors
+///
+/// Propagates connection failures (a client that cannot connect at
+/// all); mid-run I/O problems surface as protocol errors instead.
+pub fn run(opts: &LoadgenOptions) -> io::Result<LoadgenReport> {
+    let clients = opts.clients.max(1);
+    let started = Instant::now();
+    let samples: Vec<Vec<Sample>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let addr = opts.addr.clone();
+                scope.spawn(move || run_client(&addr, opts.seed, client, opts.requests))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread must not panic"))
+            .collect::<io::Result<Vec<_>>>()
+    })?;
+    let wall_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+
+    let mut errors = 0u64;
+    let mut total = 0u64;
+    let mut by_workload: Vec<Vec<u64>> = vec![Vec::new(); WORKLOADS.len()];
+    for sample in samples.iter().flatten() {
+        total += 1;
+        if sample.error {
+            errors += 1;
+        }
+        by_workload[sample.workload].push(sample.ns);
+    }
+    let workloads = WORKLOADS
+        .iter()
+        .zip(&mut by_workload)
+        .map(|(id, latencies)| {
+            latencies.sort_unstable();
+            WorkloadSummary {
+                id: id.to_string(),
+                requests: latencies.len() as u64,
+                min_ns: latencies.first().copied().unwrap_or(0),
+                p50_ns: percentile(latencies, 0.50),
+                p99_ns: percentile(latencies, 0.99),
+                max_ns: latencies.last().copied().unwrap_or(0),
+            }
+        })
+        .collect();
+    Ok(LoadgenReport {
+        clients,
+        requests: total,
+        errors,
+        wall_ns,
+        throughput_rps: if wall_ns == 0 {
+            0.0
+        } else {
+            total as f64 / (wall_ns as f64 / 1e9)
+        },
+        workloads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::server::spawn_tcp;
+    use crate::serve::service::EvaluationService;
+    use std::sync::Arc;
+
+    #[test]
+    fn schedule_is_deterministic_and_valid() {
+        for client in 0..3 {
+            for i in 0..6 {
+                let a = schedule(42, client, i);
+                let b = schedule(42, client, i);
+                assert_eq!(a, b);
+                assert_eq!(a.stream, client as u64);
+                // Every scheduled request must survive its own wire
+                // round trip (i.e. be a valid protocol line).
+                assert_eq!(EvaluationRequest::parse(&a.to_json()).unwrap(), a);
+            }
+        }
+        // Cold requests vary their world per (client, i).
+        let RequestKind::Evaluate(a) = schedule(1, 0, 2).kind else {
+            panic!()
+        };
+        let RequestKind::Evaluate(b) = schedule(1, 0, 5).kind else {
+            panic!()
+        };
+        assert_ne!(a.world.content_hash(), b.world.content_hash());
+    }
+
+    #[test]
+    fn percentile_picks_order_statistics() {
+        let sorted = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&sorted, 0.0), 10);
+        assert_eq!(percentile(&sorted, 0.5), 30);
+        assert_eq!(percentile(&sorted, 1.0), 50);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn loadgen_round_trips_against_a_live_server() {
+        let service = Arc::new(EvaluationService::new(2, 4));
+        let (addr, _handle) = spawn_tcp(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let report = run(&LoadgenOptions {
+            addr: addr.to_string(),
+            clients: 2,
+            requests: 3,
+            seed: 7,
+        })
+        .unwrap();
+        assert_eq!(report.requests, 6);
+        assert_eq!(report.errors, 0, "no protocol errors expected");
+        assert!(report.throughput_rps > 0.0);
+        let json = report.to_json();
+        assert!(json.starts_with(r#"{"schema":"diversim-serve-loadgen/v1""#));
+        let doc = crate::json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("workloads")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! `diversim serve`: the typed evaluation-request API and its
+//! long-running assessment service.
+//!
+//! The paper's central quantity — delivered system pfd after a testing
+//! campaign — is served here as an on-demand query. The module tree
+//! splits the service into:
+//!
+//! * [`request`] — the versioned `diversim/v1` wire types
+//!   ([`request::EvaluationRequest`] / [`request::EvaluationResponse`],
+//!   newline-delimited JSON; tolerant reader, strict writer);
+//! * [`error`] — the typed failure surface whose `Display` strings are
+//!   the wire `error` messages;
+//! * [`cache`] — the content-addressed LRU cache of prepared worlds;
+//! * [`service`] — request execution ([`service::EvaluationService`]),
+//!   including [`service::execute_experiment`], the single validated
+//!   entry the CLI and the `eNN_*` binaries share with the server;
+//! * [`server`] — the stdin/stdout and TCP transports;
+//! * [`loadgen`] — the mixed-workload load generator recording
+//!   throughput and p50/p99 latency into `BENCH_serve_loadgen.json`.
+//!
+//! The determinism contract: a response is a pure function of its
+//! request. Seeds derive as
+//! `SeedSequence::new(seed).child(stream).root()`
+//! ([`service::derive_root_seed`]), so concurrent clients get
+//! reproducible, non-colliding replication streams, and the same
+//! request set yields byte-identical responses over any number of
+//! connections and server threads.
+
+pub mod cache;
+pub mod error;
+pub mod loadgen;
+pub mod request;
+pub mod server;
+pub mod service;
+
+pub use error::ServeError;
+pub use request::{EvaluationRequest, EvaluationResponse, ExperimentRequest};
+pub use service::EvaluationService;

@@ -1,0 +1,144 @@
+//! Transports of the evaluation service: stdin/stdout line mode and a
+//! thread-per-connection TCP listener.
+//!
+//! Both transports speak the same newline-delimited protocol: one
+//! request line in, one response line out, in request order per
+//! connection. Responses are pure functions of their requests (see
+//! [`super::service`]), so any interleaving of connections yields the
+//! same bytes per request — the property the determinism suite pins.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use super::service::EvaluationService;
+
+/// Answers requests from `input` onto `output` until end-of-input
+/// (the `diversim serve --stdio` main loop, factored over generic
+/// streams for testability). Empty lines are ignored; every non-empty
+/// line gets exactly one response line, flushed immediately.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either stream.
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &EvaluationService,
+    input: R,
+    mut output: W,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        output.write_all(service.handle_line(&line).as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+    Ok(())
+}
+
+/// Runs the service over stdin/stdout until stdin closes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from either stream.
+pub fn serve_stdio(service: &EvaluationService) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_lines(service, stdin.lock(), stdout.lock())
+}
+
+fn serve_connection(service: &EvaluationService, stream: TcpStream) -> io::Result<()> {
+    // One-line request/response RPC: Nagle buffering only adds
+    // delayed-ACK stalls (tens of ms per round trip on loopback).
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_lines(service, reader, stream)
+}
+
+/// Binds `addr` and serves connections on a detached accept loop,
+/// one thread per connection. Returns the bound address (useful with
+/// port 0) and the accept-loop handle; the loop runs until the
+/// process exits. Per-connection I/O errors (e.g. a client hanging
+/// up mid-line) end that connection only.
+///
+/// # Errors
+///
+/// Propagates the bind error.
+pub fn spawn_tcp<A: ToSocketAddrs>(
+    service: Arc<EvaluationService>,
+    addr: A,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let _ = serve_connection(&service, stream);
+            });
+        }
+    });
+    Ok((bound, handle))
+}
+
+/// Binds `addr`, prints the bound address, and serves forever (the
+/// `diversim serve --tcp` main loop).
+///
+/// # Errors
+///
+/// Propagates the bind error.
+pub fn serve_tcp<A: ToSocketAddrs>(
+    service: Arc<EvaluationService>,
+    addr: A,
+    quiet: bool,
+) -> io::Result<()> {
+    let (bound, handle) = spawn_tcp(service, addr)?;
+    if !quiet {
+        println!("diversim serve listening on {bound}");
+    }
+    handle.join().expect("accept loop must not panic");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_loop_answers_and_skips_blanks() {
+        let service = EvaluationService::new(1, 2);
+        let input = concat!(
+            r#"{"api":"diversim/v1","id":"a","kind":"ping"}"#,
+            "\n\n   \n",
+            "garbage\n"
+        );
+        let mut output = Vec::new();
+        serve_lines(&service, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains(r#""id":"a","ok":true"#));
+        assert!(lines[1].contains(r#""ok":false"#));
+    }
+
+    #[test]
+    fn tcp_round_trips_a_ping() {
+        let service = Arc::new(EvaluationService::new(1, 2));
+        let (addr, _handle) = spawn_tcp(service, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"{\"api\":\"diversim/v1\",\"id\":\"t\",\"kind\":\"ping\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(
+            line.trim_end(),
+            r#"{"api":"diversim/v1","id":"t","ok":true,"result":{"kind":"pong"}}"#
+        );
+    }
+}

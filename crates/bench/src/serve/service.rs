@@ -1,0 +1,334 @@
+//! Request execution: one validated entry into the engine for the
+//! server, the CLI and the experiment binaries.
+//!
+//! [`EvaluationService::handle`] maps one [`EvaluationRequest`] to one
+//! [`EvaluationResponse`] as a *pure function of the request* (plus the
+//! immutable experiment registry): cache state, arrival order,
+//! connection interleaving and the service's thread count never change
+//! a response byte. [`execute_experiment`] is the experiment arm of the
+//! same surface — `diversim run` and the `eNN_*` binaries call it too,
+//! so a request rejected over the wire is rejected identically on the
+//! command line.
+
+use diversim_stats::seed::SeedSequence;
+
+use diversim_sim::estimate::Estimate;
+use diversim_sim::scenario::SeedPolicy;
+
+use crate::engine::{run_experiment, RunOutcome};
+use crate::json::{self, Value};
+use crate::registry;
+
+use super::cache::{CacheStats, WorldCache};
+use super::error::ServeError;
+use super::request::{
+    EstimateResult, EvaluateRequest, EvaluationRequest, EvaluationResponse, ExperimentRequest,
+    ExperimentResult, GrowthResult, RequestKind, ResponseBody, StudySpec, WireEstimate,
+};
+
+/// The effective seed root of a request: the module-documented
+/// derivation `SeedSequence::new(seed).child(stream).root()`, exposed
+/// so clients and tests can state the contract in one place.
+pub fn derive_root_seed(seed: u64, stream: u64) -> u64 {
+    SeedSequence::new(seed).child(stream).root()
+}
+
+/// Resolves and runs one registered experiment. The single entry the
+/// CLI, the experiment binaries and the server share.
+///
+/// # Errors
+///
+/// [`ServeError::UnknownExperiment`] if `request.key` is not a
+/// registered slug, binary name or id.
+pub fn execute_experiment(
+    request: &ExperimentRequest,
+    threads: usize,
+    quiet: bool,
+) -> Result<RunOutcome, ServeError> {
+    let spec = registry::find(&request.key).ok_or_else(|| ServeError::UnknownExperiment {
+        key: request.key.clone(),
+    })?;
+    Ok(run_experiment(spec, request.profile, threads, quiet))
+}
+
+/// A long-running evaluation service: a world cache plus a worker
+/// budget. Shared across connections behind an `Arc`; all methods take
+/// `&self`.
+#[derive(Debug)]
+pub struct EvaluationService {
+    cache: WorldCache,
+    threads: usize,
+}
+
+impl EvaluationService {
+    /// A service answering requests with `threads` workers and caching
+    /// at most `cache_capacity` prepared worlds.
+    pub fn new(threads: usize, cache_capacity: usize) -> Self {
+        EvaluationService {
+            cache: WorldCache::new(cache_capacity),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker budget each request's replications are batched onto.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// World-cache counters (server-side observability; never part of
+    /// a response).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Answers one request. Infallible by construction: failures
+    /// become protocol error responses.
+    pub fn handle(&self, request: &EvaluationRequest) -> EvaluationResponse {
+        let body = match &request.kind {
+            RequestKind::Ping => Ok(ResponseBody::Pong),
+            RequestKind::Evaluate(e) => self.evaluate(e, request.seed, request.stream),
+            RequestKind::Experiment(x) => execute_experiment(x, self.threads, true).map(|o| {
+                ResponseBody::Experiment(ExperimentResult {
+                    name: o.spec.name.to_string(),
+                    profile: o.profile.name().to_string(),
+                    passed: o.passed,
+                    checks: o
+                        .checks
+                        .iter()
+                        .map(|c| (c.label.clone(), c.passed))
+                        .collect(),
+                })
+            }),
+        };
+        match body {
+            Ok(body) => EvaluationResponse {
+                id: request.id.clone(),
+                body,
+            },
+            Err(e) => EvaluationResponse::error(request.id.clone(), &e),
+        }
+    }
+
+    /// Answers one raw request line with one response line (without
+    /// the trailing newline). Unparseable lines get an error response
+    /// carrying whatever `id` can be salvaged from the line.
+    pub fn handle_line(&self, line: &str) -> String {
+        match EvaluationRequest::parse(line) {
+            Ok(request) => self.handle(&request).to_json(),
+            Err(e) => EvaluationResponse::error(salvage_id(line), &e).to_json(),
+        }
+    }
+
+    fn evaluate(
+        &self,
+        request: &EvaluateRequest,
+        seed: u64,
+        stream: u64,
+    ) -> Result<ResponseBody, ServeError> {
+        let cached = self.cache.get(&request.world)?;
+        let root = derive_root_seed(seed, stream);
+        let scenario = cached
+            .scenario
+            .with_regime(request.regime.to_regime())
+            .with_suite_size(request.suite_size)
+            .with_seeds(SeedPolicy::Sequence(root));
+        let world = cached.label.clone();
+        let world_hash = format!("{:016x}", request.world.content_hash());
+        match &request.study {
+            StudySpec::Estimate => {
+                let est = scenario.estimate(request.replications, self.threads);
+                Ok(ResponseBody::Estimate(EstimateResult {
+                    world,
+                    world_hash,
+                    root_seed: root,
+                    replications: request.replications,
+                    system_pfd: wire(&est.system_pfd),
+                    version_a_pfd: wire(&est.version_a_pfd),
+                    version_b_pfd: wire(&est.version_b_pfd),
+                }))
+            }
+            StudySpec::Growth { checkpoints } => {
+                let curve = scenario.growth(checkpoints, request.replications, self.threads)?;
+                let series = |accs: &[diversim_stats::online::MeanVar]| {
+                    accs.iter()
+                        .map(|acc| WireEstimate {
+                            mean: acc.mean(),
+                            se: acc.standard_error(),
+                        })
+                        .collect()
+                };
+                Ok(ResponseBody::Growth(GrowthResult {
+                    world,
+                    world_hash,
+                    root_seed: root,
+                    replications: request.replications,
+                    checkpoints: curve.checkpoints.clone(),
+                    system: series(&curve.system),
+                    version_a: series(&curve.version_a),
+                    version_b: series(&curve.version_b),
+                }))
+            }
+        }
+    }
+}
+
+fn wire(estimate: &Estimate) -> WireEstimate {
+    WireEstimate {
+        mean: estimate.mean,
+        se: estimate.standard_error,
+    }
+}
+
+/// Best-effort `id` extraction from a line that failed request
+/// parsing, so even malformed-request errors stay correlatable.
+fn salvage_id(line: &str) -> String {
+    json::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("id").and_then(Value::as_str).map(str::to_string))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Profile;
+
+    fn estimate_line(id: &str, seed: u64, stream: u64) -> String {
+        format!(
+            concat!(
+                r#"{{"api":"diversim/v1","id":"{}","kind":"evaluate","seed":{},"stream":{},"#,
+                r#""world":{{"kind":"singleton","props":[0.1,0.3,0.5]}},"#,
+                r#""regime":"shared","suite_size":4,"replications":64,"study":"estimate"}}"#
+            ),
+            id, seed, stream
+        )
+    }
+
+    #[test]
+    fn ping_pongs() {
+        let service = EvaluationService::new(1, 4);
+        let line = service.handle_line(r#"{"api":"diversim/v1","id":"p","kind":"ping"}"#);
+        assert_eq!(
+            line,
+            r#"{"api":"diversim/v1","id":"p","ok":true,"result":{"kind":"pong"}}"#
+        );
+    }
+
+    #[test]
+    fn responses_are_pure_functions_of_the_request() {
+        let service = EvaluationService::new(2, 4);
+        let first = service.handle_line(&estimate_line("a", 42, 7));
+        // Different id: everything but the echoed id is identical.
+        let other_id = service.handle_line(&estimate_line("b", 42, 7));
+        assert_eq!(first.replace(r#""id":"a""#, r#""id":"b""#), other_id);
+        // Same request again (now a cache hit): byte-identical.
+        assert_eq!(service.handle_line(&estimate_line("a", 42, 7)), first);
+        assert!(service.cache_stats().hits >= 2);
+        // Different stream: a different replication stream.
+        assert_ne!(
+            service.handle_line(&estimate_line("a", 42, 8)),
+            first,
+            "streams must decorrelate"
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bytes() {
+        let line = estimate_line("t", 9, 1);
+        let base = EvaluationService::new(1, 2).handle_line(&line);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                EvaluationService::new(threads, 2).handle_line(&line),
+                base,
+                "{threads} threads must match 1 thread"
+            );
+        }
+    }
+
+    #[test]
+    fn responses_document_the_derived_root_seed() {
+        let service = EvaluationService::new(1, 2);
+        let response = service.handle_line(&estimate_line("r", 42, 7));
+        let expected = derive_root_seed(42, 7);
+        assert!(
+            response.contains(&format!(r#""root_seed":"{expected}""#)),
+            "response must expose the documented derivation: {response}"
+        );
+    }
+
+    #[test]
+    fn growth_studies_answer_per_checkpoint_series() {
+        let service = EvaluationService::new(2, 2);
+        let line = concat!(
+            r#"{"api":"diversim/v1","id":"g","kind":"evaluate","seed":1,"#,
+            r#""world":{"kind":"fixture","name":"small-graded"},"regime":"independent","#,
+            r#""suite_size":8,"replications":32,"#,
+            r#""study":{"kind":"growth","checkpoints":[0,4,8]}}"#
+        );
+        let response = service.handle_line(line);
+        let (id, ok) = EvaluationResponse::parse_status(&response).unwrap();
+        assert_eq!((id.as_str(), ok), ("g", true));
+        let doc = json::parse(&response).unwrap();
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("kind").and_then(Value::as_str), Some("growth"));
+        assert_eq!(
+            result
+                .get("system")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn failures_become_error_responses_with_salvaged_ids() {
+        let service = EvaluationService::new(1, 2);
+        let line = service.handle_line(r#"{"id":"broken","world":7}"#);
+        let (id, ok) = EvaluationResponse::parse_status(&line).unwrap();
+        assert_eq!((id.as_str(), ok), ("broken", false));
+        assert!(line.contains(r#""error":"protocol error:"#), "{line}");
+        // Wholly unparseable input still answers (with an empty id).
+        let (id, ok) = EvaluationResponse::parse_status(&service.handle_line("garbage")).unwrap();
+        assert_eq!((id.as_str(), ok), ("", false));
+    }
+
+    #[test]
+    fn experiment_requests_run_the_registry() {
+        let outcome = execute_experiment(
+            &ExperimentRequest {
+                key: "e01".into(),
+                profile: Profile::Smoke,
+            },
+            1,
+            true,
+        )
+        .unwrap();
+        assert_eq!(outcome.spec.slug, "e01");
+        assert!(matches!(
+            execute_experiment(
+                &ExperimentRequest {
+                    key: "e99".into(),
+                    profile: Profile::Smoke,
+                },
+                1,
+                true,
+            )
+            .unwrap_err(),
+            ServeError::UnknownExperiment { .. }
+        ));
+
+        let service = EvaluationService::new(1, 2);
+        let line = service.handle_line(
+            r#"{"api":"diversim/v1","id":"x","kind":"experiment","experiment":"e01","profile":"smoke"}"#,
+        );
+        let (id, ok) = EvaluationResponse::parse_status(&line).unwrap();
+        assert_eq!((id.as_str(), ok), ("x", true));
+        let doc = json::parse(&line).unwrap();
+        let result = doc.get("result").unwrap();
+        assert_eq!(
+            result.get("experiment").and_then(Value::as_str),
+            Some("e01_el_model")
+        );
+        assert_eq!(result.get("passed").and_then(Value::as_bool), Some(true));
+    }
+}

@@ -58,6 +58,17 @@ impl Profile {
             Profile::Full => "full",
         }
     }
+
+    /// The inverse of [`Profile::name`]: resolves the CLI/wire
+    /// spelling, `None` for anything else.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "smoke" => Some(Profile::Smoke),
+            "fast" => Some(Profile::Fast),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
+    }
 }
 
 /// One reproduction claim verified during a run.

@@ -12,6 +12,7 @@
 use std::path::Path;
 
 use diversim_bench::json::{self, Value};
+use diversim_bench::serve::loadgen::LOADGEN_SCHEMA;
 
 /// Every trajectory file the repository commits to the workspace root.
 const COMMITTED: &[&str] = &["BENCH_kernel_scaling.json", "BENCH_runner_scaling.json"];
@@ -57,6 +58,67 @@ fn check_trajectory(name: &str) {
 fn committed_trajectories_parse_as_the_bench_schema() {
     for name in COMMITTED {
         check_trajectory(name);
+    }
+}
+
+/// Drift guard for the committed serve-loadgen trajectory, and the
+/// check the CI soak job replays against fresh loadgen output (set
+/// `DIVERSIM_LOADGEN_JSON` to point it at another file). The report
+/// must carry zero protocol errors, positive throughput, both cache-hot
+/// and cache-cold workloads, and ordered latency percentiles.
+#[test]
+fn serve_loadgen_trajectory_parses_and_shows_a_clean_run() {
+    let path = match std::env::var("DIVERSIM_LOADGEN_JSON") {
+        Ok(p) => Path::new(&p).to_path_buf(),
+        Err(_) => workspace_root().join("BENCH_serve_loadgen.json"),
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("loadgen trajectory {} unreadable: {e}", path.display()));
+    let doc = json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(LOADGEN_SCHEMA),
+        "schema string drifted"
+    );
+    let num = |key: &str| -> f64 {
+        doc.get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("missing numeric field {key:?}"))
+    };
+    assert_eq!(num("errors"), 0.0, "committed run must be protocol-clean");
+    assert!(num("requests") > 0.0 && num("clients") > 0.0);
+    assert!(num("throughput_rps") > 0.0);
+    let workloads = doc
+        .get("workloads")
+        .and_then(Value::as_array)
+        .expect("workloads array");
+    for wanted in ["cache_hot/estimate", "cache_hot/growth", "cache_cold"] {
+        assert!(
+            workloads.iter().any(|w| w
+                .get("id")
+                .and_then(Value::as_str)
+                .is_some_and(|id| id.contains(wanted))),
+            "trajectory lost the {wanted} workload"
+        );
+    }
+    for w in workloads {
+        let id = w.get("id").and_then(Value::as_str).expect("workload id");
+        let field = |key: &str| -> f64 {
+            w.get(key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("{id}: missing numeric field {key:?}"))
+        };
+        assert!(field("requests") > 0.0, "{id}: empty workload");
+        let (min, p50, p99, max) = (
+            field("min_ns"),
+            field("p50_ns"),
+            field("p99_ns"),
+            field("max_ns"),
+        );
+        assert!(
+            min > 0.0 && min <= p50 && p50 <= p99 && p99 <= max,
+            "{id}: expected 0 < min ≤ p50 ≤ p99 ≤ max, got {min}/{p50}/{p99}/{max}"
+        );
     }
 }
 

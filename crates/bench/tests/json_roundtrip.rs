@@ -1,0 +1,214 @@
+//! Property tests of the JSON module's parse/emit pair and of the
+//! serve wire types built on it: whatever the strict writer emits, the
+//! tolerant reader must recover exactly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+use diversim_bench::json::{self, Value};
+use diversim_bench::serve::request::{
+    EvaluateRequest, EvaluationRequest, ExperimentRequest, RegimeSpec, RequestKind, StudySpec,
+    WorldSpec,
+};
+use diversim_bench::spec::Profile;
+
+/// Arbitrary strings over the full ASCII range (controls, quotes and
+/// backslashes included — the characters escaping must get right) plus
+/// some non-ASCII code points.
+fn json_string() -> BoxedStrategy<String> {
+    vec(
+        prop_oneof![
+            (0u32..128).boxed(),
+            (0x80u32..0x300).boxed(),
+            Just(0x1F600u32).boxed(), // astral plane (surrogate pairs in \u-escapes)
+        ],
+        0..12,
+    )
+    .prop_map(|points| {
+        points
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+    .boxed()
+}
+
+/// Numbers the strict writer can represent faithfully (finite only:
+/// NaN/∞ intentionally emit as `null`).
+fn json_number() -> BoxedStrategy<f64> {
+    prop_oneof![
+        (-1.0e9..1.0e9).boxed(),
+        (-5_000i64..5_000).prop_map(|n| n as f64).boxed(),
+        Just(0.0).boxed(),
+        Just(-0.0).boxed(),
+        Just(9_007_199_254_740_991.0).boxed(), // 2^53 - 1, the integer boundary
+        Just(1.5e300).boxed(),
+        Just(f64::MIN_POSITIVE).boxed(),
+    ]
+    .boxed()
+}
+
+fn json_leaf() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null).boxed(),
+        (0u8..2).prop_map(|b| Value::Bool(b == 1)).boxed(),
+        json_number().prop_map(Value::Number).boxed(),
+        json_string().prop_map(Value::String).boxed(),
+    ]
+    .boxed()
+}
+
+/// Depth-bounded arbitrary documents (the vendored proptest has no
+/// recursive-strategy helper, so recursion is explicit).
+fn json_value(depth: usize) -> BoxedStrategy<Value> {
+    if depth == 0 {
+        return json_leaf();
+    }
+    let inner = json_value(depth - 1);
+    let inner2 = json_value(depth - 1);
+    prop_oneof![
+        json_leaf(),
+        vec(inner, 0..4).prop_map(Value::Array).boxed(),
+        vec((json_string(), inner2), 0..4)
+            .prop_map(|pairs| {
+                // Index-prefixed keys keep members unique, so document
+                // equality is well-defined under any reader behaviour.
+                Value::Object(
+                    pairs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (key, value))| (format!("k{i}:{key}"), value))
+                        .collect(),
+                )
+            })
+            .boxed(),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn document_emit_parse_round_trips(doc in json_value(3)) {
+        let text = doc.to_json();
+        let reparsed = json::parse(&text)
+            .unwrap_or_else(|e| panic!("emitted invalid JSON {text:?}: {e}"));
+        prop_assert_eq!(&reparsed, &doc, "round trip changed {}", text);
+        // Emission is a pure function: re-emitting the reparse is
+        // byte-identical.
+        prop_assert_eq!(reparsed.to_json(), text);
+    }
+
+    #[test]
+    fn string_escaping_round_trips(s in json_string()) {
+        let doc = Value::String(s);
+        prop_assert_eq!(json::parse(&doc.to_json()).unwrap(), doc);
+    }
+
+    #[test]
+    fn number_formatting_round_trips(n in json_number()) {
+        let doc = Value::Number(n);
+        prop_assert_eq!(json::parse(&doc.to_json()).unwrap(), doc);
+    }
+}
+
+fn world_spec() -> BoxedStrategy<WorldSpec> {
+    prop_oneof![
+        vec(0.0f64..=1.0, 1..6)
+            .prop_map(|props| WorldSpec::Singleton { props })
+            .boxed(),
+        (0usize..5)
+            .prop_map(|i| WorldSpec::Fixture {
+                name: diversim_bench::serve::request::FIXTURES[i].to_string(),
+            })
+            .boxed(),
+        (1usize..200, 1usize..32, 1usize..5, 0.0f64..2.0, 0u64..1000)
+            .prop_map(
+                |(demands, faults, region_max, zipf, seed)| WorldSpec::Generated {
+                    demands,
+                    faults,
+                    region_max,
+                    zipf,
+                    prop_lo: 0.05,
+                    prop_hi: 0.5,
+                    seed,
+                }
+            )
+            .boxed(),
+    ]
+    .boxed()
+}
+
+fn request() -> BoxedStrategy<EvaluationRequest> {
+    let evaluate = (
+        world_spec(),
+        prop_oneof![
+            Just(RegimeSpec::Shared).boxed(),
+            Just(RegimeSpec::Independent).boxed(),
+            (0.0f64..=1.0)
+                .prop_map(|gamma| RegimeSpec::BackToBack { gamma })
+                .boxed(),
+        ],
+        0usize..100,
+        1u64..1000,
+        prop_oneof![
+            Just(StudySpec::Estimate).boxed(),
+            vec(1usize..50, 1..5)
+                .prop_map(|mut raw| {
+                    // Strictly increasing via prefix sums.
+                    let mut total = 0;
+                    for c in &mut raw {
+                        total += *c;
+                        *c = total;
+                    }
+                    StudySpec::Growth { checkpoints: raw }
+                })
+                .boxed(),
+        ],
+    )
+        .prop_map(|(world, regime, suite_size, replications, study)| {
+            RequestKind::Evaluate(EvaluateRequest {
+                world,
+                regime,
+                suite_size,
+                replications,
+                study,
+            })
+        })
+        .boxed();
+    let kind = prop_oneof![
+        evaluate,
+        (0usize..3)
+            .prop_map(|p| RequestKind::Experiment(ExperimentRequest {
+                key: "e01".into(),
+                profile: [Profile::Smoke, Profile::Fast, Profile::Full][p],
+            }))
+            .boxed(),
+        Just(RequestKind::Ping).boxed(),
+    ];
+    (json_string(), 0u64..(1 << 53), 0u64..(1 << 53), kind)
+        .prop_map(|(id, seed, stream, kind)| EvaluationRequest {
+            id,
+            seed,
+            stream,
+            kind,
+        })
+        .boxed()
+}
+
+proptest! {
+    #[test]
+    fn wire_requests_round_trip(req in request()) {
+        let line = req.to_json();
+        let reparsed = EvaluationRequest::parse(&line)
+            .unwrap_or_else(|e| panic!("own wire line rejected {line:?}: {e}"));
+        // Ping and experiment requests do not carry seed/stream on the
+        // wire (they have no replication streams); compare the rest.
+        if matches!(req.kind, RequestKind::Evaluate(_)) {
+            prop_assert_eq!(reparsed, req);
+        } else {
+            prop_assert_eq!(&reparsed.id, &req.id);
+            prop_assert_eq!(&reparsed.kind, &req.kind);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration tests of the serve layer's determinism contract: response
+//! bytes are a pure function of the request line — independent of the
+//! worker thread count, of how many clients interleave on the socket,
+//! and of the world cache's capacity (and therefore its hit/miss/evict
+//! history).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use diversim_bench::serve::loadgen::schedule;
+use diversim_bench::serve::request::EvaluationResponse;
+use diversim_bench::serve::server::spawn_tcp;
+use diversim_bench::serve::EvaluationService;
+
+const SEED: u64 = 2004;
+
+/// The shared request mix: the loadgen schedule already cycles worlds,
+/// regimes and study kinds, which is exactly the coverage wanted here.
+fn request_lines(clients: usize, per_client: u64) -> Vec<String> {
+    let mut lines = Vec::new();
+    for client in 0..clients {
+        for i in 0..per_client {
+            lines.push(schedule(SEED, client, i).to_json());
+        }
+    }
+    lines
+}
+
+/// Serial single-threaded baseline: request id → response line.
+fn baseline(lines: &[String]) -> BTreeMap<String, String> {
+    let service = EvaluationService::new(1, 8);
+    lines
+        .iter()
+        .map(|line| {
+            let response = service.handle_line(line);
+            let (id, ok) = EvaluationResponse::parse_status(&response).expect("malformed response");
+            assert!(ok, "baseline request failed: {response}");
+            (id, response)
+        })
+        .collect()
+}
+
+#[test]
+fn responses_are_identical_across_thread_counts() {
+    let lines = request_lines(2, 6);
+    let expected = baseline(&lines);
+    for threads in [1usize, 4, 8] {
+        let service = EvaluationService::new(threads, 8);
+        for line in &lines {
+            let response = service.handle_line(line);
+            let (id, _) = EvaluationResponse::parse_status(&response).unwrap();
+            assert_eq!(
+                Some(&response),
+                expected.get(&id),
+                "thread count {threads} changed the bytes of {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_tcp_clients_match_the_serial_baseline() {
+    let clients = 4usize;
+    let per_client = 5u64;
+    let expected = baseline(&request_lines(clients, per_client));
+
+    let service = Arc::new(EvaluationService::new(4, 8));
+    let (addr, _accept) = spawn_tcp(service, "127.0.0.1:0").expect("bind");
+
+    // Interleave: every client holds an open connection while all of
+    // them alternate one request at a time, so the server sees the
+    // connections concurrently and the cache state each request observes
+    // differs from the serial run.
+    let streams: Vec<TcpStream> = (0..clients)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    let mut readers: Vec<BufReader<TcpStream>> = streams
+        .iter()
+        .map(|s| BufReader::new(s.try_clone().expect("clone")))
+        .collect();
+    let mut streams = streams;
+
+    let mut got = BTreeMap::new();
+    for i in 0..per_client {
+        for client in 0..clients {
+            let line = schedule(SEED, client, i).to_json();
+            streams[client]
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("send");
+            let mut response = String::new();
+            readers[client].read_line(&mut response).expect("recv");
+            let response = response.trim_end().to_string();
+            let (id, ok) = EvaluationResponse::parse_status(&response).expect("malformed");
+            assert!(ok, "request {id} failed over TCP: {response}");
+            got.insert(id, response);
+        }
+    }
+
+    assert_eq!(got, expected, "interleaving changed response bytes");
+}
+
+#[test]
+fn lru_eviction_is_invisible_in_response_bytes() {
+    // The schedule cycles through three distinct worlds per client, so a
+    // capacity-1 cache must rebuild a world on almost every request.
+    let lines = request_lines(1, 9);
+
+    let roomy = EvaluationService::new(2, 16);
+    let tight = EvaluationService::new(2, 1);
+    for line in &lines {
+        assert_eq!(
+            roomy.handle_line(line),
+            tight.handle_line(line),
+            "cache capacity leaked into response bytes"
+        );
+    }
+
+    let roomy_stats = roomy.cache_stats();
+    let tight_stats = tight.cache_stats();
+    assert_eq!(roomy_stats.evictions, 0, "capacity 16 should never evict");
+    assert!(
+        tight_stats.evictions > 0,
+        "capacity 1 must evict across {} requests over multiple worlds",
+        lines.len()
+    );
+    assert!(tight_stats.misses > roomy_stats.misses, "forced rebuilds");
+    assert_eq!(tight_stats.len, 1);
+}

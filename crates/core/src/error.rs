@@ -7,7 +7,12 @@ use diversim_testing::TestingError;
 use diversim_universe::UniverseError;
 
 /// Errors raised by the core model computations.
+///
+/// `Display` messages are stable (downstream layers forward them as
+/// user- and wire-facing error strings); `#[non_exhaustive]` so new
+/// validations can add variants without a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// The two populations (or a population and a profile/suite) are
     /// defined over different demand spaces or fault models.

@@ -151,7 +151,13 @@ impl Default for SeedPolicy {
 
 /// Why a [`ScenarioBuilder`] (or a scenario method with structured
 /// arguments) rejected its inputs.
+///
+/// Every variant names the offending field or component, and the
+/// `Display` messages are stable — the serve layer forwards them
+/// verbatim as wire `error` strings. Marked `#[non_exhaustive]`:
+/// future validations may add variants without a breaking change.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum ScenarioError {
     /// A required ingredient was never supplied.
     Missing {

@@ -7,7 +7,12 @@ use diversim_universe::UniverseError;
 
 /// Errors raised while constructing test suites, generators or testing
 /// processes.
+///
+/// `Display` messages are stable (downstream layers forward them as
+/// user- and wire-facing error strings); `#[non_exhaustive]` so new
+/// validations can add variants without a breaking change.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TestingError {
     /// A suite referenced a demand outside its space.
     Universe(UniverseError),

@@ -133,6 +133,30 @@ fn universe_generation_is_reproducible() {
 }
 
 #[test]
+fn serve_responses_are_pure_functions_of_the_request_line() {
+    // The serve layer inherits the engine's determinism end to end: the
+    // same wire line answered by services with different worker counts
+    // and cache capacities — and answered twice by the same service, so
+    // once as a cache miss and once as a hit — yields identical bytes.
+    use diversim_bench::serve::EvaluationService;
+    let line = r#"{"api":"diversim/v1","id":"root-determinism","seed":5150,"stream":3,
+        "kind":"evaluate","world":{"kind":"fixture","name":"small-graded"},
+        "regime":{"kind":"back_to_back","gamma":0.3},"suite_size":6,
+        "replications":200,"study":"estimate"}"#
+        .replace('\n', "");
+    let reference = EvaluationService::new(1, 8).handle_line(&line);
+    assert!(
+        reference.contains("\"ok\":true"),
+        "bad response: {reference}"
+    );
+    for (threads, capacity) in [(4usize, 8usize), (8, 1)] {
+        let service = EvaluationService::new(threads, capacity);
+        assert_eq!(service.handle_line(&line), reference);
+        assert_eq!(service.handle_line(&line), reference, "cache hit differed");
+    }
+}
+
+#[test]
 fn campaigns_with_same_seed_share_version_draws() {
     // The campaign seed fully determines the sampled versions, so two
     // regimes at the same seed start from identical pairs — the paired
