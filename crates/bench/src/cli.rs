@@ -5,6 +5,8 @@
 //! $ diversim list
 //! $ diversim run e01
 //! $ diversim run --all --fast --threads 4 --out results/
+//! $ diversim sweep --all --fast --shard 0/2 --cells results/cells
+//! $ diversim sweep --all --fast --resume --out results/ --verify
 //! $ diversim report --run --smoke
 //! $ diversim report --results results/
 //! $ diversim docs --write
@@ -26,7 +28,11 @@ use crate::report::Table;
 use crate::serve::server::{serve_stdio, serve_tcp};
 use crate::serve::service::{execute_experiment, EvaluationService};
 use crate::serve::ExperimentRequest;
-use crate::spec::Profile;
+use crate::spec::{ExperimentSpec, Profile};
+use crate::sweep::{
+    render_scaling_json, sweep_experiment, verify_against_direct_run, CellStore, Shard,
+    SweepOptions, SweepRun, SweepStats,
+};
 
 const USAGE: &str = "diversim — unified driver for the 16 Popov & Littlewood reproductions
 
@@ -34,6 +40,10 @@ USAGE:
     diversim list
     diversim run [EXPERIMENT...] [--all] [--smoke|--fast|--full]
                  [--threads N] [--out DIR] [--quiet]
+    diversim sweep [EXPERIMENT...] [--all] [--smoke|--fast|--full]
+                   [--threads N] [--cells DIR] [--out DIR]
+                   [--shard I/N] [--resume] [--verify]
+                   [--bench-out FILE] [--quiet]
     diversim serve [--stdio | --tcp ADDR] [--threads N] [--cache N]
                    [--quiet]
     diversim report [--run | --results DIR] [--smoke|--fast|--full]
@@ -53,6 +63,16 @@ OPTIONS:
                    report: book output root (default: the workspace root,
                    i.e. the committed REPORT.md + report/ book)
     --quiet        suppress experiment narration and tables
+
+`sweep` runs experiments cell-by-cell against a content-addressed cell
+store (--cells, default <out>/cells or results/cells). Unsharded
+sweeps merge to the exact bytes `diversim run` emits; --shard I/N
+computes only this shard's cells (no merged output — the store is the
+product); --resume serves verified cached cells and recomputes only
+missing or corrupt ones, printing a cache-hit summary; --verify
+byte-compares every merged result against a direct engine run;
+--bench-out FILE times one cold and one warm pass and writes the
+sweep-scaling trajectory JSON.
 
 `serve` answers diversim/v1 evaluation requests (one JSON object per
 line; see README \"Serving\") on stdin/stdout (--stdio, the default) or
@@ -251,6 +271,280 @@ fn run_requests(requests: &[ExperimentRequest], opts: &RunOptions) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Options of `diversim sweep`.
+#[derive(Debug, Clone)]
+struct SweepCliOptions {
+    profile: Profile,
+    threads: usize,
+    /// The cell store directory.
+    cells: PathBuf,
+    /// Where merged result files go (unsharded passes only).
+    out: Option<PathBuf>,
+    shard: Option<Shard>,
+    resume: bool,
+    verify: bool,
+    /// Write the cold/warm sweep-scaling trajectory here.
+    bench_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<(Vec<String>, bool, SweepCliOptions), String> {
+    let mut keys = Vec::new();
+    let mut all = false;
+    let mut cells: Option<PathBuf> = None;
+    let mut shard = None;
+    let mut resume = false;
+    let mut verify = false;
+    let mut bench_out: Option<PathBuf> = None;
+    let mut flags = CommonFlags::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if flags.consume(arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--all" => all = true,
+            "--cells" => {
+                let value = it.next().ok_or("--cells needs a directory")?;
+                cells = Some(PathBuf::from(value));
+            }
+            "--shard" => {
+                let value = it.next().ok_or("--shard needs i/n (e.g. 0/2)")?;
+                shard = Some(Shard::parse(value)?);
+            }
+            "--resume" => resume = true,
+            "--verify" => verify = true,
+            "--bench-out" => {
+                let value = it.next().ok_or("--bench-out needs a file path")?;
+                bench_out = Some(PathBuf::from(value));
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown sweep flag: {flag}")),
+            key => keys.push(key.to_string()),
+        }
+    }
+    if shard.is_some() {
+        if flags.out.is_some() {
+            return Err("--shard passes produce no merged output; drop --out".into());
+        }
+        if verify {
+            return Err("--verify compares merged output and needs an unsharded pass".into());
+        }
+        if bench_out.is_some() {
+            return Err("--bench-out times full passes and needs an unsharded sweep".into());
+        }
+    }
+    if bench_out.is_some() && resume {
+        return Err("--bench-out runs its own cold and warm passes; drop --resume".into());
+    }
+    let cells = cells.unwrap_or_else(|| {
+        flags
+            .out
+            .as_ref()
+            .map(|out| out.join("cells"))
+            .unwrap_or_else(|| PathBuf::from("results/cells"))
+    });
+    Ok((
+        keys,
+        all,
+        SweepCliOptions {
+            profile: flags.profile.unwrap_or(Profile::Full),
+            threads: flags.threads.unwrap_or_else(default_threads),
+            cells,
+            out: flags.out,
+            shard,
+            resume,
+            verify,
+            bench_out,
+            quiet: flags.quiet,
+        },
+    ))
+}
+
+/// Runs one sweep pass over `specs`, printing per-experiment cache
+/// accounting unless `opts.quiet`. Returns the runs plus the
+/// accumulated stats.
+fn sweep_pass(
+    specs: &[&'static ExperimentSpec],
+    store: &CellStore,
+    opts: &SweepOptions,
+) -> (Vec<SweepRun>, SweepStats) {
+    let mut runs = Vec::with_capacity(specs.len());
+    let mut total = SweepStats::default();
+    for spec in specs {
+        let run = sweep_experiment(spec, store, opts);
+        if !opts.quiet {
+            println!("{}: {}", spec.name, run.stats.summary());
+        }
+        total.add(run.stats);
+        runs.push(run);
+    }
+    (runs, total)
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let parsed = parse_sweep_args(args).and_then(|(keys, all, opts)| {
+        resolve(&keys, all, opts.profile).map(|requests| (requests, opts))
+    });
+    let (requests, opts) = match parsed {
+        Ok(ok) => ok,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let specs: Vec<&'static ExperimentSpec> = requests
+        .iter()
+        .map(|r| registry::find(&r.key).expect("resolve returns registered keys"))
+        .collect();
+    let store = CellStore::new(&opts.cells);
+    let started = Instant::now();
+
+    if let Some(bench_path) = &opts.bench_out {
+        return sweep_bench(&specs, &store, &opts, bench_path);
+    }
+
+    let pass = SweepOptions {
+        profile: opts.profile,
+        threads: opts.threads,
+        shard: opts.shard,
+        resume: opts.resume,
+        quiet: opts.quiet,
+    };
+    let (runs, total) = sweep_pass(&specs, &store, &pass);
+    println!(
+        "sweep [{}{}]: {} ({:.2}s)",
+        opts.profile.name(),
+        opts.shard
+            .map(|s| format!(", shard {}/{}", s.index, s.count))
+            .unwrap_or_default(),
+        total.summary(),
+        started.elapsed().as_secs_f64()
+    );
+    if opts.shard.is_some() {
+        // Sharded passes only populate the store; merged outputs (and
+        // check enforcement) belong to the unsharded merge pass.
+        println!("cells: {}", store.dir().display());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed_experiments = 0;
+    let mut drifted = 0;
+    for run in &runs {
+        if let Some(dir) = &opts.out {
+            if let Err(e) = write_outcome(dir, &run.outcome) {
+                eprintln!(
+                    "error: could not write results for {}: {e}",
+                    run.outcome.spec.name
+                );
+                return ExitCode::from(2);
+            }
+        }
+        if !run.outcome.passed {
+            failed_experiments += 1;
+            for check in run.outcome.checks.iter().filter(|c| !c.passed) {
+                eprintln!("FAILED [{}]: {}", run.outcome.spec.name, check.label);
+            }
+        }
+        if opts.verify {
+            match verify_against_direct_run(run) {
+                Ok(()) => {
+                    if !opts.quiet {
+                        println!(
+                            "verified {}: byte-identical to a direct run",
+                            run.outcome.spec.name
+                        );
+                    }
+                }
+                Err(message) => {
+                    drifted += 1;
+                    eprintln!("DRIFT: {message}");
+                }
+            }
+        }
+    }
+    if let Some(dir) = &opts.out {
+        println!("results: {}", dir.display());
+    }
+    if drifted > 0 {
+        eprintln!("{drifted} experiment(s) drifted from the direct engine");
+        return ExitCode::from(1);
+    }
+    if failed_experiments > 0 {
+        eprintln!("{failed_experiments} experiment(s) failed enforced checks");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--bench-out`: one cold pass (compute and persist every cell), one
+/// warm `--resume` pass (everything cached), byte-equality between the
+/// two, then the sweep-scaling trajectory JSON.
+fn sweep_bench(
+    specs: &[&'static ExperimentSpec],
+    store: &CellStore,
+    opts: &SweepCliOptions,
+    bench_path: &Path,
+) -> ExitCode {
+    let pass = |resume: bool| SweepOptions {
+        profile: opts.profile,
+        threads: opts.threads,
+        shard: None,
+        resume,
+        quiet: true,
+    };
+    let cold_started = Instant::now();
+    let (cold_runs, cold) = sweep_pass(specs, store, &pass(false));
+    let cold_ns = cold_started.elapsed().as_nanos();
+    let warm_started = Instant::now();
+    let (warm_runs, warm) = sweep_pass(specs, store, &pass(true));
+    let warm_ns = warm_started.elapsed().as_nanos();
+
+    for (a, b) in cold_runs.iter().zip(&warm_runs) {
+        if a.outcome.json != b.outcome.json || a.outcome.csv != b.outcome.csv {
+            eprintln!(
+                "DRIFT: {}: warm-cache pass is not byte-identical to the cold pass",
+                a.outcome.spec.name
+            );
+            return ExitCode::from(1);
+        }
+    }
+    if let Some(dir) = &opts.out {
+        for run in &warm_runs {
+            if let Err(e) = write_outcome(dir, &run.outcome) {
+                eprintln!(
+                    "error: could not write results for {}: {e}",
+                    run.outcome.spec.name
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let doc = render_scaling_json(
+        opts.profile,
+        opts.threads,
+        specs.len() as u64,
+        cold_ns,
+        warm_ns,
+        cold,
+        warm,
+    );
+    if let Err(e) = std::fs::write(bench_path, &doc) {
+        eprintln!("error: could not write {}: {e}", bench_path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "sweep bench [{}]: cold {:.2}s ({} cells computed), warm {:.2}s ({} cached), {:.1}x",
+        opts.profile.name(),
+        cold_ns as f64 / 1e9,
+        cold.computed,
+        warm_ns as f64 / 1e9,
+        warm.hits,
+        cold_ns as f64 / (warm_ns as f64).max(1.0)
+    );
+    println!("wrote {}", bench_path.display());
+    ExitCode::SUCCESS
 }
 
 /// Options of `diversim serve`.
@@ -555,6 +849,7 @@ pub fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some(("sweep", rest)) => sweep(rest),
         Some(("serve", rest)) => serve(rest),
         Some(("report", rest)) => report(rest),
         Some(("docs", rest)) => docs(rest),
@@ -684,6 +979,52 @@ mod tests {
         assert_eq!(requests[0].key, "e02");
         assert_eq!(requests[1].key, "e16");
         assert!(requests.iter().all(|r| r.profile == Profile::Fast));
+    }
+
+    #[test]
+    fn parse_sweep_args_covers_modes_defaults_and_conflicts() {
+        let (keys, all, opts) = parse_sweep_args(&strings(&["--all", "--fast"])).unwrap();
+        assert!(keys.is_empty());
+        assert!(all);
+        assert_eq!(opts.profile, Profile::Fast);
+        assert_eq!(opts.cells, PathBuf::from("results/cells"));
+        assert!(opts.out.is_none() && opts.shard.is_none());
+        assert!(!opts.resume && !opts.verify && opts.bench_out.is_none());
+
+        // --cells defaults under --out when not given explicitly.
+        let (_, _, opts) = parse_sweep_args(&strings(&["e01", "--out", "r"])).unwrap();
+        assert_eq!(opts.cells, PathBuf::from("r/cells"));
+        let (_, _, opts) =
+            parse_sweep_args(&strings(&["e01", "--out", "r", "--cells", "c"])).unwrap();
+        assert_eq!(opts.cells, PathBuf::from("c"));
+
+        let (keys, _, opts) = parse_sweep_args(&strings(&[
+            "e01",
+            "--shard",
+            "1/2",
+            "--smoke",
+            "--threads",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(keys, ["e01"]);
+        assert_eq!(opts.shard, Some(Shard { index: 1, count: 2 }));
+        assert_eq!((opts.threads, opts.quiet), (2, true));
+
+        let (_, _, opts) = parse_sweep_args(&strings(&["--all", "--resume", "--verify"])).unwrap();
+        assert!(opts.resume && opts.verify);
+
+        // Sharded passes have no merged output to write, verify or time.
+        assert!(parse_sweep_args(&strings(&["--shard", "0/2", "--out", "r"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--shard", "0/2", "--verify"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--shard", "0/2", "--bench-out", "b.json"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--bench-out", "b.json", "--resume"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--shard", "2/2"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--shard"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--cells"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--bench-out"])).is_err());
+        assert!(parse_sweep_args(&strings(&["--bogus"])).is_err());
     }
 
     #[test]

@@ -37,14 +37,28 @@ pub struct RunOutcome {
 }
 
 /// Executes one experiment under a profile and renders its results.
+/// Every cell the experiment declares computes inline.
 pub fn run_experiment(
     spec: &'static ExperimentSpec,
     profile: Profile,
     threads: usize,
     quiet: bool,
 ) -> RunOutcome {
+    run_experiment_with_cells(spec, profile, threads, quiet, None)
+}
+
+/// [`run_experiment`] with an explicit cell-execution policy: `cells`
+/// decides per declared cell whether to compute, serve from cache or
+/// skip (the sweep engine's entry point).
+pub fn run_experiment_with_cells(
+    spec: &'static ExperimentSpec,
+    profile: Profile,
+    threads: usize,
+    quiet: bool,
+    cells: Option<Box<dyn crate::sweep::cell::CellExecutor>>,
+) -> RunOutcome {
     let started = Instant::now();
-    let mut ctx = RunContext::new(profile, threads, quiet);
+    let mut ctx = RunContext::for_experiment(spec.name, profile, threads, quiet, cells);
     (spec.run)(&mut ctx);
     let wall = started.elapsed();
     let failed = ctx.failed_checks().len();

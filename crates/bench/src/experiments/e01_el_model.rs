@@ -12,7 +12,6 @@ use rand::SeedableRng;
 use diversim_core::el::ElAnalysis;
 use diversim_sim::runner::parallel_reduce;
 use diversim_stats::reduce::Moments;
-use diversim_stats::seed::SeedSequence;
 use diversim_universe::population::Population;
 
 use crate::report::Table;
@@ -68,14 +67,28 @@ fn run(ctx: &mut RunContext) {
 
         // Monte Carlo: draw version pairs, stream the exact conditional
         // joint pfd of each pair straight into moment accumulators.
-        let seeds = SeedSequence::new(1000 + (spread * 10.0) as u64);
-        let model = world.pop_a.model().clone();
-        let acc = parallel_reduce(replications, seeds, ctx.threads(), &Moments, |_, seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let v1 = world.pop_a.sample(&mut rng);
-            let v2 = world.pop_a.sample(&mut rng);
-            diversim_core::system::pair_pfd(&v1, &v2, &model, &world.profile)
-        });
+        // One sweep cell per spread; its replication streams derive
+        // from the cell identity (`CellScope::seeds`).
+        let mc = ctx.cell(
+            format!("world=graded-spread({spread:.1})|study=pair-pfd|reps={replications}"),
+            |scope| {
+                let model = world.pop_a.model().clone();
+                let acc = parallel_reduce(
+                    replications,
+                    scope.seeds(),
+                    scope.threads(),
+                    &Moments,
+                    |_, seed| {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let v1 = world.pop_a.sample(&mut rng);
+                        let v2 = world.pop_a.sample(&mut rng);
+                        diversim_core::system::pair_pfd(&v1, &v2, &model, &world.profile)
+                    },
+                );
+                vec![acc.mean(), acc.standard_error()]
+            },
+        );
+        let (mc_mean, mc_se) = (mc.get(0), mc.get(1));
 
         table.row(&[
             format!("{spread:.1}"),
@@ -84,8 +97,8 @@ fn run(ctx: &mut RunContext) {
             format!("{:.6}", el.joint_pfd),
             format!("{:.6}", el.independent_pfd),
             format!("{:.3}", el.dependence_ratio().unwrap_or(f64::NAN)),
-            format!("{:.6}", acc.mean()),
-            format!("{:.6}", acc.standard_error()),
+            format!("{mc_mean:.6}"),
+            format!("{mc_se:.6}"),
         ]);
 
         // Reproduction checks.
@@ -105,7 +118,7 @@ fn run(ctx: &mut RunContext) {
             );
         }
         ctx.check(
-            (acc.mean() - el.joint_pfd).abs() < 4.0 * acc.standard_error() + 1e-9,
+            (mc_mean - el.joint_pfd).abs() < 4.0 * mc_se + 1e-9,
             format!("MC agrees with exact at spread {spread}"),
         );
     }

@@ -62,24 +62,29 @@ fn run(ctx: &mut RunContext) {
     let w = small_graded();
     let support = w.pop_a.enumerate(1 << 12).expect("enumerable");
     for n in [1usize, 2, 3] {
-        let m = enumerate_iid_suites(&w.profile, n, 1 << 14).expect("enumerable");
-        let max_err = w
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint = brute::joint_on_demand_independent(
-                    &support,
-                    &support,
-                    &m,
-                    &m,
-                    w.pop_a.model(),
-                    x,
-                );
-                let z = zeta(&w.pop_a, x, &m);
-                (brute_joint - z * z).abs()
+        let max_err = ctx
+            .cell(format!("regime=eq16|world=small-graded|n={n}"), |_scope| {
+                let m = enumerate_iid_suites(&w.profile, n, 1 << 14).expect("enumerable");
+                let max_err = w
+                    .profile
+                    .space()
+                    .iter()
+                    .map(|x| {
+                        let brute_joint = brute::joint_on_demand_independent(
+                            &support,
+                            &support,
+                            &m,
+                            &m,
+                            w.pop_a.model(),
+                            x,
+                        );
+                        let z = zeta(&w.pop_a, x, &m);
+                        (brute_joint - z * z).abs()
+                    })
+                    .fold(0.0, f64::max);
+                vec![max_err]
             })
-            .fold(0.0, f64::max);
+            .get(0);
         table.row(&[
             "eq16 same-pop/same-proc".into(),
             n.to_string(),
@@ -93,18 +98,32 @@ fn run(ctx: &mut RunContext) {
     let sa = wf.pop_a.enumerate(1 << 12).expect("enumerable");
     let sb = wf.pop_b.enumerate(1 << 12).expect("enumerable");
     for n in [1usize, 2] {
-        let m = enumerate_iid_suites(&wf.profile, n, 1 << 14).expect("enumerable");
-        let max_err = wf
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint =
-                    brute::joint_on_demand_independent(&sa, &sb, &m, &m, wf.pop_a.model(), x);
-                let z = zeta(&wf.pop_a, x, &m) * zeta(&wf.pop_b, x, &m);
-                (brute_joint - z).abs()
-            })
-            .fold(0.0, f64::max);
+        let max_err = ctx
+            .cell(
+                format!("regime=eq17|world=mirrored(0.5,0.05)|n={n}"),
+                |_scope| {
+                    let m = enumerate_iid_suites(&wf.profile, n, 1 << 14).expect("enumerable");
+                    let max_err = wf
+                        .profile
+                        .space()
+                        .iter()
+                        .map(|x| {
+                            let brute_joint = brute::joint_on_demand_independent(
+                                &sa,
+                                &sb,
+                                &m,
+                                &m,
+                                wf.pop_a.model(),
+                                x,
+                            );
+                            let z = zeta(&wf.pop_a, x, &m) * zeta(&wf.pop_b, x, &m);
+                            (brute_joint - z).abs()
+                        })
+                        .fold(0.0, f64::max);
+                    vec![max_err]
+                },
+            )
+            .get(0);
         table.row(&[
             "eq17 forced-design".into(),
             n.to_string(),
@@ -119,25 +138,33 @@ fn run(ctx: &mut RunContext) {
         UsageProfile::from_weights(w.profile.space(), vec![0.05, 0.05, 0.1, 0.2, 0.3, 0.3])
             .expect("valid weights");
     for n in [1usize, 2] {
-        let ma = enumerate_iid_suites(&w.profile, n, 1 << 14).expect("enumerable");
-        let mb = enumerate_iid_suites(&debug_profile, n, 1 << 14).expect("enumerable");
-        let max_err = w
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint = brute::joint_on_demand_independent(
-                    &support,
-                    &support,
-                    &ma,
-                    &mb,
-                    w.pop_a.model(),
-                    x,
-                );
-                let z = zeta(&w.pop_a, x, &ma) * zeta(&w.pop_a, x, &mb);
-                (brute_joint - z).abs()
-            })
-            .fold(0.0, f64::max);
+        let max_err = ctx
+            .cell(
+                format!("regime=eq18|world=small-graded|profile-b=debug-skewed|n={n}"),
+                |_scope| {
+                    let ma = enumerate_iid_suites(&w.profile, n, 1 << 14).expect("enumerable");
+                    let mb = enumerate_iid_suites(&debug_profile, n, 1 << 14).expect("enumerable");
+                    let max_err = w
+                        .profile
+                        .space()
+                        .iter()
+                        .map(|x| {
+                            let brute_joint = brute::joint_on_demand_independent(
+                                &support,
+                                &support,
+                                &ma,
+                                &mb,
+                                w.pop_a.model(),
+                                x,
+                            );
+                            let z = zeta(&w.pop_a, x, &ma) * zeta(&w.pop_a, x, &mb);
+                            (brute_joint - z).abs()
+                        })
+                        .fold(0.0, f64::max);
+                    vec![max_err]
+                },
+            )
+            .get(0);
         table.row(&[
             "eq18 forced-testing".into(),
             n.to_string(),
@@ -147,28 +174,42 @@ fn run(ctx: &mut RunContext) {
 
         // Forced design + forced testing: mirrored pops over the 8-demand
         // space, two different suite procedures.
-        let mb8 = enumerate_iid_suites(
-            &UsageProfile::from_weights(
-                wf.profile.space(),
-                vec![0.05, 0.05, 0.05, 0.05, 0.2, 0.2, 0.2, 0.2],
+        let max_err_19 = ctx
+            .cell(
+                format!("regime=eq19|world=mirrored(0.5,0.05)|profile-b=tail-heavy|n={n}"),
+                |_scope| {
+                    let mb8 = enumerate_iid_suites(
+                        &UsageProfile::from_weights(
+                            wf.profile.space(),
+                            vec![0.05, 0.05, 0.05, 0.05, 0.2, 0.2, 0.2, 0.2],
+                        )
+                        .expect("valid"),
+                        n,
+                        1 << 14,
+                    )
+                    .expect("enumerable");
+                    let ma8 = enumerate_iid_suites(&wf.profile, n, 1 << 14).expect("enumerable");
+                    let max_err = wf
+                        .profile
+                        .space()
+                        .iter()
+                        .map(|x| {
+                            let brute_joint = brute::joint_on_demand_independent(
+                                &sa,
+                                &sb,
+                                &ma8,
+                                &mb8,
+                                wf.pop_a.model(),
+                                x,
+                            );
+                            let z = zeta(&wf.pop_a, x, &ma8) * zeta(&wf.pop_b, x, &mb8);
+                            (brute_joint - z).abs()
+                        })
+                        .fold(0.0, f64::max);
+                    vec![max_err]
+                },
             )
-            .expect("valid"),
-            n,
-            1 << 14,
-        )
-        .expect("enumerable");
-        let ma8 = enumerate_iid_suites(&wf.profile, n, 1 << 14).expect("enumerable");
-        let max_err_19 = wf
-            .profile
-            .space()
-            .iter()
-            .map(|x| {
-                let brute_joint =
-                    brute::joint_on_demand_independent(&sa, &sb, &ma8, &mb8, wf.pop_a.model(), x);
-                let z = zeta(&wf.pop_a, x, &ma8) * zeta(&wf.pop_b, x, &mb8);
-                (brute_joint - z).abs()
-            })
-            .fold(0.0, f64::max);
+            .get(0);
         table.row(&[
             "eq19 forced-design+testing".into(),
             n.to_string(),

@@ -47,8 +47,28 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E4: the shared suite induces per-demand failure dependence (eq 20)\n");
     let w = small_graded();
     let suite_size = 3;
-    let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 14).expect("enumerable");
-    let support = w.pop_a.enumerate(1 << 12).expect("enumerable");
+
+    // One exact cell; payload = [θ, ζ, ζ², Var_Ξ, joint, brute] per demand.
+    let cell = ctx.cell(
+        format!("world=small-graded|suite={suite_size}|study=per-demand-eq20"),
+        |_scope| {
+            let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 14).expect("enumerable");
+            let support = w.pop_a.enumerate(1 << 12).expect("enumerable");
+            let mut values = Vec::new();
+            for x in w.profile.space().iter() {
+                let joint = joint_shared_suite(&w.pop_a, &w.pop_a, &m, x);
+                values.extend([
+                    w.pop_a.theta(x),
+                    zeta(&w.pop_a, x, &m),
+                    joint.independent,
+                    joint.coupling,
+                    joint.total(),
+                    brute::joint_on_demand_shared(&support, &support, &m, w.pop_a.model(), x),
+                ]);
+            }
+            values
+        },
+    );
 
     let mut table = Table::new(
         &format!("per-demand decomposition, {suite_size}-demand shared suites"),
@@ -64,13 +84,12 @@ fn run(ctx: &mut RunContext) {
         ],
     );
 
-    for x in w.profile.space().iter() {
-        let theta = w.pop_a.theta(x);
-        let z = zeta(&w.pop_a, x, &m);
-        let joint = joint_shared_suite(&w.pop_a, &w.pop_a, &m, x);
-        let brute_joint = brute::joint_on_demand_shared(&support, &support, &m, w.pop_a.model(), x);
-        let err_pct = if joint.total() > 0.0 {
-            100.0 * joint.coupling / joint.total()
+    for (i, x) in w.profile.space().iter().enumerate() {
+        let at = |j: usize| cell.get(6 * i + j);
+        let (theta, z, independent, coupling, total, brute_joint) =
+            (at(0), at(1), at(2), at(3), at(4), at(5));
+        let err_pct = if total > 0.0 {
+            100.0 * coupling / total
         } else {
             0.0
         };
@@ -78,25 +97,22 @@ fn run(ctx: &mut RunContext) {
             x.to_string(),
             format!("{theta:.6}"),
             format!("{z:.6}"),
-            format!("{:.6}", joint.independent),
-            format!("{:.6}", joint.coupling),
-            format!("{:.6}", joint.total()),
+            format!("{independent:.6}"),
+            format!("{coupling:.6}"),
+            format!("{total:.6}"),
             format!("{brute_joint:.6}"),
             format!("{err_pct:.1}"),
         ]);
         // eq 20 identities and inequality.
         ctx.check(
-            (joint.total() - brute_joint).abs() < 1e-12,
+            (total - brute_joint).abs() < 1e-12,
             format!("eq20 matches brute force at {x}"),
         );
         ctx.check(
-            (joint.independent - z * z).abs() < 1e-12,
+            (independent - z * z).abs() < 1e-12,
             format!("mean term is ζ² at {x}"),
         );
-        ctx.check(
-            joint.coupling >= -1e-15,
-            format!("non-negative variance at {x}"),
-        );
+        ctx.check(coupling >= -1e-15, format!("non-negative variance at {x}"));
         ctx.check(
             theta + 1e-15 >= z,
             format!("testing does not worsen difficulty at {x}"),

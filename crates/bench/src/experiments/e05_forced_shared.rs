@@ -45,35 +45,54 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
 fn run_world(
     ctx: &mut RunContext,
     label: &str,
+    cell_key: &str,
     world: &World,
     suite_size: usize,
     table: &mut Table,
 ) -> (f64, f64) {
-    let m = enumerate_iid_suites(&world.profile, suite_size, 1 << 14).expect("enumerable");
-    let sa = world.pop_a.enumerate(1 << 12).expect("enumerable");
-    let sb = world.pop_b.enumerate(1 << 12).expect("enumerable");
+    // One exact cell per world; payload = [ζ_Aζ_B (mean term), coupling,
+    // total, brute, ζ_A·ζ_B (direct product)] per demand.
+    let cell = ctx.cell(
+        format!("world={cell_key}|suite={suite_size}|study=per-demand-eq21"),
+        |_scope| {
+            let m = enumerate_iid_suites(&world.profile, suite_size, 1 << 14).expect("enumerable");
+            let sa = world.pop_a.enumerate(1 << 12).expect("enumerable");
+            let sb = world.pop_b.enumerate(1 << 12).expect("enumerable");
+            let mut values = Vec::new();
+            for x in world.profile.space().iter() {
+                let joint = joint_shared_suite(&world.pop_a, &world.pop_b, &m, x);
+                values.extend([
+                    joint.independent,
+                    joint.coupling,
+                    joint.total(),
+                    brute::joint_on_demand_shared(&sa, &sb, &m, world.pop_a.model(), x),
+                    zeta(&world.pop_a, x, &m) * zeta(&world.pop_b, x, &m),
+                ]);
+            }
+            values
+        },
+    );
     let mut min_cov = f64::INFINITY;
     let mut max_cov = f64::NEG_INFINITY;
-    for x in world.profile.space().iter() {
-        let joint = joint_shared_suite(&world.pop_a, &world.pop_b, &m, x);
-        let brute_joint = brute::joint_on_demand_shared(&sa, &sb, &m, world.pop_a.model(), x);
+    for (i, x) in world.profile.space().iter().enumerate() {
+        let at = |j: usize| cell.get(5 * i + j);
+        let (independent, coupling, total, brute_joint, prod) = (at(0), at(1), at(2), at(3), at(4));
         ctx.check(
-            (joint.total() - brute_joint).abs() < 1e-12,
+            (total - brute_joint).abs() < 1e-12,
             format!("eq21 matches brute force on {label} at {x}"),
         );
-        let prod = zeta(&world.pop_a, x, &m) * zeta(&world.pop_b, x, &m);
         ctx.check(
-            (joint.independent - prod).abs() < 1e-12,
+            (independent - prod).abs() < 1e-12,
             format!("eq21 mean term is ζ_Aζ_B on {label} at {x}"),
         );
-        min_cov = min_cov.min(joint.coupling);
-        max_cov = max_cov.max(joint.coupling);
+        min_cov = min_cov.min(coupling);
+        max_cov = max_cov.max(coupling);
         table.row(&[
             label.to_string(),
             x.to_string(),
-            format!("{:.6}", joint.independent),
-            format!("{:+.6}", joint.coupling),
-            format!("{:.6}", joint.total()),
+            format!("{independent:.6}"),
+            format!("{coupling:+.6}"),
+            format!("{total:.6}"),
         ]);
     }
     (min_cov, max_cov)
@@ -97,12 +116,12 @@ fn run(ctx: &mut RunContext) {
     // Mirrored singleton world: coupling is non-negative (suites kill both
     // methodologies' faults on the same demands).
     let wm = mirrored(0.8, 0.1);
-    let (_, max_cov_m) = run_world(ctx, "mirrored", &wm, 1, &mut table);
+    let (_, max_cov_m) = run_world(ctx, "mirrored", "mirrored(0.8,0.1)", &wm, 1, &mut table);
 
     // Engineered overlap world: the same suite repairs A and B on
     // *different* demands → negative covariance on the contested demand.
     let wn = negative_coupling();
-    let (min_cov_n, _) = run_world(ctx, "neg-coupling", &wn, 1, &mut table);
+    let (min_cov_n, _) = run_world(ctx, "neg-coupling", "negative-coupling", &wn, 1, &mut table);
 
     ctx.emit(table, "e05_forced_shared");
 

@@ -45,7 +45,6 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E6: shared vs independent suites — the marginal system pfd (eqs 22–23)\n");
     let w = small_graded();
     let scenario = w.scenario().build().expect("valid world");
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
         "system pfd vs suite size (exact + MC)",
@@ -63,57 +62,70 @@ fn run(ctx: &mut RunContext) {
     );
 
     for n in [0usize, 1, 2, 4, 6, 8, 12] {
-        let m = enumerate_iid_suites(&w.profile, n, 1 << 16).expect("enumerable");
-        let ind = MarginalAnalysis::compute(
-            &w.pop_a,
-            &w.pop_a,
-            SuiteAssignment::independent(&m),
-            &w.profile,
+        // One cell per suite size: exact eq-22/eq-23 values plus both MC
+        // estimates (seeds 600+n / 700+n, encoded in the key).
+        let cell = ctx.cell(
+            format!(
+                "world=small-graded|n={n}|seeds=600+n,700+n|reps={replications}|study=eq22-vs-eq23"
+            ),
+            |scope| {
+                let m = enumerate_iid_suites(&w.profile, n, 1 << 16).expect("enumerable");
+                let ind = MarginalAnalysis::compute(
+                    &w.pop_a,
+                    &w.pop_a,
+                    SuiteAssignment::independent(&m),
+                    &w.profile,
+                );
+                let sh = MarginalAnalysis::compute(
+                    &w.pop_a,
+                    &w.pop_a,
+                    SuiteAssignment::Shared(&m),
+                    &w.profile,
+                );
+                let mc_ind = scenario
+                    .with_suite_size(n)
+                    .with_regime(CampaignRegime::IndependentSuites)
+                    .with_seed(600 + n as u64)
+                    .estimate(replications, scope.threads());
+                let mc_sh = scenario
+                    .with_suite_size(n)
+                    .with_seed(700 + n as u64)
+                    .estimate(replications, scope.threads());
+                vec![
+                    ind.system_pfd(),
+                    sh.system_pfd(),
+                    sh.suite_coupling,
+                    mc_ind.system_pfd.mean,
+                    mc_ind.system_pfd.standard_error,
+                    mc_sh.system_pfd.mean,
+                    mc_sh.system_pfd.standard_error,
+                ]
+            },
         );
-        let sh =
-            MarginalAnalysis::compute(&w.pop_a, &w.pop_a, SuiteAssignment::Shared(&m), &w.profile);
-        let mc_ind = scenario
-            .with_suite_size(n)
-            .with_regime(CampaignRegime::IndependentSuites)
-            .with_seed(600 + n as u64)
-            .estimate(replications, threads);
-        let mc_sh = scenario
-            .with_suite_size(n)
-            .with_seed(700 + n as u64)
-            .estimate(replications, threads);
-        let ratio = if ind.system_pfd() > 0.0 {
-            sh.system_pfd() / ind.system_pfd()
-        } else {
-            1.0
-        };
+        let (ind_pfd, sh_pfd, penalty) = (cell.get(0), cell.get(1), cell.get(2));
+        let (mc_ind_mean, mc_ind_se) = (cell.get(3), cell.get(4));
+        let (mc_sh_mean, mc_sh_se) = (cell.get(5), cell.get(6));
+        let ratio = if ind_pfd > 0.0 { sh_pfd / ind_pfd } else { 1.0 };
         table.row(&[
             n.to_string(),
-            format!("{:.6}", ind.system_pfd()),
-            format!("{:.6}", sh.system_pfd()),
-            format!("{:.6}", sh.suite_coupling),
+            format!("{ind_pfd:.6}"),
+            format!("{sh_pfd:.6}"),
+            format!("{penalty:.6}"),
             format!("{ratio:.3}"),
-            format!("{:.6}", mc_ind.system_pfd.mean),
-            format!("{:.6}", mc_ind.system_pfd.standard_error),
-            format!("{:.6}", mc_sh.system_pfd.mean),
-            format!("{:.6}", mc_sh.system_pfd.standard_error),
+            format!("{mc_ind_mean:.6}"),
+            format!("{mc_ind_se:.6}"),
+            format!("{mc_sh_mean:.6}"),
+            format!("{mc_sh_se:.6}"),
         ]);
 
+        ctx.check(sh_pfd + 1e-12 >= ind_pfd, format!("eq23 ≥ eq22 at n={n}"));
+        ctx.check(penalty >= -1e-12, format!("non-negative penalty at n={n}"));
         ctx.check(
-            sh.system_pfd() + 1e-12 >= ind.system_pfd(),
-            format!("eq23 ≥ eq22 at n={n}"),
-        );
-        ctx.check(
-            sh.suite_coupling >= -1e-12,
-            format!("non-negative penalty at n={n}"),
-        );
-        ctx.check(
-            (mc_ind.system_pfd.mean - ind.system_pfd()).abs()
-                < 4.0 * mc_ind.system_pfd.standard_error + 1e-9,
+            (mc_ind_mean - ind_pfd).abs() < 4.0 * mc_ind_se + 1e-9,
             format!("MC agrees with exact (independent) at n={n}"),
         );
         ctx.check(
-            (mc_sh.system_pfd.mean - sh.system_pfd()).abs()
-                < 4.0 * mc_sh.system_pfd.standard_error + 1e-9,
+            (mc_sh_mean - sh_pfd).abs() < 4.0 * mc_sh_se + 1e-9,
             format!("MC agrees with exact (shared) at n={n}"),
         );
     }

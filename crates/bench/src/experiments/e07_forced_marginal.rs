@@ -61,28 +61,36 @@ fn run(ctx: &mut RunContext) {
     let mut saw_shared_win = false;
     let mut saw_indep_win = false;
 
-    for (label, world) in [
-        ("mirrored", mirrored(0.8, 0.1)),
-        ("neg-coupling", negative_coupling()),
+    for (label, cell_key, world) in [
+        ("mirrored", "mirrored(0.8,0.1)", mirrored(0.8, 0.1)),
+        ("neg-coupling", "negative-coupling", negative_coupling()),
     ] {
         for n in [1usize, 2, 3] {
-            let m = enumerate_iid_suites(&world.profile, n, 1 << 14).expect("enumerable");
-            let ind = MarginalAnalysis::compute(
-                &world.pop_a,
-                &world.pop_b,
-                SuiteAssignment::independent(&m),
-                &world.profile,
+            // One exact cell per (world, n): [eq24 pfd, eq25 pfd, coupling].
+            let cell = ctx.cell(
+                format!("world={cell_key}|n={n}|study=eq24-vs-eq25"),
+                |_scope| {
+                    let m = enumerate_iid_suites(&world.profile, n, 1 << 14).expect("enumerable");
+                    let ind = MarginalAnalysis::compute(
+                        &world.pop_a,
+                        &world.pop_b,
+                        SuiteAssignment::independent(&m),
+                        &world.profile,
+                    );
+                    let sh = MarginalAnalysis::compute(
+                        &world.pop_a,
+                        &world.pop_b,
+                        SuiteAssignment::Shared(&m),
+                        &world.profile,
+                    );
+                    vec![ind.system_pfd(), sh.system_pfd(), sh.suite_coupling]
+                },
             );
-            let sh = MarginalAnalysis::compute(
-                &world.pop_a,
-                &world.pop_b,
-                SuiteAssignment::Shared(&m),
-                &world.profile,
-            );
-            let winner = if sh.system_pfd() < ind.system_pfd() - 1e-15 {
+            let (ind_pfd, sh_pfd, coupling) = (cell.get(0), cell.get(1), cell.get(2));
+            let winner = if sh_pfd < ind_pfd - 1e-15 {
                 saw_shared_win = true;
                 "SHARED"
-            } else if ind.system_pfd() < sh.system_pfd() - 1e-15 {
+            } else if ind_pfd < sh_pfd - 1e-15 {
                 saw_indep_win = true;
                 "indep"
             } else {
@@ -91,9 +99,9 @@ fn run(ctx: &mut RunContext) {
             table.row(&[
                 label.to_string(),
                 n.to_string(),
-                format!("{:.6}", ind.system_pfd()),
-                format!("{:.6}", sh.system_pfd()),
-                format!("{:+.6}", sh.suite_coupling),
+                format!("{ind_pfd:.6}"),
+                format!("{sh_pfd:.6}"),
+                format!("{coupling:+.6}"),
                 winner.to_string(),
             ]);
         }

@@ -50,7 +50,6 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E8: §3.4.1 cost trade-off — merged 2n shared vs independent n vs shared n\n");
     let w = medium_cascade(11);
     let scenario = w.scenario().build().expect("valid world");
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
         "system pfd by budget interpretation",
@@ -64,22 +63,42 @@ fn run(ctx: &mut RunContext) {
     );
 
     for n in [5usize, 10, 20, 40, 80] {
-        let ind = scenario
-            .with_suite_size(n)
-            .with_regime(CampaignRegime::IndependentSuites)
-            .with_seed(800 + n as u64)
-            .estimate(replications, threads);
-        let shared = scenario
-            .with_suite_size(n)
-            .with_seed(900 + n as u64)
-            .estimate(replications, threads);
-        // Merged arm via the paired comparison study (consecutive seeds to
-        // match the historical single-thread runs).
-        let merged = scenario
-            .with_seeds(SeedPolicy::offset(10_000))
-            .merged_estimate(n, replications, threads)
-            .merged_system;
-        let vals = [ind.system_pfd.mean, shared.system_pfd.mean, merged.mean];
+        // One MC cell per suite size: all three budget arms, seeds encoded
+        // in the key (800+n / 900+n / offset-10000 merged policy).
+        let cell = ctx.cell(
+            format!(
+                "world=medium-cascade(11)|n={n}|seeds=800+n,900+n,off10000|reps={replications}|study=budget-arms"
+            ),
+            |scope| {
+                let ind = scenario
+                    .with_suite_size(n)
+                    .with_regime(CampaignRegime::IndependentSuites)
+                    .with_seed(800 + n as u64)
+                    .estimate(replications, scope.threads());
+                let shared = scenario
+                    .with_suite_size(n)
+                    .with_seed(900 + n as u64)
+                    .estimate(replications, scope.threads());
+                // Merged arm via the paired comparison study (consecutive
+                // seeds to match the historical single-thread runs).
+                let merged = scenario
+                    .with_seeds(SeedPolicy::offset(10_000))
+                    .merged_estimate(n, replications, scope.threads())
+                    .merged_system;
+                vec![
+                    ind.system_pfd.mean,
+                    ind.system_pfd.standard_error,
+                    shared.system_pfd.mean,
+                    shared.system_pfd.standard_error,
+                    merged.mean,
+                    merged.standard_error,
+                ]
+            },
+        );
+        let (ind_mean, ind_se) = (cell.get(0), cell.get(1));
+        let (shared_mean, shared_se) = (cell.get(2), cell.get(3));
+        let (merged_mean, merged_se) = (cell.get(4), cell.get(5));
+        let vals = [ind_mean, shared_mean, merged_mean];
         let best = ["independent", "shared", "merged"][vals
             .iter()
             .enumerate()
@@ -88,9 +107,9 @@ fn run(ctx: &mut RunContext) {
             .expect("non-empty")];
         table.row(&[
             n.to_string(),
-            format!("{:.6}", ind.system_pfd.mean),
-            format!("{:.6}", shared.system_pfd.mean),
-            format!("{:.6}", merged.mean),
+            format!("{ind_mean:.6}"),
+            format!("{shared_mean:.6}"),
+            format!("{merged_mean:.6}"),
             best.to_string(),
         ]);
 
@@ -98,15 +117,11 @@ fn run(ctx: &mut RunContext) {
         // with free running, merged ≤ independent. Both arms of each
         // comparison are Monte Carlo, so the slack combines both SEs.
         ctx.check(
-            ind.system_pfd.mean
-                <= shared.system_pfd.mean
-                    + 3.0 * (ind.system_pfd.standard_error + shared.system_pfd.standard_error),
+            ind_mean <= shared_mean + 3.0 * (ind_se + shared_se),
             format!("independent beats shared at equal run budget (n={n})"),
         );
         ctx.check(
-            merged.mean
-                <= ind.system_pfd.mean
-                    + 3.0 * (merged.standard_error + ind.system_pfd.standard_error),
+            merged_mean <= ind_mean + 3.0 * (merged_se + ind_se),
             format!("merged 2n beats independent n (n={n})"),
         );
     }

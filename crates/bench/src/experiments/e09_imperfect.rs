@@ -48,16 +48,24 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E9: imperfect oracle / imperfect fixing stay inside the §4.1 bounds\n");
     let w = small_graded();
     let suite_size = 5;
-    let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
-    let bounds = ImperfectTestingBounds::compute(
-        &w.pop_a,
-        &w.pop_a,
-        SuiteAssignment::Shared(&m),
-        &w.profile,
+    // Exact cell: the §4.1 interval [lower, upper] for the shared suite.
+    let bounds = ctx.cell(
+        format!("world=small-graded|suite={suite_size}|study=sec41-bounds"),
+        |_scope| {
+            let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
+            let bounds = ImperfectTestingBounds::compute(
+                &w.pop_a,
+                &w.pop_a,
+                SuiteAssignment::Shared(&m),
+                &w.profile,
+            );
+            vec![bounds.lower, bounds.upper]
+        },
     );
+    let (lower, upper) = (bounds.get(0), bounds.get(1));
+    let width = upper - lower;
     ctx.note(format!(
-        "analytical bounds (shared suite, n={suite_size}): lower={:.6} (perfect testing), upper={:.6} (untested)\n",
-        bounds.lower, bounds.upper
+        "analytical bounds (shared suite, n={suite_size}): lower={lower:.6} (perfect testing), upper={upper:.6} (untested)\n",
     ));
 
     let scenario = w
@@ -65,7 +73,6 @@ fn run(ctx: &mut RunContext) {
         .suite_size(suite_size)
         .build()
         .expect("valid world");
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
         "measured system pfd across the (detect, fix) grid",
@@ -80,29 +87,39 @@ fn run(ctx: &mut RunContext) {
     let mut grid_means: Vec<(f64, f64, f64)> = Vec::new();
     for &detect in &[0.25, 0.5, 0.75, 1.0] {
         for &fix in &[0.25, 0.5, 0.75, 1.0] {
-            let est = scenario
-                .with_oracle(ImperfectOracle::new(detect).expect("valid"))
-                .with_fixer(ImperfectFixer::new(fix).expect("valid"))
-                .with_seed((detect * 100.0) as u64 * 1000 + (fix * 100.0) as u64)
-                .estimate(replications, threads);
-            let pos = if bounds.width() > 0.0 {
-                (est.system_pfd.mean - bounds.lower) / bounds.width()
+            // One MC cell per grid point: [system pfd mean, SE]; seed is a
+            // deterministic function of (detect, fix), encoded in the key.
+            let cell = ctx.cell(
+                format!(
+                    "world=small-graded|suite={suite_size}|detect={detect:.2}|fix={fix:.2}|reps={replications}|study=grid-pfd"
+                ),
+                |scope| {
+                    let est = scenario
+                        .with_oracle(ImperfectOracle::new(detect).expect("valid"))
+                        .with_fixer(ImperfectFixer::new(fix).expect("valid"))
+                        .with_seed((detect * 100.0) as u64 * 1000 + (fix * 100.0) as u64)
+                        .estimate(replications, scope.threads());
+                    vec![est.system_pfd.mean, est.system_pfd.standard_error]
+                },
+            );
+            let (mean, se) = (cell.get(0), cell.get(1));
+            let pos = if width > 0.0 {
+                (mean - lower) / width
             } else {
                 0.0
             };
             table.row(&[
                 format!("{detect:.2}"),
                 format!("{fix:.2}"),
-                format!("{:.6}", est.system_pfd.mean),
+                format!("{mean:.6}"),
                 format!("{pos:.3}"),
             ]);
-            let slack = 4.0 * est.system_pfd.standard_error;
+            let slack = 4.0 * se;
             ctx.check(
-                est.system_pfd.mean >= bounds.lower - slack
-                    && est.system_pfd.mean <= bounds.upper + slack,
+                mean >= lower - slack && mean <= upper + slack,
                 format!("({detect},{fix}) stays inside the bounds"),
             );
-            grid_means.push((detect, fix, est.system_pfd.mean));
+            grid_means.push((detect, fix, mean));
         }
     }
 

@@ -57,11 +57,18 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E10: back-to-back testing between the §4.2 bounds\n");
     let w = small_graded();
     let suite_size = 5;
-    let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
-    let bounds = BackToBackBounds::compute(&w.pop_a, &w.pop_a, &m, &w.profile);
+    // Exact cell: the §4.2 interval [optimistic, pessimistic].
+    let bounds = ctx.cell(
+        format!("world=small-graded|suite={suite_size}|study=sec42-bounds"),
+        |_scope| {
+            let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
+            let bounds = BackToBackBounds::compute(&w.pop_a, &w.pop_a, &m, &w.profile);
+            vec![bounds.optimistic, bounds.pessimistic]
+        },
+    );
+    let (optimistic, pessimistic) = (bounds.get(0), bounds.get(1));
     ctx.note(format!(
-        "bounds (n={suite_size}): optimistic={:.6} (γ=0, = eq 23), pessimistic={:.6} (γ=1, untested)\n",
-        bounds.optimistic, bounds.pessimistic
+        "bounds (n={suite_size}): optimistic={optimistic:.6} (γ=0, = eq 23), pessimistic={pessimistic:.6} (γ=1, untested)\n",
     ));
 
     let scenario = w
@@ -69,7 +76,6 @@ fn run(ctx: &mut RunContext) {
         .suite_size(suite_size)
         .build()
         .expect("valid world");
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let mut table = Table::new(
         "γ sweep (singleton world)",
@@ -84,70 +90,92 @@ fn run(ctx: &mut RunContext) {
             5 => IdenticalFailureModel::Always,
             _ => IdenticalFailureModel::Bernoulli(gamma),
         };
-        let est = scenario
-            .with_regime(CampaignRegime::BackToBack(identical))
-            .with_seed(1300 + step as u64)
-            .estimate(replications, threads);
+        // One MC cell per γ step: [system mean, system SE, version-A mean].
+        let cell = ctx.cell(
+            format!(
+                "world=small-graded|suite={suite_size}|gamma={gamma:.1}|seed={}|reps={replications}|study=b2b-sweep",
+                1300 + step as u64
+            ),
+            |scope| {
+                let est = scenario
+                    .with_regime(CampaignRegime::BackToBack(identical))
+                    .with_seed(1300 + step as u64)
+                    .estimate(replications, scope.threads());
+                vec![
+                    est.system_pfd.mean,
+                    est.system_pfd.standard_error,
+                    est.version_a_pfd.mean,
+                ]
+            },
+        );
+        let (sys_mean, sys_se, va_mean) = (cell.get(0), cell.get(1), cell.get(2));
         table.row(&[
             format!("{gamma:.1}"),
-            format!("{:.6}", est.system_pfd.mean),
-            format!("{:.6}", est.version_a_pfd.mean),
+            format!("{sys_mean:.6}"),
+            format!("{va_mean:.6}"),
             format!("{gamma:.1}"),
         ]);
-        let slack = 4.0 * est.system_pfd.standard_error;
+        let slack = 4.0 * sys_se;
         ctx.check(
-            est.system_pfd.mean >= bounds.optimistic - slack
-                && est.system_pfd.mean <= bounds.pessimistic + slack,
+            sys_mean >= optimistic - slack && sys_mean <= pessimistic + slack,
             format!("γ={gamma} stays inside the bounds"),
         );
         ctx.check(
-            est.system_pfd.mean >= prev - slack,
+            sys_mean >= prev - slack,
             format!("system pfd rises with γ at γ={gamma}"),
         );
-        prev = est.system_pfd.mean;
+        prev = sys_mean;
     }
     ctx.emit(table, "e10_gamma_sweep");
 
     // Claim (iii): exhaustive pessimistic b2b — versions converge to the
     // coincident-failure set; system pfd unchanged; each version's pfd
     // equals the system's.
-    let model = w.pop_a.model().clone();
-    let exhaustive = TestSuite::exhaustive(model.space());
-    let mut rng = StdRng::seed_from_u64(77);
     let pairs = ctx.replications(2_000);
-    let mut pfd_changed = 0u64;
-    let mut version_mismatch = 0u64;
-    for _ in 0..pairs {
-        let v1 = w.pop_a.sample(&mut rng);
-        let v2 = w.pop_a.sample(&mut rng);
-        let before = pair_pfd(&v1, &v2, &model, &w.profile);
-        let out = back_to_back_debug(
-            &v1,
-            &v2,
-            &exhaustive,
-            &model,
-            IdenticalFailureModel::Always,
-            &PerfectFixer::new(),
-            &mut rng,
-        );
-        let after = pair_pfd(&out.first, &out.second, &model, &w.profile);
-        if (after - before).abs() >= 1e-15 {
-            pfd_changed += 1;
-        }
-        // Limit claim: both versions now fail exactly on the coincident
-        // set, so each version's pfd equals the system pfd.
-        let va_pfd = out.first.pfd(&model, &w.profile);
-        let vb_pfd = out.second.pfd(&model, &w.profile);
-        if (va_pfd - after).abs() >= 1e-15 || (vb_pfd - after).abs() >= 1e-15 {
-            version_mismatch += 1;
-        }
-    }
+    // One cell for the exhaustive worst case: counts of pairs whose system
+    // pfd changed / whose version pfds failed to collapse (both must be 0).
+    let limit = ctx.cell(
+        format!("world=small-graded|seed=77|pairs={pairs}|study=exhaustive-pessimistic-b2b"),
+        |_scope| {
+            let model = w.pop_a.model().clone();
+            let exhaustive = TestSuite::exhaustive(model.space());
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut pfd_changed = 0u64;
+            let mut version_mismatch = 0u64;
+            for _ in 0..pairs {
+                let v1 = w.pop_a.sample(&mut rng);
+                let v2 = w.pop_a.sample(&mut rng);
+                let before = pair_pfd(&v1, &v2, &model, &w.profile);
+                let out = back_to_back_debug(
+                    &v1,
+                    &v2,
+                    &exhaustive,
+                    &model,
+                    IdenticalFailureModel::Always,
+                    &PerfectFixer::new(),
+                    &mut rng,
+                );
+                let after = pair_pfd(&out.first, &out.second, &model, &w.profile);
+                if (after - before).abs() >= 1e-15 {
+                    pfd_changed += 1;
+                }
+                // Limit claim: both versions now fail exactly on the
+                // coincident set, so each version's pfd equals the system's.
+                let va_pfd = out.first.pfd(&model, &w.profile);
+                let vb_pfd = out.second.pfd(&model, &w.profile);
+                if (va_pfd - after).abs() >= 1e-15 || (vb_pfd - after).abs() >= 1e-15 {
+                    version_mismatch += 1;
+                }
+            }
+            vec![pfd_changed as f64, version_mismatch as f64]
+        },
+    );
     ctx.check(
-        pfd_changed == 0,
+        limit.get(0) == 0.0,
         format!("pessimistic b2b left the system pfd unchanged on all {pairs} pairs"),
     );
     ctx.check(
-        version_mismatch == 0,
+        limit.get(1) == 0.0,
         format!("each version's pfd collapsed onto the system pfd on all {pairs} pairs"),
     );
     ctx.note(format!(

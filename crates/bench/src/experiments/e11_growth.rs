@@ -59,20 +59,51 @@ pub static SPEC: ExperimentSpec = ExperimentSpec {
 fn run(ctx: &mut RunContext) {
     ctx.note("E11: reliability growth — single version vs 1-out-of-2 system (ref [5])\n");
     let w = medium_cascade(11);
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let checkpoints = [0usize, 5, 10, 20, 40, 80, 160, 320, 640];
 
     let scenario = w.scenario().build().expect("valid world");
-    let ind = scenario
-        .with_regime(CampaignRegime::IndependentSuites)
-        .with_seed(1111)
-        .growth(&checkpoints, replications, threads)
-        .expect("valid checkpoints");
-    let sh = scenario
-        .with_seed(2222)
-        .growth(&checkpoints, replications, threads)
-        .expect("valid checkpoints");
+    // One MC cell per regime; payload = [version-A mean, version-A SE,
+    // system mean, system SE] per checkpoint.
+    let growth_cell = |ctx: &mut RunContext, regime: &str, seed: u64| {
+        ctx.cell(
+            format!(
+                "world=medium-cascade(11)|regime={regime}|seed={seed}|reps={replications}|study=growth"
+            ),
+            |scope| {
+                let s = if regime == "independent" {
+                    scenario.with_regime(CampaignRegime::IndependentSuites)
+                } else {
+                    scenario.clone()
+                };
+                let g = s
+                    .with_seed(seed)
+                    .growth(&checkpoints, replications, scope.threads())
+                    .expect("valid checkpoints");
+                let mut values = Vec::new();
+                for i in 0..checkpoints.len() {
+                    values.extend([
+                        g.version_a[i].mean(),
+                        g.version_a[i].standard_error(),
+                        g.system[i].mean(),
+                        g.system[i].standard_error(),
+                    ]);
+                }
+                values
+            },
+        )
+    };
+    let ind = growth_cell(ctx, "independent", 1111);
+    let sh = growth_cell(ctx, "shared", 2222);
+    // Per-checkpoint accessors into the flattened payloads.
+    let ind_va = |i: usize| ind.get(4 * i);
+    let ind_va_se = |i: usize| ind.get(4 * i + 1);
+    let ind_sys = |i: usize| ind.get(4 * i + 2);
+    let ind_sys_se = |i: usize| ind.get(4 * i + 3);
+    let sh_va = |i: usize| sh.get(4 * i);
+    let sh_va_se = |i: usize| sh.get(4 * i + 1);
+    let sh_sys = |i: usize| sh.get(4 * i + 2);
+    let sh_sys_se = |i: usize| sh.get(4 * i + 3);
 
     let mut table = Table::new(
         &format!("growth curves ({replications} replications, {})", w.label()),
@@ -89,17 +120,17 @@ fn run(ctx: &mut RunContext) {
         ],
     );
     for (i, &n) in checkpoints.iter().enumerate() {
-        let gain_ind = ind.version_a[i].mean() / ind.system[i].mean().max(1e-12);
-        let gain_sh = sh.version_a[i].mean() / sh.system[i].mean().max(1e-12);
+        let gain_ind = ind_va(i) / ind_sys(i).max(1e-12);
+        let gain_sh = sh_va(i) / sh_sys(i).max(1e-12);
         table.row(&[
             n.to_string(),
-            format!("{:.6}", ind.version_a[i].mean()),
-            format!("{:.6}", ind.system[i].mean()),
-            format!("{:.6}", ind.system[i].standard_error()),
+            format!("{:.6}", ind_va(i)),
+            format!("{:.6}", ind_sys(i)),
+            format!("{:.6}", ind_sys_se(i)),
             format!("{gain_ind:.2}"),
-            format!("{:.6}", sh.version_a[i].mean()),
-            format!("{:.6}", sh.system[i].mean()),
-            format!("{:.6}", sh.system[i].standard_error()),
+            format!("{:.6}", sh_va(i)),
+            format!("{:.6}", sh_sys(i)),
+            format!("{:.6}", sh_sys_se(i)),
             format!("{gain_sh:.2}"),
         ]);
     }
@@ -108,17 +139,14 @@ fn run(ctx: &mut RunContext) {
     // Qualitative claims.
     let last = checkpoints.len() - 1;
     ctx.check(
-        ind.system[last].mean() < ind.system[0].mean(),
+        ind_sys(last) < ind_sys(0),
         "growth under independent suites",
     );
-    ctx.check(
-        sh.system[last].mean() < sh.system[0].mean(),
-        "growth under shared suite",
-    );
+    ctx.check(sh_sys(last) < sh_sys(0), "growth under shared suite");
     // Version-level growth is regime-independent (same marginal process).
     for i in 0..checkpoints.len() {
-        let d = (ind.version_a[i].mean() - sh.version_a[i].mean()).abs();
-        let se = ind.version_a[i].standard_error() + sh.version_a[i].standard_error();
+        let d = (ind_va(i) - sh_va(i)).abs();
+        let se = ind_va_se(i) + sh_va_se(i);
         ctx.check(
             d < 5.0 * se + 1e-9,
             format!("version growth agrees between regimes at checkpoint {i}"),
@@ -126,14 +154,14 @@ fn run(ctx: &mut RunContext) {
     }
     // System under shared suite lags behind independent suites late in
     // testing (statistically: allow MC noise at reduced budgets).
-    let late_se = sh.system[last].standard_error() + ind.system[last].standard_error();
+    let late_se = sh_sys_se(last) + ind_sys_se(last);
     ctx.check(
-        sh.system[last].mean() > ind.system[last].mean() - 2.0 * late_se,
+        sh_sys(last) > ind_sys(last) - 2.0 * late_se,
         "shared suite lags at high testing effort",
     );
     // Diversity gain: grows under independent suites, stalls under shared.
-    let gain_ind_last = ind.version_a[last].mean() / ind.system[last].mean().max(1e-12);
-    let gain_sh_last = sh.version_a[last].mean() / sh.system[last].mean().max(1e-12);
+    let gain_ind_last = ind_va(last) / ind_sys(last).max(1e-12);
+    let gain_sh_last = sh_va(last) / sh_sys(last).max(1e-12);
     ctx.check(
         gain_ind_last > gain_sh_last,
         "diversity gain favours independent suites",

@@ -96,25 +96,42 @@ fn run(ctx: &mut RunContext) {
         (rare_hard_world(), vec![1usize, 2, 4, 8, 16]),
     ] {
         for &n in &sizes {
-            let m = enumerate_iid_suites(&world.profile, n, 1 << 16).expect("enumerable");
-            let shift = DifficultyShift::compute(&world.pop_a, &m, &world.profile);
-            let cv_before = shift.var_before.sqrt() / shift.mean_before.max(1e-12);
-            let cv_after = shift.var_after.sqrt() / shift.mean_after.max(1e-12);
+            let world_key = world.label().split(' ').next().expect("label").to_string();
+            // One exact cell per (world, n): the four difficulty moments
+            // plus the variance-reduced predicate.
+            let cell = ctx.cell(
+                format!("world={world_key}|n={n}|study=difficulty-shift"),
+                |_scope| {
+                    let m = enumerate_iid_suites(&world.profile, n, 1 << 16).expect("enumerable");
+                    let shift = DifficultyShift::compute(&world.pop_a, &m, &world.profile);
+                    vec![
+                        shift.mean_before,
+                        shift.var_before,
+                        shift.mean_after,
+                        shift.var_after,
+                        if shift.variance_reduced() { 1.0 } else { 0.0 },
+                    ]
+                },
+            );
+            let (mean_before, var_before) = (cell.get(0), cell.get(1));
+            let (mean_after, var_after) = (cell.get(2), cell.get(3));
+            let cv_before = var_before.sqrt() / mean_before.max(1e-12);
+            let cv_after = var_after.sqrt() / mean_after.max(1e-12);
             table.row(&[
-                world.label().split(' ').next().expect("label").to_string(),
+                world_key,
                 n.to_string(),
-                format!("{:.6}", shift.mean_before),
-                format!("{:.6}", shift.var_before),
-                format!("{:.6}", shift.mean_after),
-                format!("{:.6}", shift.var_after),
+                format!("{mean_before:.6}"),
+                format!("{var_before:.6}"),
+                format!("{mean_after:.6}"),
+                format!("{var_after:.6}"),
                 format!("{cv_before:.3}"),
                 format!("{cv_after:.3}"),
             ]);
             ctx.check(
-                shift.mean_after <= shift.mean_before + 1e-15,
+                mean_after <= mean_before + 1e-15,
                 format!("mean difficulty does not rise ({} n={n})", world.label()),
             );
-            if shift.variance_reduced() {
+            if cell.get(4) == 1.0 {
                 saw_decrease = true;
             }
             if cv_after > cv_before {

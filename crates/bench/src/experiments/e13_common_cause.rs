@@ -69,7 +69,6 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E13: common clarifications and mistakes (§5 extensions)\n");
     let w = medium_cascade(11);
     let scenario = w.scenario().build().expect("valid world");
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
 
     let mut table = Table::new(
@@ -84,38 +83,61 @@ fn run(ctx: &mut RunContext) {
         ],
     );
     for mistakes in [1usize, 2, 4, 8] {
-        let common = scenario.with_seed(1300 + mistakes as u64).mistakes(
-            mistakes,
-            MistakeMode::Common,
-            replications,
-            threads,
+        // One MC cell per mistake count: both modes' version/system moments
+        // (seeds 1300+k / 1400+k, encoded in the key).
+        let cell = ctx.cell(
+            format!(
+                "world=medium-cascade(11)|mistakes={mistakes}|seeds=1300+k,1400+k|reps={replications}|study=common-vs-indep"
+            ),
+            |scope| {
+                let common = scenario.with_seed(1300 + mistakes as u64).mistakes(
+                    mistakes,
+                    MistakeMode::Common,
+                    replications,
+                    scope.threads(),
+                );
+                let independent = scenario.with_seed(1400 + mistakes as u64).mistakes(
+                    mistakes,
+                    MistakeMode::Independent,
+                    replications,
+                    scope.threads(),
+                );
+                vec![
+                    common.version_pfd.mean(),
+                    common.version_pfd.standard_error(),
+                    common.system_pfd.mean(),
+                    common.system_pfd.standard_error(),
+                    independent.version_pfd.mean(),
+                    independent.version_pfd.standard_error(),
+                    independent.system_pfd.mean(),
+                    independent.system_pfd.standard_error(),
+                ]
+            },
         );
-        let independent = scenario.with_seed(1400 + mistakes as u64).mistakes(
-            mistakes,
-            MistakeMode::Independent,
-            replications,
-            threads,
-        );
-        let ratio = common.system_pfd.mean() / independent.system_pfd.mean().max(1e-12);
+        let (c_ver, c_ver_se, c_sys, c_sys_se) =
+            (cell.get(0), cell.get(1), cell.get(2), cell.get(3));
+        let (i_ver, i_ver_se, i_sys, i_sys_se) =
+            (cell.get(4), cell.get(5), cell.get(6), cell.get(7));
+        let ratio = c_sys / i_sys.max(1e-12);
         table.row(&[
             mistakes.to_string(),
-            format!("{:.6}", common.version_pfd.mean()),
-            format!("{:.6}", independent.version_pfd.mean()),
-            format!("{:.6}", common.system_pfd.mean()),
-            format!("{:.6}", independent.system_pfd.mean()),
+            format!("{c_ver:.6}"),
+            format!("{i_ver:.6}"),
+            format!("{c_sys:.6}"),
+            format!("{i_sys:.6}"),
             format!("{ratio:.2}"),
         ]);
         // Version-level severity statistically equal; system-level damage
         // strictly worse under common mistakes (up to MC noise at reduced
         // budgets).
-        let se = common.version_pfd.standard_error() + independent.version_pfd.standard_error();
+        let se = c_ver_se + i_ver_se;
         ctx.check(
-            (common.version_pfd.mean() - independent.version_pfd.mean()).abs() < 5.0 * se + 1e-9,
+            (c_ver - i_ver).abs() < 5.0 * se + 1e-9,
             format!("version severity matches at {mistakes} mistakes"),
         );
-        let sys_se = common.system_pfd.standard_error() + independent.system_pfd.standard_error();
+        let sys_se = c_sys_se + i_sys_se;
         ctx.check(
-            common.system_pfd.mean() > independent.system_pfd.mean() - sys_se,
+            c_sys > i_sys - sys_se,
             format!("common mistakes hurt the system more at {mistakes} mistakes"),
         );
     }
@@ -128,24 +150,39 @@ fn run(ctx: &mut RunContext) {
     let mut last_version = f64::INFINITY;
     let mut last_se = 0.0;
     for clarified in [0usize, 4, 8, 16, 32] {
-        let study = scenario.with_seed(1500 + clarified as u64).clarifications(
-            clarified,
-            replications,
-            threads,
+        // One MC cell per clarification count (seed 1500+k in the key).
+        let cell = ctx.cell(
+            format!(
+                "world=medium-cascade(11)|clarified={clarified}|seed={}|reps={replications}|study=clarifications",
+                1500 + clarified as u64
+            ),
+            |scope| {
+                let study = scenario.with_seed(1500 + clarified as u64).clarifications(
+                    clarified,
+                    replications,
+                    scope.threads(),
+                );
+                vec![
+                    study.version_pfd.mean(),
+                    study.version_pfd.standard_error(),
+                    study.system_pfd.mean(),
+                    study.jaccard.mean(),
+                ]
+            },
         );
+        let (version_mean, version_se) = (cell.get(0), cell.get(1));
         table2.row(&[
             clarified.to_string(),
-            format!("{:.6}", study.version_pfd.mean()),
-            format!("{:.6}", study.system_pfd.mean()),
-            format!("{:.4}", study.jaccard.mean()),
+            format!("{version_mean:.6}"),
+            format!("{:.6}", cell.get(2)),
+            format!("{:.4}", cell.get(3)),
         ]);
         ctx.check(
-            study.version_pfd.mean()
-                <= last_version + last_se + study.version_pfd.standard_error() + 1e-9,
+            version_mean <= last_version + last_se + version_se + 1e-9,
             format!("clarifications help versions at {clarified} clarified"),
         );
-        last_version = study.version_pfd.mean();
-        last_se = study.version_pfd.standard_error();
+        last_version = version_mean;
+        last_se = version_se;
     }
     ctx.emit(table2, "e13_clarifications");
 

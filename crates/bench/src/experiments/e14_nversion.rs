@@ -48,7 +48,6 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E14: 1-out-of-N systems under both regimes (§5-style extension)\n");
     let w = small_graded();
     let suite_size = 4;
-    let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
 
     let mut table = Table::new(
         &format!("system pfd vs channel count ({suite_size}-demand suites)"),
@@ -65,11 +64,21 @@ fn run(ctx: &mut RunContext) {
     let mut prev_ind = f64::NAN;
     let mut prev_sh = f64::NAN;
     for n_channels in 1..=6 {
-        let pops: Vec<&dyn TestedDifficulty> = (0..n_channels)
-            .map(|_| &w.pop_a as &dyn TestedDifficulty)
-            .collect();
-        let ind = system_pfd_n(&pops, &m, &w.profile, TestingRegime::IndependentSuites);
-        let sh = system_pfd_n(&pops, &m, &w.profile, TestingRegime::SharedSuite);
+        // One exact cell per channel count: [independent pfd, shared pfd].
+        let cell = ctx.cell(
+            format!("world=small-graded|suite={suite_size}|channels={n_channels}|study=1oonN"),
+            |_scope| {
+                let m = enumerate_iid_suites(&w.profile, suite_size, 1 << 16).expect("enumerable");
+                let pops: Vec<&dyn TestedDifficulty> = (0..n_channels)
+                    .map(|_| &w.pop_a as &dyn TestedDifficulty)
+                    .collect();
+                vec![
+                    system_pfd_n(&pops, &m, &w.profile, TestingRegime::IndependentSuites),
+                    system_pfd_n(&pops, &m, &w.profile, TestingRegime::SharedSuite),
+                ]
+            },
+        );
+        let (ind, sh) = (cell.get(0), cell.get(1));
         let gain_ind = if prev_ind.is_nan() {
             f64::NAN
         } else {

@@ -56,7 +56,6 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E15: adaptive campaigns under conservative stopping rules (§2, ref [3])\n");
     let w = medium_cascade(11);
     let scenario = w.scenario().build().expect("valid world");
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
     let confidence = 0.95;
     // Binomial noise on the met-target rate at the active budget; the
@@ -75,34 +74,47 @@ fn run(ctx: &mut RunContext) {
     );
     for &target in &[0.05, 0.02, 0.01, 0.005] {
         let rule = StoppingRule::FailureFree { target, confidence };
-        let study = scenario.with_seed((target * 1e4) as u64).adaptive_study(
-            rule,
-            100_000,
-            target,
-            replications,
-            threads,
+        // One MC cell per target (seed = target·10⁴, encoded in the key).
+        let cell = ctx.cell(
+            format!(
+                "world=medium-cascade(11)|target={target}|conf={confidence}|reps={replications}|study=calibration"
+            ),
+            |scope| {
+                let study = scenario.with_seed((target * 1e4) as u64).adaptive_study(
+                    rule,
+                    100_000,
+                    target,
+                    replications,
+                    scope.threads(),
+                );
+                vec![
+                    study.demands.mean(),
+                    study.achieved_pfd.mean(),
+                    study.target_met_rate,
+                    study.rule_fired_rate,
+                ]
+            },
         );
+        let (demands_mean, achieved_mean) = (cell.get(0), cell.get(1));
+        let (target_met_rate, rule_fired_rate) = (cell.get(2), cell.get(3));
         let min_run = failure_free_tests_required(target, confidence).expect("valid");
         table.row(&[
             format!("{target}"),
             min_run.to_string(),
-            format!("{:.1}", study.demands.mean()),
-            format!("{:.6}", study.achieved_pfd.mean()),
-            format!("{:.3}", study.target_met_rate),
+            format!("{demands_mean:.1}"),
+            format!("{achieved_mean:.6}"),
+            format!("{target_met_rate:.3}"),
         ]);
         ctx.check(
-            study.rule_fired_rate > 0.99,
+            rule_fired_rate > 0.99,
             format!("rule fires at target {target}"),
         );
         // Debugging *while* demonstrating: the delivered assurance must be
         // at least the nominal confidence (testing only improves things
         // after a failure resets the run).
         ctx.check(
-            study.target_met_rate >= confidence - 0.03 - 2.0 * rate_se,
-            format!(
-                "calibration holds at target {target}: {}",
-                study.target_met_rate
-            ),
+            target_met_rate >= confidence - 0.03 - 2.0 * rate_se,
+            format!("calibration holds at target {target}: {target_met_rate}"),
         );
     }
     ctx.emit(table, "e15_calibration");
@@ -121,21 +133,35 @@ fn run(ctx: &mut RunContext) {
     );
     let mut last_met = 2.0;
     for &detect in &[1.0, 0.75, 0.5, 0.25, 0.1] {
-        let study = scenario
-            .with_oracle(ImperfectOracle::new(detect).expect("valid"))
-            .with_seed(9_000 + (detect * 100.0) as u64)
-            .adaptive_study(rule, 100_000, target, replications, threads);
+        // One MC cell per detection level (seed 9000+100·detect).
+        let cell = ctx.cell(
+            format!(
+                "world=medium-cascade(11)|target={target}|detect={detect}|reps={replications}|study=fallible-oracle"
+            ),
+            |scope| {
+                let study = scenario
+                    .with_oracle(ImperfectOracle::new(detect).expect("valid"))
+                    .with_seed(9_000 + (detect * 100.0) as u64)
+                    .adaptive_study(rule, 100_000, target, replications, scope.threads());
+                vec![
+                    study.demands.mean(),
+                    study.achieved_pfd.mean(),
+                    study.target_met_rate,
+                ]
+            },
+        );
+        let target_met_rate = cell.get(2);
         table2.row(&[
             format!("{detect}"),
-            format!("{:.1}", study.demands.mean()),
-            format!("{:.6}", study.achieved_pfd.mean()),
-            format!("{:.3}", study.target_met_rate),
+            format!("{:.1}", cell.get(0)),
+            format!("{:.6}", cell.get(1)),
+            format!("{target_met_rate:.3}"),
         ]);
         ctx.check(
-            study.target_met_rate <= last_met + 0.05 + 2.0 * rate_se,
+            target_met_rate <= last_met + 0.05 + 2.0 * rate_se,
             format!("weaker detection does not improve calibration at detect={detect}"),
         );
-        last_met = study.target_met_rate;
+        last_met = target_met_rate;
     }
     ctx.emit(table2, "e15_imperfect_oracle");
 

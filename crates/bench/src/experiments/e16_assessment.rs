@@ -54,7 +54,6 @@ fn run(ctx: &mut RunContext) {
     ctx.note("E16: how wrong is an independence-based assessment? (eqs 20–23 + exact ρ forms)\n");
     let w = small_graded();
     let scenario = w.scenario().build().expect("valid world");
-    let threads = ctx.threads();
     let replications = ctx.replications(SPEC.full_replications);
 
     let mut table = Table::new(
@@ -77,30 +76,46 @@ fn run(ctx: &mut RunContext) {
         (16, 0.5),
         (16, 0.25),
     ] {
-        let truth = marginal_imperfect_iid(
-            &w.pop_a,
-            &w.pop_a,
-            &w.profile,
-            &w.profile,
-            n,
-            rho,
-            TestingRegime::SharedSuite,
-        )
-        .expect("singleton world");
-        // The independence-based assessor squares the mean tested pfd.
-        let mean_pfd = w.profile.expect(|x| {
-            zeta_imperfect_iid(&w.pop_a, x, &w.profile, n, rho).expect("singleton world")
-        });
+        // One cell per (n, ρ): closed-form truth, the assessor's mean pfd,
+        // and the MC check (seed 1600+n+100·ρ, encoded in the key).
+        let cell = ctx.cell(
+            format!(
+                "world=small-graded|n={n}|rho={rho}|reps={replications}|study=assessment-error"
+            ),
+            |scope| {
+                let truth = marginal_imperfect_iid(
+                    &w.pop_a,
+                    &w.pop_a,
+                    &w.profile,
+                    &w.profile,
+                    n,
+                    rho,
+                    TestingRegime::SharedSuite,
+                )
+                .expect("singleton world");
+                // The independence-based assessor squares the mean tested pfd.
+                let mean_pfd = w.profile.expect(|x| {
+                    zeta_imperfect_iid(&w.pop_a, x, &w.profile, n, rho).expect("singleton world")
+                });
+                // Monte Carlo: same regime via an imperfect oracle with
+                // d = rho and the default perfect fixer (rho = d·r).
+                let mc = scenario
+                    .with_suite_size(n)
+                    .with_oracle(ImperfectOracle::new(rho).expect("valid"))
+                    .with_seed(1600 + n as u64 + (rho * 100.0) as u64)
+                    .estimate(replications, scope.threads());
+                vec![
+                    truth,
+                    mean_pfd,
+                    mc.system_pfd.mean,
+                    mc.system_pfd.standard_error,
+                ]
+            },
+        );
+        let (truth, mean_pfd) = (cell.get(0), cell.get(1));
+        let (mc_mean, mc_se) = (cell.get(2), cell.get(3));
         let prediction = mean_pfd * mean_pfd;
         let factor = truth / prediction.max(1e-300);
-
-        // Monte Carlo: same regime via an imperfect oracle with d = rho
-        // and the default perfect fixer (rho = d·r).
-        let mc = scenario
-            .with_suite_size(n)
-            .with_oracle(ImperfectOracle::new(rho).expect("valid"))
-            .with_seed(1600 + n as u64 + (rho * 100.0) as u64)
-            .estimate(replications, threads);
 
         table.row(&[
             n.to_string(),
@@ -108,14 +123,14 @@ fn run(ctx: &mut RunContext) {
             format!("{truth:.6}"),
             format!("{prediction:.6}"),
             format!("{factor:.1}"),
-            format!("{:.6}", mc.system_pfd.mean),
+            format!("{mc_mean:.6}"),
         ]);
         ctx.check(
             truth >= prediction - 1e-15,
             format!("independence prediction is optimistic at n={n}, rho={rho}"),
         );
         ctx.check(
-            (mc.system_pfd.mean - truth).abs() < 4.0 * mc.system_pfd.standard_error + 1e-9,
+            (mc_mean - truth).abs() < 4.0 * mc_se + 1e-9,
             format!("MC agrees with the closed form at n={n}, rho={rho}"),
         );
     }

@@ -1,0 +1,59 @@
+//! The content-hash primitive shared by every on-disk / in-memory
+//! cache key in this crate.
+//!
+//! Both the serve world cache ([`crate::serve::request::WorldSpec::content_hash`])
+//! and the sweep cell store ([`crate::sweep::cell::CellId::content_hash`])
+//! key their entries by FNV-1a 64 over a canonical encoding. The
+//! function lives here so the two caches can never drift apart, and the
+//! pinned-vector tests below freeze the on-disk cache format: a change
+//! to this function would silently invalidate every
+//! `results/cells/<hash>.json` file ever written, so it must fail a test
+//! instead.
+
+/// FNV-1a 64-bit over `bytes`. Stable across platforms and process
+/// runs — the same input hashes identically on every machine, which is
+/// what makes `--shard i/n` partitions and cell file names portable.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// [`fnv1a64`] rendered as the canonical 16-hex-digit form used in
+/// cell file names and response `world_hash` fields.
+pub fn fnv1a64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known FNV-1a 64 vectors (public reference values). If any of
+    /// these change, every content-addressed cache key — serve world
+    /// hashes and sweep cell file names — changes with them, so this
+    /// test failing means the on-disk format broke.
+    #[test]
+    fn pinned_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn hex_form_is_zero_padded_lowercase() {
+        assert_eq!(fnv1a64_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a64_hex(b"a"), "af63dc4c8601ec8c");
+        // 16 digits even when the hash has leading zeros.
+        assert_eq!(fnv1a64_hex(b"a").len(), 16);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv1a64(b"cell|a"), fnv1a64(b"cell|b"));
+        assert_ne!(fnv1a64(b"x"), fnv1a64(b"x\0"));
+    }
+}

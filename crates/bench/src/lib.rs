@@ -10,14 +10,19 @@
 //!   [`spec::Profile`]s and the per-run [`spec::RunContext`];
 //! * [`registry`] — the ordered list of all sixteen experiments;
 //! * [`engine`] — deterministic execution and JSON/CSV result rendering;
-//! * [`cli`] — the `diversim` binary (`list` / `run` / `report` /
-//!   `docs`) and the entry point shared by the thin `eNN_*` binaries;
+//! * [`cli`] — the `diversim` binary (`list` / `run` / `sweep` /
+//!   `serve` / `report` / `docs`) and the entry point shared by the
+//!   thin `eNN_*` binaries;
 //! * [`report`] — table rendering (text, TSV, CSV, JSON);
 //! * [`render`] — deterministic SVG line/band plots for the report book;
 //! * [`book`] — the reproduction report: `REPORT.md` + per-experiment
 //!   chapters generated from result documents;
 //! * [`json`] — the hand-rolled JSON reader/writer shared by the
 //!   engine's result files and the serve wire protocol;
+//! * [`hashing`] — the FNV-1a content hash shared by the serve world
+//!   cache and the sweep cell store;
+//! * [`sweep`] — sharded, resumable sweeps: cell decomposition,
+//!   content-addressed cell caching and the `diversim sweep` driver;
 //! * [`serve`] — the typed evaluation-request API, the `diversim
 //!   serve` service (stdin/stdout + TCP) and the `loadgen` binary;
 //! * [`worlds`] — the standard universes the experiments run on.
@@ -29,12 +34,14 @@ pub mod book;
 pub mod cli;
 pub mod engine;
 mod experiments;
+pub mod hashing;
 pub mod json;
 pub mod registry;
 pub mod render;
 pub mod report;
 pub mod serve;
 pub mod spec;
+pub mod sweep;
 pub mod worlds;
 
 pub use report::Table;

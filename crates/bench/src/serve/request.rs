@@ -37,6 +37,7 @@ use diversim_sim::campaign::CampaignRegime;
 use diversim_sim::scenario::MAX_SUITE_SIZE;
 use diversim_testing::oracle::IdenticalFailureModel;
 
+use crate::hashing::fnv1a64;
 use crate::json::{self, Value};
 use crate::spec::Profile;
 
@@ -54,17 +55,6 @@ pub const MAX_DEMANDS: usize = 1 << 20;
 
 /// Largest accepted fault count for generated worlds.
 pub const MAX_FAULTS: usize = 1 << 16;
-
-/// FNV-1a 64-bit over `bytes` — the content hash underlying world
-/// cache keys. Stable across platforms and process runs.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
 
 /// A world described *by value* on the wire, so the server can build
 /// (and cache) it without any out-of-band state.
@@ -104,10 +94,11 @@ pub enum WorldSpec {
 }
 
 impl WorldSpec {
-    /// The content hash that keys the server's world cache: FNV-1a
-    /// over a canonical encoding of the spec (floats by their bit
-    /// patterns), so equal specs — and only equal specs, up to hash
-    /// collision — share a cache entry.
+    /// The content hash that keys the server's world cache:
+    /// [`crate::hashing::fnv1a64`] (the same primitive that names sweep
+    /// cell files) over a canonical encoding of the spec (floats by
+    /// their bit patterns), so equal specs — and only equal specs, up
+    /// to hash collision — share a cache entry.
     pub fn content_hash(&self) -> u64 {
         let mut canon = String::new();
         match self {

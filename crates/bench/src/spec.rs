@@ -13,6 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::report::Table;
+use crate::sweep::cell::{CellData, CellExecutor, CellId, CellScope};
 
 /// Replication profile: how much Monte Carlo effort a run spends.
 ///
@@ -241,19 +242,37 @@ pub struct RunContext {
     profile: Profile,
     threads: usize,
     quiet: bool,
+    experiment: &'static str,
+    cells: Option<Box<dyn CellExecutor>>,
     tables: Vec<Table>,
     table_stems: Vec<String>,
     checks: Vec<Check>,
 }
 
 impl RunContext {
-    /// Creates a context for one run.
+    /// Creates a context for one run. Cells compute inline (no
+    /// executor) — the `diversim run` behaviour.
     pub fn new(profile: Profile, threads: usize, quiet: bool) -> Self {
+        Self::for_experiment("", profile, threads, quiet, None)
+    }
+
+    /// Creates a context that attributes declared cells to
+    /// `experiment` and routes them through `cells` (when given);
+    /// `None` computes every cell inline.
+    pub fn for_experiment(
+        experiment: &'static str,
+        profile: Profile,
+        threads: usize,
+        quiet: bool,
+        cells: Option<Box<dyn CellExecutor>>,
+    ) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         RunContext {
             profile,
             threads,
             quiet,
+            experiment,
+            cells,
             tables: Vec::new(),
             table_stems: Vec::new(),
             checks: Vec::new(),
@@ -273,6 +292,46 @@ impl RunContext {
     /// Scales a full-effort replication budget to the active profile.
     pub fn replications(&self, full: u64) -> u64 {
         self.profile.replications(full)
+    }
+
+    /// Declares one **cell** — the shardable, cacheable unit of a
+    /// sweep — and returns its payload.
+    ///
+    /// `key` canonically encodes the sweep point (world, regime, grid
+    /// coordinates, replication budget, root seed) in `k=v|k=v` form;
+    /// together with the experiment name and profile it is the cell's
+    /// complete identity (see [`CellId`]). `compute` must be a pure
+    /// function of that identity and the [`CellScope`] it receives,
+    /// returning a flat vector of finite values; tables, checks and
+    /// narration must be derived from the returned payload *outside*
+    /// the closure.
+    ///
+    /// Without an installed executor (`diversim run`) the closure runs
+    /// inline. Under `diversim sweep` the executor may instead serve
+    /// the payload from the content-addressed cell store, or skip the
+    /// cell entirely when it belongs to another shard — the returned
+    /// [`CellData`] then yields `0.0` placeholders and the sweep engine
+    /// discards everything derived from them.
+    pub fn cell(
+        &mut self,
+        key: impl Into<String>,
+        compute: impl FnOnce(&CellScope) -> Vec<f64>,
+    ) -> CellData {
+        let id = CellId::new(self.experiment, self.profile, key);
+        let scope = CellScope::new(&id, self.threads);
+        match self.cells.as_mut() {
+            None => CellData::live(compute(&scope)),
+            Some(executor) => {
+                let mut once = Some(compute);
+                let values = executor.execute(&id, &scope, &mut |s| {
+                    (once.take().expect("cell compute closure called twice"))(s)
+                });
+                match values {
+                    Some(values) => CellData::live(values),
+                    None => CellData::skipped(),
+                }
+            }
+        }
     }
 
     /// Prints a progress/narrative line unless the run is quiet.
@@ -380,6 +439,56 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_context_panics() {
         let _ = RunContext::new(Profile::Full, 0, true);
+    }
+
+    #[test]
+    fn cells_compute_inline_without_an_executor() {
+        let mut ctx = RunContext::new(Profile::Fast, 3, true);
+        let cell = ctx.cell("k=1", |scope| {
+            assert_eq!(scope.threads(), 3);
+            vec![1.0, 2.0]
+        });
+        assert!(cell.is_live());
+        assert_eq!(cell.values(), &[1.0, 2.0]);
+    }
+
+    /// An executor that skips every other cell and records what it saw.
+    #[derive(Debug, Default)]
+    struct EveryOther {
+        seen: Vec<String>,
+    }
+
+    impl CellExecutor for EveryOther {
+        fn execute(
+            &mut self,
+            id: &CellId,
+            scope: &CellScope,
+            compute: &mut dyn FnMut(&CellScope) -> Vec<f64>,
+        ) -> Option<Vec<f64>> {
+            self.seen.push(id.canonical());
+            if self.seen.len().is_multiple_of(2) {
+                None
+            } else {
+                Some(compute(scope))
+            }
+        }
+    }
+
+    #[test]
+    fn executor_sees_full_identity_and_can_skip() {
+        let mut ctx = RunContext::for_experiment(
+            "e99_demo",
+            Profile::Smoke,
+            1,
+            true,
+            Some(Box::<EveryOther>::default()),
+        );
+        let first = ctx.cell("k=a", |_| vec![7.0]);
+        let second = ctx.cell("k=b", |_| panic!("skipped cells must not compute"));
+        assert!(first.is_live());
+        assert_eq!(first.get(0), 7.0);
+        assert!(!second.is_live());
+        assert_eq!(second.get(0), 0.0);
     }
 
     #[test]

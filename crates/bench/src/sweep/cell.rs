@@ -1,0 +1,265 @@
+//! The unit of shardable, cacheable work: the **cell**.
+//!
+//! A cell is one sweep-point of one experiment — one world × regime ×
+//! grid-point × seed-stream combination whose numeric payload is a pure
+//! function of the cell's identity. Experiments declare cells through
+//! [`crate::spec::RunContext::cell`]; how a declared cell is *executed*
+//! is the [`CellExecutor`]'s business. `diversim run` uses no executor
+//! (every cell computes inline, exactly the pre-sweep behaviour), while
+//! `diversim sweep` installs a store-backed executor that caches,
+//! shards and resumes.
+//!
+//! # The cell contract
+//!
+//! - The compute closure must be a pure function of the cell identity
+//!   plus the [`CellScope`] it receives: no reads of ambient state, no
+//!   `RunContext` access, no output other than the returned payload.
+//! - The payload is a flat `Vec<f64>` of *finite* values with a
+//!   meaning fixed by the cell key's layout. Finite `f64`s round-trip
+//!   exactly through the strict JSON writer ([`crate::json`]), which is
+//!   what makes cached payloads byte-equivalent to freshly computed
+//!   ones in every downstream rendering.
+//! - Everything an experiment derives from cell payloads — table rows,
+//!   claim checks, narration — happens *outside* the closure, so a
+//!   cache hit and a recompute drive identical reporting code.
+//! - The set of cells an experiment declares, and their order, is a
+//!   pure function of `(experiment, profile)` — no data-dependent
+//!   cells — so every machine enumerates the same cells and `--shard`
+//!   partitions are stable.
+
+use diversim_stats::seed::SeedSequence;
+
+use crate::hashing::{fnv1a64, fnv1a64_hex};
+use crate::spec::Profile;
+
+/// The seed stream reserved for cell payload computations (see
+/// [`CellScope::seeds`]).
+const CELL_SEED_STREAM: u64 = 0;
+
+/// The identity of one cell: everything its payload may depend on.
+///
+/// The `key` string canonically encodes the sweep point — world,
+/// regime, grid coordinates, replication budget and root seed — in a
+/// human-readable `k=v|k=v` form; experiment and profile complete the
+/// identity. The content hash over the canonical rendering names the
+/// cell's store file and assigns it to a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellId {
+    /// The owning experiment's result-file name (`"e01_el_model"`).
+    pub experiment: String,
+    /// The profile the cell was computed under (budgets derive from it).
+    pub profile: Profile,
+    /// Canonical sweep-point key within the experiment.
+    pub key: String,
+}
+
+impl CellId {
+    /// Builds the identity of `experiment`'s cell `key` under `profile`.
+    pub fn new(experiment: impl Into<String>, profile: Profile, key: impl Into<String>) -> Self {
+        CellId {
+            experiment: experiment.into(),
+            profile,
+            key: key.into(),
+        }
+    }
+
+    /// The canonical encoding the content hash covers.
+    pub fn canonical(&self) -> String {
+        format!(
+            "diversim-cell/v1|{}|{}|{}",
+            self.experiment,
+            self.profile.name(),
+            self.key
+        )
+    }
+
+    /// The cell's content hash ([`fnv1a64`] over [`Self::canonical`]):
+    /// stable across machines, shared with the serve world cache's hash
+    /// primitive.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(self.canonical().as_bytes())
+    }
+
+    /// The file name the cell is stored under: 16 hex digits + `.json`.
+    pub fn file_name(&self) -> String {
+        format!("{}.json", fnv1a64_hex(self.canonical().as_bytes()))
+    }
+}
+
+/// What a cell's compute closure may depend on besides the identity:
+/// the worker-thread budget and the cell's private seed universe.
+#[derive(Debug, Clone)]
+pub struct CellScope {
+    threads: usize,
+    seeds: SeedSequence,
+}
+
+impl CellScope {
+    /// Builds the scope `id`'s compute closure runs under.
+    pub fn new(id: &CellId, threads: usize) -> Self {
+        CellScope {
+            threads,
+            seeds: SeedSequence::new(id.content_hash()).child(CELL_SEED_STREAM),
+        }
+    }
+
+    /// Worker threads available to `sim::runner` calls inside the cell.
+    /// Never part of the payload's value — deterministic-parallel
+    /// reductions are bit-identical across thread counts.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The cell's replication seed universe, derived from the cell's
+    /// content hash through [`SeedSequence::child`]. A pure function of
+    /// the cell identity: the same cell draws the same streams on every
+    /// machine, in every process, regardless of which sibling cells run
+    /// around it — and distinct cells get non-colliding universes.
+    pub fn seeds(&self) -> SeedSequence {
+        self.seeds
+    }
+}
+
+/// A cell's payload as seen by the declaring experiment.
+///
+/// `live` payloads carry real values. A *skipped* payload stands in for
+/// a cell the active executor declined to run (out of this process's
+/// shard): every read yields `0.0`, so downstream table/check code runs
+/// structurally — the sweep engine discards its outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellData {
+    values: Vec<f64>,
+    live: bool,
+}
+
+impl CellData {
+    /// Wraps computed (or cache-loaded) values.
+    pub fn live(values: Vec<f64>) -> Self {
+        CellData { values, live: true }
+    }
+
+    /// The placeholder for a cell skipped by the executor.
+    pub fn skipped() -> Self {
+        CellData {
+            values: Vec::new(),
+            live: false,
+        }
+    }
+
+    /// Whether real values are present (false only for out-of-shard
+    /// placeholders).
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// The `i`-th payload value. Panics on out-of-range reads of a live
+    /// payload — that is a layout bug in the declaring experiment —
+    /// but yields `0.0` from a skipped placeholder.
+    pub fn get(&self, i: usize) -> f64 {
+        if self.live {
+            self.values[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// The whole payload (empty for a skipped placeholder).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// How declared cells get executed.
+///
+/// `execute` returns the cell's payload, or `None` to *skip* the cell
+/// (it belongs to another shard); the compute closure is invoked at
+/// most once, only when the executor decides the payload must actually
+/// be computed here.
+pub trait CellExecutor: std::fmt::Debug {
+    /// Produces `id`'s payload, calling `compute` if it is not
+    /// available by other means, or `None` to skip the cell.
+    fn execute(
+        &mut self,
+        id: &CellId,
+        scope: &CellScope,
+        compute: &mut dyn FnMut(&CellScope) -> Vec<f64>,
+    ) -> Option<Vec<f64>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id() -> CellId {
+        CellId::new(
+            "e01_el_model",
+            Profile::Fast,
+            "world=graded-spread(0.5)|reps=6000",
+        )
+    }
+
+    #[test]
+    fn canonical_encoding_is_versioned_and_complete() {
+        assert_eq!(
+            id().canonical(),
+            "diversim-cell/v1|e01_el_model|fast|world=graded-spread(0.5)|reps=6000"
+        );
+    }
+
+    /// Freezes the on-disk cell naming: if this hash moves, every
+    /// cached cell ever written is orphaned, so it must fail a test
+    /// rather than drift silently.
+    #[test]
+    fn pinned_cell_hash() {
+        assert_eq!(
+            id().content_hash(),
+            fnv1a64(b"diversim-cell/v1|e01_el_model|fast|world=graded-spread(0.5)|reps=6000")
+        );
+        assert_eq!(
+            id().file_name(),
+            format!("{:016x}.json", id().content_hash())
+        );
+    }
+
+    #[test]
+    fn identity_components_all_separate_cells() {
+        let base = id();
+        let other_experiment = CellId::new("e02_lm_model", base.profile, base.key.clone());
+        let other_profile = CellId::new(base.experiment.clone(), Profile::Smoke, base.key.clone());
+        let other_key = CellId::new(base.experiment.clone(), base.profile, "world=mirrored");
+        for other in [other_experiment, other_profile, other_key] {
+            assert_ne!(base.content_hash(), other.content_hash());
+        }
+    }
+
+    #[test]
+    fn scope_seeds_are_a_pure_function_of_identity() {
+        let a = CellScope::new(&id(), 1);
+        let b = CellScope::new(&id(), 8);
+        // Thread budget varies; the seed universe must not.
+        assert_eq!(a.seeds().seed_for(3, 17), b.seeds().seed_for(3, 17));
+        let other = CellScope::new(
+            &CellId::new("e01_el_model", Profile::Fast, "world=mirrored"),
+            1,
+        );
+        assert_ne!(a.seeds().root(), other.seeds().root());
+        // And it is derived through `child`, not the raw hash root.
+        assert_ne!(
+            a.seeds().root(),
+            SeedSequence::new(id().content_hash()).root()
+        );
+    }
+
+    #[test]
+    fn skipped_placeholder_reads_zero_but_live_reads_panic_oob() {
+        let skipped = CellData::skipped();
+        assert!(!skipped.is_live());
+        assert_eq!(skipped.get(5), 0.0);
+        let live = CellData::live(vec![1.5, 2.5]);
+        assert!(live.is_live());
+        assert_eq!(live.get(1), 2.5);
+        assert_eq!(live.values(), &[1.5, 2.5]);
+        let caught = std::panic::catch_unwind(|| live.get(2));
+        assert!(caught.is_err(), "OOB read of a live payload must panic");
+    }
+}

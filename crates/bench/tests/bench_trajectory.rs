@@ -13,6 +13,7 @@ use std::path::Path;
 
 use diversim_bench::json::{self, Value};
 use diversim_bench::serve::loadgen::LOADGEN_SCHEMA;
+use diversim_bench::sweep::SWEEP_SCALING_SCHEMA;
 
 /// Every trajectory file the repository commits to the workspace root.
 const COMMITTED: &[&str] = &["BENCH_kernel_scaling.json", "BENCH_runner_scaling.json"];
@@ -120,6 +121,60 @@ fn serve_loadgen_trajectory_parses_and_shows_a_clean_run() {
             "{id}: expected 0 < min ≤ p50 ≤ p99 ≤ max, got {min}/{p50}/{p99}/{max}"
         );
     }
+}
+
+/// Drift guard for the committed sweep-scaling trajectory, and the
+/// check the CI shard jobs replay against a freshly generated file (set
+/// `DIVERSIM_SWEEP_JSON` to point it elsewhere). The document records
+/// one cold `diversim sweep` pass and one fully cached `--resume` pass
+/// over the same experiments; a resume that recomputes anything, or a
+/// cache that fails to deliver a clear win, is a regression. The ≥5×
+/// headline is asserted for the committed file only — a CI-fresh file
+/// on loaded shared runners still must be warm-faster-than-cold, but
+/// with a relaxed margin.
+#[test]
+fn sweep_scaling_trajectory_shows_the_cache_working() {
+    let (path, committed) = match std::env::var("DIVERSIM_SWEEP_JSON") {
+        Ok(p) => (Path::new(&p).to_path_buf(), false),
+        Err(_) => (workspace_root().join("BENCH_sweep_scaling.json"), true),
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("sweep trajectory {} unreadable: {e}", path.display()));
+    let doc = json::parse(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some(SWEEP_SCALING_SCHEMA),
+        "schema string drifted"
+    );
+    let num = |key: &str| -> f64 {
+        doc.get(key)
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("missing numeric field {key:?}"))
+    };
+    assert!(
+        doc.get("profile").and_then(Value::as_str).is_some(),
+        "missing profile string"
+    );
+    assert!(num("threads") >= 1.0 && num("experiments") >= 1.0);
+    let cells = num("cells");
+    assert!(cells > 0.0, "a sweep with no cells measures nothing");
+    // The cold pass computes every cell; the warm pass serves every one
+    // of them from the store without recomputing.
+    assert_eq!(num("cold_computed"), cells, "cold pass must compute all");
+    assert_eq!(num("warm_hits"), cells, "warm pass must hit on all");
+    assert_eq!(num("warm_computed"), 0.0, "warm pass recomputed cells");
+    let (cold, warm) = (num("cold_ns"), num("warm_ns"));
+    assert!(cold > 0.0 && warm > 0.0);
+    let speedup = num("speedup");
+    assert!(
+        (speedup - cold / warm).abs() <= 0.01 * speedup.abs().max(1.0),
+        "speedup field disagrees with cold_ns/warm_ns"
+    );
+    let floor = if committed { 5.0 } else { 1.0 };
+    assert!(
+        speedup >= floor,
+        "warm sweep is only {speedup:.1}x faster than cold (floor {floor}x)"
+    );
 }
 
 /// The kernel_scaling trajectory must carry both sides of the

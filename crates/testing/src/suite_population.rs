@@ -6,7 +6,7 @@
 //! computation the measure is held explicitly; for simulation it is
 //! sampled through a [`crate::generation::SuiteGenerator`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::RngCore;
 
@@ -139,10 +139,14 @@ pub fn enumerate_iid_suites(
 ) -> Result<ExplicitSuitePopulation, TestingError> {
     let space = profile.space();
     let n = space.len();
-    let mut dist: HashMap<BitSet, f64> = HashMap::new();
+    // BTreeMap, not HashMap: the per-set probabilities are accumulated in
+    // iteration order, and float addition is order-sensitive — a randomised
+    // order would make the enumeration nondeterministic in the last ulp
+    // across processes, which the content-addressed sweep cache forbids.
+    let mut dist: BTreeMap<BitSet, f64> = BTreeMap::new();
     dist.insert(BitSet::new(n), 1.0);
     for _ in 0..size {
-        let mut next: HashMap<BitSet, f64> = HashMap::with_capacity(dist.len() * 2);
+        let mut next: BTreeMap<BitSet, f64> = BTreeMap::new();
         for (set, p) in &dist {
             for (x, q) in profile.iter() {
                 if q == 0.0 {
@@ -235,7 +239,7 @@ mod tests {
         let q = UsageProfile::uniform(space(2));
         let m = enumerate_iid_suites(&q, 2, 100).unwrap();
         assert_eq!(m.len(), 3);
-        let mut by_set: HashMap<Vec<DemandId>, f64> = HashMap::new();
+        let mut by_set: BTreeMap<Vec<DemandId>, f64> = BTreeMap::new();
         for (t, p) in m.iter() {
             by_set.insert(t.demands().to_vec(), p);
         }
