@@ -1,0 +1,7 @@
+//! Thin wrapper: runs the registered `e18_policy_coupling` experiment through
+//! the shared engine (`diversim run e18`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
+
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e18")
+}

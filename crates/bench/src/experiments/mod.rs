@@ -1,4 +1,4 @@
-//! The sixteen experiment implementations.
+//! The eighteen experiment implementations.
 //!
 //! Each module holds one [`ExperimentSpec`](crate::spec::ExperimentSpec)
 //! static (`SPEC`) plus its `run` function; the registry
@@ -25,3 +25,5 @@ pub mod e13_common_cause;
 pub mod e14_nversion;
 pub mod e15_stopping;
 pub mod e16_assessment;
+pub mod e17_adaptive_policies;
+pub mod e18_policy_coupling;

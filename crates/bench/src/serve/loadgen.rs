@@ -22,6 +22,8 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Instant;
 
+use diversim_testing::oracle::IdenticalFailureModel;
+
 use crate::json::Value;
 
 use super::request::{
@@ -129,7 +131,9 @@ pub fn schedule(seed: u64, client: usize, i: u64) -> EvaluationRequest {
             regime: match i % 3 {
                 0 => RegimeSpec::Shared,
                 1 => RegimeSpec::Independent,
-                _ => RegimeSpec::BackToBack { gamma: 0.3 },
+                _ => RegimeSpec::BackToBack {
+                    model: IdenticalFailureModel::Bernoulli(0.3),
+                },
             },
             suite_size: 4,
             replications: 200,

@@ -7,7 +7,7 @@
 //! member order, stable escaping via [`crate::json::Value::to_json`]),
 //! so responses are byte-deterministic functions of the request.
 //!
-//! The same types are the internal API: `diversim run` and the sixteen
+//! The same types are the internal API: `diversim run` and the eighteen
 //! thin `eNN_*` binaries construct an [`ExperimentRequest`] and enter
 //! the engine through the exact code path the server dispatches to, so
 //! CLI, service and tests share one validated surface.
@@ -34,6 +34,7 @@
 //! shared base seed.
 
 use diversim_sim::campaign::CampaignRegime;
+use diversim_sim::policy::PolicySpec;
 use diversim_sim::scenario::MAX_SUITE_SIZE;
 use diversim_testing::oracle::IdenticalFailureModel;
 
@@ -306,17 +307,26 @@ pub const FIXTURES: &[&str] = &[
 ];
 
 /// The testing regime of an evaluation request.
+///
+/// Every [`CampaignRegime`] — including every identical-failure model
+/// of back-to-back testing and every adaptive allocation policy — has
+/// exactly one spec, so regimes round-trip across the wire without
+/// silent coercion.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RegimeSpec {
     /// Both versions debugged on one shared suite.
     Shared,
     /// Each version debugged on its own independent suite.
     Independent,
-    /// Back-to-back testing; coincident failures identical with
-    /// probability `gamma`.
+    /// Back-to-back testing under the given identical-failure model.
     BackToBack {
-        /// The identical-failure probability γ.
-        gamma: f64,
+        /// How coincident failures compare.
+        model: IdenticalFailureModel,
+    },
+    /// Policy-driven adaptive allocation of a shared test budget.
+    Adaptive {
+        /// The allocation policy.
+        policy: PolicySpec,
     },
 }
 
@@ -326,54 +336,162 @@ impl RegimeSpec {
         match self {
             RegimeSpec::Shared => CampaignRegime::SharedSuite,
             RegimeSpec::Independent => CampaignRegime::IndependentSuites,
-            RegimeSpec::BackToBack { gamma } => {
-                CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(gamma))
-            }
+            RegimeSpec::BackToBack { model } => CampaignRegime::BackToBack(model),
+            RegimeSpec::Adaptive { policy } => CampaignRegime::Adaptive(policy),
+        }
+    }
+
+    /// The wire spec denoting `regime` — a total inverse of
+    /// [`RegimeSpec::to_regime`], so every simulation regime can be
+    /// expressed on the wire and recovered exactly.
+    pub fn from_regime(regime: CampaignRegime) -> Self {
+        match regime {
+            CampaignRegime::SharedSuite => RegimeSpec::Shared,
+            CampaignRegime::IndependentSuites => RegimeSpec::Independent,
+            CampaignRegime::BackToBack(model) => RegimeSpec::BackToBack { model },
+            CampaignRegime::Adaptive(policy) => RegimeSpec::Adaptive { policy },
         }
     }
 
     fn validate(&self) -> Result<(), ServeError> {
-        if let RegimeSpec::BackToBack { gamma } = self {
-            if !gamma.is_finite() || !(0.0..=1.0).contains(gamma) {
+        match self {
+            RegimeSpec::BackToBack {
+                model: IdenticalFailureModel::Bernoulli(gamma),
+            } if !gamma.is_finite() || !(0.0..=1.0).contains(gamma) => {
                 return Err(ServeError::InvalidField {
                     field: "regime.gamma",
                     message: format!("must be a probability in [0, 1], got {gamma}"),
                 });
             }
+            RegimeSpec::Adaptive { policy } => match *policy {
+                PolicySpec::EpsilonGreedy { epsilon } if policy.validate().is_err() => {
+                    return Err(ServeError::InvalidField {
+                        field: "regime.epsilon",
+                        message: format!("must be a probability in [0, 1], got {epsilon}"),
+                    });
+                }
+                PolicySpec::UcbIndex { c } if policy.validate().is_err() => {
+                    return Err(ServeError::InvalidField {
+                        field: "regime.c",
+                        message: format!("must be a finite non-negative number, got {c}"),
+                    });
+                }
+                _ => {}
+            },
+            _ => {}
         }
         Ok(())
     }
 
     /// The strict wire rendering of this regime.
+    ///
+    /// Bernoulli back-to-back regimes render with a `gamma` member —
+    /// byte-identical to the historical wire form — while `Never` /
+    /// `Always` render with a `model` member.
     pub fn to_value(&self) -> Value {
         match self {
             RegimeSpec::Shared => Value::String("shared".into()),
             RegimeSpec::Independent => Value::String("independent".into()),
-            RegimeSpec::BackToBack { gamma } => Value::Object(vec![
-                ("kind".into(), Value::String("back_to_back".into())),
-                ("gamma".into(), Value::Number(*gamma)),
+            RegimeSpec::BackToBack { model } => {
+                let payload = match model {
+                    IdenticalFailureModel::Bernoulli(gamma) => {
+                        ("gamma".to_string(), Value::Number(*gamma))
+                    }
+                    IdenticalFailureModel::Never => {
+                        ("model".to_string(), Value::String("never".into()))
+                    }
+                    IdenticalFailureModel::Always => {
+                        ("model".to_string(), Value::String("always".into()))
+                    }
+                };
+                Value::Object(vec![
+                    ("kind".into(), Value::String("back_to_back".into())),
+                    payload,
+                ])
+            }
+            RegimeSpec::Adaptive { policy } => Value::Object(vec![
+                ("kind".into(), Value::String("adaptive".into())),
+                ("policy".into(), policy_to_value(*policy)),
             ]),
         }
     }
 
     fn from_value(value: &Value) -> Result<Self, ServeError> {
-        let spec =
-            match value {
-                Value::String(s) if s == "shared" => RegimeSpec::Shared,
-                Value::String(s) if s == "independent" => RegimeSpec::Independent,
-                Value::Object(_)
-                    if value.get("kind").and_then(Value::as_str) == Some("back_to_back") =>
-                {
-                    RegimeSpec::BackToBack {
-                        gamma: opt_f64(value, "gamma", "regime.gamma")?.unwrap_or(0.0),
+        let kind = value.get("kind").and_then(Value::as_str);
+        let spec = match value {
+            Value::String(s) if s == "shared" => RegimeSpec::Shared,
+            Value::String(s) if s == "independent" => RegimeSpec::Independent,
+            Value::Object(_) if kind == Some("back_to_back") => {
+                let model = match value.get("model") {
+                    None => IdenticalFailureModel::Bernoulli(
+                        opt_f64(value, "gamma", "regime.gamma")?.unwrap_or(0.0),
+                    ),
+                    Some(_) if value.get("gamma").is_some() => {
+                        return Err(protocol("regime cannot carry both \"gamma\" and \"model\""))
                     }
+                    Some(m) => match m.as_str() {
+                        Some("never") => IdenticalFailureModel::Never,
+                        Some("always") => IdenticalFailureModel::Always,
+                        _ => return Err(protocol("regime.model must be \"never\" or \"always\"")),
+                    },
+                };
+                RegimeSpec::BackToBack { model }
+            }
+            Value::Object(_) if kind == Some("adaptive") => {
+                let policy = value
+                    .get("policy")
+                    .ok_or_else(|| protocol("adaptive regimes need a \"policy\" member"))?;
+                RegimeSpec::Adaptive {
+                    policy: policy_from_value(policy)?,
                 }
-                _ => return Err(protocol(
-                    "regime must be \"shared\", \"independent\" or {\"kind\":\"back_to_back\",...}",
-                )),
-            };
+            }
+            _ => {
+                return Err(protocol(
+                    "regime must be \"shared\", \"independent\", \
+                     {\"kind\":\"back_to_back\",...} or {\"kind\":\"adaptive\",...}",
+                ))
+            }
+        };
         spec.validate()?;
         Ok(spec)
+    }
+}
+
+/// The strict wire rendering of an adaptive allocation policy.
+fn policy_to_value(policy: PolicySpec) -> Value {
+    match policy {
+        PolicySpec::RoundRobin => Value::String("round_robin".into()),
+        PolicySpec::GreedyOnFailures => Value::String("greedy".into()),
+        PolicySpec::EpsilonGreedy { epsilon } => Value::Object(vec![
+            ("kind".into(), Value::String("epsilon_greedy".into())),
+            ("epsilon".into(), Value::Number(epsilon)),
+        ]),
+        PolicySpec::UcbIndex { c } => Value::Object(vec![
+            ("kind".into(), Value::String("ucb".into())),
+            ("c".into(), Value::Number(c)),
+        ]),
+    }
+}
+
+/// The tolerant wire reader for a `regime.policy` member.
+fn policy_from_value(value: &Value) -> Result<PolicySpec, ServeError> {
+    match value {
+        Value::String(s) if s == "round_robin" => Ok(PolicySpec::RoundRobin),
+        Value::String(s) if s == "greedy" => Ok(PolicySpec::GreedyOnFailures),
+        Value::Object(_) => match require_str(value, "regime.policy.kind")? {
+            "epsilon_greedy" => Ok(PolicySpec::EpsilonGreedy {
+                epsilon: opt_f64(value, "epsilon", "regime.epsilon")?.unwrap_or(0.0),
+            }),
+            "ucb" => Ok(PolicySpec::UcbIndex {
+                c: opt_f64(value, "c", "regime.c")?.unwrap_or(0.0),
+            }),
+            other => Err(protocol(format!(
+                "regime.policy.kind must be epsilon_greedy or ucb, got {other:?}"
+            ))),
+        },
+        _ => Err(protocol(
+            "regime.policy must be \"round_robin\", \"greedy\" or {\"kind\":...}",
+        )),
     }
 }
 
@@ -1026,7 +1144,9 @@ mod tests {
                     prop_hi: 0.5,
                     seed: 9,
                 },
-                regime: RegimeSpec::BackToBack { gamma: 0.3 },
+                regime: RegimeSpec::BackToBack {
+                    model: IdenticalFailureModel::Bernoulli(0.3),
+                },
                 suite_size: 8,
                 replications: 50,
                 study: StudySpec::Growth {
@@ -1099,6 +1219,28 @@ mod tests {
                 ..
             }
         ));
+        let err = EvaluationRequest::parse(&line(
+            r#","regime":{"kind":"adaptive","policy":{"kind":"epsilon_greedy","epsilon":1.5}}"#,
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidField {
+                field: "regime.epsilon",
+                ..
+            }
+        ));
+        let err = EvaluationRequest::parse(&line(
+            r#","regime":{"kind":"adaptive","policy":{"kind":"ucb","c":-1}}"#,
+        ))
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::InvalidField {
+                field: "regime.c",
+                ..
+            }
+        ));
         let err =
             EvaluationRequest::parse(&line(r#","study":{"kind":"growth","checkpoints":[3,1]}"#))
                 .unwrap_err();
@@ -1125,6 +1267,106 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ServeError::UnknownFixture { .. }));
+    }
+
+    #[test]
+    fn every_regime_round_trips_without_coercion() {
+        let regimes = [
+            CampaignRegime::SharedSuite,
+            CampaignRegime::IndependentSuites,
+            CampaignRegime::BackToBack(IdenticalFailureModel::Never),
+            CampaignRegime::BackToBack(IdenticalFailureModel::Always),
+            CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.3)),
+            CampaignRegime::Adaptive(PolicySpec::RoundRobin),
+            CampaignRegime::Adaptive(PolicySpec::GreedyOnFailures),
+            CampaignRegime::Adaptive(PolicySpec::EpsilonGreedy { epsilon: 0.1 }),
+            CampaignRegime::Adaptive(PolicySpec::UcbIndex { c: 0.5 }),
+        ];
+        for regime in regimes {
+            let spec = RegimeSpec::from_regime(regime);
+            assert_eq!(spec.to_regime(), regime, "{regime:?}");
+            assert_eq!(
+                RegimeSpec::from_value(&spec.to_value()).unwrap(),
+                spec,
+                "{regime:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_wire_forms_are_faithful() {
+        // The historical gamma member still reads as Bernoulli and
+        // renders back to the identical wire value.
+        let legacy = json::parse(r#"{"kind":"back_to_back","gamma":0.3}"#).unwrap();
+        let spec = RegimeSpec::from_value(&legacy).unwrap();
+        assert_eq!(
+            spec,
+            RegimeSpec::BackToBack {
+                model: IdenticalFailureModel::Bernoulli(0.3)
+            }
+        );
+        assert_eq!(spec.to_value(), legacy);
+
+        // Never / Always are expressible, not coerced to Bernoulli.
+        for (wire, model) in [
+            ("never", IdenticalFailureModel::Never),
+            ("always", IdenticalFailureModel::Always),
+        ] {
+            let value =
+                json::parse(&format!(r#"{{"kind":"back_to_back","model":"{wire}"}}"#)).unwrap();
+            let spec = RegimeSpec::from_value(&value).unwrap();
+            assert_eq!(spec, RegimeSpec::BackToBack { model });
+            assert_eq!(spec.to_regime(), CampaignRegime::BackToBack(model));
+            assert_eq!(spec.to_value(), value);
+        }
+
+        // Ambiguous and unknown forms are rejected, never guessed at.
+        for bad in [
+            r#"{"kind":"back_to_back","gamma":0.3,"model":"never"}"#,
+            r#"{"kind":"back_to_back","model":"sometimes"}"#,
+            r#"{"kind":"back_to_back","model":7}"#,
+        ] {
+            let value = json::parse(bad).unwrap();
+            assert!(RegimeSpec::from_value(&value).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn adaptive_regimes_cross_the_wire() {
+        let lines = [
+            (
+                r#"{"kind":"adaptive","policy":"round_robin"}"#,
+                PolicySpec::RoundRobin,
+            ),
+            (
+                r#"{"kind":"adaptive","policy":"greedy"}"#,
+                PolicySpec::GreedyOnFailures,
+            ),
+            (
+                r#"{"kind":"adaptive","policy":{"kind":"epsilon_greedy","epsilon":0.1}}"#,
+                PolicySpec::EpsilonGreedy { epsilon: 0.1 },
+            ),
+            (
+                r#"{"kind":"adaptive","policy":{"kind":"ucb","c":0.5}}"#,
+                PolicySpec::UcbIndex { c: 0.5 },
+            ),
+        ];
+        for (line, policy) in lines {
+            let value = json::parse(line).unwrap();
+            let spec = RegimeSpec::from_value(&value).unwrap();
+            assert_eq!(spec, RegimeSpec::Adaptive { policy }, "{line}");
+            assert_eq!(spec.to_value(), value, "{line}");
+            assert_eq!(spec.to_regime(), CampaignRegime::Adaptive(policy));
+        }
+        for bad in [
+            r#"{"kind":"adaptive"}"#,
+            r#"{"kind":"adaptive","policy":"optimal"}"#,
+            r#"{"kind":"adaptive","policy":{"kind":"thompson"}}"#,
+            r#"{"kind":"adaptive","policy":7}"#,
+        ] {
+            let value = json::parse(bad).unwrap();
+            assert!(RegimeSpec::from_value(&value).is_err(), "{bad}");
+        }
     }
 
     #[test]

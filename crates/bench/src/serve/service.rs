@@ -281,6 +281,42 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_regimes_are_served_deterministically() {
+        let line = |id: &str| {
+            format!(
+                concat!(
+                    r#"{{"api":"diversim/v1","id":"{}","kind":"evaluate","seed":5,"stream":2,"#,
+                    r#""world":{{"kind":"fixture","name":"small-graded"}},"#,
+                    r#""regime":{{"kind":"adaptive","policy":{{"kind":"epsilon_greedy","epsilon":0.1}}}},"#,
+                    r#""suite_size":8,"replications":32,"study":"estimate"}}"#
+                ),
+                id
+            )
+        };
+        let base = EvaluationService::new(1, 2).handle_line(&line("a"));
+        let (id, ok) = EvaluationResponse::parse_status(&base).unwrap();
+        assert_eq!((id.as_str(), ok), ("a", true), "{base}");
+        assert_eq!(
+            EvaluationService::new(8, 2).handle_line(&line("a")),
+            base,
+            "8 threads must match 1 thread"
+        );
+        // Growth studies replay fixed demand streams, so adaptive
+        // requests get a stable error, not a silent regime fallback.
+        let growth = line("g").replace(
+            r#""study":"estimate""#,
+            r#""study":{"kind":"growth","checkpoints":[0,4]}"#,
+        );
+        let response = EvaluationService::new(1, 2).handle_line(&growth);
+        let (id, ok) = EvaluationResponse::parse_status(&response).unwrap();
+        assert_eq!((id.as_str(), ok), ("g", false));
+        assert!(
+            response.contains("studies require a static suite regime"),
+            "{response}"
+        );
+    }
+
+    #[test]
     fn failures_become_error_responses_with_salvaged_ids() {
         let service = EvaluationService::new(1, 2);
         let line = service.handle_line(r#"{"id":"broken","world":7}"#);

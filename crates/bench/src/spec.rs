@@ -4,7 +4,7 @@
 //! reproduction of Popov & Littlewood (DSN 2004): identity, the paper
 //! result it regenerates, its sweep grid, its replication plan, and the
 //! function that executes it. The registry (`crate::registry`) lists
-//! all sixteen; the engine (`crate::engine`) executes any of them
+//! all eighteen; the engine (`crate::engine`) executes any of them
 //! through `sim::runner`'s deterministic-parallel primitives; the CLI
 //! (`crate::cli`) and the thin `eNN_*` binaries are fronts over that
 //! one code path.
@@ -210,7 +210,7 @@ impl FigureSpec {
 /// experiment against a [`RunContext`].
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentSpec {
-    /// Ordinal, 1–16.
+    /// Ordinal, 1–18.
     pub id: u8,
     /// Short handle accepted by the CLI (`"e01"`).
     pub slug: &'static str,

@@ -80,6 +80,52 @@ pub fn negative_coupling() -> World {
     )
 }
 
+/// An asymmetric-quality world for the adaptive-allocation experiments
+/// (e17/e18): the methodologies produce different fault *geometries*.
+/// Version A is riddled with broad methodological blunders — likely
+/// faults covering 2–3 demand regions, so each test clears them at a
+/// high per-test rate. Version B carries only rare narrow defects —
+/// unlikely singleton faults that a uniform test hits slowly.
+///
+/// The geometry is what makes test *allocation* matter. With a shared
+/// fault model the per-demand joint survival decays at the same
+/// per-test rate on both sides, so every private split of a fixed
+/// budget delivers the same system pfd. Here the rates differ (≈1/2 per
+/// test on A's region faults vs 1/6 on B's singletons), so
+/// concentrating the budget on A is first-order better than the even
+/// split of independent suites — an edge an adaptive policy can
+/// discover from observed failures alone.
+pub fn asymmetric() -> World {
+    use diversim_universe::demand::{DemandId, DemandSpace};
+    use diversim_universe::fault::FaultModelBuilder;
+    use std::sync::Arc;
+    let space = DemandSpace::new(6).expect("non-empty");
+    let d = DemandId::new;
+    let model = Arc::new(
+        FaultModelBuilder::new(space)
+            // A's broad blunders: multi-demand regions, quick to flush.
+            .fault([d(0), d(1), d(2)])
+            .fault([d(3), d(4), d(5)])
+            .fault([d(0), d(3)])
+            .fault([d(1), d(4)])
+            .fault([d(2), d(5)])
+            // B's narrow defects: singletons, slow to hit.
+            .fault([d(0)])
+            .fault([d(1)])
+            .fault([d(2)])
+            .fault([d(3)])
+            .fault([d(4)])
+            .fault([d(5)])
+            .build()
+            .expect("valid"),
+    );
+    let props_a = vec![0.5, 0.5, 0.35, 0.35, 0.35, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+    let props_b = vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.06, 0.06, 0.06, 0.06, 0.06, 0.06];
+    let pop_a = BernoulliPopulation::new(Arc::clone(&model), props_a).expect("valid");
+    let pop_b = BernoulliPopulation::new(model, props_b).expect("valid");
+    World::forced("asymmetric", pop_a, pop_b, UsageProfile::uniform(space))
+}
+
 /// A medium simulation world with fault-region cascades: 200 demands, 60
 /// faults of region size 1–4, Zipf(0.8) usage, Bernoulli propensities in
 /// [0.05, 0.5]. Too large to enumerate; exercised by Monte Carlo.
@@ -125,6 +171,7 @@ mod tests {
             graded_with_spread(0.5),
             mirrored(0.5, 0.05),
             negative_coupling(),
+            asymmetric(),
             medium_cascade(1),
             large(2),
         ] {
@@ -149,6 +196,14 @@ mod tests {
             .label()
             .starts_with("medium-cascade (200 demands, 60 faults,"));
         assert!(medium.label().ends_with("skewed Q)"));
+    }
+
+    #[test]
+    fn asymmetric_world_makes_a_the_buggier_version() {
+        let w = asymmetric();
+        let a: f64 = w.pop_a.theta_vector().iter().sum();
+        let b: f64 = w.pop_b.theta_vector().iter().sum();
+        assert!(a > 4.0 * b, "A must be markedly buggier: {a} vs {b}");
     }
 
     #[test]

@@ -12,6 +12,8 @@ use diversim_bench::serve::request::{
     WorldSpec,
 };
 use diversim_bench::spec::Profile;
+use diversim_sim::policy::PolicySpec;
+use diversim_testing::oracle::IdenticalFailureModel;
 
 /// Arbitrary strings over the full ASCII range (controls, quotes and
 /// backslashes included — the characters escaping must get right) plus
@@ -139,16 +141,53 @@ fn world_spec() -> BoxedStrategy<WorldSpec> {
     .boxed()
 }
 
+/// Every regime the wire protocol can name, including each
+/// identical-failure model and each adaptive allocation policy — the
+/// spec is a total bijection with `CampaignRegime`, so the strategy
+/// must cover all of it.
+fn regime_spec() -> BoxedStrategy<RegimeSpec> {
+    prop_oneof![
+        Just(RegimeSpec::Shared).boxed(),
+        Just(RegimeSpec::Independent).boxed(),
+        Just(RegimeSpec::BackToBack {
+            model: IdenticalFailureModel::Never,
+        })
+        .boxed(),
+        Just(RegimeSpec::BackToBack {
+            model: IdenticalFailureModel::Always,
+        })
+        .boxed(),
+        (0.0f64..=1.0)
+            .prop_map(|gamma| RegimeSpec::BackToBack {
+                model: IdenticalFailureModel::Bernoulli(gamma),
+            })
+            .boxed(),
+        Just(RegimeSpec::Adaptive {
+            policy: PolicySpec::RoundRobin,
+        })
+        .boxed(),
+        Just(RegimeSpec::Adaptive {
+            policy: PolicySpec::GreedyOnFailures,
+        })
+        .boxed(),
+        (0.0f64..=1.0)
+            .prop_map(|epsilon| RegimeSpec::Adaptive {
+                policy: PolicySpec::EpsilonGreedy { epsilon },
+            })
+            .boxed(),
+        (0.0f64..10.0)
+            .prop_map(|c| RegimeSpec::Adaptive {
+                policy: PolicySpec::UcbIndex { c },
+            })
+            .boxed(),
+    ]
+    .boxed()
+}
+
 fn request() -> BoxedStrategy<EvaluationRequest> {
     let evaluate = (
         world_spec(),
-        prop_oneof![
-            Just(RegimeSpec::Shared).boxed(),
-            Just(RegimeSpec::Independent).boxed(),
-            (0.0f64..=1.0)
-                .prop_map(|gamma| RegimeSpec::BackToBack { gamma })
-                .boxed(),
-        ],
+        regime_spec(),
         0usize..100,
         1u64..1000,
         prop_oneof![

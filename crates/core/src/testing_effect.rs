@@ -115,6 +115,63 @@ pub fn joint_shared_suite(
     }
 }
 
+/// Joint failure probability on demand `x` for an **adaptive allocation
+/// profile**: both versions are debugged on one shared suite `T_S ~ M_S`
+/// *plus* a private suite each (`T_A ~ M_A`, `T_B ~ M_B`, drawn
+/// independently of everything else) — the post-testing joint
+/// distribution a policy-driven campaign induces once its realised
+/// allocation counts are fixed (shared demands vs private demands per
+/// version; see `diversim-sim`'s `policy` module).
+///
+/// Conditioned on the shared suite, the two versions are independent, so
+///
+/// ```text
+/// E[ξ_A·ξ_B] = E_{T_S}[ g_A(T_S)·g_B(T_S) ],
+///     g_V(t) = E_{T_V}[ ξ_V(x, t ∪ T_V) ]
+/// ```
+///
+/// decomposed — exactly as eqs (20)–(21) — into the product of means
+/// plus the covariance over the shared suite. With an empty shared
+/// measure this reduces bit-for-bit to [`joint_independent_suites`]
+/// (coupling 0); with empty private measures it reduces to
+/// [`joint_shared_suite`]. The coupling term is how much shared-suite
+/// penalty the allocation re-introduces.
+pub fn joint_adaptive(
+    pop_a: &dyn TestedDifficulty,
+    pop_b: &dyn TestedDifficulty,
+    shared: &ExplicitSuitePopulation,
+    private_a: &ExplicitSuitePopulation,
+    private_b: &ExplicitSuitePopulation,
+    x: DemandId,
+) -> JointOnDemand {
+    let triples: Vec<((f64, f64), f64)> = shared
+        .iter()
+        .map(|(ts, ps)| {
+            let ga = private_a.expect(|ta| {
+                let mut covered = ts.demand_set().clone();
+                covered.union_with(ta.demand_set());
+                pop_a.xi(x, &covered)
+            });
+            let gb = private_b.expect(|tb| {
+                let mut covered = ts.demand_set().clone();
+                covered.union_with(tb.demand_set());
+                pop_b.xi(x, &covered)
+            });
+            ((ga, gb), ps)
+        })
+        .collect();
+    let cov =
+        weighted::covariance(triples.iter().copied()).expect("measure is a valid distribution");
+    let mean_a = weighted::mean(triples.iter().map(|&((a, _), p)| (a, p)))
+        .expect("measure is a valid distribution");
+    let mean_b = weighted::mean(triples.iter().map(|&((_, b), p)| (b, p)))
+        .expect("measure is a valid distribution");
+    JointOnDemand {
+        independent: mean_a * mean_b,
+        coupling: cov,
+    }
+}
+
 /// Joint failure probability on demand `x` under either regime (dispatch
 /// over [`TestingRegime`]; under `IndependentSuites` the single measure is
 /// used for both versions, i.e. the eq-16/17 setting).
@@ -276,6 +333,61 @@ mod tests {
         assert!((j.total() - za * zb).abs() < 1e-12);
         // ζ under the debug profile (hits x0 with 0.9) is lower on x0.
         assert!(zb < za);
+    }
+
+    #[test]
+    fn adaptive_with_empty_shared_measure_is_independent() {
+        // No shared demands → the conditional-independence factorisation
+        // of eqs (16)–(19) holds exactly, coupling included.
+        let pop = singleton_pop(vec![0.2, 0.5, 0.7]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let none = enumerate_iid_suites(&q, 0, 4).unwrap();
+        let ma = enumerate_iid_suites(&q, 2, 64).unwrap();
+        let mb = enumerate_iid_suites(&q, 3, 64).unwrap();
+        for x in pop.model().space().iter() {
+            let adaptive = joint_adaptive(&pop, &pop, &none, &ma, &mb, x);
+            let indep = joint_independent_suites(&pop, &pop, &ma, &mb, x);
+            assert!((adaptive.total() - indep.total()).abs() < 1e-12);
+            assert!(adaptive.coupling.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn adaptive_with_empty_private_measures_is_shared() {
+        // Everything shared → eqs (20)–(21) bit-for-bit: the expectation
+        // over a single empty private suite is ξ itself.
+        let pop = singleton_pop(vec![0.3, 0.6, 0.9]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let none = enumerate_iid_suites(&q, 0, 4).unwrap();
+        let shared = enumerate_iid_suites(&q, 2, 64).unwrap();
+        for x in pop.model().space().iter() {
+            let adaptive = joint_adaptive(&pop, &pop, &shared, &none, &none, x);
+            let direct = joint_shared_suite(&pop, &pop, &shared, x);
+            assert_eq!(adaptive, direct);
+        }
+    }
+
+    #[test]
+    fn adaptive_coupling_grows_with_shared_allocation() {
+        // Fixed total effort (2 suite draws per version); moving draws
+        // from private to shared monotonically raises the coupling.
+        let pop = singleton_pop(vec![0.25, 0.5, 0.75]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let x = d(0);
+        let mut last = -1.0;
+        for s in 0..=2usize {
+            let shared = enumerate_iid_suites(&q, s, 1 << 10).unwrap();
+            let private = enumerate_iid_suites(&q, 2 - s, 1 << 10).unwrap();
+            let j = joint_adaptive(&pop, &pop, &shared, &private, &private, x);
+            assert!(j.coupling >= -1e-15, "coupling negative at s={s}");
+            assert!(
+                j.coupling >= last - 1e-12,
+                "coupling not monotone at s={s}: {} < {last}",
+                j.coupling
+            );
+            last = j.coupling;
+        }
+        assert!(last > 0.0, "fully shared allocation must couple");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! strongest internal validation available for a theory reproduction.
 
 use diversim_testing::process::perfect_debug;
+use diversim_testing::suite::TestSuite;
 use diversim_testing::suite_population::ExplicitSuitePopulation;
 use diversim_universe::bitset::BitSet;
 use diversim_universe::demand::DemandId;
@@ -211,6 +212,76 @@ pub fn joint_vector_shared(
         }
     }
     out
+}
+
+/// Brute-force `P(both tested versions fail on x)` under an **adaptive
+/// allocation**: both versions are debugged on one shared suite plus an
+/// independently drawn private suite each —
+///
+/// ```text
+/// Σ_{t_s} M_S(t_s) · g_A(t_s) · g_B(t_s),
+///     g_V(t_s) = Σ_{t_v} M_V(t_v) Σ_π S_V(π) · υ(π, x, t_s ∪ t_v)
+/// ```
+///
+/// evaluated through the mechanistic debugging process on the merged
+/// suite. The reference `diversim-core` path is
+/// `testing_effect::joint_adaptive`.
+pub fn joint_on_demand_adaptive(
+    support_a: &Support,
+    support_b: &Support,
+    shared: &ExplicitSuitePopulation,
+    private_a: &ExplicitSuitePopulation,
+    private_b: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    x: DemandId,
+) -> f64 {
+    let conditional =
+        |support: &Support, private: &ExplicitSuitePopulation, ts: &TestSuite| -> f64 {
+            private
+                .iter()
+                .map(|(tv, q)| {
+                    let merged = ts.merged(tv);
+                    let fail: f64 = support
+                        .iter()
+                        .map(|(v, p)| perfect_debug(v, &merged, model).score(model, x) * p)
+                        .sum();
+                    fail * q
+                })
+                .sum()
+        };
+    let mut total = 0.0;
+    for (ts, qs) in shared.iter() {
+        let ga = conditional(support_a, private_a, ts);
+        if ga == 0.0 {
+            continue;
+        }
+        let gb = conditional(support_b, private_b, ts);
+        total += qs * ga * gb;
+    }
+    total
+}
+
+/// Brute-force marginal `P(both tested versions fail on X)` under an
+/// adaptive allocation: the usage-weighted sum of
+/// [`joint_on_demand_adaptive`] over the demand space (the eq-(23)-style
+/// integration for a realised allocation profile).
+pub fn marginal_adaptive(
+    support_a: &Support,
+    support_b: &Support,
+    shared: &ExplicitSuitePopulation,
+    private_a: &ExplicitSuitePopulation,
+    private_b: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> f64 {
+    let joint: Vec<f64> = model
+        .space()
+        .iter()
+        .map(|x| {
+            joint_on_demand_adaptive(support_a, support_b, shared, private_a, private_b, model, x)
+        })
+        .collect();
+    weighted_total(&joint, profile)
 }
 
 /// Brute-force marginal `P(both tested versions fail on X)` for
@@ -423,6 +494,40 @@ mod tests {
         let ms_ref = q.expect(|x| joint_on_demand_shared(&support, &support, &m, &model, x));
         assert_eq!(mi, mi_ref);
         assert_eq!(ms, ms_ref);
+    }
+
+    #[test]
+    fn adaptive_with_empty_private_measures_is_shared_bitwise() {
+        let (model, pop, q) = overlapping_world();
+        let shared = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        let none = enumerate_iid_suites(&q, 0, 4).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        for x in model.space().iter() {
+            // Merging with the single empty suite is the identity, so the
+            // adaptive enumeration must collapse to the shared one exactly.
+            let adaptive =
+                joint_on_demand_adaptive(&support, &support, &shared, &none, &none, &model, x);
+            let direct = joint_on_demand_shared(&support, &support, &shared, &model, x);
+            assert!((adaptive - direct).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn adaptive_with_empty_shared_measure_factorises() {
+        let (model, pop, q) = overlapping_world();
+        let none = enumerate_iid_suites(&q, 0, 4).unwrap();
+        let private = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        for x in model.space().iter() {
+            let adaptive =
+                joint_on_demand_adaptive(&support, &support, &none, &private, &private, &model, x);
+            let indep =
+                joint_on_demand_independent(&support, &support, &private, &private, &model, x);
+            assert!((adaptive - indep).abs() < 1e-12);
+        }
+        let ma = marginal_adaptive(&support, &support, &none, &private, &private, &model, &q);
+        let mi = marginal_independent(&support, &support, &private, &private, &model, &q);
+        assert!((ma - mi).abs() < 1e-12);
     }
 
     #[test]

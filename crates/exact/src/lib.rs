@@ -43,7 +43,8 @@ pub mod brute;
 pub mod verify;
 
 pub use brute::{
-    joint_on_demand_independent, joint_on_demand_shared, joint_vector_shared, marginal_independent,
-    marginal_shared, zeta_brute, zeta_brute_vector, TestedEnsemble,
+    joint_on_demand_adaptive, joint_on_demand_independent, joint_on_demand_shared,
+    joint_vector_shared, marginal_adaptive, marginal_independent, marginal_shared, zeta_brute,
+    zeta_brute_vector, TestedEnsemble,
 };
 pub use verify::{verify_pair, IdentityCheck, TheoremReport};

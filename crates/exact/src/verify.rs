@@ -256,6 +256,53 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_joint_matches_brute_force() {
+        // core::testing_effect::joint_adaptive (covariance decomposition
+        // over the shared suite) vs the assumption-free merged-suite
+        // enumeration, for every demand and every shared/private split of
+        // a 3-draw budget — forced diversity included.
+        let space = DemandSpace::new(3).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
+        let a = BernoulliPopulation::new(model.clone(), vec![0.6, 0.2, 0.4]).unwrap();
+        let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.7, 0.3]).unwrap();
+        let q = UsageProfile::from_weights(space, vec![0.5, 0.3, 0.2]).unwrap();
+        let sa = a.enumerate(16).unwrap();
+        let sb = b.enumerate(16).unwrap();
+        for s in 0..=3usize {
+            let shared = enumerate_iid_suites(&q, s, 1 << 8).unwrap();
+            let private = enumerate_iid_suites(&q, 3 - s, 1 << 8).unwrap();
+            for x in space.iter() {
+                let formula = diversim_core::testing_effect::joint_adaptive(
+                    &a, &b, &shared, &private, &private, x,
+                )
+                .total();
+                let brute_val = brute::joint_on_demand_adaptive(
+                    &sa, &sb, &shared, &private, &private, &model, x,
+                );
+                assert!(
+                    (formula - brute_val).abs() < 1e-12,
+                    "adaptive joint mismatch at {x} with {s} shared draws: \
+                     formula={formula} brute={brute_val}"
+                );
+            }
+            let marginal_formula = q.expect(|x| {
+                diversim_core::testing_effect::joint_adaptive(
+                    &a, &b, &shared, &private, &private, x,
+                )
+                .total()
+            });
+            let marginal_brute =
+                brute::marginal_adaptive(&sa, &sb, &shared, &private, &private, &model, &q);
+            assert!((marginal_formula - marginal_brute).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn report_display_lists_all_checks() {
         let pop = singleton_pop(vec![0.5]);
         let q = UsageProfile::uniform(pop.model().space());

@@ -23,6 +23,7 @@ use diversim_testing::oracle::IdenticalFailureModel;
 use diversim_testing::process::{back_to_back_debug, debug_version};
 use diversim_universe::version::Version;
 
+use crate::policy::PolicySpec;
 use crate::scenario::Scenario;
 
 /// The testing regime a campaign runs under.
@@ -37,6 +38,10 @@ pub enum CampaignRegime {
     /// Both versions executed back-to-back on one shared suite; detection
     /// by output comparison under the given identical-failure model.
     BackToBack(IdenticalFailureModel),
+    /// The pair debugged demand by demand under a [`PolicySpec`]-driven
+    /// allocation of a shared execution budget (the scenario's
+    /// `suite_size`); see [`crate::policy`].
+    Adaptive(PolicySpec),
 }
 
 /// Everything a campaign produced.
@@ -69,6 +74,9 @@ pub struct PairOutcome {
 /// [`CampaignRegime::IndependentSuites`]; back-to-back supplies its own
 /// detection semantics.
 pub(crate) fn run_campaign(scenario: &Scenario, seed: u64) -> PairOutcome {
+    if let CampaignRegime::Adaptive(spec) = scenario.regime() {
+        return crate::policy::run_adaptive_campaign(scenario, spec, seed).0;
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let prepared = scenario.prepared();
     let model = prepared.model();
@@ -89,6 +97,7 @@ pub(crate) fn run_campaign(scenario: &Scenario, seed: u64) -> PairOutcome {
             let t = generator.generate(&mut rng, suite_size);
             (t.clone(), t)
         }
+        CampaignRegime::Adaptive(_) => unreachable!("adaptive campaigns are delegated above"),
     };
 
     let (first, second) = match scenario.regime() {
@@ -116,6 +125,7 @@ pub(crate) fn run_campaign(scenario: &Scenario, seed: u64) -> PairOutcome {
                 back_to_back_debug(&va, &vb, &ta, model, identical, scenario.fixer(), &mut rng);
             (out.first, out.second)
         }
+        CampaignRegime::Adaptive(_) => unreachable!("adaptive campaigns are delegated above"),
     };
 
     PairOutcome {

@@ -101,6 +101,9 @@ pub(crate) fn growth_sample(scenario: &Scenario, checkpoints: &[usize], seed: u6
             let t = scenario.generator().generate(&mut rng, total);
             (t.clone(), t)
         }
+        CampaignRegime::Adaptive(_) => {
+            unreachable!("growth studies reject adaptive regimes at the scenario layer")
+        }
     };
 
     let mut sample = GrowthSample {
@@ -152,6 +155,9 @@ pub(crate) fn growth_sample(scenario: &Scenario, checkpoints: &[usize], seed: u6
                         }
                     }
                 }
+            }
+            CampaignRegime::Adaptive(_) => {
+                unreachable!("growth studies reject adaptive regimes at the scenario layer")
             }
         }
         if next_checkpoint < checkpoints.len() && step + 1 == checkpoints[next_checkpoint] {

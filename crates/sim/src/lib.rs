@@ -21,6 +21,9 @@
 //!   ([`growth`]);
 //! * [`scenario::Scenario::adaptive_study`] — stopping-rule-driven
 //!   campaigns ([`adaptive`]);
+//! * [`scenario::Scenario::policy_study`] — adaptive test-budget
+//!   allocation across the pair under a [`policy::TestPolicy`]
+//!   ([`policy`]);
 //! * [`scenario::Scenario::operate`] / [`scenario::Scenario::coverage`] —
 //!   operational exposure and assessment ([`operation`]);
 //! * [`scenario::Scenario::mistakes`] /
@@ -63,6 +66,7 @@ pub mod common_cause;
 pub mod estimate;
 pub mod growth;
 pub mod operation;
+pub mod policy;
 pub mod prepared;
 pub mod runner;
 pub mod scenario;
@@ -74,6 +78,10 @@ pub use common_cause::{ClarificationStudy, MistakeMode, MistakeStudy};
 pub use estimate::{Estimate, PairEstimates};
 pub use growth::{GrowthCurve, GrowthSample, MergedComparison, MergedEstimates};
 pub use operation::{CoverageStudy, OperationLog};
+pub use policy::{
+    Allocation, AllocationProfile, PolicySignals, PolicySpec, PolicyStep, PolicyStudy, PolicyTrace,
+    TestPolicy,
+};
 pub use runner::{
     default_threads, parallel_accumulate, parallel_accumulate_n, parallel_reduce,
     parallel_replications,

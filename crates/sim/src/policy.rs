@@ -1,0 +1,692 @@
+//! Adaptive test-budget allocation policies.
+//!
+//! The paper's regimes spend a *fixed* test budget per version; this
+//! module treats "which version gets the next test" as a controlled
+//! stochastic process (in the spirit of robust dynamic selection of
+//! tested modules). A [`TestPolicy`] decides, demand by demand, which
+//! version(s) of the pair receive the next test under a shared execution
+//! budget, observing only public signals ([`PolicySignals`]): tests
+//! spent, failures observed, and the per-version stopping-rule state.
+//!
+//! Campaigns run under [`crate::campaign::CampaignRegime::Adaptive`]:
+//! the scenario's `suite_size` is reinterpreted as the *total execution
+//! budget* `B`. Each decision allocates the next test demand (drawn
+//! i.i.d. from the scenario's test profile, as in [`crate::adaptive`]):
+//!
+//! * [`Allocation::VersionA`] / [`Allocation::VersionB`] — one private
+//!   execution (costs 1);
+//! * [`Allocation::Both`] — one *shared* demand executed on both
+//!   versions (costs 2). Shared demands re-introduce exactly the
+//!   shared-suite coupling of eqs (20)–(23): both versions are debugged
+//!   on the same realised demand.
+//!
+//! A static regime with suite size `n` spends `2n` executions, so the
+//! fair comparison pits `Adaptive` at budget `2n` against the paper's
+//! regimes at suite size `n` (experiments e17/e18).
+//!
+//! # Determinism contract
+//!
+//! An adaptive campaign is a pure function of its seed: the rng is
+//! consumed in a fixed order per decision — policy draw (if any), demand
+//! draw, version-A execution, version-B execution — so traces and
+//! outcomes are byte-identical across processes and thread counts.
+
+use rand::{Rng, RngCore};
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+use diversim_stats::online::MeanVar;
+use diversim_stats::reduce::Moments;
+use diversim_stats::stopping::{StoppingRule, StoppingState};
+
+use crate::campaign::PairOutcome;
+use crate::scenario::{Scenario, ScenarioError};
+
+/// A declarative, serialisable description of a [`TestPolicy`] — the
+/// value carried by [`CampaignRegime::Adaptive`](crate::campaign::CampaignRegime::Adaptive),
+/// hashed into sweep cell keys and sent over the serve wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum PolicySpec {
+    /// Alternate versions by step parity: A, B, A, B, … — a pure
+    /// function of the step index, blind to every observation.
+    RoundRobin,
+    /// Allocate to the version with strictly more observed (detected)
+    /// failures; on ties, test both on one shared demand.
+    GreedyOnFailures,
+    /// With probability `epsilon` explore by testing both versions on
+    /// one shared demand; otherwise exploit greedily (parity tie-break).
+    EpsilonGreedy {
+        /// Exploration probability in `[0, 1]`.
+        epsilon: f64,
+    },
+    /// Upper-confidence-bound index policy: allocate to the version
+    /// maximising `failure_rate + c·sqrt(ln(spent + 1) / (tests + 1))`
+    /// (parity tie-break; never shares demands).
+    UcbIndex {
+        /// Exploration constant, finite and `>= 0`.
+        c: f64,
+    },
+}
+
+impl PolicySpec {
+    /// Validates the spec's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::InvalidPolicy`] if `epsilon` is outside `[0, 1]`
+    /// or `c` is negative or non-finite.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        match *self {
+            PolicySpec::RoundRobin | PolicySpec::GreedyOnFailures => Ok(()),
+            PolicySpec::EpsilonGreedy { epsilon } => {
+                if !epsilon.is_finite() || !(0.0..=1.0).contains(&epsilon) {
+                    return Err(ScenarioError::InvalidPolicy {
+                        what: "epsilon",
+                        value: epsilon,
+                    });
+                }
+                Ok(())
+            }
+            PolicySpec::UcbIndex { c } => {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(ScenarioError::InvalidPolicy {
+                        what: "c",
+                        value: c,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Instantiates the policy this spec describes.
+    pub fn policy(&self) -> Box<dyn TestPolicy> {
+        match *self {
+            PolicySpec::RoundRobin => Box::new(RoundRobin),
+            PolicySpec::GreedyOnFailures => Box::new(GreedyOnFailures),
+            PolicySpec::EpsilonGreedy { epsilon } => Box::new(EpsilonGreedy { epsilon }),
+            PolicySpec::UcbIndex { c } => Box::new(UcbIndex { c }),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicySpec::RoundRobin => write!(f, "round_robin"),
+            PolicySpec::GreedyOnFailures => write!(f, "greedy"),
+            PolicySpec::EpsilonGreedy { epsilon } => write!(f, "epsilon_greedy({epsilon})"),
+            PolicySpec::UcbIndex { c } => write!(f, "ucb({c})"),
+        }
+    }
+}
+
+/// Which version(s) receive the next test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum Allocation {
+    /// One private execution of version A (costs 1).
+    VersionA,
+    /// One private execution of version B (costs 1).
+    VersionB,
+    /// One shared demand executed on both versions (costs 2).
+    Both,
+}
+
+/// The public observation a policy decides on: executions spent,
+/// failures observed, and the per-version [`StoppingState`] (rule
+/// [`StoppingRule::FixedSize`] at the campaign budget) — nothing about
+/// the versions' internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySignals {
+    budget: u64,
+    spent: u64,
+    step: u64,
+    state_a: StoppingState,
+    state_b: StoppingState,
+}
+
+impl PolicySignals {
+    /// Fresh signals for a campaign with the given execution budget.
+    pub fn new(budget: u64) -> Self {
+        PolicySignals {
+            budget,
+            spent: 0,
+            step: 0,
+            state_a: StoppingState::new(StoppingRule::FixedSize(budget)),
+            state_b: StoppingState::new(StoppingRule::FixedSize(budget)),
+        }
+    }
+
+    /// Total execution budget of the campaign.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Executions spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// Executions remaining in the budget.
+    pub fn remaining(&self) -> u64 {
+        self.budget - self.spent
+    }
+
+    /// Decisions made so far (a [`Allocation::Both`] is one decision).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Tests executed on version A.
+    pub fn tests_a(&self) -> u64 {
+        self.state_a.demands()
+    }
+
+    /// Tests executed on version B.
+    pub fn tests_b(&self) -> u64 {
+        self.state_b.demands()
+    }
+
+    /// Detected failures observed on version A.
+    pub fn failures_a(&self) -> u64 {
+        self.state_a.failures()
+    }
+
+    /// Detected failures observed on version B.
+    pub fn failures_b(&self) -> u64 {
+        self.state_b.failures()
+    }
+
+    /// Version A's stopping-rule state.
+    pub fn state_a(&self) -> &StoppingState {
+        &self.state_a
+    }
+
+    /// Version B's stopping-rule state.
+    pub fn state_b(&self) -> &StoppingState {
+        &self.state_b
+    }
+
+    /// Records one private execution of version A.
+    pub fn record_a(&mut self, detected: bool) {
+        self.state_a.record(detected);
+        self.spent += 1;
+        self.step += 1;
+    }
+
+    /// Records one private execution of version B.
+    pub fn record_b(&mut self, detected: bool) {
+        self.state_b.record(detected);
+        self.spent += 1;
+        self.step += 1;
+    }
+
+    /// Records one shared demand executed on both versions.
+    pub fn record_both(&mut self, detected_a: bool, detected_b: bool) {
+        self.state_a.record(detected_a);
+        self.state_b.record(detected_b);
+        self.spent += 2;
+        self.step += 1;
+    }
+}
+
+/// Decides, decision by decision, which version(s) of the pair receive
+/// the next test. Policies are stateless values: every observable they
+/// may use lives in [`PolicySignals`], which keeps traces replayable
+/// from the public signals alone.
+pub trait TestPolicy: std::fmt::Debug + Send {
+    /// Chooses the next allocation. Called once per decision while
+    /// budget remains; `rng` is the campaign rng (drawn from *before*
+    /// the demand draw — see the module docs' determinism contract).
+    fn decide(&mut self, signals: &PolicySignals, rng: &mut dyn RngCore) -> Allocation;
+}
+
+/// Alternate A, B, A, B, … by step parity (see
+/// [`PolicySpec::RoundRobin`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin;
+
+impl TestPolicy for RoundRobin {
+    fn decide(&mut self, signals: &PolicySignals, _rng: &mut dyn RngCore) -> Allocation {
+        parity_pick(signals.step())
+    }
+}
+
+/// Allocate to the version with strictly more observed failures; share
+/// on ties (see [`PolicySpec::GreedyOnFailures`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyOnFailures;
+
+impl TestPolicy for GreedyOnFailures {
+    fn decide(&mut self, signals: &PolicySignals, _rng: &mut dyn RngCore) -> Allocation {
+        match signals.failures_a().cmp(&signals.failures_b()) {
+            std::cmp::Ordering::Greater => Allocation::VersionA,
+            std::cmp::Ordering::Less => Allocation::VersionB,
+            std::cmp::Ordering::Equal => Allocation::Both,
+        }
+    }
+}
+
+/// Explore with probability ε by sharing a demand, exploit greedily
+/// otherwise (see [`PolicySpec::EpsilonGreedy`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonGreedy {
+    /// Exploration probability in `[0, 1]`.
+    pub epsilon: f64,
+}
+
+impl TestPolicy for EpsilonGreedy {
+    fn decide(&mut self, signals: &PolicySignals, rng: &mut dyn RngCore) -> Allocation {
+        if rng.gen::<f64>() < self.epsilon {
+            return Allocation::Both;
+        }
+        match signals.failures_a().cmp(&signals.failures_b()) {
+            std::cmp::Ordering::Greater => Allocation::VersionA,
+            std::cmp::Ordering::Less => Allocation::VersionB,
+            std::cmp::Ordering::Equal => parity_pick(signals.step()),
+        }
+    }
+}
+
+/// Upper-confidence-bound index policy (see [`PolicySpec::UcbIndex`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UcbIndex {
+    /// Exploration constant, finite and `>= 0`.
+    pub c: f64,
+}
+
+impl UcbIndex {
+    fn index(&self, tests: u64, failures: u64, spent: u64) -> f64 {
+        let rate = failures as f64 / tests.max(1) as f64;
+        rate + self.c * (((spent + 1) as f64).ln() / (tests + 1) as f64).sqrt()
+    }
+}
+
+impl TestPolicy for UcbIndex {
+    fn decide(&mut self, signals: &PolicySignals, _rng: &mut dyn RngCore) -> Allocation {
+        let a = self.index(signals.tests_a(), signals.failures_a(), signals.spent());
+        let b = self.index(signals.tests_b(), signals.failures_b(), signals.spent());
+        if a > b {
+            Allocation::VersionA
+        } else if b > a {
+            Allocation::VersionB
+        } else {
+            parity_pick(signals.step())
+        }
+    }
+}
+
+/// The deterministic single-version fallback: even steps pick A, odd
+/// steps pick B (also used to coerce a [`Allocation::Both`] decision
+/// when only one execution remains in the budget).
+fn parity_pick(step: u64) -> Allocation {
+    if step.is_multiple_of(2) {
+        Allocation::VersionA
+    } else {
+        Allocation::VersionB
+    }
+}
+
+/// One decision of a policy trace, with the oracle verdicts it produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyStep {
+    /// The (budget-coerced) allocation that was executed.
+    pub allocation: Allocation,
+    /// Whether a failure of version A was detected on this step
+    /// (`false` when A was not executed).
+    pub detected_a: bool,
+    /// Whether a failure of version B was detected on this step.
+    pub detected_b: bool,
+}
+
+/// The realised allocation profile of one adaptive campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocationProfile {
+    /// Private executions of version A.
+    pub only_a: u64,
+    /// Private executions of version B.
+    pub only_b: u64,
+    /// Shared demands executed on both versions (each costs 2).
+    pub shared: u64,
+    /// Detected failures of version A.
+    pub failures_a: u64,
+    /// Detected failures of version B.
+    pub failures_b: u64,
+}
+
+impl AllocationProfile {
+    /// Executions consumed: `only_a + only_b + 2·shared`. Budget
+    /// conservation demands this equals the campaign budget exactly.
+    pub fn executions(&self) -> u64 {
+        self.only_a + self.only_b + 2 * self.shared
+    }
+
+    /// Fraction of the budget spent on shared demands
+    /// (`2·shared / budget`; `0` for an empty budget) — the coupling
+    /// dial of eqs (20)–(23).
+    pub fn shared_fraction(&self) -> f64 {
+        let total = self.executions();
+        if total == 0 {
+            0.0
+        } else {
+            (2 * self.shared) as f64 / total as f64
+        }
+    }
+}
+
+/// The full decision record of one adaptive campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyTrace {
+    /// Every decision in execution order.
+    pub steps: Vec<PolicyStep>,
+    /// The aggregated allocation profile.
+    pub profile: AllocationProfile,
+}
+
+/// Runs one adaptive campaign (the body behind
+/// [`CampaignRegime::Adaptive`]): versions are drawn exactly as in
+/// [`crate::campaign::run_campaign`], then the policy spends the
+/// execution budget demand by demand.
+pub(crate) fn run_adaptive_campaign(
+    scenario: &Scenario,
+    spec: PolicySpec,
+    seed: u64,
+) -> (PairOutcome, PolicyTrace) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prepared = scenario.prepared();
+    let model = prepared.model();
+    let test_profile = scenario.test_profile();
+    let mut va = scenario.pop_a().sample(&mut rng);
+    let mut vb = scenario.pop_b().sample(&mut rng);
+    let first_pfd_before = prepared.version_pfd(&va);
+    let second_pfd_before = prepared.version_pfd(&vb);
+    let system_pfd_before = prepared.pair_pfd(&va, &vb);
+
+    let budget = scenario.suite_size() as u64;
+    let mut policy = spec.policy();
+    let mut signals = PolicySignals::new(budget);
+    let mut steps = Vec::new();
+    let mut profile = AllocationProfile::default();
+
+    while signals.remaining() > 0 {
+        let mut allocation = policy.decide(&signals, &mut rng);
+        if allocation == Allocation::Both && signals.remaining() < 2 {
+            // Budget coercion: a shared demand no longer fits; fall back
+            // to the parity pick so conservation holds exactly.
+            allocation = parity_pick(signals.step());
+        }
+        let x = test_profile.sample(&mut rng);
+        let (detected_a, detected_b) = match allocation {
+            Allocation::VersionA => {
+                let failed = va.fails_on(model, x);
+                let detected = failed && scenario.oracle().detects(&mut rng, x);
+                if detected {
+                    scenario.fixer().fix(&mut rng, model, &mut va, x);
+                }
+                signals.record_a(detected);
+                profile.only_a += 1;
+                (detected, false)
+            }
+            Allocation::VersionB => {
+                let failed = vb.fails_on(model, x);
+                let detected = failed && scenario.oracle().detects(&mut rng, x);
+                if detected {
+                    scenario.fixer().fix(&mut rng, model, &mut vb, x);
+                }
+                signals.record_b(detected);
+                profile.only_b += 1;
+                (false, detected)
+            }
+            Allocation::Both => {
+                let failed_a = va.fails_on(model, x);
+                let detected_a = failed_a && scenario.oracle().detects(&mut rng, x);
+                if detected_a {
+                    scenario.fixer().fix(&mut rng, model, &mut va, x);
+                }
+                let failed_b = vb.fails_on(model, x);
+                let detected_b = failed_b && scenario.oracle().detects(&mut rng, x);
+                if detected_b {
+                    scenario.fixer().fix(&mut rng, model, &mut vb, x);
+                }
+                signals.record_both(detected_a, detected_b);
+                profile.shared += 1;
+                (detected_a, detected_b)
+            }
+        };
+        if detected_a {
+            profile.failures_a += 1;
+        }
+        if detected_b {
+            profile.failures_b += 1;
+        }
+        steps.push(PolicyStep {
+            allocation,
+            detected_a,
+            detected_b,
+        });
+    }
+
+    let outcome = PairOutcome {
+        first_pfd: prepared.version_pfd(&va),
+        second_pfd: prepared.version_pfd(&vb),
+        system_pfd: prepared.pair_pfd(&va, &vb),
+        first: va,
+        second: vb,
+        first_pfd_before,
+        second_pfd_before,
+        system_pfd_before,
+    };
+    (outcome, PolicyTrace { steps, profile })
+}
+
+/// Aggregate allocation behaviour of a replicated adaptive study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyStudy {
+    /// Mean/variance of the per-campaign shared budget fraction.
+    pub shared_fraction: MeanVar,
+    /// Mean/variance of private version-A executions.
+    pub only_a: MeanVar,
+    /// Mean/variance of private version-B executions.
+    pub only_b: MeanVar,
+    /// Mean/variance of shared demands.
+    pub shared: MeanVar,
+}
+
+/// The body behind [`Scenario::policy_study`]: replicated adaptive
+/// campaigns reduced to allocation statistics. Deterministic for any
+/// thread count.
+pub(crate) fn policy_study(
+    scenario: &Scenario,
+    spec: PolicySpec,
+    replications: u64,
+    threads: usize,
+) -> PolicyStudy {
+    let reducer = (Moments, Moments, Moments, Moments);
+    let (shared_fraction, only_a, only_b, shared) =
+        scenario.reduce(replications, threads, &reducer, |seed| {
+            let (_, trace) = run_adaptive_campaign(scenario, spec, seed);
+            let p = trace.profile;
+            (
+                p.shared_fraction(),
+                p.only_a as f64,
+                p.only_b as f64,
+                p.shared as f64,
+            )
+        });
+    PolicyStudy {
+        shared_fraction,
+        only_a,
+        only_b,
+        shared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignRegime;
+    use crate::world::World;
+
+    fn scenario(props: Vec<f64>, budget: usize, spec: PolicySpec) -> Scenario {
+        World::singleton_uniform("policy-test", props)
+            .unwrap()
+            .scenario()
+            .suite_size(budget)
+            .regime(CampaignRegime::Adaptive(spec))
+            .build()
+            .unwrap()
+    }
+
+    const ALL_SPECS: [PolicySpec; 4] = [
+        PolicySpec::RoundRobin,
+        PolicySpec::GreedyOnFailures,
+        PolicySpec::EpsilonGreedy { epsilon: 0.2 },
+        PolicySpec::UcbIndex { c: 0.5 },
+    ];
+
+    #[test]
+    fn budget_is_conserved_exactly() {
+        for spec in ALL_SPECS {
+            for budget in [0usize, 1, 2, 7, 16] {
+                let s = scenario(vec![0.4; 5], budget, spec);
+                let trace = s.policy_trace(11).unwrap();
+                assert_eq!(
+                    trace.profile.executions(),
+                    budget as u64,
+                    "budget leaked for {spec} at {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_is_a_pure_function_of_the_step() {
+        let s = scenario(vec![0.6; 4], 9, PolicySpec::RoundRobin);
+        let trace = s.policy_trace(3).unwrap();
+        for (i, step) in trace.steps.iter().enumerate() {
+            let expected = if i % 2 == 0 {
+                Allocation::VersionA
+            } else {
+                Allocation::VersionB
+            };
+            assert_eq!(step.allocation, expected);
+        }
+        assert_eq!(trace.profile.shared, 0);
+    }
+
+    #[test]
+    fn adaptive_campaign_is_seed_deterministic() {
+        for spec in ALL_SPECS {
+            let s = scenario(vec![0.3, 0.6, 0.2], 12, spec);
+            assert_eq!(s.run(42), s.run(42), "{spec}");
+            assert_eq!(s.policy_trace(42), s.policy_trace(42), "{spec}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_changes_nothing() {
+        let s = scenario(vec![0.7, 0.7], 0, PolicySpec::GreedyOnFailures);
+        let out = s.run(5);
+        assert_eq!(out.first_pfd, out.first_pfd_before);
+        assert_eq!(out.system_pfd, out.system_pfd_before);
+        assert!(s.policy_trace(5).unwrap().steps.is_empty());
+    }
+
+    #[test]
+    fn debugging_never_hurts_under_perfect_testing() {
+        for spec in ALL_SPECS {
+            let s = scenario(vec![0.5; 4], 10, spec);
+            for seed in 0..30 {
+                let out = s.run(seed);
+                assert!(out.first_pfd <= out.first_pfd_before + 1e-15);
+                assert!(out.second_pfd <= out.second_pfd_before + 1e-15);
+                assert!(out.system_pfd <= out.system_pfd_before + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_study_is_thread_invariant() {
+        for spec in ALL_SPECS {
+            let s = scenario(vec![0.4; 6], 8, spec);
+            let a = s.policy_study(128, 1).unwrap();
+            let b = s.policy_study(128, 8).unwrap();
+            assert_eq!(a, b, "{spec}");
+        }
+    }
+
+    #[test]
+    fn round_robin_never_shares_and_greedy_shares_more_than_epsilon() {
+        let rr = scenario(vec![0.5; 5], 16, PolicySpec::RoundRobin)
+            .policy_study(200, 2)
+            .unwrap();
+        assert_eq!(rr.shared_fraction.mean(), 0.0);
+        let greedy = scenario(vec![0.5; 5], 16, PolicySpec::GreedyOnFailures)
+            .policy_study(200, 2)
+            .unwrap();
+        let eps = scenario(vec![0.5; 5], 16, PolicySpec::EpsilonGreedy { epsilon: 0.1 })
+            .policy_study(200, 2)
+            .unwrap();
+        assert!(
+            greedy.shared_fraction.mean() > eps.shared_fraction.mean(),
+            "greedy {} <= epsilon {}",
+            greedy.shared_fraction.mean(),
+            eps.shared_fraction.mean()
+        );
+    }
+
+    #[test]
+    fn spec_validation_catches_bad_parameters() {
+        assert!(PolicySpec::RoundRobin.validate().is_ok());
+        assert!(PolicySpec::GreedyOnFailures.validate().is_ok());
+        assert!(PolicySpec::EpsilonGreedy { epsilon: 0.0 }
+            .validate()
+            .is_ok());
+        assert!(PolicySpec::EpsilonGreedy { epsilon: 1.0 }
+            .validate()
+            .is_ok());
+        assert!(PolicySpec::EpsilonGreedy { epsilon: 1.5 }
+            .validate()
+            .is_err());
+        assert!(PolicySpec::EpsilonGreedy { epsilon: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(PolicySpec::UcbIndex { c: 0.0 }.validate().is_ok());
+        assert!(PolicySpec::UcbIndex { c: -0.1 }.validate().is_err());
+        assert!(PolicySpec::UcbIndex { c: f64::INFINITY }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn non_adaptive_scenarios_reject_policy_studies() {
+        let s = World::singleton_uniform("static", vec![0.4, 0.5])
+            .unwrap()
+            .scenario()
+            .suite_size(4)
+            .build()
+            .unwrap();
+        assert_eq!(s.policy_trace(0).unwrap_err(), ScenarioError::NotAdaptive);
+        assert_eq!(
+            s.policy_study(10, 1).unwrap_err(),
+            ScenarioError::NotAdaptive
+        );
+    }
+
+    #[test]
+    fn display_is_stable_for_cell_keys() {
+        assert_eq!(PolicySpec::RoundRobin.to_string(), "round_robin");
+        assert_eq!(PolicySpec::GreedyOnFailures.to_string(), "greedy");
+        assert_eq!(
+            PolicySpec::EpsilonGreedy { epsilon: 0.1 }.to_string(),
+            "epsilon_greedy(0.1)"
+        );
+        assert_eq!(PolicySpec::UcbIndex { c: 0.5 }.to_string(), "ucb(0.5)");
+    }
+}

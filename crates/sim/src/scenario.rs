@@ -64,6 +64,7 @@ use crate::common_cause::{ClarificationStudy, MistakeMode, MistakeStudy};
 use crate::estimate::PairEstimates;
 use crate::growth::{GrowthCurve, GrowthSample, MergedComparison, MergedEstimates};
 use crate::operation::{CoverageStudy, OperationLog};
+use crate::policy::{PolicyStudy, PolicyTrace};
 use crate::prepared::Prepared;
 use crate::world::World;
 
@@ -193,6 +194,22 @@ pub enum ScenarioError {
         /// The offending level.
         level: f64,
     },
+    /// An adaptive policy's parameter is out of range.
+    InvalidPolicy {
+        /// Which parameter (`"epsilon"`, `"c"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A policy study was requested on a scenario whose regime is not
+    /// [`CampaignRegime::Adaptive`].
+    NotAdaptive,
+    /// A study that only has suite-based semantics was requested on an
+    /// adaptive scenario.
+    StaticRegimeRequired {
+        /// Which study (`"growth"`).
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -218,6 +235,18 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::InvalidLevel { level } => {
                 write!(f, "confidence level {level} is outside (0, 1)")
+            }
+            ScenarioError::InvalidPolicy { what, value } => {
+                write!(
+                    f,
+                    "adaptive policy parameter {what} = {value} is out of range"
+                )
+            }
+            ScenarioError::NotAdaptive => {
+                write!(f, "policy studies require an adaptive regime")
+            }
+            ScenarioError::StaticRegimeRequired { what } => {
+                write!(f, "{what} studies require a static suite regime")
             }
         }
     }
@@ -400,7 +429,9 @@ impl ScenarioBuilder {
     /// * [`ScenarioError::SpaceMismatch`] — profile, generator or test
     ///   profile cover a different demand space than the populations;
     /// * [`ScenarioError::SuiteTooLarge`] — suite size above
-    ///   [`MAX_SUITE_SIZE`].
+    ///   [`MAX_SUITE_SIZE`];
+    /// * [`ScenarioError::InvalidPolicy`] — an adaptive regime whose
+    ///   policy parameters are out of range.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let pop_a = self
             .pop_a
@@ -449,6 +480,9 @@ impl ScenarioBuilder {
                 size: self.suite_size,
                 limit: MAX_SUITE_SIZE,
             });
+        }
+        if let CampaignRegime::Adaptive(spec) = self.regime {
+            spec.validate()?;
         }
         let prepared = Arc::new(Prepared::new(Arc::clone(pop_a.model()), profile));
         Ok(Scenario {
@@ -540,6 +574,13 @@ impl Scenario {
 
     pub(crate) fn prepared(&self) -> &Prepared {
         &self.prepared
+    }
+
+    fn require_static_regime(&self, what: &'static str) -> Result<(), ScenarioError> {
+        if matches!(self.regime, CampaignRegime::Adaptive(_)) {
+            return Err(ScenarioError::StaticRegimeRequired { what });
+        }
+        Ok(())
     }
 
     pub(crate) fn test_profile(&self) -> &UsageProfile {
@@ -679,12 +720,15 @@ impl Scenario {
     /// # Errors
     ///
     /// [`ScenarioError::InvalidCheckpoints`] if `checkpoints` is empty or
-    /// not strictly increasing.
+    /// not strictly increasing; [`ScenarioError::StaticRegimeRequired`]
+    /// under an adaptive regime (growth trajectories replay fixed demand
+    /// streams, which adaptive allocation has no notion of).
     pub fn growth_sample(
         &self,
         checkpoints: &[usize],
         seed: u64,
     ) -> Result<GrowthSample, ScenarioError> {
+        self.require_static_regime("growth")?;
         validate_checkpoints(checkpoints)?;
         Ok(crate::growth::growth_sample(self, checkpoints, seed))
     }
@@ -695,7 +739,8 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// [`ScenarioError::InvalidCheckpoints`] as for
+    /// [`ScenarioError::InvalidCheckpoints`] and
+    /// [`ScenarioError::StaticRegimeRequired`] as for
     /// [`Scenario::growth_sample`].
     ///
     /// # Panics
@@ -707,6 +752,7 @@ impl Scenario {
         replications: u64,
         threads: usize,
     ) -> Result<GrowthCurve, ScenarioError> {
+        self.require_static_regime("growth")?;
         validate_checkpoints(checkpoints)?;
         Ok(crate::growth::growth(
             self,
@@ -756,6 +802,52 @@ impl Scenario {
         threads: usize,
     ) -> AdaptiveStudy {
         crate::adaptive::adaptive_study(self, rule, max_demands, target_pfd, replications, threads)
+    }
+
+    /// The decision trace of one adaptive campaign: which version(s)
+    /// received each test and what the oracle reported, plus the realised
+    /// [allocation profile](crate::policy::AllocationProfile).
+    /// Deterministic in `seed` (same rng stream as [`Scenario::run`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::NotAdaptive`] unless the scenario's regime is
+    /// [`CampaignRegime::Adaptive`].
+    pub fn policy_trace(&self, seed: u64) -> Result<PolicyTrace, ScenarioError> {
+        match self.regime {
+            CampaignRegime::Adaptive(spec) => {
+                Ok(crate::policy::run_adaptive_campaign(self, spec, seed).1)
+            }
+            _ => Err(ScenarioError::NotAdaptive),
+        }
+    }
+
+    /// Replicated adaptive campaigns reduced to allocation statistics
+    /// (shared budget fraction, private/shared execution counts).
+    /// Deterministic for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::NotAdaptive`] unless the scenario's regime is
+    /// [`CampaignRegime::Adaptive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn policy_study(
+        &self,
+        replications: u64,
+        threads: usize,
+    ) -> Result<PolicyStudy, ScenarioError> {
+        match self.regime {
+            CampaignRegime::Adaptive(spec) => Ok(crate::policy::policy_study(
+                self,
+                spec,
+                replications,
+                threads,
+            )),
+            _ => Err(ScenarioError::NotAdaptive),
+        }
     }
 
     /// Exposes a concrete (already tested) pair to `demands` operational

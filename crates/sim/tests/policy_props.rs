@@ -1,0 +1,143 @@
+//! Property-based tests of the [`diversim_sim::policy`] invariants: a
+//! policy may *choose* where tests go, but it can never spend more than
+//! the budget, starve a failing version under the greedy rule, break
+//! round-robin's seed-independent alternation, or let the worker thread
+//! count leak into a study.
+
+use proptest::prelude::*;
+
+use diversim_sim::campaign::CampaignRegime;
+use diversim_sim::policy::{Allocation, PolicySpec, PolicyTrace};
+use diversim_sim::scenario::Scenario;
+use diversim_sim::world::World;
+
+/// Any of the four shipped policy specs, with in-range parameters.
+fn spec_strategy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::RoundRobin),
+        Just(PolicySpec::GreedyOnFailures),
+        (0.0f64..=1.0).prop_map(|epsilon| PolicySpec::EpsilonGreedy { epsilon }),
+        (0.0f64..2.0).prop_map(|c| PolicySpec::UcbIndex { c }),
+    ]
+}
+
+/// A small singleton world (1–6 demands, arbitrary propensities), an
+/// execution budget, and a campaign seed.
+fn campaign_inputs() -> impl Strategy<Value = (Vec<f64>, usize, u64)> {
+    (
+        proptest::collection::vec(0.0f64..1.0, 1..6),
+        0usize..32,
+        proptest::arbitrary::any::<u64>(),
+    )
+}
+
+fn adaptive_scenario(props: &[f64], spec: PolicySpec, budget: usize) -> Scenario {
+    World::singleton_uniform("policy-props", props.to_vec())
+        .unwrap()
+        .scenario()
+        .regime(CampaignRegime::Adaptive(spec))
+        .suite_size(budget)
+        .build()
+        .unwrap()
+}
+
+/// The parity fallback the engine uses when a `Both` decision no longer
+/// fits in the remaining budget (mirrors `policy::parity_pick`).
+fn parity(step: u64) -> Allocation {
+    if step.is_multiple_of(2) {
+        Allocation::VersionA
+    } else {
+        Allocation::VersionB
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_policy_conserves_the_budget_exactly(
+        spec in spec_strategy(),
+        (props, budget, seed) in campaign_inputs(),
+    ) {
+        let trace = adaptive_scenario(&props, spec, budget)
+            .policy_trace(seed)
+            .unwrap();
+        prop_assert_eq!(trace.profile.executions(), budget as u64,
+            "{:?} spent {} of a budget of {}", spec, trace.profile.executions(), budget);
+        // The per-step record aggregates to the same profile.
+        let (mut only_a, mut only_b, mut shared) = (0u64, 0u64, 0u64);
+        for step in &trace.steps {
+            match step.allocation {
+                Allocation::VersionA => only_a += 1,
+                Allocation::VersionB => only_b += 1,
+                Allocation::Both => shared += 1,
+            }
+        }
+        prop_assert_eq!(
+            (only_a, only_b, shared),
+            (trace.profile.only_a, trace.profile.only_b, trace.profile.shared)
+        );
+    }
+
+    #[test]
+    fn round_robin_alternates_regardless_of_world_and_seed(
+        (props, budget, seed) in campaign_inputs(),
+    ) {
+        let trace = adaptive_scenario(&props, PolicySpec::RoundRobin, budget)
+            .policy_trace(seed)
+            .unwrap();
+        for (i, step) in trace.steps.iter().enumerate() {
+            prop_assert_eq!(step.allocation, parity(i as u64),
+                "round-robin broke alternation at step {}", i);
+        }
+        prop_assert_eq!(trace.profile.shared, 0);
+    }
+
+    #[test]
+    fn greedy_never_starves_the_version_with_more_failures(
+        (props, budget, seed) in campaign_inputs(),
+    ) {
+        let trace: PolicyTrace = adaptive_scenario(&props, PolicySpec::GreedyOnFailures, budget)
+            .policy_trace(seed)
+            .unwrap();
+        // Replay the public signals the policy saw before each decision.
+        let (mut fa, mut fb, mut spent) = (0u64, 0u64, 0u64);
+        for (i, step) in trace.steps.iter().enumerate() {
+            let remaining = budget as u64 - spent;
+            match step.allocation {
+                Allocation::VersionA => prop_assert!(
+                    fa > fb || (fa == fb && remaining < 2 && parity(i as u64) == Allocation::VersionA),
+                    "step {}: A tested while failures were {}:{}", i, fa, fb
+                ),
+                Allocation::VersionB => prop_assert!(
+                    fb > fa || (fa == fb && remaining < 2 && parity(i as u64) == Allocation::VersionB),
+                    "step {}: B tested while failures were {}:{}", i, fa, fb
+                ),
+                Allocation::Both => prop_assert_eq!(fa, fb,
+                    "step {}: shared demand off a failure tie", i),
+            }
+            spent += match step.allocation {
+                Allocation::Both => 2,
+                _ => 1,
+            };
+            fa += u64::from(step.detected_a);
+            fb += u64::from(step.detected_b);
+        }
+    }
+}
+
+proptest! {
+    // Each case replicates 64 campaigns twice; 32 cases keep the suite
+    // quick while still sweeping policies, worlds, budgets and seeds.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn policy_studies_are_thread_invariant(
+        spec in spec_strategy(),
+        (props, budget, seed) in campaign_inputs(),
+    ) {
+        let scenario = adaptive_scenario(&props, spec, budget).with_seed(seed);
+        prop_assert_eq!(
+            scenario.policy_study(64, 1).unwrap(),
+            scenario.policy_study(64, 8).unwrap(),
+            "{:?}: thread count changed the study", spec
+        );
+    }
+}

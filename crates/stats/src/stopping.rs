@@ -51,8 +51,17 @@ pub fn failure_free_tests_required(target: f64, confidence: f64) -> Result<u64, 
             value: confidence,
         });
     }
-    // n >= ln(1 − c) / ln(1 − p).
-    let n = ((1.0 - confidence).ln() / (1.0 - target).ln()).ceil();
+    // n >= ln(1 − c) / ln(1 − p). `ln_1p` keeps the denominator exact
+    // for targets below 2⁻⁵³, where `1.0 - target` rounds to 1.0 and
+    // the naive formula would divide by ln(1) = 0 — claiming that zero
+    // tests demonstrate an arbitrarily small pfd.
+    let denominator = (-target).ln_1p();
+    if denominator == 0.0 {
+        return Ok(u64::MAX);
+    }
+    // Saturating float-to-int cast: demands beyond u64::MAX mean "no
+    // achievable campaign", which the state machine can never reach.
+    let n = ((1.0 - confidence).ln() / denominator).ceil();
     Ok(n as u64)
 }
 
@@ -69,7 +78,9 @@ pub fn failure_free_confidence(target: f64, n: u64) -> Result<f64, StatsError> {
             value: target,
         });
     }
-    Ok(1.0 - (1.0 - target).powi(n.min(i32::MAX as u64) as i32))
+    // 1 − (1 − p)ⁿ as −expm1(n·ln1p(−p)): exact for subnormal targets
+    // and demand counts beyond `powi`'s i32 range alike.
+    Ok(-(n as f64 * (-target).ln_1p()).exp_m1())
 }
 
 /// Posterior probability that `pfd < target` after observing `failures`
@@ -301,5 +312,89 @@ mod tests {
         assert!(failure_free_tests_required(0.0, 0.9).is_err());
         assert!(failure_free_tests_required(0.5, 1.0).is_err());
         assert!(failure_free_confidence(1.0, 10).is_err());
+    }
+
+    #[test]
+    fn target_boundaries_are_rejected_or_saturate() {
+        // Exact boundaries of (0, 1) are invalid in both directions.
+        for f in [
+            failure_free_tests_required(0.0, 0.9),
+            failure_free_tests_required(1.0, 0.9),
+            failure_free_tests_required(-0.0, 0.9),
+            failure_free_tests_required(f64::NAN, 0.9),
+            failure_free_tests_required(0.5, 0.0),
+        ] {
+            assert!(f.is_err());
+        }
+        // Subnormal and sub-2⁻⁵³ targets are *valid* — and enormous.
+        // The naive ln(1 − p) formula collapsed these to 0 required
+        // tests, silently claiming any pfd is demonstrated for free.
+        let tiny = failure_free_tests_required(1e-17, 0.99).unwrap();
+        assert!(tiny > 1 << 57, "1e-17 needs ~4.6e17 tests, got {tiny}");
+        let subnormal = failure_free_tests_required(5e-324, 0.99).unwrap();
+        assert_eq!(subnormal, u64::MAX);
+        // The matching confidence stays honest instead of rounding to 0.
+        let c = failure_free_confidence(1e-17, 1 << 58).unwrap();
+        assert!((0.9..1.0).contains(&c), "got {c}");
+        // Even u64::MAX demands demonstrate (almost) nothing about a
+        // subnormal target — the saturated requirement above is real.
+        let c = failure_free_confidence(5e-324, u64::MAX).unwrap();
+        assert!(c < 1e-300, "got {c}");
+    }
+
+    #[test]
+    fn tiny_target_state_never_claims_success_early() {
+        // Regression: with the required count collapsing to 0, this
+        // state reported "stop" before the first demand was run.
+        let st = StoppingState::new(StoppingRule::FailureFree {
+            target: 1e-300,
+            confidence: 0.99,
+        });
+        assert!(!st.should_stop().unwrap());
+        let mut st = st;
+        for _ in 0..1000 {
+            st.record(false);
+        }
+        assert!(!st.should_stop().unwrap());
+    }
+
+    #[test]
+    fn bayesian_prior_degeneracy() {
+        // Posterior shape parameters that stay non-positive or
+        // non-finite are rejected.
+        assert!(bayesian_confidence(0.0, 1.0, 10, 0, 0.1).is_err());
+        assert!(bayesian_confidence(1.0, 0.0, 10, 10, 0.1).is_err());
+        assert!(bayesian_confidence(-1.0, 1.0, 10, 0, 0.1).is_err());
+        assert!(bayesian_confidence(f64::INFINITY, 1.0, 10, 0, 0.1).is_err());
+        assert!(bayesian_confidence(1.0, f64::NAN, 10, 0, 0.1).is_err());
+        // Improper priors become proper the moment the data supplies
+        // the missing pseudo-counts.
+        assert!(bayesian_confidence(0.0, 1.0, 10, 2, 0.1).is_ok());
+        assert!(bayesian_confidence(1.0, 0.0, 10, 2, 0.1).is_ok());
+        // Target boundaries resolve to the exact CDF endpoints.
+        assert_eq!(bayesian_confidence(1.0, 1.0, 10, 2, 0.0).unwrap(), 0.0);
+        assert_eq!(bayesian_confidence(1.0, 1.0, 10, 2, 1.0).unwrap(), 1.0);
+        // No data: the posterior is the prior; uniform prior → I_x(1,1) = x.
+        let prior = bayesian_confidence(1.0, 1.0, 0, 0, 0.3).unwrap();
+        assert!((prior - 0.3).abs() < 1e-13);
+        // An overwhelmingly confident prior dominates a short campaign.
+        let optimist = bayesian_confidence(1.0, 1e6, 10, 0, 0.05).unwrap();
+        assert!(optimist > 0.999_999, "got {optimist}");
+        let pessimist = bayesian_confidence(1e6, 1.0, 10, 0, 0.05).unwrap();
+        assert!(pessimist < 1e-9, "got {pessimist}");
+    }
+
+    #[test]
+    fn stopping_state_accumulates_across_should_stop_queries() {
+        // should_stop is a pure observation: querying it never advances
+        // the state.
+        let mut st = StoppingState::new(StoppingRule::FixedSize(2));
+        for _ in 0..5 {
+            assert!(!st.should_stop().unwrap());
+        }
+        st.record(true);
+        st.record(true);
+        assert!(st.should_stop().unwrap());
+        assert_eq!((st.demands(), st.failures()), (2, 2));
     }
 }

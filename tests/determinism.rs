@@ -3,6 +3,7 @@
 
 use diversim::prelude::*;
 use diversim::sim::campaign::CampaignRegime;
+use diversim::sim::policy::PolicySpec;
 use diversim::universe::generator::{ProfileKind, PropensityKind, RegionSize, UniverseSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,12 +23,16 @@ fn setup() -> SimWorld {
 }
 
 /// Every regime the scenario API supports, for cross-regime sweeps.
-fn all_regimes() -> [CampaignRegime; 4] {
+fn all_regimes() -> [CampaignRegime; 8] {
     [
         CampaignRegime::IndependentSuites,
         CampaignRegime::SharedSuite,
         CampaignRegime::BackToBack(IdenticalFailureModel::Bernoulli(0.3)),
         CampaignRegime::BackToBack(IdenticalFailureModel::Always),
+        CampaignRegime::Adaptive(PolicySpec::RoundRobin),
+        CampaignRegime::Adaptive(PolicySpec::GreedyOnFailures),
+        CampaignRegime::Adaptive(PolicySpec::EpsilonGreedy { epsilon: 0.1 }),
+        CampaignRegime::Adaptive(PolicySpec::UcbIndex { c: 0.5 }),
     ]
 }
 
@@ -45,6 +50,39 @@ fn every_regime_is_seed_deterministic_and_thread_invariant() {
         let one = s.estimate(256, 1);
         let eight = s.estimate(256, 8);
         assert_eq!(one, eight, "{regime:?}: thread count changed the estimate");
+    }
+}
+
+#[test]
+fn adaptive_policy_traces_are_bit_identical_across_threads() {
+    // Policy traces are pure functions of the campaign seed, and the
+    // aggregated policy study is byte-identical between 1 and 8 worker
+    // threads — adaptive regimes obey the same determinism contract as
+    // the static ones above.
+    let world = setup();
+    for spec in [
+        PolicySpec::RoundRobin,
+        PolicySpec::GreedyOnFailures,
+        PolicySpec::EpsilonGreedy { epsilon: 0.1 },
+        PolicySpec::UcbIndex { c: 0.5 },
+    ] {
+        let s = world
+            .scenario()
+            .suite_size(12)
+            .regime(CampaignRegime::Adaptive(spec))
+            .seed(31337)
+            .build()
+            .unwrap();
+        assert_eq!(
+            s.policy_trace(777).unwrap(),
+            s.policy_trace(777).unwrap(),
+            "{spec:?}: policy_trace(seed) not pure"
+        );
+        assert_eq!(
+            s.policy_study(128, 1).unwrap(),
+            s.policy_study(128, 8).unwrap(),
+            "{spec:?}: thread count changed the policy study"
+        );
     }
 }
 
