@@ -1,5 +1,9 @@
 //! Criterion benchmarks for the hot paths of the substrate: score
 //! evaluation, failure sets, pfd computation, sampling and debugging.
+//!
+//! Run measured (not `--test`) with
+//! `DIVERSIM_BENCH_JSON=BENCH_hot_paths.json` to archive the
+//! trajectory, as the CI `bench-measure` job does.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;

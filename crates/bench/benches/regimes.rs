@@ -1,11 +1,16 @@
 //! Criterion benchmarks for the paper-level computations: exact marginal
-//! analyses, suite-measure enumeration, campaign simulation and growth
-//! curves.
+//! analyses, suite-measure enumeration, pair and system campaign
+//! simulation and growth curves.
+//!
+//! Run measured (not `--test`) with
+//! `DIVERSIM_BENCH_JSON=BENCH_regimes.json` to archive the trajectory,
+//! as the CI `bench-measure` job does.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use diversim_bench::worlds::{medium_cascade, small_graded};
 use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
+use diversim_core::structure::Structure;
 use diversim_sim::campaign::CampaignRegime;
 use diversim_testing::suite_population::enumerate_iid_suites;
 
@@ -78,6 +83,36 @@ fn bench_campaigns(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_system_campaigns(c: &mut Criterion) {
+    let base = medium_cascade(9)
+        .scenario()
+        .suite_size(64)
+        .build()
+        .expect("valid world");
+    let mut group = c.benchmark_group("sim/system_campaign");
+    for (name, structure) in [
+        ("and-2", Structure::one_out_of_n(2)),
+        ("2-of-3", Structure::k_of_n(2, 3)),
+        (
+            "nested-2x2",
+            Structure::or(vec![
+                Structure::and(vec![Structure::component(0), Structure::component(1)]),
+                Structure::and(vec![Structure::component(2), Structure::component(3)]),
+            ]),
+        ),
+    ] {
+        let scenario = base.with_structure(structure).expect("valid structure");
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(scenario.system_run(seed).expect("valid system"))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_growth(c: &mut Criterion) {
     let scenario = medium_cascade(8).scenario().build().expect("valid world");
     let checkpoints = [0usize, 16, 64, 256];
@@ -108,6 +143,7 @@ criterion_group!(
     bench_exact_marginal,
     bench_suite_enumeration,
     bench_campaigns,
+    bench_system_campaigns,
     bench_growth
 );
 criterion_main!(benches);

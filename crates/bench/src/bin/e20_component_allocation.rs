@@ -1,0 +1,7 @@
+//! Thin wrapper: runs the registered `e20_component_allocation` experiment
+//! through the shared engine (`diversim run e20`). Accepts the same flags as
+//! `diversim run` (`--fast`, `--threads N`, `--out DIR`, …).
+
+fn main() -> std::process::ExitCode {
+    diversim_bench::cli::experiment_binary_main("e20")
+}

@@ -34,7 +34,7 @@ use crate::sweep::{
     SweepOptions, SweepRun, SweepStats,
 };
 
-const USAGE: &str = "diversim — unified driver for the 18 Popov & Littlewood reproductions
+const USAGE: &str = "diversim — unified driver for the 20 Popov & Littlewood reproductions
 
 USAGE:
     diversim list
@@ -971,7 +971,7 @@ mod tests {
 
     #[test]
     fn resolve_handles_all_and_unknown() {
-        assert_eq!(resolve(&[], true, Profile::Full).unwrap().len(), 18);
+        assert_eq!(resolve(&[], true, Profile::Full).unwrap().len(), 20);
         assert!(resolve(&strings(&["e01"]), true, Profile::Full).is_err());
         assert!(resolve(&[], false, Profile::Full).is_err());
         assert!(resolve(&strings(&["e99"]), false, Profile::Full).is_err());

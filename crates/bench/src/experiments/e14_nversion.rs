@@ -73,8 +73,10 @@ fn run(ctx: &mut RunContext) {
                     .map(|_| &w.pop_a as &dyn TestedDifficulty)
                     .collect();
                 vec![
-                    system_pfd_n(&pops, &m, &w.profile, TestingRegime::IndependentSuites),
-                    system_pfd_n(&pops, &m, &w.profile, TestingRegime::SharedSuite),
+                    system_pfd_n(&pops, &m, &w.profile, TestingRegime::IndependentSuites)
+                        .expect("valid 1-out-of-N system"),
+                    system_pfd_n(&pops, &m, &w.profile, TestingRegime::SharedSuite)
+                        .expect("valid 1-out-of-N system"),
                 ]
             },
         );

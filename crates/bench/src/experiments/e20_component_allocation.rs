@@ -1,0 +1,333 @@
+//! E20 — test-budget allocation across the components of a structured
+//! pair.
+//!
+//! E17/e18 showed adaptive policies steering a shared execution budget
+//! between two versions of a 1-out-of-2 pair. This experiment composes
+//! the same policies with *structure*: the identical two components
+//! (asymmetric world: A's faults are broad and quick to flush, B's are
+//! narrow and slow) are wired once as parallel redundancy (`AND` of
+//! failures, the paper's 1-out-of-2) and once as a series system (`OR`
+//! of failures), and every campaign is scored by the structure's system
+//! pfd:
+//!
+//! * the static baselines flip: a shared suite *penalises* the parallel
+//!   system (eq 23) but mildly *helps* the series system (the coupling
+//!   inflates the joint term inclusion–exclusion subtracts);
+//! * series wiring is uniformly riskier than parallel wiring for every
+//!   policy at every budget — structure dominates allocation;
+//! * under *parallel* wiring each adaptive policy's delivered pfd lands
+//!   between that wiring's static extremes, but under *series* wiring
+//!   the failure-chasing policies overshoot the envelope: concentrating
+//!   budget on one component starves the other, and a series system
+//!   fails through its most-starved component. The policies were tuned
+//!   for 1-out-of-2 scoring, and the mismatch shows;
+//! * more budget helps under both wirings.
+
+use std::sync::Arc;
+
+use crate::report::Table;
+use crate::spec::{ExperimentSpec, FigureSpec, RunContext, SeriesSpec};
+use crate::worlds::{asymmetric, World};
+use diversim_core::structure::Structure;
+use diversim_sim::campaign::CampaignRegime;
+use diversim_sim::policy::PolicySpec;
+use diversim_sim::scenario::Scenario;
+use diversim_sim::system::SystemSpec;
+
+/// The shipped policies, keyed by their stable `Display` labels.
+const POLICIES: [PolicySpec; 4] = [
+    PolicySpec::RoundRobin,
+    PolicySpec::GreedyOnFailures,
+    PolicySpec::EpsilonGreedy { epsilon: 0.1 },
+    PolicySpec::UcbIndex { c: 0.5 },
+];
+
+/// Static suite size of the baselines; the adaptive budget is `2n`.
+const SUITE: usize = 8;
+
+/// Adaptive budgets of the budget sweep.
+const BUDGETS: [usize; 4] = [4, 8, 16, 32];
+
+/// The two wirings of the same component pair.
+fn wirings() -> [(&'static str, Structure); 2] {
+    [
+        ("parallel-2", Structure::one_out_of_n(2)),
+        ("series-2", Structure::series(2)),
+    ]
+}
+
+/// Declarative description of E20.
+pub static SPEC: ExperimentSpec = ExperimentSpec {
+    id: 20,
+    slug: "e20",
+    name: "e20_component_allocation",
+    title: "Budget allocation across the components of a structured pair",
+    paper_ref: "§3.1/eq (23) composed with adaptive allocation",
+    claim: "structure dominates allocation: series wiring is uniformly riskier; policies interpolate the parallel extremes but failure-chasing overshoots the series envelope",
+    sweep: "wirings {parallel-2, series-2} × 4 policies at budget 16 vs static n=8; budget sweep {4,8,16,32}",
+    full_replications: 20_000,
+    figures: &[
+        FigureSpec::new(
+            0,
+            "Delivered system pfd of every allocation policy under both \
+             wirings of the same asymmetric component pair (budget 16 ↔ \
+             static suite 8). Series wiring is uniformly riskier; the \
+             policies sit between the parallel wiring's static baselines \
+             but the failure-chasing ones overshoot the series envelope \
+             (budget concentration starves a component the OR system \
+             depends on). Bands are ±2·SE.",
+            "arm",
+            &[
+                SeriesSpec::new("parallel-2", "system pfd")
+                    .band("se")
+                    .only("wiring", "parallel-2"),
+                SeriesSpec::new("series-2", "system pfd")
+                    .band("se")
+                    .only("wiring", "series-2"),
+            ],
+        )
+        .labels(
+            "arm (0=independent, 1=shared, 2=round-robin, 3=greedy, 4=eps-greedy, 5=UCB)",
+            "system pfd",
+        )
+        .log_y(),
+        FigureSpec::new(
+            1,
+            "System pfd vs adaptive budget (greedy-on-failures policy): \
+             more budget helps under both wirings, and the series/parallel \
+             gap persists at every budget.",
+            "budget",
+            &[
+                SeriesSpec::new("parallel-2", "system pfd")
+                    .band("se")
+                    .only("wiring", "parallel-2"),
+                SeriesSpec::new("series-2", "system pfd")
+                    .band("se")
+                    .only("wiring", "series-2"),
+            ],
+        )
+        .labels("adaptive budget", "system pfd")
+        .log_x()
+        .log_y(),
+    ],
+    run,
+};
+
+/// Builds the system scenario for one wiring of the asymmetric pair.
+fn system_scenario(
+    w: &World,
+    structure: &Structure,
+    regime: CampaignRegime,
+    suite: usize,
+) -> Scenario {
+    let spec = SystemSpec::new(
+        structure.clone(),
+        vec![Arc::new(w.pop_a.clone()), Arc::new(w.pop_b.clone())],
+    )
+    .expect("valid system");
+    w.scenario()
+        .system(spec)
+        .suite_size(suite)
+        .regime(regime)
+        .seed(2000)
+        .build()
+        .expect("valid scenario")
+}
+
+fn run(ctx: &mut RunContext) {
+    ctx.note("E20: budget allocation across the components of a structured pair\n");
+    let w = asymmetric();
+    let replications = ctx.replications(SPEC.full_replications);
+
+    let mut table = Table::new(
+        "policy × wiring (asymmetric world, budget 16 vs static n=8)",
+        &[
+            "arm",
+            "policy",
+            "wiring",
+            "shared fraction",
+            "system pfd",
+            "se",
+        ],
+    );
+
+    for (wiring, structure) in wirings() {
+        // Static baselines of this wiring.
+        let baseline = |ctx: &mut RunContext, label: &str, regime: CampaignRegime| {
+            ctx.cell(
+                format!(
+                    "world=asymmetric|suite={SUITE}|wiring={wiring}|regime={label}|reps={replications}|study=structure-baseline"
+                ),
+                |scope| {
+                    let est = system_scenario(&w, &structure, regime, SUITE)
+                        .system_estimate(replications, scope.threads())
+                        .expect("suite regime");
+                    vec![est.system_pfd.mean, est.system_pfd.standard_error]
+                },
+            )
+        };
+        let ind = baseline(ctx, "independent", CampaignRegime::IndependentSuites);
+        let sh = baseline(ctx, "shared", CampaignRegime::SharedSuite);
+        let (ind_mean, ind_se) = (ind.get(0), ind.get(1));
+        let (sh_mean, sh_se) = (sh.get(0), sh.get(1));
+        match wiring {
+            "parallel-2" => ctx.check(
+                sh_mean >= ind_mean - 2.0 * (ind_se + sh_se),
+                "a shared suite does not help the parallel wiring",
+            ),
+            _ => ctx.check(
+                sh_mean <= ind_mean + 2.0 * (ind_se + sh_se),
+                "a shared suite does not hurt the series wiring",
+            ),
+        }
+        table.row(&[
+            "0".into(),
+            "independent (static)".into(),
+            wiring.into(),
+            "0.000".into(),
+            format!("{ind_mean:.6}"),
+            format!("{ind_se:.6}"),
+        ]);
+        table.row(&[
+            "1".into(),
+            "shared (static)".into(),
+            wiring.into(),
+            "1.000".into(),
+            format!("{sh_mean:.6}"),
+            format!("{sh_se:.6}"),
+        ]);
+
+        // The adaptive policies under this wiring.
+        let (lo, hi) = (ind_mean.min(sh_mean), ind_mean.max(sh_mean));
+        let mut delivered: Vec<(f64, f64)> = Vec::new();
+        for (i, policy) in POLICIES.iter().enumerate() {
+            let seed = 2010 + i as u64;
+            let cell = ctx.cell(
+                format!(
+                    "world=asymmetric|budget={}|wiring={wiring}|policy={policy}|seed={seed}|reps={replications}|study=structure-allocation",
+                    2 * SUITE
+                ),
+                |scope| {
+                    let scenario = system_scenario(
+                        &w,
+                        &structure,
+                        CampaignRegime::Adaptive(*policy),
+                        2 * SUITE,
+                    )
+                    .with_seed(seed);
+                    let est = scenario
+                        .system_estimate(replications, scope.threads())
+                        .expect("two-component system");
+                    let study = scenario
+                        .policy_study(replications, scope.threads())
+                        .expect("adaptive scenario");
+                    vec![
+                        est.system_pfd.mean,
+                        est.system_pfd.standard_error,
+                        study.shared_fraction.mean(),
+                    ]
+                },
+            );
+            let (mean, se, frac) = (cell.get(0), cell.get(1), cell.get(2));
+            table.row(&[
+                (2 + i).to_string(),
+                policy.to_string(),
+                wiring.into(),
+                format!("{frac:.3}"),
+                format!("{mean:.6}"),
+                format!("{se:.6}"),
+            ]);
+            let slack = 4.0 * (se + ind_se + sh_se);
+            if wiring == "parallel-2" {
+                ctx.check(
+                    (lo - slack..=hi + slack).contains(&mean),
+                    format!("{policy} interpolates the {wiring} static extremes"),
+                );
+            } else {
+                // A series system cannot be gamed below the static
+                // envelope by reallocating the same budget.
+                ctx.check(
+                    mean >= lo - slack,
+                    format!("{policy} does not beat the {wiring} static envelope"),
+                );
+            }
+            if i == 0 {
+                ctx.check(
+                    frac == 0.0,
+                    format!("round-robin allocates no shared demands under {wiring}, exactly"),
+                );
+            }
+            delivered.push((mean, se));
+        }
+        if wiring == "series-2" {
+            // POLICIES[0] is round-robin, POLICIES[1] greedy-on-failures.
+            let (rr, greedy) = (delivered[0], delivered[1]);
+            ctx.check(
+                greedy.0 >= rr.0 + 2.0 * (rr.1 + greedy.1),
+                "failure-chasing concentration hurts the series wiring vs round-robin",
+            );
+        }
+    }
+    ctx.emit(table, "e20_component_allocation");
+
+    // ── Budget sweep: structure dominates allocation at every effort ──
+    let mut sweep = Table::new(
+        "budget sweep (greedy-on-failures policy)",
+        &["budget", "wiring", "system pfd", "se"],
+    );
+    let mut by_budget: Vec<(f64, f64, f64, f64)> = Vec::new();
+    for budget in BUDGETS {
+        let mut row: Vec<f64> = Vec::new();
+        for (wiring, structure) in wirings() {
+            let cell = ctx.cell(
+                format!(
+                    "world=asymmetric|budget={budget}|wiring={wiring}|policy=greedy-on-failures|reps={replications}|study=structure-budget-sweep"
+                ),
+                |scope| {
+                    let est = system_scenario(
+                        &w,
+                        &structure,
+                        CampaignRegime::Adaptive(PolicySpec::GreedyOnFailures),
+                        budget,
+                    )
+                    .system_estimate(replications, scope.threads())
+                    .expect("two-component system");
+                    vec![est.system_pfd.mean, est.system_pfd.standard_error]
+                },
+            );
+            sweep.row(&[
+                budget.to_string(),
+                wiring.into(),
+                format!("{:.6}", cell.get(0)),
+                format!("{:.6}", cell.get(1)),
+            ]);
+            row.push(cell.get(0));
+            row.push(cell.get(1));
+        }
+        ctx.check(
+            row[2] >= row[0] + 2.0 * (row[1] + row[3]),
+            format!("series wiring is riskier than parallel at budget {budget}"),
+        );
+        by_budget.push((row[0], row[1], row[2], row[3]));
+    }
+    let (first, last) = (by_budget[0], by_budget[by_budget.len() - 1]);
+    ctx.check(
+        last.0 <= first.0 - 2.0 * (first.1 + last.1),
+        "more budget helps the parallel wiring",
+    );
+    ctx.check(
+        last.2 <= first.2 - 2.0 * (first.3 + last.3),
+        "more budget helps the series wiring",
+    );
+    ctx.emit(sweep, "e20_budget_sweep");
+
+    ctx.note(
+        "\nClaim reproduced: wiring the same tested pair in series is uniformly\n\
+         riskier than in parallel at every budget and under every allocation\n\
+         policy; the static regime ordering flips with the wiring (shared\n\
+         hurts AND, helps OR); policies interpolate the parallel wiring's\n\
+         static extremes, while under series wiring the failure-chasing\n\
+         policies overshoot the envelope — concentrating budget starves a\n\
+         component the OR system depends on.",
+    );
+}

@@ -1,4 +1,4 @@
-//! The eighteen experiment implementations.
+//! The twenty experiment implementations.
 //!
 //! Each module holds one [`ExperimentSpec`](crate::spec::ExperimentSpec)
 //! static (`SPEC`) plus its `run` function; the registry
@@ -27,3 +27,5 @@ pub mod e15_stopping;
 pub mod e16_assessment;
 pub mod e17_adaptive_policies;
 pub mod e18_policy_coupling;
+pub mod e19_structure_penalty;
+pub mod e20_component_allocation;

@@ -8,7 +8,7 @@
 //! * [`spec`] — declarative [`spec::ExperimentSpec`]s (including their
 //!   [`spec::FigureSpec`] plot declarations), replication
 //!   [`spec::Profile`]s and the per-run [`spec::RunContext`];
-//! * [`registry`] — the ordered list of all eighteen experiments;
+//! * [`registry`] — the ordered list of all twenty experiments;
 //! * [`engine`] — deterministic execution and JSON/CSV result rendering;
 //! * [`cli`] — the `diversim` binary (`list` / `run` / `sweep` /
 //!   `serve` / `report` / `docs`) and the entry point shared by the

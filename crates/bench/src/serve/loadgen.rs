@@ -138,6 +138,7 @@ pub fn schedule(seed: u64, client: usize, i: u64) -> EvaluationRequest {
             suite_size: 4,
             replications: 200,
             study: StudySpec::Estimate,
+            system: None,
         }),
         1 => RequestKind::Evaluate(EvaluateRequest {
             world: WorldSpec::Fixture {
@@ -149,6 +150,7 @@ pub fn schedule(seed: u64, client: usize, i: u64) -> EvaluationRequest {
             study: StudySpec::Growth {
                 checkpoints: vec![0, 4, 8],
             },
+            system: None,
         }),
         _ => RequestKind::Evaluate(EvaluateRequest {
             world: WorldSpec::Generated {
@@ -166,6 +168,7 @@ pub fn schedule(seed: u64, client: usize, i: u64) -> EvaluationRequest {
             suite_size: 4,
             replications: 100,
             study: StudySpec::Estimate,
+            system: None,
         }),
     };
     EvaluationRequest {

@@ -7,7 +7,7 @@
 //! member order, stable escaping via [`crate::json::Value::to_json`]),
 //! so responses are byte-deterministic functions of the request.
 //!
-//! The same types are the internal API: `diversim run` and the eighteen
+//! The same types are the internal API: `diversim run` and the twenty
 //! thin `eNN_*` binaries construct an [`ExperimentRequest`] and enter
 //! the engine through the exact code path the server dispatches to, so
 //! CLI, service and tests share one validated surface.
@@ -33,6 +33,7 @@
 //! give concurrent clients non-colliding replication streams from one
 //! shared base seed.
 
+use diversim_core::structure::Structure;
 use diversim_sim::campaign::CampaignRegime;
 use diversim_sim::policy::PolicySpec;
 use diversim_sim::scenario::MAX_SUITE_SIZE;
@@ -582,6 +583,185 @@ impl StudySpec {
     }
 }
 
+/// Largest accepted node count of a wire system structure.
+pub const MAX_STRUCTURE_NODES: usize = 256;
+
+/// A system structure function described *by value* on the wire, in
+/// [`RegimeSpec`]'s style: every [`Structure`] tree has exactly one
+/// spec, so structures round-trip without silent coercion.
+///
+/// ```json
+/// {"kind":"k_of_n","k":2,"children":[
+///   {"kind":"component","index":0},
+///   {"kind":"component","index":1},
+///   {"kind":"component","index":2}]}
+/// ```
+///
+/// Component indices map onto the world's two development processes
+/// alternately (even indices sample the A population, odd indices the
+/// B population — see `Scenario::with_structure`), so the
+/// two-component `{"kind":"and",...}` reproduces the classic pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemSpec {
+    /// A component leaf.
+    Component {
+        /// The component's index.
+        index: usize,
+    },
+    /// Fails iff all children fail (parallel redundancy).
+    And {
+        /// The child subsystems.
+        children: Vec<SystemSpec>,
+    },
+    /// Fails iff any child fails (series).
+    Or {
+        /// The child subsystems.
+        children: Vec<SystemSpec>,
+    },
+    /// Works iff at least `k` children work.
+    KOutOfN {
+        /// Number of children that must work.
+        k: usize,
+        /// The child subsystems.
+        children: Vec<SystemSpec>,
+    },
+}
+
+impl SystemSpec {
+    /// The structure tree this spec denotes.
+    pub fn to_structure(&self) -> Structure {
+        match self {
+            SystemSpec::Component { index } => Structure::component(*index),
+            SystemSpec::And { children } => {
+                Structure::and(children.iter().map(SystemSpec::to_structure).collect())
+            }
+            SystemSpec::Or { children } => {
+                Structure::or(children.iter().map(SystemSpec::to_structure).collect())
+            }
+            SystemSpec::KOutOfN { k, children } => {
+                Structure::k_out_of_n(*k, children.iter().map(SystemSpec::to_structure).collect())
+            }
+        }
+    }
+
+    /// The wire spec denoting `structure` — a total inverse of
+    /// [`SystemSpec::to_structure`], so every structure tree can be
+    /// expressed on the wire and recovered exactly.
+    pub fn from_structure(structure: &Structure) -> Self {
+        let specs =
+            |children: &[Structure]| children.iter().map(SystemSpec::from_structure).collect();
+        match structure {
+            Structure::Component(index) => SystemSpec::Component { index: *index },
+            Structure::And(children) => SystemSpec::And {
+                children: specs(children),
+            },
+            Structure::Or(children) => SystemSpec::Or {
+                children: specs(children),
+            },
+            Structure::KOutOfN { k, children } => SystemSpec::KOutOfN {
+                k: *k,
+                children: specs(children),
+            },
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            SystemSpec::Component { .. } => 1,
+            SystemSpec::And { children }
+            | SystemSpec::Or { children }
+            | SystemSpec::KOutOfN { children, .. } => {
+                1 + children.iter().map(SystemSpec::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.node_count() > MAX_STRUCTURE_NODES {
+            return Err(ServeError::InvalidField {
+                field: "system",
+                message: format!("structure exceeds the sanity cap of {MAX_STRUCTURE_NODES} nodes"),
+            });
+        }
+        let structure = self.to_structure();
+        structure
+            .validate(structure.component_count().max(1))
+            .map_err(|e| ServeError::InvalidField {
+                field: "system",
+                message: e.to_string(),
+            })
+    }
+
+    /// The strict wire rendering of this structure.
+    pub fn to_value(&self) -> Value {
+        let array = |children: &[SystemSpec]| {
+            Value::Array(children.iter().map(SystemSpec::to_value).collect())
+        };
+        match self {
+            SystemSpec::Component { index } => Value::Object(vec![
+                ("kind".into(), Value::String("component".into())),
+                ("index".into(), Value::Number(*index as f64)),
+            ]),
+            SystemSpec::And { children } => Value::Object(vec![
+                ("kind".into(), Value::String("and".into())),
+                ("children".into(), array(children)),
+            ]),
+            SystemSpec::Or { children } => Value::Object(vec![
+                ("kind".into(), Value::String("or".into())),
+                ("children".into(), array(children)),
+            ]),
+            SystemSpec::KOutOfN { k, children } => Value::Object(vec![
+                ("kind".into(), Value::String("k_of_n".into())),
+                ("k".into(), Value::Number(*k as f64)),
+                ("children".into(), array(children)),
+            ]),
+        }
+    }
+
+    /// The tolerant wire reader for a `system` member.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on structural problems,
+    /// [`ServeError::InvalidField`] for malformed structures (bad `k`,
+    /// empty gates, node-count cap).
+    pub fn from_value(value: &Value) -> Result<Self, ServeError> {
+        let spec = Self::read_node(value)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn read_node(value: &Value) -> Result<Self, ServeError> {
+        let children = |value: &Value| {
+            value
+                .get("children")
+                .and_then(Value::as_array)
+                .ok_or_else(|| protocol("system gates need a \"children\" array"))?
+                .iter()
+                .map(SystemSpec::read_node)
+                .collect::<Result<Vec<SystemSpec>, ServeError>>()
+        };
+        match require_str(value, "system.kind")? {
+            "component" => Ok(SystemSpec::Component {
+                index: read_usize(value, "index", "system.index")?,
+            }),
+            "and" => Ok(SystemSpec::And {
+                children: children(value)?,
+            }),
+            "or" => Ok(SystemSpec::Or {
+                children: children(value)?,
+            }),
+            "k_of_n" => Ok(SystemSpec::KOutOfN {
+                k: read_usize(value, "k", "system.k")?,
+                children: children(value)?,
+            }),
+            other => Err(protocol(format!(
+                "system.kind must be component, and, or or k_of_n, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// The body of a world-evaluation request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvaluateRequest {
@@ -595,6 +775,9 @@ pub struct EvaluateRequest {
     pub replications: u64,
     /// The study to run.
     pub study: StudySpec,
+    /// Optional structure function scoring the campaign; `None` keeps
+    /// the classic 1-out-of-2 pair queries.
+    pub system: Option<SystemSpec>,
 }
 
 impl EvaluateRequest {
@@ -602,6 +785,15 @@ impl EvaluateRequest {
         self.world.validate()?;
         self.regime.validate()?;
         self.study.validate()?;
+        if let Some(system) = &self.system {
+            system.validate()?;
+            if !matches!(self.study, StudySpec::Estimate) {
+                return Err(ServeError::InvalidField {
+                    field: "study",
+                    message: "growth studies do not support system structures".into(),
+                });
+            }
+        }
         if self.suite_size > MAX_SUITE_SIZE {
             return Err(ServeError::InvalidField {
                 field: "suite_size",
@@ -703,6 +895,10 @@ impl EvaluationRequest {
                         Some(v) => StudySpec::from_value(v)?,
                         None => StudySpec::Estimate,
                     },
+                    system: match doc.get("system") {
+                        Some(v) => Some(SystemSpec::from_value(v)?),
+                        None => None,
+                    },
                 };
                 request.validate()?;
                 RequestKind::Evaluate(request)
@@ -755,6 +951,9 @@ impl EvaluationRequest {
                 members.push(("suite_size".into(), Value::Number(e.suite_size as f64)));
                 members.push(("replications".into(), Value::Number(e.replications as f64)));
                 members.push(("study".into(), e.study.to_value()));
+                if let Some(system) = &e.system {
+                    members.push(("system".into(), system.to_value()));
+                }
             }
             RequestKind::Experiment(x) => {
                 members.push(("kind".into(), Value::String("experiment".into())));
@@ -829,6 +1028,27 @@ pub struct GrowthResult {
     pub version_b: Vec<WireEstimate>,
 }
 
+/// The result payload of a structure-scored estimate study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemResult {
+    /// The world's parameter-derived label.
+    pub world: String,
+    /// The world's content hash, as 16 hex digits.
+    pub world_hash: String,
+    /// The derived seed root actually used.
+    pub root_seed: u64,
+    /// Replications spent.
+    pub replications: u64,
+    /// The structure that scored the campaign, echoed.
+    pub structure: SystemSpec,
+    /// System pfd after testing, through the structure.
+    pub system_pfd: WireEstimate,
+    /// System pfd of the untested components, through the structure.
+    pub system_pfd_before: WireEstimate,
+    /// Per-component pfd after testing, in component order.
+    pub component_pfds: Vec<WireEstimate>,
+}
+
 /// The result payload of an experiment run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
@@ -858,6 +1078,8 @@ pub enum ResponseBody {
     Estimate(EstimateResult),
     /// Answer to a growth study.
     Growth(GrowthResult),
+    /// Answer to a structure-scored estimate study.
+    System(SystemResult),
     /// Answer to an experiment run.
     Experiment(ExperimentResult),
 }
@@ -944,6 +1166,25 @@ impl EvaluationResponse {
                         ("system".into(), series(&r.system)),
                         ("version_a".into(), series(&r.version_a)),
                         ("version_b".into(), series(&r.version_b)),
+                    ]),
+                ));
+            }
+            ResponseBody::System(r) => {
+                members.push((
+                    "result".into(),
+                    Value::Object(vec![
+                        ("kind".into(), Value::String("system".into())),
+                        ("world".into(), Value::String(r.world.clone())),
+                        ("world_hash".into(), Value::String(r.world_hash.clone())),
+                        ("root_seed".into(), Value::String(r.root_seed.to_string())),
+                        ("replications".into(), Value::Number(r.replications as f64)),
+                        ("structure".into(), r.structure.to_value()),
+                        ("system_pfd".into(), r.system_pfd.to_value()),
+                        ("system_pfd_before".into(), r.system_pfd_before.to_value()),
+                        (
+                            "component_pfds".into(),
+                            Value::Array(r.component_pfds.iter().map(|e| e.to_value()).collect()),
+                        ),
                     ]),
                 ));
             }
@@ -1152,6 +1393,7 @@ mod tests {
                 study: StudySpec::Growth {
                     checkpoints: vec![0, 4, 8],
                 },
+                system: None,
             }),
         };
         assert_eq!(EvaluationRequest::parse(&growth.to_json()).unwrap(), growth);

@@ -23,7 +23,8 @@ use super::cache::{CacheStats, WorldCache};
 use super::error::ServeError;
 use super::request::{
     EstimateResult, EvaluateRequest, EvaluationRequest, EvaluationResponse, ExperimentRequest,
-    ExperimentResult, GrowthResult, RequestKind, ResponseBody, StudySpec, WireEstimate,
+    ExperimentResult, GrowthResult, RequestKind, ResponseBody, StudySpec, SystemResult,
+    WireEstimate,
 };
 
 /// The effective seed root of a request: the module-documented
@@ -134,6 +135,22 @@ impl EvaluationService {
             .with_seeds(SeedPolicy::Sequence(root));
         let world = cached.label.clone();
         let world_hash = format!("{:016x}", request.world.content_hash());
+        if let Some(system) = &request.system {
+            // Validation pinned the study to `estimate`; the scenario
+            // rejects regimes the structure cannot run under.
+            let scenario = scenario.with_structure(system.to_structure())?;
+            let est = scenario.system_estimate(request.replications, self.threads)?;
+            return Ok(ResponseBody::System(SystemResult {
+                world,
+                world_hash,
+                root_seed: root,
+                replications: request.replications,
+                structure: system.clone(),
+                system_pfd: wire(&est.system_pfd),
+                system_pfd_before: wire(&est.system_pfd_before),
+                component_pfds: est.component_pfds.iter().map(wire).collect(),
+            }));
+        }
         match &request.study {
             StudySpec::Estimate => {
                 let est = scenario.estimate(request.replications, self.threads);
@@ -312,6 +329,94 @@ mod tests {
         assert_eq!((id.as_str(), ok), ("g", false));
         assert!(
             response.contains("studies require a static suite regime"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn system_requests_replay_the_pair_and_serve_deterministically() {
+        let and2 = concat!(
+            r#","system":{"kind":"and","children":[{"kind":"component","index":0},"#,
+            r#"{"kind":"component","index":1}]}"#
+        );
+        let line = |id: &str, system: &str| {
+            format!(
+                concat!(
+                    r#"{{"api":"diversim/v1","id":"{}","kind":"evaluate","seed":11,"stream":3,"#,
+                    r#""world":{{"kind":"fixture","name":"small-graded"}},"regime":"shared","#,
+                    r#""suite_size":4,"replications":64,"study":"estimate"{}}}"#
+                ),
+                id, system
+            )
+        };
+        let service = EvaluationService::new(1, 2);
+        let base = service.handle_line(&line("s", and2));
+        let (id, ok) = EvaluationResponse::parse_status(&base).unwrap();
+        assert_eq!((id.as_str(), ok), ("s", true), "{base}");
+        let doc = json::parse(&base).unwrap();
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("kind").and_then(Value::as_str), Some("system"));
+        assert_eq!(
+            result
+                .get("component_pfds")
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        // The two-component AND structure *is* the classic pair: its
+        // system pfd estimate matches the plain estimate study's bytes.
+        let pair = json::parse(&service.handle_line(&line("s", ""))).unwrap();
+        assert_eq!(
+            result.get("system_pfd"),
+            pair.get("result").unwrap().get("system_pfd"),
+            "and-2 must replay the pair estimate bit-for-bit"
+        );
+        // Thread count never changes a byte.
+        assert_eq!(
+            EvaluationService::new(8, 2).handle_line(&line("s", and2)),
+            base
+        );
+    }
+
+    #[test]
+    fn incompatible_system_requests_get_stable_errors() {
+        let service = EvaluationService::new(1, 2);
+        // An adaptive regime needs exactly two components.
+        let line = concat!(
+            r#"{"api":"diversim/v1","id":"w","kind":"evaluate","#,
+            r#""world":{"kind":"fixture","name":"small-graded"},"#,
+            r#""regime":{"kind":"adaptive","policy":"greedy"},"#,
+            r#""suite_size":4,"replications":32,"study":"estimate","#,
+            r#""system":{"kind":"or","children":[{"kind":"component","index":0},"#,
+            r#"{"kind":"component","index":1},{"kind":"component","index":2}]}}"#
+        );
+        let response = service.handle_line(line);
+        let (id, ok) = EvaluationResponse::parse_status(&response).unwrap();
+        assert_eq!((id.as_str(), ok), ("w", false));
+        assert!(
+            response.contains("require exactly two components"),
+            "{response}"
+        );
+        // Growth studies do not compose with structures.
+        let growth = line.replace(
+            r#""study":"estimate""#,
+            r#""study":{"kind":"growth","checkpoints":[0,4]}"#,
+        );
+        let response = service.handle_line(&growth);
+        let (id, ok) = EvaluationResponse::parse_status(&response).unwrap();
+        assert_eq!((id.as_str(), ok), ("w", false));
+        assert!(
+            response.contains("growth studies do not support system structures"),
+            "{response}"
+        );
+        // Malformed structures name the offending field.
+        let bad = line.replace(r#""regime":{"kind":"adaptive","policy":"greedy"},"#, "");
+        let bad = bad.replace(r#""kind":"or""#, r#""kind":"k_of_n","k":9"#);
+        let response = service.handle_line(&bad);
+        let (id, ok) = EvaluationResponse::parse_status(&response).unwrap();
+        assert_eq!((id.as_str(), ok), ("w", false), "{response}");
+        assert!(
+            response.contains(r#"invalid member "system""#) || response.contains("system"),
             "{response}"
         );
     }

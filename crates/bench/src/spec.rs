@@ -4,7 +4,7 @@
 //! reproduction of Popov & Littlewood (DSN 2004): identity, the paper
 //! result it regenerates, its sweep grid, its replication plan, and the
 //! function that executes it. The registry (`crate::registry`) lists
-//! all eighteen; the engine (`crate::engine`) executes any of them
+//! all twenty; the engine (`crate::engine`) executes any of them
 //! through `sim::runner`'s deterministic-parallel primitives; the CLI
 //! (`crate::cli`) and the thin `eNN_*` binaries are fronts over that
 //! one code path.

@@ -16,7 +16,13 @@ use diversim_bench::serve::loadgen::LOADGEN_SCHEMA;
 use diversim_bench::sweep::SWEEP_SCALING_SCHEMA;
 
 /// Every trajectory file the repository commits to the workspace root.
-const COMMITTED: &[&str] = &["BENCH_kernel_scaling.json", "BENCH_runner_scaling.json"];
+const COMMITTED: &[&str] = &[
+    "BENCH_hot_paths.json",
+    "BENCH_kernel_scaling.json",
+    "BENCH_regimes.json",
+    "BENCH_runner_scaling.json",
+    "BENCH_scenario_overhead.json",
+];
 
 fn workspace_root() -> &'static Path {
     Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
@@ -175,6 +181,81 @@ fn sweep_scaling_trajectory_shows_the_cache_working() {
         speedup >= floor,
         "warm sweep is only {speedup:.1}x faster than cold (floor {floor}x)"
     );
+}
+
+/// Loads a committed trajectory and returns its benchmark ids.
+fn trajectory_ids(name: &str) -> Vec<String> {
+    let path = workspace_root().join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name} unreadable: {e}"));
+    json::parse(&text)
+        .expect("valid JSON")
+        .as_array()
+        .expect("array")
+        .iter()
+        .map(|r| r.get("id").and_then(Value::as_str).expect("id").to_string())
+        .collect()
+}
+
+/// The hot_paths trajectory must keep every substrate hot path on the
+/// record: scoring, sampling, debugging and the difficulty vectors.
+#[test]
+fn hot_paths_trajectory_covers_every_substrate_path() {
+    let ids = trajectory_ids("BENCH_hot_paths.json");
+    for wanted in [
+        "score/fails_on",
+        "score/failure_set",
+        "score/pfd",
+        "sample/version_from_bernoulli",
+        "sample/suite_generation",
+        "debug/perfect_debug",
+        "difficulty/theta_vector",
+        "difficulty/xi_vector",
+    ] {
+        assert!(
+            ids.iter().any(|id| id.contains(wanted)),
+            "trajectory lost the {wanted} measurements"
+        );
+    }
+}
+
+/// The regimes trajectory must cover the paper-level computations:
+/// exact marginals under both suite assignments, every campaign regime,
+/// the structure-function system campaigns and the growth path.
+#[test]
+fn regimes_trajectory_covers_campaigns_and_systems() {
+    let ids = trajectory_ids("BENCH_regimes.json");
+    for wanted in [
+        "exact/marginal_analysis/shared",
+        "exact/marginal_analysis/independent",
+        "exact/enumerate_iid_suites",
+        "sim/pair_campaign/independent",
+        "sim/pair_campaign/shared",
+        "sim/pair_campaign/back_to_back",
+        "sim/system_campaign/and-2",
+        "sim/system_campaign/2-of-3",
+        "sim/system_campaign/nested-2x2",
+        "sim/growth_replication",
+    ] {
+        assert!(
+            ids.iter().any(|id| id.contains(wanted)),
+            "trajectory lost the {wanted} measurements"
+        );
+    }
+}
+
+/// The scenario_overhead trajectory must keep both sides of the
+/// prepared-scenario comparison for every fixture world it quotes.
+#[test]
+fn scenario_overhead_trajectory_covers_both_sides() {
+    let ids = trajectory_ids("BENCH_scenario_overhead.json");
+    for world in ["small_graded", "medium_cascade", "large"] {
+        for side in ["prepared", "rebuild_per_replication"] {
+            assert!(
+                ids.iter().any(|id| id.contains(world) && id.contains(side)),
+                "trajectory lost the {world}/{side} measurements"
+            );
+        }
+    }
 }
 
 /// The kernel_scaling trajectory must carry both sides of the

@@ -31,9 +31,9 @@ fn engine_output_is_byte_identical_for_1_and_8_threads() {
 /// Every registered spec must run to completion under the smoke
 /// profile and produce non-empty, well-formed results.
 #[test]
-fn all_eighteen_specs_run_under_smoke_profile() {
+fn all_twenty_specs_run_under_smoke_profile() {
     let specs = registry::all();
-    assert_eq!(specs.len(), 18);
+    assert_eq!(specs.len(), 20);
     for spec in specs {
         let outcome = run_experiment(spec, Profile::Smoke, 2, true);
         assert!(

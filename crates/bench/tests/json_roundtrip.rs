@@ -9,7 +9,7 @@ use proptest::strategy::BoxedStrategy;
 use diversim_bench::json::{self, Value};
 use diversim_bench::serve::request::{
     EvaluateRequest, EvaluationRequest, ExperimentRequest, RegimeSpec, RequestKind, StudySpec,
-    WorldSpec,
+    SystemSpec, WorldSpec,
 };
 use diversim_bench::spec::Profile;
 use diversim_sim::policy::PolicySpec;
@@ -184,14 +184,48 @@ fn regime_spec() -> BoxedStrategy<RegimeSpec> {
     .boxed()
 }
 
+/// Depth-bounded arbitrary *valid* structure trees: component leaves
+/// plus AND/OR/k-of-n gates whose `k` stays within `1..=children`.
+fn system_spec(depth: usize) -> BoxedStrategy<SystemSpec> {
+    let leaf = (0usize..6)
+        .prop_map(|index| SystemSpec::Component { index })
+        .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    prop_oneof![
+        leaf,
+        vec(system_spec(depth - 1), 1..4)
+            .prop_map(|children| SystemSpec::And { children })
+            .boxed(),
+        vec(system_spec(depth - 1), 1..4)
+            .prop_map(|children| SystemSpec::Or { children })
+            .boxed(),
+        (vec(system_spec(depth - 1), 1..4), 0usize..100)
+            .prop_map(|(children, raw)| SystemSpec::KOutOfN {
+                k: 1 + raw % children.len(),
+                children,
+            })
+            .boxed(),
+    ]
+    .boxed()
+}
+
 fn request() -> BoxedStrategy<EvaluationRequest> {
     let evaluate = (
         world_spec(),
         regime_spec(),
         0usize..100,
         1u64..1000,
+        // Structures only compose with estimate studies (growth
+        // replays fixed demand streams), so study and system are
+        // drawn jointly.
         prop_oneof![
-            Just(StudySpec::Estimate).boxed(),
+            (
+                Just(StudySpec::Estimate),
+                prop_oneof![Just(None).boxed(), system_spec(2).prop_map(Some).boxed(),],
+            )
+                .boxed(),
             vec(1usize..50, 1..5)
                 .prop_map(|mut raw| {
                     // Strictly increasing via prefix sums.
@@ -200,20 +234,23 @@ fn request() -> BoxedStrategy<EvaluationRequest> {
                         total += *c;
                         *c = total;
                     }
-                    StudySpec::Growth { checkpoints: raw }
+                    (StudySpec::Growth { checkpoints: raw }, None)
                 })
                 .boxed(),
         ],
     )
-        .prop_map(|(world, regime, suite_size, replications, study)| {
-            RequestKind::Evaluate(EvaluateRequest {
-                world,
-                regime,
-                suite_size,
-                replications,
-                study,
-            })
-        })
+        .prop_map(
+            |(world, regime, suite_size, replications, (study, system))| {
+                RequestKind::Evaluate(EvaluateRequest {
+                    world,
+                    regime,
+                    suite_size,
+                    replications,
+                    study,
+                    system,
+                })
+            },
+        )
         .boxed();
     let kind = prop_oneof![
         evaluate,

@@ -36,7 +36,7 @@ fn committed_smoke_report_matches_the_engine() {
         "REPORT.md is stale; run `cargo run --release -p diversim-bench --bin diversim -- report --run --smoke`"
     );
 
-    assert_eq!(book.chapters.len(), 18);
+    assert_eq!(book.chapters.len(), 20);
     for chapter in &book.chapters {
         let path = root.join(CHAPTER_DIR).join(&chapter.file_name);
         let committed = std::fs::read_to_string(&path)

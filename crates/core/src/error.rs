@@ -25,6 +25,13 @@ pub enum CoreError {
         /// What was missing.
         what: &'static str,
     },
+    /// A [`crate::structure::Structure`] tree is malformed: an empty gate,
+    /// a `k` outside `1..=n`, a component index out of range, or a
+    /// repeated-component tree too wide to enumerate.
+    InvalidStructure {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
     /// Underlying universe error.
     Universe(UniverseError),
     /// Underlying testing error.
@@ -36,6 +43,9 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::ModelMismatch { reason } => write!(f, "model mismatch: {reason}"),
             CoreError::EmptyInput { what } => write!(f, "empty input: {what}"),
+            CoreError::InvalidStructure { reason } => {
+                write!(f, "invalid structure: {reason}")
+            }
             CoreError::Universe(e) => write!(f, "universe error: {e}"),
             CoreError::Testing(e) => write!(f, "testing error: {e}"),
         }

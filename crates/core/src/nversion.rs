@@ -2,6 +2,14 @@
 //! spirit of the paper's §5 ("applying more than one activity to the
 //! diverse channels").
 //!
+//! > **Which path is this?** This module is the **population-expectation**
+//! > path: it computes marginal failure probabilities of version
+//! > *distributions* under the testing regimes, per demand and averaged
+//! > over the usage profile. The **concrete-version** path — failure sets
+//! > of actual sampled versions — lives in [`crate::system`]. Arbitrary
+//! > fault trees generalising both flat entry points live in
+//! > [`crate::structure`].
+//!
 //! A 1-out-of-N system fails on a demand only if *all* N versions fail.
 //! For versions drawn independently and tested on **independent** suites,
 //! conditional independence per demand survives (the §3.1 argument
@@ -13,72 +21,70 @@
 //!
 //! For a **shared** suite the coupling generalises eq (20)/(21) to the
 //! N-fold mixed moment `E_Ξ[Π_i ξ_i(x, T)]`.
+//!
+//! These entry points are thin wrappers over
+//! [`Structure::one_out_of_n`] — the AND gate's product runs in the same
+//! order as the historical flat implementation, so the wrappers are
+//! bit-for-bit identical to it.
 
 use diversim_testing::suite_population::ExplicitSuitePopulation;
 use diversim_universe::demand::DemandId;
 use diversim_universe::profile::UsageProfile;
 
-use crate::difficulty::{zeta, TestedDifficulty};
+use crate::difficulty::TestedDifficulty;
+use crate::error::CoreError;
+use crate::structure::{self, Structure};
 use crate::testing_effect::TestingRegime;
 
 /// Joint probability that all `pops` versions fail on demand `x`, each
 /// version tested on its own independently drawn suite from `measure`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `pops` is empty.
+/// [`CoreError::EmptyInput`] if `pops` is empty.
 pub fn all_fail_on_demand_independent(
     pops: &[&dyn TestedDifficulty],
     measure: &ExplicitSuitePopulation,
     x: DemandId,
-) -> f64 {
-    assert!(!pops.is_empty(), "a system needs at least one channel");
-    pops.iter().map(|p| zeta(*p, x, measure)).product()
+) -> Result<f64, CoreError> {
+    structure::fail_on_demand_independent(&Structure::one_out_of_n(pops.len()), pops, measure, x)
 }
 
 /// Joint probability that all `pops` versions fail on demand `x` when all
 /// are debugged on **one** shared suite: `E_Ξ[Π_i ξ_i(x, T)]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `pops` is empty.
+/// [`CoreError::EmptyInput`] if `pops` is empty.
 pub fn all_fail_on_demand_shared(
     pops: &[&dyn TestedDifficulty],
     measure: &ExplicitSuitePopulation,
     x: DemandId,
-) -> f64 {
-    assert!(!pops.is_empty(), "a system needs at least one channel");
-    measure.expect(|t| {
-        let covered = t.demand_set();
-        pops.iter().map(|p| p.xi(x, covered)).product()
-    })
+) -> Result<f64, CoreError> {
+    structure::fail_on_demand_shared(&Structure::one_out_of_n(pops.len()), pops, measure, x)
 }
 
 /// Marginal probability that a 1-out-of-N system fails on a random demand,
 /// under the given testing regime.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `pops` is empty or the populations disagree on the demand
-/// space.
+/// [`CoreError::EmptyInput`] if `pops` is empty;
+/// [`CoreError::ModelMismatch`] if a population and the profile disagree
+/// on the demand space.
 pub fn system_pfd_n(
     pops: &[&dyn TestedDifficulty],
     measure: &ExplicitSuitePopulation,
     profile: &UsageProfile,
     regime: TestingRegime,
-) -> f64 {
-    assert!(!pops.is_empty(), "a system needs at least one channel");
-    for p in pops {
-        assert_eq!(
-            p.model().space(),
-            profile.space(),
-            "population and profile must share a demand space"
-        );
-    }
-    profile.expect(|x| match regime {
-        TestingRegime::IndependentSuites => all_fail_on_demand_independent(pops, measure, x),
-        TestingRegime::SharedSuite => all_fail_on_demand_shared(pops, measure, x),
-    })
+) -> Result<f64, CoreError> {
+    structure::structure_pfd(
+        &Structure::one_out_of_n(pops.len()),
+        pops,
+        measure,
+        profile,
+        regime,
+    )
 }
 
 #[cfg(test)]
@@ -109,11 +115,11 @@ mod tests {
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
         let pair_ind = MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::independent(&m), &q)
             .system_pfd();
-        let n_ind = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::IndependentSuites);
+        let n_ind = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::IndependentSuites).unwrap();
         assert!((pair_ind - n_ind).abs() < 1e-12);
         let pair_sh =
             MarginalAnalysis::compute(&pop, &pop, SuiteAssignment::Shared(&m), &q).system_pfd();
-        let n_sh = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::SharedSuite);
+        let n_sh = system_pfd_n(&[&pop, &pop], &m, &q, TestingRegime::SharedSuite).unwrap();
         assert!((pair_sh - n_sh).abs() < 1e-12);
     }
 
@@ -123,9 +129,9 @@ mod tests {
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
         for regime in [TestingRegime::IndependentSuites, TestingRegime::SharedSuite] {
-            let two = system_pfd_n(&[&pop, &pop], &m, &q, regime);
-            let three = system_pfd_n(&[&pop, &pop, &pop], &m, &q, regime);
-            let four = system_pfd_n(&[&pop, &pop, &pop, &pop], &m, &q, regime);
+            let two = system_pfd_n(&[&pop, &pop], &m, &q, regime).unwrap();
+            let three = system_pfd_n(&[&pop, &pop, &pop], &m, &q, regime).unwrap();
+            let four = system_pfd_n(&[&pop, &pop, &pop, &pop], &m, &q, regime).unwrap();
             assert!(three <= two + 1e-15, "third channel hurt under {regime}");
             assert!(four <= three + 1e-15, "fourth channel hurt under {regime}");
         }
@@ -142,8 +148,8 @@ mod tests {
             let pops: Vec<&dyn TestedDifficulty> = (0..n_channels)
                 .map(|_| &pop as &dyn TestedDifficulty)
                 .collect();
-            let ind = system_pfd_n(&pops, &m, &q, TestingRegime::IndependentSuites);
-            let sh = system_pfd_n(&pops, &m, &q, TestingRegime::SharedSuite);
+            let ind = system_pfd_n(&pops, &m, &q, TestingRegime::IndependentSuites).unwrap();
+            let sh = system_pfd_n(&pops, &m, &q, TestingRegime::SharedSuite).unwrap();
             assert!(sh + 1e-15 >= ind, "shared < independent for N={n_channels}");
         }
     }
@@ -153,8 +159,8 @@ mod tests {
         let pop = singleton_pop(vec![0.25, 0.75]);
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
-        let one_ind = system_pfd_n(&[&pop], &m, &q, TestingRegime::IndependentSuites);
-        let one_sh = system_pfd_n(&[&pop], &m, &q, TestingRegime::SharedSuite);
+        let one_ind = system_pfd_n(&[&pop], &m, &q, TestingRegime::IndependentSuites).unwrap();
+        let one_sh = system_pfd_n(&[&pop], &m, &q, TestingRegime::SharedSuite).unwrap();
         // With one channel the regimes coincide: E over T of ξ.
         assert!((one_ind - one_sh).abs() < 1e-12);
         // ζ = (0.125, 0.375) → mean tested pfd = 0.25.
@@ -168,22 +174,48 @@ mod tests {
         let strong = BernoulliPopulation::new(weak.model().clone(), vec![0.01, 0.01]).unwrap();
         let q = UsageProfile::uniform(weak.model().space());
         let m = enumerate_iid_suites(&q, 1, 64).unwrap();
-        let without = system_pfd_n(&[&weak, &weak], &m, &q, TestingRegime::IndependentSuites);
+        let without =
+            system_pfd_n(&[&weak, &weak], &m, &q, TestingRegime::IndependentSuites).unwrap();
         let with = system_pfd_n(
             &[&weak, &weak, &strong],
             &m,
             &q,
             TestingRegime::IndependentSuites,
-        );
+        )
+        .unwrap();
         assert!(with < without * 0.1, "strong channel should slash the pfd");
     }
 
     #[test]
-    #[should_panic(expected = "at least one channel")]
-    fn empty_system_panics() {
+    fn empty_system_is_a_typed_error() {
         let pop = singleton_pop(vec![0.5]);
         let q = UsageProfile::uniform(pop.model().space());
         let m = enumerate_iid_suites(&q, 1, 8).unwrap();
-        let _ = system_pfd_n(&[], &m, &q, TestingRegime::SharedSuite);
+        for regime in [TestingRegime::IndependentSuites, TestingRegime::SharedSuite] {
+            assert!(matches!(
+                system_pfd_n(&[], &m, &q, regime),
+                Err(CoreError::EmptyInput { .. })
+            ));
+        }
+        assert!(matches!(
+            all_fail_on_demand_independent(&[], &m, DemandId::new(0)),
+            Err(CoreError::EmptyInput { .. })
+        ));
+        assert!(matches!(
+            all_fail_on_demand_shared(&[], &m, DemandId::new(0)),
+            Err(CoreError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn space_mismatch_is_a_typed_error() {
+        let pop = singleton_pop(vec![0.5, 0.5]);
+        let other = UsageProfile::uniform(DemandSpace::new(3).unwrap());
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 8).unwrap();
+        assert!(matches!(
+            system_pfd_n(&[&pop], &m, &other, TestingRegime::SharedSuite),
+            Err(CoreError::ModelMismatch { .. })
+        ));
     }
 }

@@ -1,11 +1,20 @@
 //! System-level reliability of *concrete* version tuples.
 //!
-//! [`crate::marginal`] works with population expectations; this module
-//! evaluates actual versions (as produced by a simulated debugging
-//! campaign): the pfd of a single version and of 1-out-of-N systems built
-//! from specific versions, where the system fails on a demand only if
-//! *every* version fails on it (perfect adjudication, as assumed
-//! throughout the paper).
+//! > **Which path is this?** This module is the **concrete-version** path:
+//! > it evaluates actual [`Version`]s (as produced by a simulated debugging
+//! > campaign) through failure-set algebra on the packed bitset kernel.
+//! > The **population-expectation** path — marginal pfds of version
+//! > *distributions* under the testing regimes — lives in
+//! > [`crate::nversion`] (flat 1-out-of-N) and [`crate::structure`]
+//! > (arbitrary trees). The two paths agree in expectation and are checked
+//! > against each other by `exact::brute` downstream.
+//!
+//! The flat entry points ([`system_failure_set`], [`system_pfd`]) are the
+//! paper's 1-out-of-N adjudicated system — a system failure needs *every*
+//! version to fail (perfect adjudication, as assumed throughout the
+//! paper) — and are thin wrappers over [`Structure::one_out_of_n`].
+//! Arbitrary fault trees go through [`structure_failure_set`] /
+//! [`structure_system_pfd`].
 
 use diversim_universe::bitset::BitSet;
 use diversim_universe::demand::DemandId;
@@ -13,38 +22,80 @@ use diversim_universe::fault::FaultModel;
 use diversim_universe::profile::UsageProfile;
 use diversim_universe::version::Version;
 
-/// The demands on which a 1-out-of-N system of the given versions fails:
-/// the intersection of the versions' failure sets.
+use crate::error::CoreError;
+use crate::structure::Structure;
+
+/// The demands on which a structured system of the given versions fails:
+/// the structure's failure-set algebra (intersection per AND gate, union
+/// per OR gate, ≥t dynamic programme per k-of-n gate) applied to each
+/// version's failure set. `versions[i]` plays component `i`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `versions` is empty.
-pub fn system_failure_set(versions: &[&Version], model: &FaultModel) -> BitSet {
-    assert!(!versions.is_empty(), "a system needs at least one version");
-    let mut acc = versions[0].failure_set(model);
-    for v in &versions[1..] {
-        acc.intersect_with(&v.failure_set(model));
+/// [`CoreError::EmptyInput`] if `versions` is empty;
+/// [`CoreError::InvalidStructure`] if the tree references a component
+/// index `≥ versions.len()` or is malformed.
+pub fn structure_failure_set(
+    structure: &Structure,
+    versions: &[&Version],
+    model: &FaultModel,
+) -> Result<BitSet, CoreError> {
+    if versions.is_empty() {
+        return Err(CoreError::EmptyInput { what: "versions" });
     }
-    acc
+    let sets: Vec<BitSet> = versions.iter().map(|v| v.failure_set(model)).collect();
+    structure.failure_set(&sets)
+}
+
+/// Probability that a structured system of concrete versions fails on a
+/// random demand: the usage-profile mass of
+/// [`structure_failure_set`], accumulated in ascending demand order.
+pub fn structure_system_pfd(
+    structure: &Structure,
+    versions: &[&Version],
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> Result<f64, CoreError> {
+    Ok(structure_failure_set(structure, versions, model)?
+        .iter()
+        .map(|i| profile.probability(DemandId::new(i as u32)))
+        .sum())
+}
+
+/// The demands on which a 1-out-of-N system of the given versions fails:
+/// the intersection of the versions' failure sets
+/// ([`Structure::one_out_of_n`] as failure-set algebra).
+///
+/// # Errors
+///
+/// [`CoreError::EmptyInput`] if `versions` is empty.
+pub fn system_failure_set(versions: &[&Version], model: &FaultModel) -> Result<BitSet, CoreError> {
+    structure_failure_set(&Structure::one_out_of_n(versions.len()), versions, model)
 }
 
 /// Probability that a 1-out-of-2 system of two concrete versions fails on
 /// a random demand: `Σ_x υ(π₁,x)·υ(π₂,x)·Q(x)`.
 pub fn pair_pfd(v1: &Version, v2: &Version, model: &FaultModel, profile: &UsageProfile) -> f64 {
-    system_pfd(&[v1, v2], model, profile)
+    system_pfd(&[v1, v2], model, profile).expect("a pair always has two versions")
 }
 
 /// Probability that a 1-out-of-N system of concrete versions fails on a
 /// random demand (all versions fail simultaneously).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `versions` is empty.
-pub fn system_pfd(versions: &[&Version], model: &FaultModel, profile: &UsageProfile) -> f64 {
-    system_failure_set(versions, model)
-        .iter()
-        .map(|i| profile.probability(DemandId::new(i as u32)))
-        .sum()
+/// [`CoreError::EmptyInput`] if `versions` is empty.
+pub fn system_pfd(
+    versions: &[&Version],
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> Result<f64, CoreError> {
+    structure_system_pfd(
+        &Structure::one_out_of_n(versions.len()),
+        versions,
+        model,
+        profile,
+    )
 }
 
 /// Reliability improvement factor of the pair over its better version:
@@ -90,7 +141,7 @@ mod tests {
         let v2 = Version::from_faults(&m, [f(1), f(2)]);
         // Intersection = {x1} → pair pfd = 0.25.
         assert!((pair_pfd(&v1, &v2, &m, &q) - 0.25).abs() < 1e-12);
-        let fs = system_failure_set(&[&v1, &v2], &m);
+        let fs = system_failure_set(&[&v1, &v2], &m).unwrap();
         assert_eq!(fs.iter().collect::<Vec<_>>(), vec![1]);
     }
 
@@ -122,10 +173,10 @@ mod tests {
         let v2 = Version::from_faults(&m, [f(1), f(2)]);
         let v3 = Version::from_faults(&m, [f(1), f(3)]);
         // All three share only x1.
-        assert!((system_pfd(&[&v1, &v2, &v3], &m, &q) - 0.25).abs() < 1e-12);
+        assert!((system_pfd(&[&v1, &v2, &v3], &m, &q).unwrap() - 0.25).abs() < 1e-12);
         // Adding a version can only help (intersection shrinks).
         let v4 = Version::correct(&m);
-        assert_eq!(system_pfd(&[&v1, &v2, &v3, &v4], &m, &q), 0.0);
+        assert_eq!(system_pfd(&[&v1, &v2, &v3, &v4], &m, &q).unwrap(), 0.0);
     }
 
     #[test]
@@ -133,7 +184,7 @@ mod tests {
         let m = model();
         let q = UsageProfile::from_weights(m.space(), vec![0.1, 0.2, 0.3, 0.4]).unwrap();
         let v = Version::from_faults(&m, [f(1), f(3)]);
-        assert!((system_pfd(&[&v], &m, &q) - v.pfd(&m, &q)).abs() < 1e-12);
+        assert!((system_pfd(&[&v], &m, &q).unwrap() - v.pfd(&m, &q)).abs() < 1e-12);
     }
 
     #[test]
@@ -147,9 +198,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one version")]
-    fn empty_system_panics() {
+    fn empty_system_is_a_typed_error() {
         let m = model();
-        let _ = system_failure_set(&[], &m);
+        assert!(matches!(
+            system_failure_set(&[], &m),
+            Err(CoreError::EmptyInput { .. })
+        ));
+        let q = UsageProfile::uniform(m.space());
+        assert!(matches!(
+            system_pfd(&[], &m, &q),
+            Err(CoreError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn series_system_fails_when_any_version_fails() {
+        let m = model();
+        let q = UsageProfile::uniform(m.space());
+        let v1 = Version::from_faults(&m, [f(0)]);
+        let v2 = Version::from_faults(&m, [f(2)]);
+        let s = Structure::series(2);
+        let fs = structure_failure_set(&s, &[&v1, &v2], &m).unwrap();
+        assert_eq!(fs.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!((structure_system_pfd(&s, &[&v1, &v2], &m, &q).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_of_three_failure_set() {
+        let m = model();
+        let v1 = Version::from_faults(&m, [f(0), f(1)]);
+        let v2 = Version::from_faults(&m, [f(1), f(2)]);
+        let v3 = Version::from_faults(&m, [f(1), f(3)]);
+        // 2-of-3 fails where ≥2 versions fail: x1 (all three), plus none
+        // of x0/x2/x3 (single failures each).
+        let s = Structure::k_of_n(2, 3);
+        let fs = structure_failure_set(&s, &[&v1, &v2, &v3], &m).unwrap();
+        assert_eq!(fs.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn structure_wrapper_matches_flat_path_bit_for_bit() {
+        let m = model();
+        let q = UsageProfile::from_weights(m.space(), vec![0.4, 0.1, 0.3, 0.2]).unwrap();
+        let v1 = Version::from_faults(&m, [f(0), f(1)]);
+        let v2 = Version::from_faults(&m, [f(1), f(2)]);
+        let flat = system_pfd(&[&v1, &v2], &m, &q).unwrap();
+        let tree = structure_system_pfd(&Structure::one_out_of_n(2), &[&v1, &v2], &m, &q).unwrap();
+        assert_eq!(flat.to_bits(), tree.to_bits());
     }
 }

@@ -1,0 +1,189 @@
+//! Property tests of the structure-function algebra: monotonicity,
+//! AND↔OR duality under complement, the k-of-n/flat-path identities and
+//! the per-gate mixed-moment inequality hold on *arbitrary* trees, not
+//! just the hand-picked fixtures of the unit tests.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+use diversim_core::structure::{gate_moments, Structure};
+use diversim_core::TestedDifficulty;
+use diversim_testing::suite_population::enumerate_iid_suites;
+use diversim_universe::bitset::BitSet;
+use diversim_universe::demand::DemandSpace;
+use diversim_universe::fault::FaultModelBuilder;
+use diversim_universe::population::{BernoulliPopulation, Population};
+use diversim_universe::profile::UsageProfile;
+
+/// Components every generated tree may reference.
+const COMPONENTS: usize = 6;
+
+/// Demands of the bitset universe the set-algebra properties run over.
+const DEMANDS: usize = 12;
+
+/// Depth-bounded arbitrary structure trees over [`COMPONENTS`]
+/// components (the vendored proptest has no recursive-strategy helper,
+/// so recursion is explicit). Gates draw 1–3 children; `k` stays within
+/// `1..=children`, so every generated tree validates.
+fn tree(depth: usize) -> BoxedStrategy<Structure> {
+    let leaf = (0usize..COMPONENTS).prop_map(Structure::component).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    prop_oneof![
+        leaf,
+        vec(tree(depth - 1), 1..4).prop_map(Structure::and).boxed(),
+        vec(tree(depth - 1), 1..4).prop_map(Structure::or).boxed(),
+        (vec(tree(depth - 1), 1..4), 0usize..100)
+            .prop_map(|(children, raw)| Structure::k_out_of_n(1 + raw % children.len(), children))
+            .boxed(),
+    ]
+    .boxed()
+}
+
+/// Per-component boolean failure indicators.
+fn indicators() -> BoxedStrategy<Vec<bool>> {
+    vec((0u8..2).prop_map(|b| b == 1), COMPONENTS).boxed()
+}
+
+/// Per-component failure sets over the [`DEMANDS`]-demand universe.
+fn failure_sets() -> BoxedStrategy<Vec<BitSet>> {
+    vec(vec(0usize..DEMANDS, 0..DEMANDS), COMPONENTS)
+        .prop_map(|sets| {
+            sets.into_iter()
+                .map(|bits| BitSet::from_iter_with_capacity(DEMANDS, bits))
+                .collect()
+        })
+        .boxed()
+}
+
+/// The de-Morgan dual of a tree: AND↔OR, `k`-of-`n` ↔ `(n−k+1)`-of-`n`.
+fn dual(structure: &Structure) -> Structure {
+    let duals = |children: &[Structure]| children.iter().map(dual).collect();
+    match structure {
+        Structure::Component(i) => Structure::component(*i),
+        Structure::And(children) => Structure::or(duals(children)),
+        Structure::Or(children) => Structure::and(duals(children)),
+        Structure::KOutOfN { k, children } => {
+            Structure::k_out_of_n(children.len() - k + 1, duals(children))
+        }
+    }
+}
+
+fn complement(set: &BitSet) -> BitSet {
+    let mut c = BitSet::full(set.capacity());
+    c.difference_with(set);
+    c
+}
+
+proptest! {
+    /// Structure functions are monotone: breaking more components can
+    /// never repair the system.
+    #[test]
+    fn failure_is_monotone_in_component_failures(
+        s in tree(3),
+        base in indicators(),
+        extra in indicators(),
+    ) {
+        let worse: Vec<bool> = base.iter().zip(&extra).map(|(b, e)| *b || *e).collect();
+        prop_assert!(
+            !s.eval_bool(&base) || s.eval_bool(&worse),
+            "a superset of failed components must keep the system failed"
+        );
+    }
+
+    /// De-Morgan duality: the dual tree on complemented indicators is
+    /// the complement of the tree — pointwise and as failure sets.
+    #[test]
+    fn and_or_duality_under_complement(
+        s in tree(3),
+        failed in indicators(),
+        sets in failure_sets(),
+    ) {
+        let d = dual(&s);
+        let flipped: Vec<bool> = failed.iter().map(|f| !f).collect();
+        prop_assert_eq!(d.eval_bool(&flipped), !s.eval_bool(&failed));
+
+        let complements: Vec<BitSet> = sets.iter().map(complement).collect();
+        prop_assert_eq!(
+            d.failure_set(&complements).unwrap(),
+            complement(&s.failure_set(&sets).unwrap())
+        );
+    }
+
+    /// `k = 1` and `k = n` collapse a k-of-n gate onto the flat
+    /// AND (1-out-of-n) and OR (series) paths — bit-for-bit, both in
+    /// set algebra and in the gate-wise probability recursion.
+    #[test]
+    fn k_of_n_extremes_match_the_flat_paths(
+        n in 1usize..=COMPONENTS,
+        sets in failure_sets(),
+        probs in vec(0.0f64..=1.0, COMPONENTS),
+    ) {
+        let and_gate = Structure::k_of_n(1, n);
+        let or_gate = Structure::k_of_n(n, n);
+        let flat_and = Structure::one_out_of_n(n);
+        let flat_or = Structure::series(n);
+
+        prop_assert_eq!(
+            and_gate.failure_set(&sets).unwrap(),
+            flat_and.failure_set(&sets).unwrap()
+        );
+        prop_assert_eq!(
+            or_gate.failure_set(&sets).unwrap(),
+            flat_or.failure_set(&sets).unwrap()
+        );
+        prop_assert_eq!(
+            and_gate.failure_probability(&probs).unwrap().to_bits(),
+            flat_and.failure_probability(&probs).unwrap().to_bits(),
+            "k=1 must replay the AND product bit-for-bit"
+        );
+        prop_assert_eq!(
+            or_gate.failure_probability(&probs).unwrap().to_bits(),
+            flat_or.failure_probability(&probs).unwrap().to_bits(),
+            "k=n must replay the OR inclusion-exclusion bit-for-bit"
+        );
+    }
+
+    /// Eq-20 generalised: a shared suite couples the children of every
+    /// gate upwards — the mixed all-children-fail moment dominates its
+    /// independent factorisation at every gate of every repeat-free
+    /// tree, whatever the world's propensities.
+    #[test]
+    fn shared_coupling_dominates_at_every_gate(
+        shape in 0usize..3,
+        props in vec(0.01f64..=0.9, 3),
+    ) {
+        let s = match shape {
+            0 => Structure::one_out_of_n(3),
+            1 => Structure::k_of_n(2, 3),
+            _ => Structure::or(vec![
+                Structure::component(0),
+                Structure::and(vec![Structure::component(1), Structure::component(2)]),
+            ]),
+        };
+        let space = DemandSpace::new(props.len()).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
+        let pop = BernoulliPopulation::new(model, props).unwrap();
+        let q = UsageProfile::uniform(pop.model().space());
+        let measure = enumerate_iid_suites(&q, 2, 1 << 10).unwrap();
+        let pops: Vec<&dyn TestedDifficulty> = (0..3).map(|_| &pop as _).collect();
+        for gate in gate_moments(&s, &pops, &measure, &q).unwrap() {
+            prop_assert!(
+                gate.coupling() >= -1e-12,
+                "negative coupling {} at {} ({})",
+                gate.coupling(),
+                gate.path,
+                gate.kind
+            );
+        }
+    }
+}

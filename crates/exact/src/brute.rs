@@ -8,6 +8,8 @@
 //! and sum the score products. Agreement between the two paths is the
 //! strongest internal validation available for a theory reproduction.
 
+use diversim_core::error::CoreError;
+use diversim_core::structure::Structure;
 use diversim_testing::process::perfect_debug;
 use diversim_testing::suite::TestSuite;
 use diversim_testing::suite_population::ExplicitSuitePopulation;
@@ -106,6 +108,198 @@ impl TestedEnsemble {
         }
         out
     }
+}
+
+/// A structured system's mechanistically debugged ensemble: one
+/// [`TestedEnsemble`] per component (each component's versions debugged on
+/// its **own** independently drawn suites from the measure) composed
+/// through a [`Structure`]'s failure-set algebra by *full cross-product
+/// enumeration* — no factorisation assumptions, exact under repeated
+/// components.
+///
+/// This extends [`TestedEnsemble`] from the flat pair to arbitrary trees:
+/// for the `Structure::one_out_of_n(2)` case,
+/// [`StructureEnsemble::joint_vector_independent`] reproduces
+/// [`TestedEnsemble::joint_vector_independent`] bit-for-bit (same
+/// lexicographic combination order, same intersection sets).
+///
+/// Enumeration cost is the *product* of the component ensemble sizes —
+/// callers are expected to use small supports and suite measures.
+#[derive(Debug, Clone)]
+pub struct StructureEnsemble {
+    structure: Structure,
+    components: Vec<TestedEnsemble>,
+    capacity: usize,
+}
+
+impl StructureEnsemble {
+    /// Debugs each component's support × measure cross-product once
+    /// (component `i`'s versions drawn from `supports[i]`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyInput`] if `supports` is empty;
+    /// [`CoreError::InvalidStructure`] if the tree references a component
+    /// index `≥ supports.len()` or is malformed.
+    pub fn new(
+        structure: Structure,
+        supports: &[&Support],
+        measure: &ExplicitSuitePopulation,
+        model: &FaultModel,
+    ) -> Result<Self, CoreError> {
+        if supports.is_empty() {
+            return Err(CoreError::EmptyInput { what: "supports" });
+        }
+        structure.validate(supports.len())?;
+        let components = supports
+            .iter()
+            .map(|s| TestedEnsemble::new(s, measure, model))
+            .collect();
+        Ok(StructureEnsemble {
+            structure,
+            components,
+            capacity: model.space().len(),
+        })
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total number of joint combinations the independent enumeration
+    /// visits (the product of the component ensemble sizes).
+    pub fn joint_combinations(&self) -> usize {
+        self.components
+            .iter()
+            .map(TestedEnsemble::len)
+            .product::<usize>()
+    }
+
+    /// `P(system fails on x)` for every demand when every component is
+    /// debugged on its **own** independently drawn suite: the full
+    /// cross-product over all components' `(version, suite)` combinations,
+    /// scattering each joint weight `Π_i S_i(π_i)·M(t_i)` over the
+    /// structure's failure set of the debugged tuple.
+    pub fn joint_vector_independent(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.capacity];
+        let mut sets: Vec<BitSet> = Vec::with_capacity(self.components.len());
+        self.recurse_independent(0, 1.0, &mut sets, &mut out);
+        out
+    }
+
+    fn recurse_independent(
+        &self,
+        idx: usize,
+        weight: f64,
+        sets: &mut Vec<BitSet>,
+        out: &mut [f64],
+    ) {
+        if idx == self.components.len() {
+            let fs = self
+                .structure
+                .failure_set(sets)
+                .expect("structure validated at construction");
+            for x in fs.iter() {
+                out[x] += weight;
+            }
+            return;
+        }
+        for (w, fs) in self.components[idx].combos() {
+            sets.push(fs.clone());
+            self.recurse_independent(idx + 1, weight * w, sets, out);
+            sets.pop();
+        }
+    }
+
+    /// Brute-force marginal `P(system fails on X)` under independent
+    /// suites: the usage-weighted sum of [`joint_vector_independent`]
+    /// (the structure generalisation of [`marginal_independent`]).
+    ///
+    /// [`joint_vector_independent`]: StructureEnsemble::joint_vector_independent
+    pub fn marginal_independent(&self, profile: &UsageProfile) -> f64 {
+        weighted_total(&self.joint_vector_independent(), profile)
+    }
+}
+
+/// `P(system fails on x)` for every demand when **all** components are
+/// debugged on one shared suite: per realised suite `(t, M(t))`, the full
+/// cross-product over all components' version supports, each tuple
+/// mechanistically debugged on `t` and its joint weight `M(t)·Π_i S_i(π_i)`
+/// scattered over the structure's failure set — the structure
+/// generalisation of [`joint_vector_shared`], exact under repeated
+/// components.
+///
+/// # Errors
+///
+/// Same validation as [`StructureEnsemble::new`].
+pub fn structure_joint_vector_shared(
+    structure: &Structure,
+    supports: &[&Support],
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+) -> Result<Vec<f64>, CoreError> {
+    if supports.is_empty() {
+        return Err(CoreError::EmptyInput { what: "supports" });
+    }
+    structure.validate(supports.len())?;
+    let n = model.space().len();
+    let mut out = vec![0.0; n];
+    for (t, qt) in measure.iter() {
+        // Debug each component's support on the shared suite once.
+        let debugged: Vec<Vec<(f64, BitSet)>> = supports
+            .iter()
+            .map(|support| {
+                support
+                    .iter()
+                    .map(|(v, p)| (*p, perfect_debug(v, t, model).failure_set(model)))
+                    .collect()
+            })
+            .collect();
+        let mut sets: Vec<BitSet> = Vec::with_capacity(supports.len());
+        recurse_shared(structure, &debugged, 0, qt, &mut sets, &mut out);
+    }
+    Ok(out)
+}
+
+fn recurse_shared(
+    structure: &Structure,
+    debugged: &[Vec<(f64, BitSet)>],
+    idx: usize,
+    weight: f64,
+    sets: &mut Vec<BitSet>,
+    out: &mut [f64],
+) {
+    if idx == debugged.len() {
+        let fs = structure
+            .failure_set(sets)
+            .expect("structure validated by caller");
+        for x in fs.iter() {
+            out[x] += weight;
+        }
+        return;
+    }
+    for (p, fs) in &debugged[idx] {
+        sets.push(fs.clone());
+        recurse_shared(structure, debugged, idx + 1, weight * p, sets, out);
+        sets.pop();
+    }
+}
+
+/// Brute-force marginal `P(system fails on X)` under a shared suite: the
+/// usage-weighted sum of [`structure_joint_vector_shared`] (the structure
+/// generalisation of [`marginal_shared`]).
+pub fn structure_marginal_shared(
+    structure: &Structure,
+    supports: &[&Support],
+    measure: &ExplicitSuitePopulation,
+    model: &FaultModel,
+    profile: &UsageProfile,
+) -> Result<f64, CoreError> {
+    Ok(weighted_total(
+        &structure_joint_vector_shared(structure, supports, measure, model)?,
+        profile,
+    ))
 }
 
 /// The tested scores of every `(version, suite)` combination on demand
@@ -528,6 +722,92 @@ mod tests {
         let ma = marginal_adaptive(&support, &support, &none, &private, &private, &model, &q);
         let mi = marginal_independent(&support, &support, &private, &private, &model, &q);
         assert!((ma - mi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structure_pair_matches_flat_ensemble_bitwise() {
+        // one_out_of_n(2) through the StructureEnsemble recursion must be
+        // the flat pair kernel bit-for-bit: same lexicographic combo
+        // order, same intersection sets, same scatter order.
+        let (model, pop, q) = overlapping_world();
+        let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let ens = TestedEnsemble::new(&support, &m, &model);
+        let flat = ens.joint_vector_independent(&ens);
+        let tree = StructureEnsemble::new(
+            Structure::one_out_of_n(2),
+            &[&support, &support],
+            &m,
+            &model,
+        )
+        .unwrap();
+        let structured = tree.joint_vector_independent();
+        assert_eq!(tree.component_count(), 2);
+        assert_eq!(tree.joint_combinations(), ens.len() * ens.len());
+        for (a, b) in flat.iter().zip(&structured) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn structure_shared_pair_matches_flat_shared_path() {
+        let (model, pop, q) = overlapping_world();
+        let m = enumerate_iid_suites(&q, 2, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let flat = joint_vector_shared(&support, &support, &m, &model);
+        let structured = structure_joint_vector_shared(
+            &Structure::one_out_of_n(2),
+            &[&support, &support],
+            &m,
+            &model,
+        )
+        .unwrap();
+        // Same per-suite products, different accumulation grouping: the
+        // flat path scatters per-support masses then multiplies, the
+        // structured path enumerates version tuples — equal to rounding.
+        for (x, (a, b)) in flat.iter().zip(&structured).enumerate() {
+            assert!((a - b).abs() < 1e-12, "demand {x}: flat {a} vs tree {b}");
+        }
+    }
+
+    #[test]
+    fn structure_series_complements_parallel() {
+        // On every demand: P(series fails) ≥ P(any single fails) ≥
+        // P(parallel fails), and series + "all work" masses combine to 1
+        // only through inclusion–exclusion — spot-check or/and ordering.
+        let (model, pop, q) = overlapping_world();
+        let m = enumerate_iid_suites(&q, 1, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let supports = [&support[..], &support[..], &support[..]];
+        let series = StructureEnsemble::new(Structure::series(3), &supports, &m, &model)
+            .unwrap()
+            .joint_vector_independent();
+        let parallel = StructureEnsemble::new(Structure::one_out_of_n(3), &supports, &m, &model)
+            .unwrap()
+            .joint_vector_independent();
+        let two_of_three = StructureEnsemble::new(Structure::k_of_n(2, 3), &supports, &m, &model)
+            .unwrap()
+            .joint_vector_independent();
+        for x in 0..model.space().len() {
+            assert!(parallel[x] <= two_of_three[x] + 1e-15);
+            assert!(two_of_three[x] <= series[x] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn structure_ensemble_rejects_bad_input() {
+        let (model, pop, q) = overlapping_world();
+        let m = enumerate_iid_suites(&q, 1, 1 << 8).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        assert!(StructureEnsemble::new(Structure::one_out_of_n(2), &[], &m, &model).is_err());
+        // Tree references component 2, only 2 supports supplied.
+        assert!(StructureEnsemble::new(
+            Structure::one_out_of_n(3),
+            &[&support, &support],
+            &m,
+            &model
+        )
+        .is_err());
     }
 
     #[test]

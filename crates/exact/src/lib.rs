@@ -44,7 +44,8 @@ pub mod verify;
 
 pub use brute::{
     joint_on_demand_adaptive, joint_on_demand_independent, joint_on_demand_shared,
-    joint_vector_shared, marginal_adaptive, marginal_independent, marginal_shared, zeta_brute,
-    zeta_brute_vector, TestedEnsemble,
+    joint_vector_shared, marginal_adaptive, marginal_independent, marginal_shared,
+    structure_joint_vector_shared, structure_marginal_shared, zeta_brute, zeta_brute_vector,
+    StructureEnsemble, TestedEnsemble,
 };
-pub use verify::{verify_pair, IdentityCheck, TheoremReport};
+pub use verify::{verify_pair, verify_structure, IdentityCheck, TheoremReport};

@@ -3,7 +3,10 @@
 //! brute-force process path of [`crate::brute`].
 
 use diversim_core::difficulty::{zeta, TestedDifficulty};
+use diversim_core::error::CoreError;
 use diversim_core::marginal::{MarginalAnalysis, SuiteAssignment};
+use diversim_core::structure::{self, Structure};
+use diversim_core::testing_effect::TestingRegime;
 use diversim_testing::suite_population::ExplicitSuitePopulation;
 use diversim_universe::profile::UsageProfile;
 use diversim_universe::version::Version;
@@ -182,6 +185,92 @@ pub fn verify_pair(
     TheoremReport { checks }
 }
 
+/// Verifies the structure-function generalisation for an arbitrary fault
+/// tree over N component populations, against one suite measure and a
+/// usage profile:
+///
+/// * `structure-independent-marginal` — the gate-composed formula path
+///   ([`structure::structure_pfd`] under independent suites) vs. the
+///   assumption-free cross-product enumeration
+///   ([`brute::StructureEnsemble`]);
+/// * `structure-shared-marginal` — the shared-suite mixed-moment path vs.
+///   [`brute::structure_joint_vector_shared`];
+/// * `gate-coupling(min-margin)` — for **repeat-free** trees only: the
+///   most negative per-gate coupling `E_Ξ[Π…] − Π E_Ξ[…]` across all
+///   gates (clamped at 0; expected ≥ 0 up to rounding, the eq-20
+///   generalisation). Omitted for trees with repeated components.
+///
+/// `supports[i]` must enumerate the same measure `pops[i]` represents.
+///
+/// # Errors
+///
+/// Propagates the structure validation errors of the core and brute
+/// paths ([`CoreError::InvalidStructure`], [`CoreError::EmptyInput`],
+/// [`CoreError::ModelMismatch`]).
+pub fn verify_structure(
+    structure: &Structure,
+    pops: &[&dyn TestedDifficulty],
+    supports: &[&brute::Support],
+    measure: &ExplicitSuitePopulation,
+    profile: &UsageProfile,
+) -> Result<TheoremReport, CoreError> {
+    if pops.len() != supports.len() {
+        return Err(CoreError::ModelMismatch {
+            reason: "one support per population is required",
+        });
+    }
+    let model = pops
+        .first()
+        .ok_or(CoreError::EmptyInput {
+            what: "populations",
+        })?
+        .model();
+    let mut checks = Vec::new();
+
+    let ind_formula = structure::structure_pfd(
+        structure,
+        pops,
+        measure,
+        profile,
+        TestingRegime::IndependentSuites,
+    )?;
+    let ens = brute::StructureEnsemble::new(structure.clone(), supports, measure, model)?;
+    checks.push(IdentityCheck {
+        name: "structure-independent-marginal",
+        formula: ind_formula,
+        brute: ens.marginal_independent(profile),
+    });
+
+    let sh_formula = structure::structure_pfd(
+        structure,
+        pops,
+        measure,
+        profile,
+        TestingRegime::SharedSuite,
+    )?;
+    let sh_brute = brute::structure_marginal_shared(structure, supports, measure, model, profile)?;
+    checks.push(IdentityCheck {
+        name: "structure-shared-marginal",
+        formula: sh_formula,
+        brute: sh_brute,
+    });
+
+    if !structure.has_repeated_components() {
+        let moments = structure::gate_moments(structure, pops, measure, profile)?;
+        let min_margin = moments
+            .iter()
+            .map(structure::GateMoment::coupling)
+            .fold(f64::INFINITY, f64::min);
+        checks.push(IdentityCheck {
+            name: "gate-coupling(min-margin)",
+            formula: min_margin.min(0.0),
+            brute: 0.0,
+        });
+    }
+
+    Ok(TheoremReport { checks })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +389,79 @@ mod tests {
                 brute::marginal_adaptive(&sa, &sb, &shared, &private, &private, &model, &q);
             assert!((marginal_formula - marginal_brute).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn structure_identities_hold_for_canonical_trees() {
+        // The acceptance fixtures: series, parallel, 2-of-3 and the
+        // bridge, each verified formula-vs-brute in both regimes. The
+        // brute side is a full cross-product over component ensembles, so
+        // the worlds are kept tiny (the bridge visits |ensemble|⁵ tuples).
+        let pop = singleton_pop(vec![0.3, 0.7]);
+        let q = UsageProfile::from_weights(pop.model().space(), vec![0.6, 0.4]).unwrap();
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        for (n, s) in [
+            (3, Structure::series(3)),
+            (3, Structure::one_out_of_n(3)),
+            (3, Structure::k_of_n(2, 3)),
+            (5, Structure::bridge()),
+        ] {
+            let pops: Vec<&dyn TestedDifficulty> = vec![&pop; n];
+            let supports: Vec<&brute::Support> = vec![&support; n];
+            let report = verify_structure(&s, &pops, &supports, &m, &q).unwrap();
+            assert!(report.all_hold(1e-12), "violations for {s:?}:\n{report}");
+            let expected_checks = if s.has_repeated_components() { 2 } else { 3 };
+            assert_eq!(report.checks.len(), expected_checks);
+        }
+    }
+
+    #[test]
+    fn structure_identities_hold_for_heterogeneous_components() {
+        // Different populations per component exercise the non-exchangeable
+        // case (LM-style) through a nested tree.
+        let space = DemandSpace::new(3).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .singleton_faults()
+                .build()
+                .unwrap(),
+        );
+        let a = BernoulliPopulation::new(model.clone(), vec![0.6, 0.1, 0.3]).unwrap();
+        let b = BernoulliPopulation::new(model.clone(), vec![0.1, 0.6, 0.2]).unwrap();
+        let c = BernoulliPopulation::new(model.clone(), vec![0.4, 0.4, 0.4]).unwrap();
+        let q = UsageProfile::from_weights(space, vec![0.5, 0.3, 0.2]).unwrap();
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let sa = a.enumerate(16).unwrap();
+        let sb = b.enumerate(16).unwrap();
+        let sc = c.enumerate(16).unwrap();
+        let tree = Structure::or(vec![
+            Structure::and(vec![Structure::component(0), Structure::component(1)]),
+            Structure::component(2),
+        ]);
+        let pops: Vec<&dyn TestedDifficulty> = vec![&a, &b, &c];
+        let supports: Vec<&brute::Support> = vec![&sa, &sb, &sc];
+        let report = verify_structure(&tree, &pops, &supports, &m, &q).unwrap();
+        assert!(report.all_hold(1e-12), "violations:\n{report}");
+        assert!(report.check("gate-coupling(min-margin)").is_some());
+    }
+
+    #[test]
+    fn verify_structure_rejects_mismatched_inputs() {
+        let pop = singleton_pop(vec![0.4, 0.8]);
+        let q = UsageProfile::uniform(pop.model().space());
+        let m = enumerate_iid_suites(&q, 1, 64).unwrap();
+        let support = pop.enumerate(16).unwrap();
+        let pops: Vec<&dyn TestedDifficulty> = vec![&pop, &pop];
+        let supports: Vec<&brute::Support> = vec![&support];
+        assert!(matches!(
+            verify_structure(&Structure::one_out_of_n(2), &pops, &supports, &m, &q),
+            Err(CoreError::ModelMismatch { .. })
+        ));
+        assert!(matches!(
+            verify_structure(&Structure::one_out_of_n(2), &[], &[], &m, &q),
+            Err(CoreError::EmptyInput { .. })
+        ));
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`scenario::Scenario::policy_study`] — adaptive test-budget
 //!   allocation across the pair under a [`policy::TestPolicy`]
 //!   ([`policy`]);
+//! * [`scenario::Scenario::system_run`] /
+//!   [`scenario::Scenario::system_estimate`] — structure-function
+//!   systems (AND/OR/k-out-of-n fault trees) over many component
+//!   populations ([`system`]);
 //! * [`scenario::Scenario::operate`] / [`scenario::Scenario::coverage`] —
 //!   operational exposure and assessment ([`operation`]);
 //! * [`scenario::Scenario::mistakes`] /
@@ -70,6 +74,7 @@ pub mod policy;
 pub mod prepared;
 pub mod runner;
 pub mod scenario;
+pub mod system;
 pub mod world;
 
 pub use adaptive::{AdaptiveOutcome, AdaptiveStudy};

@@ -3,7 +3,7 @@
 //! Every campaign evaluates several exact pfds (before/after, version and
 //! system level). Doing that straight off the [`FaultModel`] rebuilds the
 //! same intermediate data — failure-region
-//! [`BitSet`](diversim_universe::bitset::BitSet)s, profile lookups —
+//! [`BitSet`]s, profile lookups —
 //! once per *replication*, although all of it depends only on the world
 //! (fault model × usage profile). [`Prepared`] hoists that work out of
 //! the replication hot loop:
@@ -31,7 +31,8 @@
 
 use std::sync::Arc;
 
-use diversim_universe::bitset::BlockWeights;
+use diversim_core::structure::Structure;
+use diversim_universe::bitset::{BitSet, BlockWeights};
 use diversim_universe::fault::FaultModel;
 use diversim_universe::profile::UsageProfile;
 use diversim_universe::version::Version;
@@ -207,6 +208,34 @@ impl Prepared {
                 .intersection_mass(&a.failure_set(&self.model), &b.failure_set(&self.model)),
         }
     }
+
+    /// Exact system pfd of concrete `versions` composed under
+    /// `structure`: `Σ_x 1[φ fails at x] Q(x)`.
+    ///
+    /// The structure's failure set is materialised once by the packed
+    /// bit-set algebra of [`Structure::failure_set`] and weighed by the
+    /// block-major kernel, so the result matches
+    /// [`diversim_core::system::structure_system_pfd`] bit-for-bit
+    /// (same sets, same ascending-demand accumulation). The flat
+    /// specialisations stay on their fast paths: a 1-out-of-2 structure
+    /// gives exactly [`Prepared::pair_pfd`]'s value and a bare
+    /// component exactly [`Prepared::version_pfd`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `structure` is malformed or indexes a component at or
+    /// beyond `versions.len()` — scenario construction validates the
+    /// structure against its component populations up front.
+    pub fn structure_pfd(&self, versions: &[&Version], structure: &Structure) -> f64 {
+        let sets: Vec<BitSet> = versions
+            .iter()
+            .map(|v| v.failure_set(&self.model))
+            .collect();
+        let failed = structure
+            .failure_set(&sets)
+            .expect("scenario-validated structure");
+        self.weights.mass(&failed)
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +374,83 @@ mod tests {
         let b = Version::from_faults(&model, [f(1)]);
         assert_eq!(p.version_pfd(&a), a.pfd(&model, &q));
         assert_eq!(p.pair_pfd(&a, &b), pair_pfd(&a, &b, &model, &q));
+    }
+
+    #[test]
+    fn structure_pfd_flat_cases_match_the_fast_paths() {
+        // On every strategy, the structure kernel's degenerate shapes
+        // (bare component, 1-out-of-2) land on exactly the values the
+        // specialised fast paths produce.
+        let worlds: Vec<Prepared> = vec![
+            {
+                let space = DemandSpace::new(4).unwrap();
+                let model = Arc::new(
+                    FaultModelBuilder::new(space)
+                        .singleton_faults()
+                        .build()
+                        .unwrap(),
+                );
+                Prepared::new(
+                    model,
+                    UsageProfile::from_weights(space, vec![0.1, 0.2, 0.3, 0.4]).unwrap(),
+                )
+            },
+            {
+                let space = DemandSpace::new(4).unwrap();
+                let model = Arc::new(
+                    FaultModelBuilder::new(space)
+                        .fault([d(0), d(1), d(2)])
+                        .fault([d(1), d(2), d(3)])
+                        .build()
+                        .unwrap(),
+                );
+                Prepared::new(model, UsageProfile::zipf(space, 0.5).unwrap())
+            },
+        ];
+        for p in &worlds {
+            let model = Arc::clone(p.model());
+            let a = Version::from_faults(&model, [f(0)]);
+            let b = Version::from_faults(&model, [f(1)]);
+            let and2 = Structure::one_out_of_n(2);
+            assert_eq!(p.structure_pfd(&[&a, &b], &and2), p.pair_pfd(&a, &b));
+            let solo = Structure::component(0);
+            assert_eq!(p.structure_pfd(&[&a], &solo), p.version_pfd(&a));
+        }
+    }
+
+    #[test]
+    fn structure_pfd_matches_core_path_bit_for_bit() {
+        use diversim_core::structure::Structure;
+        use diversim_core::system::structure_system_pfd;
+
+        let space = DemandSpace::new(6).unwrap();
+        let model = Arc::new(
+            FaultModelBuilder::new(space)
+                .fault([d(0), d(1)])
+                .fault([d(1), d(2), d(3)])
+                .fault([d(4), d(5)])
+                .build()
+                .unwrap(),
+        );
+        let q = UsageProfile::zipf(space, 0.8).unwrap();
+        let p = Prepared::new(Arc::clone(&model), q.clone());
+        let vs = [
+            Version::from_faults(&model, [f(0)]),
+            Version::from_faults(&model, [f(1)]),
+            Version::from_faults(&model, [f(0), f(2)]),
+        ];
+        let refs: Vec<&Version> = vs.iter().collect();
+        for s in [
+            Structure::series(3),
+            Structure::one_out_of_n(3),
+            Structure::k_of_n(2, 3),
+        ] {
+            assert_eq!(
+                p.structure_pfd(&refs, &s),
+                structure_system_pfd(&s, &refs, &model, &q).unwrap(),
+                "sim and core structure paths disagree on {s:?}"
+            );
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@
 
 use std::sync::Arc;
 
+use diversim_core::structure::Structure;
 use diversim_stats::seed::SeedSequence;
 use diversim_stats::stopping::StoppingRule;
 use diversim_testing::fixing::{Fixer, PerfectFixer};
@@ -66,6 +67,7 @@ use crate::growth::{GrowthCurve, GrowthSample, MergedComparison, MergedEstimates
 use crate::operation::{CoverageStudy, OperationLog};
 use crate::policy::{PolicyStudy, PolicyTrace};
 use crate::prepared::Prepared;
+use crate::system::{SystemEstimates, SystemOutcome, SystemSpec};
 use crate::world::World;
 
 /// Largest accepted suite size — far above any statistically sensible
@@ -210,6 +212,22 @@ pub enum ScenarioError {
         /// Which study (`"growth"`).
         what: &'static str,
     },
+    /// A [`crate::system::SystemSpec`]'s structure function is malformed:
+    /// an empty gate, a `k` outside `1..=n`, or a component index with no
+    /// matching population.
+    InvalidStructure {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A regime with pair-only semantics (back-to-back comparison,
+    /// adaptive budget allocation) was applied to a system that does not
+    /// have exactly two components.
+    PairRegimeRequired {
+        /// Which regime (`"back-to-back"`, `"adaptive"`).
+        regime: &'static str,
+        /// The system's component count.
+        components: usize,
+    },
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -247,6 +265,15 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::StaticRegimeRequired { what } => {
                 write!(f, "{what} studies require a static suite regime")
+            }
+            ScenarioError::InvalidStructure { reason } => {
+                write!(f, "invalid system structure: {reason}")
+            }
+            ScenarioError::PairRegimeRequired { regime, components } => {
+                write!(
+                    f,
+                    "{regime} campaigns require exactly two components, the system has {components}"
+                )
             }
         }
     }
@@ -301,6 +328,7 @@ impl std::error::Error for ScenarioError {}
 pub struct ScenarioBuilder {
     pop_a: Option<Arc<dyn Population>>,
     pop_b: Option<Arc<dyn Population>>,
+    system: Option<SystemSpec>,
     profile: Option<UsageProfile>,
     test_profile: Option<UsageProfile>,
     generator: Option<Arc<dyn SuiteGenerator>>,
@@ -323,6 +351,7 @@ impl ScenarioBuilder {
         ScenarioBuilder {
             pop_a: None,
             pop_b: None,
+            system: None,
             profile: None,
             test_profile: None,
             generator: None,
@@ -350,6 +379,17 @@ impl ScenarioBuilder {
     {
         self.pop_a = Some(Arc::new(pop_a));
         self.pop_b = Some(Arc::new(pop_b));
+        self
+    }
+
+    /// Composes the versions of several component populations under a
+    /// structure function (see [`crate::system`]). The spec's first two
+    /// component populations become the scenario's pair populations, so
+    /// every pair study keeps working; system studies
+    /// ([`Scenario::system_run`], [`Scenario::system_estimate`]) use the
+    /// full component list.
+    pub fn system(mut self, spec: SystemSpec) -> Self {
+        self.system = Some(spec);
         self
     }
 
@@ -433,12 +473,21 @@ impl ScenarioBuilder {
     /// * [`ScenarioError::InvalidPolicy`] — an adaptive regime whose
     ///   policy parameters are out of range.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
-        let pop_a = self
-            .pop_a
-            .ok_or(ScenarioError::Missing { what: "population" })?;
-        let pop_b = self
-            .pop_b
-            .ok_or(ScenarioError::Missing { what: "population" })?;
+        // A system spec defines the component populations; its first two
+        // become the scenario's pair so every pair study keeps working
+        // (a one-component system duplicates its only population).
+        let (pop_a, pop_b) = match &self.system {
+            Some(spec) => {
+                let pops = spec.populations();
+                (
+                    Some(Arc::clone(&pops[0])),
+                    Some(Arc::clone(&pops[1.min(pops.len() - 1)])),
+                )
+            }
+            None => (self.pop_a, self.pop_b),
+        };
+        let pop_a = pop_a.ok_or(ScenarioError::Missing { what: "population" })?;
+        let pop_b = pop_b.ok_or(ScenarioError::Missing { what: "population" })?;
         if !Arc::ptr_eq(pop_a.model(), pop_b.model()) && pop_a.model() != pop_b.model() {
             return Err(ScenarioError::ModelMismatch);
         }
@@ -484,6 +533,9 @@ impl ScenarioBuilder {
         if let CampaignRegime::Adaptive(spec) = self.regime {
             spec.validate()?;
         }
+        if let Some(spec) = &self.system {
+            spec.require_regime(self.regime)?;
+        }
         let prepared = Arc::new(Prepared::new(Arc::clone(pop_a.model()), profile));
         Ok(Scenario {
             pop_a,
@@ -495,6 +547,7 @@ impl ScenarioBuilder {
             suite_size: self.suite_size,
             seeds: self.seeds,
             test_profile: self.test_profile.map(Arc::new),
+            system: self.system.map(Arc::new),
             prepared,
         })
     }
@@ -516,6 +569,7 @@ pub struct Scenario {
     suite_size: usize,
     seeds: SeedPolicy,
     test_profile: Option<Arc<UsageProfile>>,
+    system: Option<Arc<SystemSpec>>,
     prepared: Arc<Prepared>,
 }
 
@@ -550,6 +604,12 @@ impl Scenario {
     /// The shared fault model.
     pub fn model(&self) -> &Arc<FaultModel> {
         self.prepared.model()
+    }
+
+    /// The structure-function system this scenario composes, if one was
+    /// supplied via [`ScenarioBuilder::system`].
+    pub fn system_spec(&self) -> Option<&SystemSpec> {
+        self.system.as_deref()
     }
 
     pub(crate) fn pop_a(&self) -> &dyn Population {
@@ -692,6 +752,35 @@ impl Scenario {
         s
     }
 
+    /// The same scenario scored by `structure` over components drawn
+    /// alternately from the A and B development processes (even
+    /// component indices sample the A population, odd indices the B
+    /// population), so a two-component structure reproduces the
+    /// classic A/B pair exactly.
+    ///
+    /// # Errors
+    ///
+    /// The [`SystemSpec::new`] validation errors for malformed
+    /// structures, [`ScenarioError::PairRegimeRequired`] if the active
+    /// regime is back-to-back or adaptive and the structure does not
+    /// have exactly two components.
+    pub fn with_structure(&self, structure: Structure) -> Result<Self, ScenarioError> {
+        let populations = (0..structure.component_count())
+            .map(|i| {
+                if i % 2 == 0 {
+                    Arc::clone(&self.pop_a)
+                } else {
+                    Arc::clone(&self.pop_b)
+                }
+            })
+            .collect();
+        let spec = SystemSpec::new(structure, populations)?;
+        spec.require_regime(self.regime)?;
+        let mut s = self.clone();
+        s.system = Some(Arc::new(spec));
+        Ok(s)
+    }
+
     // --- studies -------------------------------------------------------
 
     /// Runs one end-to-end campaign (draw versions, draw suites, debug,
@@ -711,6 +800,37 @@ impl Scenario {
     /// Panics if `threads == 0` or `replications == 0`.
     pub fn estimate(&self, replications: u64, threads: usize) -> PairEstimates {
         crate::estimate::estimate(self, replications, threads)
+    }
+
+    /// Runs one structure-function system campaign (draw every component
+    /// version, draw suite(s), debug each component, evaluate the
+    /// composed system exactly). Deterministic in `seed`; on a
+    /// two-component 1-out-of-2 system it reproduces [`Scenario::run`]
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`ScenarioError::Missing`] if the scenario was built without a
+    /// [`ScenarioBuilder::system`] spec;
+    /// [`ScenarioError::PairRegimeRequired`] if a pair-only regime
+    /// (back-to-back, adaptive) meets a system that does not have exactly
+    /// two components.
+    pub fn system_run(&self, seed: u64) -> Result<SystemOutcome, ScenarioError> {
+        crate::system::run_system(self, seed)
+    }
+
+    /// Replicated system campaigns folded into per-component and system
+    /// pfd estimates (byte-identical for any thread count).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Scenario::system_run`].
+    pub fn system_estimate(
+        &self,
+        replications: u64,
+        threads: usize,
+    ) -> Result<SystemEstimates, ScenarioError> {
+        crate::system::estimate_system(self, replications, threads)
     }
 
     /// One reliability-growth trajectory: debugging proceeds demand by
